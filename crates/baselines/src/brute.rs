@@ -1,0 +1,72 @@
+//! Brute-force betweenness by exhaustive shortest-path enumeration.
+//!
+//! Independent of both Brandes and the samplers (it goes through
+//! [`kadabra_graph::bibfs::enumerate_shortest_paths`], which itself is
+//! validated against σ-counting), so it provides a genuinely independent
+//! oracle for tiny graphs. Exponential time — keep `n` small.
+
+use kadabra_graph::bibfs::enumerate_shortest_paths;
+use kadabra_graph::{Graph, NodeId};
+
+/// Exact normalized betweenness by enumerating every shortest path of every
+/// ordered vertex pair.
+pub fn brute_force_betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut bc = vec![0.0f64; n];
+    if n < 2 {
+        return bc;
+    }
+    for s in 0..n as NodeId {
+        for t in 0..n as NodeId {
+            if s == t {
+                continue;
+            }
+            let paths = enumerate_shortest_paths(g, s, t);
+            if paths.is_empty() {
+                continue;
+            }
+            let w = 1.0 / paths.len() as f64;
+            for p in &paths {
+                for &v in p {
+                    bc[v as usize] += w;
+                }
+            }
+        }
+    }
+    let norm = 1.0 / (n as f64 * (n as f64 - 1.0));
+    for b in bc.iter_mut() {
+        *b *= norm;
+    }
+    bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_graph::csr::graph_from_edges;
+
+    #[test]
+    fn path_graph() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let bc = brute_force_betweenness(&g);
+        // Vertex 1 is interior of pairs (0,2),(2,0),(0,3),(3,0): 4/12.
+        assert!((bc[1] - 4.0 / 12.0).abs() < 1e-12);
+        assert!((bc[2] - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(bc[0], 0.0);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        assert!(brute_force_betweenness(&graph_from_edges(0, &[])).is_empty());
+        assert_eq!(brute_force_betweenness(&graph_from_edges(1, &[])), vec![0.0]);
+    }
+
+    #[test]
+    fn tied_paths_share_weight() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let bc = brute_force_betweenness(&g);
+        for v in 0..4 {
+            assert!((bc[v] - 1.0 / 12.0).abs() < 1e-12);
+        }
+    }
+}

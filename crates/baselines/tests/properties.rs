@@ -1,0 +1,51 @@
+//! Property-based tests: Brandes agrees with the brute-force oracle on
+//! arbitrary small graphs, and structural betweenness facts hold.
+
+use kadabra_baselines::{brandes, brandes_parallel, brute_force_betweenness};
+use kadabra_graph::csr::{graph_from_edges, NodeId};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        proptest::collection::vec(edge, 0..max_m).prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn brandes_matches_brute_force((n, edges) in arb_edges(12, 30)) {
+        let g = graph_from_edges(n, &edges);
+        let fast = brandes(&g);
+        let slow = brute_force_betweenness(&g);
+        for v in 0..n {
+            prop_assert!((fast[v] - slow[v]).abs() < 1e-9, "vertex {}: {} vs {}", v, fast[v], slow[v]);
+        }
+    }
+
+    #[test]
+    fn parallel_brandes_matches_sequential((n, edges) in arb_edges(30, 120), threads in 1usize..5) {
+        let g = graph_from_edges(n, &edges);
+        let seq = brandes(&g);
+        let par = brandes_parallel(&g, threads);
+        for v in 0..n {
+            prop_assert!((seq[v] - par[v]).abs() < 1e-9);
+        }
+    }
+
+    /// Betweenness values are probabilities, degree-1 vertices have zero
+    /// betweenness, and the total mass is bounded by 1 per interior slot.
+    #[test]
+    fn structural_facts((n, edges) in arb_edges(25, 100)) {
+        let g = graph_from_edges(n, &edges);
+        let bc = brandes(&g);
+        for v in 0..n {
+            prop_assert!((0.0..=1.0).contains(&bc[v]));
+            if g.degree(v as NodeId) <= 1 {
+                prop_assert!(bc[v].abs() < 1e-12, "leaf {} has bc {}", v, bc[v]);
+            }
+        }
+    }
+}

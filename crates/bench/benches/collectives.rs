@@ -1,0 +1,52 @@
+//! Micro-benchmark: simulated-MPI collective throughput — the state-frame
+//! reduction is the paper's only non-overlapped communication, so its
+//! in-process cost bounds how fast simulated epochs can turn over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kadabra_mpisim::Universe;
+
+fn bench_reduce_vectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim_reduce_sum");
+    group.sample_size(10);
+    for &len in &[1_000usize, 100_000] {
+        for &ranks in &[2usize, 4] {
+            group.throughput(Throughput::Bytes((len * ranks * 8) as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{ranks}ranks"), len),
+                &(len, ranks),
+                |b, &(len, ranks)| {
+                    b.iter(|| {
+                        Universe::run(ranks, |comm| {
+                            let data = vec![comm.rank() as u64; len];
+                            comm.reduce_sum_u64(0, &data).map(|v| v[0])
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_barrier_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpisim_ibarrier_round");
+    group.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Universe::run(ranks, |comm| {
+                    for _ in 0..8 {
+                        let mut req = comm.ibarrier();
+                        while !req.test() {
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce_vectors, bench_barrier_round);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! End-to-end algorithm comparison on one small instance: exact Brandes vs
+//! the fixed-sample RK baseline vs adaptive KADABRA. This is the in-miniature
+//! version of the paper's Section II argument — exact is hopeless at scale,
+//! adaptivity beats fixed-size sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kadabra_baselines::{brandes, rk_betweenness, RkConfig};
+use kadabra_core::{kadabra_sequential, KadabraConfig};
+use kadabra_graph::components::largest_component;
+use kadabra_graph::generators::{rmat, RmatConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let (g, _) = largest_component(&rmat(RmatConfig::graph500(11, 8, 3)));
+    let mut group = c.benchmark_group("betweenness_algorithms");
+    group.sample_size(10);
+
+    group.bench_function("brandes_exact", |b| b.iter(|| brandes(&g)));
+
+    let cfg = KadabraConfig::new(0.02, 0.1);
+    group.bench_function("kadabra_adaptive_eps0.02", |b| {
+        b.iter(|| kadabra_sequential(&g, &cfg).samples)
+    });
+
+    let rk_cfg = RkConfig { epsilon: 0.02, delta: 0.1, vertex_diameter: 10, seed: 3 };
+    group.bench_function("rk_fixed_eps0.02", |b| {
+        b.iter(|| rk_betweenness(&g, rk_cfg).samples)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

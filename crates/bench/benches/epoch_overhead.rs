@@ -1,0 +1,63 @@
+//! Micro-benchmark: overhead of the epoch framework's wait-free hot path.
+//!
+//! Ref. [24]'s claim is that recording a sample and checking for an epoch
+//! transition cost almost nothing next to the sample itself (a BFS). This
+//! bench measures `record_sample` and `check_transition` in isolation and
+//! the full transition + aggregation cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kadabra_epoch::EpochFramework;
+
+fn bench_record_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_record_sample");
+    for &path_len in &[0usize, 8, 64, 512] {
+        let fw = EpochFramework::new(100_000, 1);
+        let h = fw.handle(0);
+        let interior: Vec<u32> = (0..path_len as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(path_len), &interior, |b, interior| {
+            b.iter(|| h.record_sample(std::hint::black_box(interior)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_check_transition_noop(c: &mut Criterion) {
+    let fw = EpochFramework::new(1024, 2);
+    let mut h = fw.handle(1);
+    c.bench_function("epoch_check_transition_noop", |b| {
+        b.iter(|| std::hint::black_box(fw.check_transition(&mut h)))
+    });
+}
+
+fn bench_full_epoch_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_full_cycle");
+    group.sample_size(20);
+    for &n in &[1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || EpochFramework::new(n, 1),
+                |fw| {
+                    let mut h = fw.handle(0);
+                    let mut acc = vec![0u64; n];
+                    for e in 0..4u32 {
+                        h.record_sample(&[0, 1, 2]);
+                        fw.force_transition(&mut h, e);
+                        assert!(fw.transition_done(e));
+                        std::hint::black_box(fw.aggregate_epoch(e, &mut acc));
+                    }
+                    acc
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_record_sample,
+    bench_check_transition_noop,
+    bench_full_epoch_cycle
+);
+criterion_main!(benches);

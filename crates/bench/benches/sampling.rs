@@ -1,0 +1,58 @@
+//! Micro-benchmark: per-sample cost of the bidirectional shortest-path
+//! sampler across graph classes — the quantity the paper bounds at
+//! "<10 milliseconds" per sample and the dominant term of the adaptive
+//! sampling phase. Also compares against a unidirectional σ-BFS to show the
+//! bidirectional win (improvement (ii) of KADABRA, Section III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kadabra_core::ThreadSampler;
+use kadabra_graph::bfs::sigma_bfs;
+use kadabra_graph::components::largest_component;
+use kadabra_graph::generators::{grid, hyperbolic, rmat, GridConfig, HyperbolicConfig, RmatConfig};
+use kadabra_graph::Graph;
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    let (rm, _) = largest_component(&rmat(RmatConfig::graph500(12, 8, 1)));
+    let (hy, _) = largest_component(&hyperbolic(HyperbolicConfig {
+        n: 6_000,
+        avg_deg: 12.0,
+        alpha: 1.0,
+        seed: 1,
+    }));
+    let gr = grid(GridConfig { rows: 70, cols: 70, diagonal_prob: 0.05, seed: 1 });
+    vec![("rmat-s12", rm), ("hyperbolic-6k", hy), ("grid-70x70", gr)]
+}
+
+fn bench_bidirectional_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bidirectional_sample");
+    group.sample_size(30);
+    for (name, g) in graphs() {
+        let mut sampler = ThreadSampler::new(g.num_nodes(), 7, 0, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let interior = sampler.sample(g);
+                std::hint::black_box(interior.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unidirectional_bfs(c: &mut Criterion) {
+    // The full-SSSP alternative that RK-style samplers would use.
+    let mut group = c.benchmark_group("unidirectional_sigma_bfs");
+    group.sample_size(20);
+    for (name, g) in graphs() {
+        let mut src = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                src = (src + 17) % g.num_nodes() as u32;
+                std::hint::black_box(sigma_bfs(g, src).order.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bidirectional_sample, bench_unidirectional_bfs);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! **Ablation B (Section IV-F)** — global-reduction strategy:
+//! `MPI_Ireduce` vs `MPI_Ibarrier` + blocking `MPI_Reduce` vs a fully
+//! blocking reduce.
+//!
+//! Paper: "MPI_Ireduce often progresses much slowlier than MPI_Reduce in
+//! common MPI implementations. Hence ... we first perform a non-blocking
+//! barrier followed by a blocking MPI_Reduce. ... switching to a fully
+//! blocking approach was again detrimental to performance."
+//!
+//! Run: `cargo run --release -p kadabra-bench --bin exp_ablation_reduce`
+
+use kadabra_bench::{eps_default, prepare_instance, scale_factor, seed, suite, Table};
+use kadabra_cluster::{simulate, ClusterSpec, NetworkModel, ReduceStrategy, SimConfig};
+use kadabra_core::ClusterShape;
+
+fn main() {
+    let scale = scale_factor();
+    let eps = eps_default(0.005);
+    let seed = seed();
+    // The paper's operating point has state frames of 100s of MiB to GiB per
+    // epoch, i.e. frame-transfer times that are a material fraction of an
+    // epoch. Our scaled-down instances have KiB-scale frames, so to place the
+    // ablation at the same operating point the interconnect bandwidth is
+    // scaled down proportionally (latency and topology untouched).
+    let spec = ClusterSpec {
+        network: NetworkModel {
+            alpha_ns: 2_000,
+            bytes_per_ns: 0.25,
+            ireduce_progress_penalty: 4.0,
+        },
+        ..ClusterSpec::default()
+    };
+    println!("Ablation B: reduction strategy sweep on hyper-uk");
+    println!(
+        "(scale {scale}, eps {eps}, seed {seed}; ireduce progress penalty {}x;\n bandwidth scaled to {} GB/s to match the paper's frame-size/epoch ratio)\n",
+        spec.network.ireduce_progress_penalty, spec.network.bytes_per_ns
+    );
+
+    let instances = suite();
+    let inst = instances.iter().find(|i| i.name == "hyper-uk").unwrap();
+    let pi = prepare_instance(inst, scale, seed, eps, 300);
+
+    let mut t = Table::new([
+        "# nodes", "ibarrier+reduce (ms)", "ireduce (ms)", "fully blocking (ms)", "best",
+    ]);
+    for nodes in [2usize, 4, 8, 16] {
+        let shape = ClusterShape { ranks: 2 * nodes, ranks_per_node: 2, threads_per_rank: 12 };
+        let mut times = Vec::new();
+        for strategy in [
+            ReduceStrategy::IbarrierThenBlockingReduce,
+            ReduceStrategy::Ireduce,
+            ReduceStrategy::FullyBlocking,
+        ] {
+            let sim = SimConfig { shape, strategy, numa_penalty: false };
+            let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &sim, &spec, &pi.cost);
+            times.push(r.ads_ns);
+        }
+        let best = ["ibarrier+reduce", "ireduce", "blocking"]
+            [times.iter().enumerate().min_by_key(|(_, &t)| t).unwrap().0];
+        t.row([
+            nodes.to_string(),
+            format!("{:.2}", times[0] as f64 / 1e6),
+            format!("{:.2}", times[1] as f64 / 1e6),
+            format!("{:.2}", times[2] as f64 / 1e6),
+            best.to_string(),
+        ]);
+        eprintln!("  done: {nodes} nodes");
+    }
+    t.print();
+    println!("\nExpected shape (paper Sec. IV-F): the slow-progressing MPI_Ireduce");
+    println!("falls behind clearly as node counts grow (its latency gates every");
+    println!("epoch turnover). The ibarrier-vs-fully-blocking gap depends on leader");
+    println!("arrival skew: the paper's cluster has OS/NUMA jitter that makes the");
+    println!("overlap of the non-blocking barrier pay off; the DES only models");
+    println!("sampling-time variance, so the two blocking variants are near-tied");
+    println!("here (ibarrier+reduce is never worse by construction).");
+}

@@ -1,0 +1,96 @@
+//! **Validation** — the probabilistic guarantee of Section I: with
+//! probability ≥ 1 − δ, every estimated betweenness value is within ±ε of
+//! the truth, for all vertices simultaneously, in every execution mode.
+//!
+//! Run: `cargo run --release -p kadabra-bench --bin exp_accuracy`
+
+use kadabra_baselines::brandes;
+use kadabra_bench::{eps_default, seed, Table};
+use kadabra_cluster::{simulate, ClusterSpec, CostModel, ReduceStrategy, SimConfig};
+use kadabra_core::{
+    kadabra_epoch_mpi, kadabra_mpi_flat, kadabra_naive_parallel, kadabra_sequential,
+    kadabra_shared, prepare, ClusterShape, KadabraConfig,
+};
+use kadabra_graph::components::largest_component;
+use kadabra_graph::generators::{gnm, grid, GnmConfig, GridConfig};
+
+fn main() {
+    let eps = eps_default(0.05);
+    let seed0 = seed();
+    println!("Accuracy validation (eps {eps}, delta 0.1)\n");
+
+    let grid_g = grid(GridConfig { rows: 12, cols: 12, diagonal_prob: 0.05, seed: seed0 });
+    let (gnm_g, _) = largest_component(&gnm(GnmConfig { n: 200, m: 700, seed: seed0 }));
+
+    for (gname, g) in [("grid-12x12", &grid_g), ("gnm-200", &gnm_g)] {
+        let exact = brandes(g);
+        let cfg = KadabraConfig { epsilon: eps, delta: 0.1, seed: seed0, ..Default::default() };
+        let max_err = |scores: &[f64]| -> f64 {
+            scores
+                .iter()
+                .zip(&exact)
+                .map(|(a, e)| (a - e).abs())
+                .fold(0.0f64, f64::max)
+        };
+
+        let mut t = Table::new(["mode", "max |err|", "within eps", "samples"]);
+        let r = kadabra_sequential(g, &cfg);
+        t.row(["sequential".into(), format!("{:.4}", max_err(&r.scores)),
+               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        let r = kadabra_shared(g, &cfg, 4);
+        t.row(["shared (epoch, T=4)".into(), format!("{:.4}", max_err(&r.scores)),
+               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        let r = kadabra_naive_parallel(g, &cfg, 4);
+        t.row(["naive parallel (T=4)".into(), format!("{:.4}", max_err(&r.scores)),
+               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        let r = kadabra_mpi_flat(g, &cfg, 4);
+        t.row(["Algorithm 1 (P=4)".into(), format!("{:.4}", max_err(&r.scores)),
+               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
+        let r = kadabra_epoch_mpi(g, &cfg, shape);
+        t.row(["Algorithm 2 (P=4,T=2)".into(), format!("{:.4}", max_err(&r.scores)),
+               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        let prepared = prepare(g, &cfg);
+        let cost = CostModel::synthetic(100_000);
+        let sim = SimConfig {
+            shape: ClusterShape { ranks: 8, ranks_per_node: 2, threads_per_rank: 4 },
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+        };
+        let r = simulate(g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
+        t.row(["DES (P=8,T=4)".into(), format!("{:.4}", max_err(&r.scores)),
+               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+
+        println!("-- instance {gname} --");
+        t.print();
+        println!();
+    }
+
+    // Repeated-run guarantee: over many seeds, the failure rate must stay
+    // well under delta = 0.1.
+    let runs = 20;
+    let exact = brandes(&grid_g);
+    let mut failures = 0;
+    for i in 0..runs {
+        let cfg = KadabraConfig {
+            epsilon: eps,
+            delta: 0.1,
+            seed: seed0 + 1000 + i,
+            ..Default::default()
+        };
+        let r = kadabra_sequential(&grid_g, &cfg);
+        let worst = r
+            .scores
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        if worst > eps {
+            failures += 1;
+        }
+    }
+    println!(
+        "repeated sequential runs: {failures}/{runs} exceeded eps (guarantee allows <= {:.0}%)",
+        0.1 * 100.0
+    );
+}

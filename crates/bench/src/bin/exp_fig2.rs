@@ -1,0 +1,103 @@
+//! **Figure 2** — (a) overall speedup of the epoch-based MPI algorithm over
+//! the shared-memory state of the art, and (b) the phase-time breakdown, as
+//! functions of the number of compute nodes.
+//!
+//! Paper: near-linear speedup for P ≤ 8 flattening afterwards (geom. mean
+//! 7.4x at 16 nodes over all instances), with the sequential diameter and
+//! calibration phases growing in relative weight as P rises.
+//!
+//! Run: `cargo run --release -p kadabra-bench --bin exp_fig2`
+//! Knobs: `KADABRA_SCALE`, `KADABRA_EPS` (default 0.03), `KADABRA_SEED`.
+
+use kadabra_bench::{
+    eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed,
+    shared_baseline_shape, suite, Table,
+};
+use kadabra_cluster::{simulate, ClusterSpec};
+
+const NODE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    let scale = scale_factor();
+    let eps = eps_default(0.03);
+    let seed = seed();
+    let spec = ClusterSpec::default();
+    println!("Figure 2: parallel scalability on the instance suite");
+    println!("(scale {scale}, eps {eps}, delta 0.1, seed {seed}; DES on {spec:?})\n");
+
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); NODE_COUNTS.len()];
+    // Phase fractions at each node count, averaged over instances:
+    // [diameter, calibration, transition, barrier, reduce, check].
+    let mut fractions: Vec<[f64; 6]> = vec![[0.0; 6]; NODE_COUNTS.len()];
+    let mut per_instance = Table::new([
+        "Instance", "P=1", "P=2", "P=4", "P=8", "P=16", "baseline ADS",
+    ]);
+
+    let instances = suite();
+    for inst in &instances {
+        let pi = prepare_instance(inst, scale, seed, eps, 300);
+        let baseline = simulate(
+            &pi.graph, &pi.cfg, &pi.prepared, &shared_baseline_shape(), &spec, &pi.cost,
+        );
+        let mut row = vec![pi.name.to_string()];
+        for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+            let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(nodes), &spec, &pi.cost);
+            let s = baseline.total_ns() as f64 / r.total_ns() as f64;
+            speedups[i].push(s);
+            row.push(format!("{s:.2}x"));
+            let total = r.total_ns() as f64;
+            fractions[i][0] += r.diameter_ns as f64 / total;
+            fractions[i][1] += r.calibration_ns as f64 / total;
+            fractions[i][2] += r.transition_ns as f64 / total;
+            fractions[i][3] += r.barrier_wait_ns as f64 / total;
+            fractions[i][4] += r.reduce_ns as f64 / total;
+            fractions[i][5] += r.check_ns as f64 / total;
+        }
+        row.push(format!("{:.2}s", baseline.ads_ns as f64 / 1e9));
+        per_instance.row(row);
+        eprintln!("  done: {}", pi.name);
+    }
+
+    println!("-- Fig 2a: overall speedup over shared-memory SOTA (per instance) --");
+    per_instance.print();
+
+    let mut summary = Table::new(["# compute nodes", "geomean speedup", "paper shape"]);
+    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let note = match nodes {
+            1 => "~1.2-1.3x (NUMA effect, Sec. IV-E)",
+            16 => "7.4x geomean (paper)",
+            _ => "near-linear for P<=8",
+        };
+        summary.row([
+            nodes.to_string(),
+            format!("{:.2}x", geomean(&speedups[i])),
+            note.to_string(),
+        ]);
+    }
+    println!();
+    summary.print();
+
+    println!("\n-- Fig 2b: mean fraction of running time per phase --");
+    let mut breakdown = Table::new([
+        "# nodes", "diameter", "calibration", "epoch transition", "ibarrier", "reduce", "check", "sampling(rest)",
+    ]);
+    let n_inst = instances.len() as f64;
+    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let f: Vec<f64> = fractions[i].iter().map(|x| x / n_inst).collect();
+        let rest = 1.0 - f.iter().sum::<f64>();
+        breakdown.row([
+            nodes.to_string(),
+            format!("{:.1}%", 100.0 * f[0]),
+            format!("{:.1}%", 100.0 * f[1]),
+            format!("{:.1}%", 100.0 * f[2]),
+            format!("{:.1}%", 100.0 * f[3]),
+            format!("{:.1}%", 100.0 * f[4]),
+            format!("{:.1}%", 100.0 * f[5]),
+            format!("{:.1}%", 100.0 * rest),
+        ]);
+    }
+    breakdown.print();
+    println!("\nExpected shape (paper Fig 2b): diameter+calibration fractions grow with P;");
+    println!("epoch transition and ibarrier are overlapped; reduce is the only");
+    println!("non-overlapped communication.");
+}

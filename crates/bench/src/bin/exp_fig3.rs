@@ -1,0 +1,75 @@
+//! **Figure 3** — (a) per-phase speedup (adaptive sampling; calibration)
+//! over the shared-memory baseline, and (b) sampling throughput per compute
+//! node (`samples/(time · P)`), as functions of the node count.
+//!
+//! Paper: the adaptive-sampling phase scales to all 16 nodes (16.1x),
+//! calibration saturates because its δ-fit part is sequential, and
+//! samples/(time·P) is flat — communication is almost fully overlapped.
+//!
+//! Run: `cargo run --release -p kadabra-bench --bin exp_fig3`
+
+use kadabra_bench::{
+    eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed,
+    shared_baseline_shape, suite, Table,
+};
+use kadabra_cluster::{simulate, ClusterSpec};
+
+const NODE_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    let scale = scale_factor();
+    let eps = eps_default(0.03);
+    let seed = seed();
+    let spec = ClusterSpec::default();
+    println!("Figure 3: per-phase scalability (scale {scale}, eps {eps}, seed {seed})\n");
+
+    let mut ads_speedups: Vec<Vec<f64>> = vec![Vec::new(); NODE_COUNTS.len()];
+    let mut calib_speedups: Vec<Vec<f64>> = vec![Vec::new(); NODE_COUNTS.len()];
+    let mut throughputs: Vec<Vec<f64>> = vec![Vec::new(); NODE_COUNTS.len()];
+
+    for inst in suite() {
+        let pi = prepare_instance(&inst, scale, seed, eps, 300);
+        let baseline = simulate(
+            &pi.graph, &pi.cfg, &pi.prepared, &shared_baseline_shape(), &spec, &pi.cost,
+        );
+        for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+            let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(nodes), &spec, &pi.cost);
+            ads_speedups[i].push(baseline.ads_ns as f64 / r.ads_ns as f64);
+            calib_speedups[i].push(baseline.calibration_ns as f64 / r.calibration_ns as f64);
+            let secs = r.ads_ns as f64 / 1e9;
+            throughputs[i].push(r.samples as f64 / secs / nodes as f64);
+        }
+        eprintln!("  done: {}", pi.name);
+    }
+
+    println!("-- Fig 3a: per-phase geomean speedup over shared-memory SOTA --");
+    let mut t = Table::new(["# compute nodes", "ADS speedup", "Calib. speedup", "paper shape"]);
+    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let note = match nodes {
+            16 => "ADS 16.1x at P=16 (paper)",
+            _ => "ADS near-linear; calib flattens",
+        };
+        t.row([
+            nodes.to_string(),
+            format!("{:.2}x", geomean(&ads_speedups[i])),
+            format!("{:.2}x", geomean(&calib_speedups[i])),
+            note.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n-- Fig 3b: sampling throughput, samples/(ADS time x nodes) --");
+    let mut t2 = Table::new(["# compute nodes", "samples/(s*node), geomean", "normalized vs P=1"]);
+    let base_thr = geomean(&throughputs[0]);
+    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let thr = geomean(&throughputs[i]);
+        t2.row([
+            nodes.to_string(),
+            format!("{thr:.0}"),
+            format!("{:.2}", thr / base_thr),
+        ]);
+    }
+    t2.print();
+    println!("\nExpected shape (paper Fig 3b): flat within ~600-1000 samples/(s*node) —");
+    println!("linear sampling scalability regardless of node count.");
+}

@@ -1,0 +1,73 @@
+//! **Table II** — per-instance statistics of the epoch-based MPI algorithm
+//! on 16 compute nodes: epochs, samples, seconds in the non-blocking
+//! barrier, communication volume per epoch, adaptive-sampling time.
+//!
+//! Paper: road networks take the most samples (3.9-5.3M) and epochs
+//! (496-638) but the least communication per epoch (265-478 MiB); the
+//! billion-edge instances finish in as few as 2 epochs but move up to
+//! 25 GiB per epoch.
+//!
+//! Run: `cargo run --release -p kadabra-bench --bin exp_table2`
+
+use kadabra_bench::{
+    eps_default, paper_shape, prepare_instance, scale_factor, seed, suite, InstanceClass, Table,
+};
+use kadabra_cluster::{simulate, ClusterSpec};
+
+fn main() {
+    let scale = scale_factor();
+    let eps = eps_default(0.03);
+    let seed = seed();
+    let spec = ClusterSpec::default();
+    println!("Table II: per-instance statistics on 16 compute nodes");
+    println!("(scale {scale}, eps {eps}, delta 0.1, seed {seed})\n");
+
+    let mut table = Table::new([
+        "Instance", "Class", "Ep.", "Samples", "B(s)", "Com.(MiB/ep)", "Time(s)",
+    ]);
+    let mut road = (0u64, 0.0f64); // (epochs, comm) accumulators for the shape check
+    let mut complex = (0u64, 0.0f64);
+    let mut road_n = 0u64;
+    let mut complex_n = 0u64;
+    for inst in suite() {
+        let class = inst.class;
+        let pi = prepare_instance(&inst, scale, seed, eps, 300);
+        let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(16), &spec, &pi.cost);
+        table.row([
+            pi.name.to_string(),
+            format!("{class:?}"),
+            r.epochs.to_string(),
+            r.samples.to_string(),
+            format!("{:.2}", r.barrier_wait_ns as f64 / 1e9),
+            format!("{:.1}", r.comm_mib_per_epoch()),
+            format!("{:.2}", r.ads_ns as f64 / 1e9),
+        ]);
+        match class {
+            InstanceClass::Road => {
+                road.0 += r.epochs;
+                road.1 += r.comm_mib_per_epoch();
+                road_n += 1;
+            }
+            InstanceClass::Complex | InstanceClass::Hyperbolic => {
+                complex.0 += r.epochs;
+                complex.1 += r.comm_mib_per_epoch();
+                complex_n += 1;
+            }
+            InstanceClass::Control => {}
+        }
+        eprintln!("  done: {}", pi.name);
+    }
+    table.print();
+
+    println!("\nShape check (paper Table II):");
+    println!(
+        "  road networks:    avg {} epochs, {:.1} MiB/epoch  (paper: many epochs, small frames)",
+        road.0 / road_n.max(1),
+        road.1 / road_n.max(1) as f64
+    );
+    println!(
+        "  complex networks: avg {} epochs, {:.1} MiB/epoch  (paper: few epochs, large frames)",
+        complex.0 / complex_n.max(1),
+        complex.1 / complex_n.max(1) as f64
+    );
+}

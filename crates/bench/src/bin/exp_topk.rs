@@ -1,0 +1,47 @@
+//! **Extension experiment** — adaptive top-k stopping vs. the uniform-ε run.
+//!
+//! The paper's introduction motivates small ε with top-vertex detection
+//! ("only a handful of vertices have a betweenness score larger than
+//! 0.01"); KADABRA's original paper offers a top-k mode that stops as soon
+//! as the top-k is provably separated. This experiment measures how many
+//! samples that saves on each instance class.
+//!
+//! Run: `cargo run --release -p kadabra-bench --bin exp_topk`
+
+use kadabra_bench::{eps_default, scale_factor, seed, suite, Table};
+use kadabra_core::{kadabra_sequential, kadabra_topk, KadabraConfig};
+
+fn main() {
+    let scale = scale_factor();
+    let eps = eps_default(0.005);
+    let seed = seed();
+    let k = 3;
+    println!("Extension: adaptive top-{k} stopping vs uniform-eps run");
+    println!("(scale {scale}, eps {eps}, delta 0.1, seed {seed})\n");
+
+    let mut t = Table::new([
+        "Instance", "uniform samples", "top-k samples", "savings", "separated", "confirmed",
+    ]);
+    for inst in suite() {
+        let g = inst.build_lcc(scale, seed);
+        if g.num_nodes() <= k {
+            continue;
+        }
+        let cfg = KadabraConfig { epsilon: eps, delta: 0.1, seed, ..Default::default() };
+        let full = kadabra_sequential(&g, &cfg);
+        let topk = kadabra_topk(&g, k, &cfg);
+        t.row([
+            inst.name.to_string(),
+            full.samples.to_string(),
+            topk.result.samples.to_string(),
+            format!("{:.1}x", full.samples as f64 / topk.result.samples as f64),
+            topk.separated.to_string(),
+            format!("{}/{k}", topk.confirmed.len()),
+        ]);
+        eprintln!("  done: {}", inst.name);
+    }
+    t.print();
+    println!("\nExpected shape: hub-dominated instances (complex networks) separate");
+    println!("their top-k early and stop with large savings; flat-score instances");
+    println!("(road networks, G(n,m)) fall back to the uniform criterion.");
+}

@@ -1,0 +1,55 @@
+//! Environment knobs shared by all experiment binaries.
+//!
+//! | Variable | Meaning | Default |
+//! |---|---|---|
+//! | `KADABRA_SCALE` | Multiplies instance sizes (0.25 = quick smoke run, 4 = large) | 1.0 |
+//! | `KADABRA_EPS`   | Overrides the experiment's ε | per experiment |
+//! | `KADABRA_SEED`  | Master RNG seed | 42 |
+
+/// Instance-size multiplier from `KADABRA_SCALE`.
+pub fn scale_factor() -> f64 {
+    parse_env("KADABRA_SCALE", 1.0, |v: f64| v > 0.0 && v <= 64.0)
+}
+
+/// ε from `KADABRA_EPS`, falling back to the experiment's default.
+pub fn eps_default(default: f64) -> f64 {
+    parse_env("KADABRA_EPS", default, |v: f64| v > 0.0 && v < 1.0)
+}
+
+/// Master seed from `KADABRA_SEED`.
+pub fn seed() -> u64 {
+    parse_env("KADABRA_SEED", 42u64, |_| true)
+}
+
+fn parse_env<T: std::str::FromStr + Copy>(name: &str, default: T, valid: impl Fn(T) -> bool) -> T {
+    match std::env::var(name) {
+        Ok(s) => match s.parse::<T>() {
+            Ok(v) if valid(v) => v,
+            _ => {
+                eprintln!("warning: ignoring invalid {name}={s:?}; using default");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // Tests run without these vars set in CI; guard against interference
+        // by only asserting when absent.
+        if std::env::var("KADABRA_SCALE").is_err() {
+            assert_eq!(scale_factor(), 1.0);
+        }
+        if std::env::var("KADABRA_EPS").is_err() {
+            assert_eq!(eps_default(0.03), 0.03);
+        }
+        if std::env::var("KADABRA_SEED").is_err() {
+            assert_eq!(seed(), 42);
+        }
+    }
+}

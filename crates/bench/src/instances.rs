@@ -1,0 +1,217 @@
+//! The proxy instance suite standing in for the paper's Table I.
+//!
+//! The paper evaluates on KONECT/SNAP downloads up to 3.3 G edges; this
+//! container has no network access and one core, so the suite consists of
+//! synthetic proxies that preserve the two behavioural classes the paper's
+//! results hinge on (DESIGN.md §3):
+//!
+//! * **road networks** (`roadNet-PA`, `roadNet-CA`, `dimacs9-NE`): sparse,
+//!   high-diameter → many samples, many epochs, small frames;
+//! * **complex networks** (orkut, dbpedia, wikipedia, twitter, friendster,
+//!   uk-2002/2007): low diameter, power-law degrees → few epochs, large
+//!   frames, communication-dominated.
+//!
+//! Sizes scale with `KADABRA_SCALE`; the defaults are tuned so the full
+//! experiment suite completes on one core in minutes, not hours.
+
+use kadabra_graph::components::largest_component;
+use kadabra_graph::generators::{
+    gnm, grid, hyperbolic, rmat, GnmConfig, GridConfig, HyperbolicConfig, RmatConfig,
+};
+use kadabra_graph::Graph;
+
+/// Behavioural class of an instance (drives expectations in EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceClass {
+    /// High-diameter, road-network-like.
+    Road,
+    /// Power-law complex network (social/hyperlink proxy).
+    Complex,
+    /// Geometric power-law network (hyperbolic model).
+    Hyperbolic,
+    /// Unstructured control.
+    Control,
+}
+
+/// One suite instance: a name, its class, the paper instance it proxies,
+/// and a builder.
+pub struct Instance {
+    pub name: &'static str,
+    pub class: InstanceClass,
+    pub proxies_for: &'static str,
+    build: fn(f64, u64) -> Graph,
+}
+
+impl Instance {
+    /// Builds the instance at the given scale/seed and extracts the largest
+    /// connected component (the paper's preprocessing).
+    pub fn build_lcc(&self, scale: f64, seed: u64) -> Graph {
+        let g = (self.build)(scale, seed);
+        let (lcc, _) = largest_component(&g);
+        lcc
+    }
+}
+
+fn dim(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale.sqrt()).round() as usize).max(4)
+}
+fn count(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(16)
+}
+
+/// The full Table-I proxy suite, ordered like the paper's table
+/// (road networks first, complex networks by size).
+pub fn suite() -> Vec<Instance> {
+    vec![
+        Instance {
+            name: "road-pa",
+            class: InstanceClass::Road,
+            proxies_for: "roadNet-PA",
+            build: |s, seed| grid(GridConfig {
+                rows: dim(110, s),
+                cols: dim(110, s),
+                diagonal_prob: 0.05,
+                seed,
+            }),
+        },
+        Instance {
+            name: "road-ca",
+            class: InstanceClass::Road,
+            proxies_for: "roadNet-CA",
+            build: |s, seed| grid(GridConfig {
+                rows: dim(150, s),
+                cols: dim(140, s),
+                diagonal_prob: 0.05,
+                seed: seed + 1,
+            }),
+        },
+        Instance {
+            name: "road-ne",
+            class: InstanceClass::Road,
+            proxies_for: "dimacs9-NE (high diameter)",
+            build: |s, seed| grid(GridConfig {
+                rows: dim(320, s),
+                cols: dim(90, s),
+                diagonal_prob: 0.02,
+                seed: seed + 2,
+            }),
+        },
+        Instance {
+            name: "rmat-orkut",
+            class: InstanceClass::Complex,
+            proxies_for: "orkut-links",
+            build: |s, seed| rmat(RmatConfig::graph500(scale_pow2(13, s), 16, seed + 3)),
+        },
+        Instance {
+            name: "rmat-dbpedia",
+            class: InstanceClass::Complex,
+            proxies_for: "dbpedia-link",
+            build: |s, seed| rmat(RmatConfig::graph500(scale_pow2(14, s), 8, seed + 4)),
+        },
+        Instance {
+            name: "rmat-wiki",
+            class: InstanceClass::Complex,
+            proxies_for: "wikipedia_link_en",
+            build: |s, seed| rmat(RmatConfig::graph500(scale_pow2(15, s), 12, seed + 5)),
+        },
+        Instance {
+            name: "rmat-twitter",
+            class: InstanceClass::Complex,
+            proxies_for: "twitter",
+            build: |s, seed| rmat(RmatConfig::graph500(scale_pow2(16, s), 12, seed + 6)),
+        },
+        Instance {
+            name: "hyper-friendster",
+            class: InstanceClass::Hyperbolic,
+            proxies_for: "friendster",
+            build: |s, seed| hyperbolic(HyperbolicConfig {
+                n: count(60_000, s),
+                avg_deg: 24.0,
+                alpha: 1.0,
+                seed: seed + 7,
+            }),
+        },
+        Instance {
+            name: "hyper-uk",
+            class: InstanceClass::Hyperbolic,
+            proxies_for: "dimacs10-uk-2007-05",
+            build: |s, seed| hyperbolic(HyperbolicConfig {
+                n: count(100_000, s),
+                avg_deg: 16.0,
+                alpha: 1.0,
+                seed: seed + 8,
+            }),
+        },
+        Instance {
+            name: "gnm-control",
+            class: InstanceClass::Control,
+            proxies_for: "(unstructured control)",
+            build: |s, seed| gnm(GnmConfig {
+                n: count(30_000, s),
+                m: count(240_000, s),
+                seed: seed + 9,
+            }),
+        },
+    ]
+}
+
+/// Scales a log2 size: scale 2 adds one level, scale 0.5 removes one.
+fn scale_pow2(base: u32, scale: f64) -> u32 {
+    let delta = scale.log2().round() as i32;
+    (base as i32 + delta).clamp(6, 26) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_both_behavioural_classes() {
+        let s = suite();
+        assert!(s.iter().filter(|i| i.class == InstanceClass::Road).count() >= 3);
+        assert!(s.iter().filter(|i| i.class == InstanceClass::Complex).count() >= 3);
+        assert_eq!(s.len(), 10, "matches the paper's 10 real-world instances");
+    }
+
+    #[test]
+    fn quarter_scale_instances_build_quickly() {
+        for inst in suite() {
+            let g = inst.build_lcc(0.1, 42);
+            assert!(g.num_nodes() > 10, "{} too small", inst.name);
+            assert!(g.num_edges() > 10, "{}", inst.name);
+            assert!(g.check_canonical().is_ok(), "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn road_instances_have_high_diameter() {
+        let s = suite();
+        let road = s.iter().find(|i| i.name == "road-ne").unwrap();
+        let g = road.build_lcc(0.25, 42);
+        let (lb, _, _) = kadabra_graph::diameter::two_sweep(&g, 0);
+        let rmat_inst = s.iter().find(|i| i.name == "rmat-orkut").unwrap();
+        let g2 = rmat_inst.build_lcc(0.25, 42);
+        let (lb2, _, _) = kadabra_graph::diameter::two_sweep(&g2, 0);
+        assert!(
+            lb > 10 * lb2,
+            "road diameter {lb} must dwarf complex-network diameter {lb2}"
+        );
+    }
+
+    #[test]
+    fn scale_pow2_clamps() {
+        assert_eq!(scale_pow2(13, 1.0), 13);
+        assert_eq!(scale_pow2(13, 2.0), 14);
+        assert_eq!(scale_pow2(13, 0.5), 12);
+        assert_eq!(scale_pow2(13, 0.25), 11);
+        assert_eq!(scale_pow2(7, 0.25), 6); // clamped
+    }
+
+    #[test]
+    fn builders_are_seed_deterministic() {
+        let s = suite();
+        let a = s[0].build_lcc(0.1, 7);
+        let b = s[0].build_lcc(0.1, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,160 @@
+//! Virtual-time simulation of the "simple" fork-join parallelization
+//! (Section III-B of the paper): per round, every thread takes a fixed
+//! number of samples, a blocking barrier synchronizes, aggregation and the
+//! stopping check run with **no overlap**, then the next round starts.
+//!
+//! Used by the `exp_ablation_naive` experiment to quantify the paper's claim
+//! that such schemes "are known to not scale well, even on shared-memory
+//! machines": the barrier charges every round with the *maximum* of the
+//! per-thread sums (straggler effect), and aggregation + check are pure
+//! serial additions on top.
+
+use crate::calibrate::CostModel;
+use crate::sim::SimReport;
+use crate::spec::ClusterSpec;
+use kadabra_core::bounds::stopping_condition;
+use kadabra_core::calibration::calibration_sample_count;
+use kadabra_core::phases::scores_from_counts;
+use kadabra_core::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use kadabra_core::{KadabraConfig, Prepared};
+use kadabra_graph::Graph;
+
+/// Simulates the naive scheme with `threads` shared-memory threads on one
+/// node (NUMA penalty applied, matching a single process spanning sockets).
+pub fn simulate_naive(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    prepared: &Prepared,
+    threads: usize,
+    spec: &ClusterSpec,
+    cost: &CostModel,
+) -> SimReport {
+    cfg.validate();
+    assert!(threads >= 1);
+    let n = g.num_nodes();
+    let omega = prepared.omega;
+    let n0 = cfg.n0(threads).max(8);
+    let numa_mul = spec.numa_sampling_penalty;
+    let frame_bytes = (n as u64 + 1) * 8;
+
+    let tau0 = calibration_sample_count(cfg, omega);
+    let per_thread = tau0.div_ceil(threads as u64);
+    let calibration_ns =
+        (per_thread as f64 * cost.mean_sample_ns() * numa_mul) as u64 + cost.delta_fit_ns;
+
+    let mut samplers: Vec<ThreadSampler> = (0..threads)
+        .map(|t| ThreadSampler::new(n, cfg.seed, 0, ADS_STREAM_OFFSET + t))
+        .collect();
+    let mut dur_rng = CostModel::duration_rng(cfg.seed ^ 0x4A1);
+
+    let mut counts = vec![0u64; n];
+    let mut tau = 0u64;
+    let mut clock_ns = 0u64;
+    let mut report = SimReport {
+        scores: Vec::new(),
+        samples: 0,
+        omega,
+        epochs: 0,
+        ads_ns: 0,
+        calibration_ns,
+        diameter_ns: cost.diameter_ns,
+        barrier_wait_ns: 0,
+        reduce_ns: 0,
+        transition_ns: 0,
+        check_ns: 0,
+        comm_bytes: 0,
+        total_threads: threads,
+    };
+
+    loop {
+        // Each thread takes n0 samples; the round lasts as long as the
+        // slowest thread (blocking barrier).
+        let mut slowest = 0u64;
+        let mut fastest = u64::MAX;
+        for sampler in samplers.iter_mut() {
+            let mut busy = 0u64;
+            for _ in 0..n0 {
+                for &v in sampler.sample(g) {
+                    counts[v as usize] += 1;
+                }
+                busy += (cost.draw_sample_ns(&mut dur_rng) as f64 * numa_mul) as u64;
+            }
+            slowest = slowest.max(busy);
+            fastest = fastest.min(busy);
+        }
+        tau += n0 * threads as u64;
+        clock_ns += slowest;
+        report.barrier_wait_ns += slowest - fastest; // stragglers' cost
+
+        // Non-overlapped aggregation of T frames + check.
+        let agg = spec.aggregate_ns(threads as u64 * frame_bytes);
+        let check = cost.check_ns(n);
+        clock_ns += agg + check;
+        report.reduce_ns += agg;
+        report.check_ns += check;
+        report.comm_bytes += threads as u64 * frame_bytes;
+        report.epochs += 1;
+
+        if stopping_condition(
+            &counts,
+            tau,
+            cfg.epsilon,
+            omega,
+            &prepared.calibration.delta_l,
+            &prepared.calibration.delta_u,
+        ) {
+            break;
+        }
+    }
+
+    report.samples = tau;
+    report.scores = scores_from_counts(&counts, tau);
+    report.ads_ns = clock_ns;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_core::prepare;
+    use kadabra_graph::generators::{grid, GridConfig};
+
+    #[test]
+    fn naive_sim_terminates_and_accounts() {
+        let g = grid(GridConfig { rows: 8, cols: 8, diagonal_prob: 0.0, seed: 0 });
+        let cfg = KadabraConfig::new(0.08, 0.1);
+        let prepared = prepare(&g, &cfg);
+        let cost = CostModel::synthetic(100_000);
+        let r = simulate_naive(&g, &cfg, &prepared, 4, &ClusterSpec::default(), &cost);
+        assert!(r.samples > 0);
+        assert!(r.epochs >= 1);
+        assert_eq!(r.samples, r.epochs * cfg.n0(4).max(8) * 4);
+        assert!(r.ads_ns > 0);
+    }
+
+    #[test]
+    fn overlapped_epoch_sim_beats_naive_at_scale() {
+        // The headline claim of Section III-B, at equal thread counts on one
+        // simulated node.
+        use crate::sim::{simulate, ReduceStrategy, SimConfig};
+        use kadabra_core::ClusterShape;
+        let g = grid(GridConfig { rows: 10, cols: 10, diagonal_prob: 0.0, seed: 0 });
+        let cfg = KadabraConfig::new(0.06, 0.1);
+        let prepared = prepare(&g, &cfg);
+        let cost = CostModel::synthetic(50_000);
+        let spec = ClusterSpec::default();
+        let naive = simulate_naive(&g, &cfg, &prepared, 8, &spec, &cost);
+        let sim = SimConfig {
+            shape: ClusterShape { ranks: 1, ranks_per_node: 1, threads_per_rank: 8 },
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: true,
+        };
+        let epoch = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
+        // With constant sample costs the straggler penalty vanishes, but the
+        // non-overlapped agg+check still taxes every naive round.
+        let naive_overhead = naive.reduce_ns + naive.check_ns;
+        assert!(naive_overhead > 0);
+        assert!(naive.ads_ns >= epoch.ads_ns * 9 / 10,
+            "naive {} should not beat overlapped {} materially", naive.ads_ns, epoch.ads_ns);
+    }
+}

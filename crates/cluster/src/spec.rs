@@ -1,0 +1,125 @@
+//! Hardware description of the simulated cluster.
+
+/// Interconnect model: Hockney α-β with binomial-tree collectives.
+///
+/// A message of `m` bytes costs `α + m/B`; a reduction or broadcast over `k`
+/// participants runs `⌈log₂ k⌉` rounds. Defaults approximate the paper's
+/// Intel Omni-Path fabric (100 Gbit/s class: α ≈ 2 µs, B ≈ 10 GB/s
+/// effective).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// Per-message latency in nanoseconds.
+    pub alpha_ns: u64,
+    /// Bandwidth in bytes per nanosecond (= GB/s).
+    pub bytes_per_ns: f64,
+    /// Slowdown factor of `MPI_Ireduce` progress relative to a blocking
+    /// reduce (Section IV-F: "MPI_Ireduce often progresses much slowlier
+    /// than MPI_Reduce in common MPI implementations").
+    pub ireduce_progress_penalty: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel { alpha_ns: 2_000, bytes_per_ns: 10.0, ireduce_progress_penalty: 4.0 }
+    }
+}
+
+impl NetworkModel {
+    /// Point-to-point cost of an `m`-byte message.
+    pub fn message_ns(&self, bytes: u64) -> u64 {
+        self.alpha_ns + (bytes as f64 / self.bytes_per_ns) as u64
+    }
+
+    /// Binomial-tree collective (reduce or broadcast) over `k` participants
+    /// moving `bytes` per hop.
+    pub fn tree_collective_ns(&self, k: usize, bytes: u64) -> u64 {
+        let rounds = (k.max(1) as f64).log2().ceil() as u64;
+        rounds * self.message_ns(bytes)
+    }
+
+    /// Barrier over `k` participants after the last arrival (payload-free
+    /// dissemination).
+    pub fn barrier_ns(&self, k: usize) -> u64 {
+        let rounds = (k.max(1) as f64).log2().ceil() as u64;
+        rounds * self.alpha_ns
+    }
+}
+
+/// The machine the paper evaluates on: 16 compute nodes, two Xeon Gold 6126
+/// sockets (12 cores each) per node, 192 GiB RAM, Omni-Path.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// NUMA sockets per compute node.
+    pub sockets_per_node: usize,
+    /// Cores (= max sampling threads) per socket.
+    pub cores_per_socket: usize,
+    /// Interconnect.
+    pub network: NetworkModel,
+    /// Multiplier on per-sample cost when one process spans all sockets of a
+    /// node (remote-socket cache misses during BFS). The paper measured
+    /// launching one process per socket to be "20-30%" faster, so the
+    /// spanning penalty defaults to 1.25.
+    pub numa_sampling_penalty: f64,
+    /// Intra-node memory bandwidth for frame aggregation, bytes/ns.
+    pub memory_bytes_per_ns: f64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            sockets_per_node: 2,
+            cores_per_socket: 12,
+            network: NetworkModel::default(),
+            numa_sampling_penalty: 1.25,
+            memory_bytes_per_ns: 8.0,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Cores per compute node.
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets_per_node * self.cores_per_socket
+    }
+
+    /// Cost of folding `bytes` of state frames within a process/node.
+    pub fn aggregate_ns(&self, bytes: u64) -> u64 {
+        // Read + write per byte, plus a small fixed overhead.
+        500 + (2.0 * bytes as f64 / self.memory_bytes_per_ns) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_cost_combines_latency_and_bandwidth() {
+        let net = NetworkModel { alpha_ns: 1000, bytes_per_ns: 10.0, ireduce_progress_penalty: 1.0 };
+        assert_eq!(net.message_ns(0), 1000);
+        assert_eq!(net.message_ns(10_000), 1000 + 1000);
+    }
+
+    #[test]
+    fn tree_rounds_are_logarithmic() {
+        let net = NetworkModel { alpha_ns: 100, bytes_per_ns: 1.0, ireduce_progress_penalty: 1.0 };
+        assert_eq!(net.tree_collective_ns(1, 0), 0);
+        assert_eq!(net.tree_collective_ns(2, 0), 100);
+        assert_eq!(net.tree_collective_ns(8, 0), 300);
+        assert_eq!(net.tree_collective_ns(9, 0), 400);
+        assert_eq!(net.barrier_ns(16), 400);
+    }
+
+    #[test]
+    fn default_spec_matches_paper_hardware() {
+        let spec = ClusterSpec::default();
+        assert_eq!(spec.cores_per_node(), 24);
+        assert!(spec.numa_sampling_penalty > 1.0);
+    }
+
+    #[test]
+    fn aggregation_cost_scales_with_bytes() {
+        let spec = ClusterSpec::default();
+        assert!(spec.aggregate_ns(1 << 20) > spec.aggregate_ns(1 << 10));
+    }
+}

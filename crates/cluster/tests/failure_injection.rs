@@ -1,0 +1,133 @@
+//! Failure-injection tests for the discrete-event simulator: pathological
+//! cost models and degenerate cluster shapes must neither wedge the event
+//! loop nor corrupt the statistical results.
+
+use kadabra_cluster::{simulate, ClusterSpec, CostModel, NetworkModel, ReduceStrategy, SimConfig};
+use kadabra_core::{prepare, ClusterShape, KadabraConfig};
+use kadabra_graph::generators::{grid, GridConfig};
+
+fn setup() -> (kadabra_graph::Graph, KadabraConfig, kadabra_core::Prepared) {
+    let g = grid(GridConfig { rows: 7, cols: 7, diagonal_prob: 0.0, seed: 0 });
+    let cfg = KadabraConfig::new(0.1, 0.1);
+    let prepared = prepare(&g, &cfg);
+    (g, cfg, prepared)
+}
+
+fn shape(ranks: usize, rpn: usize, tpr: usize) -> SimConfig {
+    SimConfig {
+        shape: ClusterShape { ranks, ranks_per_node: rpn, threads_per_rank: tpr },
+        strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+        numa_penalty: false,
+    }
+}
+
+#[test]
+fn extreme_heavy_tail_sample_distribution() {
+    let (g, cfg, prepared) = setup();
+    // 1 µs samples with a rare 100 ms straggler: the epoch machinery must
+    // still make progress and terminate.
+    let cost = CostModel {
+        sample_ns: {
+            let mut v = vec![1_000u64; 99];
+            v.push(100_000_000);
+            v
+        },
+        check_ns_per_vertex: 2.0,
+        check_ns_fixed: 100,
+        diameter_ns: 1_000,
+        delta_fit_ns: 1_000,
+    };
+    let r = simulate(&g, &cfg, &prepared, &shape(4, 2, 3), &ClusterSpec::default(), &cost);
+    assert!(r.samples > 0);
+    assert!(r.epochs >= 1);
+    assert!(r.ads_ns > 0);
+}
+
+#[test]
+fn glacial_network_still_terminates() {
+    let (g, cfg, prepared) = setup();
+    let cost = CostModel::synthetic(10_000);
+    // 1 ms latency, ~1 MB/s bandwidth: rounds are entirely latency-bound.
+    let spec = ClusterSpec {
+        network: NetworkModel {
+            alpha_ns: 1_000_000,
+            bytes_per_ns: 0.001,
+            ireduce_progress_penalty: 4.0,
+        },
+        ..ClusterSpec::default()
+    };
+    let slow = simulate(&g, &cfg, &prepared, &shape(8, 2, 2), &spec, &cost);
+    let fast = simulate(
+        &g, &cfg, &prepared, &shape(8, 2, 2), &ClusterSpec::default(), &cost,
+    );
+    assert!(slow.samples > 0);
+    assert!(
+        slow.ads_ns > fast.ads_ns,
+        "a glacial network must cost virtual time: {} !> {}",
+        slow.ads_ns,
+        fast.ads_ns
+    );
+}
+
+#[test]
+fn single_thread_cluster_degenerates_to_sequential_shape() {
+    let (g, cfg, prepared) = setup();
+    let cost = CostModel::synthetic(50_000);
+    let r = simulate(&g, &cfg, &prepared, &shape(1, 1, 1), &ClusterSpec::default(), &cost);
+    // One rank: the "barrier" completes instantly; the only wait is the
+    // polling granularity (the thread notices at its next sample boundary),
+    // so at most one sample duration per epoch.
+    assert!(
+        r.barrier_wait_ns <= r.epochs * 50_000,
+        "barrier wait {} exceeds polling granularity over {} epochs",
+        r.barrier_wait_ns,
+        r.epochs
+    );
+    assert!(r.samples > 0);
+}
+
+#[test]
+fn ragged_node_assignment() {
+    // 5 ranks over nodes of 2: last node hosts a single rank.
+    let (g, cfg, prepared) = setup();
+    let cost = CostModel::synthetic(20_000);
+    let r = simulate(&g, &cfg, &prepared, &shape(5, 2, 2), &ClusterSpec::default(), &cost);
+    assert!(r.samples > 0);
+    assert!(r.epochs >= 1);
+}
+
+#[test]
+fn zero_cost_check_and_aggregation() {
+    let (g, cfg, prepared) = setup();
+    let cost = CostModel {
+        sample_ns: vec![10_000],
+        check_ns_per_vertex: 0.0,
+        check_ns_fixed: 0,
+        diameter_ns: 0,
+        delta_fit_ns: 0,
+    };
+    let r = simulate(&g, &cfg, &prepared, &shape(2, 2, 2), &ClusterSpec::default(), &cost);
+    assert!(r.samples > 0);
+    assert_eq!(r.diameter_ns, 0);
+}
+
+#[test]
+fn all_strategies_agree_on_sample_semantics_under_stress() {
+    // Same seeds + same cost model: the three strategies may take different
+    // numbers of samples (different stopping times) but all must satisfy
+    // the score invariants.
+    let (g, cfg, prepared) = setup();
+    let cost = CostModel::synthetic(5_000);
+    for strategy in [
+        ReduceStrategy::IbarrierThenBlockingReduce,
+        ReduceStrategy::Ireduce,
+        ReduceStrategy::FullyBlocking,
+    ] {
+        let sim = SimConfig { strategy, ..shape(6, 2, 4) };
+        let r = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
+        assert!(r.samples > 0, "{strategy:?}");
+        for s in &r.scores {
+            assert!((0.0..=1.0).contains(s), "{strategy:?}");
+        }
+    }
+}

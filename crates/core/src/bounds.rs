@@ -1,0 +1,215 @@
+//! KADABRA's statistical machinery: the static sample cap ω and the
+//! per-vertex deviation bounds `f` and `g` of the adaptive stopping
+//! condition.
+//!
+//! The stopping rule (Section III-A of the paper): sampling may stop at τ
+//! samples if for **every** vertex `v`
+//!
+//! ```text
+//! f(b̃(v), δ_L(v), ω, τ) < ε   and   g(b̃(v), δ_U(v), ω, τ) < ε
+//! ```
+//!
+//! where `f`/`g` bound the downward/upward deviation of the estimate `b̃(v)`
+//! from the true betweenness (KADABRA Theorem 5, a martingale/Bernstein-type
+//! bound parameterized by the a-priori cap ω):
+//!
+//! ```text
+//! f = ln(1/δ_L)/τ · ( −u + sqrt(u² + 2 b̃ ω / ln(1/δ_L)) ),  u = ω/τ − 1/3
+//! g = ln(1/δ_U)/τ · (  w + sqrt(w² + 2 b̃ ω / ln(1/δ_U)) ),  w = ω/τ + 1/3
+//! ```
+//!
+//! The cap itself comes from the VC-dimension argument of the RK algorithm:
+//! `ω = (c/ε²)(⌊log₂(VD − 2)⌋ + 1 + ln(2/δ))` with `c = 0.5` and VD the
+//! vertex diameter (number of vertices of the longest shortest path). When
+//! τ reaches ω the algorithm may stop unconditionally with the same
+//! guarantee.
+
+/// Static maximum number of samples ω for error `eps`, failure probability
+/// `delta`, and vertex-diameter upper bound `vertex_diameter`.
+pub fn omega(c: f64, eps: f64, delta: f64, vertex_diameter: u32) -> u64 {
+    assert!(eps > 0.0 && eps < 1.0);
+    assert!(delta > 0.0 && delta < 1.0);
+    assert!(c > 0.0);
+    // ⌊log₂(VD−2)⌋ degenerates for tiny diameters; clamp the argument to 2
+    // (log term 1) exactly like practical KADABRA implementations.
+    let vd = (vertex_diameter.max(4) - 2) as f64;
+    let bound = (c / (eps * eps)) * (vd.log2().floor() + 1.0 + (2.0 / delta).ln());
+    bound.ceil() as u64
+}
+
+/// Downward-deviation bound `f`: with probability ≥ 1 − δ_L the true
+/// betweenness exceeds `b̃ − f`.
+#[inline]
+pub fn f_bound(b_tilde: f64, delta_l: f64, omega: u64, tau: u64) -> f64 {
+    debug_assert!(tau > 0);
+    debug_assert!((0.0..1.0).contains(&delta_l) && delta_l > 0.0);
+    let log_term = (1.0 / delta_l).ln();
+    let tau_f = tau as f64;
+    let u = omega as f64 / tau_f - 1.0 / 3.0;
+    log_term / tau_f * (-u + (u * u + 2.0 * b_tilde * omega as f64 / log_term).sqrt())
+}
+
+/// Upward-deviation bound `g`: with probability ≥ 1 − δ_U the true
+/// betweenness is below `b̃ + g`.
+#[inline]
+pub fn g_bound(b_tilde: f64, delta_u: f64, omega: u64, tau: u64) -> f64 {
+    debug_assert!(tau > 0);
+    debug_assert!((0.0..1.0).contains(&delta_u) && delta_u > 0.0);
+    let log_term = (1.0 / delta_u).ln();
+    let tau_f = tau as f64;
+    let w = omega as f64 / tau_f + 1.0 / 3.0;
+    log_term / tau_f * (w + (w * w + 2.0 * b_tilde * omega as f64 / log_term).sqrt())
+}
+
+/// Evaluates the full stopping condition over aggregated counts: `true` iff
+/// every vertex satisfies both bounds at error `eps` (or τ ≥ ω).
+///
+/// This is the `CHECKFORSTOP` of Algorithms 1 and 2; it runs on a consistent
+/// aggregated state only (Section III-B: f and g are not monotone in τ and
+/// c̃, so checking racy counts would be unsound).
+pub fn stopping_condition(
+    counts: &[u64],
+    tau: u64,
+    eps: f64,
+    omega: u64,
+    delta_l: &[f64],
+    delta_u: &[f64],
+) -> bool {
+    debug_assert_eq!(counts.len(), delta_l.len());
+    debug_assert_eq!(counts.len(), delta_u.len());
+    if tau == 0 {
+        return false;
+    }
+    if tau >= omega {
+        return true;
+    }
+    let tau_f = tau as f64;
+    counts.iter().enumerate().all(|(v, &c)| {
+        let b = c as f64 / tau_f;
+        f_bound(b, delta_l[v], omega, tau) < eps && g_bound(b, delta_u[v], omega, tau) < eps
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omega_matches_formula() {
+        // eps=0.1, delta=0.1, VD=10: 50 * (floor(log2 8) + 1 + ln 20).
+        let expect = (50.0f64 * (3.0 + 1.0 + 20.0f64.ln())).ceil() as u64;
+        assert_eq!(omega(0.5, 0.1, 0.1, 10), expect);
+    }
+
+    #[test]
+    fn omega_scales_inverse_quadratically_with_eps() {
+        let w1 = omega(0.5, 0.01, 0.1, 100);
+        let w2 = omega(0.5, 0.001, 0.1, 100);
+        let ratio = w2 as f64 / w1 as f64;
+        assert!((ratio - 100.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn omega_handles_tiny_diameters() {
+        for vd in 0..6 {
+            assert!(omega(0.5, 0.1, 0.1, vd) > 0);
+        }
+        assert_eq!(omega(0.5, 0.1, 0.1, 0), omega(0.5, 0.1, 0.1, 4));
+    }
+
+    #[test]
+    fn omega_grows_with_diameter() {
+        assert!(omega(0.5, 0.1, 0.1, 1000) > omega(0.5, 0.1, 0.1, 10));
+    }
+
+    #[test]
+    fn f_is_zero_for_zero_estimate() {
+        assert_eq!(f_bound(0.0, 0.1, 1000, 100), 0.0);
+    }
+
+    #[test]
+    fn g_is_positive_for_zero_estimate() {
+        assert!(g_bound(0.0, 0.1, 1000, 100) > 0.0);
+    }
+
+    #[test]
+    fn bounds_shrink_with_tau() {
+        let omega = 10_000;
+        let mut prev_f = f64::INFINITY;
+        let mut prev_g = f64::INFINITY;
+        for tau in [100, 1_000, 5_000, 10_000] {
+            let f = f_bound(0.2, 0.05, omega, tau);
+            let g = g_bound(0.2, 0.05, omega, tau);
+            assert!(f < prev_f, "f must shrink: {f} !< {prev_f}");
+            assert!(g < prev_g, "g must shrink: {g} !< {prev_g}");
+            prev_f = f;
+            prev_g = g;
+        }
+    }
+
+    #[test]
+    fn bounds_grow_with_estimate() {
+        let omega = 10_000;
+        assert!(f_bound(0.5, 0.05, omega, 1000) > f_bound(0.1, 0.05, omega, 1000));
+        assert!(g_bound(0.5, 0.05, omega, 1000) > g_bound(0.1, 0.05, omega, 1000));
+    }
+
+    #[test]
+    fn bounds_grow_as_delta_shrinks() {
+        let omega = 10_000;
+        assert!(f_bound(0.2, 0.001, omega, 1000) > f_bound(0.2, 0.1, omega, 1000));
+        assert!(g_bound(0.2, 0.001, omega, 1000) > g_bound(0.2, 0.1, omega, 1000));
+    }
+
+    #[test]
+    fn g_dominates_f_symmetry() {
+        // For equal parameters the upper bound g is strictly larger than f
+        // (w > u and both terms positive).
+        let omega = 5_000;
+        for tau in [10, 100, 1000] {
+            for b in [0.0, 0.1, 0.5] {
+                assert!(g_bound(b, 0.05, omega, tau) >= f_bound(b, 0.05, omega, tau));
+            }
+        }
+    }
+
+    #[test]
+    fn stopping_is_false_initially_and_true_at_omega() {
+        let n = 10;
+        let counts = vec![0u64; n];
+        let dl = vec![0.001; n];
+        let du = vec![0.001; n];
+        assert!(!stopping_condition(&counts, 0, 0.01, 1000, &dl, &du));
+        assert!(!stopping_condition(&counts, 1, 0.0001, 1_000_000, &dl, &du));
+        assert!(stopping_condition(&counts, 1000, 0.0001, 1000, &dl, &du));
+    }
+
+    #[test]
+    fn stopping_becomes_true_for_loose_eps() {
+        let n = 4;
+        let counts = vec![10u64, 0, 3, 1];
+        let dl = vec![0.01; n];
+        let du = vec![0.01; n];
+        let omega = 20_000;
+        // Loose epsilon: satisfied well before omega.
+        assert!(stopping_condition(&counts, 5_000, 0.9, omega, &dl, &du));
+        // Tight epsilon: not satisfied at small tau.
+        assert!(!stopping_condition(&counts, 10, 0.001, omega, &dl, &du));
+    }
+
+    #[test]
+    fn stopping_requires_all_vertices() {
+        let omega = 50_000;
+        let tau = 20_000u64;
+        let dl = vec![0.01; 2];
+        let du = vec![0.01; 2];
+        // Vertex 1 has a huge estimate; with a mid-range eps vertex 0 passes
+        // but vertex 1 does not.
+        let counts = vec![0u64, tau];
+        let eps = 0.02;
+        assert!(f_bound(0.0, 0.01, omega, tau) < eps);
+        assert!(g_bound(0.0, 0.01, omega, tau) < eps);
+        assert!(f_bound(1.0, 0.01, omega, tau) > eps);
+        assert!(!stopping_condition(&counts, tau, eps, omega, &dl, &du));
+    }
+}

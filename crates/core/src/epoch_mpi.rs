@@ -1,0 +1,328 @@
+//! **Algorithm 2** of the paper: the epoch-based MPI parallelization — the
+//! full system combining the wait-free epoch framework (within a rank) with
+//! non-blocking MPI collectives (across ranks), plus the NUMA-aware
+//! hierarchical aggregation of Section IV-E and the `Ibarrier` + blocking
+//! `Reduce` strategy of Section IV-F.
+//!
+//! Topology (paper Section IV-E): each compute node hosts one rank per NUMA
+//! socket; a *node-local* communicator aggregates frames inside the node
+//! (shared-memory RMA in the paper), and a *leader* communicator (the first
+//! rank of each node) performs the global reduction. Epoch ends are never
+//! synchronized across ranks, yet stay within ±1 epoch because the global
+//! collective acts as a non-blocking barrier.
+
+use crate::bounds::stopping_condition;
+use crate::config::{ClusterShape, KadabraConfig};
+use crate::phases::{calibration_samples_for_thread, diameter_phase, scores_from_counts};
+use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use crate::{bounds, calibration::Calibration};
+use kadabra_epoch::EpochFramework;
+use kadabra_graph::Graph;
+use kadabra_mpisim::{Communicator, Universe};
+use std::time::Instant;
+
+/// Per-rank outcome, used by the driver to assemble global statistics.
+struct RankOutcome {
+    result: Option<BetweennessResult>,
+    is_leader: bool,
+    local_bytes: u64,
+    leader_bytes: u64,
+    world_bytes: u64,
+}
+
+/// Runs Algorithm 2 on a simulated cluster of the given shape. Returns rank
+/// 0's result with cluster-wide communication statistics attached.
+pub fn kadabra_epoch_mpi(g: &Graph, cfg: &KadabraConfig, shape: ClusterShape) -> BetweennessResult {
+    cfg.validate();
+    shape.validate();
+    assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
+
+    let outcomes = Universe::run(shape.ranks, |comm| rank_main(g, cfg, shape, comm));
+
+    // Total communication: node-local engines are shared per node (count
+    // each once, via its leader), the leader and world engines are global
+    // (count once, via rank 0).
+    let local_total: u64 = outcomes
+        .iter()
+        .filter(|o| o.is_leader)
+        .map(|o| o.local_bytes)
+        .sum();
+    let leader_total = outcomes[0].leader_bytes;
+    let world_total = outcomes[0].world_bytes;
+
+    let mut result = outcomes
+        .into_iter()
+        .next()
+        .unwrap()
+        .result
+        .expect("rank 0 always produces the result");
+    result.stats.comm_bytes = local_total + leader_total + world_total;
+    result
+}
+
+/// Per-rank body of Algorithm 2.
+fn rank_main(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    shape: ClusterShape,
+    world: Communicator,
+) -> RankOutcome {
+    let n = g.num_nodes();
+    let rank = world.rank();
+    let threads = shape.threads_per_rank;
+
+    // Section IV-E communicators: node-local + leaders.
+    let node_id = (rank / shape.ranks_per_node) as u32;
+    let local = world.split(node_id, rank as i64);
+    let is_leader = local.rank() == 0;
+    let leaders = world.split(u32::from(!is_leader), rank as i64);
+
+    // Phase 1: sequential diameter at rank 0, broadcast.
+    let diam_start = Instant::now();
+    let vd = if rank == 0 {
+        let (vd, _) = diameter_phase(g, cfg);
+        world.bcast_u64(0, Some(vd as u64)) as u32
+    } else {
+        world.bcast_u64(0, None) as u32
+    };
+    let diameter_time = diam_start.elapsed();
+    let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
+
+    // Phase 2: calibration — all P·T threads sample in parallel, blocking
+    // aggregation (Section IV-F: "Parallelizing the computation of the
+    // initial fixed number of samples is straightforward").
+    let calib_start = Instant::now();
+    let total_threads = shape.total_threads();
+    let mut calib = vec![0u64; n + 1];
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move |_| {
+                    let mut sampler = ThreadSampler::new(n, cfg.seed, rank, t);
+                    let mut counts = vec![0u64; n];
+                    let taken = calibration_samples_for_thread(
+                        g,
+                        &mut sampler,
+                        &mut counts,
+                        cfg,
+                        omega,
+                        total_threads,
+                    );
+                    (counts, taken)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (counts, taken) = h.join().expect("calibration worker");
+            for (a, c) in calib.iter_mut().zip(counts) {
+                *a += c;
+            }
+            calib[n] += taken;
+        }
+    })
+    .expect("calibration scope");
+    let total = world.allreduce_sum_u64(&calib);
+    let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
+    let calibration_time = calib_start.elapsed();
+
+    // Phase 3: Algorithm 2.
+    let ads_start = Instant::now();
+    let n0 = cfg.n0(total_threads);
+    let fw = EpochFramework::new(n, threads);
+    let mut stats = SamplingStats::default();
+    let mut s_global = vec![0u64; n + 1]; // aggregated frame at world rank 0
+
+    crossbeam::scope(|s| {
+        // Worker threads t = 1..T (Algorithm 2, lines 5-9).
+        for t in 1..threads {
+            let fw = &fw;
+            s.spawn(move |_| {
+                let mut sampler =
+                    ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET + t);
+                let mut h = fw.handle(t);
+                while !fw.should_terminate() {
+                    let interior = sampler.sample(g);
+                    h.record_sample(interior);
+                    fw.check_transition(&mut h);
+                }
+            });
+        }
+
+        // Thread 0 (Algorithm 2, lines 10-31).
+        let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET);
+        let mut h = fw.handle(0);
+        let mut epoch = 0u32;
+        loop {
+            // Lines 12-13: n0 samples into the current epoch.
+            for _ in 0..n0 {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            // Lines 14-15: command and await the epoch transition,
+            // overlapping with sampling into the next epoch's frame.
+            fw.force_transition(&mut h, epoch);
+            let wait_start = Instant::now();
+            while !fw.transition_done(epoch) {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            stats.transition_wait += wait_start.elapsed();
+
+            // Lines 16-18: aggregate the epoch's frames locally.
+            let mut epoch_frame = vec![0u64; n + 1];
+            let tau_epoch = fw.aggregate_epoch(epoch, &mut epoch_frame[..n]);
+            epoch_frame[n] = tau_epoch;
+
+            // Section IV-E: node-local aggregation (the paper uses MPI RMA
+            // over shared memory; semantically a node-local reduce),
+            // overlapped with sampling.
+            let mut req = local.ireduce_sum_u64(0, &epoch_frame);
+            while !req.test() {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            let node_frame = req.into_result().unwrap();
+
+            // Section IV-F: leaders run Ibarrier (overlapped), then a
+            // blocking Reduce — the strategy that outperformed MPI_Ireduce.
+            let mut d = 0u64;
+            if is_leader {
+                let bar_start = Instant::now();
+                let mut bar = leaders.ibarrier();
+                while !bar.test() {
+                    let interior = sampler.sample(g);
+                    h.record_sample(interior);
+                }
+                stats.barrier_wait += bar_start.elapsed();
+
+                let reduce_start = Instant::now();
+                let reduced =
+                    leaders.reduce_sum_u64(0, &node_frame.expect("leader holds node frame"));
+                stats.reduce_time += reduce_start.elapsed();
+
+                // Lines 22-24: world rank 0 folds and checks.
+                if rank == 0 {
+                    let reduced = reduced.expect("leader root receives reduction");
+                    for (a, r) in s_global.iter_mut().zip(&reduced) {
+                        *a += r;
+                    }
+                    let check_start = Instant::now();
+                    let stop = stopping_condition(
+                        &s_global[..n],
+                        s_global[n],
+                        cfg.epsilon,
+                        omega,
+                        &calibration.delta_l,
+                        &calibration.delta_u,
+                    );
+                    stats.check_time += check_start.elapsed();
+                    d = u64::from(stop);
+                }
+            }
+
+            // Lines 25-27: broadcast the termination flag world-wide,
+            // overlapped with sampling.
+            let mut breq = world.ibcast_u64(0, (rank == 0).then_some(d));
+            while !breq.test() {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            stats.epochs += 1;
+
+            // Lines 28-30.
+            if breq.into_result().unwrap() != 0 {
+                fw.signal_termination();
+                break;
+            }
+            epoch += 1;
+        }
+    })
+    .expect("adaptive sampling scope");
+
+    let result = if rank == 0 {
+        let tau = s_global[n];
+        stats.samples = tau;
+        Some(BetweennessResult {
+            scores: scores_from_counts(&s_global[..n], tau),
+            samples: tau,
+            omega,
+            vertex_diameter: vd,
+            timings: PhaseTimings {
+                diameter: diameter_time,
+                calibration: calibration_time,
+                adaptive_sampling: ads_start.elapsed(),
+            },
+            stats,
+        })
+    } else {
+        None
+    };
+    RankOutcome {
+        result,
+        is_leader,
+        local_bytes: local.bytes_transferred(),
+        leader_bytes: leaders.bytes_transferred(),
+        world_bytes: world.bytes_transferred(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_baselines::brandes;
+    use kadabra_graph::components::largest_component;
+    use kadabra_graph::generators::{gnm, grid, GnmConfig, GridConfig};
+
+    #[test]
+    fn minimal_cluster_terminates() {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let shape = ClusterShape { ranks: 1, ranks_per_node: 1, threads_per_rank: 1 };
+        let r = kadabra_epoch_mpi(&g, &KadabraConfig::new(0.1, 0.1), shape);
+        assert!(r.samples > 0);
+        assert!(r.stats.epochs >= 1);
+    }
+
+    #[test]
+    fn hierarchical_cluster_accuracy() {
+        let g = gnm(GnmConfig { n: 50, m: 130, seed: 12 });
+        let (lcc, _) = largest_component(&g);
+        let cfg = KadabraConfig { epsilon: 0.04, delta: 0.1, seed: 31, ..Default::default() };
+        // 4 ranks over 2 nodes, 2 threads each: exercises every communicator.
+        let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
+        let r = kadabra_epoch_mpi(&lcc, &cfg, shape);
+        let exact = brandes(&lcc);
+        let worst = r
+            .scores
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst}");
+    }
+
+    #[test]
+    fn various_shapes_terminate() {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let cfg = KadabraConfig::new(0.1, 0.1);
+        for shape in [
+            ClusterShape { ranks: 2, ranks_per_node: 1, threads_per_rank: 1 },
+            ClusterShape { ranks: 2, ranks_per_node: 2, threads_per_rank: 2 },
+            ClusterShape { ranks: 3, ranks_per_node: 2, threads_per_rank: 1 },
+        ] {
+            let r = kadabra_epoch_mpi(&g, &cfg, shape);
+            assert!(r.samples > 0, "{shape:?}");
+            assert!(r.stats.comm_bytes > 0, "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let g = grid(GridConfig { rows: 6, cols: 6, diagonal_prob: 0.0, seed: 0 });
+        let shape = ClusterShape { ranks: 2, ranks_per_node: 2, threads_per_rank: 2 };
+        let r = kadabra_epoch_mpi(&g, &KadabraConfig::new(0.08, 0.1), shape);
+        for s in &r.scores {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **KADABRA adaptive-sampling betweenness approximation** — sequential,
+//! shared-memory parallel (epoch-based, Euro-Par'19) and MPI-parallel
+//! (IPDPS'20), the primary contribution of the reproduced paper.
+//!
+//! The algorithm (Section III-A of the paper) estimates the normalized
+//! betweenness `b(v)` of every vertex by sampling random vertex pairs and
+//! uniform random shortest paths between them; `b̃(v) = c̃(v)/τ` where `c̃(v)`
+//! counts sampled paths with `v` in their interior. It improves on fixed-size
+//! sampling (RK) by *adaptive stopping*: sampling ends as soon as the
+//! per-vertex confidence bounds `f` and `g` simultaneously drop below ε for
+//! all vertices (with a statically precomputed hard cap of ω samples).
+//!
+//! Execution modes, in increasing order of paper fidelity:
+//!
+//! | Function | Paper analogue |
+//! |---|---|
+//! | [`kadabra_sequential`] | KADABRA as in Borassi & Natale (Ref. [7]) |
+//! | [`kadabra_naive_parallel`] | the "simple" parallelization dismissed in Section III-B |
+//! | [`kadabra_shared`] | the epoch-based shared-memory state of the art (Ref. [24]) |
+//! | [`kadabra_mpi_flat`] | **Algorithm 1**: pure-MPI adaptive sampling |
+//! | [`kadabra_epoch_mpi`] | **Algorithm 2**: epoch framework + hierarchical MPI |
+//!
+//! All modes share the same three phases (Section III-A): diameter
+//! computation → calibration of the per-vertex failure probabilities
+//! δ_L/δ_U → adaptive sampling; see [`phases`].
+
+pub mod bounds;
+pub mod calibration;
+pub mod config;
+pub mod epoch_mpi;
+pub mod mpi;
+pub mod naive;
+pub mod phases;
+pub mod result;
+pub mod sampler;
+pub mod sequential;
+pub mod shared;
+pub mod topk;
+pub mod variants;
+pub mod variants_parallel;
+
+pub use bounds::{f_bound, g_bound, omega};
+pub use calibration::Calibration;
+pub use config::{ClusterShape, KadabraConfig};
+pub use epoch_mpi::kadabra_epoch_mpi;
+pub use mpi::kadabra_mpi_flat;
+pub use naive::kadabra_naive_parallel;
+pub use phases::{prepare, Prepared};
+pub use result::{BetweennessResult, PhaseTimings, SamplingStats};
+pub use sampler::ThreadSampler;
+pub use sequential::kadabra_sequential;
+pub use shared::kadabra_shared;
+pub use topk::{confidence_intervals, confident_top_k, kadabra_topk, AdaptiveTopKResult, ConfidenceInterval, TopKResult};
+pub use variants::{kadabra_directed, kadabra_weighted, PathSource};
+pub use variants_parallel::{kadabra_shared_directed, kadabra_shared_weighted, ParallelPathSource};

@@ -1,0 +1,205 @@
+//! **Algorithm 1** of the paper: MPI parallelization of adaptive sampling
+//! without multithreading.
+//!
+//! Every MPI rank samples independently; every `n0` samples the ranks
+//! snapshot their local state frame, start a *non-blocking* reduction to
+//! rank 0, and keep sampling while the reduction progresses. Rank 0 folds
+//! the reduced frame into the global state, checks the stopping condition,
+//! and broadcasts the termination flag — again non-blocking, again
+//! overlapped with sampling on all ranks.
+//!
+//! The state frame travels as a `u64` vector of length `n + 1`: per-vertex
+//! counts plus τ in the last slot, so one reduction moves the entire
+//! sampling state exactly as in the paper.
+
+use crate::bounds::stopping_condition;
+use crate::config::KadabraConfig;
+use crate::phases::{calibration_samples_for_thread, diameter_phase, scores_from_counts};
+use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use crate::{bounds, calibration::Calibration};
+use kadabra_graph::Graph;
+use kadabra_mpisim::{Communicator, Universe};
+use std::time::Instant;
+
+/// Runs Algorithm 1 with `ranks` simulated MPI processes (one sampling
+/// thread each). Returns rank 0's result.
+pub fn kadabra_mpi_flat(g: &Graph, cfg: &KadabraConfig, ranks: usize) -> BetweennessResult {
+    cfg.validate();
+    assert!(ranks >= 1);
+    assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
+    let mut results = Universe::run(ranks, |comm| rank_main(g, cfg, comm));
+    results
+        .swap_remove(0)
+        .expect("rank 0 always produces the result")
+}
+
+/// Per-rank body of Algorithm 1.
+fn rank_main(g: &Graph, cfg: &KadabraConfig, comm: Communicator) -> Option<BetweennessResult> {
+    let n = g.num_nodes();
+    let rank = comm.rank();
+    let ranks = comm.size();
+
+    // Phase 1: diameter on rank 0, broadcast (the paper computes it with a
+    // sequential algorithm; other ranks idle — the Amdahl term of Fig. 2b).
+    let diam_start = Instant::now();
+    let vd = if rank == 0 {
+        let (vd, _) = diameter_phase(g, cfg);
+        comm.bcast_u64(0, Some(vd as u64)) as u32
+    } else {
+        comm.bcast_u64(0, None) as u32
+    };
+    let diameter_time = diam_start.elapsed();
+    let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
+
+    // Phase 2: calibration — parallel sampling, blocking aggregation
+    // (MPI_Reduce in the paper; we all-reduce so every rank derives the
+    // same δ budgets deterministically).
+    let calib_start = Instant::now();
+    let mut sampler = ThreadSampler::new(n, cfg.seed, rank, 0);
+    let mut counts = vec![0u64; n + 1];
+    let taken =
+        calibration_samples_for_thread(g, &mut sampler, &mut counts[..n], cfg, omega, ranks);
+    counts[n] = taken;
+    let total = comm.allreduce_sum_u64(&counts);
+    let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
+    let calibration_time = calib_start.elapsed();
+
+    // Phase 3: Algorithm 1.
+    let ads_start = Instant::now();
+    let n0 = cfg.n0(ranks);
+    let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET);
+    let mut stats = SamplingStats::default();
+    // S_loc: local state frame; S: aggregated frame at rank 0 (line 1).
+    let mut s_loc = vec![0u64; n + 1];
+    let mut s_global = vec![0u64; n + 1];
+
+    let sample_into = |frame: &mut Vec<u64>, sampler: &mut ThreadSampler| {
+        for &v in sampler.sample(g) {
+            frame[v as usize] += 1;
+        }
+        frame[n] += 1;
+    };
+
+    loop {
+        // Lines 5-6: n0 local samples.
+        for _ in 0..n0 {
+            sample_into(&mut s_loc, &mut sampler);
+        }
+        // Lines 7-8: snapshot, so overlapped samples don't corrupt the
+        // communication buffer.
+        let snapshot = std::mem::replace(&mut s_loc, vec![0u64; n + 1]);
+        // Lines 10-11: non-blocking reduce, overlapped with sampling.
+        let reduce_start = Instant::now();
+        let mut req = comm.ireduce_sum_u64(0, &snapshot);
+        while !req.test() {
+            sample_into(&mut s_loc, &mut sampler);
+        }
+        stats.reduce_time += reduce_start.elapsed();
+        stats.comm_bytes += snapshot.len() as u64 * 8;
+
+        // Lines 12-14: rank 0 folds and checks.
+        let mut d = 0u64;
+        if rank == 0 {
+            let reduced = req.into_result().unwrap().expect("root receives reduction");
+            for (a, r) in s_global.iter_mut().zip(&reduced) {
+                *a += r;
+            }
+            let tau = s_global[n];
+            let check_start = Instant::now();
+            let stop = stopping_condition(
+                &s_global[..n],
+                tau,
+                cfg.epsilon,
+                omega,
+                &calibration.delta_l,
+                &calibration.delta_u,
+            );
+            stats.check_time += check_start.elapsed();
+            d = u64::from(stop);
+        }
+        // Lines 15-17: broadcast the termination flag, overlapped.
+        let bcast_start = Instant::now();
+        let mut breq = comm.ibcast_u64(0, (rank == 0).then_some(d));
+        while !breq.test() {
+            sample_into(&mut s_loc, &mut sampler);
+        }
+        stats.barrier_wait += bcast_start.elapsed();
+        stats.epochs += 1;
+        if breq.into_result().unwrap() != 0 {
+            break;
+        }
+    }
+    stats.comm_bytes = comm.bytes_transferred();
+
+    if rank == 0 {
+        let tau = s_global[n];
+        stats.samples = tau;
+        Some(BetweennessResult {
+            scores: scores_from_counts(&s_global[..n], tau),
+            samples: tau,
+            omega,
+            vertex_diameter: vd,
+            timings: PhaseTimings {
+                diameter: diameter_time,
+                calibration: calibration_time,
+                adaptive_sampling: ads_start.elapsed(),
+            },
+            stats,
+        })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_baselines::brandes;
+    use kadabra_graph::components::largest_component;
+    use kadabra_graph::generators::{gnm, grid, GnmConfig, GridConfig};
+
+    #[test]
+    fn single_rank_reduces_to_sequential_structure() {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let r = kadabra_mpi_flat(&g, &KadabraConfig::new(0.1, 0.1), 1);
+        assert!(r.samples > 0);
+        assert!(r.stats.epochs >= 1);
+    }
+
+    #[test]
+    fn multi_rank_accuracy() {
+        let g = gnm(GnmConfig { n: 50, m: 130, seed: 8 });
+        let (lcc, _) = largest_component(&g);
+        let cfg = KadabraConfig { epsilon: 0.04, delta: 0.1, seed: 21, ..Default::default() };
+        let r = kadabra_mpi_flat(&lcc, &cfg, 4);
+        let exact = brandes(&lcc);
+        let worst = r
+            .scores
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst}");
+    }
+
+    #[test]
+    fn samples_exceed_zero_on_all_rank_counts() {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        for ranks in [1, 2, 3] {
+            let r = kadabra_mpi_flat(&g, &KadabraConfig::new(0.1, 0.1), ranks);
+            assert!(r.samples > 0, "ranks={ranks}");
+            assert!(r.stats.comm_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn overshoot_is_bounded_by_overlap() {
+        // Adaptive sampling may take more samples than strictly needed (the
+        // overlapped ones), but the total must stay within a few epochs of ω.
+        let g = grid(GridConfig { rows: 6, cols: 6, diagonal_prob: 0.0, seed: 0 });
+        let cfg = KadabraConfig::new(0.05, 0.1);
+        let r = kadabra_mpi_flat(&g, &cfg, 2);
+        assert!(r.samples <= r.omega + 4 * cfg.n0(2) * 2 + 10_000);
+    }
+}

@@ -1,0 +1,142 @@
+//! The shared phase pipeline (Section III-A): diameter → ω → calibration.
+//!
+//! Every execution mode runs the same three phases; this module hosts the
+//! phase logic so the sequential, shared-memory, MPI and discrete-event
+//! drivers orchestrate *when/where* each phase runs (and how its inputs are
+//! communicated) without duplicating *what* it computes.
+
+use crate::bounds;
+use crate::calibration::{calibration_sample_count, Calibration};
+use crate::config::KadabraConfig;
+use crate::sampler::ThreadSampler;
+use kadabra_graph::diameter::diameter;
+use kadabra_graph::{Graph, NodeId};
+use std::time::{Duration, Instant};
+
+/// Output of the preparatory phases, consumed by the adaptive-sampling
+/// phase of every execution mode.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// Vertex-diameter upper bound (diameter + 1).
+    pub vertex_diameter: u32,
+    /// Static sample cap ω.
+    pub omega: u64,
+    /// Per-vertex failure budgets.
+    pub calibration: Calibration,
+    /// Wall time of the (sequential) diameter phase.
+    pub diameter_time: Duration,
+    /// Wall time of the calibration phase.
+    pub calibration_time: Duration,
+}
+
+/// Phase 1: computes the vertex-diameter upper bound. Sequential by design —
+/// in the paper this is the Amdahl term visible in Fig. 2b. The BFS is
+/// rooted at a maximum-degree vertex (a good iFUB start on complex
+/// networks).
+pub fn diameter_phase(g: &Graph, cfg: &KadabraConfig) -> (u32, Duration) {
+    let start = Instant::now();
+    let root = (0..g.num_nodes() as NodeId)
+        .max_by_key(|&v| g.degree(v))
+        .expect("non-empty graph");
+    let d = diameter(g, root, cfg.diameter_bfs_budget);
+    (d.vertex_diameter_upper(), start.elapsed())
+}
+
+/// Phase 2 worker: takes this thread's share of the non-adaptive calibration
+/// samples, accumulating counts into `counts`. Each of the `total_threads`
+/// workers takes `ceil(τ₀ / total_threads)` samples; returns the number
+/// taken.
+pub fn calibration_samples_for_thread(
+    g: &Graph,
+    sampler: &mut ThreadSampler,
+    counts: &mut [u64],
+    cfg: &KadabraConfig,
+    omega: u64,
+    total_threads: usize,
+) -> u64 {
+    let tau0 = calibration_sample_count(cfg, omega);
+    let share = tau0.div_ceil(total_threads as u64);
+    for _ in 0..share {
+        for &v in sampler.sample(g) {
+            counts[v as usize] += 1;
+        }
+    }
+    share
+}
+
+/// Full sequential preparation: diameter, ω, calibration on one thread.
+/// Parallel modes replicate this structure with their own communication.
+pub fn prepare(g: &Graph, cfg: &KadabraConfig) -> Prepared {
+    cfg.validate();
+    assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
+    let (vd, diameter_time) = diameter_phase(g, cfg);
+    let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
+
+    let calib_start = Instant::now();
+    let mut sampler = ThreadSampler::new(g.num_nodes(), cfg.seed, 0, 0);
+    let mut counts = vec![0u64; g.num_nodes()];
+    let tau0 = calibration_samples_for_thread(g, &mut sampler, &mut counts, cfg, omega, 1);
+    let calibration = Calibration::from_counts(&counts, tau0, cfg);
+    let calibration_time = calib_start.elapsed();
+
+    Prepared { vertex_diameter: vd, omega, calibration, diameter_time, calibration_time }
+}
+
+/// Converts aggregated counts into normalized betweenness scores.
+pub fn scores_from_counts(counts: &[u64], tau: u64) -> Vec<f64> {
+    assert!(tau > 0, "no samples to normalize by");
+    counts.iter().map(|&c| c as f64 / tau as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_graph::csr::graph_from_edges;
+    use kadabra_graph::generators::{gnm, GnmConfig};
+    use kadabra_graph::components::largest_component;
+
+    #[test]
+    fn prepare_on_path_graph() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let cfg = KadabraConfig::new(0.1, 0.1);
+        let p = prepare(&g, &cfg);
+        assert_eq!(p.vertex_diameter, 6);
+        assert_eq!(p.omega, bounds::omega(0.5, 0.1, 0.1, 6));
+        assert!(p.calibration.samples >= 200);
+        assert!(p.calibration.total_budget() <= cfg.delta * 1.000001);
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let g = gnm(GnmConfig { n: 40, m: 120, seed: 2 });
+        let (lcc, _) = largest_component(&g);
+        let cfg = KadabraConfig::new(0.1, 0.1);
+        let a = prepare(&lcc, &cfg);
+        let b = prepare(&lcc, &cfg);
+        assert_eq!(a.omega, b.omega);
+        assert_eq!(a.calibration.delta_l, b.calibration.delta_l);
+    }
+
+    #[test]
+    fn calibration_share_splits_evenly() {
+        let g = gnm(GnmConfig { n: 20, m: 50, seed: 3 });
+        let (lcc, _) = largest_component(&g);
+        let n = lcc.num_nodes();
+        let cfg = KadabraConfig { calibration_samples: Some(1000), ..Default::default() };
+        let mut counts = vec![0u64; n];
+        let mut s = ThreadSampler::new(n, 1, 0, 0);
+        let taken = calibration_samples_for_thread(&lcc, &mut s, &mut counts, &cfg, 10_000, 4);
+        assert_eq!(taken, 250);
+    }
+
+    #[test]
+    fn scores_normalization() {
+        assert_eq!(scores_from_counts(&[2, 0, 4], 8), vec![0.25, 0.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn prepare_rejects_trivial_graph() {
+        prepare(&graph_from_edges(1, &[]), &KadabraConfig::default());
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-thread sampling engine.
+//!
+//! Each sampling thread owns a [`ThreadSampler`]: a deterministic RNG stream
+//! derived from `(seed, rank, thread)`, reusable BFS scratch, and the pair +
+//! path sampling loop. One call to [`ThreadSampler::sample`] = one KADABRA
+//! sample = one bidirectional BFS (the `SAMPLE()` of Algorithms 1 and 2).
+
+use kadabra_graph::bibfs::sample_shortest_path;
+use kadabra_graph::{Graph, NodeId, TraversalScratch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 finalizer — mixes the master seed with stream coordinates so
+/// that each (rank, thread) gets a decorrelated RNG stream.
+fn mix_seed(seed: u64, rank: u64, thread: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(rank.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(thread.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stream-index offset separating adaptive-sampling RNG streams from
+/// calibration streams of the same `(rank, thread)` pair.
+pub const ADS_STREAM_OFFSET: usize = 1 << 20;
+
+/// A sampling thread's private state.
+pub struct ThreadSampler {
+    rng: StdRng,
+    scratch: TraversalScratch,
+    n: usize,
+    /// Interior vertices of the most recent sample.
+    path_buf: Vec<NodeId>,
+    /// Total samples produced by this sampler.
+    pub samples_taken: u64,
+}
+
+impl ThreadSampler {
+    /// Creates the sampler for `(rank, thread)` on an `n`-vertex graph.
+    pub fn new(n: usize, seed: u64, rank: usize, thread: usize) -> Self {
+        assert!(n >= 2, "sampling requires at least two vertices");
+        ThreadSampler {
+            rng: StdRng::seed_from_u64(mix_seed(seed, rank as u64, thread as u64)),
+            scratch: TraversalScratch::new(n),
+            n,
+            path_buf: Vec::new(),
+            samples_taken: 0,
+        }
+    }
+
+    /// Takes one sample: draws a uniform ordered pair `(s, t)`, `s ≠ t`,
+    /// samples a uniform shortest s-t path, and returns its interior
+    /// vertices (empty for adjacent pairs **and** for disconnected pairs —
+    /// KADABRA counts a sample of a disconnected pair as a path with no
+    /// interior, keeping `b̃` an unbiased estimator on disconnected graphs).
+    pub fn sample(&mut self, g: &Graph) -> &[NodeId] {
+        debug_assert_eq!(g.num_nodes(), self.n);
+        let s = self.rng.gen_range(0..self.n as NodeId);
+        let mut t = self.rng.gen_range(0..self.n as NodeId - 1);
+        if t >= s {
+            t += 1; // uniform over t != s without rejection
+        }
+        self.path_buf.clear();
+        if let Some(p) = sample_shortest_path(g, s, t, &mut self.scratch, &mut self.rng) {
+            self.path_buf.extend_from_slice(&p.interior);
+        }
+        self.samples_taken += 1;
+        &self.path_buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_graph::csr::graph_from_edges;
+    use kadabra_graph::generators::{gnm, GnmConfig};
+
+    #[test]
+    fn deterministic_streams() {
+        let g = gnm(GnmConfig { n: 30, m: 90, seed: 1 });
+        let mut a = ThreadSampler::new(30, 7, 0, 0);
+        let mut b = ThreadSampler::new(30, 7, 0, 0);
+        for _ in 0..50 {
+            assert_eq!(a.sample(&g), b.sample(&g));
+        }
+    }
+
+    #[test]
+    fn different_threads_get_different_streams() {
+        let g = gnm(GnmConfig { n: 30, m: 90, seed: 1 });
+        let mut a = ThreadSampler::new(30, 7, 0, 0);
+        let mut b = ThreadSampler::new(30, 7, 0, 1);
+        let mut c = ThreadSampler::new(30, 7, 1, 0);
+        let sa: Vec<Vec<NodeId>> = (0..20).map(|_| a.sample(&g).to_vec()).collect();
+        let sb: Vec<Vec<NodeId>> = (0..20).map(|_| b.sample(&g).to_vec()).collect();
+        let sc: Vec<Vec<NodeId>> = (0..20).map(|_| c.sample(&g).to_vec()).collect();
+        assert_ne!(sa, sb);
+        assert_ne!(sa, sc);
+        assert_ne!(sb, sc);
+    }
+
+    #[test]
+    fn counts_samples() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut s = ThreadSampler::new(4, 1, 0, 0);
+        for _ in 0..10 {
+            s.sample(&g);
+        }
+        assert_eq!(s.samples_taken, 10);
+    }
+
+    #[test]
+    fn disconnected_pairs_yield_empty_interior() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let mut s = ThreadSampler::new(4, 3, 0, 0);
+        for _ in 0..50 {
+            let interior = s.sample(&g);
+            // Any sample on this graph has distance ≤ 1 or is disconnected:
+            // the interior is always empty.
+            assert!(interior.is_empty());
+        }
+    }
+
+    #[test]
+    fn estimates_match_exact_on_path_graph() {
+        // P3: only pairs (0,2)/(2,0) have an interior vertex (vertex 1);
+        // expected fraction of samples hitting it = 2/6 = b(1).
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut s = ThreadSampler::new(3, 5, 0, 0);
+        let trials = 30_000;
+        let mut hits = 0u64;
+        for _ in 0..trials {
+            if !s.sample(&g).is_empty() {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        assert!((frac - 1.0 / 3.0).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn rejects_singleton() {
+        ThreadSampler::new(1, 0, 0, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Sequential KADABRA — the original algorithm of Borassi & Natale
+//! (Ref. [7] of the paper), single-threaded. This is the semantic reference
+//! implementation every parallel mode is tested against.
+
+use crate::bounds::stopping_condition;
+use crate::config::KadabraConfig;
+use crate::phases::{prepare, scores_from_counts};
+use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::sampler::ThreadSampler;
+use kadabra_graph::Graph;
+use std::time::Instant;
+
+/// Runs sequential KADABRA on `g`.
+///
+/// `g` is typically the largest connected component of the network under
+/// study (the paper's experimental setup); disconnected inputs are legal —
+/// pairs in different components contribute samples with empty interiors.
+pub fn kadabra_sequential(g: &Graph, cfg: &KadabraConfig) -> BetweennessResult {
+    let prepared = prepare(g, cfg);
+    let n = g.num_nodes();
+
+    let ads_start = Instant::now();
+    let mut sampler = ThreadSampler::new(n, cfg.seed, 0, 1);
+    let mut counts = vec![0u64; n];
+    let mut tau: u64 = 0;
+    let n0 = cfg.n0(1);
+    let mut stats = SamplingStats::default();
+    loop {
+        for _ in 0..n0 {
+            for &v in sampler.sample(g) {
+                counts[v as usize] += 1;
+            }
+        }
+        tau += n0;
+        stats.epochs += 1;
+        let check_start = Instant::now();
+        let stop = stopping_condition(
+            &counts,
+            tau,
+            cfg.epsilon,
+            prepared.omega,
+            &prepared.calibration.delta_l,
+            &prepared.calibration.delta_u,
+        );
+        stats.check_time += check_start.elapsed();
+        if stop {
+            break;
+        }
+    }
+    stats.samples = tau;
+
+    BetweennessResult {
+        scores: scores_from_counts(&counts, tau),
+        samples: tau,
+        omega: prepared.omega,
+        vertex_diameter: prepared.vertex_diameter,
+        timings: PhaseTimings {
+            diameter: prepared.diameter_time,
+            calibration: prepared.calibration_time,
+            adaptive_sampling: ads_start.elapsed(),
+        },
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_baselines::brandes;
+    use kadabra_graph::components::largest_component;
+    use kadabra_graph::csr::graph_from_edges;
+    use kadabra_graph::generators::{gnm, grid, GnmConfig, GridConfig};
+
+    #[test]
+    fn terminates_and_respects_omega() {
+        let g = gnm(GnmConfig { n: 40, m: 100, seed: 1 });
+        let (lcc, _) = largest_component(&g);
+        let cfg = KadabraConfig::new(0.05, 0.1);
+        let r = kadabra_sequential(&lcc, &cfg);
+        assert!(r.samples > 0);
+        // τ may overshoot ω by at most one epoch worth of samples.
+        assert!(r.samples <= r.omega + cfg.n0(1));
+        assert_eq!(r.scores.len(), lcc.num_nodes());
+    }
+
+    #[test]
+    fn scores_within_epsilon_of_exact() {
+        let g = gnm(GnmConfig { n: 50, m: 140, seed: 2 });
+        let (lcc, _) = largest_component(&g);
+        let cfg = KadabraConfig { epsilon: 0.03, delta: 0.1, seed: 77, ..Default::default() };
+        let r = kadabra_sequential(&lcc, &cfg);
+        let exact = brandes(&lcc);
+        let worst = r
+            .scores
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst} > ε");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = grid(GridConfig { rows: 6, cols: 6, diagonal_prob: 0.0, seed: 0 });
+        let cfg = KadabraConfig { epsilon: 0.1, delta: 0.1, seed: 3, ..Default::default() };
+        let a = kadabra_sequential(&g, &cfg);
+        let b = kadabra_sequential(&g, &cfg);
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.stats.epochs, b.stats.epochs);
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_more_samples() {
+        let g = grid(GridConfig { rows: 8, cols: 8, diagonal_prob: 0.0, seed: 0 });
+        let loose = kadabra_sequential(&g, &KadabraConfig::new(0.2, 0.1));
+        let tight = kadabra_sequential(&g, &KadabraConfig::new(0.02, 0.1));
+        assert!(tight.samples > loose.samples);
+        assert!(tight.omega > loose.omega);
+    }
+
+    #[test]
+    fn path_graph_scores_sensible() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let cfg = KadabraConfig::new(0.05, 0.1);
+        let r = kadabra_sequential(&g, &cfg);
+        // Middle vertex has the highest betweenness on a path.
+        let top = r.top_k(1)[0].0;
+        assert_eq!(top, 2);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let r = kadabra_sequential(&g, &KadabraConfig::new(0.1, 0.1));
+        assert!(r.stats.epochs >= 1);
+        assert_eq!(r.stats.samples, r.samples);
+        assert!(r.timings.total().as_nanos() > 0);
+    }
+}

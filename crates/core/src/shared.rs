@@ -1,0 +1,208 @@
+//! Shared-memory parallel KADABRA using the epoch-based framework — the
+//! state-of-the-art baseline of the paper (Ref. [24], van der Grinten et
+//! al., Euro-Par 2019), i.e. Algorithm 2 restricted to a single process.
+//!
+//! `T − 1` worker threads sample wait-free into their per-epoch state
+//! frames; thread 0 interleaves sampling with epoch transitions,
+//! aggregation and the stopping-condition check, overlapping all
+//! coordination with its own sampling.
+
+use crate::bounds::stopping_condition;
+use crate::config::KadabraConfig;
+use crate::phases::{calibration_samples_for_thread, diameter_phase, scores_from_counts};
+use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use crate::{bounds, calibration::Calibration};
+use kadabra_epoch::EpochFramework;
+use kadabra_graph::Graph;
+use std::time::Instant;
+
+/// Runs epoch-based shared-memory KADABRA with `threads` sampling threads.
+pub fn kadabra_shared(g: &Graph, cfg: &KadabraConfig, threads: usize) -> BetweennessResult {
+    cfg.validate();
+    assert!(threads >= 1, "need at least one thread");
+    let n = g.num_nodes();
+    assert!(n >= 2, "KADABRA requires at least two vertices");
+
+    // Phase 1: diameter (sequential).
+    let (vd, diameter_time) = diameter_phase(g, cfg);
+    let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
+
+    // Phase 2: calibration — pleasingly parallel sampling, sequential δ fit.
+    let calib_start = Instant::now();
+    let mut partials: Vec<(Vec<u64>, u64)> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move |_| {
+                    let mut sampler = ThreadSampler::new(n, cfg.seed, 0, t);
+                    let mut counts = vec![0u64; n];
+                    let taken = calibration_samples_for_thread(
+                        g, &mut sampler, &mut counts, cfg, omega, threads,
+                    );
+                    (counts, taken)
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("calibration worker"));
+        }
+    })
+    .expect("calibration scope");
+    let mut calib_counts = vec![0u64; n];
+    let mut tau0 = 0;
+    for (counts, taken) in partials {
+        for (a, c) in calib_counts.iter_mut().zip(counts) {
+            *a += c;
+        }
+        tau0 += taken;
+    }
+    let calibration = Calibration::from_counts(&calib_counts, tau0, cfg);
+    let calibration_time = calib_start.elapsed();
+
+    // Phase 3: epoch-based adaptive sampling.
+    let ads_start = Instant::now();
+    let fw = EpochFramework::new(n, threads);
+    let n0 = cfg.n0(threads);
+    let mut acc = vec![0u64; n];
+    let mut tau: u64 = 0;
+    let mut stats = SamplingStats::default();
+
+    crossbeam::scope(|s| {
+        for t in 1..threads {
+            let fw = &fw;
+            s.spawn(move |_| {
+                let mut sampler = ThreadSampler::new(n, cfg.seed, 0, ADS_STREAM_OFFSET + t);
+                let mut h = fw.handle(t);
+                while !fw.should_terminate() {
+                    let interior = sampler.sample(g);
+                    h.record_sample(interior);
+                    fw.check_transition(&mut h);
+                }
+            });
+        }
+
+        // Thread 0: sampling + coordination (Algorithm 2, lines 10-31).
+        let mut sampler = ThreadSampler::new(n, cfg.seed, 0, ADS_STREAM_OFFSET);
+        let mut h = fw.handle(0);
+        let mut epoch = 0u32;
+        loop {
+            for _ in 0..n0 {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            fw.force_transition(&mut h, epoch);
+            let wait_start = Instant::now();
+            while !fw.transition_done(epoch) {
+                // Overlapped: h already advanced, so these samples land in
+                // the next epoch's frame.
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            stats.transition_wait += wait_start.elapsed();
+
+            let agg_start = Instant::now();
+            tau += fw.aggregate_epoch(epoch, &mut acc);
+            stats.reduce_time += agg_start.elapsed();
+            stats.comm_bytes += (fw.frame_bytes() * threads) as u64;
+            stats.epochs += 1;
+
+            let check_start = Instant::now();
+            let stop = stopping_condition(
+                &acc,
+                tau,
+                cfg.epsilon,
+                omega,
+                &calibration.delta_l,
+                &calibration.delta_u,
+            );
+            stats.check_time += check_start.elapsed();
+            if stop {
+                fw.signal_termination();
+                break;
+            }
+            epoch += 1;
+        }
+    })
+    .expect("adaptive sampling scope");
+    stats.samples = tau;
+
+    BetweennessResult {
+        scores: scores_from_counts(&acc, tau),
+        samples: tau,
+        omega,
+        vertex_diameter: vd,
+        timings: PhaseTimings {
+            diameter: diameter_time,
+            calibration: calibration_time,
+            adaptive_sampling: ads_start.elapsed(),
+        },
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_baselines::brandes;
+    use kadabra_graph::components::largest_component;
+    use kadabra_graph::generators::{gnm, grid, GnmConfig, GridConfig};
+
+    #[test]
+    fn single_thread_matches_guarantee() {
+        let g = grid(GridConfig { rows: 6, cols: 6, diagonal_prob: 0.0, seed: 0 });
+        let cfg = KadabraConfig::new(0.05, 0.1);
+        let r = kadabra_shared(&g, &cfg, 1);
+        let exact = brandes(&g);
+        for (a, e) in r.scores.iter().zip(&exact) {
+            assert!((a - e).abs() <= cfg.epsilon, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn multi_thread_accuracy() {
+        let g = gnm(GnmConfig { n: 60, m: 150, seed: 5 });
+        let (lcc, _) = largest_component(&g);
+        let cfg = KadabraConfig { epsilon: 0.04, delta: 0.1, seed: 11, ..Default::default() };
+        let r = kadabra_shared(&lcc, &cfg, 4);
+        let exact = brandes(&lcc);
+        let worst = r
+            .scores
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst}");
+    }
+
+    #[test]
+    fn terminates_with_various_thread_counts() {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        for threads in [1, 2, 3, 5] {
+            let r = kadabra_shared(&g, &KadabraConfig::new(0.1, 0.1), threads);
+            assert!(r.samples > 0, "threads={threads}");
+            assert!(r.stats.epochs >= 1);
+        }
+    }
+
+    #[test]
+    fn aggregated_tau_counts_only_aggregated_epochs() {
+        // τ must equal the sum actually folded into the scores: scores must
+        // sum to τ·(avg interior length)/τ — sanity-check score normalization
+        // via a vertex sum identity instead of internals: sum of c̃ equals
+        // τ·E[interior length], so every score is ≤ 1.
+        let g = grid(GridConfig { rows: 6, cols: 6, diagonal_prob: 0.0, seed: 0 });
+        let r = kadabra_shared(&g, &KadabraConfig::new(0.08, 0.1), 3);
+        for s in &r.scores {
+            assert!((0.0..=1.0).contains(s));
+        }
+    }
+
+    #[test]
+    fn comm_bytes_scale_with_epochs_and_threads() {
+        let g = grid(GridConfig { rows: 6, cols: 6, diagonal_prob: 0.0, seed: 0 });
+        let r = kadabra_shared(&g, &KadabraConfig::new(0.1, 0.1), 2);
+        let frame = 36 * 4 + 8;
+        assert_eq!(r.stats.comm_bytes, r.stats.epochs * 2 * frame);
+    }
+}

@@ -1,0 +1,238 @@
+//! Breadth-first search kernels.
+//!
+//! These are the unidirectional building blocks: full-distance BFS (used by
+//! the diameter algorithms and by tests as a reference for the bidirectional
+//! sampler), eccentricity computation, and σ-augmented BFS (shortest-path
+//! counting, the forward pass of Brandes' algorithm).
+
+use crate::csr::{Graph, NodeId};
+use crate::scratch::UNREACHED;
+
+/// Result of a full single-source BFS.
+pub struct BfsResult {
+    /// `dist[v]` = hop distance from the source, or [`UNREACHED`].
+    pub dist: Vec<u32>,
+    /// Vertices in visitation (non-decreasing distance) order.
+    pub order: Vec<NodeId>,
+    /// Eccentricity of the source within its component (max finite distance).
+    pub ecc: u32,
+}
+
+/// Runs a plain BFS from `source`, returning distances, visitation order and
+/// the source's eccentricity.
+pub fn bfs(g: &Graph, source: NodeId) -> BfsResult {
+    let n = g.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![UNREACHED; n];
+    let mut order = Vec::new();
+    dist[source as usize] = 0;
+    order.push(source);
+    let mut head = 0;
+    let mut ecc = 0;
+    while head < order.len() {
+        let u = order[head];
+        head += 1;
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                ecc = du + 1;
+                order.push(v);
+            }
+        }
+    }
+    BfsResult { dist, order, ecc }
+}
+
+/// σ-augmented BFS from `source`: distances plus the number of shortest
+/// source→v paths for every v (the forward pass of Brandes' algorithm).
+pub struct SigmaBfsResult {
+    /// Hop distances (or [`UNREACHED`]).
+    pub dist: Vec<u32>,
+    /// σ(v): number of distinct shortest source→v paths (0 if unreached;
+    /// σ(source) = 1).
+    pub sigma: Vec<u64>,
+    /// Visitation order (needed for the reverse accumulation of Brandes).
+    pub order: Vec<NodeId>,
+}
+
+/// Runs the σ-augmented BFS.
+pub fn sigma_bfs(g: &Graph, source: NodeId) -> SigmaBfsResult {
+    let n = g.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![UNREACHED; n];
+    let mut sigma = vec![0u64; n];
+    let mut order = Vec::new();
+    dist[source as usize] = 0;
+    sigma[source as usize] = 1;
+    order.push(source);
+    let mut head = 0;
+    while head < order.len() {
+        let u = order[head];
+        head += 1;
+        let du = dist[u as usize];
+        let su = sigma[u as usize];
+        for &v in g.neighbors(u) {
+            let dv = dist[v as usize];
+            if dv == UNREACHED {
+                dist[v as usize] = du + 1;
+                sigma[v as usize] = su;
+                order.push(v);
+            } else if dv == du + 1 {
+                sigma[v as usize] = sigma[v as usize].saturating_add(su);
+            }
+        }
+    }
+    SigmaBfsResult { dist, sigma, order }
+}
+
+/// Returns the vertex with maximum distance from `source` (ties broken by
+/// smallest id) together with that distance; `(source, 0)` for an isolated
+/// source. This is the primitive behind the two-sweep diameter bound.
+pub fn farthest_vertex(g: &Graph, source: NodeId) -> (NodeId, u32) {
+    let res = bfs(g, source);
+    let mut best = (source, 0u32);
+    for v in res.order {
+        let d = res.dist[v as usize];
+        if d != UNREACHED && d > best.1 {
+            best = (v, d);
+        }
+    }
+    best
+}
+
+/// Eccentricity of `source` within its connected component.
+pub fn eccentricity(g: &Graph, source: NodeId) -> u32 {
+    bfs(g, source).ecc
+}
+
+/// Hop distance between `s` and `t` (or `None` if disconnected). Convenience
+/// wrapper used by tests to validate the bidirectional sampler.
+pub fn hop_distance(g: &Graph, s: NodeId, t: NodeId) -> Option<u32> {
+    let d = bfs(g, s).dist[t as usize];
+    (d != UNREACHED).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::graph_from_edges;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as NodeId - 1).map(|v| (v, v + 1)).collect();
+        graph_from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_on_path_graph() {
+        let g = path_graph(5);
+        let r = bfs(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.ecc, 4);
+        assert_eq!(r.order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_from_middle() {
+        let g = path_graph(5);
+        let r = bfs(&g, 2);
+        assert_eq!(r.dist, vec![2, 1, 0, 1, 2]);
+        assert_eq!(r.ecc, 2);
+    }
+
+    #[test]
+    fn bfs_disconnected() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let r = bfs(&g, 0);
+        assert_eq!(r.dist[0], 0);
+        assert_eq!(r.dist[1], 1);
+        assert_eq!(r.dist[2], UNREACHED);
+        assert_eq!(r.dist[3], UNREACHED);
+        assert_eq!(r.ecc, 1);
+    }
+
+    #[test]
+    fn sigma_counts_on_cycle() {
+        // 4-cycle: two shortest paths between opposite corners.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = sigma_bfs(&g, 0);
+        assert_eq!(r.sigma[0], 1);
+        assert_eq!(r.sigma[1], 1);
+        assert_eq!(r.sigma[3], 1);
+        assert_eq!(r.sigma[2], 2);
+        assert_eq!(r.dist[2], 2);
+    }
+
+    #[test]
+    fn sigma_counts_on_complete_bipartite_k23() {
+        // Left = {0,1}, Right = {2,3,4}; between the two left vertices there
+        // are 3 shortest paths (one through each right vertex).
+        let g = graph_from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        let r = sigma_bfs(&g, 0);
+        assert_eq!(r.dist[1], 2);
+        assert_eq!(r.sigma[1], 3);
+        for right in 2..5 {
+            assert_eq!(r.sigma[right], 1);
+        }
+    }
+
+    #[test]
+    fn sigma_on_grid_matches_binomials() {
+        // 3x3 grid; number of monotone lattice paths corner-to-corner is
+        // C(4,2) = 6.
+        let id = |r: u32, c: u32| (r * 3 + c) as NodeId;
+        let mut edges = Vec::new();
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    edges.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < 3 {
+                    edges.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+        let g = graph_from_edges(9, &edges);
+        let r = sigma_bfs(&g, id(0, 0));
+        assert_eq!(r.dist[id(2, 2) as usize], 4);
+        assert_eq!(r.sigma[id(2, 2) as usize], 6);
+    }
+
+    #[test]
+    fn farthest_vertex_on_path() {
+        let g = path_graph(7);
+        assert_eq!(farthest_vertex(&g, 0), (6, 6));
+        assert_eq!(farthest_vertex(&g, 3), (0, 3));
+    }
+
+    #[test]
+    fn farthest_vertex_isolated() {
+        let g = graph_from_edges(3, &[(1, 2)]);
+        assert_eq!(farthest_vertex(&g, 0), (0, 0));
+    }
+
+    #[test]
+    fn hop_distance_matches_bfs() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 4)]);
+        assert_eq!(hop_distance(&g, 0, 4), Some(2));
+        assert_eq!(hop_distance(&g, 1, 4), Some(3));
+    }
+
+    #[test]
+    fn hop_distance_disconnected_is_none() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(hop_distance(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn order_is_nondecreasing_in_distance() {
+        let g = graph_from_edges(
+            8,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)],
+        );
+        let r = bfs(&g, 0);
+        for w in r.order.windows(2) {
+            assert!(r.dist[w[0] as usize] <= r.dist[w[1] as usize]);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Compressed sparse row (CSR) graph storage.
+//!
+//! The paper stores graphs in NetworKit's static structure with 32-bit vertex
+//! ids; we do the same. Graphs are undirected and unweighted (Section III of
+//! the paper): every undirected edge `{u, v}` is stored twice, once in each
+//! adjacency list. Adjacency lists are sorted, which makes neighbourhood
+//! queries cache-friendly and lets tests assert canonical form.
+
+use crate::{GraphError, Result};
+
+/// Vertex identifier. 32 bits suffice for every graph in SNAP/KONECT and keep
+/// the CSR (and the per-thread sampling state of KADABRA) compact.
+pub type NodeId = u32;
+
+/// A static, undirected, unweighted graph in CSR form.
+///
+/// Construction goes through [`GraphBuilder`] (for arbitrary edge lists) or
+/// [`Graph::from_sorted_csr`] (for generators that already produce canonical
+/// data). After construction the graph is immutable, which is exactly the
+/// property the paper exploits to share one copy among all sampling threads
+/// of a process.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`'s neighbours.
+    offsets: Vec<u64>,
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    targets: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph directly from canonical CSR arrays.
+    ///
+    /// Requirements (checked): `offsets` has length `n + 1`, starts at 0, is
+    /// non-decreasing, ends at `targets.len()`; every target is `< n`; each
+    /// adjacency list is sorted and free of duplicates and self-loops; the
+    /// adjacency relation is symmetric.
+    ///
+    /// # Panics
+    /// Panics if any invariant is violated; generators are expected to produce
+    /// canonical data, so a violation is a programming error.
+    pub fn from_sorted_csr(offsets: Vec<u64>, targets: Vec<NodeId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have length n + 1");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len() as u64,
+            "offsets must end at targets.len()"
+        );
+        let n = offsets.len() - 1;
+        assert!(n <= NodeId::MAX as usize, "too many vertices for u32 ids");
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1], "offsets must be non-decreasing");
+        }
+        let g = Graph { offsets, targets };
+        debug_assert!(g.check_canonical().is_ok(), "non-canonical CSR input");
+        g
+    }
+
+    /// Verifies full canonical form; used by `debug_assert` and tests.
+    pub fn check_canonical(&self) -> std::result::Result<(), String> {
+        let n = self.num_nodes();
+        for v in 0..n {
+            let adj = self.neighbors(v as NodeId);
+            for (i, &t) in adj.iter().enumerate() {
+                if t as usize >= n {
+                    return Err(format!("target {t} of vertex {v} out of range"));
+                }
+                if t == v as NodeId {
+                    return Err(format!("self-loop at vertex {v}"));
+                }
+                if i > 0 && adj[i - 1] >= t {
+                    return Err(format!("adjacency of vertex {v} not strictly sorted"));
+                }
+                if self.neighbors(t).binary_search(&(v as NodeId)).is_err() {
+                    return Err(format!("edge {v}->{t} has no reverse edge"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Sorted slice of `v`'s neighbours.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Bytes of heap memory held by the CSR arrays. The paper's Section I
+    /// argues current compute nodes fit all interesting graphs in memory;
+    /// the experiment harness reports this figure per instance.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// Raw CSR views, used by the binary IO codec.
+    pub(crate) fn raw_parts(&self) -> (&[u64], &[NodeId]) {
+        (&self.offsets, &self.targets)
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+/// Accumulates an arbitrary (possibly messy) undirected edge list and
+/// produces a canonical [`Graph`].
+///
+/// The builder tolerates duplicate edges, both orientations of the same edge,
+/// and self-loops; all are normalized away, matching how the paper reads the
+/// KONECT instances ("all graphs were read as undirected and unweighted").
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are silently dropped;
+    /// duplicates are removed at build time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        if u as usize >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u as u64, n: self.n as u64 });
+        }
+        if v as usize >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v as u64, n: self.n as u64 });
+        }
+        if u != v {
+            self.edges.push(if u < v { (u, v) } else { (v, u) });
+        }
+        Ok(())
+    }
+
+    /// Adds every edge from an iterator. Stops at the first invalid edge.
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, it: I) -> Result<()> {
+        for (u, v) in it {
+            self.add_edge(u, v)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the canonical CSR graph.
+    pub fn build(mut self) -> Graph {
+        if self.n > NodeId::MAX as usize {
+            // `new` takes usize so this is reachable only on 64-bit hosts with
+            // absurd n; keep it a panic rather than plumbing Result through
+            // every generator.
+            panic!("too many vertices for u32 ids: {}", self.n);
+        }
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        // Counting sort into CSR; every undirected edge contributes two arcs.
+        let n = self.n;
+        let mut degrees = vec![0u64; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as NodeId; offsets[n] as usize];
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were processed in lexicographic order of (min, max); the
+        // resulting per-vertex lists are not necessarily sorted (a vertex's
+        // arcs come from both orientations), so sort each list.
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            targets[lo..hi].sort_unstable();
+        }
+        Graph { offsets, targets }
+    }
+}
+
+/// Builds a graph from an explicit edge list over `n` vertices, normalizing
+/// duplicates, orientations and self-loops. Convenience for tests and small
+/// examples.
+pub fn graph_from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend_edges(edges.iter().copied())
+        .expect("edge endpoints must be < n");
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 0);
+            assert!(g.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn triangle() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.check_canonical().is_ok());
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_are_normalized() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 0), (0, 1), (2, 2), (3, 2), (2, 3)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 1);
+        assert!(!g.has_edge(2, 2));
+        assert!(g.check_canonical().is_ok());
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = graph_from_edges(6, &[(3, 5), (3, 1), (3, 4), (3, 0), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn out_of_range_edge_is_rejected() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(
+            b.add_edge(0, 3),
+            Err(GraphError::VertexOutOfRange { vertex: 3, n: 3 })
+        ));
+        assert!(matches!(
+            b.add_edge(7, 0),
+            Err(GraphError::VertexOutOfRange { vertex: 7, n: 3 })
+        ));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edge_count() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        let sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        assert_eq!(sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn memory_bytes_counts_both_arrays() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.memory_bytes(), 4 * 8 + 4 * 4);
+    }
+
+    #[test]
+    fn from_sorted_csr_roundtrip() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (off, tgt) = g.raw_parts();
+        let g2 = Graph::from_sorted_csr(off.to_vec(), tgt.to_vec());
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must start at 0")]
+    fn from_sorted_csr_rejects_bad_offsets() {
+        Graph::from_sorted_csr(vec![1, 2], vec![0, 0]);
+    }
+
+    #[test]
+    fn star_graph_max_degree() {
+        let edges: Vec<(NodeId, NodeId)> = (1..100).map(|v| (0, v)).collect();
+        let g = graph_from_edges(100, &edges);
+        assert_eq!(g.max_degree(), 99);
+        assert_eq!(g.degree(0), 99);
+        assert_eq!(g.degree(1), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's evaluation inputs (DESIGN.md §3):
+//!
+//! * [`rmat`] — R-MAT with the Graph500 parameters `(a,b,c,d) =
+//!   (0.57, 0.19, 0.19, 0.05)` used in Section V-C; proxies for the social
+//!   and hyperlink networks of Table I.
+//! * [`hyperbolic`] — random hyperbolic graphs with power-law exponent 3,
+//!   exactly the second synthetic model of Section V-C.
+//! * [`grid`] — road-network-like grids with high diameter, proxying
+//!   `roadNet-PA`/`roadNet-CA`/`dimacs9-NE`, the paper's "challenging"
+//!   high-diameter inputs.
+//! * [`gnm`] — Erdős–Rényi G(n, m), useful as an unstructured control and in
+//!   randomized tests.
+//! * [`barabasi_albert`] — preferential attachment; a connected power-law
+//!   model convenient for tests.
+//!
+//! All generators are deterministic functions of their seed.
+
+mod ba_gen;
+mod gnm_gen;
+mod grid_gen;
+mod hyperbolic_gen;
+mod rmat_gen;
+
+pub use ba_gen::{barabasi_albert, BaConfig};
+pub use gnm_gen::{gnm, GnmConfig};
+pub use grid_gen::{grid, GridConfig};
+pub use hyperbolic_gen::{hyperbolic, HyperbolicConfig};
+pub use rmat_gen::{rmat, RmatConfig};

@@ -1,0 +1,426 @@
+//! Graph input/output.
+//!
+//! Two formats:
+//!
+//! * **Edge-list text** — the interchange format of SNAP/KONECT (the paper's
+//!   instance sources): one `u v` pair per line, `#` or `%` comments. The
+//!   parser auto-sizes the vertex count and normalizes via [`GraphBuilder`].
+//! * **Binary CSR** — a compact little-endian dump of the canonical CSR
+//!   arrays, used to cache generated instances between experiment runs
+//!   (regenerating a 15M-edge hyperbolic graph costs far more than reading
+//!   ~120 MB back).
+
+use crate::csr::{Graph, GraphBuilder, NodeId};
+use crate::{GraphError, Result};
+use bytes::{Buf, BufMut};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Magic header of the binary format ("KDBG" + version 1).
+const MAGIC: [u8; 4] = *b"KDBG";
+const VERSION: u32 = 1;
+
+/// Parses an edge-list from a reader. Lines starting with `#` or `%` and
+/// blank lines are skipped; each other line must hold two integers.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut line_no = 0usize;
+    let mut buf = String::new();
+    let mut r = BufReader::new(reader);
+    loop {
+        buf.clear();
+        line_no += 1;
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, line_no: usize| -> Result<u64> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                msg: "expected two vertex ids".into(),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse { line: line_no, msg: e.to_string() })
+        };
+        let u = parse(it.next(), line_no)?;
+        let v = parse(it.next(), line_no)?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id + 1 };
+    if n > NodeId::MAX as u64 + 1 {
+        return Err(GraphError::TooManyVertices(n));
+    }
+    let mut b = GraphBuilder::with_capacity(n as usize, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u as NodeId, v as NodeId)?;
+    }
+    Ok(b.build())
+}
+
+/// Writes the graph as an edge list (one `u v` line per undirected edge).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
+    writeln!(writer, "# {} vertices, {} edges", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Serializes the graph into the binary CSR format.
+pub fn write_binary<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
+    let (offsets, targets) = g.raw_parts();
+    let mut header = Vec::with_capacity(24);
+    header.put_slice(&MAGIC);
+    header.put_u32_le(VERSION);
+    header.put_u64_le(offsets.len() as u64 - 1);
+    header.put_u64_le(targets.len() as u64);
+    writer.write_all(&header)?;
+    // Bulk little-endian dumps; chunked to keep memory bounded.
+    let mut buf = Vec::with_capacity(1 << 16);
+    for chunk in offsets.chunks(8192) {
+        buf.clear();
+        for &o in chunk {
+            buf.put_u64_le(o);
+        }
+        writer.write_all(&buf)?;
+    }
+    for chunk in targets.chunks(16384) {
+        buf.clear();
+        for &t in chunk {
+            buf.put_u32_le(t);
+        }
+        writer.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a graph from the binary CSR format, re-validating all
+/// invariants (the file may come from an untrusted cache).
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Graph> {
+    let mut header = [0u8; 24];
+    reader.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let mut magic = [0u8; 4];
+    h.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let version = h.get_u32_le();
+    if version != VERSION {
+        return Err(GraphError::Corrupt(format!("unsupported version {version}")));
+    }
+    let n = h.get_u64_le() as usize;
+    let m2 = h.get_u64_le() as usize;
+    if n > NodeId::MAX as usize {
+        return Err(GraphError::TooManyVertices(n as u64));
+    }
+    let mut offsets = vec![0u64; n + 1];
+    let mut raw = vec![0u8; (n + 1) * 8];
+    reader.read_exact(&mut raw)?;
+    let mut cur = &raw[..];
+    for o in offsets.iter_mut() {
+        *o = cur.get_u64_le();
+    }
+    let mut targets = vec![0 as NodeId; m2];
+    let mut raw = vec![0u8; m2 * 4];
+    reader.read_exact(&mut raw)?;
+    let mut cur = &raw[..];
+    for t in targets.iter_mut() {
+        *t = cur.get_u32_le();
+    }
+    // Validate before trusting.
+    if offsets.first() != Some(&0) || offsets.last() != Some(&(m2 as u64)) {
+        return Err(GraphError::Corrupt("offset bounds".into()));
+    }
+    for w in offsets.windows(2) {
+        if w[0] > w[1] {
+            return Err(GraphError::Corrupt("offsets not monotone".into()));
+        }
+    }
+    for &t in &targets {
+        if t as usize >= n {
+            return Err(GraphError::Corrupt(format!("target {t} out of range")));
+        }
+    }
+    let g = Graph::from_sorted_csr(offsets, targets);
+    if let Err(msg) = g.check_canonical() {
+        return Err(GraphError::Corrupt(msg));
+    }
+    Ok(g)
+}
+
+/// Reads a graph from a path, dispatching on the `.bin` extension.
+pub fn read_path(path: &Path) -> Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|e| e == "bin") {
+        read_binary(BufReader::new(file))
+    } else {
+        read_edge_list(file)
+    }
+}
+
+/// Writes a graph to a path, dispatching on the `.bin` extension.
+pub fn write_path(g: &Graph, path: &Path) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let w = std::io::BufWriter::new(file);
+    if path.extension().is_some_and(|e| e == "bin") {
+        write_binary(g, w)
+    } else {
+        write_edge_list(g, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::graph_from_edges;
+    use crate::generators::{rmat, RmatConfig};
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_with_comments_and_blanks() {
+        let text = "# comment\n% konect style\n\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_normalizes_duplicates() {
+        let text = "0 1\n1 0\n0 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_list_parse_error_carries_line() {
+        let text = "0 1\nnot numbers\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_list_missing_second_vertex() {
+        let text = "0\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = rmat(RmatConfig::graph500(8, 4, 1));
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_empty() {
+        let g = graph_from_edges(0, &[]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap().num_nodes(), 0);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&graph_from_edges(2, &[(0, 1)]), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&graph_from_edges(3, &[(0, 1), (1, 2)]), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_target() {
+        let mut buf = Vec::new();
+        write_binary(&graph_from_edges(2, &[(0, 1)]), &mut buf).unwrap();
+        // Corrupt the final target to a huge id.
+        let len = buf.len();
+        buf[len - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn path_dispatch_roundtrip() {
+        let dir = std::env::temp_dir().join("kadabra_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        for name in ["g.txt", "g.bin"] {
+            let p = dir.join(name);
+            write_path(&g, &p).unwrap();
+            assert_eq!(read_path(&p).unwrap(), g);
+            std::fs::remove_file(&p).unwrap();
+        }
+    }
+}
+
+/// Parses a *weighted* edge list: `u v w` per line (SNAP/DIMACS style),
+/// `#`/`%` comments. Weights must be positive integers.
+pub fn read_weighted_edge_list<R: Read>(reader: R) -> Result<crate::weighted::WeightedGraph> {
+    let mut edges: Vec<(u64, u64, u32)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut line_no = 0usize;
+    let mut buf = String::new();
+    let mut r = BufReader::new(reader);
+    loop {
+        buf.clear();
+        line_no += 1;
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let mut field = |name: &str| -> Result<u64> {
+            it.next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    msg: format!("missing {name}"),
+                })?
+                .parse::<u64>()
+                .map_err(|e| GraphError::Parse { line: line_no, msg: e.to_string() })
+        };
+        let u = field("source")?;
+        let v = field("target")?;
+        let w = field("weight")?;
+        if w == 0 || w > u32::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: line_no,
+                msg: format!("weight {w} out of range 1..=u32::MAX"),
+            });
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v, w as u32));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id + 1 };
+    if n > NodeId::MAX as u64 + 1 {
+        return Err(GraphError::TooManyVertices(n));
+    }
+    let triples: Vec<(NodeId, NodeId, u32)> = edges
+        .into_iter()
+        .map(|(u, v, w)| (u as NodeId, v as NodeId, w))
+        .collect();
+    Ok(crate::weighted::WeightedGraph::from_edges(n as usize, &triples))
+}
+
+/// Parses a *directed* arc list: `u v` per line interpreted as the arc
+/// `u -> v` (no symmetrization), `#`/`%` comments.
+pub fn read_arc_list<R: Read>(reader: R) -> Result<crate::digraph::DiGraph> {
+    let mut arcs: Vec<(u64, u64)> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut line_no = 0usize;
+    let mut buf = String::new();
+    let mut r = BufReader::new(reader);
+    loop {
+        buf.clear();
+        line_no += 1;
+        if r.read_line(&mut buf)? == 0 {
+            break;
+        }
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let mut field = |name: &str| -> Result<u64> {
+            it.next()
+                .ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    msg: format!("missing {name}"),
+                })?
+                .parse::<u64>()
+                .map_err(|e| GraphError::Parse { line: line_no, msg: e.to_string() })
+        };
+        let u = field("source")?;
+        let v = field("target")?;
+        max_id = max_id.max(u).max(v);
+        arcs.push((u, v));
+    }
+    let n = if arcs.is_empty() { 0 } else { max_id + 1 };
+    if n > NodeId::MAX as u64 + 1 {
+        return Err(GraphError::TooManyVertices(n));
+    }
+    let pairs: Vec<(NodeId, NodeId)> =
+        arcs.into_iter().map(|(u, v)| (u as NodeId, v as NodeId)).collect();
+    Ok(crate::digraph::DiGraph::from_arcs(n as usize, &pairs))
+}
+
+#[cfg(test)]
+mod variant_io_tests {
+    use super::*;
+
+    #[test]
+    fn weighted_edge_list_parses() {
+        let text = "# weighted\n0 1 5\n1 2 3\n";
+        let g = read_weighted_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![(0, 5), (2, 3)]);
+    }
+
+    #[test]
+    fn weighted_rejects_zero_weight() {
+        assert!(matches!(
+            read_weighted_edge_list("0 1 0\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_rejects_missing_weight() {
+        assert!(matches!(
+            read_weighted_edge_list("0 1\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn arc_list_preserves_orientation() {
+        let text = "0 1\n1 2\n";
+        let g = read_arc_list(text.as_bytes()).unwrap();
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+        assert_eq!(g.num_arcs(), 2);
+    }
+
+    #[test]
+    fn empty_variant_inputs() {
+        assert_eq!(read_weighted_edge_list("".as_bytes()).unwrap().num_nodes(), 0);
+        assert_eq!(read_arc_list("# none\n".as_bytes()).unwrap().num_nodes(), 0);
+    }
+}

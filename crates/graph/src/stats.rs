@@ -1,0 +1,128 @@
+//! Descriptive graph statistics.
+//!
+//! The experiment harness characterizes instances the way the paper's
+//! Section V-A does (size, diameter, density class); this module adds the
+//! degree-distribution view used to check that the synthetic proxies really
+//! have the structure they are standing in for (power-law hubs for the
+//! social/hyperlink proxies, near-constant degrees for the road proxies).
+
+use crate::csr::{Graph, NodeId};
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (2|E|/|V|).
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// 99th-percentile degree.
+    pub p99: usize,
+    /// Gini coefficient of the degree distribution in [0, 1]: 0 = perfectly
+    /// regular, → 1 = extremely hub-dominated. A robust scalar for "is this
+    /// power-law-ish" without fitting exponents.
+    pub gini: f64,
+}
+
+/// Computes degree statistics; `None` for the empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let mut degrees: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    let total: usize = degrees.iter().sum();
+    let mean = total as f64 / n as f64;
+    // Gini via the sorted-sum formula: G = (2·Σ i·d_i)/(n·Σ d_i) − (n+1)/n.
+    let gini = if total == 0 {
+        0.0
+    } else {
+        let weighted: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+            .sum();
+        (2.0 * weighted / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64).clamp(0.0, 1.0)
+    };
+    Some(DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean,
+        median: degrees[n / 2],
+        p99: degrees[((n - 1) as f64 * 0.99) as usize],
+        gini,
+    })
+}
+
+/// Degree histogram as `(degree, count)` pairs, ascending, skipping zeros.
+pub fn degree_histogram(g: &Graph) -> Vec<(usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for v in 0..g.num_nodes() as NodeId {
+        *counts.entry(g.degree(v)).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::graph_from_edges;
+    use crate::generators::{grid, rmat, GridConfig, RmatConfig};
+
+    #[test]
+    fn regular_graph_stats() {
+        // 6-cycle: every degree is 2.
+        let edges: Vec<_> = (0..6u32).map(|v| (v, (v + 1) % 6)).collect();
+        let g = graph_from_edges(6, &edges);
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.median, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(s.gini < 1e-12, "regular graph must have zero Gini");
+    }
+
+    #[test]
+    fn star_graph_is_maximally_skewed() {
+        let edges: Vec<_> = (1..50u32).map(|v| (0, v)).collect();
+        let g = graph_from_edges(50, &edges);
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.max, 49);
+        assert_eq!(s.median, 1);
+        assert!(s.gini > 0.4, "star Gini {} too small", s.gini);
+    }
+
+    #[test]
+    fn proxy_classes_are_separable_by_gini() {
+        let road = grid(GridConfig { rows: 30, cols: 30, diagonal_prob: 0.05, seed: 1 });
+        let social = rmat(RmatConfig::graph500(10, 8, 1));
+        let g_road = degree_stats(&road).unwrap().gini;
+        let g_social = degree_stats(&social).unwrap().gini;
+        assert!(
+            g_social > 2.0 * g_road,
+            "social Gini {g_social} must dwarf road Gini {g_road}"
+        );
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = rmat(RmatConfig::graph500(8, 4, 2));
+        let hist = degree_histogram(&g);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, g.num_nodes());
+        // Ascending degrees.
+        for w in hist.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(degree_stats(&graph_from_edges(0, &[])).is_none());
+        assert!(degree_histogram(&graph_from_edges(0, &[])).is_empty());
+    }
+}

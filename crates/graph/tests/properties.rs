@@ -1,0 +1,178 @@
+//! Property-based tests of the graph substrate.
+
+use kadabra_graph::bfs::{bfs, hop_distance, sigma_bfs};
+use kadabra_graph::bibfs::{enumerate_shortest_paths, sample_shortest_path};
+use kadabra_graph::components::{connected_components, largest_component};
+use kadabra_graph::csr::{graph_from_edges, NodeId};
+use kadabra_graph::diameter::{diameter, diameter_brute_force};
+use kadabra_graph::io::{read_binary, read_edge_list, write_binary, write_edge_list};
+use kadabra_graph::scratch::{TraversalScratch, UNREACHED};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random edge list over up to `max_n` vertices (possibly with
+/// duplicates, self-loops and both orientations — the builder must cope).
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        proptest::collection::vec(edge, 0..max_m).prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_always_produces_canonical_csr((n, edges) in arb_edges(40, 200)) {
+        let g = graph_from_edges(n, &edges);
+        prop_assert!(g.check_canonical().is_ok());
+        prop_assert_eq!(g.num_nodes(), n);
+        // Degree sum identity.
+        let deg_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(deg_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn bfs_distances_are_metric((n, edges) in arb_edges(30, 120)) {
+        let g = graph_from_edges(n, &edges);
+        let d0 = bfs(&g, 0).dist;
+        // Edge relaxation: adjacent vertices differ by at most 1.
+        for (u, v) in g.edges() {
+            let (du, dv) = (d0[u as usize], d0[v as usize]);
+            if du != UNREACHED && dv != UNREACHED {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+            } else {
+                prop_assert_eq!(du, dv, "one endpoint reachable, the other not");
+            }
+        }
+        // Symmetry of the hop metric on undirected graphs.
+        if n >= 2 {
+            prop_assert_eq!(hop_distance(&g, 0, (n - 1) as NodeId),
+                            hop_distance(&g, (n - 1) as NodeId, 0));
+        }
+    }
+
+    #[test]
+    fn sigma_bfs_counts_match_enumeration((n, edges) in arb_edges(14, 40)) {
+        let g = graph_from_edges(n, &edges);
+        let res = sigma_bfs(&g, 0);
+        for t in 1..n as NodeId {
+            let paths = enumerate_shortest_paths(&g, 0, t);
+            prop_assert_eq!(res.sigma[t as usize] as usize, paths.len(), "t={}", t);
+        }
+    }
+
+    #[test]
+    fn bidirectional_sampler_agrees_with_bfs((n, edges) in arb_edges(25, 100), seed in 0u64..1000) {
+        let g = graph_from_edges(n, &edges);
+        let mut sc = TraversalScratch::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = 0 as NodeId;
+        let t = (n - 1) as NodeId;
+        let expect = hop_distance(&g, s, t);
+        match sample_shortest_path(&g, s, t, &mut sc, &mut rng) {
+            None => prop_assert_eq!(expect, None),
+            Some(p) => {
+                prop_assert_eq!(Some(p.distance), expect);
+                prop_assert_eq!(p.interior.len() as u32 + 1, p.distance);
+                // Interior vertices must be distinct and exclude endpoints.
+                let mut sorted = p.interior.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), p.interior.len());
+                prop_assert!(!p.interior.contains(&s) && !p.interior.contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_the_graph((n, edges) in arb_edges(40, 120)) {
+        let g = graph_from_edges(n, &edges);
+        let c = connected_components(&g);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), n);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.label[u as usize], c.label[v as usize]);
+        }
+        let (lcc, map) = largest_component(&g);
+        prop_assert_eq!(lcc.num_nodes(), map.len());
+        prop_assert_eq!(lcc.num_nodes(), *c.sizes.iter().max().unwrap_or(&0));
+        prop_assert!(lcc.check_canonical().is_ok());
+    }
+
+    #[test]
+    fn diameter_matches_brute_force((n, edges) in arb_edges(24, 80)) {
+        let g = graph_from_edges(n, &edges);
+        let (lcc, _) = largest_component(&g);
+        if lcc.num_nodes() >= 2 {
+            prop_assert_eq!(diameter(&lcc, 0, 0).exact(), diameter_brute_force(&lcc));
+        }
+    }
+
+    #[test]
+    fn io_roundtrips((n, edges) in arb_edges(30, 120)) {
+        let g = graph_from_edges(n, &edges);
+        let mut text = Vec::new();
+        write_edge_list(&g, &mut text).unwrap();
+        let g_text = read_edge_list(&text[..]).unwrap();
+        // The text format drops trailing isolated vertices (ids are implied
+        // by the max endpoint), so compare edges only.
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = g_text.edges().collect();
+        prop_assert_eq!(a, b);
+
+        let mut bin = Vec::new();
+        write_binary(&g, &mut bin).unwrap();
+        let g_bin = read_binary(&bin[..]).unwrap();
+        prop_assert_eq!(g, g_bin);
+    }
+}
+
+/// Non-proptest statistical check kept in the property suite because it
+/// guards the sampler's *distributional* invariant on a structured family.
+#[test]
+fn sampler_is_uniform_on_random_diamond_chains() {
+    // Chains of diamonds have exponentially many tied shortest paths with a
+    // known count; uniformity must hold for each.
+    for chains in 1..4usize {
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut prev = 0u32;
+        let mut next_id = 1u32;
+        for _ in 0..chains {
+            let (a, b, join) = (next_id, next_id + 1, next_id + 2);
+            edges.push((prev, a));
+            edges.push((prev, b));
+            edges.push((a, join));
+            edges.push((b, join));
+            prev = join;
+            next_id += 3;
+        }
+        let n = next_id as usize;
+        let g = graph_from_edges(n, &edges);
+        let all = enumerate_shortest_paths(&g, 0, prev);
+        assert_eq!(all.len(), 1 << chains);
+        let mut sc = TraversalScratch::new(n);
+        let mut rng = StdRng::seed_from_u64(chains as u64);
+        let trials = 4000 * all.len();
+        let mut counts = vec![0u64; all.len()];
+        for _ in 0..trials {
+            let p = sample_shortest_path(&g, 0, prev, &mut sc, &mut rng).unwrap();
+            let mut key = p.interior.clone();
+            key.sort_unstable();
+            let idx = all
+                .iter()
+                .position(|cand| {
+                    let mut c = cand.clone();
+                    c.sort_unstable();
+                    c == key
+                })
+                .expect("sampled path must be one of the enumerated paths");
+            counts[idx] += 1;
+        }
+        let expected = trials as f64 / all.len() as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "chains={chains} path {i}: count {c} vs expected {expected}");
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Communicators and typed collective operations.
+
+use crate::engine::{Engine, OpKind, Request};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Reduction operators for scalar reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise / scalar sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl ReduceOp {
+    fn apply(self, acc: u64, x: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => acc + x,
+            ReduceOp::Min => acc.min(x),
+            ReduceOp::Max => acc.max(x),
+        }
+    }
+}
+
+/// A simulated MPI communicator: a rank number plus a handle on the shared
+/// collective engine. Cloneable only via [`Communicator::split`] (each rank
+/// must own exactly one handle per communicator, mirroring MPI).
+pub struct Communicator {
+    engine: Arc<Engine>,
+    rank: usize,
+    seq: Cell<u64>,
+}
+
+/// Accumulator for `Split` collectives: submissions, then per-color results.
+struct SplitAcc {
+    submissions: Vec<(usize, u32, i64)>, // (world rank, color, key)
+    groups: Option<HashMap<u32, (Arc<Engine>, Vec<usize>)>>, // color -> (engine, member ranks in order)
+}
+
+impl Communicator {
+    pub(crate) fn new(engine: Arc<Engine>, rank: usize) -> Self {
+        Communicator { engine, rank, seq: Cell::new(0) }
+    }
+
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.engine.size
+    }
+
+    /// Total payload bytes contributed to this communicator's collectives by
+    /// all ranks so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.engine.bytes_transferred()
+    }
+
+    /// Internal accessors for the point-to-point layer (`p2p.rs`).
+    pub(crate) fn mailbox(&self) -> &crate::p2p::Mailbox {
+        &self.engine.mailbox
+    }
+
+    pub(crate) fn engine_add_bytes(&self, bytes: u64) {
+        self.engine.add_bytes(bytes);
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// Blocking barrier (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        self.ibarrier().wait();
+    }
+
+    /// Non-blocking barrier (`MPI_Ibarrier`). The paper's final
+    /// implementation (Section IV-F) pairs this with a blocking reduce.
+    pub fn ibarrier(&self) -> Request<()> {
+        let seq = self.next_seq();
+        self.engine
+            .join(seq, OpKind::Barrier, |_acc| {}, |_acc| {});
+        Request::new(self.engine.clone(), seq, Box::new(|_acc| {}))
+    }
+
+    // ------------------------------------------------------------------
+    // Reduce
+    // ------------------------------------------------------------------
+
+    /// Blocking element-wise sum reduction of `u64` vectors to `root`
+    /// (`MPI_Reduce` with `MPI_SUM`). Returns `Some(total)` at the root,
+    /// `None` elsewhere. All ranks must pass vectors of equal length.
+    pub fn reduce_sum_u64(&self, root: usize, data: &[u64]) -> Option<Vec<u64>> {
+        self.ireduce_sum_u64(root, data).wait()
+    }
+
+    /// Non-blocking element-wise sum reduction (`MPI_Ireduce`). Completion
+    /// (even at non-roots) requires all ranks to have joined — the
+    /// "non-blocking barrier" property of Section IV-C.
+    pub fn ireduce_sum_u64(&self, root: usize, data: &[u64]) -> Request<Option<Vec<u64>>> {
+        assert!(root < self.size(), "root out of range");
+        let seq = self.next_seq();
+        self.engine.add_bytes(data.len() as u64 * 8);
+        let expected_len = data.len();
+        self.engine.join(
+            seq,
+            OpKind::Reduce { root },
+            |acc| match acc {
+                None => *acc = Some(Box::new(data.to_vec())),
+                Some(boxed) => {
+                    let v = boxed
+                        .downcast_mut::<Vec<u64>>()
+                        .expect("reduce accumulator type");
+                    assert_eq!(v.len(), expected_len, "reduce length mismatch across ranks");
+                    for (a, &x) in v.iter_mut().zip(data) {
+                        *a += x;
+                    }
+                }
+            },
+            |_acc| {},
+        );
+        let is_root = self.rank == root;
+        Request::new(
+            self.engine.clone(),
+            seq,
+            Box::new(move |acc: &mut Option<Box<dyn Any + Send>>| {
+                if is_root {
+                    let boxed = acc.take().expect("root collects exactly once");
+                    Some(*boxed.downcast::<Vec<u64>>().expect("reduce accumulator type"))
+                } else {
+                    None
+                }
+            }),
+        )
+    }
+
+    /// Blocking scalar reduction to `root`.
+    pub fn reduce_scalar_u64(&self, root: usize, op: ReduceOp, value: u64) -> Option<u64> {
+        assert!(root < self.size(), "root out of range");
+        let seq = self.next_seq();
+        self.engine.add_bytes(8);
+        self.engine.join(
+            seq,
+            OpKind::Reduce { root },
+            |acc| match acc {
+                None => *acc = Some(Box::new((op, value))),
+                Some(boxed) => {
+                    let (stored_op, v) = boxed
+                        .downcast_mut::<(ReduceOp, u64)>()
+                        .expect("scalar reduce accumulator type");
+                    assert_eq!(*stored_op, op, "reduce op mismatch across ranks");
+                    *v = op.apply(*v, value);
+                }
+            },
+            |_acc| {},
+        );
+        let is_root = self.rank == root;
+        self.engine.wait_complete(seq, move |acc| {
+            if is_root {
+                let boxed = acc.take().expect("root collects exactly once");
+                Some(boxed.downcast::<(ReduceOp, u64)>().expect("type").1)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Blocking element-wise sum all-reduce of `u64` vectors: every rank
+    /// receives the total. Used for the calibration phase, where every rank
+    /// derives the per-vertex failure probabilities from the same aggregated
+    /// counts.
+    pub fn allreduce_sum_u64(&self, data: &[u64]) -> Vec<u64> {
+        let seq = self.next_seq();
+        self.engine.add_bytes(data.len() as u64 * 8);
+        let expected_len = data.len();
+        self.engine.join(
+            seq,
+            OpKind::Allreduce,
+            |acc| match acc {
+                None => *acc = Some(Box::new(data.to_vec())),
+                Some(boxed) => {
+                    let v = boxed
+                        .downcast_mut::<Vec<u64>>()
+                        .expect("allreduce accumulator type");
+                    assert_eq!(v.len(), expected_len, "allreduce length mismatch across ranks");
+                    for (a, &x) in v.iter_mut().zip(data) {
+                        *a += x;
+                    }
+                }
+            },
+            |_acc| {},
+        );
+        self.engine.wait_complete(seq, |acc| {
+            acc.as_ref()
+                .expect("allreduce accumulator present")
+                .downcast_ref::<Vec<u64>>()
+                .expect("allreduce accumulator type")
+                .clone()
+        })
+    }
+
+    /// Blocking all-reduce (scalar): every rank receives the reduction.
+    pub fn allreduce_scalar_u64(&self, op: ReduceOp, value: u64) -> u64 {
+        let seq = self.next_seq();
+        self.engine.add_bytes(8);
+        self.engine.join(
+            seq,
+            OpKind::Allreduce,
+            |acc| match acc {
+                None => *acc = Some(Box::new((op, value))),
+                Some(boxed) => {
+                    let (stored_op, v) = boxed
+                        .downcast_mut::<(ReduceOp, u64)>()
+                        .expect("allreduce accumulator type");
+                    assert_eq!(*stored_op, op, "allreduce op mismatch across ranks");
+                    *v = op.apply(*v, value);
+                }
+            },
+            |_acc| {},
+        );
+        self.engine.wait_complete(seq, |acc| {
+            acc.as_ref()
+                .expect("allreduce accumulator present")
+                .downcast_ref::<(ReduceOp, u64)>()
+                .expect("type")
+                .1
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast
+    // ------------------------------------------------------------------
+
+    /// Blocking broadcast of one `u64` from `root`; the root passes
+    /// `Some(value)`, everyone else `None`; all ranks receive the value.
+    pub fn bcast_u64(&self, root: usize, value: Option<u64>) -> u64 {
+        self.ibcast_u64(root, value).wait()
+    }
+
+    /// Non-blocking broadcast of one `u64` (`MPI_Ibcast`). Used to propagate
+    /// the termination flag while overlapping sampling (Algorithm 1 line 16).
+    pub fn ibcast_u64(&self, root: usize, value: Option<u64>) -> Request<u64> {
+        assert!(root < self.size(), "root out of range");
+        assert_eq!(
+            value.is_some(),
+            self.rank == root,
+            "exactly the root must supply the broadcast value"
+        );
+        let seq = self.next_seq();
+        self.engine.add_bytes(8);
+        self.engine.join(
+            seq,
+            OpKind::Bcast { root },
+            |acc| {
+                if let Some(v) = value {
+                    assert!(acc.is_none(), "two ranks claimed broadcast root");
+                    *acc = Some(Box::new(v));
+                }
+            },
+            |_acc| {},
+        );
+        Request::new(
+            self.engine.clone(),
+            seq,
+            Box::new(|acc: &mut Option<Box<dyn Any + Send>>| {
+                *acc.as_ref()
+                    .expect("broadcast value present at completion")
+                    .downcast_ref::<u64>()
+                    .expect("broadcast type")
+            }),
+        )
+    }
+
+    /// Broadcast of a boolean (the termination flag `d` of the paper's
+    /// algorithms), encoded over [`Self::ibcast_u64`].
+    pub fn ibcast_bool(&self, root: usize, value: Option<bool>) -> Request<u64> {
+        self.ibcast_u64(root, value.map(u64::from))
+    }
+
+    // ------------------------------------------------------------------
+    // Split
+    // ------------------------------------------------------------------
+
+    /// Splits the communicator (`MPI_Comm_split`): ranks with equal `color`
+    /// form a new communicator; ranks within it are ordered by `(key, rank)`.
+    ///
+    /// Section IV-E of the paper builds two derived communicators this way:
+    /// a node-local one (all ranks on one compute node) and a global one
+    /// (the first rank of each node).
+    pub fn split(&self, color: u32, key: i64) -> Communicator {
+        let seq = self.next_seq();
+        let my = (self.rank, color, key);
+        self.engine.join(
+            seq,
+            OpKind::Split,
+            |acc| match acc {
+                None => {
+                    *acc = Some(Box::new(SplitAcc { submissions: vec![my], groups: None }));
+                }
+                Some(boxed) => {
+                    boxed
+                        .downcast_mut::<SplitAcc>()
+                        .expect("split accumulator type")
+                        .submissions
+                        .push(my);
+                }
+            },
+            |acc| {
+                // Last arrival: build one engine per color.
+                let sp = acc
+                    .as_mut()
+                    .unwrap()
+                    .downcast_mut::<SplitAcc>()
+                    .expect("split accumulator type");
+                let mut by_color: HashMap<u32, Vec<(i64, usize)>> = HashMap::new();
+                for &(rank, c, k) in &sp.submissions {
+                    by_color.entry(c).or_default().push((k, rank));
+                }
+                let mut groups = HashMap::new();
+                for (c, mut members) in by_color {
+                    members.sort_unstable();
+                    let ranks: Vec<usize> = members.into_iter().map(|(_, r)| r).collect();
+                    groups.insert(c, (Engine::new(ranks.len()), ranks));
+                }
+                sp.groups = Some(groups);
+            },
+        );
+        let my_rank = self.rank;
+        self.engine.wait_complete(seq, move |acc| {
+            let sp = acc
+                .as_ref()
+                .unwrap()
+                .downcast_ref::<SplitAcc>()
+                .expect("split accumulator type");
+            let (engine, ranks) = &sp.groups.as_ref().expect("groups built")[&color];
+            let new_rank = ranks
+                .iter()
+                .position(|&r| r == my_rank)
+                .expect("own rank in group");
+            Communicator::new(engine.clone(), new_rank)
+        })
+    }
+}

@@ -1,0 +1,245 @@
+//! The collective-operation engine shared by all ranks of a communicator.
+//!
+//! Every collective call is assigned a per-rank sequence number; calls with
+//! the same sequence number across ranks form one *operation instance*. An
+//! instance lives in a slot map until all ranks have both **joined**
+//! (contributed their input) and **retired** (observed completion) it.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking wait may stall before the runtime assumes a deadlock
+/// (collective order mismatch in the algorithm under test) and panics.
+pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Operation kinds, used both for dispatch and for mismatch detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    Barrier,
+    Reduce { root: usize },
+    Bcast { root: usize },
+    Allreduce,
+    Split,
+}
+
+/// One collective instance.
+pub(crate) struct OpSlot {
+    pub kind: OpKind,
+    /// Ranks that have joined so far.
+    pub arrived: usize,
+    /// Ranks that have observed completion.
+    pub retired: usize,
+    /// Operation-specific accumulator (reduction value, bcast payload,
+    /// split submissions / results...).
+    pub acc: Option<Box<dyn Any + Send>>,
+}
+
+/// Engine state shared by all ranks of one communicator.
+pub(crate) struct Engine {
+    pub size: usize,
+    slots: Mutex<HashMap<u64, OpSlot>>,
+    cv: Condvar,
+    bytes: AtomicU64,
+    /// Set when any rank detects protocol misuse; wakes and fails all
+    /// waiters instead of letting them run into the deadlock timeout.
+    poisoned: std::sync::atomic::AtomicBool,
+    /// Point-to-point mailbox shared by the communicator's ranks.
+    pub(crate) mailbox: Arc<crate::p2p::Mailbox>,
+}
+
+impl Engine {
+    pub fn new(size: usize) -> Arc<Self> {
+        Arc::new(Engine {
+            size,
+            slots: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            bytes: AtomicU64::new(0),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            mailbox: crate::p2p::Mailbox::new(),
+        })
+    }
+
+    /// Marks the communicator broken and wakes all waiters, then panics with
+    /// the given message.
+    fn poison(&self, msg: String) -> ! {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+        panic!("{msg}");
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(Ordering::SeqCst) {
+            panic!("communicator poisoned by a collective mismatch in another rank");
+        }
+    }
+
+    /// Total payload bytes contributed to collectives so far.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn add_bytes(&self, b: u64) {
+        self.bytes.fetch_add(b, Ordering::Relaxed);
+    }
+
+    /// Joins operation `seq` of kind `kind`, contributing via `deposit`,
+    /// which receives the accumulator slot (None on first arrival).
+    /// `finalize` runs exactly once, when the last rank arrives.
+    pub fn join(
+        &self,
+        seq: u64,
+        kind: OpKind,
+        deposit: impl FnOnce(&mut Option<Box<dyn Any + Send>>),
+        finalize: impl FnOnce(&mut Option<Box<dyn Any + Send>>),
+    ) {
+        self.check_poison();
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(seq).or_insert_with(|| OpSlot {
+            kind,
+            arrived: 0,
+            retired: 0,
+            acc: None,
+        });
+        if slot.kind != kind {
+            let msg = format!(
+                "collective mismatch at seq {seq}: one rank called {:?}, another {kind:?}",
+                slot.kind
+            );
+            drop(slots);
+            self.poison(msg);
+        }
+        deposit(&mut slot.acc);
+        slot.arrived += 1;
+        assert!(
+            slot.arrived <= self.size,
+            "more joins than communicator size at seq {seq}"
+        );
+        if slot.arrived == self.size {
+            finalize(&mut slot.acc);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Non-blocking check whether all ranks have joined op `seq`.
+    pub fn is_complete(&self, seq: u64) -> bool {
+        let slots = self.slots.lock();
+        slots
+            .get(&seq)
+            .expect("is_complete on unknown op")
+            .arrived
+            == self.size
+    }
+
+    /// Completion collection; must only be called once [`Self::is_complete`]
+    /// returned `true` (asserted). `collect` extracts this rank's result from
+    /// the accumulator and the op is retired for this rank (slot freed after
+    /// the last retirement).
+    pub fn try_complete<T>(
+        &self,
+        seq: u64,
+        collect: impl FnOnce(&mut Option<Box<dyn Any + Send>>) -> T,
+    ) -> T {
+        let mut slots = self.slots.lock();
+        let slot = slots.get_mut(&seq).expect("try_complete on unknown op");
+        assert!(slot.arrived == self.size, "try_complete before completion");
+        let out = collect(&mut slot.acc);
+        slot.retired += 1;
+        if slot.retired == self.size {
+            slots.remove(&seq);
+        }
+        out
+    }
+
+    /// Blocking completion: waits until all ranks joined, then collects.
+    pub fn wait_complete<T>(
+        &self,
+        seq: u64,
+        collect: impl FnOnce(&mut Option<Box<dyn Any + Send>>) -> T,
+    ) -> T {
+        let mut slots = self.slots.lock();
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                panic!("communicator poisoned by a collective mismatch in another rank");
+            }
+            {
+                let slot = slots.get_mut(&seq).expect("wait_complete on unknown op");
+                if slot.arrived == self.size {
+                    let out = collect(&mut slot.acc);
+                    slot.retired += 1;
+                    if slot.retired == self.size {
+                        slots.remove(&seq);
+                    }
+                    return out;
+                }
+            }
+            if self
+                .cv
+                .wait_for(&mut slots, DEADLOCK_TIMEOUT)
+                .timed_out()
+            {
+                let slot = &slots[&seq];
+                panic!(
+                    "collective deadlock: op seq {seq} ({:?}) stuck with {}/{} ranks after {:?}",
+                    slot.kind, slot.arrived, self.size, DEADLOCK_TIMEOUT
+                );
+            }
+        }
+    }
+}
+
+/// Handle for a non-blocking collective. Obtain the result with
+/// [`Request::wait`], or poll with [`Request::test`] and keep computing — the
+/// overlap pattern of the paper's Algorithms 1 and 2.
+pub struct Request<T> {
+    engine: Arc<Engine>,
+    seq: u64,
+    /// Extractor for this rank's result; consumed on completion.
+    collect: Option<Box<dyn FnOnce(&mut Option<Box<dyn Any + Send>>) -> T + Send>>,
+    result: Option<T>,
+}
+
+impl<T> Request<T> {
+    pub(crate) fn new(
+        engine: Arc<Engine>,
+        seq: u64,
+        collect: Box<dyn FnOnce(&mut Option<Box<dyn Any + Send>>) -> T + Send>,
+    ) -> Self {
+        Request { engine, seq, collect: Some(collect), result: None }
+    }
+
+    /// Polls for completion without blocking. Returns `true` once the
+    /// operation is complete (after which [`Request::into_result`] /
+    /// [`Request::wait`] yield the value). Subsequent calls keep returning
+    /// `true`.
+    pub fn test(&mut self) -> bool {
+        if self.result.is_some() || self.collect.is_none() {
+            return true;
+        }
+        if !self.engine.is_complete(self.seq) {
+            return false;
+        }
+        // Completion is monotone and this rank has not retired yet, so the
+        // slot is guaranteed to still exist for the collection step.
+        let collect = self.collect.take().unwrap();
+        self.result = Some(self.engine.try_complete(self.seq, collect));
+        true
+    }
+
+    /// Blocks until completion and returns the result.
+    pub fn wait(mut self) -> T {
+        if let Some(v) = self.result.take() {
+            return v;
+        }
+        let collect = self.collect.take().expect("request already consumed");
+        self.engine.wait_complete(self.seq, collect)
+    }
+
+    /// Returns the result if `test()` previously succeeded.
+    pub fn into_result(mut self) -> Option<T> {
+        self.result.take()
+    }
+}

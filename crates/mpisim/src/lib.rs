@@ -1,0 +1,47 @@
+//! An in-process **simulated MPI runtime**.
+//!
+//! The paper's algorithms run on MPICH over Intel Omni-Path; this container
+//! has a single CPU and no interconnect, so we reproduce the *semantics* of
+//! the MPI machinery the paper uses — communicators, `MPI_Comm_split`,
+//! blocking and non-blocking collectives (`Barrier`/`Ibarrier`,
+//! `Reduce`/`Ireduce`, `Bcast`/`Ibcast`, `Allreduce`) — as an in-process
+//! runtime where every MPI *process* is an OS thread (see DESIGN.md §3 for
+//! why this substitution is sound; performance modelling lives in
+//! `kadabra-cluster`).
+//!
+//! Semantics notes:
+//!
+//! * Collectives must be called by **all ranks of a communicator in the same
+//!   order** — exactly MPI's rule. The runtime detects violations (mismatched
+//!   operation kinds for the same sequence number) and panics with a
+//!   diagnostic instead of deadlocking.
+//! * Non-blocking operations return a [`Request`]; `test()` polls without
+//!   blocking (the caller can keep sampling — this is what Algorithms 1 and 2
+//!   of the paper do in their `while IREDUCE(...) is not done` loops),
+//!   `wait()` blocks.
+//! * A non-blocking collective completes at a rank only once **all** ranks
+//!   have joined it. For `Ibarrier` this is MPI semantics; for
+//!   `Ireduce`/`Ibcast` real MPI makes weaker local guarantees, but the
+//!   stronger barrier-like completion is precisely the property the paper
+//!   relies on ("because the MPI reduction acts as a non-blocking barrier,
+//!   the epoch numbers in different processes cannot differ by more than
+//!   one", Section IV-C).
+//! * Every payload byte is counted per communicator; the experiment
+//!   harness reads [`Communicator::bytes_transferred`] to reproduce the
+//!   communication-volume column of Table II.
+//!
+//! Besides the collectives the paper's algorithms use, the runtime provides
+//! tagged point-to-point messaging (buffered `send`, blocking `recv`,
+//! `probe`) and a rank-ordered `gather` built on it — see [`Communicator`].
+
+mod comm;
+mod engine;
+mod p2p;
+mod universe;
+
+pub use comm::{Communicator, ReduceOp};
+pub use engine::Request;
+pub use universe::Universe;
+
+#[cfg(test)]
+mod tests;

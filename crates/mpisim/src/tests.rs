@@ -1,0 +1,270 @@
+//! Integration tests of the simulated MPI runtime.
+
+use crate::{Communicator, ReduceOp, Universe};
+
+#[test]
+fn world_size_and_ranks() {
+    let ranks = Universe::run(4, |comm| {
+        assert_eq!(comm.size(), 4);
+        comm.rank()
+    });
+    assert_eq!(ranks, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn single_rank_world() {
+    let out = Universe::run(1, |comm| {
+        comm.barrier();
+        let r = comm.reduce_sum_u64(0, &[1, 2, 3]);
+        assert_eq!(r, Some(vec![1, 2, 3]));
+        comm.bcast_u64(0, Some(9))
+    });
+    assert_eq!(out, vec![9]);
+}
+
+#[test]
+fn barrier_synchronizes() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let before = AtomicUsize::new(0);
+    Universe::run(6, |comm| {
+        before.fetch_add(1, Ordering::SeqCst);
+        comm.barrier();
+        // After the barrier every rank must observe all six arrivals.
+        assert_eq!(before.load(Ordering::SeqCst), 6);
+    });
+}
+
+#[test]
+fn reduce_sum_vectors() {
+    let out = Universe::run(5, |comm| {
+        let data = vec![comm.rank() as u64; 4];
+        comm.reduce_sum_u64(2, &data)
+    });
+    for (rank, r) in out.iter().enumerate() {
+        if rank == 2 {
+            assert_eq!(r.as_deref(), Some(&[10u64, 10, 10, 10][..]));
+        } else {
+            assert!(r.is_none());
+        }
+    }
+}
+
+#[test]
+fn ireduce_overlaps_with_computation() {
+    let out = Universe::run(4, |comm| {
+        let data = vec![1u64, comm.rank() as u64];
+        let mut req = comm.ireduce_sum_u64(0, &data);
+        // Simulated "overlapped sampling": spin on test() doing local work.
+        let mut local_work = 0u64;
+        while !req.test() {
+            local_work += 1;
+            std::hint::spin_loop();
+        }
+        (req.into_result().unwrap(), local_work)
+    });
+    assert_eq!(out[0].0, Some(vec![4, 0 + 1 + 2 + 3]));
+    for r in &out[1..] {
+        assert_eq!(r.0, None);
+    }
+}
+
+#[test]
+fn scalar_reductions() {
+    let out = Universe::run(4, |comm| {
+        let v = comm.rank() as u64 + 1;
+        (
+            comm.reduce_scalar_u64(0, ReduceOp::Sum, v),
+            comm.reduce_scalar_u64(0, ReduceOp::Min, v),
+            comm.reduce_scalar_u64(0, ReduceOp::Max, v),
+        )
+    });
+    assert_eq!(out[0], (Some(10), Some(1), Some(4)));
+    assert_eq!(out[1], (None, None, None));
+}
+
+#[test]
+fn allreduce_gives_everyone_the_result() {
+    let out = Universe::run(3, |comm| {
+        comm.allreduce_scalar_u64(ReduceOp::Max, comm.rank() as u64 * 7)
+    });
+    assert_eq!(out, vec![14, 14, 14]);
+}
+
+#[test]
+fn broadcast_from_nonzero_root() {
+    let out = Universe::run(4, |comm| {
+        let v = if comm.rank() == 3 { Some(42) } else { None };
+        comm.bcast_u64(3, v)
+    });
+    assert_eq!(out, vec![42; 4]);
+}
+
+#[test]
+fn ibcast_bool_termination_flag() {
+    let out = Universe::run(3, |comm| {
+        let v = if comm.rank() == 0 { Some(true) } else { None };
+        let mut req = comm.ibcast_bool(0, v);
+        let mut spins = 0u64;
+        while !req.test() {
+            spins += 1;
+            std::hint::spin_loop();
+        }
+        req.into_result().unwrap() != 0 && spins < u64::MAX
+    });
+    assert_eq!(out, vec![true; 3]);
+}
+
+#[test]
+fn multiple_sequential_collectives_keep_order() {
+    let out = Universe::run(3, |comm| {
+        let mut results = Vec::new();
+        for round in 0..10u64 {
+            let r = comm.allreduce_scalar_u64(ReduceOp::Sum, round + comm.rank() as u64);
+            results.push(r);
+        }
+        results
+    });
+    for r in out {
+        for (round, v) in r.iter().enumerate() {
+            assert_eq!(*v, 3 * round as u64 + 3); // 0+1+2 + 3*round
+        }
+    }
+}
+
+#[test]
+fn split_into_node_local_and_leader_comms() {
+    // 8 ranks, 2 per "node" -> 4 nodes; reproduce Section IV-E's layout.
+    let out = Universe::run(8, |comm| {
+        let node = (comm.rank() / 2) as u32;
+        let local = comm.split(node, comm.rank() as i64);
+        assert_eq!(local.size(), 2);
+        let local_sum = local.allreduce_scalar_u64(ReduceOp::Sum, comm.rank() as u64);
+
+        // Leader communicator: the first rank of each node gets color 0,
+        // everyone else color 1 (they never use theirs).
+        let is_leader = local.rank() == 0;
+        let leaders = comm.split(u32::from(!is_leader), comm.rank() as i64);
+        let leader_sum = if is_leader {
+            Some(leaders.allreduce_scalar_u64(ReduceOp::Sum, local_sum))
+        } else {
+            None
+        };
+        (local.rank(), local_sum, leader_sum)
+    });
+    for (rank, (local_rank, local_sum, leader_sum)) in out.iter().enumerate() {
+        assert_eq!(*local_rank, rank % 2);
+        let node = rank / 2;
+        assert_eq!(*local_sum, (2 * node) as u64 + (2 * node + 1) as u64);
+        if rank % 2 == 0 {
+            // Sum over node sums: 1 + 5 + 9 + 13 = 28.
+            assert_eq!(*leader_sum, Some(28));
+        } else {
+            assert!(leader_sum.is_none());
+        }
+    }
+}
+
+#[test]
+fn split_orders_by_key() {
+    let out = Universe::run(4, |comm| {
+        // Reverse the rank order via the key.
+        let sub = comm.split(0, -(comm.rank() as i64));
+        sub.rank()
+    });
+    assert_eq!(out, vec![3, 2, 1, 0]);
+}
+
+#[test]
+fn bytes_are_accounted() {
+    let out = Universe::run(2, |comm| {
+        let data = vec![0u64; 100];
+        comm.reduce_sum_u64(0, &data);
+        comm.barrier();
+        comm.bytes_transferred()
+    });
+    // 2 ranks * 100 u64 = 1600 bytes for the reduce; barrier adds none.
+    assert_eq!(out[0], 1600);
+    assert_eq!(out[1], 1600);
+}
+
+#[test]
+#[should_panic]
+fn collective_kind_mismatch_is_detected() {
+    // Suppress the noisy double-panic output from the second rank.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(|| {
+        Universe::run(2, |comm: Communicator| {
+            if comm.rank() == 0 {
+                comm.barrier();
+            } else {
+                comm.reduce_scalar_u64(0, ReduceOp::Sum, 1);
+            }
+        });
+    });
+    std::panic::set_hook(prev_hook);
+    assert!(result.is_err());
+    panic!("propagate for should_panic");
+}
+
+#[test]
+fn nested_splits() {
+    let out = Universe::run(8, |comm| {
+        let half = comm.split((comm.rank() / 4) as u32, comm.rank() as i64);
+        let quarter = half.split((half.rank() / 2) as u32, half.rank() as i64);
+        (half.size(), quarter.size(), quarter.rank())
+    });
+    for (rank, &(h, q, qr)) in out.iter().enumerate() {
+        assert_eq!(h, 4);
+        assert_eq!(q, 2);
+        assert_eq!(qr, rank % 2);
+    }
+}
+
+#[test]
+fn large_vector_reduce() {
+    let n = 100_000;
+    let out = Universe::run(3, |comm| {
+        let data = vec![comm.rank() as u64 + 1; n];
+        comm.reduce_sum_u64(0, &data)
+    });
+    let root = out[0].as_ref().unwrap();
+    assert_eq!(root.len(), n);
+    assert!(root.iter().all(|&x| x == 6));
+}
+
+#[test]
+fn many_rounds_of_ibarrier_plus_reduce() {
+    // The paper's Section IV-F pattern: non-blocking barrier, then blocking
+    // reduce, repeated for many epochs.
+    let rounds = 50u64;
+    let out = Universe::run(4, |comm| {
+        let mut collected = 0u64;
+        for round in 0..rounds {
+            let mut bar = comm.ibarrier();
+            let mut local = 0u64;
+            while !bar.test() {
+                local += 1; // overlapped "sampling"
+            }
+            let r = comm.reduce_sum_u64(0, &[round + comm.rank() as u64, local]);
+            if let Some(v) = r {
+                collected += v[0];
+            }
+        }
+        collected
+    });
+    // Root collected sum over rounds of (4*round + 0+1+2+3).
+    let expect: u64 = (0..rounds).map(|r| 4 * r + 6).sum();
+    assert_eq!(out[0], expect);
+}
+
+#[test]
+fn allreduce_vectors() {
+    let out = Universe::run(3, |comm| {
+        let data = vec![comm.rank() as u64, 10];
+        comm.allreduce_sum_u64(&data)
+    });
+    for r in out {
+        assert_eq!(r, vec![3, 30]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Launching a simulated MPI world.
+
+use crate::comm::Communicator;
+use crate::engine::Engine;
+
+/// Entry point of the simulated MPI runtime, analogous to
+/// `MPI_Init`/`mpirun`.
+pub struct Universe;
+
+impl Universe {
+    /// Runs `f` in `world_size` simulated MPI processes (one OS thread
+    /// each), handing each its `MPI_COMM_WORLD` [`Communicator`]. Returns
+    /// the per-rank results, ordered by rank.
+    ///
+    /// Panics in any rank propagate (with the rank number) after all other
+    /// ranks are either finished or deadlock-timed out.
+    pub fn run<T, F>(world_size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
+        assert!(world_size >= 1, "world must have at least one rank");
+        let engine = Engine::new(world_size);
+        let mut results: Vec<Option<T>> = (0..world_size).map(|_| None).collect();
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    let comm = Communicator::new(engine.clone(), rank);
+                    let f = &f;
+                    s.builder()
+                        .name(format!("mpi-rank-{rank}"))
+                        .spawn(move |_| {
+                            *slot = Some(f(comm));
+                        })
+                        .expect("spawn rank thread")
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(
+                        Box::new(format!("rank {rank} panicked: {e:?}")),
+                    );
+                }
+            }
+        })
+        .expect("mpi world scope");
+        results
+            .into_iter()
+            .map(|r| r.expect("every rank produced a result"))
+            .collect()
+    }
+}

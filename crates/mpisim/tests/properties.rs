@@ -1,0 +1,90 @@
+//! Property-based tests of the simulated MPI runtime's collectives.
+
+use kadabra_mpisim::{ReduceOp, Universe};
+use proptest::prelude::*;
+
+proptest! {
+    // Each case spins up real threads; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Vector sum-reduce computes the exact element-wise sum for arbitrary
+    /// payloads and any root.
+    #[test]
+    fn reduce_sum_is_exact(
+        ranks in 1usize..6,
+        len in 0usize..64,
+        root_pick in 0usize..6,
+        base in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let root = root_pick % ranks;
+        let out = Universe::run(ranks, |comm| {
+            let data: Vec<u64> = (0..len)
+                .map(|i| base.get(i).copied().unwrap_or(7) + comm.rank() as u64 * 13)
+                .collect();
+            comm.reduce_sum_u64(root, &data)
+        });
+        for (rank, res) in out.iter().enumerate() {
+            if rank == root {
+                let got = res.as_ref().unwrap();
+                prop_assert_eq!(got.len(), len);
+                for (i, &x) in got.iter().enumerate() {
+                    let expect: u64 = (0..ranks)
+                        .map(|r| base.get(i).copied().unwrap_or(7) + r as u64 * 13)
+                        .sum();
+                    prop_assert_eq!(x, expect);
+                }
+            } else {
+                prop_assert!(res.is_none());
+            }
+        }
+    }
+
+    /// Scalar all-reduce agrees with the sequential fold for all operators.
+    #[test]
+    fn allreduce_scalar_matches_fold(
+        ranks in 1usize..6,
+        values in proptest::collection::vec(0u64..1_000_000, 6),
+    ) {
+        for (op, fold) in [
+            (ReduceOp::Sum, Box::new(|a: u64, b: u64| a + b) as Box<dyn Fn(u64, u64) -> u64>),
+            (ReduceOp::Min, Box::new(u64::min)),
+            (ReduceOp::Max, Box::new(u64::max)),
+        ] {
+            let vals = values.clone();
+            let out = Universe::run(ranks, |comm| {
+                comm.allreduce_scalar_u64(op, vals[comm.rank()])
+            });
+            let expect = values[1..ranks].iter().fold(values[0], |a, &b| fold(a, b));
+            prop_assert!(out.iter().all(|&x| x == expect), "{op:?}");
+        }
+    }
+
+    /// Broadcast delivers the root's value to every rank.
+    #[test]
+    fn broadcast_delivers(ranks in 1usize..6, root_pick in 0usize..6, value in any::<u64>()) {
+        let root = root_pick % ranks;
+        let out = Universe::run(ranks, |comm| {
+            comm.bcast_u64(root, (comm.rank() == root).then_some(value))
+        });
+        prop_assert!(out.iter().all(|&x| x == value));
+    }
+
+    /// Split partitions ranks by color, ordered by key, and the sub-
+    /// communicators work.
+    #[test]
+    fn split_partitions(ranks in 2usize..7, colors in proptest::collection::vec(0u32..3, 7)) {
+        let colors_for = colors.clone();
+        let out = Universe::run(ranks, |comm| {
+            let color = colors_for[comm.rank()];
+            let sub = comm.split(color, comm.rank() as i64);
+            let members = comm.size(); // keep comm alive; use world size too
+            (color, sub.rank(), sub.size(), members)
+        });
+        for (rank, &(color, sub_rank, sub_size, _)) in out.iter().enumerate() {
+            let same: Vec<usize> = (0..ranks).filter(|&r| colors[r] == color).collect();
+            prop_assert_eq!(sub_size, same.len());
+            let expect_rank = same.iter().position(|&r| r == rank).unwrap();
+            prop_assert_eq!(sub_rank, expect_rank);
+        }
+    }
+}

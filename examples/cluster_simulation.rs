@@ -1,0 +1,63 @@
+//! Simulating the paper's 16-node cluster on a laptop: runs the calibrated
+//! discrete-event simulator across node counts and prints the projected
+//! speedup of the epoch-based MPI algorithm over the shared-memory state of
+//! the art — a miniature of the paper's Figure 2a for one instance.
+//!
+//! Run: `cargo run --release --example cluster_simulation`
+
+use kadabra_mpi::cluster::{simulate, ClusterSpec, CostModel, ReduceStrategy, SimConfig};
+use kadabra_mpi::core::{prepare, ClusterShape, KadabraConfig};
+use kadabra_mpi::graph::components::largest_component;
+use kadabra_mpi::graph::generators::{rmat, RmatConfig};
+
+fn main() {
+    let g_raw = rmat(RmatConfig::graph500(13, 8, 5));
+    let (g, _) = largest_component(&g_raw);
+    let cfg = KadabraConfig::new(0.005, 0.1);
+    println!("instance: R-MAT scale 13, {} vertices, {} edges", g.num_nodes(), g.num_edges());
+
+    // Real preparation (diameter, omega, calibration) and cost measurement.
+    let prepared = prepare(&g, &cfg);
+    let cost = CostModel::measure(&g, &cfg, 300);
+    println!(
+        "measured: mean sample {:.0}us, diameter phase {:.1}ms, omega {}",
+        cost.mean_sample_ns() / 1000.0,
+        cost.diameter_ns as f64 / 1e6,
+        prepared.omega
+    );
+
+    let spec = ClusterSpec::default();
+    // Baseline: Ref. [24] — one process spanning both sockets of one node.
+    let baseline_cfg = SimConfig {
+        shape: ClusterShape { ranks: 1, ranks_per_node: 1, threads_per_rank: 24 },
+        strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+        numa_penalty: true,
+    };
+    let baseline = simulate(&g, &cfg, &prepared, &baseline_cfg, &spec, &cost);
+    println!(
+        "\nshared-memory baseline (1 node x 24 threads, NUMA penalty): ADS {:.3}s, {} epochs",
+        baseline.ads_ns as f64 / 1e9,
+        baseline.epochs
+    );
+
+    println!("\n{:>6} {:>10} {:>10} {:>8} {:>9} {:>12}",
+        "nodes", "ADS (s)", "total (s)", "epochs", "speedup", "MiB/epoch");
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let sim_cfg = SimConfig {
+            shape: ClusterShape { ranks: 2 * nodes, ranks_per_node: 2, threads_per_rank: 12 },
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+        };
+        let r = simulate(&g, &cfg, &prepared, &sim_cfg, &spec, &cost);
+        println!(
+            "{:>6} {:>10.3} {:>10.3} {:>8} {:>8.2}x {:>12.1}",
+            nodes,
+            r.ads_ns as f64 / 1e9,
+            r.total_ns() as f64 / 1e9,
+            r.epochs,
+            baseline.total_ns() as f64 / r.total_ns() as f64,
+            r.comm_mib_per_epoch()
+        );
+    }
+    println!("\n(one rank per NUMA socket, 12 threads each; Ibarrier + blocking reduce)");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: approximate betweenness centrality on a synthetic social
+//! network in a few lines.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use kadabra_mpi::baselines::brandes;
+use kadabra_mpi::core::{kadabra_sequential, KadabraConfig};
+use kadabra_mpi::graph::components::largest_component;
+use kadabra_mpi::graph::generators::{rmat, RmatConfig};
+
+fn main() {
+    // 1. Build a graph (here: a Graph500-style R-MAT social-network proxy;
+    //    use `kadabra_mpi::graph::io::read_path` for edge-list files).
+    let g = rmat(RmatConfig::graph500(12, 8, 42));
+    let (lcc, _) = largest_component(&g);
+    println!(
+        "graph: {} vertices, {} edges (largest connected component)",
+        lcc.num_nodes(),
+        lcc.num_edges()
+    );
+
+    // 2. Configure the approximation: ±0.01 absolute error with probability
+    //    at least 90%.
+    let cfg = KadabraConfig::new(0.01, 0.1);
+
+    // 3. Run KADABRA.
+    let result = kadabra_sequential(&lcc, &cfg);
+    println!(
+        "KADABRA: {} samples (cap ω = {}), {} epochs, {:?} total",
+        result.samples,
+        result.omega,
+        result.stats.epochs,
+        result.timings.total()
+    );
+
+    // 4. Inspect the ranking.
+    println!("\ntop 5 vertices by approximate betweenness:");
+    for (v, score) in result.top_k(5) {
+        println!("  vertex {v:>6}: {score:.5}");
+    }
+
+    // 5. (Optional) compare against exact Brandes — feasible at this size.
+    let exact = brandes(&lcc);
+    let max_err = result
+        .scores
+        .iter()
+        .zip(&exact)
+        .map(|(a, e)| (a - e).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nmax |approx - exact| = {max_err:.5} (guarantee: <= {} w.p. 0.9)", cfg.epsilon);
+}

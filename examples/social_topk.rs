@@ -1,0 +1,76 @@
+//! Identifying the most central actors of a social network — the paper's
+//! motivating use case (Section I cites key-actor identification in covert
+//! and organizational networks).
+//!
+//! The example shows why small ε matters: with ε = 0.01 only a handful of
+//! vertices are reliably separated from zero (the paper counts 38 of 41M
+//! twitter vertices above 0.01), while ε = 0.001-class accuracy resolves an
+//! order of magnitude more of the ranking. It also demonstrates the
+//! epoch-based shared-memory algorithm as a drop-in for the sequential one.
+//!
+//! Run: `cargo run --release --example social_topk`
+
+use kadabra_mpi::core::{
+    confident_top_k, kadabra_sequential, kadabra_shared, prepare, KadabraConfig,
+};
+use kadabra_mpi::graph::components::largest_component;
+use kadabra_mpi::graph::generators::{hyperbolic, HyperbolicConfig};
+
+fn main() {
+    // A hyperbolic random graph has the power-law hubs of a real social
+    // network (power-law exponent 3, like the paper's synthetic inputs).
+    let g = hyperbolic(HyperbolicConfig { n: 20_000, avg_deg: 12.0, alpha: 1.0, seed: 7 });
+    let (lcc, _) = largest_component(&g);
+    println!(
+        "social network proxy: {} vertices, {} edges",
+        lcc.num_nodes(),
+        lcc.num_edges()
+    );
+
+    for eps in [0.01, 0.002] {
+        let cfg = KadabraConfig::new(eps, 0.1);
+        let result = kadabra_sequential(&lcc, &cfg);
+        let above = result.count_above(eps);
+        println!(
+            "\neps = {eps}: {} samples, {} vertices with score > eps (reliably nonzero)",
+            result.samples, above
+        );
+        println!("  top 5:");
+        for (v, score) in result.top_k(5) {
+            println!("    vertex {v:>6}: {score:.5} (degree {})", lcc.degree(v));
+        }
+    }
+
+    // Which vertices are *provably* in the top 10? Confidence intervals
+    // separate the clear winners from the statistical ties.
+    let cfg = KadabraConfig::new(0.002, 0.1);
+    let prepared = prepare(&lcc, &cfg);
+    let result = kadabra_sequential(&lcc, &cfg);
+    let topk = confident_top_k(&result, &prepared.calibration, 10);
+    println!(
+        "\nprovable top-10 membership at eps={}: {} confirmed, {} undecided",
+        cfg.epsilon,
+        topk.confirmed.len(),
+        topk.undecided.len()
+    );
+    for ci in topk.confirmed.iter().take(3) {
+        println!(
+            "  vertex {:>6}: [{:.5}, {:.5}] (point {:.5})",
+            ci.vertex, ci.lower, ci.upper, ci.estimate
+        );
+    }
+
+    // The same computation on 4 threads with the epoch-based framework —
+    // same guarantee, same API shape.
+    let cfg = KadabraConfig::new(0.005, 0.1);
+    let par = kadabra_shared(&lcc, &cfg, 4);
+    println!(
+        "\nepoch-based shared-memory run (T=4): {} samples in {} epochs, {:?} ADS time",
+        par.samples, par.stats.epochs, par.timings.adaptive_sampling
+    );
+    println!(
+        "aggregation volume: {:.1} MiB over {} epochs",
+        par.stats.comm_bytes as f64 / (1024.0 * 1024.0),
+        par.stats.epochs
+    );
+}

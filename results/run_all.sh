@@ -1,0 +1,17 @@
+#!/bin/bash
+# Full experiment campaign; outputs land in results/*.txt
+cd /root/repo
+export KADABRA_SCALE=0.25
+export KADABRA_SEED=42
+B=target/release
+echo "== table1 ==" && $B/exp_table1 > results/table1.txt 2>results/table1.err
+echo "== fig2 ==" && KADABRA_EPS=0.005 $B/exp_fig2 > results/fig2.txt 2>results/fig2.err
+echo "== fig3 ==" && KADABRA_EPS=0.005 $B/exp_fig3 > results/fig3.txt 2>results/fig3.err
+echo "== table2 ==" && KADABRA_EPS=0.005 $B/exp_table2 > results/table2.txt 2>results/table2.err
+echo "== fig4 ==" && $B/exp_fig4 > results/fig4.txt 2>results/fig4.err
+echo "== ablation_n0 ==" && $B/exp_ablation_n0 > results/ablation_n0.txt 2>results/ablation_n0.err
+echo "== ablation_reduce ==" && $B/exp_ablation_reduce > results/ablation_reduce.txt 2>results/ablation_reduce.err
+echo "== ablation_naive ==" && $B/exp_ablation_naive > results/ablation_naive.txt 2>results/ablation_naive.err
+echo "== topk ==" && $B/exp_topk > results/topk.txt 2>results/topk.err
+echo "== accuracy ==" && $B/exp_accuracy > results/accuracy.txt 2>results/accuracy.err
+echo ALL_EXPERIMENTS_DONE

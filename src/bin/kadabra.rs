@@ -1,0 +1,244 @@
+//! `kadabra` — command-line betweenness approximation.
+//!
+//! ```text
+//! kadabra <GRAPH> [--eps 0.01] [--delta 0.1] [--mode seq|shared|mpi|epoch-mpi]
+//!                 [--threads T] [--ranks P] [--top K] [--seed S] [--all]
+//! ```
+//!
+//! `GRAPH` is an edge-list text file (`u v` per line, `#`/`%` comments —
+//! the SNAP/KONECT interchange format) or a `.bin` CSR cache written by
+//! this tool's `--save-bin` option. By default the graph is read as
+//! undirected and unweighted and reduced to its largest connected component,
+//! exactly like the paper's experimental setup. `--directed` reads an arc
+//! list and runs directed KADABRA; `--weighted` reads `u v w` triples and
+//! runs weighted KADABRA (both sequential, paper footnote 1).
+
+use kadabra_mpi::core::{
+    kadabra_epoch_mpi, kadabra_mpi_flat, kadabra_sequential, kadabra_shared, ClusterShape,
+    KadabraConfig,
+};
+use kadabra_mpi::core::{kadabra_directed, kadabra_weighted};
+use kadabra_mpi::graph::components::largest_component;
+use kadabra_mpi::graph::io::{read_arc_list, read_path, read_weighted_edge_list, write_path};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    graph: PathBuf,
+    eps: f64,
+    delta: f64,
+    mode: String,
+    threads: usize,
+    ranks: usize,
+    top: usize,
+    seed: u64,
+    all: bool,
+    save_bin: Option<PathBuf>,
+    directed: bool,
+    weighted: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kadabra <GRAPH> [--eps 0.01] [--delta 0.1] \
+         [--mode seq|shared|mpi|epoch-mpi] [--threads T] [--ranks P] \
+         [--top K] [--seed S] [--all] [--save-bin FILE] [--directed] [--weighted]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        graph: PathBuf::new(),
+        eps: 0.01,
+        delta: 0.1,
+        mode: "seq".into(),
+        threads: 2,
+        ranks: 2,
+        top: 10,
+        seed: 42,
+        all: false,
+        save_bin: None,
+        directed: false,
+        weighted: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut have_graph = false;
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        });
+        match a.as_str() {
+            "--eps" => args.eps = val("--eps").parse().unwrap_or_else(|_| usage()),
+            "--delta" => args.delta = val("--delta").parse().unwrap_or_else(|_| usage()),
+            "--mode" => args.mode = val("--mode"),
+            "--threads" => args.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--ranks" => args.ranks = val("--ranks").parse().unwrap_or_else(|_| usage()),
+            "--top" => args.top = val("--top").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--all" => args.all = true,
+            "--directed" => args.directed = true,
+            "--weighted" => args.weighted = true,
+            "--save-bin" => args.save_bin = Some(PathBuf::from(val("--save-bin"))),
+            "--help" | "-h" => usage(),
+            _ if !have_graph => {
+                args.graph = PathBuf::from(a);
+                have_graph = true;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if !have_graph {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.directed || args.weighted {
+        return run_variant(&args);
+    }
+    let raw = match read_path(&args.graph) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", args.graph.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let (g, mapping) = largest_component(&raw);
+    eprintln!(
+        "loaded {}: {} vertices, {} edges (lcc of {} / {})",
+        args.graph.display(),
+        g.num_nodes(),
+        g.num_edges(),
+        raw.num_nodes(),
+        raw.num_edges()
+    );
+    if let Some(path) = &args.save_bin {
+        if let Err(e) = write_path(&g, path) {
+            eprintln!("error writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("cached lcc to {}", path.display());
+    }
+    if g.num_nodes() < 2 {
+        eprintln!("graph too small for betweenness");
+        return ExitCode::FAILURE;
+    }
+
+    let cfg = KadabraConfig { epsilon: args.eps, delta: args.delta, seed: args.seed, ..Default::default() };
+    let result = match args.mode.as_str() {
+        "seq" => kadabra_sequential(&g, &cfg),
+        "shared" => kadabra_shared(&g, &cfg, args.threads),
+        "mpi" => kadabra_mpi_flat(&g, &cfg, args.ranks),
+        "epoch-mpi" => kadabra_epoch_mpi(
+            &g,
+            &cfg,
+            ClusterShape {
+                ranks: args.ranks,
+                ranks_per_node: 2.min(args.ranks),
+                threads_per_rank: args.threads,
+            },
+        ),
+        other => {
+            eprintln!("unknown mode: {other}");
+            usage();
+        }
+    };
+
+    eprintln!(
+        "done: {} samples (omega {}), {} epochs, diameter {:.2?} / calibration {:.2?} / sampling {:.2?}",
+        result.samples,
+        result.omega,
+        result.stats.epochs,
+        result.timings.diameter,
+        result.timings.calibration,
+        result.timings.adaptive_sampling,
+    );
+
+    if args.all {
+        // Full score dump: `original_vertex_id score` per line on stdout.
+        for (new_id, &orig) in mapping.iter().enumerate() {
+            println!("{orig} {:.8}", result.scores[new_id]);
+        }
+    } else {
+        println!("top {} vertices by approximate betweenness:", args.top);
+        for (v, score) in result.top_k(args.top) {
+            let orig = mapping[v as usize];
+            println!("{orig} {score:.8}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Directed/weighted runs (sequential; paper footnote 1). These operate on
+/// the raw input (no LCC reduction: component structure differs for
+/// digraphs, and disconnected pairs are handled by the estimator).
+fn run_variant(args: &Args) -> ExitCode {
+    if args.directed && args.weighted {
+        eprintln!("--directed and --weighted are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    let cfg = KadabraConfig {
+        epsilon: args.eps,
+        delta: args.delta,
+        seed: args.seed,
+        ..Default::default()
+    };
+    let file = match std::fs::File::open(&args.graph) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error opening {}: {e}", args.graph.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if args.directed {
+        match read_arc_list(file) {
+            Ok(g) => {
+                eprintln!("loaded digraph: {} vertices, {} arcs", g.num_nodes(), g.num_arcs());
+                if g.num_nodes() < 2 {
+                    eprintln!("graph too small for betweenness");
+                    return ExitCode::FAILURE;
+                }
+                kadabra_directed(&g, &cfg)
+            }
+            Err(e) => {
+                eprintln!("error reading arc list: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match read_weighted_edge_list(file) {
+            Ok(g) => {
+                eprintln!(
+                    "loaded weighted graph: {} vertices, {} edges",
+                    g.num_nodes(),
+                    g.num_edges()
+                );
+                if g.num_nodes() < 2 {
+                    eprintln!("graph too small for betweenness");
+                    return ExitCode::FAILURE;
+                }
+                kadabra_weighted(&g, &cfg)
+            }
+            Err(e) => {
+                eprintln!("error reading weighted edge list: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    eprintln!(
+        "done: {} samples (omega {}), {} epochs",
+        result.samples, result.omega, result.stats.epochs
+    );
+    println!("top {} vertices by approximate betweenness:", args.top);
+    for (v, score) in result.top_k(args.top) {
+        println!("{v} {score:.8}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration: every execution mode (sequential, naive
+//! parallel, epoch shared-memory, Algorithm 1, Algorithm 2, DES) must honor
+//! the same ε guarantee against exact Brandes on the same inputs, and all
+//! modes must agree with one another within 2ε.
+
+use kadabra_mpi::baselines::brandes;
+use kadabra_mpi::cluster::{simulate, ClusterSpec, CostModel, ReduceStrategy, SimConfig};
+use kadabra_mpi::core::{
+    kadabra_epoch_mpi, kadabra_mpi_flat, kadabra_naive_parallel, kadabra_sequential,
+    kadabra_shared, prepare, ClusterShape, KadabraConfig,
+};
+use kadabra_mpi::graph::components::largest_component;
+use kadabra_mpi::graph::generators::{gnm, grid, GnmConfig, GridConfig};
+use kadabra_mpi::graph::Graph;
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+fn test_graph() -> Graph {
+    let (lcc, _) = largest_component(&gnm(GnmConfig { n: 120, m: 420, seed: 9 }));
+    lcc
+}
+
+#[test]
+fn all_modes_within_epsilon_of_exact() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 4242, ..Default::default() };
+
+    let runs: Vec<(&str, Vec<f64>)> = vec![
+        ("sequential", kadabra_sequential(&g, &cfg).scores),
+        ("naive-T3", kadabra_naive_parallel(&g, &cfg, 3).scores),
+        ("shared-T3", kadabra_shared(&g, &cfg, 3).scores),
+        ("mpi-flat-P3", kadabra_mpi_flat(&g, &cfg, 3).scores),
+        (
+            "epoch-mpi-P4T2",
+            kadabra_epoch_mpi(
+                &g,
+                &cfg,
+                ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 },
+            )
+            .scores,
+        ),
+    ];
+    for (name, scores) in &runs {
+        let err = max_abs_diff(scores, &exact);
+        assert!(err <= cfg.epsilon, "{name}: max error {err} > eps");
+    }
+    // Pairwise agreement within 2*eps.
+    for i in 0..runs.len() {
+        for j in (i + 1)..runs.len() {
+            let d = max_abs_diff(&runs[i].1, &runs[j].1);
+            assert!(
+                d <= 2.0 * cfg.epsilon,
+                "{} vs {}: disagreement {d}",
+                runs[i].0,
+                runs[j].0
+            );
+        }
+    }
+}
+
+#[test]
+fn des_matches_guarantee_on_road_like_graph() {
+    let g = grid(GridConfig { rows: 10, cols: 10, diagonal_prob: 0.0, seed: 0 });
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 7, ..Default::default() };
+    let prepared = prepare(&g, &cfg);
+    let cost = CostModel::synthetic(50_000);
+    for strategy in [
+        ReduceStrategy::IbarrierThenBlockingReduce,
+        ReduceStrategy::Ireduce,
+        ReduceStrategy::FullyBlocking,
+    ] {
+        let sim = SimConfig {
+            shape: ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 3 },
+            strategy,
+            numa_penalty: false,
+        };
+        let r = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
+        let err = max_abs_diff(&r.scores, &exact);
+        assert!(err <= cfg.epsilon, "{strategy:?}: max error {err}");
+    }
+}
+
+#[test]
+fn determinism_across_repeated_runs_per_mode() {
+    let g = test_graph();
+    let cfg = KadabraConfig { epsilon: 0.08, delta: 0.1, seed: 99, ..Default::default() };
+    let a = kadabra_sequential(&g, &cfg);
+    let b = kadabra_sequential(&g, &cfg);
+    assert_eq!(a.scores, b.scores);
+    assert_eq!(a.samples, b.samples);
+
+    let na = kadabra_naive_parallel(&g, &cfg, 2);
+    let nb = kadabra_naive_parallel(&g, &cfg, 2);
+    assert_eq!(na.scores, nb.scores);
+
+    // The DES is deterministic even for "parallel" runs.
+    let prepared = prepare(&g, &cfg);
+    let cost = CostModel::synthetic(10_000);
+    let sim = SimConfig {
+        shape: ClusterShape { ranks: 2, ranks_per_node: 2, threads_per_rank: 2 },
+        strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+        numa_penalty: false,
+    };
+    let da = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
+    let db = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
+    assert_eq!(da.scores, db.scores);
+    assert_eq!(da.ads_ns, db.ads_ns);
+}
+
+#[test]
+fn omega_cap_is_respected_by_every_mode() {
+    // On a star graph the hub's estimate is ~1, so the Bernstein bounds
+    // cannot reach a tight epsilon before the cap: the run must stop at ω
+    // (plus at most one epoch of overshoot). A loose epsilon on the same
+    // graph stops far earlier — the adaptive advantage.
+    let edges: Vec<(u32, u32)> = (1..60).map(|v| (0, v)).collect();
+    let g = kadabra_mpi::graph::csr::graph_from_edges(60, &edges);
+    let tight = KadabraConfig {
+        epsilon: 0.01,
+        delta: 0.1,
+        seed: 5,
+        calibration_samples: Some(200),
+        ..Default::default()
+    };
+    let r = kadabra_sequential(&g, &tight);
+    assert!(r.samples >= r.omega, "must run to the cap for tight eps");
+    assert!(r.samples <= r.omega + tight.n0(1), "overshoot bounded by one epoch");
+
+    // On a graph whose betweenness mass is spread out, a moderate epsilon
+    // stops adaptively, well before the cap (the star hub above cannot:
+    // its estimate ~1 keeps the Bernstein bounds wide all the way to ω).
+    let spread = test_graph();
+    let loose = KadabraConfig { epsilon: 0.02, ..tight };
+    let r2 = kadabra_sequential(&spread, &loose);
+    assert!(r2.samples < r2.omega, "moderate eps must stop adaptively: {} vs {}", r2.samples, r2.omega);
+}

@@ -1,0 +1,91 @@
+//! End-to-end pipeline tests: generator → IO round-trip → LCC extraction →
+//! diameter → KADABRA → ranking, exercising the public facade crate the way
+//! a downstream user would.
+
+use kadabra_mpi::baselines::{brandes, rk_betweenness, RkConfig};
+use kadabra_mpi::core::{kadabra_sequential, KadabraConfig};
+use kadabra_mpi::graph::components::largest_component;
+use kadabra_mpi::graph::diameter::diameter;
+use kadabra_mpi::graph::generators::{hyperbolic, rmat, HyperbolicConfig, RmatConfig};
+use kadabra_mpi::graph::io::{read_binary, read_edge_list, write_binary, write_edge_list};
+
+#[test]
+fn full_pipeline_rmat() {
+    // Generate.
+    let g = rmat(RmatConfig::graph500(10, 6, 2024));
+    // Serialize + reload through both formats.
+    let mut text = Vec::new();
+    write_edge_list(&g, &mut text).unwrap();
+    let g2 = read_edge_list(&text[..]).unwrap();
+    let mut bin = Vec::new();
+    write_binary(&g2, &mut bin).unwrap();
+    let g3 = read_binary(&bin[..]).unwrap();
+    assert_eq!(g2, g3);
+
+    // LCC, diameter, approximate betweenness.
+    let (lcc, mapping) = largest_component(&g3);
+    assert!(!mapping.is_empty());
+    let d = diameter(&lcc, 0, 0);
+    let cfg = KadabraConfig::new(0.03, 0.1);
+    let r = kadabra_sequential(&lcc, &cfg);
+    assert!(r.vertex_diameter >= d.exact() + 1 || r.vertex_diameter >= d.exact());
+
+    // Ranking sanity: top vertex should have above-average degree on a
+    // power-law graph.
+    let (top, score) = r.top_k(1)[0];
+    assert!(score > 0.0);
+    let avg_deg = 2.0 * lcc.num_edges() as f64 / lcc.num_nodes() as f64;
+    assert!(
+        lcc.degree(top) as f64 > avg_deg,
+        "top betweenness vertex should be a hub: degree {} vs avg {avg_deg}",
+        lcc.degree(top)
+    );
+}
+
+#[test]
+fn kadabra_beats_rk_sample_count_on_concentrated_graphs() {
+    // Adaptivity pays when the stopping condition fires before the RK bound:
+    // KADABRA must never take more samples than the non-adaptive bound plus
+    // one epoch of slack, and typically takes far fewer.
+    let g = hyperbolic(HyperbolicConfig { n: 3_000, avg_deg: 10.0, alpha: 1.0, seed: 5 });
+    let (lcc, _) = largest_component(&g);
+    let cfg = KadabraConfig::new(0.02, 0.1);
+    let kad = kadabra_sequential(&lcc, &cfg);
+    let rk_cfg = RkConfig {
+        epsilon: 0.02,
+        delta: 0.1,
+        vertex_diameter: kad.vertex_diameter,
+        seed: 5,
+    };
+    let rk = rk_betweenness(&lcc, rk_cfg);
+    assert!(
+        kad.samples <= rk.samples + cfg.n0(1),
+        "adaptive {} should not exceed fixed-size {}",
+        kad.samples,
+        rk.samples
+    );
+    // And both satisfy the guarantee.
+    let exact = brandes(&lcc);
+    for (scores, name) in [(&kad.scores, "kadabra"), (&rk.scores, "rk")] {
+        let worst = scores
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= 0.02, "{name}: {worst}");
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time check that the facade exposes all six subsystems.
+    let _ = kadabra_mpi::VERSION;
+    let g = kadabra_mpi::graph::csr::graph_from_edges(3, &[(0, 1), (1, 2)]);
+    assert_eq!(g.num_edges(), 2);
+    let fw = kadabra_mpi::epoch::EpochFramework::new(4, 1);
+    assert_eq!(fw.num_threads(), 1);
+    let out = kadabra_mpi::mpisim::Universe::run(2, |c| c.rank());
+    assert_eq!(out, vec![0, 1]);
+    let spec = kadabra_mpi::cluster::ClusterSpec::default();
+    assert_eq!(spec.cores_per_node(), 24);
+}
