@@ -246,10 +246,7 @@ mod tests {
     fn weighted_detour_moves_centrality() {
         // Heavy direct edge 0-3; light chain 0-1-2-3: the chain's interior
         // vertices carry the betweenness.
-        let g = WeightedGraph::from_edges(
-            4,
-            &[(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)],
-        );
+        let g = WeightedGraph::from_edges(4, &[(0, 3, 10), (0, 1, 1), (1, 2, 1), (2, 3, 1)]);
         let bc = brandes_weighted(&g);
         assert!(bc[1] > 0.0 && bc[2] > 0.0);
     }

@@ -65,8 +65,8 @@ mod tests {
     fn tied_paths_share_weight() {
         let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let bc = brute_force_betweenness(&g);
-        for v in 0..4 {
-            assert!((bc[v] - 1.0 / 12.0).abs() < 1e-12);
+        for b in &bc {
+            assert!((b - 1.0 / 12.0).abs() < 1e-12);
         }
     }
 }

@@ -86,9 +86,9 @@ pub fn rk_betweenness(g: &Graph, cfg: RkConfig) -> RkResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kadabra_graph::components::largest_component;
     use kadabra_graph::csr::graph_from_edges;
     use kadabra_graph::generators::{gnm, GnmConfig};
-    use kadabra_graph::components::largest_component;
 
     #[test]
     fn sample_size_formula() {
@@ -110,13 +110,8 @@ mod tests {
         let cfg = RkConfig { epsilon: 0.05, delta: 0.1, vertex_diameter: 3, seed: 1 };
         let res = rk_betweenness(&g, cfg);
         let exact = crate::brandes::brandes(&g);
-        for v in 0..8 {
-            assert!(
-                (res.scores[v] - exact[v]).abs() <= 0.05,
-                "vertex {v}: {} vs {}",
-                res.scores[v],
-                exact[v]
-            );
+        for (v, (s, e)) in res.scores.iter().zip(&exact).enumerate() {
+            assert!((s - e).abs() <= 0.05, "vertex {v}: {s} vs {e}");
         }
     }
 
@@ -127,12 +122,8 @@ mod tests {
         let exact = crate::brandes::brandes(&lcc);
         let cfg = RkConfig { epsilon: 0.05, delta: 0.05, vertex_diameter: 12, seed: 2 };
         let res = rk_betweenness(&lcc, cfg);
-        let worst = res
-            .scores
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0f64, f64::max);
+        let worst =
+            res.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
         assert!(worst <= cfg.epsilon, "max error {worst} > eps");
     }
 

@@ -41,10 +41,10 @@ proptest! {
     fn structural_facts((n, edges) in arb_edges(25, 100)) {
         let g = graph_from_edges(n, &edges);
         let bc = brandes(&g);
-        for v in 0..n {
-            prop_assert!((0.0..=1.0).contains(&bc[v]));
+        for (v, b) in bc.iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(b));
             if g.degree(v as NodeId) <= 1 {
-                prop_assert!(bc[v].abs() < 1e-12, "leaf {} has bc {}", v, bc[v]);
+                prop_assert!(b.abs() < 1e-12, "leaf {} has bc {}", v, b);
             }
         }
     }

@@ -20,7 +20,7 @@ fn bench_reduce_vectors(c: &mut Criterion) {
                             let data = vec![comm.rank() as u64; len];
                             comm.reduce_sum_u64(0, &data).map(|v| v[0])
                         })
-                    })
+                    });
                 },
             );
         }
@@ -42,7 +42,7 @@ fn bench_barrier_round(c: &mut Criterion) {
                         }
                     }
                 })
-            })
+            });
         });
     }
     group.finish();

@@ -18,12 +18,12 @@ fn bench_algorithms(c: &mut Criterion) {
 
     let cfg = KadabraConfig::new(0.02, 0.1);
     group.bench_function("kadabra_adaptive_eps0.02", |b| {
-        b.iter(|| kadabra_sequential(&g, &cfg).samples)
+        b.iter(|| kadabra_sequential(&g, &cfg).samples);
     });
 
     let rk_cfg = RkConfig { epsilon: 0.02, delta: 0.1, vertex_diameter: 10, seed: 3 };
     group.bench_function("rk_fixed_eps0.02", |b| {
-        b.iter(|| rk_betweenness(&g, rk_cfg).samples)
+        b.iter(|| rk_betweenness(&g, rk_cfg).samples);
     });
     group.finish();
 }

@@ -15,7 +15,7 @@ fn bench_record_sample(c: &mut Criterion) {
         let h = fw.handle(0);
         let interior: Vec<u32> = (0..path_len as u32).collect();
         group.bench_with_input(BenchmarkId::from_parameter(path_len), &interior, |b, interior| {
-            b.iter(|| h.record_sample(std::hint::black_box(interior)))
+            b.iter(|| h.record_sample(std::hint::black_box(interior)));
         });
     }
     group.finish();
@@ -25,7 +25,7 @@ fn bench_check_transition_noop(c: &mut Criterion) {
     let fw = EpochFramework::new(1024, 2);
     let mut h = fw.handle(1);
     c.bench_function("epoch_check_transition_noop", |b| {
-        b.iter(|| std::hint::black_box(fw.check_transition(&mut h)))
+        b.iter(|| std::hint::black_box(fw.check_transition(&mut h)));
     });
 }
 
@@ -48,16 +48,11 @@ fn bench_full_epoch_cycle(c: &mut Criterion) {
                     acc
                 },
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_record_sample,
-    bench_check_transition_noop,
-    bench_full_epoch_cycle
-);
+criterion_group!(benches, bench_record_sample, bench_check_transition_noop, bench_full_epoch_cycle);
 criterion_main!(benches);

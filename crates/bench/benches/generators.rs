@@ -3,7 +3,9 @@
 //! bounds experiment turnaround.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use kadabra_graph::generators::{gnm, grid, hyperbolic, rmat, GnmConfig, GridConfig, HyperbolicConfig, RmatConfig};
+use kadabra_graph::generators::{
+    gnm, grid, hyperbolic, rmat, GnmConfig, GridConfig, HyperbolicConfig, RmatConfig,
+};
 
 fn bench_rmat(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate_rmat");
@@ -12,7 +14,7 @@ fn bench_rmat(c: &mut Criterion) {
         let edges = (1u64 << scale) * 8;
         group.throughput(Throughput::Elements(edges));
         group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
-            b.iter(|| rmat(RmatConfig::graph500(scale, 8, 1)).num_edges())
+            b.iter(|| rmat(RmatConfig::graph500(scale, 8, 1)).num_edges());
         });
     }
     group.finish();
@@ -26,7 +28,7 @@ fn bench_hyperbolic(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 hyperbolic(HyperbolicConfig { n, avg_deg: 12.0, alpha: 1.0, seed: 1 }).num_edges()
-            })
+            });
         });
     }
     group.finish();
@@ -36,10 +38,12 @@ fn bench_grid_and_gnm(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate_other");
     group.sample_size(10);
     group.bench_function("grid_200x200", |b| {
-        b.iter(|| grid(GridConfig { rows: 200, cols: 200, diagonal_prob: 0.05, seed: 1 }).num_edges())
+        b.iter(|| {
+            grid(GridConfig { rows: 200, cols: 200, diagonal_prob: 0.05, seed: 1 }).num_edges()
+        });
     });
     group.bench_function("gnm_50k_400k", |b| {
-        b.iter(|| gnm(GnmConfig { n: 50_000, m: 400_000, seed: 1 }).num_edges())
+        b.iter(|| gnm(GnmConfig { n: 50_000, m: 400_000, seed: 1 }).num_edges());
     });
     group.finish();
 }

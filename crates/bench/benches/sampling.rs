@@ -32,7 +32,7 @@ fn bench_bidirectional_sample(c: &mut Criterion) {
             b.iter(|| {
                 let interior = sampler.sample(g);
                 std::hint::black_box(interior.len())
-            })
+            });
         });
     }
     group.finish();
@@ -48,7 +48,7 @@ fn bench_unidirectional_bfs(c: &mut Criterion) {
             b.iter(|| {
                 src = (src + 17) % g.num_nodes() as u32;
                 std::hint::black_box(sigma_bfs(g, src).order.len())
-            })
+            });
         });
     }
     group.finish();

@@ -27,7 +27,8 @@ fn bench_stopping_condition(c: &mut Criterion) {
         let tau = 50_000u64;
         let counts = synthetic_counts(n, tau, 1);
         let calib = Calibration::from_counts(&counts, tau, &cfg);
-        let result = stopping_condition(&counts, tau, 0.9, 10_000_000, &calib.delta_l, &calib.delta_u);
+        let result =
+            stopping_condition(&counts, tau, 0.9, 10_000_000, &calib.delta_l, &calib.delta_u);
         assert!(result, "full-scan configuration must pass every vertex");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -39,7 +40,7 @@ fn bench_stopping_condition(c: &mut Criterion) {
                     &calib.delta_l,
                     &calib.delta_u,
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -52,7 +53,7 @@ fn bench_delta_calibration(c: &mut Criterion) {
     for &n in &[10_000usize, 100_000] {
         let counts = synthetic_counts(n, 5_000, 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &counts, |b, counts| {
-            b.iter(|| Calibration::from_counts(std::hint::black_box(counts), 5_000, &cfg))
+            b.iter(|| Calibration::from_counts(std::hint::black_box(counts), 5_000, &cfg));
         });
     }
     group.finish();

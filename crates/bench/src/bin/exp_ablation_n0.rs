@@ -25,7 +25,12 @@ fn main() {
         let inst = instances.iter().find(|i| i.name == name).unwrap();
         let g = inst.build_lcc(scale, seed);
         let mut t = Table::new([
-            "n0 base", "n0 (PT=384)", "epochs", "samples", "overshoot vs best", "ADS time(ms)",
+            "n0 base",
+            "n0 (PT=384)",
+            "epochs",
+            "samples",
+            "overshoot vs best",
+            "ADS time(ms)",
         ]);
         let mut min_samples = u64::MAX;
         let mut rows: Vec<(f64, u64, u64, u64, u64)> = Vec::new();

@@ -25,8 +25,12 @@ fn main() {
         let inst = instances.iter().find(|i| i.name == name).unwrap();
         let pi = prepare_instance(inst, scale, seed, eps, 300);
         let mut t = Table::new([
-            "threads", "naive ADS(s)", "epoch ADS(s)", "epoch advantage",
-            "naive blocked(s)", "naive checks",
+            "threads",
+            "naive ADS(s)",
+            "epoch ADS(s)",
+            "epoch advantage",
+            "naive blocked(s)",
+            "naive checks",
         ]);
         for threads in [1usize, 2, 4, 8, 16, 24] {
             let naive = simulate_naive(&pi.graph, &pi.cfg, &pi.prepared, threads, &spec, &pi.cost);

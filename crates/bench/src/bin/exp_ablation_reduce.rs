@@ -41,7 +41,11 @@ fn main() {
     let pi = prepare_instance(inst, scale, seed, eps, 300);
 
     let mut t = Table::new([
-        "# nodes", "ibarrier+reduce (ms)", "ireduce (ms)", "fully blocking (ms)", "best",
+        "# nodes",
+        "ibarrier+reduce (ms)",
+        "ireduce (ms)",
+        "fully blocking (ms)",
+        "best",
     ]);
     for nodes in [2usize, 4, 8, 16] {
         let shape = ClusterShape { ranks: 2 * nodes, ranks_per_node: 2, threads_per_rank: 12 };

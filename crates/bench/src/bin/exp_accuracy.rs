@@ -26,30 +26,46 @@ fn main() {
         let exact = brandes(g);
         let cfg = KadabraConfig { epsilon: eps, delta: 0.1, seed: seed0, ..Default::default() };
         let max_err = |scores: &[f64]| -> f64 {
-            scores
-                .iter()
-                .zip(&exact)
-                .map(|(a, e)| (a - e).abs())
-                .fold(0.0f64, f64::max)
+            scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max)
         };
 
         let mut t = Table::new(["mode", "max |err|", "within eps", "samples"]);
         let r = kadabra_sequential(g, &cfg);
-        t.row(["sequential".into(), format!("{:.4}", max_err(&r.scores)),
-               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        t.row([
+            "sequential".into(),
+            format!("{:.4}", max_err(&r.scores)),
+            format!("{}", max_err(&r.scores) <= eps),
+            r.samples.to_string(),
+        ]);
         let r = kadabra_shared(g, &cfg, 4);
-        t.row(["shared (epoch, T=4)".into(), format!("{:.4}", max_err(&r.scores)),
-               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        t.row([
+            "shared (epoch, T=4)".into(),
+            format!("{:.4}", max_err(&r.scores)),
+            format!("{}", max_err(&r.scores) <= eps),
+            r.samples.to_string(),
+        ]);
         let r = kadabra_naive_parallel(g, &cfg, 4);
-        t.row(["naive parallel (T=4)".into(), format!("{:.4}", max_err(&r.scores)),
-               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        t.row([
+            "naive parallel (T=4)".into(),
+            format!("{:.4}", max_err(&r.scores)),
+            format!("{}", max_err(&r.scores) <= eps),
+            r.samples.to_string(),
+        ]);
         let r = kadabra_mpi_flat(g, &cfg, 4);
-        t.row(["Algorithm 1 (P=4)".into(), format!("{:.4}", max_err(&r.scores)),
-               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        t.row([
+            "Algorithm 1 (P=4)".into(),
+            format!("{:.4}", max_err(&r.scores)),
+            format!("{}", max_err(&r.scores) <= eps),
+            r.samples.to_string(),
+        ]);
         let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
         let r = kadabra_epoch_mpi(g, &cfg, shape);
-        t.row(["Algorithm 2 (P=4,T=2)".into(), format!("{:.4}", max_err(&r.scores)),
-               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        t.row([
+            "Algorithm 2 (P=4,T=2)".into(),
+            format!("{:.4}", max_err(&r.scores)),
+            format!("{}", max_err(&r.scores) <= eps),
+            r.samples.to_string(),
+        ]);
         let prepared = prepare(g, &cfg);
         let cost = CostModel::synthetic(100_000);
         let sim = SimConfig {
@@ -58,8 +74,12 @@ fn main() {
             numa_penalty: false,
         };
         let r = simulate(g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
-        t.row(["DES (P=8,T=4)".into(), format!("{:.4}", max_err(&r.scores)),
-               format!("{}", max_err(&r.scores) <= eps), r.samples.to_string()]);
+        t.row([
+            "DES (P=8,T=4)".into(),
+            format!("{:.4}", max_err(&r.scores)),
+            format!("{}", max_err(&r.scores) <= eps),
+            r.samples.to_string(),
+        ]);
 
         println!("-- instance {gname} --");
         t.print();
@@ -79,12 +99,7 @@ fn main() {
             ..Default::default()
         };
         let r = kadabra_sequential(&grid_g, &cfg);
-        let worst = r
-            .scores
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0f64, f64::max);
+        let worst = r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
         if worst > eps {
             failures += 1;
         }

@@ -10,8 +10,8 @@
 //! Knobs: `KADABRA_SCALE`, `KADABRA_EPS` (default 0.03), `KADABRA_SEED`.
 
 use kadabra_bench::{
-    eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed,
-    shared_baseline_shape, suite, Table,
+    eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed, shared_baseline_shape,
+    suite, Table,
 };
 use kadabra_cluster::{simulate, ClusterSpec};
 
@@ -29,19 +29,18 @@ fn main() {
     // Phase fractions at each node count, averaged over instances:
     // [diameter, calibration, transition, barrier, reduce, check].
     let mut fractions: Vec<[f64; 6]> = vec![[0.0; 6]; NODE_COUNTS.len()];
-    let mut per_instance = Table::new([
-        "Instance", "P=1", "P=2", "P=4", "P=8", "P=16", "baseline ADS",
-    ]);
+    let mut per_instance =
+        Table::new(["Instance", "P=1", "P=2", "P=4", "P=8", "P=16", "baseline ADS"]);
 
     let instances = suite();
     for inst in &instances {
         let pi = prepare_instance(inst, scale, seed, eps, 300);
-        let baseline = simulate(
-            &pi.graph, &pi.cfg, &pi.prepared, &shared_baseline_shape(), &spec, &pi.cost,
-        );
+        let baseline =
+            simulate(&pi.graph, &pi.cfg, &pi.prepared, &shared_baseline_shape(), &spec, &pi.cost);
         let mut row = vec![pi.name.to_string()];
         for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
-            let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(nodes), &spec, &pi.cost);
+            let r =
+                simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(nodes), &spec, &pi.cost);
             let s = baseline.total_ns() as f64 / r.total_ns() as f64;
             speedups[i].push(s);
             row.push(format!("{s:.2}x"));
@@ -79,7 +78,14 @@ fn main() {
 
     println!("\n-- Fig 2b: mean fraction of running time per phase --");
     let mut breakdown = Table::new([
-        "# nodes", "diameter", "calibration", "epoch transition", "ibarrier", "reduce", "check", "sampling(rest)",
+        "# nodes",
+        "diameter",
+        "calibration",
+        "epoch transition",
+        "ibarrier",
+        "reduce",
+        "check",
+        "sampling(rest)",
     ]);
     let n_inst = instances.len() as f64;
     for (i, &nodes) in NODE_COUNTS.iter().enumerate() {

@@ -9,8 +9,8 @@
 //! Run: `cargo run --release -p kadabra-bench --bin exp_fig3`
 
 use kadabra_bench::{
-    eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed,
-    shared_baseline_shape, suite, Table,
+    eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed, shared_baseline_shape,
+    suite, Table,
 };
 use kadabra_cluster::{simulate, ClusterSpec};
 
@@ -29,11 +29,11 @@ fn main() {
 
     for inst in suite() {
         let pi = prepare_instance(&inst, scale, seed, eps, 300);
-        let baseline = simulate(
-            &pi.graph, &pi.cfg, &pi.prepared, &shared_baseline_shape(), &spec, &pi.cost,
-        );
+        let baseline =
+            simulate(&pi.graph, &pi.cfg, &pi.prepared, &shared_baseline_shape(), &spec, &pi.cost);
         for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
-            let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(nodes), &spec, &pi.cost);
+            let r =
+                simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(nodes), &spec, &pi.cost);
             ads_speedups[i].push(baseline.ads_ns as f64 / r.ads_ns as f64);
             calib_speedups[i].push(baseline.calibration_ns as f64 / r.calibration_ns as f64);
             let secs = r.ads_ns as f64 / 1e9;
@@ -63,11 +63,7 @@ fn main() {
     let base_thr = geomean(&throughputs[0]);
     for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
         let thr = geomean(&throughputs[i]);
-        t2.row([
-            nodes.to_string(),
-            format!("{thr:.0}"),
-            format!("{:.2}", thr / base_thr),
-        ]);
+        t2.row([nodes.to_string(), format!("{thr:.0}"), format!("{:.2}", thr / base_thr)]);
     }
     t2.print();
     println!("\nExpected shape (paper Fig 3b): flat within ~600-1000 samples/(s*node) —");

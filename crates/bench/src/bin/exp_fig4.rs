@@ -39,8 +39,10 @@ fn run_series(name: &str, graphs: Vec<(u32, Graph)>, eps: f64, seed: u64) {
         ]);
         eprintln!("  done: {name} scale {log_n}");
     }
-    println!("-- Fig 4{}: {name}, |E| = 30 |V|, 16 nodes --",
-        if name.starts_with("R-MAT") { 'a' } else { 'b' });
+    println!(
+        "-- Fig 4{}: {name}, |E| = 30 |V|, 16 nodes --",
+        if name.starts_with("R-MAT") { 'a' } else { 'b' }
+    );
     t.print();
     if let Some(first) = first_per_vertex {
         println!(
@@ -57,9 +59,7 @@ fn main() {
     // graphs drown the measurement in termination-latency noise, so the
     // sweep never shifts below 2^12.
     let shift = scale_factor().log2().round().max(0.0) as i32;
-    let scales: Vec<u32> = (12..=15)
-        .map(|s| (s + shift).clamp(12, 26) as u32)
-        .collect();
+    let scales: Vec<u32> = (12..=15).map(|s| (s + shift).clamp(12, 26) as u32).collect();
     println!(
         "Figure 4: scalability w.r.t. graph size (eps {eps}, seed {seed}, scales {scales:?})\n"
     );

@@ -16,7 +16,8 @@ fn main() {
     let scale = scale_factor();
     let seed = seed();
     println!("Table I: proxy instance suite (scale {scale}, seed {seed})\n");
-    let mut table = Table::new(["Instance", "Proxy for", "|V|", "|E|", "Diameter", "deg-Gini", "MiB"]);
+    let mut table =
+        Table::new(["Instance", "Proxy for", "|V|", "|E|", "Diameter", "deg-Gini", "MiB"]);
     for inst in suite() {
         let g = inst.build_lcc(scale, seed);
         let d = diameter(&g, 0, 4096);

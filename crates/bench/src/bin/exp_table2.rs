@@ -22,9 +22,8 @@ fn main() {
     println!("Table II: per-instance statistics on 16 compute nodes");
     println!("(scale {scale}, eps {eps}, delta 0.1, seed {seed})\n");
 
-    let mut table = Table::new([
-        "Instance", "Class", "Ep.", "Samples", "B(s)", "Com.(MiB/ep)", "Time(s)",
-    ]);
+    let mut table =
+        Table::new(["Instance", "Class", "Ep.", "Samples", "B(s)", "Com.(MiB/ep)", "Time(s)"]);
     let mut road = (0u64, 0.0f64); // (epochs, comm) accumulators for the shape check
     let mut complex = (0u64, 0.0f64);
     let mut road_n = 0u64;

@@ -20,7 +20,12 @@ fn main() {
     println!("(scale {scale}, eps {eps}, delta 0.1, seed {seed})\n");
 
     let mut t = Table::new([
-        "Instance", "uniform samples", "top-k samples", "savings", "separated", "confirmed",
+        "Instance",
+        "uniform samples",
+        "top-k samples",
+        "savings",
+        "separated",
+        "confirmed",
     ]);
     for inst in suite() {
         let g = inst.build_lcc(scale, seed);

@@ -36,8 +36,11 @@ pub enum InstanceClass {
 /// One suite instance: a name, its class, the paper instance it proxies,
 /// and a builder.
 pub struct Instance {
+    /// Short identifier used in tables and CLI filters.
     pub name: &'static str,
+    /// Structural family the instance belongs to.
     pub class: InstanceClass,
+    /// The paper instance (Table I) this synthetic graph stands in for.
     pub proxies_for: &'static str,
     build: fn(f64, u64) -> Graph,
 }
@@ -67,34 +70,35 @@ pub fn suite() -> Vec<Instance> {
             name: "road-pa",
             class: InstanceClass::Road,
             proxies_for: "roadNet-PA",
-            build: |s, seed| grid(GridConfig {
-                rows: dim(110, s),
-                cols: dim(110, s),
-                diagonal_prob: 0.05,
-                seed,
-            }),
+            build: |s, seed| {
+                grid(GridConfig { rows: dim(110, s), cols: dim(110, s), diagonal_prob: 0.05, seed })
+            },
         },
         Instance {
             name: "road-ca",
             class: InstanceClass::Road,
             proxies_for: "roadNet-CA",
-            build: |s, seed| grid(GridConfig {
-                rows: dim(150, s),
-                cols: dim(140, s),
-                diagonal_prob: 0.05,
-                seed: seed + 1,
-            }),
+            build: |s, seed| {
+                grid(GridConfig {
+                    rows: dim(150, s),
+                    cols: dim(140, s),
+                    diagonal_prob: 0.05,
+                    seed: seed + 1,
+                })
+            },
         },
         Instance {
             name: "road-ne",
             class: InstanceClass::Road,
             proxies_for: "dimacs9-NE (high diameter)",
-            build: |s, seed| grid(GridConfig {
-                rows: dim(320, s),
-                cols: dim(90, s),
-                diagonal_prob: 0.02,
-                seed: seed + 2,
-            }),
+            build: |s, seed| {
+                grid(GridConfig {
+                    rows: dim(320, s),
+                    cols: dim(90, s),
+                    diagonal_prob: 0.02,
+                    seed: seed + 2,
+                })
+            },
         },
         Instance {
             name: "rmat-orkut",
@@ -124,33 +128,35 @@ pub fn suite() -> Vec<Instance> {
             name: "hyper-friendster",
             class: InstanceClass::Hyperbolic,
             proxies_for: "friendster",
-            build: |s, seed| hyperbolic(HyperbolicConfig {
-                n: count(60_000, s),
-                avg_deg: 24.0,
-                alpha: 1.0,
-                seed: seed + 7,
-            }),
+            build: |s, seed| {
+                hyperbolic(HyperbolicConfig {
+                    n: count(60_000, s),
+                    avg_deg: 24.0,
+                    alpha: 1.0,
+                    seed: seed + 7,
+                })
+            },
         },
         Instance {
             name: "hyper-uk",
             class: InstanceClass::Hyperbolic,
             proxies_for: "dimacs10-uk-2007-05",
-            build: |s, seed| hyperbolic(HyperbolicConfig {
-                n: count(100_000, s),
-                avg_deg: 16.0,
-                alpha: 1.0,
-                seed: seed + 8,
-            }),
+            build: |s, seed| {
+                hyperbolic(HyperbolicConfig {
+                    n: count(100_000, s),
+                    avg_deg: 16.0,
+                    alpha: 1.0,
+                    seed: seed + 8,
+                })
+            },
         },
         Instance {
             name: "gnm-control",
             class: InstanceClass::Control,
             proxies_for: "(unstructured control)",
-            build: |s, seed| gnm(GnmConfig {
-                n: count(30_000, s),
-                m: count(240_000, s),
-                seed: seed + 9,
-            }),
+            build: |s, seed| {
+                gnm(GnmConfig { n: count(30_000, s), m: count(240_000, s), seed: seed + 9 })
+            },
         },
     ]
 }
@@ -192,10 +198,7 @@ mod tests {
         let rmat_inst = s.iter().find(|i| i.name == "rmat-orkut").unwrap();
         let g2 = rmat_inst.build_lcc(0.25, 42);
         let (lb2, _, _) = kadabra_graph::diameter::two_sweep(&g2, 0);
-        assert!(
-            lb > 10 * lb2,
-            "road diameter {lb} must dwarf complex-network diameter {lb2}"
-        );
+        assert!(lb > 10 * lb2, "road diameter {lb} must dwarf complex-network diameter {lb2}");
     }
 
     #[test]

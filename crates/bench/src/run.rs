@@ -8,11 +8,17 @@ use kadabra_graph::Graph;
 /// Everything an experiment needs per instance: the graph (LCC), real
 /// preparation (diameter, ω, calibration) and the measured cost model.
 pub struct PreparedInstance {
+    /// Instance name (matches [`crate::instances::Instance::name`]).
     pub name: &'static str,
+    /// The paper instance this synthetic graph stands in for.
     pub proxies_for: &'static str,
+    /// Largest connected component of the generated graph.
     pub graph: Graph,
+    /// Algorithm configuration used for preparation.
     pub cfg: KadabraConfig,
+    /// Preparation output: diameter bound, ω, calibration.
     pub prepared: Prepared,
+    /// Measured per-operation cost model for the cluster simulator.
     pub cost: CostModel,
 }
 
@@ -29,14 +35,7 @@ pub fn prepare_instance(
     let cfg = KadabraConfig { epsilon: eps, delta: 0.1, seed, ..Default::default() };
     let prepared = prepare(&graph, &cfg);
     let cost = CostModel::measure(&graph, &cfg, probes);
-    PreparedInstance {
-        name: inst.name,
-        proxies_for: inst.proxies_for,
-        graph,
-        cfg,
-        prepared,
-        cost,
-    }
+    PreparedInstance { name: inst.name, proxies_for: inst.proxies_for, graph, cfg, prepared, cost }
 }
 
 /// The paper's production configuration for `nodes` compute nodes: one rank

@@ -21,7 +21,7 @@ impl Table {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {
                 *w = (*w).max(c.len());

@@ -67,7 +67,7 @@ impl CostModel {
             );
             std::hint::black_box(stop);
         }
-        let check_total = t1.elapsed().as_nanos() as u64 / reps as u64;
+        let check_total = t1.elapsed().as_nanos() as u64 / reps;
         let check_ns_fixed = 200;
         let check_ns_per_vertex =
             ((check_total.saturating_sub(check_ns_fixed)) as f64 / n as f64).max(0.1);

@@ -389,18 +389,33 @@ pub fn simulate(
                             if proc_id == 0 {
                                 report.transition_ns += now - root_transition_started;
                             }
-                            let agg_cost =
-                                spec.aggregate_ns(t_count as u64 * frame_bytes);
+                            let agg_cost = spec.aggregate_ns(t_count as u64 * frame_bytes);
                             procs[proc_id].ctrl = Ctrl::Aggregating;
-                            push(&mut queue, &mut seq, now + agg_cost, Ev::AggDone { proc: proc_id });
+                            push(
+                                &mut queue,
+                                &mut seq,
+                                now + agg_cost,
+                                Ev::AggDone { proc: proc_id },
+                            );
                             resample = false;
                         }
                     }
                     Ctrl::NodeWait => {
                         try_enter_global_phase(
-                            proc_id, now, sim, spec, &mut procs, &mut rounds, &mut queue,
-                            &mut seq, p_count, leaders, frame_bytes, &procs_in_node,
-                            &mut root_barrier_started, &mut resample,
+                            proc_id,
+                            now,
+                            sim,
+                            spec,
+                            &mut procs,
+                            &mut rounds,
+                            &mut queue,
+                            &mut seq,
+                            p_count,
+                            leaders,
+                            frame_bytes,
+                            &procs_in_node,
+                            &mut root_barrier_started,
+                            &mut resample,
                         );
                     }
                     Ctrl::AwaitBarrier => {
@@ -411,8 +426,17 @@ pub fn simulate(
                                     report.barrier_wait_ns += now - root_barrier_started;
                                 }
                                 arrive_at_reduce(
-                                    proc_id, now, sim, spec, &mut procs, &mut rounds,
-                                    &mut queue, &mut seq, p_count, leaders, frame_bytes,
+                                    proc_id,
+                                    now,
+                                    sim,
+                                    spec,
+                                    &mut procs,
+                                    &mut rounds,
+                                    &mut queue,
+                                    &mut seq,
+                                    p_count,
+                                    leaders,
+                                    frame_bytes,
                                     /*blocking=*/ true,
                                 );
                                 resample = false;
@@ -449,7 +473,7 @@ pub fn simulate(
             Ev::AggDone { proc: proc_id } => {
                 // Drain the finished epoch's frame into the round accumulator.
                 let round_idx = procs[proc_id].round;
-                let parity = (round_idx & 1) as usize;
+                let parity = round_idx & 1;
                 if rounds.len() <= round_idx + 1 {
                     rounds.push(Round::new(n, nodes));
                 }
@@ -472,9 +496,20 @@ pub fn simulate(
                 if procs[proc_id].is_leader {
                     procs[proc_id].ctrl = Ctrl::NodeWait;
                     try_enter_global_phase(
-                        proc_id, now, sim, spec, &mut procs, &mut rounds, &mut queue,
-                        &mut seq, p_count, leaders, frame_bytes, &procs_in_node,
-                        &mut root_barrier_started, &mut resample,
+                        proc_id,
+                        now,
+                        sim,
+                        spec,
+                        &mut procs,
+                        &mut rounds,
+                        &mut queue,
+                        &mut seq,
+                        p_count,
+                        leaders,
+                        frame_bytes,
+                        &procs_in_node,
+                        &mut root_barrier_started,
+                        &mut resample,
                     );
                 } else {
                     procs[proc_id].ctrl = Ctrl::AwaitBcast;
@@ -514,14 +549,13 @@ pub fn simulate(
                     &prepared.calibration.delta_l,
                     &prepared.calibration.delta_u,
                 );
-                let bcast_ready =
-                    now + check_cost + spec.network.tree_collective_ns(p_count, 16);
+                let bcast_ready = now + check_cost + spec.network.tree_collective_ns(p_count, 16);
                 rounds[round_idx].bcast = Some((bcast_ready, d));
 
                 // Resume blocked leaders (Ibarrier / FullyBlocking paths).
-                for p in 0..p_count {
-                    if procs[p].ctrl == Ctrl::BlockedReduce && procs[p].round == round_idx {
-                        procs[p].ctrl = Ctrl::AwaitBcast;
+                for (p, proc) in procs.iter_mut().enumerate() {
+                    if proc.ctrl == Ctrl::BlockedReduce && proc.round == round_idx {
+                        proc.ctrl = Ctrl::AwaitBcast;
                         // The root additionally spends the check before it
                         // can resume sampling.
                         let resume = if p == 0 { now + check_cost } else { now };
@@ -591,14 +625,28 @@ fn try_enter_global_phase(
                     * net.ireduce_progress_penalty) as u64;
                 let done = round.reduce_last + dur;
                 *seq += 1;
-                queue.push(Reverse(QE { at: done, seq: *seq, ev: Ev::ReduceDone { round: round_idx } }));
+                queue.push(Reverse(QE {
+                    at: done,
+                    seq: *seq,
+                    ev: Ev::ReduceDone { round: round_idx },
+                }));
             }
             procs[proc_id].ctrl = Ctrl::AwaitBcast;
         }
         ReduceStrategy::FullyBlocking => {
             arrive_at_reduce(
-                proc_id, now, sim, spec, procs, rounds, queue, seq, p_count, leaders,
-                frame_bytes, true,
+                proc_id,
+                now,
+                sim,
+                spec,
+                procs,
+                rounds,
+                queue,
+                seq,
+                p_count,
+                leaders,
+                frame_bytes,
+                true,
             );
             *resample = false;
         }
@@ -680,12 +728,8 @@ mod tests {
                 numa_penalty: false,
             };
             let r = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
-            let worst = r
-                .scores
-                .iter()
-                .zip(&exact)
-                .map(|(a, e)| (a - e).abs())
-                .fold(0.0f64, f64::max);
+            let worst =
+                r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
             assert!(worst <= cfg.epsilon, "ranks={ranks}: max error {worst}");
         }
     }

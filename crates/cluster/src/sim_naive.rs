@@ -42,9 +42,8 @@ pub fn simulate_naive(
     let calibration_ns =
         (per_thread as f64 * cost.mean_sample_ns() * numa_mul) as u64 + cost.delta_fit_ns;
 
-    let mut samplers: Vec<ThreadSampler> = (0..threads)
-        .map(|t| ThreadSampler::new(n, cfg.seed, 0, ADS_STREAM_OFFSET + t))
-        .collect();
+    let mut samplers: Vec<ThreadSampler> =
+        (0..threads).map(|t| ThreadSampler::new(n, cfg.seed, 0, ADS_STREAM_OFFSET + t)).collect();
     let mut dur_rng = CostModel::duration_rng(cfg.seed ^ 0x4A1);
 
     let mut counts = vec![0u64; n];
@@ -154,7 +153,11 @@ mod tests {
         // non-overlapped agg+check still taxes every naive round.
         let naive_overhead = naive.reduce_ns + naive.check_ns;
         assert!(naive_overhead > 0);
-        assert!(naive.ads_ns >= epoch.ads_ns * 9 / 10,
-            "naive {} should not beat overlapped {} materially", naive.ads_ns, epoch.ads_ns);
+        assert!(
+            naive.ads_ns >= epoch.ads_ns * 9 / 10,
+            "naive {} should not beat overlapped {} materially",
+            naive.ads_ns,
+            epoch.ads_ns
+        );
     }
 }

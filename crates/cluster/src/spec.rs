@@ -95,7 +95,8 @@ mod tests {
 
     #[test]
     fn message_cost_combines_latency_and_bandwidth() {
-        let net = NetworkModel { alpha_ns: 1000, bytes_per_ns: 10.0, ireduce_progress_penalty: 1.0 };
+        let net =
+            NetworkModel { alpha_ns: 1000, bytes_per_ns: 10.0, ireduce_progress_penalty: 1.0 };
         assert_eq!(net.message_ns(0), 1000);
         assert_eq!(net.message_ns(10_000), 1000 + 1000);
     }

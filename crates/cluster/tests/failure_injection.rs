@@ -57,9 +57,7 @@ fn glacial_network_still_terminates() {
         ..ClusterSpec::default()
     };
     let slow = simulate(&g, &cfg, &prepared, &shape(8, 2, 2), &spec, &cost);
-    let fast = simulate(
-        &g, &cfg, &prepared, &shape(8, 2, 2), &ClusterSpec::default(), &cost,
-    );
+    let fast = simulate(&g, &cfg, &prepared, &shape(8, 2, 2), &ClusterSpec::default(), &cost);
     assert!(slow.samples > 0);
     assert!(
         slow.ads_ns > fast.ads_ns,

@@ -48,9 +48,7 @@ impl Calibration {
         // Vertices with b̃ = 0 contribute nothing to the shaped budget (their
         // floor suffices — their g-bound only needs a modest τ).
         let spent = |c_param: f64| -> f64 {
-            b.iter()
-                .map(|&bv| if bv > 0.0 { 2.0 * (-c_param / bv).exp() } else { 0.0 })
-                .sum()
+            b.iter().map(|&bv| if bv > 0.0 { 2.0 * (-c_param / bv).exp() } else { 0.0 }).sum()
         };
         let mut delta_l = vec![per_vertex_floor; n];
         let mut delta_u = vec![per_vertex_floor; n];
@@ -100,8 +98,7 @@ impl Calibration {
 /// Derives the number of calibration samples for a given ω
 /// (`cfg.calibration_samples` overrides).
 pub fn calibration_sample_count(cfg: &KadabraConfig, omega: u64) -> u64 {
-    cfg.calibration_samples
-        .unwrap_or_else(|| (omega / 25).clamp(200, 100_000))
+    cfg.calibration_samples.unwrap_or_else(|| (omega / 25).clamp(200, 100_000))
 }
 
 #[cfg(test)]

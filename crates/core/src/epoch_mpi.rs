@@ -43,19 +43,17 @@ pub fn kadabra_epoch_mpi(g: &Graph, cfg: &KadabraConfig, shape: ClusterShape) ->
     // Total communication: node-local engines are shared per node (count
     // each once, via its leader), the leader and world engines are global
     // (count once, via rank 0).
-    let local_total: u64 = outcomes
-        .iter()
-        .filter(|o| o.is_leader)
-        .map(|o| o.local_bytes)
-        .sum();
+    let local_total: u64 = outcomes.iter().filter(|o| o.is_leader).map(|o| o.local_bytes).sum();
     let leader_total = outcomes[0].leader_bytes;
     let world_total = outcomes[0].world_bytes;
 
     let mut result = outcomes
         .into_iter()
         .next()
+        // xtask: allow(unwrap) — ranks >= 1 is asserted on entry.
         .unwrap()
         .result
+        // xtask: allow(unwrap) — rank_main returns Some exactly at rank 0.
         .expect("rank 0 always produces the result");
     result.stats.comm_bytes = local_total + leader_total + world_total;
     result
@@ -114,6 +112,8 @@ fn rank_main(
             })
             .collect();
         for h in handles {
+            // xtask: allow(unwrap) — a sampler-thread panic is a bug; abort
+            // the computation with its message.
             let (counts, taken) = h.join().expect("calibration worker");
             for (a, c) in calib.iter_mut().zip(counts) {
                 *a += c;
@@ -121,6 +121,7 @@ fn rank_main(
             calib[n] += taken;
         }
     })
+    // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("calibration scope");
     let total = world.allreduce_sum_u64(&calib);
     let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
@@ -138,8 +139,7 @@ fn rank_main(
         for t in 1..threads {
             let fw = &fw;
             s.spawn(move |_| {
-                let mut sampler =
-                    ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET + t);
+                let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET + t);
                 let mut h = fw.handle(t);
                 while !fw.should_terminate() {
                     let interior = sampler.sample(g);
@@ -182,6 +182,8 @@ fn rank_main(
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
             }
+            // xtask: allow(unwrap) — test() returned true, so the request
+            // completed and its result is present.
             let node_frame = req.into_result().unwrap();
 
             // Section IV-F: leaders run Ibarrier (overlapped), then a
@@ -197,12 +199,16 @@ fn rank_main(
                 stats.barrier_wait += bar_start.elapsed();
 
                 let reduce_start = Instant::now();
-                let reduced =
-                    leaders.reduce_sum_u64(0, &node_frame.expect("leader holds node frame"));
+                // xtask: allow(unwrap) — this rank is its node's local
+                // root, so the local reduce delivered Some to it.
+                let frame = node_frame.expect("leader holds node frame");
+                let reduced = leaders.reduce_sum_u64(0, &frame);
                 stats.reduce_time += reduce_start.elapsed();
 
                 // Lines 22-24: world rank 0 folds and checks.
                 if rank == 0 {
+                    // xtask: allow(unwrap) — world rank 0 is the leader
+                    // root, so the reduction delivered Some to it.
                     let reduced = reduced.expect("leader root receives reduction");
                     for (a, r) in s_global.iter_mut().zip(&reduced) {
                         *a += r;
@@ -231,6 +237,7 @@ fn rank_main(
             stats.epochs += 1;
 
             // Lines 28-30.
+            // xtask: allow(unwrap) — test() returned true above.
             if breq.into_result().unwrap() != 0 {
                 fw.signal_termination();
                 break;
@@ -238,6 +245,7 @@ fn rank_main(
             epoch += 1;
         }
     })
+    // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("adaptive sampling scope");
 
     let result = if rank == 0 {
@@ -292,12 +300,7 @@ mod tests {
         let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
         let r = kadabra_epoch_mpi(&lcc, &cfg, shape);
         let exact = brandes(&lcc);
-        let worst = r
-            .scores
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0f64, f64::max);
+        let worst = r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
         assert!(worst <= cfg.epsilon, "max error {worst}");
     }
 

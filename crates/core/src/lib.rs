@@ -35,6 +35,7 @@ pub mod result;
 pub mod sampler;
 pub mod sequential;
 pub mod shared;
+mod sync;
 pub mod topk;
 pub mod variants;
 pub mod variants_parallel;
@@ -50,6 +51,9 @@ pub use result::{BetweennessResult, PhaseTimings, SamplingStats};
 pub use sampler::ThreadSampler;
 pub use sequential::kadabra_sequential;
 pub use shared::kadabra_shared;
-pub use topk::{confidence_intervals, confident_top_k, kadabra_topk, AdaptiveTopKResult, ConfidenceInterval, TopKResult};
+pub use topk::{
+    confidence_intervals, confident_top_k, kadabra_topk, AdaptiveTopKResult, ConfidenceInterval,
+    TopKResult,
+};
 pub use variants::{kadabra_directed, kadabra_weighted, PathSource};
 pub use variants_parallel::{kadabra_shared_directed, kadabra_shared_weighted, ParallelPathSource};

@@ -14,10 +14,10 @@ use crate::config::KadabraConfig;
 use crate::phases::{calibration_samples_for_thread, diameter_phase, scores_from_counts};
 use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
 use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use crate::sync::{AtomicBool, Ordering};
 use crate::{bounds, calibration::Calibration};
 use kadabra_graph::Graph;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -36,8 +36,7 @@ pub fn kadabra_naive_parallel(g: &Graph, cfg: &KadabraConfig, threads: usize) ->
     let calib_start = Instant::now();
     let mut sampler0 = ThreadSampler::new(n, cfg.seed, 0, 0);
     let mut calib_counts = vec![0u64; n];
-    let tau0 =
-        calibration_samples_for_thread(g, &mut sampler0, &mut calib_counts, cfg, omega, 1);
+    let tau0 = calibration_samples_for_thread(g, &mut sampler0, &mut calib_counts, cfg, omega, 1);
     let calibration = Calibration::from_counts(&calib_counts, tau0, cfg);
     let calibration_time = calib_start.elapsed();
 
@@ -124,6 +123,7 @@ pub fn kadabra_naive_parallel(g: &Graph, cfg: &KadabraConfig, threads: usize) ->
             stats.check_time += check_start.elapsed();
         }
     })
+    // xtask: allow(unwrap) — a sampler-thread panic is a bug; abort with it.
     .expect("naive sampling scope");
     stats.samples = tau;
 

@@ -37,6 +37,7 @@ pub fn diameter_phase(g: &Graph, cfg: &KadabraConfig) -> (u32, Duration) {
     let start = Instant::now();
     let root = (0..g.num_nodes() as NodeId)
         .max_by_key(|&v| g.degree(v))
+        // xtask: allow(unwrap) — callers assert num_nodes >= 2.
         .expect("non-empty graph");
     let d = diameter(g, root, cfg.diameter_bfs_budget);
     (d.vertex_diameter_upper(), start.elapsed())
@@ -91,9 +92,9 @@ pub fn scores_from_counts(counts: &[u64], tau: u64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kadabra_graph::components::largest_component;
     use kadabra_graph::csr::graph_from_edges;
     use kadabra_graph::generators::{gnm, GnmConfig};
-    use kadabra_graph::components::largest_component;
 
     #[test]
     fn prepare_on_path_graph() {

@@ -76,10 +76,7 @@ impl BetweennessResult {
     pub fn top_k(&self, k: usize) -> Vec<(u32, f64)> {
         let mut idx: Vec<u32> = (0..self.scores.len() as u32).collect();
         idx.sort_by(|&a, &b| {
-            self.scores[b as usize]
-                .partial_cmp(&self.scores[a as usize])
-                .unwrap()
-                .then(a.cmp(&b))
+            self.scores[b as usize].total_cmp(&self.scores[a as usize]).then(a.cmp(&b))
         });
         idx.truncate(k);
         idx.into_iter().map(|v| (v, self.scores[v as usize])).collect()

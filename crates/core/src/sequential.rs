@@ -90,12 +90,7 @@ mod tests {
         let cfg = KadabraConfig { epsilon: 0.03, delta: 0.1, seed: 77, ..Default::default() };
         let r = kadabra_sequential(&lcc, &cfg);
         let exact = brandes(&lcc);
-        let worst = r
-            .scores
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0f64, f64::max);
+        let worst = r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
         assert!(worst <= cfg.epsilon, "max error {worst} > ε");
     }
 

@@ -38,16 +38,24 @@ pub fn kadabra_shared(g: &Graph, cfg: &KadabraConfig, threads: usize) -> Between
                     let mut sampler = ThreadSampler::new(n, cfg.seed, 0, t);
                     let mut counts = vec![0u64; n];
                     let taken = calibration_samples_for_thread(
-                        g, &mut sampler, &mut counts, cfg, omega, threads,
+                        g,
+                        &mut sampler,
+                        &mut counts,
+                        cfg,
+                        omega,
+                        threads,
                     );
                     (counts, taken)
                 })
             })
             .collect();
         for h in handles {
+            // xtask: allow(unwrap) — a sampler-thread panic is a bug; abort
+            // the computation with its message.
             partials.push(h.join().expect("calibration worker"));
         }
     })
+    // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("calibration scope");
     let mut calib_counts = vec![0u64; n];
     let mut tau0 = 0;
@@ -124,6 +132,7 @@ pub fn kadabra_shared(g: &Graph, cfg: &KadabraConfig, threads: usize) -> Between
             epoch += 1;
         }
     })
+    // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("adaptive sampling scope");
     stats.samples = tau;
 
@@ -166,12 +175,7 @@ mod tests {
         let cfg = KadabraConfig { epsilon: 0.04, delta: 0.1, seed: 11, ..Default::default() };
         let r = kadabra_shared(&lcc, &cfg, 4);
         let exact = brandes(&lcc);
-        let worst = r
-            .scores
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0f64, f64::max);
+        let worst = r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
         assert!(worst <= cfg.epsilon, "max error {worst}");
     }
 

@@ -1,0 +1,12 @@
+//! Atomic-type indirection for model checking.
+//!
+//! All atomics in this crate are imported from here, never from
+//! `std::sync::atomic` directly (enforced by `cargo xtask lint`). Under the
+//! `loom` feature the types resolve to the loom shim's model-checked
+//! versions; otherwise they are the plain `std` atomics with zero overhead.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic::{AtomicBool, Ordering};

@@ -71,18 +71,10 @@ pub fn confident_top_k(
     k: usize,
 ) -> TopKResult {
     let mut intervals = confidence_intervals(result, calibration);
-    intervals.sort_by(|a, b| {
-        b.estimate
-            .partial_cmp(&a.estimate)
-            .unwrap()
-            .then(a.vertex.cmp(&b.vertex))
-    });
+    intervals.sort_by(|a, b| b.estimate.total_cmp(&a.estimate).then(a.vertex.cmp(&b.vertex)));
     let k = k.min(intervals.len());
     // Highest upper bound outside the candidate set: the bar to clear.
-    let bar = intervals[k..]
-        .iter()
-        .map(|ci| ci.upper)
-        .fold(0.0f64, f64::max);
+    let bar = intervals[k..].iter().map(|ci| ci.upper).fold(0.0f64, f64::max);
     let mut confirmed = Vec::new();
     let mut undecided = Vec::new();
     for ci in intervals.into_iter().take(k) {

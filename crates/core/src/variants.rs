@@ -21,7 +21,9 @@ use crate::phases::scores_from_counts;
 use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
 use kadabra_graph::digraph::{directed_bfs, sample_directed_shortest_path, DiGraph};
 use kadabra_graph::scratch::{TraversalScratch, UNREACHED};
-use kadabra_graph::weighted::{estimate_vertex_diameter, sample_weighted_shortest_path, WeightedGraph};
+use kadabra_graph::weighted::{
+    estimate_vertex_diameter, sample_weighted_shortest_path, WeightedGraph,
+};
 use kadabra_graph::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,7 +38,13 @@ pub trait PathSource {
     fn vertex_diameter_upper(&self, cfg: &KadabraConfig) -> u32;
     /// Draws a uniform shortest path between the given distinct endpoints,
     /// pushing interior vertices into `out`. No-op if unreachable.
-    fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R, out: &mut Vec<NodeId>);
+    fn sample_path<R: Rng + ?Sized>(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    );
 }
 
 /// Directed KADABRA: [`PathSource`] over a [`DiGraph`].
@@ -81,7 +89,13 @@ impl PathSource for DirectedSource<'_> {
         2 * ecc + 2
     }
 
-    fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R, out: &mut Vec<NodeId>) {
+    fn sample_path<R: Rng + ?Sized>(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
         let mut scratch = self.scratch.borrow_mut();
         if let Some(p) = sample_directed_shortest_path(self.graph, s, t, &mut scratch, rng) {
             out.extend_from_slice(&p.interior);
@@ -110,7 +124,13 @@ impl PathSource for WeightedSource<'_> {
         estimate_vertex_diameter(self.graph, 3, 0)
     }
 
-    fn sample_path<R: Rng + ?Sized>(&self, s: NodeId, t: NodeId, rng: &mut R, out: &mut Vec<NodeId>) {
+    fn sample_path<R: Rng + ?Sized>(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
         if let Some(p) = sample_weighted_shortest_path(self.graph, s, t, rng) {
             out.extend_from_slice(&p.interior);
         }
@@ -237,12 +257,7 @@ mod tests {
         let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 7, ..Default::default() };
         let r = kadabra_directed(&g, &cfg);
         let exact = brandes_directed(&g);
-        let worst = r
-            .scores
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0f64, f64::max);
+        let worst = r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
         assert!(worst <= cfg.epsilon, "max error {worst}");
     }
 
@@ -262,12 +277,7 @@ mod tests {
         let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 8, ..Default::default() };
         let r = kadabra_weighted(&g, &cfg);
         let exact = brandes_weighted(&g);
-        let worst = r
-            .scores
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0f64, f64::max);
+        let worst = r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
         assert!(worst <= cfg.epsilon, "max error {worst}");
     }
 
@@ -279,8 +289,8 @@ mod tests {
         let cfg = KadabraConfig { epsilon: 0.03, delta: 0.1, seed: 9, ..Default::default() };
         let r = kadabra_directed(&g, &cfg);
         let exact = brandes_directed(&g);
-        for v in 0..3 {
-            assert!((r.scores[v] - exact[v]).abs() <= cfg.epsilon);
+        for (s, e) in r.scores.iter().zip(&exact) {
+            assert!((s - e).abs() <= cfg.epsilon);
         }
         // On the directed triangle every vertex relays exactly one pair.
         assert!(exact.iter().all(|&b| (b - 1.0 / 6.0).abs() < 1e-12));

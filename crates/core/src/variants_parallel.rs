@@ -155,11 +155,14 @@ pub fn kadabra_shared_generic<S: ParallelPathSource>(
             })
             .collect();
         for h in handles {
+            // xtask: allow(unwrap) — a sampler-thread panic is a bug; abort
+            // the computation with its message.
             for (a, c) in calib_counts.iter_mut().zip(h.join().expect("calib worker")) {
                 *a += c;
             }
         }
     })
+    // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("calibration scope");
     let calibration = Calibration::from_counts(&calib_counts, share * threads as u64, cfg);
     let calibration_time = calib_start.elapsed();
@@ -231,6 +234,7 @@ pub fn kadabra_shared_generic<S: ParallelPathSource>(
             epoch += 1;
         }
     })
+    // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("adaptive sampling scope");
     stats.samples = tau;
 

@@ -38,7 +38,9 @@
 //! "no thread accesses state frames of epoch e−2" guarantee.
 
 use crossbeam::utils::CachePadded;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+pub mod sync;
+
+use crate::sync::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// A state frame: per-vertex sample counts `c̃` plus the sample counter `τ`.
 ///
@@ -161,9 +163,7 @@ impl EpochFramework {
     /// returns `true` once every thread has reached an epoch `> e`.
     /// O(T) per call, non-blocking.
     pub fn transition_done(&self, e: u32) -> bool {
-        self.thread_epochs
-            .iter()
-            .all(|te| te.load(Ordering::Acquire) > e)
+        self.thread_epochs.iter().all(|te| te.load(Ordering::Acquire) > e)
     }
 
     /// `CHECKTRANSITION(e)` — threads `t != 0`: joins a pending transition if
@@ -455,8 +455,8 @@ mod tests {
         // can be drained directly; they should already be empty because the
         // aggregator only stopped once every sample was accounted for.
         for tf in &fw.frames {
-            for parity in 0..2 {
-                total_tau += tf[parity].drain_into(&mut total_acc);
+            for frame in tf.iter() {
+                total_tau += frame.drain_into(&mut total_acc);
             }
         }
 

@@ -1,0 +1,14 @@
+//! Atomic primitives behind a swap point for model checking.
+//!
+//! With the default feature set these are exactly `std::sync::atomic`; with
+//! `--features loom` they resolve to the loom model checker's atomics so the
+//! tests in `tests/loom.rs` can exhaustively explore interleavings and
+//! memory orderings of the epoch protocol. Loom's atomics fall back to plain
+//! `std` behaviour outside a `loom::model` closure, so the ordinary test
+//! suite still runs (and passes) under `--features loom`.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};

@@ -147,6 +147,7 @@ pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
         }
         if !meets.is_empty() {
             // Finish: compute the true distance and the cut.
+            // xtask: allow(unwrap) — guarded by !meets.is_empty() above.
             let k0 = meets.iter().map(|&(_, k)| k).min().unwrap();
             let distance = new_depth + k0;
             // The cut lives at level `new_depth` of the side just expanded.
@@ -192,13 +193,12 @@ pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
                 }
                 backtrack(g, &scratch.fwd, chosen, s, &mut scratch.path, rng);
             }
-            debug_assert_eq!(scratch.path.len() as u32 + 1, distance,
-                "interior vertex count must be distance - 1");
-            let sample = PathSample {
+            debug_assert_eq!(
+                scratch.path.len() as u32 + 1,
                 distance,
-                interior: scratch.path.clone(),
-                num_paths,
-            };
+                "interior vertex count must be distance - 1"
+            );
+            let sample = PathSample { distance, interior: scratch.path.clone(), num_paths };
             return Some((sample, stats));
         }
     }
@@ -514,10 +514,8 @@ mod tests {
     fn uniformity_with_asymmetric_path_counts() {
         // Diamond chain where one branch splits further: paths 0→4 are
         // 0-1-3-4, 0-2-3-4 plus 0-5-6-4 (disjoint route), all length 3.
-        let g = graph_from_edges(
-            7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 5), (5, 6), (6, 4)],
-        );
+        let g =
+            graph_from_edges(7, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 5), (5, 6), (6, 4)]);
         let all = enumerate_shortest_paths(&g, 0, 4);
         assert_eq!(all.len(), 3);
         let mut counts = vec![0u64; 3];

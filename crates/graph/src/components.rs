@@ -87,6 +87,8 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
     for (u, v) in g.edges() {
         if comps.label[u as usize] == target {
             b.add_edge(new_of_old[u as usize], new_of_old[v as usize])
+                // xtask: allow(unwrap) — remapped ids are < component size
+                // by construction of new_of_old.
                 .expect("remapped ids are in range");
         }
     }

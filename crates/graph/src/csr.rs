@@ -42,6 +42,7 @@ impl Graph {
         assert!(!offsets.is_empty(), "offsets must have length n + 1");
         assert_eq!(offsets[0], 0, "offsets must start at 0");
         assert_eq!(
+            // xtask: allow(unwrap) — non-empty asserted two lines up.
             *offsets.last().unwrap(),
             targets.len() as u64,
             "offsets must end at targets.len()"
@@ -113,11 +114,7 @@ impl Graph {
     /// Iterator over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.num_nodes() as NodeId).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 
@@ -128,10 +125,7 @@ impl Graph {
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes() as NodeId)
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_nodes() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Bytes of heap memory held by the CSR arrays. The paper's Section I
@@ -255,6 +249,8 @@ impl GraphBuilder {
 pub fn graph_from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Graph {
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     b.extend_edges(edges.iter().copied())
+        // xtask: allow(unwrap) — documented contract of this convenience
+        // helper; panicking on bad endpoints is the advertised behavior.
         .expect("edge endpoints must be < n");
     b.build()
 }
@@ -314,14 +310,8 @@ mod tests {
     #[test]
     fn out_of_range_edge_is_rejected() {
         let mut b = GraphBuilder::new(3);
-        assert!(matches!(
-            b.add_edge(0, 3),
-            Err(GraphError::VertexOutOfRange { vertex: 3, n: 3 })
-        ));
-        assert!(matches!(
-            b.add_edge(7, 0),
-            Err(GraphError::VertexOutOfRange { vertex: 7, n: 3 })
-        ));
+        assert!(matches!(b.add_edge(0, 3), Err(GraphError::VertexOutOfRange { vertex: 3, n: 3 })));
+        assert!(matches!(b.add_edge(7, 0), Err(GraphError::VertexOutOfRange { vertex: 7, n: 3 })));
     }
 
     #[test]

@@ -90,11 +90,21 @@ pub fn diameter(g: &Graph, start: NodeId, max_bfs: u32) -> DiameterResult {
 
     // Two-sweep lower bound.
     if !budget(&mut bfs_count) {
-        return DiameterResult { lower: 0, upper: u32::MAX, kind: DiameterKind::BoundsOnly, bfs_count };
+        return DiameterResult {
+            lower: 0,
+            upper: u32::MAX,
+            kind: DiameterKind::BoundsOnly,
+            bfs_count,
+        };
     }
     let (a, _) = farthest_vertex(g, start);
     if !budget(&mut bfs_count) {
-        return DiameterResult { lower: 0, upper: u32::MAX, kind: DiameterKind::BoundsOnly, bfs_count };
+        return DiameterResult {
+            lower: 0,
+            upper: u32::MAX,
+            kind: DiameterKind::BoundsOnly,
+            bfs_count,
+        };
     }
     let res_a = bfs(g, a);
     let mut lower = res_a.ecc;
@@ -104,6 +114,7 @@ pub fn diameter(g: &Graph, start: NodeId, max_bfs: u32) -> DiameterResult {
         .order
         .iter()
         .max_by_key(|&&v| res_a.dist[v as usize])
+        // xtask: allow(unwrap) — BFS order always contains the source.
         .unwrap();
     let mid;
     {
@@ -158,11 +169,8 @@ pub fn diameter(g: &Graph, start: NodeId, max_bfs: u32) -> DiameterResult {
         }
         for &v in &by_level[level as usize] {
             if !budget(&mut bfs_count) {
-                let kind = if lower == upper {
-                    DiameterKind::Exact
-                } else {
-                    DiameterKind::BoundsOnly
-                };
+                let kind =
+                    if lower == upper { DiameterKind::Exact } else { DiameterKind::BoundsOnly };
                 return DiameterResult { lower, upper, kind, bfs_count };
             }
             let e = bfs(g, v).ecc;
@@ -178,18 +186,15 @@ pub fn diameter(g: &Graph, start: NodeId, max_bfs: u32) -> DiameterResult {
 
 /// Exact diameter by all-pairs BFS; O(n·m), test oracle for small graphs.
 pub fn diameter_brute_force(g: &Graph) -> u32 {
-    (0..g.num_nodes() as NodeId)
-        .map(|v| bfs(g, v).ecc)
-        .max()
-        .unwrap_or(0)
+    (0..g.num_nodes() as NodeId).map(|v| bfs(g, v).ecc).max().unwrap_or(0)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::components::largest_component;
     use crate::csr::graph_from_edges;
     use crate::generators::{gnm, grid, rmat, GnmConfig, GridConfig, RmatConfig};
-    use crate::components::largest_component;
 
     #[test]
     fn path_graph_diameter() {
@@ -290,10 +295,7 @@ mod tests {
 
     #[test]
     fn diameter_of_two_triangles_bridged() {
-        let g = graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        );
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
         assert_eq!(diameter(&g, 0, 0).exact(), 3);
     }
 }

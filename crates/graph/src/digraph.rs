@@ -192,11 +192,8 @@ pub fn sample_directed_shortest_path<R: Rng + ?Sized>(
                     } else {
                         state.visit(v, new_depth, su);
                         next.push(v);
-                        next_deg += if expand_fwd {
-                            g.out_degree(v) as u64
-                        } else {
-                            g.in_degree(v) as u64
-                        };
+                        next_deg +=
+                            if expand_fwd { g.out_degree(v) as u64 } else { g.in_degree(v) as u64 };
                         if other.reached(v) {
                             meets.push((v, other.dist(v)));
                         }
@@ -214,13 +211,11 @@ pub fn sample_directed_shortest_path<R: Rng + ?Sized>(
         if meets.is_empty() {
             continue;
         }
+        // xtask: allow(unwrap) — meets checked non-empty above.
         let k0 = meets.iter().map(|&(_, k)| k).min().unwrap();
         let distance = new_depth + k0;
-        let (near, far) = if expand_fwd {
-            (&scratch.fwd, &scratch.bwd)
-        } else {
-            (&scratch.bwd, &scratch.fwd)
-        };
+        let (near, far) =
+            if expand_fwd { (&scratch.fwd, &scratch.bwd) } else { (&scratch.bwd, &scratch.fwd) };
         let cut: Vec<(NodeId, u128)> = meets
             .iter()
             .filter(|&&(_, k)| k == k0)
@@ -246,11 +241,7 @@ pub fn sample_directed_shortest_path<R: Rng + ?Sized>(
         }
         backtrack_directed(g, &scratch.bwd, chosen, false, &mut scratch.path, rng);
         debug_assert_eq!(scratch.path.len() as u32 + 1, distance);
-        return Some(DirectedPathSample {
-            distance,
-            interior: scratch.path.clone(),
-            num_paths,
-        });
+        return Some(DirectedPathSample { distance, interior: scratch.path.clone(), num_paths });
     }
 }
 

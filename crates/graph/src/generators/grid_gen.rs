@@ -28,23 +28,25 @@ pub struct GridConfig {
 
 /// Generates the grid graph; vertex `(r, c)` has id `r * cols + c`.
 pub fn grid(cfg: GridConfig) -> Graph {
-    assert!(
-        (0.0..=1.0).contains(&cfg.diagonal_prob),
-        "diagonal_prob must be a probability"
-    );
+    assert!((0.0..=1.0).contains(&cfg.diagonal_prob), "diagonal_prob must be a probability");
     let n = cfg.rows * cfg.cols;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let id = |r: usize, c: usize| (r * cfg.cols + c) as NodeId;
     let mut b = GraphBuilder::with_capacity(n, 2 * n);
     for r in 0..cfg.rows {
         for c in 0..cfg.cols {
+            // xtask: allow(unwrap) — all three below: id(r, c) < rows·cols
+            // whenever r < rows and c < cols, which the bounds checks ensure.
             if c + 1 < cfg.cols {
+                // xtask: allow(unwrap) — see above.
                 b.add_edge(id(r, c), id(r, c + 1)).unwrap();
             }
             if r + 1 < cfg.rows {
+                // xtask: allow(unwrap) — see above.
                 b.add_edge(id(r, c), id(r + 1, c)).unwrap();
             }
             if r + 1 < cfg.rows && c + 1 < cfg.cols && rng.gen_bool(cfg.diagonal_prob) {
+                // xtask: allow(unwrap) — see above.
                 b.add_edge(id(r, c), id(r + 1, c + 1)).unwrap();
             }
         }

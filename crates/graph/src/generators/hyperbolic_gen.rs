@@ -52,9 +52,8 @@ pub fn hyperbolic(cfg: HyperbolicConfig) -> Graph {
     // Expected average degree ~ (2/π) ξ² n e^{-R/2} with ξ = α/(α − 1/2)
     // (Krioukov et al. 2010, Eq. 22), hence:
     let xi = cfg.alpha / (cfg.alpha - 0.5);
-    let r_disk = 2.0 * ((2.0 / std::f64::consts::PI) * xi * xi * n as f64 / cfg.avg_deg)
-        .max(1.0)
-        .ln();
+    let r_disk =
+        2.0 * ((2.0 / std::f64::consts::PI) * xi * xi * n as f64 / cfg.avg_deg).max(1.0).ln();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Sample polar coordinates; radial CDF inversion.
@@ -80,6 +79,7 @@ pub fn hyperbolic(cfg: HyperbolicConfig) -> Graph {
         band.sort_by(|&a, &b| {
             angle[a as usize]
                 .partial_cmp(&angle[b as usize])
+                // xtask: allow(unwrap) — angles are finite draws from [0, 2π).
                 .expect("angles are finite")
         });
     }
@@ -137,6 +137,7 @@ pub fn hyperbolic(cfg: HyperbolicConfig) -> Graph {
             scan_window(band, &angle, lo_angle, hi_angle, |j| {
                 let j = j as usize;
                 if (b > bi || j > i) && connected(i, j) {
+                    // xtask: allow(unwrap) — band indices enumerate 0..n.
                     builder.add_edge(i as NodeId, j as NodeId).expect("ids in range");
                 }
             });
@@ -229,10 +230,7 @@ mod tests {
                     - pts[i].0.sinh() * pts[j].0.sinh() * dt.cos();
                 if d <= cosh_disk {
                     expected += 1;
-                    assert!(
-                        g.has_edge(i as NodeId, j as NodeId),
-                        "missing edge {i}-{j}"
-                    );
+                    assert!(g.has_edge(i as NodeId, j as NodeId), "missing edge {i}-{j}");
                 }
             }
         }
@@ -243,7 +241,11 @@ mod tests {
     fn power_law_tail_has_hubs() {
         let g = hyperbolic(HyperbolicConfig { n: 3000, avg_deg: 10.0, alpha: 1.0, seed: 4 });
         let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
-        assert!(g.max_degree() as f64 > 4.0 * avg, "no hub vertices: max {} avg {avg}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 4.0 * avg,
+            "no hub vertices: max {} avg {avg}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -19,10 +19,13 @@ pub struct RmatConfig {
     /// Undirected edges to draw per vertex (`|E| = edge_factor * |V|` before
     /// dedup/self-loop removal).
     pub edge_factor: u32,
-    /// Quadrant probabilities; must be positive and sum to 1.
+    /// Top-left quadrant probability; `a + b + c + d` must be 1, all positive.
     pub a: f64,
+    /// Top-right quadrant probability.
     pub b: f64,
+    /// Bottom-left quadrant probability.
     pub c: f64,
+    /// Bottom-right quadrant probability.
     pub d: f64,
     /// Whether to jitter the quadrant probabilities per recursion level
     /// (Graph500-style noise). Disable for exactly reproducible degree
@@ -35,16 +38,7 @@ pub struct RmatConfig {
 impl RmatConfig {
     /// Graph500 parameters at the given scale and edge factor.
     pub fn graph500(scale: u32, edge_factor: u32, seed: u64) -> Self {
-        RmatConfig {
-            scale,
-            edge_factor,
-            a: 0.57,
-            b: 0.19,
-            c: 0.19,
-            d: 0.05,
-            noise: true,
-            seed,
-        }
+        RmatConfig { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: true, seed }
     }
 
     /// The paper's Fig. 4a setting: Graph500 quadrants, `|E| = 30 |V|`.
@@ -68,6 +62,7 @@ pub fn rmat(cfg: RmatConfig) -> Graph {
     let mut builder = GraphBuilder::with_capacity(n, m);
     for _ in 0..m {
         let (u, v) = rmat_edge(&mut rng, &cfg);
+        // xtask: allow(unwrap) — rmat_edge yields ids < 2^scale = n.
         builder.add_edge(u, v).expect("generated ids are in range");
     }
     builder.build()

@@ -218,10 +218,7 @@ mod tests {
     #[test]
     fn edge_list_missing_second_vertex() {
         let text = "0\n";
-        assert!(matches!(
-            read_edge_list(text.as_bytes()),
-            Err(GraphError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Parse { line: 1, .. })));
     }
 
     #[test]
@@ -308,10 +305,7 @@ pub fn read_weighted_edge_list<R: Read>(reader: R) -> Result<crate::weighted::We
         let mut it = line.split_whitespace();
         let mut field = |name: &str| -> Result<u64> {
             it.next()
-                .ok_or_else(|| GraphError::Parse {
-                    line: line_no,
-                    msg: format!("missing {name}"),
-                })?
+                .ok_or_else(|| GraphError::Parse { line: line_no, msg: format!("missing {name}") })?
                 .parse::<u64>()
                 .map_err(|e| GraphError::Parse { line: line_no, msg: e.to_string() })
         };
@@ -331,10 +325,8 @@ pub fn read_weighted_edge_list<R: Read>(reader: R) -> Result<crate::weighted::We
     if n > NodeId::MAX as u64 + 1 {
         return Err(GraphError::TooManyVertices(n));
     }
-    let triples: Vec<(NodeId, NodeId, u32)> = edges
-        .into_iter()
-        .map(|(u, v, w)| (u as NodeId, v as NodeId, w))
-        .collect();
+    let triples: Vec<(NodeId, NodeId, u32)> =
+        edges.into_iter().map(|(u, v, w)| (u as NodeId, v as NodeId, w)).collect();
     Ok(crate::weighted::WeightedGraph::from_edges(n as usize, &triples))
 }
 
@@ -359,10 +351,7 @@ pub fn read_arc_list<R: Read>(reader: R) -> Result<crate::digraph::DiGraph> {
         let mut it = line.split_whitespace();
         let mut field = |name: &str| -> Result<u64> {
             it.next()
-                .ok_or_else(|| GraphError::Parse {
-                    line: line_no,
-                    msg: format!("missing {name}"),
-                })?
+                .ok_or_else(|| GraphError::Parse { line: line_no, msg: format!("missing {name}") })?
                 .parse::<u64>()
                 .map_err(|e| GraphError::Parse { line: line_no, msg: e.to_string() })
         };

@@ -53,11 +53,21 @@ pub type Result<T> = std::result::Result<T, GraphError>;
 #[derive(Debug)]
 pub enum GraphError {
     /// An edge referenced a vertex id ≥ the declared vertex count.
-    VertexOutOfRange { vertex: u64, n: u64 },
+    VertexOutOfRange {
+        /// The out-of-range vertex id.
+        vertex: u64,
+        /// The declared vertex count.
+        n: u64,
+    },
     /// The input graph would exceed the 32-bit vertex id space.
     TooManyVertices(u64),
-    /// Text parsing failed (line number, message).
-    Parse { line: usize, msg: String },
+    /// Text parsing failed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What went wrong on that line.
+        msg: String,
+    },
     /// Binary format corruption.
     Corrupt(String),
     /// Underlying IO failure.

@@ -41,11 +41,8 @@ pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
     let gini = if total == 0 {
         0.0
     } else {
-        let weighted: f64 = degrees
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
-            .sum();
+        let weighted: f64 =
+            degrees.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
         (2.0 * weighted / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64).clamp(0.0, 1.0)
     };
     Some(DegreeStats {
@@ -102,10 +99,7 @@ mod tests {
         let social = rmat(RmatConfig::graph500(10, 8, 1));
         let g_road = degree_stats(&road).unwrap().gini;
         let g_social = degree_stats(&social).unwrap().gini;
-        assert!(
-            g_social > 2.0 * g_road,
-            "social Gini {g_social} must dwarf road Gini {g_road}"
-        );
+        assert!(g_social > 2.0 * g_road, "social Gini {g_social} must dwarf road Gini {g_road}");
     }
 
     #[test]

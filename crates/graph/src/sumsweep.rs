@@ -83,6 +83,7 @@ pub fn sum_sweep(g: &Graph, start: NodeId, sweeps: usize) -> SumSweepResult {
         }
         let triangle_ub = reachable
             .as_ref()
+            // xtask: allow(unwrap) — populated on the first sweep above.
             .unwrap()
             .iter()
             .map(|&v| ecc_ub[v as usize])
@@ -99,6 +100,7 @@ pub fn sum_sweep(g: &Graph, start: NodeId, sweeps: usize) -> SumSweepResult {
         // sweep instead targets a *central* vertex (minimum distance sum),
         // whose eccentricity powers the `2·ecc` upper bound (a 4-sweep-style
         // refinement of Ref. [6]).
+        // xtask: allow(unwrap) — populated on the first sweep above.
         let candidates = reachable.as_ref().unwrap();
         let next = if sweep + 2 == sweeps {
             candidates
@@ -130,10 +132,10 @@ pub fn sum_sweep(g: &Graph, start: NodeId, sweeps: usize) -> SumSweepResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::components::largest_component;
     use crate::csr::graph_from_edges;
     use crate::diameter::diameter_brute_force;
     use crate::generators::{gnm, grid, rmat, GnmConfig, GridConfig, RmatConfig};
-    use crate::components::largest_component;
 
     #[test]
     fn path_graph_exact_in_two_sweeps() {

@@ -93,10 +93,7 @@ impl WeightedGraph {
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
         let lo = self.offsets[v as usize] as usize;
         let hi = self.offsets[v as usize + 1] as usize;
-        self.targets[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.weights[lo..hi].iter().copied())
+        self.targets[lo..hi].iter().copied().zip(self.weights[lo..hi].iter().copied())
     }
 
     /// Degree of `v`.
@@ -222,11 +219,7 @@ pub fn sample_weighted_shortest_path<R: Rng + ?Sized>(
         cur = nxt;
     }
     interior.reverse();
-    Some(WeightedPathSample {
-        distance: dist[t as usize],
-        interior,
-        num_paths: sigma[t as usize],
-    })
+    Some(WeightedPathSample { distance: dist[t as usize], interior, num_paths: sigma[t as usize] })
 }
 
 /// Exhaustively enumerates all minimum-weight `s`-`t` paths (test oracle).
@@ -257,8 +250,7 @@ pub fn enumerate_weighted_shortest_paths(
             return;
         }
         for (u, w) in g.neighbors(cur) {
-            if dist[u as usize] != UNREACHED_W
-                && dist[u as usize] + w as Dist == dist[cur as usize]
+            if dist[u as usize] != UNREACHED_W && dist[u as usize] + w as Dist == dist[cur as usize]
             {
                 stack.push(u);
                 rec(g, dist, s, u, stack, paths);
@@ -416,10 +408,8 @@ mod tests {
     #[test]
     fn sampler_uniform_on_tied_routes() {
         // Both routes weight 4, one with two hops, one with three.
-        let g = WeightedGraph::from_edges(
-            5,
-            &[(0, 1, 2), (1, 4, 2), (0, 2, 1), (2, 3, 2), (3, 4, 1)],
-        );
+        let g =
+            WeightedGraph::from_edges(5, &[(0, 1, 2), (1, 4, 2), (0, 2, 1), (2, 3, 2), (3, 4, 1)]);
         let all = enumerate_weighted_shortest_paths(&g, 0, 4);
         assert_eq!(all.len(), 2);
         let mut rng = StdRng::seed_from_u64(2);

@@ -6,6 +6,48 @@ use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+// ---------------------------------------------------------------------------
+// Accumulator downcast helpers
+// ---------------------------------------------------------------------------
+//
+// The engine keys op instances by sequence number and `OpKind` and poisons
+// the communicator on kind mismatches, so by the time a deposit or collect
+// closure runs, the accumulator's concrete type is pinned by the collective
+// that created it. A failed downcast (or absent accumulator where the
+// protocol guarantees one) is therefore an engine bug, not recoverable
+// state; concentrating the panics here keeps the call sites honest.
+
+/// Views a deposited accumulator as its concrete type.
+fn acc_mut<T: 'static>(boxed: &mut Box<dyn Any + Send>) -> &mut T {
+    // xtask: allow(unwrap) — type pinned by (seq, OpKind); see module note.
+    boxed.downcast_mut::<T>().expect("collective accumulator type")
+}
+
+/// Views the (guaranteed-present) accumulator slot as its concrete type.
+fn acc_slot_mut<T: 'static>(acc: &mut Option<Box<dyn Any + Send>>) -> &mut T {
+    // xtask: allow(unwrap) — first join deposits before finalize/collect run.
+    acc_mut(acc.as_mut().expect("collective accumulator present"))
+}
+
+/// Reads the (guaranteed-present) accumulator slot as its concrete type.
+fn acc_slot_ref<T: 'static>(acc: &Option<Box<dyn Any + Send>>) -> &T {
+    acc.as_ref()
+        // xtask: allow(unwrap) — first join deposits before collect runs.
+        .expect("collective accumulator present")
+        .downcast_ref::<T>()
+        // xtask: allow(unwrap) — type pinned by (seq, OpKind); see module note.
+        .expect("collective accumulator type")
+}
+
+/// Takes the accumulator out of the slot (single-consumer collectives).
+fn acc_take<T: 'static>(acc: &mut Option<Box<dyn Any + Send>>) -> T {
+    // xtask: allow(unwrap) — the engine hands each op's slot to exactly one
+    // taker (the root), and the deposit precedes any collect.
+    let boxed = acc.take().expect("collective accumulator present");
+    // xtask: allow(unwrap) — type pinned by (seq, OpKind); see module note.
+    *boxed.downcast::<T>().expect("collective accumulator type")
+}
+
 /// Reduction operators for scalar reductions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
@@ -36,10 +78,13 @@ pub struct Communicator {
     seq: Cell<u64>,
 }
 
+/// color -> (engine, member world ranks in communicator order).
+type SplitGroups = HashMap<u32, (Arc<Engine>, Vec<usize>)>;
+
 /// Accumulator for `Split` collectives: submissions, then per-color results.
 struct SplitAcc {
     submissions: Vec<(usize, u32, i64)>, // (world rank, color, key)
-    groups: Option<HashMap<u32, (Arc<Engine>, Vec<usize>)>>, // color -> (engine, member ranks in order)
+    groups: Option<SplitGroups>,
 }
 
 impl Communicator {
@@ -91,8 +136,7 @@ impl Communicator {
     /// implementation (Section IV-F) pairs this with a blocking reduce.
     pub fn ibarrier(&self) -> Request<()> {
         let seq = self.next_seq();
-        self.engine
-            .join(seq, OpKind::Barrier, |_acc| {}, |_acc| {});
+        self.engine.join(seq, OpKind::Barrier, |_acc| {}, |_acc| {});
         Request::new(self.engine.clone(), seq, Box::new(|_acc| {}))
     }
 
@@ -121,9 +165,7 @@ impl Communicator {
             |acc| match acc {
                 None => *acc = Some(Box::new(data.to_vec())),
                 Some(boxed) => {
-                    let v = boxed
-                        .downcast_mut::<Vec<u64>>()
-                        .expect("reduce accumulator type");
+                    let v = acc_mut::<Vec<u64>>(boxed);
                     assert_eq!(v.len(), expected_len, "reduce length mismatch across ranks");
                     for (a, &x) in v.iter_mut().zip(data) {
                         *a += x;
@@ -136,14 +178,15 @@ impl Communicator {
         Request::new(
             self.engine.clone(),
             seq,
-            Box::new(move |acc: &mut Option<Box<dyn Any + Send>>| {
-                if is_root {
-                    let boxed = acc.take().expect("root collects exactly once");
-                    Some(*boxed.downcast::<Vec<u64>>().expect("reduce accumulator type"))
-                } else {
-                    None
-                }
-            }),
+            Box::new(
+                move |acc: &mut Option<Box<dyn Any + Send>>| {
+                    if is_root {
+                        Some(acc_take::<Vec<u64>>(acc))
+                    } else {
+                        None
+                    }
+                },
+            ),
         )
     }
 
@@ -158,9 +201,7 @@ impl Communicator {
             |acc| match acc {
                 None => *acc = Some(Box::new((op, value))),
                 Some(boxed) => {
-                    let (stored_op, v) = boxed
-                        .downcast_mut::<(ReduceOp, u64)>()
-                        .expect("scalar reduce accumulator type");
+                    let (stored_op, v) = acc_mut::<(ReduceOp, u64)>(boxed);
                     assert_eq!(*stored_op, op, "reduce op mismatch across ranks");
                     *v = op.apply(*v, value);
                 }
@@ -170,8 +211,7 @@ impl Communicator {
         let is_root = self.rank == root;
         self.engine.wait_complete(seq, move |acc| {
             if is_root {
-                let boxed = acc.take().expect("root collects exactly once");
-                Some(boxed.downcast::<(ReduceOp, u64)>().expect("type").1)
+                Some(acc_take::<(ReduceOp, u64)>(acc).1)
             } else {
                 None
             }
@@ -192,9 +232,7 @@ impl Communicator {
             |acc| match acc {
                 None => *acc = Some(Box::new(data.to_vec())),
                 Some(boxed) => {
-                    let v = boxed
-                        .downcast_mut::<Vec<u64>>()
-                        .expect("allreduce accumulator type");
+                    let v = acc_mut::<Vec<u64>>(boxed);
                     assert_eq!(v.len(), expected_len, "allreduce length mismatch across ranks");
                     for (a, &x) in v.iter_mut().zip(data) {
                         *a += x;
@@ -203,13 +241,7 @@ impl Communicator {
             },
             |_acc| {},
         );
-        self.engine.wait_complete(seq, |acc| {
-            acc.as_ref()
-                .expect("allreduce accumulator present")
-                .downcast_ref::<Vec<u64>>()
-                .expect("allreduce accumulator type")
-                .clone()
-        })
+        self.engine.wait_complete(seq, |acc| acc_slot_ref::<Vec<u64>>(acc).clone())
     }
 
     /// Blocking all-reduce (scalar): every rank receives the reduction.
@@ -222,22 +254,14 @@ impl Communicator {
             |acc| match acc {
                 None => *acc = Some(Box::new((op, value))),
                 Some(boxed) => {
-                    let (stored_op, v) = boxed
-                        .downcast_mut::<(ReduceOp, u64)>()
-                        .expect("allreduce accumulator type");
+                    let (stored_op, v) = acc_mut::<(ReduceOp, u64)>(boxed);
                     assert_eq!(*stored_op, op, "allreduce op mismatch across ranks");
                     *v = op.apply(*v, value);
                 }
             },
             |_acc| {},
         );
-        self.engine.wait_complete(seq, |acc| {
-            acc.as_ref()
-                .expect("allreduce accumulator present")
-                .downcast_ref::<(ReduceOp, u64)>()
-                .expect("type")
-                .1
-        })
+        self.engine.wait_complete(seq, |acc| acc_slot_ref::<(ReduceOp, u64)>(acc).1)
     }
 
     // ------------------------------------------------------------------
@@ -275,12 +299,7 @@ impl Communicator {
         Request::new(
             self.engine.clone(),
             seq,
-            Box::new(|acc: &mut Option<Box<dyn Any + Send>>| {
-                *acc.as_ref()
-                    .expect("broadcast value present at completion")
-                    .downcast_ref::<u64>()
-                    .expect("broadcast type")
-            }),
+            Box::new(|acc: &mut Option<Box<dyn Any + Send>>| *acc_slot_ref::<u64>(acc)),
         )
     }
 
@@ -311,20 +330,12 @@ impl Communicator {
                     *acc = Some(Box::new(SplitAcc { submissions: vec![my], groups: None }));
                 }
                 Some(boxed) => {
-                    boxed
-                        .downcast_mut::<SplitAcc>()
-                        .expect("split accumulator type")
-                        .submissions
-                        .push(my);
+                    acc_mut::<SplitAcc>(boxed).submissions.push(my);
                 }
             },
             |acc| {
                 // Last arrival: build one engine per color.
-                let sp = acc
-                    .as_mut()
-                    .unwrap()
-                    .downcast_mut::<SplitAcc>()
-                    .expect("split accumulator type");
+                let sp = acc_slot_mut::<SplitAcc>(acc);
                 let mut by_color: HashMap<u32, Vec<(i64, usize)>> = HashMap::new();
                 for &(rank, c, k) in &sp.submissions {
                     by_color.entry(c).or_default().push((k, rank));
@@ -340,15 +351,15 @@ impl Communicator {
         );
         let my_rank = self.rank;
         self.engine.wait_complete(seq, move |acc| {
-            let sp = acc
-                .as_ref()
-                .unwrap()
-                .downcast_ref::<SplitAcc>()
-                .expect("split accumulator type");
+            let sp = acc_slot_ref::<SplitAcc>(acc);
+            // xtask: allow(unwrap) — finalize ran before any wait_complete
+            // returns, so the per-color groups exist.
             let (engine, ranks) = &sp.groups.as_ref().expect("groups built")[&color];
             let new_rank = ranks
                 .iter()
                 .position(|&r| r == my_rank)
+                // xtask: allow(unwrap) — this rank's own submission is in
+                // exactly one color group.
                 .expect("own rank in group");
             Communicator::new(engine.clone(), new_rank)
         })

@@ -5,10 +5,10 @@
 //! instance lives in a slot map until all ranks have both **joined**
 //! (contributed their input) and **retired** (observed completion) it.
 
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -46,7 +46,7 @@ pub(crate) struct Engine {
     bytes: AtomicU64,
     /// Set when any rank detects protocol misuse; wakes and fails all
     /// waiters instead of letting them run into the deadlock timeout.
-    poisoned: std::sync::atomic::AtomicBool,
+    poisoned: AtomicBool,
     /// Point-to-point mailbox shared by the communicator's ranks.
     pub(crate) mailbox: Arc<crate::p2p::Mailbox>,
 }
@@ -58,7 +58,7 @@ impl Engine {
             slots: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
             bytes: AtomicU64::new(0),
-            poisoned: std::sync::atomic::AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
             mailbox: crate::p2p::Mailbox::new(),
         })
     }
@@ -66,13 +66,17 @@ impl Engine {
     /// Marks the communicator broken and wakes all waiters, then panics with
     /// the given message.
     fn poison(&self, msg: String) -> ! {
-        self.poisoned.store(true, Ordering::SeqCst);
+        // Release pairs with the Acquire loads in `check_poison`/waiters: a
+        // rank that observes the flag also observes everything the poisoning
+        // rank did first. No stronger ordering is needed — there is no
+        // multi-flag consensus here, just one one-way latch.
+        self.poisoned.store(true, Ordering::Release);
         self.cv.notify_all();
         panic!("{msg}");
     }
 
     fn check_poison(&self) {
-        if self.poisoned.load(Ordering::SeqCst) {
+        if self.poisoned.load(Ordering::Acquire) {
             panic!("communicator poisoned by a collective mismatch in another rank");
         }
     }
@@ -98,12 +102,8 @@ impl Engine {
     ) {
         self.check_poison();
         let mut slots = self.slots.lock();
-        let slot = slots.entry(seq).or_insert_with(|| OpSlot {
-            kind,
-            arrived: 0,
-            retired: 0,
-            acc: None,
-        });
+        let slot =
+            slots.entry(seq).or_insert_with(|| OpSlot { kind, arrived: 0, retired: 0, acc: None });
         if slot.kind != kind {
             let msg = format!(
                 "collective mismatch at seq {seq}: one rank called {:?}, another {kind:?}",
@@ -114,10 +114,7 @@ impl Engine {
         }
         deposit(&mut slot.acc);
         slot.arrived += 1;
-        assert!(
-            slot.arrived <= self.size,
-            "more joins than communicator size at seq {seq}"
-        );
+        assert!(slot.arrived <= self.size, "more joins than communicator size at seq {seq}");
         if slot.arrived == self.size {
             finalize(&mut slot.acc);
             self.cv.notify_all();
@@ -129,6 +126,8 @@ impl Engine {
         let slots = self.slots.lock();
         slots
             .get(&seq)
+            // xtask: allow(unwrap) — `seq` comes from a Request this engine
+            // issued, and slots are only freed after the last retirement.
             .expect("is_complete on unknown op")
             .arrived
             == self.size
@@ -144,6 +143,8 @@ impl Engine {
         collect: impl FnOnce(&mut Option<Box<dyn Any + Send>>) -> T,
     ) -> T {
         let mut slots = self.slots.lock();
+        // xtask: allow(unwrap) — `seq` comes from a Request this engine
+        // issued, and this rank has not retired it yet.
         let slot = slots.get_mut(&seq).expect("try_complete on unknown op");
         assert!(slot.arrived == self.size, "try_complete before completion");
         let out = collect(&mut slot.acc);
@@ -162,10 +163,12 @@ impl Engine {
     ) -> T {
         let mut slots = self.slots.lock();
         loop {
-            if self.poisoned.load(Ordering::SeqCst) {
+            if self.poisoned.load(Ordering::Acquire) {
                 panic!("communicator poisoned by a collective mismatch in another rank");
             }
             {
+                // xtask: allow(unwrap) — `seq` comes from a Request this
+                // engine issued, and this rank has not retired it yet.
                 let slot = slots.get_mut(&seq).expect("wait_complete on unknown op");
                 if slot.arrived == self.size {
                     let out = collect(&mut slot.acc);
@@ -176,11 +179,7 @@ impl Engine {
                     return out;
                 }
             }
-            if self
-                .cv
-                .wait_for(&mut slots, DEADLOCK_TIMEOUT)
-                .timed_out()
-            {
+            if self.cv.wait_for(&mut slots, DEADLOCK_TIMEOUT).timed_out() {
                 let slot = &slots[&seq];
                 panic!(
                     "collective deadlock: op seq {seq} ({:?}) stuck with {}/{} ranks after {:?}",
@@ -198,16 +197,15 @@ pub struct Request<T> {
     engine: Arc<Engine>,
     seq: u64,
     /// Extractor for this rank's result; consumed on completion.
-    collect: Option<Box<dyn FnOnce(&mut Option<Box<dyn Any + Send>>) -> T + Send>>,
+    collect: Option<Collector<T>>,
     result: Option<T>,
 }
 
+/// Extractor applied to the op's accumulator once a collective completes.
+type Collector<T> = Box<dyn FnOnce(&mut Option<Box<dyn Any + Send>>) -> T + Send>;
+
 impl<T> Request<T> {
-    pub(crate) fn new(
-        engine: Arc<Engine>,
-        seq: u64,
-        collect: Box<dyn FnOnce(&mut Option<Box<dyn Any + Send>>) -> T + Send>,
-    ) -> Self {
+    pub(crate) fn new(engine: Arc<Engine>, seq: u64, collect: Collector<T>) -> Self {
         Request { engine, seq, collect: Some(collect), result: None }
     }
 
@@ -224,6 +222,8 @@ impl<T> Request<T> {
         }
         // Completion is monotone and this rank has not retired yet, so the
         // slot is guaranteed to still exist for the collection step.
+        // xtask: allow(unwrap) — `collect` is consumed exactly once: here on
+        // the first successful test(), guarded by the early return above.
         let collect = self.collect.take().unwrap();
         self.result = Some(self.engine.try_complete(self.seq, collect));
         true
@@ -234,6 +234,8 @@ impl<T> Request<T> {
         if let Some(v) = self.result.take() {
             return v;
         }
+        // xtask: allow(unwrap) — wait() takes self; if test() already
+        // collected, the result.take() above returned early.
         let collect = self.collect.take().expect("request already consumed");
         self.engine.wait_complete(self.seq, collect)
     }

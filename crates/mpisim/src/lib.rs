@@ -37,6 +37,7 @@
 mod comm;
 mod engine;
 mod p2p;
+mod sync;
 mod universe;
 
 pub use comm::{Communicator, ReduceOp};

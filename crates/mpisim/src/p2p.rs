@@ -13,10 +13,12 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+/// (src, dst, tag) -> FIFO of payloads.
+type QueueMap = HashMap<(usize, usize, u64), VecDeque<Vec<u64>>>;
+
 /// Message mailbox shared by all ranks of a communicator.
 pub(crate) struct Mailbox {
-    /// (src, dst, tag) -> FIFO of payloads.
-    queues: Mutex<HashMap<(usize, usize, u64), VecDeque<Vec<u64>>>>,
+    queues: Mutex<QueueMap>,
     cv: Condvar,
 }
 

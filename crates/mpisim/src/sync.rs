@@ -1,0 +1,14 @@
+//! Atomic-type indirection for model checking.
+//!
+//! All atomics in this crate are imported from here, never from
+//! `std::sync::atomic` directly (enforced by `cargo xtask lint`). Under the
+//! `loom` feature the types resolve to the loom shim's model-checked
+//! versions, so crate-level concurrency tests can exhaustively explore
+//! interleavings; otherwise they are the plain `std` atomics with zero
+//! overhead.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

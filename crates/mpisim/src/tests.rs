@@ -27,10 +27,12 @@ fn barrier_synchronizes() {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let before = AtomicUsize::new(0);
     Universe::run(6, |comm| {
-        before.fetch_add(1, Ordering::SeqCst);
+        // Relaxed suffices: the barrier itself is the synchronization under
+        // test, and it must order these accesses for the assert to hold.
+        before.fetch_add(1, Ordering::Relaxed);
         comm.barrier();
         // After the barrier every rank must observe all six arrivals.
-        assert_eq!(before.load(Ordering::SeqCst), 6);
+        assert_eq!(before.load(Ordering::Relaxed), 6);
     });
 }
 
@@ -62,7 +64,7 @@ fn ireduce_overlaps_with_computation() {
         }
         (req.into_result().unwrap(), local_work)
     });
-    assert_eq!(out[0].0, Some(vec![4, 0 + 1 + 2 + 3]));
+    assert_eq!(out[0].0, Some(vec![4, 1 + 2 + 3]));
     for r in &out[1..] {
         assert_eq!(r.0, None);
     }
@@ -84,9 +86,8 @@ fn scalar_reductions() {
 
 #[test]
 fn allreduce_gives_everyone_the_result() {
-    let out = Universe::run(3, |comm| {
-        comm.allreduce_scalar_u64(ReduceOp::Max, comm.rank() as u64 * 7)
-    });
+    let out =
+        Universe::run(3, |comm| comm.allreduce_scalar_u64(ReduceOp::Max, comm.rank() as u64 * 7));
     assert_eq!(out, vec![14, 14, 14]);
 }
 

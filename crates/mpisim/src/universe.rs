@@ -34,20 +34,25 @@ impl Universe {
                         .spawn(move |_| {
                             *slot = Some(f(comm));
                         })
+                        // xtask: allow(unwrap) — OS thread spawn only fails
+                        // on resource exhaustion, which is unrecoverable for
+                        // an in-process MPI world.
                         .expect("spawn rank thread")
                 })
                 .collect();
             for (rank, h) in handles.into_iter().enumerate() {
                 if let Err(e) = h.join() {
-                    std::panic::resume_unwind(
-                        Box::new(format!("rank {rank} panicked: {e:?}")),
-                    );
+                    std::panic::resume_unwind(Box::new(format!("rank {rank} panicked: {e:?}")));
                 }
             }
         })
+        // xtask: allow(unwrap) — every child is joined (and its panic
+        // re-raised) inside the scope, so the scope itself cannot fail.
         .expect("mpi world scope");
         results
             .into_iter()
+            // xtask: allow(unwrap) — each rank thread wrote its slot
+            // before exiting, and all of them were joined above.
             .map(|r| r.expect("every rank produced a result"))
             .collect()
     }

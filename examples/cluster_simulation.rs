@@ -40,8 +40,10 @@ fn main() {
         baseline.epochs
     );
 
-    println!("\n{:>6} {:>10} {:>10} {:>8} {:>9} {:>12}",
-        "nodes", "ADS (s)", "total (s)", "epochs", "speedup", "MiB/epoch");
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>8} {:>9} {:>12}",
+        "nodes", "ADS (s)", "total (s)", "epochs", "speedup", "MiB/epoch"
+    );
     for nodes in [1usize, 2, 4, 8, 16] {
         let sim_cfg = SimConfig {
             shape: ClusterShape { ranks: 2 * nodes, ranks_per_node: 2, threads_per_rank: 12 },

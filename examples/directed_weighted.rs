@@ -31,12 +31,7 @@ fn main() {
     let dg = DiGraph::from_arcs(n, &arcs);
     let dr = kadabra_directed(&dg, &cfg);
     let exact = brandes_directed(&dg);
-    let worst = dr
-        .scores
-        .iter()
-        .zip(&exact)
-        .map(|(a, e)| (a - e).abs())
-        .fold(0.0f64, f64::max);
+    let worst = dr.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
     println!(
         "directed: {} vertices, {} arcs -> {} samples, max |err| vs exact = {worst:.4} (eps {})",
         dg.num_nodes(),
@@ -66,12 +61,7 @@ fn main() {
     let wg = WeightedGraph::from_edges((side * side) as usize, &edges);
     let wr = kadabra_weighted(&wg, &cfg);
     let wexact = brandes_weighted(&wg);
-    let worst = wr
-        .scores
-        .iter()
-        .zip(&wexact)
-        .map(|(a, e)| (a - e).abs())
-        .fold(0.0f64, f64::max);
+    let worst = wr.scores.iter().zip(&wexact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
     println!(
         "weighted: {} vertices, {} edges -> {} samples, max |err| vs exact = {worst:.4}",
         wg.num_nodes(),

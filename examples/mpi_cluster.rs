@@ -43,10 +43,7 @@ fn main() {
 
     // All three must agree within 2*eps on every vertex (each is within eps
     // of the truth with high probability).
-    let agree = seq
-        .scores
-        .iter()
-        .zip(&epoch.scores)
-        .all(|(a, b)| (a - b).abs() <= 2.0 * cfg.epsilon);
+    let agree =
+        seq.scores.iter().zip(&epoch.scores).all(|(a, b)| (a - b).abs() <= 2.0 * cfg.epsilon);
     println!("\nsequential and Algorithm 2 agree within 2*eps everywhere: {agree}");
 }

@@ -41,11 +41,7 @@ fn main() {
 
     // 5. (Optional) compare against exact Brandes — feasible at this size.
     let exact = brandes(&lcc);
-    let max_err = result
-        .scores
-        .iter()
-        .zip(&exact)
-        .map(|(a, e)| (a - e).abs())
-        .fold(0.0f64, f64::max);
+    let max_err =
+        result.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
     println!("\nmax |approx - exact| = {max_err:.5} (guarantee: <= {} w.p. 0.9)", cfg.epsilon);
 }

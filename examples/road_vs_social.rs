@@ -19,8 +19,10 @@ fn main() {
     let (social, _) = largest_component(&social_raw);
 
     let cfg = KadabraConfig::new(0.01, 0.1);
-    println!("{:<18} {:>9} {:>9} {:>9} {:>10} {:>8} {:>10}",
-        "instance", "|V|", "|E|", "diameter", "omega", "samples", "ADS time");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>10} {:>8} {:>10}",
+        "instance", "|V|", "|E|", "diameter", "omega", "samples", "ADS time"
+    );
     for (name, g) in [("road (grid)", &road), ("social (R-MAT)", &social)] {
         let d = diameter(g, 0, 64);
         let t = Instant::now();

@@ -21,11 +21,7 @@ fn main() {
     // network (power-law exponent 3, like the paper's synthetic inputs).
     let g = hyperbolic(HyperbolicConfig { n: 20_000, avg_deg: 12.0, alpha: 1.0, seed: 7 });
     let (lcc, _) = largest_component(&g);
-    println!(
-        "social network proxy: {} vertices, {} edges",
-        lcc.num_nodes(),
-        lcc.num_edges()
-    );
+    println!("social network proxy: {} vertices, {} edges", lcc.num_nodes(), lcc.num_edges());
 
     for eps in [0.01, 0.002] {
         let cfg = KadabraConfig::new(eps, 0.1);

@@ -1,0 +1,270 @@
+//! Offline shim for [`criterion`](https://crates.io/crates/criterion): a
+//! small wall-clock benchmarking harness exposing the API subset the bench
+//! crate uses (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `BenchmarkId`, `Throughput`, `black_box`).
+//!
+//! Methodology is intentionally simple — calibrate an iteration count to
+//! roughly `MEASURE_TARGET` of wall time, run it, report the mean — with no
+//! statistics, outlier analysis, or HTML reports. Good enough to eyeball
+//! regressions offline; CI uses the real criterion when a registry is
+//! reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim only uses it to
+/// bound how many setup outputs are pre-built per measurement batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many setup outputs per batch (cheap setup values).
+    SmallInput,
+    /// Few setup outputs per batch (expensive setup values).
+    LargeInput,
+    /// Exactly one setup output per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation; the shim reports it alongside timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, repeating it enough times for a stable mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count filling the target.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= WARMUP_TARGET || iters >= u64::MAX / 4 {
+                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                let measured = (MEASURE_TARGET.as_nanos() / per_iter).clamp(1, u64::MAX as u128);
+                let t1 = Instant::now();
+                for _ in 0..measured {
+                    black_box(routine());
+                }
+                let per = t1.elapsed().as_nanos() / measured;
+                self.mean = Some(Duration::from_nanos(per.min(u64::MAX as u128) as u64));
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    /// Measures `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the reported mean.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut count: u64 = 0;
+        while total < MEASURE_TARGET && count < 1_000_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+            count += 1;
+        }
+        let per = total.as_nanos() / count.max(1) as u128;
+        self.mean = Some(Duration::from_nanos(per.min(u64::MAX as u128) as u64));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sample-size hint; accepted for API compatibility, the shim sizes
+    /// samples by wall-time instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean: None };
+        f(&mut b);
+        self.criterion.report(&format!("{}/{}", self.name, id.label), b.mean, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean: None };
+        f(&mut b, input);
+        self.criterion.report(&format!("{}/{}", self.name, id.label), b.mean, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean: None };
+        f(&mut b);
+        let mean = b.mean;
+        self.report(name, mean, None);
+        self
+    }
+
+    fn report(&mut self, label: &str, mean: Option<Duration>, throughput: Option<Throughput>) {
+        match mean {
+            Some(mean) => {
+                let ns = mean.as_nanos();
+                let rate = throughput.map(|t| match t {
+                    Throughput::Bytes(b) => {
+                        let gib = b as f64 / mean.as_secs_f64() / (1u64 << 30) as f64;
+                        format!("  ({gib:.3} GiB/s)")
+                    }
+                    Throughput::Elements(e) => {
+                        let meps = e as f64 / mean.as_secs_f64() / 1e6;
+                        format!("  ({meps:.3} Melem/s)")
+                    }
+                });
+                println!("bench {label:<50} {ns:>12} ns/iter{}", rate.unwrap_or_default());
+            }
+            None => println!("bench {label:<50}  (no measurement recorded)"),
+        }
+    }
+}
+
+/// Declares a benchmark group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target of this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline shim for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate — the subset this workspace uses: [`scope`] (scoped threads) and
+//! [`utils::CachePadded`].
+//!
+//! Scoped threads are implemented directly on [`std::thread::scope`]
+//! (stabilized in Rust 1.63), which did not exist when crossbeam's scope API
+//! was designed. One behavioural difference: if a spawned thread panics and
+//! its handle is never joined, `std::thread::scope` re-raises the panic when
+//! the scope closes, so `scope(...)` returns `Err` only for panics observed
+//! through unjoined handles — callers that `.unwrap()`/`.expect()` the result
+//! see the same test-failure behaviour either way.
+
+#![forbid(unsafe_code)]
+
+use std::thread::ScopedJoinHandle;
+
+/// Re-exports mirroring `crossbeam::thread`.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+pub mod utils {
+    //! Utility types (`CachePadded`).
+
+    /// Pads and aligns a value to (at least) one cache line, preventing
+    /// false sharing between adjacent hot atomics.
+    ///
+    /// 128 bytes covers the spatial-prefetcher pairing on x86-64 and the
+    /// 128-byte lines on apple-silicon; other targets simply get extra slack.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwraps the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> core::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> core::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+/// A scope for spawning borrowing threads; mirrors `crossbeam::thread::Scope`.
+///
+/// `Copy` so closures can receive it by value — crossbeam passes `&Scope`,
+/// and every call site in this workspace ignores the argument (`|_|`), so the
+/// by-value signature is interchangeable here.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it can
+    /// spawn siblings, exactly like crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let this = *self;
+        self.inner.spawn(move || f(this))
+    }
+
+    /// Returns a builder for configuring the thread (name) before spawning,
+    /// mirroring `crossbeam`'s `ScopedThreadBuilder`.
+    pub fn builder(&self) -> ScopedThreadBuilder<'scope, 'env> {
+        ScopedThreadBuilder { scope: *self, builder: std::thread::Builder::new() }
+    }
+}
+
+/// Configures a scoped thread before spawning; mirrors
+/// `crossbeam::thread::ScopedThreadBuilder`.
+pub struct ScopedThreadBuilder<'scope, 'env> {
+    scope: Scope<'scope, 'env>,
+    builder: std::thread::Builder,
+}
+
+impl<'scope, 'env> ScopedThreadBuilder<'scope, 'env> {
+    /// Names the thread-to-be (visible in panics and debuggers).
+    pub fn name(mut self, name: String) -> Self {
+        self.builder = self.builder.name(name);
+        self
+    }
+
+    /// Spawns the configured scoped thread.
+    ///
+    /// # Errors
+    /// Returns an error if the OS fails to create the thread.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<ScopedJoinHandle<'scope, T>>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let this = self.scope;
+        self.builder.spawn_scoped(this.inner, move || f(this))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the enclosing stack frame
+/// can be spawned; returns once all of them finished.
+///
+/// Mirrors `crossbeam::scope`. Panics from spawned threads propagate when the
+/// scope closes (via `std::thread::scope`), which makes the `Result` wrapper
+/// effectively always `Ok` — kept for call-site compatibility.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let out = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        7u64
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(out, 28);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = super::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21u32).join().expect("inner"));
+            h.join().expect("outer") * 2
+        })
+        .expect("scope");
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        let p = CachePadded::new(5u8);
+        assert_eq!(*p, 5);
+        assert_eq!(core::mem::align_of_val(&p), 128);
+        assert_eq!(p.into_inner(), 5);
+    }
+}

@@ -1,0 +1,125 @@
+//! The model driver: DFS over schedules, mirroring `loom::model` /
+//! `loom::model::Builder`.
+
+use crate::rt;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+/// Configures and runs a model. Mirrors the upstream `loom::model::Builder`
+/// field style (public fields, `new()`, `check()`).
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum involuntary context switches per execution (CHESS-style
+    /// bound; `None` means the shim default). Almost all real ordering bugs
+    /// manifest within 2–3 preemptions.
+    pub preemption_bound: Option<usize>,
+    /// Maximum consecutive stale (non-newest) reads one thread may observe
+    /// of one location before the newest store is forced; this is the
+    /// eventual-visibility bound that lets polling loops terminate.
+    pub max_staleness: u32,
+    /// Per-execution operation budget; exceeding it is reported as a
+    /// livelock (a spin loop without a yield point).
+    pub max_ops: usize,
+    /// Total execution budget for the whole search; exhausting it without
+    /// finishing the DFS is reported as an error rather than silently
+    /// claiming exhaustiveness.
+    pub max_executions: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let d = rt::Config::default();
+        Builder {
+            preemption_bound: None,
+            max_staleness: d.max_staleness,
+            max_ops: d.max_ops,
+            max_executions: d.max_executions,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exhaustively explores schedules of `f` within the configured bounds.
+    ///
+    /// # Panics
+    /// Panics with the failing schedule if any execution of `f` panics
+    /// (assertion failure, deadlock, or livelock), or if the search exceeds
+    /// `max_executions`.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Sync + Send + 'static,
+    {
+        let cfg = rt::Config {
+            preemption_bound: self
+                .preemption_bound
+                .unwrap_or(rt::Config::default().preemption_bound),
+            max_staleness: self.max_staleness,
+            max_ops: self.max_ops,
+            max_executions: self.max_executions,
+        };
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions: usize = 0;
+        loop {
+            executions += 1;
+            let exec = rt::Execution::new(cfg, prefix.clone());
+            let result = {
+                let _guard = rt::ContextGuard::enter(Arc::clone(&exec), 0);
+                std::panic::catch_unwind(AssertUnwindSafe(&f))
+            };
+            if let Err(payload) = result {
+                let msg = rt::payload_to_string(&*payload);
+                if msg != rt::ABORT_MSG {
+                    exec.fail(format!("main model thread panicked: {msg}"));
+                }
+            }
+            exec.thread_finish(0);
+            exec.wait_all_finished();
+            let handles: Vec<_> = match exec.real_handles.lock() {
+                Ok(mut hs) => hs.drain(..).collect(),
+                Err(poisoned) => poisoned.into_inner().drain(..).collect(),
+            };
+            for h in handles {
+                // Aborted threads unwound deliberately; the interesting
+                // failure (if any) is already recorded on the execution.
+                let _ = h.join();
+            }
+            let st = exec.lock();
+            if let Some(msg) = &st.failed {
+                let (choices, options) = st.consumed_prefix();
+                panic!(
+                    "loom shim: model failed on execution {executions}: {msg}\n  \
+                     failing schedule choices: {choices:?}\n  \
+                     alternatives per choice point: {options:?}"
+                );
+            }
+            let (choices, options) = st.consumed_prefix();
+            let (choices, options) = (choices.to_vec(), options.to_vec());
+            drop(st);
+            match rt::next_prefix(choices, &options) {
+                Some(next) => prefix = next,
+                None => break,
+            }
+            assert!(
+                executions < cfg.max_executions,
+                "loom shim: search exceeded max_executions ({}) without \
+                 exhausting the schedule space — raise the bound or shrink the model",
+                cfg.max_executions
+            );
+        }
+        eprintln!("loom shim: exhausted schedule space in {executions} execution(s)");
+    }
+}
+
+/// Exhaustively explores schedules of `f` with default bounds; see
+/// [`Builder::check`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    Builder::new().check(f);
+}

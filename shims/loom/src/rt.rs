@@ -1,0 +1,616 @@
+//! Execution engine: sequentialized scheduling with DFS over choice points,
+//! plus the release/acquire view-based memory model.
+//!
+//! One *execution* = one run of the user closure under one schedule. The
+//! schedule is a prefix of choices (`Vec<usize>`); every nondeterministic
+//! decision (which thread runs the next operation, which store a load
+//! returns) consumes one position. Replaying a prefix is deterministic, so
+//! after each execution the driver computes the lexicographically next
+//! unexplored prefix and reruns until the tree is exhausted.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+pub(crate) use std::sync::atomic::Ordering;
+
+/// Message used to unwind threads of an execution that already failed; the
+/// driver reports the original failure, not this marker.
+pub(crate) const ABORT_MSG: &str = "__loom_shim_abort__";
+
+/// Distinguishes locations registered in the current execution from stale
+/// registrations left in atomics that outlived a previous execution.
+static GENERATION: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Scheduler state of one modelled thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Run {
+    Runnable,
+    /// Voluntarily gave up the token (spin-loop hint); only schedulable
+    /// again after another thread has run, or if nothing else can.
+    Yielded,
+    /// Waiting for the given thread to finish.
+    Blocked(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadInfo {
+    pub state: Run,
+    /// Per-location minimum visible store index (vector-clock view).
+    pub view: Vec<usize>,
+    /// Consecutive stale (non-newest) reads per location, for the
+    /// eventual-visibility cap.
+    stale: Vec<u32>,
+    /// Value of the global store clock when this thread last yielded; a
+    /// yielded thread is only re-promoted after a new store happened (its
+    /// loads could not observe anything new earlier, so re-running it would
+    /// only multiply equivalent schedules).
+    yielded_at: u64,
+}
+
+pub(crate) struct Store {
+    pub val: u64,
+    /// The writer's view snapshot if this store releases (or continues a
+    /// release sequence); acquiring readers join it into their view.
+    pub release: Option<Vec<usize>>,
+}
+
+pub(crate) struct Location {
+    pub stores: Vec<Store>,
+}
+
+/// Search configuration; see `model::Builder` for the public wrapper.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Config {
+    pub preemption_bound: usize,
+    pub max_staleness: u32,
+    pub max_ops: usize,
+    pub max_executions: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { preemption_bound: 3, max_staleness: 2, max_ops: 50_000, max_executions: 2_000_000 }
+    }
+}
+
+pub(crate) struct ExecState {
+    /// Choice prefix being replayed / extended.
+    prefix: Vec<usize>,
+    /// Number of alternatives at each consumed prefix position.
+    options: Vec<usize>,
+    cursor: usize,
+    pub threads: Vec<ThreadInfo>,
+    /// Thread holding the token (allowed to perform operations).
+    pub current: usize,
+    pub locations: Vec<Location>,
+    pub failed: Option<String>,
+    ops: usize,
+    preemptions: usize,
+    /// Incremented by every store/RMW; drives re-promotion of yielded
+    /// threads (see [`ThreadInfo::yielded_at`]).
+    store_clock: u64,
+    cfg: Config,
+    pub generation: u32,
+}
+
+pub(crate) struct Execution {
+    pub st: Mutex<ExecState>,
+    pub cv: Condvar,
+    /// Real OS handles of spawned model threads; joined by the driver at the
+    /// end of every execution so nothing leaks across executions.
+    pub real_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+fn lock_ignore_poison(m: &Mutex<ExecState>) -> MutexGuard<'_, ExecState> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Execution {
+    pub fn new(cfg: Config, prefix: Vec<usize>) -> Arc<Self> {
+        let generation = GENERATION.fetch_add(1, StdOrdering::Relaxed);
+        Arc::new(Execution {
+            st: Mutex::new(ExecState {
+                prefix,
+                options: Vec::new(),
+                cursor: 0,
+                threads: vec![ThreadInfo {
+                    state: Run::Runnable,
+                    view: Vec::new(),
+                    stale: Vec::new(),
+                    yielded_at: 0,
+                }],
+                current: 0,
+                locations: Vec::new(),
+                failed: None,
+                ops: 0,
+                preemptions: 0,
+                store_clock: 0,
+                cfg,
+                generation,
+            }),
+            cv: Condvar::new(),
+            real_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, ExecState> {
+        lock_ignore_poison(&self.st)
+    }
+
+    /// Records a failure (first writer wins) and wakes every waiter.
+    pub fn fail(&self, msg: String) {
+        let mut st = self.lock();
+        if st.failed.is_none() {
+            st.failed = Some(msg);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Scheduling point: before performing its next operation, the running
+    /// thread offers the token to every runnable thread (one DFS choice),
+    /// waiting until the token returns if it handed it away.
+    ///
+    /// # Panics
+    /// Unwinds with [`ABORT_MSG`] if the execution has already failed.
+    pub fn schedule(&self, me: usize) {
+        let mut st = self.lock();
+        if st.failed.is_some() {
+            drop(st);
+            panic!("{ABORT_MSG}");
+        }
+        st.ops += 1;
+        if st.ops > st.cfg.max_ops {
+            let states: Vec<String> =
+                st.threads.iter().map(|t| format!("{:?}@{}", t.state, t.yielded_at)).collect();
+            let msg = format!(
+                "execution exceeded {} operations — livelock or unbounded loop \
+                 under the model (spin loops must use loom yield points); \
+                 scheduling thread {me}, thread states {states:?}, store clock {}",
+                st.cfg.max_ops, st.store_clock
+            );
+            drop(st);
+            self.fail(msg);
+            panic!("{ABORT_MSG}");
+        }
+        // Wake yielded threads that could now observe something new (a store
+        // happened since they yielded); waking them earlier would only
+        // multiply equivalent schedules in which they re-read the same state.
+        let clock = st.store_clock;
+        for (i, t) in st.threads.iter_mut().enumerate() {
+            if i != me && t.state == Run::Yielded && clock > t.yielded_at {
+                t.state = Run::Runnable;
+            }
+        }
+        let me_runnable = st.threads[me].state == Run::Runnable;
+        let mut cands: Vec<usize> =
+            (0..st.threads.len()).filter(|&i| st.threads[i].state == Run::Runnable).collect();
+        if cands.is_empty() {
+            // Every live thread is parked at a yield point with no store
+            // since it yielded. Re-running `me` could only re-read the same
+            // state, so hand the token to another yielder (round-robin keeps
+            // mutual spin loops converging); `me` continues only when it is
+            // the sole yielder left.
+            let others: Vec<usize> = (0..st.threads.len())
+                .filter(|&i| i != me && st.threads[i].state == Run::Yielded)
+                .collect();
+            if others.is_empty() {
+                if st.threads[me].state == Run::Yielded {
+                    st.threads[me].state = Run::Runnable;
+                    cands.push(me);
+                }
+            } else {
+                for &i in &others {
+                    st.threads[i].state = Run::Runnable;
+                }
+                cands = others;
+            }
+        }
+        if cands.is_empty() {
+            drop(st);
+            self.fail("deadlock: no runnable thread at a scheduling point".to_string());
+            panic!("{ABORT_MSG}");
+        }
+        // Keep "stay on the current thread" as choice 0 so the DFS explores
+        // preemption-free schedules first.
+        if let Some(pos) = cands.iter().position(|&c| c == me) {
+            cands.swap(0, pos);
+        }
+        let next = if me_runnable && st.preemptions >= st.cfg.preemption_bound {
+            me
+        } else {
+            let n = cands.len();
+            cands[st.choose(n)]
+        };
+        if next == me {
+            return;
+        }
+        if me_runnable {
+            st.preemptions += 1;
+        }
+        st.current = next;
+        self.cv.notify_all();
+        loop {
+            if st.failed.is_some() {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            if st.current == me && st.threads[me].state == Run::Runnable {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the token onward.
+    pub fn thread_finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me].state = Run::Finished;
+        for t in st.threads.iter_mut() {
+            if t.state == Run::Blocked(me) {
+                t.state = Run::Runnable;
+            }
+        }
+        if st.failed.is_some() {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        for t in st.threads.iter_mut() {
+            if t.state == Run::Yielded {
+                t.state = Run::Runnable;
+            }
+        }
+        let cands: Vec<usize> =
+            (0..st.threads.len()).filter(|&i| st.threads[i].state == Run::Runnable).collect();
+        if cands.is_empty() {
+            let stuck = st.threads.iter().any(|t| matches!(t.state, Run::Blocked(_)));
+            drop(st);
+            if stuck {
+                self.fail("deadlock: all remaining threads are blocked".to_string());
+            }
+            // Either everything finished or the failure is already recorded;
+            // wake the driver in both cases.
+            self.cv.notify_all();
+            return;
+        }
+        let n = cands.len();
+        let next = cands[st.choose(n)];
+        st.current = next;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until `target` finishes (join protocol).
+    pub fn join_thread(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.failed.is_some() {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            if st.threads[target].state == Run::Finished {
+                return;
+            }
+            st.threads[me].state = Run::Blocked(target);
+            for (i, t) in st.threads.iter_mut().enumerate() {
+                if i != me && t.state == Run::Yielded {
+                    t.state = Run::Runnable;
+                }
+            }
+            let cands: Vec<usize> =
+                (0..st.threads.len()).filter(|&i| st.threads[i].state == Run::Runnable).collect();
+            if cands.is_empty() {
+                drop(st);
+                self.fail(format!("deadlock: thread {me} joins {target} but nothing can run"));
+                panic!("{ABORT_MSG}");
+            }
+            let n = cands.len();
+            let next = cands[st.choose(n)];
+            st.current = next;
+            self.cv.notify_all();
+            while !(st.current == me && st.threads[me].state == Run::Runnable) {
+                if st.failed.is_some() {
+                    drop(st);
+                    panic!("{ABORT_MSG}");
+                }
+                st = match self.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        }
+    }
+
+    /// Blocks a freshly spawned thread until it is first handed the token.
+    pub fn wait_for_token(&self, me: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.failed.is_some() {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            if st.current == me && st.threads[me].state == Run::Runnable {
+                return;
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Voluntary yield: demote `me` until another thread has run.
+    pub fn yield_now_model(&self, me: usize) {
+        {
+            let mut st = self.lock();
+            if st.failed.is_some() {
+                drop(st);
+                panic!("{ABORT_MSG}");
+            }
+            let clock = st.store_clock;
+            let t = &mut st.threads[me];
+            t.state = Run::Yielded;
+            t.yielded_at = clock;
+        }
+        self.schedule(me);
+    }
+
+    /// Waits (driver side) until every modelled thread finished.
+    pub fn wait_all_finished(&self) {
+        let mut st = self.lock();
+        while !st.threads.iter().all(|t| t.state == Run::Finished) {
+            if st.failed.is_some() {
+                // Threads waiting for the token observe the failure and
+                // finish on their own; keep waiting for them.
+            }
+            st = match self.cv.wait(st) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+impl ExecState {
+    /// Consumes one DFS choice with `n` alternatives. Trivial decisions
+    /// (`n <= 1`) are not recorded, keeping the search tree minimal.
+    pub fn choose(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let i = self.cursor;
+        self.cursor += 1;
+        let c = if i < self.prefix.len() {
+            self.prefix[i]
+        } else {
+            self.prefix.push(0);
+            0
+        };
+        if self.options.len() <= i {
+            self.options.resize(i + 1, 0);
+        }
+        self.options[i] = n;
+        debug_assert!(c < n, "replayed choice out of range — nondeterministic replay?");
+        c
+    }
+
+    /// Registers a new modelled thread whose initial view inherits the
+    /// spawner's (everything before `spawn` happens-before the child).
+    pub fn register_thread(&mut self, parent: usize) -> usize {
+        let view = self.threads[parent].view.clone();
+        self.threads.push(ThreadInfo {
+            state: Run::Runnable,
+            view,
+            stale: Vec::new(),
+            yielded_at: 0,
+        });
+        self.threads.len() - 1
+    }
+
+    /// Resolves (registering on first use this execution) an atomic's
+    /// location id.
+    pub fn resolve_location(&mut self, packed: u64, init: u64) -> (usize, Option<u64>) {
+        let generation = self.generation;
+        if (packed >> 32) == generation as u64 && (packed & 0xffff_ffff) != 0 {
+            (((packed & 0xffff_ffff) - 1) as usize, None)
+        } else {
+            let idx = self.locations.len();
+            self.locations.push(Location { stores: vec![Store { val: init, release: None }] });
+            let repacked = ((generation as u64) << 32) | (idx as u64 + 1);
+            (idx, Some(repacked))
+        }
+    }
+
+    fn view_entry(view: &mut Vec<usize>, loc: usize) -> &mut usize {
+        if view.len() <= loc {
+            view.resize(loc + 1, 0);
+        }
+        &mut view[loc]
+    }
+
+    fn join_view(dst: &mut Vec<usize>, src: &[usize]) {
+        if dst.len() < src.len() {
+            dst.resize(src.len(), 0);
+        }
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = (*d).max(s);
+        }
+    }
+
+    fn acquires(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn releases(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// Atomic load: may return any store at or after the thread's view of
+    /// the location (a DFS choice); acquiring loads join the release view of
+    /// the store they read.
+    pub fn load(&mut self, tid: usize, loc: usize, ord: Ordering) -> u64 {
+        let n = self.locations[loc].stores.len();
+        let min = *Self::view_entry(&mut self.threads[tid].view, loc);
+        debug_assert!(min < n);
+        let stale_cnt = {
+            let stale = &mut self.threads[tid].stale;
+            if stale.len() <= loc {
+                stale.resize(loc + 1, 0);
+            }
+            stale[loc]
+        };
+        // Eventual visibility: after `max_staleness` consecutive stale reads
+        // the newest store must be returned, so polling loops terminate.
+        let (base, span) =
+            if stale_cnt >= self.cfg.max_staleness { (n - 1, 1) } else { (min, n - min) };
+        let pick = base + self.choose(span);
+        self.threads[tid].stale[loc] = if pick + 1 < n { stale_cnt + 1 } else { 0 };
+        *Self::view_entry(&mut self.threads[tid].view, loc) = pick;
+        if Self::acquires(ord) {
+            if let Some(rv) = self.locations[loc].stores[pick].release.clone() {
+                Self::join_view(&mut self.threads[tid].view, &rv);
+            }
+        }
+        self.locations[loc].stores[pick].val
+    }
+
+    /// Atomic store: appends to the location's modification order; releasing
+    /// stores snapshot the writer's view.
+    pub fn store(&mut self, tid: usize, loc: usize, val: u64, ord: Ordering) {
+        self.store_clock += 1;
+        let idx = self.locations[loc].stores.len();
+        *Self::view_entry(&mut self.threads[tid].view, loc) = idx;
+        let release = if Self::releases(ord) { Some(self.threads[tid].view.clone()) } else { None };
+        self.locations[loc].stores.push(Store { val, release });
+    }
+
+    /// Atomic read-modify-write: reads the newest store (atomicity),
+    /// continues its release sequence, and appends the modified value.
+    pub fn rmw(
+        &mut self,
+        tid: usize,
+        loc: usize,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        self.store_clock += 1;
+        let idx = self.locations[loc].stores.len() - 1;
+        let old = self.locations[loc].stores[idx].val;
+        if Self::acquires(ord) {
+            if let Some(rv) = self.locations[loc].stores[idx].release.clone() {
+                Self::join_view(&mut self.threads[tid].view, &rv);
+            }
+        }
+        *Self::view_entry(&mut self.threads[tid].view, loc) = idx + 1;
+        // RMWs do not reset the stale counter: the counter tracks *loads*.
+        let mut release = self.locations[loc].stores[idx].release.clone();
+        if Self::releases(ord) {
+            let mine = self.threads[tid].view.clone();
+            release = Some(match release {
+                Some(mut r) => {
+                    Self::join_view(&mut r, &mine);
+                    r
+                }
+                None => mine,
+            });
+        }
+        self.locations[loc].stores.push(Store { val: f(old), release });
+        old
+    }
+
+    /// Compare-and-swap: reads the newest store (atomicity); on success
+    /// behaves as an RMW with `success` ordering, on failure as a load of
+    /// the newest value with `failure` ordering.
+    pub fn cas(
+        &mut self,
+        tid: usize,
+        loc: usize,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let idx = self.locations[loc].stores.len() - 1;
+        let old = self.locations[loc].stores[idx].val;
+        if old == current {
+            Ok(self.rmw(tid, loc, success, |_| new))
+        } else {
+            if Self::acquires(failure) {
+                if let Some(rv) = self.locations[loc].stores[idx].release.clone() {
+                    Self::join_view(&mut self.threads[tid].view, &rv);
+                }
+            }
+            *Self::view_entry(&mut self.threads[tid].view, loc) = idx;
+            Err(old)
+        }
+    }
+
+    /// The schedule consumed so far, for failure reports.
+    pub fn consumed_prefix(&self) -> (&[usize], &[usize]) {
+        (&self.prefix[..], &self.options[..])
+    }
+}
+
+/// Enters a model context for the driver thread (tid 0); restores the
+/// previous context on drop so panics cannot leak a stale context.
+pub(crate) struct ContextGuard;
+
+impl ContextGuard {
+    pub fn enter(exec: Arc<Execution>, tid: usize) -> ContextGuard {
+        CURRENT.with(|c| {
+            let mut c = c.borrow_mut();
+            assert!(c.is_none(), "nested loom::model is not supported");
+            *c = Some((exec, tid));
+        });
+        ContextGuard
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.borrow_mut().take());
+    }
+}
+
+/// Runs `f` with the current execution context, or returns `None` when the
+/// caller is not inside [`crate::model`] (atomics then fall back to std).
+pub(crate) fn with_context<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> Option<R> {
+    let ctx = CURRENT.with(|c| c.borrow().clone());
+    ctx.map(|(exec, tid)| f(&exec, tid))
+}
+
+/// Computes the lexicographically next unexplored choice prefix, or `None`
+/// when the search tree is exhausted.
+pub(crate) fn next_prefix(mut prefix: Vec<usize>, options: &[usize]) -> Option<Vec<usize>> {
+    while let Some(last) = prefix.pop() {
+        let n = options.get(prefix.len()).copied().unwrap_or(1);
+        if last + 1 < n {
+            prefix.push(last + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Renders a panic payload for failure reports.
+pub(crate) fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

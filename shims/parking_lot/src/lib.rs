@@ -1,0 +1,195 @@
+//! Offline shim for [`parking_lot`](https://crates.io/crates/parking_lot):
+//! the `Mutex`/`Condvar` API subset this workspace uses, implemented over
+//! `std::sync`.
+//!
+//! Two API differences of parking_lot are reproduced:
+//!
+//! * `lock()` returns the guard directly (no poison `Result`). Poisoning from
+//!   the underlying std mutex is swallowed via `into_inner`, matching
+//!   parking_lot's "no poisoning" semantics.
+//! * `Condvar::wait`/`wait_for` take the guard by `&mut` instead of by value.
+//!   The guard internally holds an `Option<std::sync::MutexGuard>` so the
+//!   shim can move the std guard through the std condvar and put it back.
+
+#![forbid(unsafe_code)]
+
+use std::time::Duration;
+
+/// Mutual exclusion with the parking_lot API (guard without `Result`).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `None` only transiently inside `Condvar` waits.
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking. Unlike std, never returns a poison error:
+    /// parking_lot has no poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        MutexGuard { guard: Some(guard) }
+    }
+
+    /// Mutable access without locking (exclusive borrow proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> core::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside condvar wait")
+    }
+}
+
+impl<T: ?Sized> core::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside condvar wait")
+    }
+}
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable with the parking_lot API (`&mut guard` waits).
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    /// parking_lot's `Condvar::new` is `const`; std's `wait` panics if used
+    /// with multiple mutexes, which we simply inherit.
+    _private: (),
+}
+
+impl Condvar {
+    /// Creates the condvar.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new(), _private: () }
+    }
+
+    /// Blocks until notified. Spurious wakeups possible, as usual.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.guard.take().expect("guard present");
+        let inner = match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        };
+        guard.guard = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapsed.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.guard.take().expect("guard present");
+        let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poison) => {
+                let (g, r) = poison.into_inner();
+                (g, r)
+            }
+        };
+        guard.guard = Some(inner);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn lock_survives_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(1u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        // parking_lot semantics: no poisoning.
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let t0 = Instant::now();
+        let res = cv.wait_for(&mut g, Duration::from_millis(30));
+        assert!(res.timed_out());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn condvar_notify_crosses_threads() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*state2;
+            let mut g = m.lock();
+            while !*g {
+                let res = cv.wait_for(&mut g, Duration::from_secs(5));
+                assert!(!res.timed_out(), "notify should arrive well before 5s");
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        {
+            let (m, cv) = &*state;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        h.join().expect("waiter");
+    }
+}

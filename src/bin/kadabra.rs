@@ -13,11 +13,11 @@
 //! list and runs directed KADABRA; `--weighted` reads `u v w` triples and
 //! runs weighted KADABRA (both sequential, paper footnote 1).
 
+use kadabra_mpi::core::{kadabra_directed, kadabra_weighted};
 use kadabra_mpi::core::{
     kadabra_epoch_mpi, kadabra_mpi_flat, kadabra_sequential, kadabra_shared, ClusterShape,
     KadabraConfig,
 };
-use kadabra_mpi::core::{kadabra_directed, kadabra_weighted};
 use kadabra_mpi::graph::components::largest_component;
 use kadabra_mpi::graph::io::{read_arc_list, read_path, read_weighted_edge_list, write_path};
 use std::path::PathBuf;
@@ -65,10 +65,12 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     let mut have_graph = false;
     while let Some(a) = it.next() {
-        let mut val = |name: &str| it.next().unwrap_or_else(|| {
-            eprintln!("missing value for {name}");
-            usage()
-        });
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
         match a.as_str() {
             "--eps" => args.eps = val("--eps").parse().unwrap_or_else(|_| usage()),
             "--delta" => args.delta = val("--delta").parse().unwrap_or_else(|_| usage()),
@@ -131,7 +133,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let cfg = KadabraConfig { epsilon: args.eps, delta: args.delta, seed: args.seed, ..Default::default() };
+    let cfg = KadabraConfig {
+        epsilon: args.eps,
+        delta: args.delta,
+        seed: args.seed,
+        ..Default::default()
+    };
     let result = match args.mode.as_str() {
         "seq" => kadabra_sequential(&g, &cfg),
         "shared" => kadabra_shared(&g, &cfg, args.threads),

@@ -51,12 +51,7 @@ fn all_modes_within_epsilon_of_exact() {
     for i in 0..runs.len() {
         for j in (i + 1)..runs.len() {
             let d = max_abs_diff(&runs[i].1, &runs[j].1);
-            assert!(
-                d <= 2.0 * cfg.epsilon,
-                "{} vs {}: disagreement {d}",
-                runs[i].0,
-                runs[j].0
-            );
+            assert!(d <= 2.0 * cfg.epsilon, "{} vs {}: disagreement {d}", runs[i].0, runs[j].0);
         }
     }
 }
@@ -136,5 +131,10 @@ fn omega_cap_is_respected_by_every_mode() {
     let spread = test_graph();
     let loose = KadabraConfig { epsilon: 0.02, ..tight };
     let r2 = kadabra_sequential(&spread, &loose);
-    assert!(r2.samples < r2.omega, "moderate eps must stop adaptively: {} vs {}", r2.samples, r2.omega);
+    assert!(
+        r2.samples < r2.omega,
+        "moderate eps must stop adaptively: {} vs {}",
+        r2.samples,
+        r2.omega
+    );
 }

@@ -35,10 +35,8 @@ fn directed_sequential_and_parallel_agree_with_exact() {
 #[test]
 fn weighted_sequential_and_parallel_agree_with_exact() {
     let base = barabasi_albert(BaConfig { n: 70, m: 2, seed: 4 });
-    let edges: Vec<(u32, u32, u32)> = base
-        .edges()
-        .map(|(u, v)| (u, v, 1 + (u + 2 * v) % 5))
-        .collect();
+    let edges: Vec<(u32, u32, u32)> =
+        base.edges().map(|(u, v)| (u, v, 1 + (u + 2 * v) % 5)).collect();
     let g = WeightedGraph::from_edges(70, &edges);
     let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 12, ..Default::default() };
     let exact = brandes_weighted(&g);
@@ -53,12 +51,8 @@ fn topk_confirms_true_top_vertex_on_hub_graph() {
     let g = barabasi_albert(BaConfig { n: 250, m: 2, seed: 5 });
     let cfg = KadabraConfig { epsilon: 0.02, delta: 0.1, seed: 13, ..Default::default() };
     let exact = brandes(&g);
-    let truth = exact
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-        .unwrap()
-        .0 as u32;
+    let truth =
+        exact.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0 as u32;
     let topk = kadabra_topk(&g, 1, &cfg);
     if topk.separated {
         assert_eq!(topk.confirmed[0].vertex, truth, "confirmed top-1 must be the true top-1");

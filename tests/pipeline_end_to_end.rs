@@ -6,7 +6,7 @@ use kadabra_mpi::baselines::{brandes, rk_betweenness, RkConfig};
 use kadabra_mpi::core::{kadabra_sequential, KadabraConfig};
 use kadabra_mpi::graph::components::largest_component;
 use kadabra_mpi::graph::diameter::diameter;
-use kadabra_mpi::graph::generators::{hyperbolic, rmat, HyperbolicConfig, RmatConfig};
+use kadabra_mpi::graph::generators::{gnm, rmat, GnmConfig, RmatConfig};
 use kadabra_mpi::graph::io::{read_binary, read_edge_list, write_binary, write_edge_list};
 
 #[test]
@@ -28,7 +28,7 @@ fn full_pipeline_rmat() {
     let d = diameter(&lcc, 0, 0);
     let cfg = KadabraConfig::new(0.03, 0.1);
     let r = kadabra_sequential(&lcc, &cfg);
-    assert!(r.vertex_diameter >= d.exact() + 1 || r.vertex_diameter >= d.exact());
+    assert!(r.vertex_diameter >= d.exact());
 
     // Ranking sanity: top vertex should have above-average degree on a
     // power-law graph.
@@ -43,35 +43,32 @@ fn full_pipeline_rmat() {
 }
 
 #[test]
-fn kadabra_beats_rk_sample_count_on_concentrated_graphs() {
-    // Adaptivity pays when the stopping condition fires before the RK bound:
-    // KADABRA must never take more samples than the non-adaptive bound plus
-    // one epoch of slack, and typically takes far fewer.
-    let g = hyperbolic(HyperbolicConfig { n: 3_000, avg_deg: 10.0, alpha: 1.0, seed: 5 });
+fn kadabra_beats_rk_sample_count_on_flat_graphs() {
+    // Adaptivity pays when no single vertex dominates: with all betweenness
+    // estimates small, the per-vertex deviation bounds shrink well before the
+    // static VC-dimension cap, so KADABRA stops with strictly fewer samples
+    // than the non-adaptive RK bound. (On hub-dominated graphs — e.g.
+    // hyperbolic with a vertex of b̃ > 0.5 — the hub's Bernstein bound alone
+    // needs τ ≈ ω, and ω exceeds RK's r by (c/ε²)·ln 2 by construction, so no
+    // adaptive win is possible there; G(n, m) is the regime the claim is
+    // about.)
+    let g = gnm(GnmConfig { n: 3_000, m: 15_000, seed: 5 });
     let (lcc, _) = largest_component(&g);
     let cfg = KadabraConfig::new(0.02, 0.1);
     let kad = kadabra_sequential(&lcc, &cfg);
-    let rk_cfg = RkConfig {
-        epsilon: 0.02,
-        delta: 0.1,
-        vertex_diameter: kad.vertex_diameter,
-        seed: 5,
-    };
+    let rk_cfg =
+        RkConfig { epsilon: 0.02, delta: 0.1, vertex_diameter: kad.vertex_diameter, seed: 5 };
     let rk = rk_betweenness(&lcc, rk_cfg);
     assert!(
-        kad.samples <= rk.samples + cfg.n0(1),
-        "adaptive {} should not exceed fixed-size {}",
+        kad.samples < rk.samples,
+        "adaptive {} should beat fixed-size {}",
         kad.samples,
         rk.samples
     );
     // And both satisfy the guarantee.
     let exact = brandes(&lcc);
     for (scores, name) in [(&kad.scores, "kadabra"), (&rk.scores, "rk")] {
-        let worst = scores
-            .iter()
-            .zip(&exact)
-            .map(|(a, e)| (a - e).abs())
-            .fold(0.0f64, f64::max);
+        let worst = scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
         assert!(worst <= 0.02, "{name}: {worst}");
     }
 }
