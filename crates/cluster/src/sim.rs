@@ -28,6 +28,7 @@ use kadabra_core::phases::scores_from_counts;
 use kadabra_core::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use kadabra_core::{ClusterShape, KadabraConfig, Prepared};
 use kadabra_graph::Graph;
+use kadabra_mpisim::FaultPlan;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Duration;
@@ -240,6 +241,31 @@ pub fn simulate(
     spec: &ClusterSpec,
     cost: &CostModel,
 ) -> SimReport {
+    simulate_perturbed(g, cfg, prepared, sim, spec, cost, None)
+}
+
+/// [`simulate`] under a [`FaultPlan`]: the same knobs the chaos suite turns
+/// on the simulated MPI runtime are mapped into the cost model, so DES
+/// predictions stay comparable to perturbed `kadabra-mpisim` runs.
+///
+/// * a straggler rank ([`FaultPlan::rank_factors`]) multiplies every sample
+///   duration of all its threads,
+/// * a slow thread ([`FaultPlan::slow_threads`]) additionally multiplies that
+///   one thread's sample durations by [`FaultPlan::slow_thread_factor`],
+/// * the calibration makespan follows the slowest thread (that phase joins
+///   on a blocking all-reduce).
+///
+/// `plan: None` (or an ideal plan) reproduces [`simulate`] bit-for-bit.
+/// `SimConfig` stays `Copy`; the plan travels as a separate argument.
+pub fn simulate_perturbed(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    prepared: &Prepared,
+    sim: &SimConfig,
+    spec: &ClusterSpec,
+    cost: &CostModel,
+    plan: Option<&FaultPlan>,
+) -> SimReport {
     cfg.validate();
     sim.shape.validate();
     let n = g.num_nodes();
@@ -254,11 +280,32 @@ pub fn simulate(
     let frame_bytes = (n as u64 + 1) * 8;
     let numa_mul = if sim.numa_penalty { spec.numa_sampling_penalty } else { 1.0 };
 
+    // Per-thread sampling-cost multiplier from the fault plan: straggler
+    // ranks slow every thread they host; slow threads compound on top.
+    let tid_mul: Vec<f64> = (0..p_count)
+        .flat_map(|p| {
+            (0..t_count).map(move |t| match plan {
+                Some(pl) => {
+                    let mut m = pl.rank_factor(p) as f64;
+                    if pl.slow_threads.contains(&(p, t)) {
+                        m *= pl.slow_thread_factor.max(1) as f64;
+                    }
+                    m
+                }
+                None => 1.0,
+            })
+        })
+        .collect();
+    let smul = |tid: usize| numa_mul * tid_mul[tid];
+    let worst_mul = tid_mul.iter().copied().fold(1.0f64, f64::max);
+
     // Calibration phase (closed-form virtual time; the δ budgets themselves
     // come from `prepared` — same data on every rank after the all-reduce).
+    // Its makespan follows the slowest thread: everybody joins the blocking
+    // all-reduce behind the straggler.
     let tau0 = calibration_sample_count(cfg, omega);
     let per_thread = tau0.div_ceil(total_threads as u64);
-    let calibration_ns = (per_thread as f64 * cost.mean_sample_ns() * numa_mul) as u64
+    let calibration_ns = (per_thread as f64 * cost.mean_sample_ns() * numa_mul * worst_mul) as u64
         + spec.network.tree_collective_ns(p_count, frame_bytes)
         + cost.delta_fit_ns;
 
@@ -309,7 +356,7 @@ pub fn simulate(
 
     // Prime every thread's first sample.
     for tid in 0..total_threads {
-        let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * numa_mul) as u64;
+        let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
         push(&mut queue, &mut seq, d, Ev::Sample { tid });
     }
 
@@ -360,7 +407,7 @@ pub fn simulate(
                         threads[tid].stopped = true;
                         makespan = makespan.max(now);
                     } else {
-                        let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * numa_mul) as u64;
+                        let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
                         push(&mut queue, &mut seq, now + d, Ev::Sample { tid });
                     }
                     continue;
@@ -465,7 +512,7 @@ pub fn simulate(
                     }
                 }
                 if resample {
-                    let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * numa_mul) as u64;
+                    let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
                     push(&mut queue, &mut seq, now + d, Ev::Sample { tid });
                 }
             }
@@ -516,7 +563,7 @@ pub fn simulate(
                 }
                 if resample {
                     let tid = proc_id * t_count;
-                    let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * numa_mul) as u64;
+                    let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
                     push(&mut queue, &mut seq, now + d, Ev::Sample { tid });
                 }
             }
@@ -560,7 +607,7 @@ pub fn simulate(
                         // can resume sampling.
                         let resume = if p == 0 { now + check_cost } else { now };
                         let tid = p * t_count;
-                        let d_ns = (cost.draw_sample_ns(&mut dur_rng) as f64 * numa_mul) as u64;
+                        let d_ns = (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
                         push(&mut queue, &mut seq, resume + d_ns, Ev::Sample { tid });
                     }
                 }
@@ -832,6 +879,69 @@ mod tests {
         assert_eq!(a.scores, b.scores);
         assert_eq!(a.ads_ns, b.ads_ns);
         assert_eq!(a.epochs, b.epochs);
+    }
+
+    #[test]
+    fn ideal_fault_plan_reproduces_the_unperturbed_run() {
+        let (g, cfg, prepared, cost) = setup();
+        let spec = ClusterSpec::default();
+        let sim = SimConfig {
+            shape: shape(3, 2, 2),
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+        };
+        let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
+        let ideal = FaultPlan::ideal(9);
+        let r = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&ideal));
+        assert_eq!(base.scores, r.scores);
+        assert_eq!(base.ads_ns, r.ads_ns);
+        assert_eq!(base.calibration_ns, r.calibration_ns);
+        assert_eq!(base.epochs, r.epochs);
+    }
+
+    #[test]
+    fn straggler_rank_stretches_virtual_time() {
+        let (g, cfg, prepared, cost) = setup();
+        let spec = ClusterSpec::default();
+        let sim = SimConfig {
+            shape: shape(4, 2, 2),
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+        };
+        let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
+        let plan = FaultPlan::ideal(0).with_straggler(2, 6);
+        let slow = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+        // The DES joins every round behind the straggler's aggregation, so
+        // both phases of virtual time must stretch.
+        assert!(
+            slow.ads_ns > base.ads_ns,
+            "straggler must slow ads: {} !> {}",
+            slow.ads_ns,
+            base.ads_ns
+        );
+        assert!(slow.calibration_ns > base.calibration_ns);
+        // The statistical outcome still meets the guarantee: stretching one
+        // rank's sampling changes timing, not the stopping rule's soundness.
+        assert!(slow.samples > 0);
+        assert!(slow.epochs >= 1);
+    }
+
+    #[test]
+    fn slow_thread_is_milder_than_a_full_straggler_rank() {
+        let (g, cfg, prepared, cost) = setup();
+        let spec = ClusterSpec::default();
+        let sim = SimConfig {
+            shape: shape(2, 2, 4),
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+        };
+        let thread_plan = FaultPlan::ideal(0).with_slow_thread(1, 2, 6);
+        let rank_plan = FaultPlan::ideal(0).with_straggler(1, 6);
+        let one = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&thread_plan));
+        let all = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&rank_plan));
+        let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
+        assert!(one.ads_ns > base.ads_ns, "{} !> {}", one.ads_ns, base.ads_ns);
+        assert!(all.ads_ns > one.ads_ns, "{} !> {}", all.ads_ns, one.ads_ns);
     }
 
     #[test]

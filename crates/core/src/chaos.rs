@@ -1,0 +1,620 @@
+//! Chaos-observed variants of Algorithms 1 and 2: the paper's MPI drivers
+//! executed under a deterministic [`FaultPlan`], instrumented with the
+//! invariant probes the chaos conformance suite asserts on.
+//!
+//! # What "observed" changes
+//!
+//! The plain drivers ([`crate::kadabra_mpi_flat`],
+//! [`crate::kadabra_epoch_mpi`]) let every overlap loop run free: how many
+//! samples a rank squeezes in while a non-blocking collective progresses
+//! depends on OS scheduling, so two runs produce different (all correct)
+//! scores. The observed variants close that door so perturbed runs are
+//! **bit-reproducible** from `(plan, seed)`:
+//!
+//! * every non-blocking request polls deterministically (the engine's
+//!   logical clock — see `kadabra_mpisim`'s `fault` module),
+//! * epoch-framework workers take an exact plan-derived per-epoch sample
+//!   quota instead of free-running,
+//! * thread 0 overlaps each transition wait with a plan-derived sample
+//!   count, then spin-waits without sampling.
+//!
+//! The algorithms' structure — what is communicated, when rounds end, how
+//! the stopping rule sees aggregated state — is unchanged; only the
+//! *degrees of freedom the paper already treats as adversarial* (who is
+//! slow, by how much) move from the OS into the plan.
+//!
+//! # Probes
+//!
+//! With [`ChaosOptions::probe`], every rank reports its global round to a
+//! shared [`CrossEpochProbe`], which audits the paper's Section IV-C claim
+//! (cross-process epoch gap ≤ 1 past every completed reduction point). With
+//! [`ChaosOptions::conservation`], every round runs one extra all-reduce of
+//! `[Σc̃, τ]` and rank 0 asserts the totals match what its fold absorbed —
+//! no sample is lost or double-counted anywhere in the local-reduce /
+//! leader-reduce chain. On violation the panic message carries the plan
+//! summary, which is all that is needed to replay the failure.
+
+use crate::config::{ClusterShape, KadabraConfig};
+use crate::phases::{
+    calibration_samples_for_thread, diameter_phase, fold_and_check, scores_from_counts,
+};
+use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use crate::{bounds, calibration::Calibration, epoch_mpi::hierarchical_comms};
+use kadabra_epoch::{CrossEpochProbe, EpochFramework};
+use kadabra_graph::Graph;
+use kadabra_mpisim::{Communicator, FaultPlan, Universe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of a chaos-observed run.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// The deterministic fault plan the simulated world runs under.
+    pub plan: FaultPlan,
+    /// Audit the cross-process epoch-distance invariant every round.
+    pub probe: bool,
+    /// Run the per-round aggregated-sample conservation check.
+    pub conservation: bool,
+}
+
+impl ChaosOptions {
+    /// Everything on, under `plan` — what the conformance suite uses.
+    pub fn all(plan: FaultPlan) -> Self {
+        ChaosOptions { plan, probe: true, conservation: true }
+    }
+}
+
+/// Outcome of a chaos-observed run: the algorithm's result plus what the
+/// probes saw.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Rank 0's betweenness result, exactly as the plain driver returns it.
+    pub result: BetweennessResult,
+    /// Largest cross-process round gap any completion event observed
+    /// (0 when the probe was disabled).
+    pub max_epoch_gap: u32,
+    /// Completion events the epoch probe audited.
+    pub probe_observations: u64,
+    /// Audits that violated the gap-≤-1 invariant (must be 0).
+    pub probe_violations: u64,
+    /// Rounds the conservation check covered.
+    pub conservation_rounds: u64,
+    /// The plan's one-line reproduction handle (print this on failure).
+    pub plan_summary: String,
+}
+
+impl ChaosReport {
+    /// Panics unless every enabled probe came back clean — the single
+    /// assertion a chaos test needs after a perturbed run.
+    pub fn assert_invariants(&self) {
+        assert_eq!(
+            self.probe_violations, 0,
+            "epoch-distance invariant violated (max gap {}) [{}]",
+            self.max_epoch_gap, self.plan_summary
+        );
+        assert!(
+            self.max_epoch_gap <= 1,
+            "cross-process epoch gap {} > 1 [{}]",
+            self.max_epoch_gap,
+            self.plan_summary
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1, observed
+// ---------------------------------------------------------------------------
+
+/// Runs **Algorithm 1** (`kadabra_mpi_flat`) under a fault plan, with
+/// probes. Bit-reproducible: identical `(g, cfg, ranks, opts)` give
+/// identical scores.
+pub fn kadabra_mpi_flat_observed(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    ranks: usize,
+    opts: &ChaosOptions,
+) -> ChaosReport {
+    cfg.validate();
+    assert!(ranks >= 1);
+    assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
+    let probe = opts.probe.then(|| Arc::new(CrossEpochProbe::new(ranks)));
+    let mut outcomes = Universe::run_with_plan(ranks, opts.plan.clone(), |comm| {
+        flat_rank_main(g, cfg, comm, opts, probe.as_deref())
+    });
+    let (result, rounds) = outcomes.swap_remove(0);
+    // xtask: allow(unwrap) — flat_rank_main returns Some exactly at rank 0.
+    let result = result.expect("rank 0 always produces the result");
+    finish_report(result, rounds, probe, opts)
+}
+
+/// Per-rank body of observed Algorithm 1. Mirrors `mpi::rank_main`; the
+/// deviations are commented.
+fn flat_rank_main(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    comm: Communicator,
+    opts: &ChaosOptions,
+    probe: Option<&CrossEpochProbe>,
+) -> (Option<BetweennessResult>, u64) {
+    let n = g.num_nodes();
+    let rank = comm.rank();
+    let ranks = comm.size();
+
+    let diam_start = Instant::now();
+    let vd = if rank == 0 {
+        let (vd, _) = diameter_phase(g, cfg);
+        comm.bcast_u64(0, Some(vd as u64)) as u32
+    } else {
+        comm.bcast_u64(0, None) as u32
+    };
+    let diameter_time = diam_start.elapsed();
+    let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
+
+    let calib_start = Instant::now();
+    let mut sampler = ThreadSampler::new(n, cfg.seed, rank, 0);
+    let mut counts = vec![0u64; n + 1];
+    let taken =
+        calibration_samples_for_thread(g, &mut sampler, &mut counts[..n], cfg, omega, ranks);
+    counts[n] = taken;
+    let total = comm.allreduce_sum_u64(&counts);
+    let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
+    let calibration_time = calib_start.elapsed();
+
+    let ads_start = Instant::now();
+    let n0 = cfg.n0(ranks);
+    let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET);
+    let mut stats = SamplingStats::default();
+    let mut s_loc = vec![0u64; n + 1];
+    let mut s_global = vec![0u64; n + 1];
+    let mut rounds = 0u64;
+
+    let sample_into = |frame: &mut Vec<u64>, sampler: &mut ThreadSampler| {
+        for &v in sampler.sample(g) {
+            frame[v as usize] += 1;
+        }
+        frame[n] += 1;
+    };
+
+    let mut round = 0u32;
+    loop {
+        // Probe: the store must precede this round's first collective join
+        // (see the probe's happens-before argument).
+        if let Some(p) = probe {
+            p.begin_round(rank, round);
+        }
+        for _ in 0..n0 {
+            sample_into(&mut s_loc, &mut sampler);
+        }
+        let snapshot = std::mem::replace(&mut s_loc, vec![0u64; n + 1]);
+        let mut req = comm.ireduce_sum_u64(0, &snapshot);
+        // Deterministic overlap: under the plan, test() returns false a
+        // plan-derived number of times, then resolves.
+        while !req.test() {
+            sample_into(&mut s_loc, &mut sampler);
+        }
+        stats.comm_bytes += snapshot.len() as u64 * 8;
+
+        let mut d = 0u64;
+        let mut folded = [0u64; 2]; // rank 0: [Σc̃, τ] absorbed this round
+        if rank == 0 {
+            // xtask: allow(unwrap) — the request completed (test() was
+            // true) and rank 0 is the reduction root, so both layers are Some.
+            let reduced = req.into_result().unwrap().expect("root receives reduction");
+            folded = [reduced[..n].iter().sum(), reduced[n]];
+            let stop = fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
+            d = u64::from(stop);
+        }
+
+        // Conservation: what all ranks sent this round must equal what rank
+        // 0's fold absorbed — the reduction loses and invents nothing.
+        if opts.conservation {
+            let sent = [snapshot[..n].iter().sum::<u64>(), snapshot[n]];
+            let totals = comm.allreduce_sum_u64(&sent);
+            if rank == 0 {
+                assert_eq!(
+                    [totals[0], totals[1]],
+                    folded,
+                    "sample conservation violated at round {round} [{}]",
+                    opts.plan.summary()
+                );
+            }
+            rounds += 1;
+        }
+
+        let mut breq = comm.ibcast_u64(0, (rank == 0).then_some(d));
+        while !breq.test() {
+            sample_into(&mut s_loc, &mut sampler);
+        }
+        stats.epochs += 1;
+        // The round's full reduction/broadcast chain resolved: audit the
+        // cross-process gap.
+        if let Some(p) = probe {
+            p.complete_round(rank, round);
+        }
+        // xtask: allow(unwrap) — test() returned true above.
+        if breq.into_result().unwrap() != 0 {
+            break;
+        }
+        round += 1;
+    }
+    stats.comm_bytes = comm.bytes_transferred();
+
+    let result = (rank == 0).then(|| {
+        let tau = s_global[n];
+        stats.samples = tau;
+        BetweennessResult {
+            scores: scores_from_counts(&s_global[..n], tau),
+            samples: tau,
+            omega,
+            vertex_diameter: vd,
+            timings: PhaseTimings {
+                diameter: diameter_time,
+                calibration: calibration_time,
+                adaptive_sampling: ads_start.elapsed(),
+            },
+            stats,
+        }
+    });
+    (result, rounds)
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2, observed
+// ---------------------------------------------------------------------------
+
+/// Runs **Algorithm 2** (`kadabra_epoch_mpi`) under a fault plan, with
+/// probes. Bit-reproducible: identical `(g, cfg, shape, opts)` give
+/// identical scores — including worker-thread sample placement, which the
+/// plain driver leaves to the scheduler.
+pub fn kadabra_epoch_mpi_observed(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    shape: ClusterShape,
+    opts: &ChaosOptions,
+) -> ChaosReport {
+    cfg.validate();
+    shape.validate();
+    assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
+    let probe = opts.probe.then(|| Arc::new(CrossEpochProbe::new(shape.ranks)));
+    let outcomes = Universe::run_with_plan(shape.ranks, opts.plan.clone(), |comm| {
+        epoch_rank_main(g, cfg, shape, comm, opts, probe.as_deref())
+    });
+    let comm_bytes: u64 =
+        outcomes.iter().filter(|o| o.2).map(|o| o.3).sum::<u64>() + outcomes[0].4 + outcomes[0].5;
+    let (result, rounds, ..) = outcomes
+        .into_iter()
+        .next()
+        // xtask: allow(unwrap) — shape.validate() guarantees ranks >= 1.
+        .unwrap();
+    // xtask: allow(unwrap) — epoch_rank_main returns Some exactly at rank 0.
+    let mut result = result.expect("rank 0 always produces the result");
+    result.stats.comm_bytes = comm_bytes;
+    finish_report(result, rounds, probe, opts)
+}
+
+/// Per-rank body of observed Algorithm 2. Mirrors `epoch_mpi::rank_main`;
+/// the deviations (deterministic worker quotas, deterministic transition
+/// overlap, probes) are commented. Returns
+/// `(result, conservation_rounds, is_leader, local/leader/world bytes)`.
+fn epoch_rank_main(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    shape: ClusterShape,
+    world: Communicator,
+    opts: &ChaosOptions,
+    probe: Option<&CrossEpochProbe>,
+) -> (Option<BetweennessResult>, u64, bool, u64, u64, u64) {
+    let n = g.num_nodes();
+    let rank = world.rank();
+    let threads = shape.threads_per_rank;
+    let plan = &opts.plan;
+
+    let (local, is_leader, leaders) = hierarchical_comms(&world, shape);
+
+    let diam_start = Instant::now();
+    let vd = if rank == 0 {
+        let (vd, _) = diameter_phase(g, cfg);
+        world.bcast_u64(0, Some(vd as u64)) as u32
+    } else {
+        world.bcast_u64(0, None) as u32
+    };
+    let diameter_time = diam_start.elapsed();
+    let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
+
+    let calib_start = Instant::now();
+    let total_threads = shape.total_threads();
+    let mut calib = vec![0u64; n + 1];
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move |_| {
+                    let mut sampler = ThreadSampler::new(n, cfg.seed, rank, t);
+                    let mut counts = vec![0u64; n];
+                    let taken = calibration_samples_for_thread(
+                        g,
+                        &mut sampler,
+                        &mut counts,
+                        cfg,
+                        omega,
+                        total_threads,
+                    );
+                    (counts, taken)
+                })
+            })
+            .collect();
+        for h in handles {
+            // xtask: allow(unwrap) — a sampler-thread panic is a bug; abort
+            // the computation with its message.
+            let (counts, taken) = h.join().expect("calibration worker");
+            for (a, c) in calib.iter_mut().zip(counts) {
+                *a += c;
+            }
+            calib[n] += taken;
+        }
+    })
+    // xtask: allow(unwrap) — children are joined above; see worker waiver.
+    .expect("calibration scope");
+    let total = world.allreduce_sum_u64(&calib);
+    let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
+    let calibration_time = calib_start.elapsed();
+
+    let ads_start = Instant::now();
+    let n0 = cfg.n0(total_threads);
+    let fw = EpochFramework::new(n, threads);
+    let mut stats = SamplingStats::default();
+    let mut s_global = vec![0u64; n + 1];
+    let mut rounds = 0u64;
+
+    crossbeam::scope(|s| {
+        // Workers: instead of free-running (sample count per epoch decided
+        // by the scheduler), each takes an exact plan-derived quota for its
+        // current epoch, then spin-waits for the transition command. The
+        // content of every aggregated frame is thus a pure function of the
+        // plan. The quota includes the plan's "slow thread" knob: a slow
+        // thread contributes fewer samples per epoch, skewing frames the
+        // way a de-scheduled thread would.
+        for t in 1..threads {
+            let fw = &fw;
+            s.spawn(move |_| {
+                let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET + t);
+                let mut h = fw.handle(t);
+                let mut epoch = 0u32;
+                'run: loop {
+                    let quota = plan.worker_quota(rank, t, epoch, n0);
+                    for _ in 0..quota {
+                        let interior = sampler.sample(g);
+                        h.record_sample(interior);
+                    }
+                    loop {
+                        if fw.check_transition(&mut h) {
+                            break;
+                        }
+                        if fw.should_terminate() {
+                            break 'run;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    epoch += 1;
+                }
+            });
+        }
+
+        // Thread 0 (Algorithm 2, lines 10-31).
+        let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET);
+        let mut h = fw.handle(0);
+        let mut epoch = 0u32;
+        loop {
+            if let Some(p) = probe {
+                p.begin_round(rank, epoch);
+            }
+            for _ in 0..n0 {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            fw.force_transition(&mut h, epoch);
+            // Deterministic transition overlap: the framework has no
+            // Request to meter polls on, so the plan supplies the overlap
+            // sample count directly; the residual wait samples nothing.
+            for _ in 0..plan.transition_overlap(rank, epoch) {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            while !fw.transition_done(epoch) {
+                std::hint::spin_loop();
+            }
+
+            let mut epoch_frame = vec![0u64; n + 1];
+            let tau_epoch = fw.aggregate_epoch(epoch, &mut epoch_frame[..n]);
+            epoch_frame[n] = tau_epoch;
+
+            let mut req = local.ireduce_sum_u64(0, &epoch_frame);
+            while !req.test() {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            // xtask: allow(unwrap) — test() returned true, so the request
+            // completed and its result is present.
+            let node_frame = req.into_result().unwrap();
+
+            let mut d = 0u64;
+            let mut folded = [0u64; 2]; // rank 0: [Σc̃, τ] absorbed
+            if is_leader {
+                let mut bar = leaders.ibarrier();
+                while !bar.test() {
+                    let interior = sampler.sample(g);
+                    h.record_sample(interior);
+                }
+                // xtask: allow(unwrap) — this rank is its node's local
+                // root, so the local reduce delivered Some to it.
+                let frame = node_frame.expect("leader holds node frame");
+                let reduced = leaders.reduce_sum_u64(0, &frame);
+                if rank == 0 {
+                    // xtask: allow(unwrap) — world rank 0 is the leader
+                    // root, so the reduction delivered Some to it.
+                    let reduced = reduced.expect("leader root receives reduction");
+                    folded = [reduced[..n].iter().sum(), reduced[n]];
+                    let stop =
+                        fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
+                    d = u64::from(stop);
+                }
+            }
+
+            // Conservation across the two-level reduction: the per-rank
+            // epoch frames must add up to exactly what rank 0 absorbed —
+            // neither the node-local reduce nor the leader reduce may lose
+            // or duplicate samples.
+            if opts.conservation {
+                let sent = [epoch_frame[..n].iter().sum::<u64>(), epoch_frame[n]];
+                let totals = world.allreduce_sum_u64(&sent);
+                if rank == 0 {
+                    assert_eq!(
+                        [totals[0], totals[1]],
+                        folded,
+                        "sample conservation violated at epoch {epoch} [{}]",
+                        plan.summary()
+                    );
+                }
+                rounds += 1;
+            }
+
+            let mut breq = world.ibcast_u64(0, (rank == 0).then_some(d));
+            while !breq.test() {
+                let interior = sampler.sample(g);
+                h.record_sample(interior);
+            }
+            stats.epochs += 1;
+            if let Some(p) = probe {
+                p.complete_round(rank, epoch);
+            }
+            // xtask: allow(unwrap) — test() returned true above.
+            if breq.into_result().unwrap() != 0 {
+                fw.signal_termination();
+                break;
+            }
+            epoch += 1;
+        }
+    })
+    // xtask: allow(unwrap) — children are joined above; see worker waiver.
+    .expect("adaptive sampling scope");
+
+    let result = (rank == 0).then(|| {
+        let tau = s_global[n];
+        stats.samples = tau;
+        BetweennessResult {
+            scores: scores_from_counts(&s_global[..n], tau),
+            samples: tau,
+            omega,
+            vertex_diameter: vd,
+            timings: PhaseTimings {
+                diameter: diameter_time,
+                calibration: calibration_time,
+                adaptive_sampling: ads_start.elapsed(),
+            },
+            stats,
+        }
+    });
+    (
+        result,
+        rounds,
+        is_leader,
+        local.bytes_transferred(),
+        leaders.bytes_transferred(),
+        world.bytes_transferred(),
+    )
+}
+
+/// Assembles the [`ChaosReport`] from the run result and the shared probe.
+fn finish_report(
+    result: BetweennessResult,
+    conservation_rounds: u64,
+    probe: Option<Arc<CrossEpochProbe>>,
+    opts: &ChaosOptions,
+) -> ChaosReport {
+    let (max_epoch_gap, probe_observations, probe_violations) = match &probe {
+        Some(p) => (p.max_gap(), p.observations(), p.violations()),
+        None => (0, 0, 0),
+    };
+    ChaosReport {
+        result,
+        max_epoch_gap,
+        probe_observations,
+        probe_violations,
+        conservation_rounds,
+        plan_summary: opts.plan.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_graph::generators::{grid, GridConfig};
+
+    fn small_graph() -> Graph {
+        grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 })
+    }
+
+    #[test]
+    fn flat_observed_is_bit_reproducible() {
+        let g = small_graph();
+        let cfg = KadabraConfig::new(0.1, 0.1);
+        let opts = ChaosOptions::all(FaultPlan::from_seed(3));
+        let a = kadabra_mpi_flat_observed(&g, &cfg, 3, &opts);
+        let b = kadabra_mpi_flat_observed(&g, &cfg, 3, &opts);
+        assert_eq!(a.result.scores, b.result.scores, "[{}]", a.plan_summary);
+        assert_eq!(a.result.samples, b.result.samples);
+        a.assert_invariants();
+        assert!(a.probe_observations > 0);
+        assert!(a.conservation_rounds > 0);
+    }
+
+    #[test]
+    fn epoch_observed_is_bit_reproducible() {
+        let g = small_graph();
+        let cfg = KadabraConfig::new(0.1, 0.1);
+        let shape = ClusterShape { ranks: 2, ranks_per_node: 2, threads_per_rank: 2 };
+        let opts = ChaosOptions::all(FaultPlan::from_seed(7));
+        let a = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
+        let b = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
+        assert_eq!(a.result.scores, b.result.scores, "[{}]", a.plan_summary);
+        assert_eq!(a.result.samples, b.result.samples);
+        a.assert_invariants();
+    }
+
+    #[test]
+    fn different_plans_perturb_the_schedule() {
+        // Different seeds must actually change the execution (sample totals
+        // differ), otherwise the chaos corpus explores nothing. ε is tight
+        // enough for several rounds, so overlapped samples reach the
+        // aggregated totals.
+        let g = small_graph();
+        let cfg = KadabraConfig::new(0.04, 0.1);
+        let a = kadabra_mpi_flat_observed(
+            &g,
+            &cfg,
+            3,
+            &ChaosOptions::all(FaultPlan::ideal(0).with_collective_delay(0, 3)),
+        );
+        let b = kadabra_mpi_flat_observed(
+            &g,
+            &cfg,
+            3,
+            &ChaosOptions::all(FaultPlan::ideal(0).with_collective_delay(50, 90)),
+        );
+        assert_ne!(
+            a.result.samples, b.result.samples,
+            "plans with very different delays produced identical schedules"
+        );
+    }
+
+    #[test]
+    fn probes_can_be_disabled() {
+        let g = small_graph();
+        let cfg = KadabraConfig::new(0.1, 0.1);
+        let opts = ChaosOptions { plan: FaultPlan::ideal(1), probe: false, conservation: false };
+        let r = kadabra_mpi_flat_observed(&g, &cfg, 2, &opts);
+        assert_eq!(r.probe_observations, 0);
+        assert_eq!(r.conservation_rounds, 0);
+        assert!(r.result.samples > 0);
+    }
+}

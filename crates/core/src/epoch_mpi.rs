@@ -11,9 +11,10 @@
 //! synchronized across ranks, yet stay within ±1 epoch because the global
 //! collective acts as a non-blocking barrier.
 
-use crate::bounds::stopping_condition;
 use crate::config::{ClusterShape, KadabraConfig};
-use crate::phases::{calibration_samples_for_thread, diameter_phase, scores_from_counts};
+use crate::phases::{
+    calibration_samples_for_thread, diameter_phase, fold_and_check, scores_from_counts,
+};
 use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
 use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use crate::{bounds, calibration::Calibration};
@@ -59,6 +60,23 @@ pub fn kadabra_epoch_mpi(g: &Graph, cfg: &KadabraConfig, shape: ClusterShape) ->
     result
 }
 
+/// Builds the Section IV-E communicator hierarchy for one rank: the
+/// node-local communicator (all ranks of this rank's compute node) and the
+/// leader communicator (the first rank of each node; other ranks receive a
+/// same-shaped communicator they never use, because `MPI_Comm_split` is
+/// collective). Returns `(local, is_leader, leaders)`.
+pub(crate) fn hierarchical_comms(
+    world: &Communicator,
+    shape: ClusterShape,
+) -> (Communicator, bool, Communicator) {
+    let rank = world.rank();
+    let node_id = (rank / shape.ranks_per_node) as u32;
+    let local = world.split(node_id, rank as i64);
+    let is_leader = local.rank() == 0;
+    let leaders = world.split(u32::from(!is_leader), rank as i64);
+    (local, is_leader, leaders)
+}
+
 /// Per-rank body of Algorithm 2.
 fn rank_main(
     g: &Graph,
@@ -71,10 +89,7 @@ fn rank_main(
     let threads = shape.threads_per_rank;
 
     // Section IV-E communicators: node-local + leaders.
-    let node_id = (rank / shape.ranks_per_node) as u32;
-    let local = world.split(node_id, rank as i64);
-    let is_leader = local.rank() == 0;
-    let leaders = world.split(u32::from(!is_leader), rank as i64);
+    let (local, is_leader, leaders) = hierarchical_comms(&world, shape);
 
     // Phase 1: sequential diameter at rank 0, broadcast.
     let diam_start = Instant::now();
@@ -210,18 +225,9 @@ fn rank_main(
                     // xtask: allow(unwrap) — world rank 0 is the leader
                     // root, so the reduction delivered Some to it.
                     let reduced = reduced.expect("leader root receives reduction");
-                    for (a, r) in s_global.iter_mut().zip(&reduced) {
-                        *a += r;
-                    }
                     let check_start = Instant::now();
-                    let stop = stopping_condition(
-                        &s_global[..n],
-                        s_global[n],
-                        cfg.epsilon,
-                        omega,
-                        &calibration.delta_l,
-                        &calibration.delta_u,
-                    );
+                    let stop =
+                        fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
                     stats.check_time += check_start.elapsed();
                     d = u64::from(stop);
                 }

@@ -26,6 +26,7 @@
 
 pub mod bounds;
 pub mod calibration;
+pub mod chaos;
 pub mod config;
 pub mod epoch_mpi;
 pub mod mpi;
@@ -42,6 +43,7 @@ pub mod variants_parallel;
 
 pub use bounds::{f_bound, g_bound, omega};
 pub use calibration::Calibration;
+pub use chaos::{kadabra_epoch_mpi_observed, kadabra_mpi_flat_observed, ChaosOptions, ChaosReport};
 pub use config::{ClusterShape, KadabraConfig};
 pub use epoch_mpi::kadabra_epoch_mpi;
 pub use mpi::kadabra_mpi_flat;

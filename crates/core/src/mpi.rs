@@ -12,9 +12,10 @@
 //! counts plus τ in the last slot, so one reduction moves the entire
 //! sampling state exactly as in the paper.
 
-use crate::bounds::stopping_condition;
 use crate::config::KadabraConfig;
-use crate::phases::{calibration_samples_for_thread, diameter_phase, scores_from_counts};
+use crate::phases::{
+    calibration_samples_for_thread, diameter_phase, fold_and_check, scores_from_counts,
+};
 use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
 use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use crate::{bounds, calibration::Calibration};
@@ -105,19 +106,8 @@ fn rank_main(g: &Graph, cfg: &KadabraConfig, comm: Communicator) -> Option<Betwe
             // xtask: allow(unwrap) — the request completed (test() was
             // true) and rank 0 is the reduction root, so both layers are Some.
             let reduced = req.into_result().unwrap().expect("root receives reduction");
-            for (a, r) in s_global.iter_mut().zip(&reduced) {
-                *a += r;
-            }
-            let tau = s_global[n];
             let check_start = Instant::now();
-            let stop = stopping_condition(
-                &s_global[..n],
-                tau,
-                cfg.epsilon,
-                omega,
-                &calibration.delta_l,
-                &calibration.delta_u,
-            );
+            let stop = fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
             stats.check_time += check_start.elapsed();
             d = u64::from(stop);
         }

@@ -209,4 +209,58 @@ mod tests {
         let frame = 36 * 4 + 8;
         assert_eq!(r.stats.comm_bytes, r.stats.epochs * 2 * frame);
     }
+
+    /// The in-process analogue of the paper's cross-process epoch bound:
+    /// while workers run this module's sampling loop, every thread's
+    /// published epoch (via the new observability hooks) must stay within
+    /// `[commanded − 1, commanded]` — the two-frames-per-thread guarantee
+    /// the Euro-Par'19 framework is built on.
+    #[test]
+    fn thread_epochs_stay_within_one_of_commanded() {
+        use kadabra_epoch::EpochFramework;
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let n = g.num_nodes();
+        let threads = 3;
+        let fw = EpochFramework::new(n, threads);
+        crossbeam::scope(|s| {
+            for t in 1..threads {
+                let fw = &fw;
+                let g = &g;
+                s.spawn(move |_| {
+                    let mut sampler = ThreadSampler::new(n, 7, 0, ADS_STREAM_OFFSET + t);
+                    let mut h = fw.handle(t);
+                    while !fw.should_terminate() {
+                        h.record_sample(sampler.sample(g));
+                        fw.check_transition(&mut h);
+                    }
+                });
+            }
+            let mut sampler = ThreadSampler::new(n, 7, 0, ADS_STREAM_OFFSET);
+            let mut h = fw.handle(0);
+            let mut acc = vec![0u64; n];
+            for epoch in 0..20u32 {
+                for _ in 0..50 {
+                    h.record_sample(sampler.sample(&g));
+                }
+                fw.force_transition(&mut h, epoch);
+                while !fw.transition_done(epoch) {
+                    std::hint::spin_loop();
+                }
+                // Audit the hook bound at the strongest observable point.
+                let commanded = fw.commanded_epoch();
+                assert_eq!(commanded, epoch + 1);
+                for t in 0..threads {
+                    let te = fw.thread_epoch(t);
+                    assert!(
+                        te + 1 >= commanded && te <= commanded,
+                        "thread {t} epoch {te} outside [{}, {commanded}]",
+                        commanded - 1
+                    );
+                }
+                fw.aggregate_epoch(epoch, &mut acc);
+            }
+            fw.signal_termination();
+        })
+        .unwrap();
+    }
 }

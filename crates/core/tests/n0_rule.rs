@@ -1,0 +1,63 @@
+//! Property tests of the paper's Section IV-D batching rule
+//! `n0 = max(1, 1000 / (P·T)^1.33)`: more parallelism must always mean
+//! smaller (never larger) batches between stopping-condition checks, and
+//! the value Algorithm 2 actually batches with must be the one this rule
+//! produces for the cluster shape's total thread count.
+
+use kadabra_core::{ClusterShape, KadabraConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// n0 is monotonically non-increasing in P (ranks) and in T (threads
+    /// per rank), separately and jointly, for any valid rule parameters.
+    #[test]
+    fn n0_is_monotone_in_ranks_and_threads(
+        p in 1usize..64,
+        t in 1usize..64,
+        base in 1.0f64..100_000.0,
+        exponent in 0.1f64..3.0,
+    ) {
+        let cfg = KadabraConfig { n0_base: base, n0_exponent: exponent, ..Default::default() };
+        let here = cfg.n0(p * t);
+        prop_assert!(cfg.n0((p + 1) * t) <= here, "growing P raised n0");
+        prop_assert!(cfg.n0(p * (t + 1)) <= here, "growing T raised n0");
+        prop_assert!(cfg.n0((p + 1) * (t + 1)) <= here, "growing both raised n0");
+        prop_assert!(here >= 1, "n0 must stay positive");
+    }
+
+    /// The default-parameter rule matches the paper's closed form
+    /// `round(1000 / (P·T)^1.33)` (floored at 1) for every shape, and the
+    /// value is a pure function of P·T — exactly what `kadabra_epoch_mpi`
+    /// computes via `cfg.n0(shape.total_threads())`.
+    #[test]
+    fn default_rule_matches_paper_formula_for_cluster_shapes(
+        ranks in 1usize..48,
+        ranks_per_node in 1usize..4,
+        threads_per_rank in 1usize..24,
+    ) {
+        let shape = ClusterShape { ranks, ranks_per_node, threads_per_rank };
+        let cfg = KadabraConfig::default();
+        let total = shape.total_threads();
+        prop_assert_eq!(total, ranks * threads_per_rank);
+        let expected = ((1000.0 / (total as f64).powf(1.33)).round() as u64).max(1);
+        prop_assert_eq!(cfg.n0(total), expected);
+        // Any factorization of the same P·T batches identically: the rule
+        // cares about total parallelism, not its shape.
+        let flat = ClusterShape::flat(total);
+        prop_assert_eq!(cfg.n0(flat.total_threads()), expected);
+    }
+}
+
+/// Anchor values straight from the paper's formula, so a regression in the
+/// rule fails with concrete numbers rather than a shrunk proptest case.
+#[test]
+fn paper_anchor_values() {
+    let cfg = KadabraConfig::default();
+    assert_eq!(cfg.n0(1), 1000);
+    assert_eq!(cfg.n0(2), (1000.0 / 2f64.powf(1.33)).round() as u64);
+    assert_eq!(cfg.n0(8), (1000.0 / 8f64.powf(1.33)).round() as u64);
+    // P=16 ranks × T=12 threads (a paper-scale shape) floors at 1.
+    assert_eq!(cfg.n0(16 * 12), 1);
+}

@@ -38,7 +38,10 @@
 //! "no thread accesses state frames of epoch e−2" guarantee.
 
 use crossbeam::utils::CachePadded;
+pub mod probe;
 pub mod sync;
+
+pub use probe::CrossEpochProbe;
 
 use crate::sync::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
@@ -164,6 +167,22 @@ impl EpochFramework {
     /// O(T) per call, non-blocking.
     pub fn transition_done(&self, e: u32) -> bool {
         self.thread_epochs.iter().all(|te| te.load(Ordering::Acquire) > e)
+    }
+
+    /// Observability hook: the epoch thread `t` has published (`Acquire`, so
+    /// a caller that acts on the value also sees that thread's frame writes).
+    /// Invariant probes and tests use this to watch epoch skew from outside
+    /// the protocol; it grants no frame access.
+    pub fn thread_epoch(&self, t: usize) -> u32 {
+        self.thread_epochs[t].load(Ordering::Acquire)
+    }
+
+    /// Observability hook: the epoch all threads are currently commanded to
+    /// reach. With [`Self::thread_epoch`] this exposes the two-sided bound
+    /// the protocol maintains: `commanded - 1 <= thread_epoch(t) <= commanded`
+    /// for every `t` once a transition is in flight.
+    pub fn commanded_epoch(&self) -> u32 {
+        self.commanded.load(Ordering::Acquire)
     }
 
     /// `CHECKTRANSITION(e)` — threads `t != 0`: joins a pending transition if

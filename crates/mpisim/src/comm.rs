@@ -123,6 +123,21 @@ impl Communicator {
         s
     }
 
+    /// Completion-observation delay (in polls of the request's logical
+    /// clock) the fault plan injects for this rank's view of op `seq`;
+    /// 0 without a plan.
+    fn injected_delay(&self, seq: u64) -> u64 {
+        match &self.engine.plan {
+            Some(p) => p.collective_delay(self.engine.salt, self.rank, seq),
+            None => 0,
+        }
+    }
+
+    /// The [`crate::FaultPlan`] this communicator runs under, if any.
+    pub fn fault_plan(&self) -> Option<&crate::FaultPlan> {
+        self.engine.plan.as_deref()
+    }
+
     // ------------------------------------------------------------------
     // Barrier
     // ------------------------------------------------------------------
@@ -137,7 +152,7 @@ impl Communicator {
     pub fn ibarrier(&self) -> Request<()> {
         let seq = self.next_seq();
         self.engine.join(seq, OpKind::Barrier, |_acc| {}, |_acc| {});
-        Request::new(self.engine.clone(), seq, Box::new(|_acc| {}))
+        Request::new(self.engine.clone(), seq, self.injected_delay(seq), Box::new(|_acc| {}))
     }
 
     // ------------------------------------------------------------------
@@ -178,6 +193,7 @@ impl Communicator {
         Request::new(
             self.engine.clone(),
             seq,
+            self.injected_delay(seq),
             Box::new(
                 move |acc: &mut Option<Box<dyn Any + Send>>| {
                     if is_root {
@@ -299,6 +315,7 @@ impl Communicator {
         Request::new(
             self.engine.clone(),
             seq,
+            self.injected_delay(seq),
             Box::new(|acc: &mut Option<Box<dyn Any + Send>>| *acc_slot_ref::<u64>(acc)),
         )
     }
@@ -322,6 +339,12 @@ impl Communicator {
     pub fn split(&self, color: u32, key: i64) -> Communicator {
         let seq = self.next_seq();
         let my = (self.rank, color, key);
+        // Every rank captures identical (plan, salt); whichever arrives last
+        // runs `finalize`, so child engines are identical regardless of
+        // arrival order. Each color derives its own salt so sibling
+        // communicators draw from independent delay streams.
+        let plan = self.engine.plan.clone();
+        let parent_salt = self.engine.salt;
         self.engine.join(
             seq,
             OpKind::Split,
@@ -344,7 +367,8 @@ impl Communicator {
                 for (c, mut members) in by_color {
                     members.sort_unstable();
                     let ranks: Vec<usize> = members.into_iter().map(|(_, r)| r).collect();
-                    groups.insert(c, (Engine::new(ranks.len()), ranks));
+                    let salt = crate::fault::derive_salt(parent_salt, seq, c);
+                    groups.insert(c, (Engine::with_plan(ranks.len(), plan.clone(), salt), ranks));
                 }
                 sp.groups = Some(groups);
             },

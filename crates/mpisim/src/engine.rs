@@ -5,6 +5,7 @@
 //! instance lives in a slot map until all ranks have both **joined**
 //! (contributed their input) and **retired** (observed completion) it.
 
+use crate::fault::FaultPlan;
 use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
@@ -14,6 +15,9 @@ use std::time::Duration;
 
 /// How long a blocking wait may stall before the runtime assumes a deadlock
 /// (collective order mismatch in the algorithm under test) and panics.
+/// Under a fault plan this base budget is scaled by
+/// [`FaultPlan::timeout_scale`], because an injected straggler legitimately
+/// keeps its peers waiting (see [`Engine::deadlock_timeout`]).
 pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// Operation kinds, used both for dispatch and for mismatch detection.
@@ -49,18 +53,44 @@ pub(crate) struct Engine {
     poisoned: AtomicBool,
     /// Point-to-point mailbox shared by the communicator's ranks.
     pub(crate) mailbox: Arc<crate::p2p::Mailbox>,
+    /// Fault plan this communicator runs under (None = free-running).
+    pub(crate) plan: Option<Arc<FaultPlan>>,
+    /// Per-communicator hash salt separating the plan's delay streams of
+    /// parent, child, and sibling communicators (see `fault::derive_salt`).
+    pub(crate) salt: u64,
 }
 
 impl Engine {
     pub fn new(size: usize) -> Arc<Self> {
+        Engine::with_plan(size, None, 0)
+    }
+
+    /// An engine whose collectives consult `plan` (hash-salted by `salt`).
+    pub fn with_plan(size: usize, plan: Option<Arc<FaultPlan>>, salt: u64) -> Arc<Self> {
+        let timeout = match &plan {
+            Some(p) => DEADLOCK_TIMEOUT * p.timeout_scale(),
+            None => DEADLOCK_TIMEOUT,
+        };
         Arc::new(Engine {
             size,
             slots: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
             bytes: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
-            mailbox: crate::p2p::Mailbox::new(),
+            mailbox: crate::p2p::Mailbox::new(plan.clone(), salt, timeout),
+            plan,
+            salt,
         })
+    }
+
+    /// The deadlock budget of this communicator's blocking waits: the 60 s
+    /// ideal-schedule constant, scaled by the plan's worst injected latency
+    /// so a straggler's deliberate lateness is not misdiagnosed as a hang.
+    pub(crate) fn deadlock_timeout(&self) -> Duration {
+        match &self.plan {
+            Some(p) => DEADLOCK_TIMEOUT * p.timeout_scale(),
+            None => DEADLOCK_TIMEOUT,
+        }
     }
 
     /// Marks the communicator broken and wakes all waiters, then panics with
@@ -179,11 +209,12 @@ impl Engine {
                     return out;
                 }
             }
-            if self.cv.wait_for(&mut slots, DEADLOCK_TIMEOUT).timed_out() {
+            let timeout = self.deadlock_timeout();
+            if self.cv.wait_for(&mut slots, timeout).timed_out() {
                 let slot = &slots[&seq];
                 panic!(
                     "collective deadlock: op seq {seq} ({:?}) stuck with {}/{} ranks after {:?}",
-                    slot.kind, slot.arrived, self.size, DEADLOCK_TIMEOUT
+                    slot.kind, slot.arrived, self.size, timeout
                 );
             }
         }
@@ -199,22 +230,48 @@ pub struct Request<T> {
     /// Extractor for this rank's result; consumed on completion.
     collect: Option<Collector<T>>,
     result: Option<T>,
+    /// Remaining injected polls before this rank may observe completion
+    /// (the fault plan's logical clock; 0 when running without a plan).
+    delay: u64,
 }
 
 /// Extractor applied to the op's accumulator once a collective completes.
 type Collector<T> = Box<dyn FnOnce(&mut Option<Box<dyn Any + Send>>) -> T + Send>;
 
 impl<T> Request<T> {
-    pub(crate) fn new(engine: Arc<Engine>, seq: u64, collect: Collector<T>) -> Self {
-        Request { engine, seq, collect: Some(collect), result: None }
+    pub(crate) fn new(engine: Arc<Engine>, seq: u64, delay: u64, collect: Collector<T>) -> Self {
+        Request { engine, seq, collect: Some(collect), result: None, delay }
     }
 
     /// Polls for completion without blocking. Returns `true` once the
     /// operation is complete (after which [`Request::into_result`] /
     /// [`Request::wait`] yield the value). Subsequent calls keep returning
     /// `true`.
+    ///
+    /// Under a fault plan the poll sequence is *deterministic*: the request
+    /// returns `false` exactly as many times as the plan injected for this
+    /// `(communicator, rank, seq)` — each `false` is one tick of the logical
+    /// clock, i.e. one overlapped sample in the paper's algorithms — and the
+    /// next call blocks until the collective genuinely completes, then
+    /// returns `true`. The number of overlapped iterations thus depends only
+    /// on `(plan, seed)`, never on OS scheduling, which is what makes
+    /// perturbed runs bit-reproducible.
     pub fn test(&mut self) -> bool {
         if self.result.is_some() || self.collect.is_none() {
+            return true;
+        }
+        if self.delay > 0 {
+            self.delay -= 1;
+            return false;
+        }
+        if self.engine.plan.is_some() {
+            // Deterministic regime: injected polls exhausted — resolve now,
+            // blocking if peers are still on their way (the wait respects
+            // the plan-scaled deadlock budget).
+            // xtask: allow(unwrap) — `collect` is consumed exactly once:
+            // here or below, both guarded by the early return above.
+            let collect = self.collect.take().unwrap();
+            self.result = Some(self.engine.wait_complete(self.seq, collect));
             return true;
         }
         if !self.engine.is_complete(self.seq) {

@@ -36,12 +36,14 @@
 
 mod comm;
 mod engine;
+mod fault;
 mod p2p;
 mod sync;
 mod universe;
 
 pub use comm::{Communicator, ReduceOp};
 pub use engine::Request;
+pub use fault::FaultPlan;
 pub use universe::Universe;
 
 #[cfg(test)]

@@ -8,43 +8,86 @@
 //! until a matching message arrives.
 
 use crate::comm::Communicator;
-use crate::engine::DEADLOCK_TIMEOUT;
+use crate::fault::FaultPlan;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// (src, dst, tag) -> FIFO of payloads.
-type QueueMap = HashMap<(usize, usize, u64), VecDeque<Vec<u64>>>;
+/// One (src, dst, tag) message stream. Each posted message gets a send
+/// index and a *delivery slot* (slot = index, unless a fault plan displaces
+/// it by a bounded jitter); `take` always pops the pending message with the
+/// smallest `(slot, index)`.
+///
+/// Without a plan (or with zero jitter) slots equal indices and this is
+/// exactly MPI's non-overtaking FIFO. With jitter, delivery is the
+/// deterministic slot-sorted permutation of whatever is pending — fully
+/// reproducible whenever the receiver's `recv`s are ordered after the sends
+/// (barrier, collective, or request completion in between); under a live
+/// send/recv race the *set* delivered is unchanged and only the
+/// plan-chosen permutation can shrink toward FIFO.
+#[derive(Default)]
+struct Stream {
+    /// Messages posted so far (the next message's send index).
+    sent: u64,
+    /// (delivery slot, send index) -> payload; `take` pops the minimum.
+    pending: BTreeMap<(u64, u64), Vec<u64>>,
+}
+
+/// (src, dst, tag) -> message stream.
+type QueueMap = HashMap<(usize, usize, u64), Stream>;
 
 /// Message mailbox shared by all ranks of a communicator.
 pub(crate) struct Mailbox {
     queues: Mutex<QueueMap>,
     cv: Condvar,
+    /// Fault plan shared with the owning engine (None = plain FIFO).
+    plan: Option<Arc<FaultPlan>>,
+    /// The owning communicator's plan-hash salt.
+    salt: u64,
+    /// Deadlock budget, already scaled by the plan's worst injected latency.
+    timeout: Duration,
 }
 
 impl Mailbox {
-    pub(crate) fn new() -> Arc<Self> {
-        Arc::new(Mailbox { queues: Mutex::new(HashMap::new()), cv: Condvar::new() })
+    pub(crate) fn new(plan: Option<Arc<FaultPlan>>, salt: u64, timeout: Duration) -> Arc<Self> {
+        Arc::new(Mailbox {
+            queues: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            plan,
+            salt,
+            timeout,
+        })
     }
 
     fn post(&self, src: usize, dst: usize, tag: u64, payload: Vec<u64>) {
         let mut q = self.queues.lock();
-        q.entry((src, dst, tag)).or_default().push_back(payload);
+        let stream = q.entry((src, dst, tag)).or_default();
+        let idx = stream.sent;
+        stream.sent += 1;
+        let slot = match &self.plan {
+            Some(p) => p.p2p_slot(self.salt, src, dst, tag, idx),
+            None => idx,
+        };
+        stream.pending.insert((slot, idx), payload);
         self.cv.notify_all();
     }
 
     fn take(&self, src: usize, dst: usize, tag: u64) -> Vec<u64> {
         let mut q = self.queues.lock();
         loop {
-            if let Some(queue) = q.get_mut(&(src, dst, tag)) {
-                if let Some(payload) = queue.pop_front() {
-                    return payload;
+            if let Some(stream) = q.get_mut(&(src, dst, tag)) {
+                if let Some((&key, _)) = stream.pending.iter().next() {
+                    // xtask: allow(unwrap) — `key` was just observed present
+                    // and the map is under the same lock.
+                    return stream.pending.remove(&key).expect("pending message present");
                 }
             }
-            if self.cv.wait_for(&mut q, DEADLOCK_TIMEOUT).timed_out() {
+            if self.cv.wait_for(&mut q, self.timeout).timed_out() {
                 panic!(
                     "recv deadlock: no message from rank {src} to rank {dst} with tag {tag} \
-                     after {DEADLOCK_TIMEOUT:?}"
+                     after {:?}",
+                    self.timeout
                 );
             }
         }
@@ -52,7 +95,7 @@ impl Mailbox {
 
     fn probe(&self, src: usize, dst: usize, tag: u64) -> bool {
         let q = self.queues.lock();
-        q.get(&(src, dst, tag)).is_some_and(|queue| !queue.is_empty())
+        q.get(&(src, dst, tag)).is_some_and(|stream| !stream.pending.is_empty())
     }
 }
 
@@ -101,7 +144,7 @@ impl Communicator {
 
 #[cfg(test)]
 mod tests {
-    use crate::Universe;
+    use crate::{FaultPlan, Universe};
 
     #[test]
     fn send_recv_roundtrip() {
@@ -204,5 +247,94 @@ mod tests {
         for (rank, &sum) in out.iter().enumerate() {
             assert_eq!(sum, 6 - rank as u64); // 0+1+2+3 minus own rank
         }
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        // MPI allows a rank to message itself (buffered send never blocks,
+        // so this cannot deadlock); FIFO applies to the self-stream too.
+        let out = Universe::run(2, |comm| {
+            comm.send_u64s(comm.rank(), 3, &[10]);
+            comm.send_u64s(comm.rank(), 3, &[20]);
+            let a = comm.recv_u64s(comm.rank(), 3)[0];
+            let b = comm.recv_u64s(comm.rank(), 3)[0];
+            (a, b)
+        });
+        assert_eq!(out, vec![(10, 20), (10, 20)]);
+    }
+
+    #[test]
+    fn split_communicators_have_isolated_mailboxes() {
+        // The same (src=0, dst=1, tag) triple in the parent and in a child
+        // communicator must address different streams: a message posted on
+        // the world mailbox is invisible to the child and vice versa.
+        let out = Universe::run(4, |comm| {
+            let sub = comm.split(u32::try_from(comm.rank() % 2).unwrap_or(0), 0);
+            // World traffic: 0 -> 1. Child traffic (color 0: world ranks
+            // {0, 2} as sub ranks {0, 1}): sub 0 -> sub 1 with the SAME tag.
+            if comm.rank() == 0 {
+                comm.send_u64s(1, 7, &[111]);
+                sub.send_u64s(1, 7, &[222]);
+            }
+            comm.barrier();
+            match comm.rank() {
+                1 => comm.recv_u64s(0, 7)[0],
+                2 => sub.recv_u64s(0, 7)[0],
+                _ => 0,
+            }
+        });
+        assert_eq!(out[1], 111, "world message must stay on the world mailbox");
+        assert_eq!(out[2], 222, "child message must stay on the child mailbox");
+    }
+
+    #[test]
+    fn fault_plan_reorders_p2p_deterministically() {
+        let plan = FaultPlan::ideal(42).with_p2p_jitter(3);
+        let run = || {
+            Universe::run_with_plan(2, plan.clone(), |comm| {
+                if comm.rank() == 0 {
+                    for i in 0..32u64 {
+                        comm.send_u64s(1, 1, &[i]);
+                    }
+                    comm.barrier();
+                    Vec::new()
+                } else {
+                    comm.barrier(); // all messages pending before any recv
+                    (0..32).map(|_| comm.recv_u64s(0, 1)[0]).collect::<Vec<u64>>()
+                }
+            })
+        };
+        let a = run();
+        // All messages delivered exactly once...
+        let mut sorted = a[1].clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<u64>>());
+        // ...in a genuinely perturbed order...
+        assert_ne!(a[1], (0..32).collect::<Vec<u64>>(), "jitter produced no reorder");
+        // ...with bounded displacement (a message overtakes at most
+        // `jitter` logically-earlier messages)...
+        for (pos, &v) in a[1].iter().enumerate() {
+            assert!(
+                (pos as u64).abs_diff(v) <= 3,
+                "message {v} displaced to position {pos}: beyond jitter bound"
+            );
+        }
+        // ...and the permutation replays identically from (plan, seed).
+        assert_eq!(a[1], run()[1], "p2p reorder not reproducible: {}", plan.summary());
+    }
+
+    #[test]
+    fn ideal_plan_keeps_p2p_fifo() {
+        let out = Universe::run_with_plan(2, FaultPlan::ideal(9), |comm| {
+            if comm.rank() == 0 {
+                for i in 0..16u64 {
+                    comm.send_u64s(1, 4, &[i]);
+                }
+                Vec::new()
+            } else {
+                (0..16).map(|_| comm.recv_u64s(0, 4)[0]).collect()
+            }
+        });
+        assert_eq!(out[1], (0..16).collect::<Vec<u64>>());
     }
 }

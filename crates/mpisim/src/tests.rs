@@ -1,6 +1,6 @@
 //! Integration tests of the simulated MPI runtime.
 
-use crate::{Communicator, ReduceOp, Universe};
+use crate::{Communicator, FaultPlan, ReduceOp, Universe};
 
 #[test]
 fn world_size_and_ranks() {
@@ -268,4 +268,100 @@ fn allreduce_vectors() {
     for r in out {
         assert_eq!(r, vec![3, 30]);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+#[test]
+fn collectives_stay_correct_under_a_fault_plan() {
+    // Delays and stragglers perturb *when* ranks observe completion, never
+    // *what* a collective computes.
+    let plan = FaultPlan::ideal(1).with_collective_delay(1, 12).with_straggler(1, 5);
+    let out = Universe::run_with_plan(4, plan, |comm| {
+        let sum = comm.allreduce_scalar_u64(ReduceOp::Sum, comm.rank() as u64);
+        let r = comm.reduce_sum_u64(0, &[1, comm.rank() as u64]);
+        let b = comm.bcast_u64(2, (comm.rank() == 2).then_some(77));
+        (sum, r, b)
+    });
+    for (rank, (sum, r, b)) in out.iter().enumerate() {
+        assert_eq!(*sum, 6);
+        assert_eq!(*b, 77);
+        if rank == 0 {
+            assert_eq!(r.as_deref(), Some(&[4u64, 6][..]));
+        } else {
+            assert!(r.is_none());
+        }
+    }
+}
+
+#[test]
+fn overlap_counts_are_plan_deterministic() {
+    // Under a plan, the number of times test() returns false — i.e. the
+    // number of overlapped samples each rank would take — is a pure
+    // function of (plan, rank, seq): identical across runs, unlike the
+    // free-running mode where it depends on OS scheduling.
+    let plan = FaultPlan::ideal(33).with_collective_delay(2, 40).with_straggler(2, 3);
+    let run = || {
+        Universe::run_with_plan(4, plan.clone(), |comm| {
+            let mut polls = Vec::new();
+            for round in 0..6u64 {
+                let mut req = comm.ireduce_sum_u64(0, &[round]);
+                let mut n = 0u64;
+                while !req.test() {
+                    n += 1;
+                }
+                polls.push(n);
+            }
+            polls
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "overlap counts must replay bit-identically: {}", plan.summary());
+    // The injected delays actually bite (some rank polls more than zero
+    // times) and respect the configured ceiling for non-stragglers.
+    assert!(a.iter().flatten().any(|&n| n > 0), "plan injected nothing: {a:?}");
+    for (rank, polls) in a.iter().enumerate() {
+        let cap = if rank == 2 { 40 * 3 } else { 40 };
+        assert!(polls.iter().all(|&n| n <= cap), "rank {rank} over cap: {polls:?}");
+    }
+}
+
+#[test]
+fn straggler_delays_peer_completion_observably() {
+    // A straggler's big injected delay shows up in ITS OWN poll count; its
+    // peers just block in wait() until it resolves — no deadlock panic,
+    // because the engine scales its timeout by the plan's max latency.
+    let plan = FaultPlan::ideal(5).with_collective_delay(10, 10).with_straggler(3, 20);
+    let out = Universe::run_with_plan(4, plan, |comm| {
+        let mut req = comm.ibarrier();
+        let mut n = 0u64;
+        while !req.test() {
+            n += 1;
+        }
+        req.wait();
+        n
+    });
+    assert_eq!(out[3], 200, "straggler factor must scale its poll count");
+    assert!(out[..3].iter().all(|&n| n == 10));
+}
+
+#[test]
+fn split_children_inherit_the_plan() {
+    let plan = FaultPlan::ideal(8).with_collective_delay(1, 30);
+    let out = Universe::run_with_plan(4, plan, |comm| {
+        let sub = comm.split(u32::try_from(comm.rank() % 2).unwrap_or(0), 0);
+        assert!(sub.fault_plan().is_some(), "child communicator lost the plan");
+        // Child collectives are also delayed deterministically.
+        let mut req = sub.ibarrier();
+        let mut n = 0u64;
+        while !req.test() {
+            n += 1;
+        }
+        req.wait();
+        n
+    });
+    assert!(out.iter().any(|&n| n > 0), "child communicator saw no injected delay");
 }

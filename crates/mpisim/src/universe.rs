@@ -2,6 +2,8 @@
 
 use crate::comm::Communicator;
 use crate::engine::Engine;
+use crate::fault::FaultPlan;
+use std::sync::Arc;
 
 /// Entry point of the simulated MPI runtime, analogous to
 /// `MPI_Init`/`mpirun`.
@@ -19,8 +21,30 @@ impl Universe {
         T: Send,
         F: Fn(Communicator) -> T + Sync,
     {
+        Universe::launch(Engine::new(world_size), world_size, f)
+    }
+
+    /// Like [`Universe::run`], but the world executes under a deterministic
+    /// [`FaultPlan`]: collectives complete with plan-injected delays, p2p
+    /// delivery follows the plan's slot permutation, and every non-blocking
+    /// request polls deterministically — so two runs with the same
+    /// `(plan, f)` produce bit-identical schedules (see the `fault` module
+    /// docs). Communicators created by `split` inherit the plan with
+    /// derived hash salts.
+    pub fn run_with_plan<T, F>(world_size: usize, plan: FaultPlan, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
+        Universe::launch(Engine::with_plan(world_size, Some(Arc::new(plan)), 0), world_size, f)
+    }
+
+    fn launch<T, F>(engine: Arc<Engine>, world_size: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Sync,
+    {
         assert!(world_size >= 1, "world must have at least one rank");
-        let engine = Engine::new(world_size);
         let mut results: Vec<Option<T>> = (0..world_size).map(|_| None).collect();
         crossbeam::scope(|s| {
             let handles: Vec<_> = results

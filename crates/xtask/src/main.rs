@@ -43,6 +43,15 @@
 //! `tsan` and `miri` need nightly components that may be absent in an
 //! offline container, in which case they print exactly what is missing and
 //! exit with code 2 (CI marks those jobs allowed-to-fail).
+//!
+//! # `cargo xtask chaos`
+//!
+//! Runs the chaos conformance suite (DESIGN.md §8) in release mode: the
+//! fault-injection unit tests of `kadabra-mpisim` and `kadabra-epoch`, the
+//! fault-plan corpus sweeps of `tests/chaos.rs`, and the seed-matrix
+//! determinism regression of `tests/determinism_matrix.rs`. `--plans N` (or
+//! `KADABRA_CHAOS_PLANS`) sizes the corpus; the default of 4 keeps the
+//! required CI job around two minutes, the nightly advisory job raises it.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -54,6 +63,7 @@ fn main() -> ExitCode {
         Some("loom") => cmd_loom(),
         Some("tsan") => cmd_tsan(),
         Some("miri") => cmd_miri(),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
@@ -61,7 +71,8 @@ fn main() -> ExitCode {
                  lint   custom concurrency-discipline lint pass (stable)\n  \
                  loom   model-check the epoch protocol (stable)\n  \
                  tsan   run concurrency tests under ThreadSanitizer (nightly + rust-src)\n  \
-                 miri   run epoch tests under Miri (nightly + miri component)"
+                 miri   run epoch tests under Miri (nightly + miri component)\n  \
+                 chaos  run the chaos conformance suite [--plans N] (stable)"
             );
             ExitCode::from(2)
         }
@@ -489,6 +500,52 @@ fn workspace_root() -> PathBuf {
 // verification-backend drivers
 // ---------------------------------------------------------------------------
 
+/// Runs the chaos conformance suite in release mode: the fault-plan corpus
+/// sweeps (`tests/chaos.rs`), the seed-matrix determinism regression
+/// (`tests/determinism_matrix.rs`) and the in-crate fault/chaos unit tests.
+///
+/// `--plans N` (or the `KADABRA_CHAOS_PLANS` environment variable) sets the
+/// corpus size per sweep; CI uses a small bounded corpus on every push and a
+/// larger one nightly.
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    let mut plans: Option<String> = std::env::var("KADABRA_CHAOS_PLANS").ok();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--plans" => match it.next() {
+                Some(n) if n.parse::<u64>().is_ok() => plans = Some(n.clone()),
+                _ => {
+                    eprintln!("xtask chaos: --plans needs an integer argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask chaos: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let plans = plans.unwrap_or_else(|| "4".to_string());
+    println!("xtask chaos: corpus of {plans} fault plans per sweep (release mode)");
+    let root = workspace_root();
+    // Fault-layer unit tests first (fast, precise diagnostics), then the
+    // cross-crate conformance sweeps.
+    if !run_ok(
+        Command::new("cargo")
+            .args(["test", "--release", "-p", "kadabra-mpisim", "-p", "kadabra-epoch", "--lib"])
+            .env("KADABRA_CHAOS_PLANS", &plans)
+            .current_dir(&root),
+    ) {
+        return ExitCode::FAILURE;
+    }
+    run_stream(
+        Command::new("cargo")
+            .args(["test", "--release", "--test", "chaos", "--test", "determinism_matrix"])
+            .env("KADABRA_CHAOS_PLANS", &plans)
+            .current_dir(&root),
+    )
+}
+
 fn cmd_loom() -> ExitCode {
     println!("xtask loom: model-checking the epoch protocol (stable toolchain)");
     run_stream(
@@ -608,6 +665,18 @@ fn host_triple() -> Option<String> {
 }
 
 /// Runs a command with inherited stdio, mapping its exit status to ours.
+/// Like [`run_stream`] but reports success as a `bool`, for commands that
+/// chain several subprocesses.
+fn run_ok(cmd: &mut Command) -> bool {
+    match cmd.status() {
+        Ok(s) => s.success(),
+        Err(e) => {
+            eprintln!("xtask: failed to spawn {cmd:?}: {e}");
+            false
+        }
+    }
+}
+
 fn run_stream(cmd: &mut Command) -> ExitCode {
     match cmd.status() {
         Ok(s) if s.success() => ExitCode::SUCCESS,

@@ -1,0 +1,111 @@
+//! Chaos conformance suite: Algorithms 1 and 2 executed under deterministic
+//! fault plans must still honor the paper's (ε, δ) guarantee against exact
+//! Brandes, conserve every aggregated sample through the reduction chain,
+//! and keep the cross-process epoch gap ≤ 1 past every completed reduction.
+//!
+//! Every test here prints-by-panic a plan summary on failure; feeding the
+//! same `(plan, seed)` back into the observed driver replays the run
+//! bit-for-bit (see `DESIGN.md`, §8).
+
+use kadabra_mpi::baselines::brandes;
+use kadabra_mpi::core::{
+    kadabra_epoch_mpi_observed, kadabra_mpi_flat_observed, ChaosOptions, ClusterShape,
+    KadabraConfig,
+};
+use kadabra_mpi::graph::components::largest_component;
+use kadabra_mpi::graph::generators::{gnm, GnmConfig};
+use kadabra_mpi::graph::Graph;
+use kadabra_mpi::mpisim::FaultPlan;
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+fn test_graph() -> Graph {
+    let (lcc, _) = largest_component(&gnm(GnmConfig { n: 60, m: 160, seed: 14 }));
+    lcc
+}
+
+/// How many corpus plans the differential sweeps cover. The CI chaos job
+/// raises this via `KADABRA_CHAOS_PLANS`; the default keeps `cargo test`
+/// fast.
+fn corpus_size() -> u64 {
+    std::env::var("KADABRA_CHAOS_PLANS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// The acceptance scenario from the issue, verbatim: one straggler rank plus
+/// reordered p2p delivery, Algorithm 2 on P=4 ranks × T=2 threads. Scores
+/// must land within ε of Brandes, the epoch-gap probe must never see a
+/// cross-process gap > 1 after the first completed reduction, and the same
+/// `(plan, seed)` must reproduce identical scores on a second run.
+#[test]
+fn straggler_and_reordered_p2p_meet_guarantee_and_reproduce() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 2020, ..Default::default() };
+    let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
+    let plan =
+        FaultPlan::ideal(77).with_straggler(2, 8).with_p2p_jitter(3).with_collective_delay(1, 25);
+    let opts = ChaosOptions::all(plan);
+
+    let first = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
+    first.assert_invariants();
+    assert!(first.probe_observations > 0, "probe saw no completed reductions");
+    assert!(first.conservation_rounds > 0, "conservation check never ran");
+    let err = max_abs_diff(&first.result.scores, &exact);
+    assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", first.plan_summary);
+
+    let second = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
+    assert_eq!(
+        first.result.scores, second.result.scores,
+        "same (plan, seed) must reproduce bit-identical scores [{}]",
+        first.plan_summary
+    );
+    assert_eq!(first.result.samples, second.result.samples);
+}
+
+/// Differential corpus sweep over Algorithm 1: every generated plan must
+/// leave the ε guarantee intact and keep the conservation ledger balanced.
+#[test]
+fn flat_corpus_respects_epsilon_and_conserves_samples() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.06, delta: 0.1, seed: 501, ..Default::default() };
+    for seed in 0..corpus_size() {
+        let opts = ChaosOptions::all(FaultPlan::from_seed(seed));
+        let report = kadabra_mpi_flat_observed(&g, &cfg, 3, &opts);
+        report.assert_invariants();
+        assert!(report.conservation_rounds > 0, "[{}]", report.plan_summary);
+        let err = max_abs_diff(&report.result.scores, &exact);
+        assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", report.plan_summary);
+    }
+}
+
+/// Differential corpus sweep over Algorithm 2 on a hierarchical shape.
+#[test]
+fn epoch_corpus_respects_epsilon_and_gap_invariant() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.06, delta: 0.1, seed: 502, ..Default::default() };
+    let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
+    for seed in 0..corpus_size() {
+        let opts = ChaosOptions::all(FaultPlan::from_seed(seed));
+        let report = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
+        report.assert_invariants();
+        assert!(report.probe_observations > 0, "[{}]", report.plan_summary);
+        let err = max_abs_diff(&report.result.scores, &exact);
+        assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", report.plan_summary);
+    }
+}
+
+/// An unperturbed (ideal) plan is itself part of the corpus: the observed
+/// driver with everything-zero injection must satisfy the same invariants,
+/// proving the probes do not rely on faults to stay quiet.
+#[test]
+fn ideal_plan_is_a_clean_baseline() {
+    let g = test_graph();
+    let cfg = KadabraConfig { epsilon: 0.08, delta: 0.1, seed: 77, ..Default::default() };
+    let report = kadabra_mpi_flat_observed(&g, &cfg, 2, &ChaosOptions::all(FaultPlan::ideal(0)));
+    report.assert_invariants();
+    assert!(report.probe_observations > 0);
+}
