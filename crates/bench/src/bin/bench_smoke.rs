@@ -1,0 +1,37 @@
+//! **Smoke benchmark** backing `cargo xtask bench --smoke`: runs a tiny
+//! generated instance through the sequential, flat-MPI and epoch-MPI
+//! drivers and emits `BENCH_smoke.json` (`kadabra-bench/v1`). The xtask
+//! wrapper validates the artifact against the schema, so this binary plus
+//! the validator form the CI guard against schema drift.
+//!
+//! Run: `cargo run --release -p kadabra-bench --bin bench_smoke`
+//! (`KADABRA_RESULTS_DIR` picks the output directory; xtask points it at
+//! the repo root.)
+
+use kadabra_bench::{emit, live_run, seed, BenchArtifact};
+use kadabra_core::{
+    kadabra_epoch_mpi, kadabra_mpi_flat, kadabra_sequential, ClusterShape, KadabraConfig,
+};
+use kadabra_graph::components::largest_component;
+use kadabra_graph::generators::{gnm, GnmConfig};
+
+fn main() {
+    let eps = 0.08;
+    let seed = seed();
+    let (g, _) = largest_component(&gnm(GnmConfig { n: 80, m: 220, seed }));
+    let cfg = KadabraConfig { epsilon: eps, delta: 0.1, seed, ..Default::default() };
+    println!("bench smoke: gnm-80 ({} vertices, {} edges)", g.num_nodes(), g.num_edges());
+
+    let mut bench = BenchArtifact::new("smoke", 1.0, eps, seed);
+    bench.push(live_run("gnm-80", "seq", 1, 1, &kadabra_sequential(&g, &cfg)));
+    bench.push(live_run("gnm-80", "mpi", 2, 1, &kadabra_mpi_flat(&g, &cfg, 2)));
+    let shape = ClusterShape { ranks: 2, ranks_per_node: 2, threads_per_rank: 2 };
+    bench.push(live_run("gnm-80", "epoch-mpi", 2, 2, &kadabra_epoch_mpi(&g, &cfg, shape)));
+    for r in &bench.runs {
+        println!(
+            "  {} {}: {} samples, {} epochs, {:.0} samples/s, overlap {:.3}",
+            r.instance, r.mode, r.samples, r.epochs, r.samples_per_sec, r.reduction_overlap
+        );
+    }
+    emit(&bench);
+}

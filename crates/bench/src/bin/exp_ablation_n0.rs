@@ -8,7 +8,9 @@
 //!
 //! Run: `cargo run --release -p kadabra-bench --bin exp_ablation_n0`
 
-use kadabra_bench::{eps_default, paper_shape, scale_factor, seed, suite, Table};
+use kadabra_bench::{
+    des_run, emit, eps_default, paper_shape, scale_factor, seed, suite, BenchArtifact, Table,
+};
 use kadabra_cluster::{simulate, ClusterSpec, CostModel};
 use kadabra_core::prepare;
 
@@ -21,6 +23,7 @@ fn main() {
     println!("(scale {scale}, eps {eps}, seed {seed})\n");
 
     let instances = suite();
+    let mut bench = BenchArtifact::new("ablation_n0", scale, eps, seed);
     for name in ["road-ca", "rmat-wiki"] {
         let inst = instances.iter().find(|i| i.name == name).unwrap();
         let g = inst.build_lcc(scale, seed);
@@ -45,6 +48,7 @@ fn main() {
             let prepared = prepare(&g, &cfg);
             let cost = CostModel::measure(&g, &cfg, 200);
             let r = simulate(&g, &cfg, &prepared, &paper_shape(16), &spec, &cost);
+            bench.push(des_run(&format!("{name}/n0={base}"), &paper_shape(16), &r));
             min_samples = min_samples.min(r.samples);
             rows.push((base, cfg.n0(384), r.epochs, r.samples, r.ads_ns));
             eprintln!("  done: {name} n0_base={base}");
@@ -63,6 +67,7 @@ fn main() {
         t.print();
         println!();
     }
+    emit(&bench);
     println!("Expected shape: tiny n0 => many epochs (check/communication overhead);");
     println!("huge n0 => few epochs but large sample overshoot past the stopping point.");
 }

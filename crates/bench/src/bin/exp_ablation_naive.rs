@@ -8,7 +8,10 @@
 //!
 //! Run: `cargo run --release -p kadabra-bench --bin exp_ablation_naive`
 
-use kadabra_bench::{eps_default, prepare_instance, scale_factor, seed, suite, Table};
+use kadabra_bench::{
+    des_run, des_run_labelled, emit, eps_default, prepare_instance, scale_factor, seed, suite,
+    BenchArtifact, Table,
+};
 use kadabra_cluster::{simulate, simulate_naive, ClusterSpec, ReduceStrategy, SimConfig};
 use kadabra_core::ClusterShape;
 
@@ -21,6 +24,7 @@ fn main() {
     println!("(scale {scale}, eps {eps}, seed {seed})\n");
 
     let instances = suite();
+    let mut bench = BenchArtifact::new("ablation_naive", scale, eps, seed);
     for name in ["road-pa", "rmat-dbpedia"] {
         let inst = instances.iter().find(|i| i.name == name).unwrap();
         let pi = prepare_instance(inst, scale, seed, eps, 300);
@@ -40,6 +44,8 @@ fn main() {
                 numa_penalty: true, // both run as one process spanning sockets
             };
             let epoch = simulate(&pi.graph, &pi.cfg, &pi.prepared, &sim, &spec, &pi.cost);
+            bench.push(des_run_labelled(name, "des-naive", 1, threads, &naive));
+            bench.push(des_run(name, &sim, &epoch));
             t.row([
                 threads.to_string(),
                 format!("{:.3}", naive.ads_ns as f64 / 1e9),
@@ -57,6 +63,7 @@ fn main() {
         t.print();
         println!();
     }
+    emit(&bench);
     println!("Expected shape: the epoch framework's advantage grows with the thread");
     println!("count — the naive scheme's barrier + non-overlapped aggregation eat the");
     println!("added parallelism.");

@@ -9,7 +9,9 @@
 //!
 //! Run: `cargo run --release -p kadabra-bench --bin exp_ablation_reduce`
 
-use kadabra_bench::{eps_default, prepare_instance, scale_factor, seed, suite, Table};
+use kadabra_bench::{
+    des_run, emit, eps_default, prepare_instance, scale_factor, seed, suite, BenchArtifact, Table,
+};
 use kadabra_cluster::{simulate, ClusterSpec, NetworkModel, ReduceStrategy, SimConfig};
 use kadabra_core::ClusterShape;
 
@@ -47,6 +49,7 @@ fn main() {
         "fully blocking (ms)",
         "best",
     ]);
+    let mut bench = BenchArtifact::new("ablation_reduce", scale, eps, seed);
     for nodes in [2usize, 4, 8, 16] {
         let shape = ClusterShape { ranks: 2 * nodes, ranks_per_node: 2, threads_per_rank: 12 };
         let mut times = Vec::new();
@@ -57,6 +60,7 @@ fn main() {
         ] {
             let sim = SimConfig { shape, strategy, numa_penalty: false };
             let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &sim, &spec, &pi.cost);
+            bench.push(des_run(pi.name, &sim, &r));
             times.push(r.ads_ns);
         }
         let best = ["ibarrier+reduce", "ireduce", "blocking"]
@@ -71,6 +75,7 @@ fn main() {
         eprintln!("  done: {nodes} nodes");
     }
     t.print();
+    emit(&bench);
     println!("\nExpected shape (paper Sec. IV-F): the slow-progressing MPI_Ireduce");
     println!("falls behind clearly as node counts grow (its latency gates every");
     println!("epoch turnover). The ibarrier-vs-fully-blocking gap depends on leader");

@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p kadabra-bench --bin exp_accuracy`
 
 use kadabra_baselines::brandes;
-use kadabra_bench::{eps_default, seed, Table};
+use kadabra_bench::{des_run, emit, eps_default, live_run, seed, BenchArtifact, Table};
 use kadabra_cluster::{simulate, ClusterSpec, CostModel, ReduceStrategy, SimConfig};
 use kadabra_core::{
     kadabra_epoch_mpi, kadabra_mpi_flat, kadabra_naive_parallel, kadabra_sequential,
@@ -21,6 +21,7 @@ fn main() {
 
     let grid_g = grid(GridConfig { rows: 12, cols: 12, diagonal_prob: 0.05, seed: seed0 });
     let (gnm_g, _) = largest_component(&gnm(GnmConfig { n: 200, m: 700, seed: seed0 }));
+    let mut bench = BenchArtifact::new("accuracy", 1.0, eps, seed0);
 
     for (gname, g) in [("grid-12x12", &grid_g), ("gnm-200", &gnm_g)] {
         let exact = brandes(g);
@@ -31,6 +32,7 @@ fn main() {
 
         let mut t = Table::new(["mode", "max |err|", "within eps", "samples"]);
         let r = kadabra_sequential(g, &cfg);
+        bench.push(live_run(gname, "seq", 1, 1, &r));
         t.row([
             "sequential".into(),
             format!("{:.4}", max_err(&r.scores)),
@@ -38,6 +40,7 @@ fn main() {
             r.samples.to_string(),
         ]);
         let r = kadabra_shared(g, &cfg, 4);
+        bench.push(live_run(gname, "shared", 1, 4, &r));
         t.row([
             "shared (epoch, T=4)".into(),
             format!("{:.4}", max_err(&r.scores)),
@@ -45,6 +48,7 @@ fn main() {
             r.samples.to_string(),
         ]);
         let r = kadabra_naive_parallel(g, &cfg, 4);
+        bench.push(live_run(gname, "naive-parallel", 1, 4, &r));
         t.row([
             "naive parallel (T=4)".into(),
             format!("{:.4}", max_err(&r.scores)),
@@ -52,6 +56,7 @@ fn main() {
             r.samples.to_string(),
         ]);
         let r = kadabra_mpi_flat(g, &cfg, 4);
+        bench.push(live_run(gname, "mpi", 4, 1, &r));
         t.row([
             "Algorithm 1 (P=4)".into(),
             format!("{:.4}", max_err(&r.scores)),
@@ -60,6 +65,7 @@ fn main() {
         ]);
         let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
         let r = kadabra_epoch_mpi(g, &cfg, shape);
+        bench.push(live_run(gname, "epoch-mpi", 4, 2, &r));
         t.row([
             "Algorithm 2 (P=4,T=2)".into(),
             format!("{:.4}", max_err(&r.scores)),
@@ -74,6 +80,7 @@ fn main() {
             numa_penalty: false,
         };
         let r = simulate(g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
+        bench.push(des_run(gname, &sim, &r));
         t.row([
             "DES (P=8,T=4)".into(),
             format!("{:.4}", max_err(&r.scores)),
@@ -85,6 +92,8 @@ fn main() {
         t.print();
         println!();
     }
+
+    emit(&bench);
 
     // Repeated-run guarantee: over many seeds, the failure rate must stay
     // well under delta = 0.1.

@@ -10,8 +10,8 @@
 //! Knobs: `KADABRA_SCALE`, `KADABRA_EPS` (default 0.03), `KADABRA_SEED`.
 
 use kadabra_bench::{
-    eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed, shared_baseline_shape,
-    suite, Table,
+    des_run, emit, eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed,
+    shared_baseline_shape, suite, BenchArtifact, Table,
 };
 use kadabra_cluster::{simulate, ClusterSpec};
 
@@ -31,16 +31,19 @@ fn main() {
     let mut fractions: Vec<[f64; 6]> = vec![[0.0; 6]; NODE_COUNTS.len()];
     let mut per_instance =
         Table::new(["Instance", "P=1", "P=2", "P=4", "P=8", "P=16", "baseline ADS"]);
+    let mut bench = BenchArtifact::new("fig2", scale, eps, seed);
 
     let instances = suite();
     for inst in &instances {
         let pi = prepare_instance(inst, scale, seed, eps, 300);
         let baseline =
             simulate(&pi.graph, &pi.cfg, &pi.prepared, &shared_baseline_shape(), &spec, &pi.cost);
+        bench.push(des_run(pi.name, &shared_baseline_shape(), &baseline));
         let mut row = vec![pi.name.to_string()];
         for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
             let r =
                 simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(nodes), &spec, &pi.cost);
+            bench.push(des_run(pi.name, &paper_shape(nodes), &r));
             let s = baseline.total_ns() as f64 / r.total_ns() as f64;
             speedups[i].push(s);
             row.push(format!("{s:.2}x"));
@@ -103,6 +106,7 @@ fn main() {
         ]);
     }
     breakdown.print();
+    emit(&bench);
     println!("\nExpected shape (paper Fig 2b): diameter+calibration fractions grow with P;");
     println!("epoch transition and ibarrier are overlapped; reduce is the only");
     println!("non-overlapped communication.");

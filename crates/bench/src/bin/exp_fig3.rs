@@ -9,8 +9,8 @@
 //! Run: `cargo run --release -p kadabra-bench --bin exp_fig3`
 
 use kadabra_bench::{
-    eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed, shared_baseline_shape,
-    suite, Table,
+    des_run, emit, eps_default, geomean, paper_shape, prepare_instance, scale_factor, seed,
+    shared_baseline_shape, suite, BenchArtifact, Table,
 };
 use kadabra_cluster::{simulate, ClusterSpec};
 
@@ -26,14 +26,17 @@ fn main() {
     let mut ads_speedups: Vec<Vec<f64>> = vec![Vec::new(); NODE_COUNTS.len()];
     let mut calib_speedups: Vec<Vec<f64>> = vec![Vec::new(); NODE_COUNTS.len()];
     let mut throughputs: Vec<Vec<f64>> = vec![Vec::new(); NODE_COUNTS.len()];
+    let mut bench = BenchArtifact::new("fig3", scale, eps, seed);
 
     for inst in suite() {
         let pi = prepare_instance(&inst, scale, seed, eps, 300);
         let baseline =
             simulate(&pi.graph, &pi.cfg, &pi.prepared, &shared_baseline_shape(), &spec, &pi.cost);
+        bench.push(des_run(pi.name, &shared_baseline_shape(), &baseline));
         for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
             let r =
                 simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(nodes), &spec, &pi.cost);
+            bench.push(des_run(pi.name, &paper_shape(nodes), &r));
             ads_speedups[i].push(baseline.ads_ns as f64 / r.ads_ns as f64);
             calib_speedups[i].push(baseline.calibration_ns as f64 / r.calibration_ns as f64);
             let secs = r.ads_ns as f64 / 1e9;
@@ -66,6 +69,7 @@ fn main() {
         t2.row([nodes.to_string(), format!("{thr:.0}"), format!("{:.2}", thr / base_thr)]);
     }
     t2.print();
+    emit(&bench);
     println!("\nExpected shape (paper Fig 3b): flat within ~600-1000 samples/(s*node) —");
     println!("linear sampling scalability regardless of node count.");
 }

@@ -10,14 +10,22 @@
 //! The vertex counts are `2^scale` for scale in 12..=15 (shift with
 //! `KADABRA_SCALE`; the paper uses 2^23..2^26, out of reach of one core).
 
-use kadabra_bench::{eps_default, paper_shape, scale_factor, seed, Table};
+use kadabra_bench::{
+    des_run, emit, eps_default, paper_shape, scale_factor, seed, BenchArtifact, Table,
+};
 use kadabra_cluster::{simulate, ClusterSpec, CostModel};
 use kadabra_core::{prepare, KadabraConfig};
 use kadabra_graph::components::largest_component;
 use kadabra_graph::generators::{hyperbolic, rmat, HyperbolicConfig, RmatConfig};
 use kadabra_graph::Graph;
 
-fn run_series(name: &str, graphs: Vec<(u32, Graph)>, eps: f64, seed: u64) {
+fn run_series(
+    name: &str,
+    graphs: Vec<(u32, Graph)>,
+    eps: f64,
+    seed: u64,
+    bench: &mut BenchArtifact,
+) {
     let spec = ClusterSpec::default();
     let mut t = Table::new(["log2|V|", "|V| (lcc)", "|E|", "ADS time(s)", "time/|V| (ms)"]);
     let mut first_per_vertex = None;
@@ -27,6 +35,7 @@ fn run_series(name: &str, graphs: Vec<(u32, Graph)>, eps: f64, seed: u64) {
         let prepared = prepare(&g, &cfg);
         let cost = CostModel::measure(&g, &cfg, 300);
         let r = simulate(&g, &cfg, &prepared, &paper_shape(16), &spec, &cost);
+        bench.push(des_run(&format!("{name}:2^{log_n}"), &paper_shape(16), &r));
         let ms_per_vertex = r.ads_ns as f64 / 1e6 / g.num_nodes() as f64 * 1000.0;
         first_per_vertex.get_or_insert(ms_per_vertex);
         last_per_vertex = ms_per_vertex;
@@ -72,7 +81,8 @@ fn main() {
             (s, lcc)
         })
         .collect();
-    run_series("R-MAT (Graph500 params)", rmat_graphs, eps, seed);
+    let mut bench = BenchArtifact::new("fig4", scale_factor(), eps, seed);
+    run_series("R-MAT (Graph500 params)", rmat_graphs, eps, seed, &mut bench);
 
     let hyper_graphs: Vec<(u32, Graph)> = scales
         .iter()
@@ -82,5 +92,6 @@ fn main() {
             (s, lcc)
         })
         .collect();
-    run_series("random hyperbolic (power-law 3)", hyper_graphs, eps, seed);
+    run_series("random hyperbolic (power-law 3)", hyper_graphs, eps, seed, &mut bench);
+    emit(&bench);
 }

@@ -7,6 +7,10 @@
 //! proxies with diameters around 10.
 //!
 //! Run: `cargo run --release -p kadabra-bench --bin exp_table1`
+//!
+//! This is the one experiment with no `BENCH_*.json` artifact: it lists the
+//! instances without benchmarking anything, so it has no rows in the
+//! `kadabra-bench/v1` schema (which requires timed runs).
 
 use kadabra_bench::{scale_factor, seed, suite, Table};
 use kadabra_graph::diameter::{diameter, DiameterKind};

@@ -10,7 +10,8 @@
 //! Run: `cargo run --release -p kadabra-bench --bin exp_table2`
 
 use kadabra_bench::{
-    eps_default, paper_shape, prepare_instance, scale_factor, seed, suite, InstanceClass, Table,
+    des_run, emit, eps_default, paper_shape, prepare_instance, scale_factor, seed, suite,
+    BenchArtifact, InstanceClass, Table,
 };
 use kadabra_cluster::{simulate, ClusterSpec};
 
@@ -28,10 +29,12 @@ fn main() {
     let mut complex = (0u64, 0.0f64);
     let mut road_n = 0u64;
     let mut complex_n = 0u64;
+    let mut bench = BenchArtifact::new("table2", scale, eps, seed);
     for inst in suite() {
         let class = inst.class;
         let pi = prepare_instance(&inst, scale, seed, eps, 300);
         let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &paper_shape(16), &spec, &pi.cost);
+        bench.push(des_run(pi.name, &paper_shape(16), &r));
         table.row([
             pi.name.to_string(),
             format!("{class:?}"),
@@ -57,6 +60,7 @@ fn main() {
         eprintln!("  done: {}", pi.name);
     }
     table.print();
+    emit(&bench);
 
     println!("\nShape check (paper Table II):");
     println!(

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p kadabra-bench --bin exp_topk`
 
-use kadabra_bench::{eps_default, scale_factor, seed, suite, Table};
+use kadabra_bench::{emit, eps_default, live_run, scale_factor, seed, suite, BenchArtifact, Table};
 use kadabra_core::{kadabra_sequential, kadabra_topk, KadabraConfig};
 
 fn main() {
@@ -27,6 +27,7 @@ fn main() {
         "separated",
         "confirmed",
     ]);
+    let mut bench = BenchArtifact::new("topk", scale, eps, seed);
     for inst in suite() {
         let g = inst.build_lcc(scale, seed);
         if g.num_nodes() <= k {
@@ -35,6 +36,8 @@ fn main() {
         let cfg = KadabraConfig { epsilon: eps, delta: 0.1, seed, ..Default::default() };
         let full = kadabra_sequential(&g, &cfg);
         let topk = kadabra_topk(&g, k, &cfg);
+        bench.push(live_run(inst.name, "seq", 1, 1, &full));
+        bench.push(live_run(inst.name, "topk", 1, 1, &topk.result));
         t.row([
             inst.name.to_string(),
             full.samples.to_string(),
@@ -46,6 +49,7 @@ fn main() {
         eprintln!("  done: {}", inst.name);
     }
     t.print();
+    emit(&bench);
     println!("\nExpected shape: hub-dominated instances (complex networks) separate");
     println!("their top-k early and stop with large savings; flat-score instances");
     println!("(road networks, G(n,m)) fall back to the uniform criterion.");

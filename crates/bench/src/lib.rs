@@ -5,11 +5,15 @@
 //! the paper (see DESIGN.md §4 for the index and EXPERIMENTS.md for the
 //! recorded paper-vs-measured comparison).
 
+pub mod artifact;
 pub mod env;
 pub mod instances;
 pub mod run;
 pub mod table;
 
+pub use artifact::{
+    des_run, des_run_labelled, emit, live_run, results_dir, BenchArtifact, BenchRun,
+};
 pub use env::{eps_default, scale_factor, seed};
 pub use instances::{suite, Instance, InstanceClass};
 pub use run::{paper_shape, prepare_instance, shared_baseline_shape, PreparedInstance};

@@ -33,6 +33,8 @@ pub mod sim_naive;
 pub mod spec;
 
 pub use calibrate::CostModel;
-pub use sim::{simulate, simulate_perturbed, ReduceStrategy, SimConfig, SimReport};
+pub use sim::{
+    simulate, simulate_perturbed, simulate_traced, ReduceStrategy, SimConfig, SimReport,
+};
 pub use sim_naive::simulate_naive;
 pub use spec::{ClusterSpec, NetworkModel};

@@ -29,6 +29,7 @@ use kadabra_core::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use kadabra_core::{ClusterShape, KadabraConfig, Prepared};
 use kadabra_graph::Graph;
 use kadabra_mpisim::FaultPlan;
+use kadabra_telemetry::{CounterId, EventLog, MarkId, SpanId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Duration;
@@ -266,6 +267,30 @@ pub fn simulate_perturbed(
     cost: &CostModel,
     plan: Option<&FaultPlan>,
 ) -> SimReport {
+    simulate_traced(g, cfg, prepared, sim, spec, cost, plan, None)
+}
+
+/// [`simulate_perturbed`] that additionally records the root's virtual-time
+/// phase spans, per-round collective markers and counters into an
+/// [`EventLog`] — the same event schema the real drivers emit, so one sink
+/// (Chrome trace, [`kadabra_telemetry::Summary`], `BENCH_*.json`) consumes
+/// DES traces and real traces alike. Span times are virtual nanoseconds on
+/// one timeline: diameter, then calibration, then the adaptive-sampling DES.
+///
+/// Recording is a pure observer: `log: None` reproduces
+/// [`simulate_perturbed`] bit-for-bit.
+// xtask: allow(too_many_arguments) — mirrors simulate_perturbed plus the sink.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_traced(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    prepared: &Prepared,
+    sim: &SimConfig,
+    spec: &ClusterSpec,
+    cost: &CostModel,
+    plan: Option<&FaultPlan>,
+    mut log: Option<&mut EventLog>,
+) -> SimReport {
     cfg.validate();
     sim.shape.validate();
     let n = g.num_nodes();
@@ -308,6 +333,14 @@ pub fn simulate_perturbed(
     let calibration_ns = (per_thread as f64 * cost.mean_sample_ns() * numa_mul * worst_mul) as u64
         + spec.network.tree_collective_ns(p_count, frame_bytes)
         + cost.delta_fit_ns;
+
+    // One virtual timeline for the whole run: diameter, then calibration,
+    // then the adaptive-sampling DES (whose queue clock starts at 0).
+    let vt_base = cost.diameter_ns + calibration_ns;
+    if let Some(l) = log.as_deref_mut() {
+        l.span(0, 0, SpanId::Diameter, 0, 0, cost.diameter_ns);
+        l.span(0, 0, SpanId::Calibration, 0, cost.diameter_ns, calibration_ns);
+    }
 
     // --- DES state -----------------------------------------------------
     let mut samplers: Vec<ThreadSampler> = (0..p_count)
@@ -379,6 +412,9 @@ pub fn simulate_perturbed(
     // Root transition bookkeeping (started-at time for the wait columns).
     let mut root_transition_started = 0u64;
     let mut root_barrier_started = 0u64;
+    // Root span bookkeeping for the trace (batch start, bcast-wait start).
+    let mut root_batch_started = 0u64;
+    let mut root_bcast_started = 0u64;
 
     while let Some(Reverse(QE { at: now, ev, .. })) = queue.pop() {
         match ev {
@@ -424,6 +460,17 @@ pub fn simulate_perturbed(
                             procs[proc_id].commanded += 1;
                             procs[proc_id].ctrl = Ctrl::AwaitTransition;
                             if proc_id == 0 {
+                                if let Some(l) = log.as_deref_mut() {
+                                    let e = procs[proc_id].round as u32;
+                                    l.span(
+                                        0,
+                                        0,
+                                        SpanId::SampleBatch,
+                                        e,
+                                        vt_base + root_batch_started,
+                                        now - root_batch_started,
+                                    );
+                                }
                                 root_transition_started = now;
                             }
                         }
@@ -437,6 +484,27 @@ pub fn simulate_perturbed(
                                 report.transition_ns += now - root_transition_started;
                             }
                             let agg_cost = spec.aggregate_ns(t_count as u64 * frame_bytes);
+                            if proc_id == 0 {
+                                if let Some(l) = log.as_deref_mut() {
+                                    let e = procs[proc_id].round as u32;
+                                    l.span(
+                                        0,
+                                        0,
+                                        SpanId::TransitionWait,
+                                        e,
+                                        vt_base + root_transition_started,
+                                        now - root_transition_started,
+                                    );
+                                    l.span(
+                                        0,
+                                        0,
+                                        SpanId::FrameAggregate,
+                                        e,
+                                        vt_base + now,
+                                        agg_cost,
+                                    );
+                                }
+                            }
                             procs[proc_id].ctrl = Ctrl::Aggregating;
                             push(
                                 &mut queue,
@@ -462,6 +530,7 @@ pub fn simulate_perturbed(
                             frame_bytes,
                             &procs_in_node,
                             &mut root_barrier_started,
+                            &mut root_bcast_started,
                             &mut resample,
                         );
                     }
@@ -471,6 +540,16 @@ pub fn simulate_perturbed(
                             if now >= done {
                                 if proc_id == 0 {
                                     report.barrier_wait_ns += now - root_barrier_started;
+                                    if let Some(l) = log.as_deref_mut() {
+                                        l.span(
+                                            0,
+                                            0,
+                                            SpanId::IbarrierWait,
+                                            round_idx as u32,
+                                            vt_base + root_barrier_started,
+                                            now - root_barrier_started,
+                                        );
+                                    }
                                 }
                                 arrive_at_reduce(
                                     proc_id,
@@ -494,12 +573,27 @@ pub fn simulate_perturbed(
                         let round_idx = procs[proc_id].round;
                         if let Some((ready_at, d)) = rounds[round_idx].bcast {
                             if now >= ready_at {
+                                if proc_id == 0 {
+                                    if let Some(l) = log.as_deref_mut() {
+                                        l.span(
+                                            0,
+                                            0,
+                                            SpanId::BcastStop,
+                                            round_idx as u32,
+                                            vt_base + root_bcast_started,
+                                            now - root_bcast_started,
+                                        );
+                                    }
+                                }
                                 if d {
                                     procs[proc_id].terminated = true;
                                     threads[tid].stopped = true;
                                     makespan = makespan.max(now);
                                     resample = false;
                                 } else {
+                                    if proc_id == 0 {
+                                        root_batch_started = now;
+                                    }
                                     procs[proc_id].round += 1;
                                     procs[proc_id].t0_round_samples = 0;
                                     procs[proc_id].ctrl = Ctrl::Sampling;
@@ -556,6 +650,7 @@ pub fn simulate_perturbed(
                         frame_bytes,
                         &procs_in_node,
                         &mut root_barrier_started,
+                        &mut root_bcast_started,
                         &mut resample,
                     );
                 } else {
@@ -588,6 +683,43 @@ pub fn simulate_perturbed(
 
                 let check_cost = cost.check_ns(n);
                 report.check_ns += check_cost;
+                if let Some(l) = log.as_deref_mut() {
+                    let e = round_idx as u32;
+                    if sim.strategy != ReduceStrategy::Ireduce {
+                        l.span(
+                            0,
+                            0,
+                            SpanId::Reduce,
+                            e,
+                            vt_base + round.root_reduce_arrival,
+                            now - round.root_reduce_arrival,
+                        );
+                    } else {
+                        // The overlapped strategy has no blocked segment; the
+                        // collective's own duration lands on IreduceWait.
+                        l.span(
+                            0,
+                            0,
+                            SpanId::IreduceWait,
+                            e,
+                            vt_base + round.reduce_last,
+                            now - round.reduce_last,
+                        );
+                    }
+                    l.span(0, 0, SpanId::Check, e, vt_base + now, check_cost);
+                    l.mark(0, 0, MarkId::CollectiveComplete, e, vt_base + now, round_idx as u64);
+                    l.count(0, 0, CounterId::Collectives, e, vt_base + now, 1);
+                    l.count(0, 0, CounterId::Samples, e, vt_base + now, round.pending_tau);
+                    l.count(0, 0, CounterId::Epochs, e, vt_base + now, 1);
+                    l.count(
+                        0,
+                        0,
+                        CounterId::BytesReduced,
+                        e,
+                        vt_base + now,
+                        p_count as u64 * frame_bytes,
+                    );
+                }
                 let d = stopping_condition(
                     &s_total,
                     tau_total,
@@ -606,6 +738,9 @@ pub fn simulate_perturbed(
                         // The root additionally spends the check before it
                         // can resume sampling.
                         let resume = if p == 0 { now + check_cost } else { now };
+                        if p == 0 {
+                            root_bcast_started = resume;
+                        }
                         let tid = p * t_count;
                         let d_ns = (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
                         push(&mut queue, &mut seq, resume + d_ns, Ev::Sample { tid });
@@ -618,6 +753,9 @@ pub fn simulate_perturbed(
     report.samples = tau_total;
     report.scores = scores_from_counts(&s_total, tau_total.max(1));
     report.ads_ns = makespan;
+    if let Some(l) = log {
+        l.span(0, 0, SpanId::AdaptiveSampling, 0, vt_base, makespan);
+    }
     report
 }
 
@@ -639,6 +777,7 @@ fn try_enter_global_phase(
     frame_bytes: u64,
     procs_in_node: &dyn Fn(usize) -> usize,
     root_barrier_started: &mut u64,
+    root_bcast_started: &mut u64,
     resample: &mut bool,
 ) {
     let round_idx = procs[proc_id].round;
@@ -663,6 +802,9 @@ fn try_enter_global_phase(
         }
         ReduceStrategy::Ireduce => {
             // Overlapped: deposit and keep sampling; completion is penalized.
+            if proc_id == 0 {
+                *root_bcast_started = now;
+            }
             let net = &spec.network;
             let round = &mut rounds[round_idx];
             round.reduce_arrived += 1;
@@ -942,6 +1084,43 @@ mod tests {
         let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
         assert!(one.ads_ns > base.ads_ns, "{} !> {}", one.ads_ns, base.ads_ns);
         assert!(all.ads_ns > one.ads_ns, "{} !> {}", all.ads_ns, one.ads_ns);
+    }
+
+    #[test]
+    fn traced_run_matches_the_report_and_does_not_perturb_it() {
+        let (g, cfg, prepared, cost) = setup();
+        let spec = ClusterSpec::default();
+        for strategy in [
+            ReduceStrategy::IbarrierThenBlockingReduce,
+            ReduceStrategy::Ireduce,
+            ReduceStrategy::FullyBlocking,
+        ] {
+            let sim = SimConfig { shape: shape(4, 2, 2), strategy, numa_penalty: false };
+            let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
+            let mut log = EventLog::new();
+            let traced =
+                simulate_traced(&g, &cfg, &prepared, &sim, &spec, &cost, None, Some(&mut log));
+            // Recording is a pure observer.
+            assert_eq!(base.scores, traced.scores, "{strategy:?}");
+            assert_eq!(base.ads_ns, traced.ads_ns, "{strategy:?}");
+            // The virtual-time trace agrees with the report's columns: the
+            // same schema the real drivers emit, fed by the DES clock.
+            let s = log.summary();
+            assert_eq!(s.span_total(SpanId::Check), traced.check_ns, "{strategy:?}");
+            assert_eq!(s.span_total(SpanId::TransitionWait), traced.transition_ns);
+            assert_eq!(s.span_total(SpanId::IbarrierWait), traced.barrier_wait_ns);
+            if strategy != ReduceStrategy::Ireduce {
+                assert_eq!(s.span_total(SpanId::Reduce), traced.reduce_ns, "{strategy:?}");
+            }
+            assert_eq!(s.counter(CounterId::Samples), traced.samples, "{strategy:?}");
+            assert_eq!(s.counter(CounterId::Epochs), traced.epochs);
+            assert_eq!(s.counter(CounterId::BytesReduced), traced.comm_bytes);
+            assert_eq!(s.span_total(SpanId::Diameter), traced.diameter_ns);
+            assert_eq!(s.span_total(SpanId::Calibration), traced.calibration_ns);
+            assert_eq!(s.span_total(SpanId::AdaptiveSampling), traced.ads_ns);
+            let overlap = s.reduction_overlap();
+            assert!((0.0..=1.0).contains(&overlap), "{strategy:?}: overlap {overlap}");
+        }
     }
 
     #[test]

@@ -38,14 +38,18 @@ use crate::config::{ClusterShape, KadabraConfig};
 use crate::phases::{
     calibration_samples_for_thread, diameter_phase, fold_and_check, scores_from_counts,
 };
-use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::result::BetweennessResult;
 use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use crate::shared::{phase_timings_from, sampling_stats_from};
 use crate::{bounds, calibration::Calibration, epoch_mpi::hierarchical_comms};
 use kadabra_epoch::{CrossEpochProbe, EpochFramework};
 use kadabra_graph::Graph;
 use kadabra_mpisim::{Communicator, FaultPlan, Universe};
+use kadabra_telemetry::{CounterId, SpanId, Summary, Telemetry};
 use std::sync::Arc;
-use std::time::Instant;
+
+/// Event capacity per `(rank, thread)` recorder when a chaos run traces.
+const CHAOS_TRACE_CAPACITY: usize = 1 << 14;
 
 /// Configuration of a chaos-observed run.
 #[derive(Debug, Clone)]
@@ -56,12 +60,34 @@ pub struct ChaosOptions {
     pub probe: bool,
     /// Run the per-round aggregated-sample conservation check.
     pub conservation: bool,
+    /// Buffer a deterministic event trace (logical clock only — no wall
+    /// readings) in addition to the always-on phase totals. Toggling this
+    /// must not change the computation; `tests/determinism_matrix.rs`
+    /// asserts scores are bit-identical either way.
+    pub telemetry: bool,
 }
 
 impl ChaosOptions {
     /// Everything on, under `plan` — what the conformance suite uses.
     pub fn all(plan: FaultPlan) -> Self {
-        ChaosOptions { plan, probe: true, conservation: true }
+        ChaosOptions { plan, probe: true, conservation: true, telemetry: false }
+    }
+
+    /// Enables the deterministic event trace.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+}
+
+/// The registry a chaos run records into: logical-clock-only (wall readings
+/// would differ between reruns of the same plan), buffered only when the
+/// caller asked for a trace.
+fn telemetry_for(opts: &ChaosOptions) -> Telemetry {
+    if opts.telemetry {
+        Telemetry::deterministic(CHAOS_TRACE_CAPACITY)
+    } else {
+        Telemetry::deterministic(0)
     }
 }
 
@@ -82,6 +108,10 @@ pub struct ChaosReport {
     pub conservation_rounds: u64,
     /// The plan's one-line reproduction handle (print this on failure).
     pub plan_summary: String,
+    /// Telemetry phase breakdown of the run. Chaos runs record on the
+    /// logical clock only, so the breakdown (tick durations, sample /
+    /// epoch / byte counters) is itself bit-reproducible from the plan.
+    pub phases: Summary,
 }
 
 impl ChaosReport {
@@ -119,13 +149,14 @@ pub fn kadabra_mpi_flat_observed(
     assert!(ranks >= 1);
     assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
     let probe = opts.probe.then(|| Arc::new(CrossEpochProbe::new(ranks)));
+    let tel = telemetry_for(opts);
     let mut outcomes = Universe::run_with_plan(ranks, opts.plan.clone(), |comm| {
-        flat_rank_main(g, cfg, comm, opts, probe.as_deref())
+        flat_rank_main(g, cfg, comm, opts, probe.as_deref(), &tel)
     });
     let (result, rounds) = outcomes.swap_remove(0);
     // xtask: allow(unwrap) — flat_rank_main returns Some exactly at rank 0.
     let result = result.expect("rank 0 always produces the result");
-    finish_report(result, rounds, probe, opts)
+    finish_report(result, rounds, probe, opts, &tel)
 }
 
 /// Per-rank body of observed Algorithm 1. Mirrors `mpi::rank_main`; the
@@ -136,22 +167,25 @@ fn flat_rank_main(
     comm: Communicator,
     opts: &ChaosOptions,
     probe: Option<&CrossEpochProbe>,
+    tel: &Telemetry,
 ) -> (Option<BetweennessResult>, u64) {
     let n = g.num_nodes();
     let rank = comm.rank();
     let ranks = comm.size();
+    let w = tel.writer(rank as u32, 0);
+    comm.set_tracer(w.clone());
 
-    let diam_start = Instant::now();
+    let sp = w.begin(SpanId::Diameter);
     let vd = if rank == 0 {
         let (vd, _) = diameter_phase(g, cfg);
         comm.bcast_u64(0, Some(vd as u64)) as u32
     } else {
         comm.bcast_u64(0, None) as u32
     };
-    let diameter_time = diam_start.elapsed();
+    w.end(sp);
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
 
-    let calib_start = Instant::now();
+    let sp = w.begin(SpanId::Calibration);
     let mut sampler = ThreadSampler::new(n, cfg.seed, rank, 0);
     let mut counts = vec![0u64; n + 1];
     let taken =
@@ -159,12 +193,11 @@ fn flat_rank_main(
     counts[n] = taken;
     let total = comm.allreduce_sum_u64(&counts);
     let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
-    let calibration_time = calib_start.elapsed();
+    w.end(sp);
 
-    let ads_start = Instant::now();
+    let sp_ads = w.begin(SpanId::AdaptiveSampling);
     let n0 = cfg.n0(ranks);
     let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET);
-    let mut stats = SamplingStats::default();
     let mut s_loc = vec![0u64; n + 1];
     let mut s_global = vec![0u64; n + 1];
     let mut rounds = 0u64;
@@ -178,22 +211,29 @@ fn flat_rank_main(
 
     let mut round = 0u32;
     loop {
+        w.set_epoch(round);
         // Probe: the store must precede this round's first collective join
         // (see the probe's happens-before argument).
         if let Some(p) = probe {
             p.begin_round(rank, round);
         }
+        let sp = w.begin(SpanId::SampleBatch);
         for _ in 0..n0 {
             sample_into(&mut s_loc, &mut sampler);
         }
+        w.end(sp);
         let snapshot = std::mem::replace(&mut s_loc, vec![0u64; n + 1]);
-        let mut req = comm.ireduce_sum_u64(0, &snapshot);
+        let mut overlapped = 0u64;
         // Deterministic overlap: under the plan, test() returns false a
         // plan-derived number of times, then resolves.
+        let sp = w.begin(SpanId::IreduceWait);
+        let mut req = comm.ireduce_sum_u64(0, &snapshot);
         while !req.test() {
             sample_into(&mut s_loc, &mut sampler);
+            overlapped += 1;
         }
-        stats.comm_bytes += snapshot.len() as u64 * 8;
+        w.end(sp);
+        w.count(CounterId::BytesReduced, snapshot.len() as u64 * 8);
 
         let mut d = 0u64;
         let mut folded = [0u64; 2]; // rank 0: [Σc̃, τ] absorbed this round
@@ -202,7 +242,9 @@ fn flat_rank_main(
             // true) and rank 0 is the reduction root, so both layers are Some.
             let reduced = req.into_result().unwrap().expect("root receives reduction");
             folded = [reduced[..n].iter().sum(), reduced[n]];
+            let sp = w.begin(SpanId::Check);
             let stop = fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
+            w.end(sp);
             d = u64::from(stop);
         }
 
@@ -222,11 +264,15 @@ fn flat_rank_main(
             rounds += 1;
         }
 
+        let sp = w.begin(SpanId::BcastStop);
         let mut breq = comm.ibcast_u64(0, (rank == 0).then_some(d));
         while !breq.test() {
             sample_into(&mut s_loc, &mut sampler);
+            overlapped += 1;
         }
-        stats.epochs += 1;
+        w.end(sp);
+        w.count(CounterId::Samples, n0 + overlapped);
+        w.count(CounterId::Epochs, 1);
         // The round's full reduction/broadcast chain resolved: audit the
         // cross-process gap.
         if let Some(p) = probe {
@@ -238,21 +284,20 @@ fn flat_rank_main(
         }
         round += 1;
     }
-    stats.comm_bytes = comm.bytes_transferred();
+    w.end(sp_ads);
 
     let result = (rank == 0).then(|| {
         let tau = s_global[n];
+        let rec = w.recorder();
+        let mut stats = sampling_stats_from(rec);
         stats.samples = tau;
+        stats.comm_bytes = comm.bytes_transferred();
         BetweennessResult {
             scores: scores_from_counts(&s_global[..n], tau),
             samples: tau,
             omega,
             vertex_diameter: vd,
-            timings: PhaseTimings {
-                diameter: diameter_time,
-                calibration: calibration_time,
-                adaptive_sampling: ads_start.elapsed(),
-            },
+            timings: phase_timings_from(rec),
             stats,
         }
     });
@@ -277,8 +322,9 @@ pub fn kadabra_epoch_mpi_observed(
     shape.validate();
     assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
     let probe = opts.probe.then(|| Arc::new(CrossEpochProbe::new(shape.ranks)));
+    let tel = telemetry_for(opts);
     let outcomes = Universe::run_with_plan(shape.ranks, opts.plan.clone(), |comm| {
-        epoch_rank_main(g, cfg, shape, comm, opts, probe.as_deref())
+        epoch_rank_main(g, cfg, shape, comm, opts, probe.as_deref(), &tel)
     });
     let comm_bytes: u64 =
         outcomes.iter().filter(|o| o.2).map(|o| o.3).sum::<u64>() + outcomes[0].4 + outcomes[0].5;
@@ -290,7 +336,7 @@ pub fn kadabra_epoch_mpi_observed(
     // xtask: allow(unwrap) — epoch_rank_main returns Some exactly at rank 0.
     let mut result = result.expect("rank 0 always produces the result");
     result.stats.comm_bytes = comm_bytes;
-    finish_report(result, rounds, probe, opts)
+    finish_report(result, rounds, probe, opts, &tel)
 }
 
 /// Per-rank body of observed Algorithm 2. Mirrors `epoch_mpi::rank_main`;
@@ -304,25 +350,29 @@ fn epoch_rank_main(
     world: Communicator,
     opts: &ChaosOptions,
     probe: Option<&CrossEpochProbe>,
+    tel: &Telemetry,
 ) -> (Option<BetweennessResult>, u64, bool, u64, u64, u64) {
     let n = g.num_nodes();
     let rank = world.rank();
     let threads = shape.threads_per_rank;
     let plan = &opts.plan;
+    let w = tel.writer(rank as u32, 0);
+    // Attach before splitting so the derived communicators inherit it.
+    world.set_tracer(w.clone());
 
     let (local, is_leader, leaders) = hierarchical_comms(&world, shape);
 
-    let diam_start = Instant::now();
+    let sp = w.begin(SpanId::Diameter);
     let vd = if rank == 0 {
         let (vd, _) = diameter_phase(g, cfg);
         world.bcast_u64(0, Some(vd as u64)) as u32
     } else {
         world.bcast_u64(0, None) as u32
     };
-    let diameter_time = diam_start.elapsed();
+    w.end(sp);
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
 
-    let calib_start = Instant::now();
+    let sp_calib = w.begin(SpanId::Calibration);
     let total_threads = shape.total_threads();
     let mut calib = vec![0u64; n + 1];
     crossbeam::scope(|s| {
@@ -357,12 +407,11 @@ fn epoch_rank_main(
     .expect("calibration scope");
     let total = world.allreduce_sum_u64(&calib);
     let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
-    let calibration_time = calib_start.elapsed();
+    w.end(sp_calib);
 
-    let ads_start = Instant::now();
+    let sp_ads = w.begin(SpanId::AdaptiveSampling);
     let n0 = cfg.n0(total_threads);
     let fw = EpochFramework::new(n, threads);
-    let mut stats = SamplingStats::default();
     let mut s_global = vec![0u64; n + 1];
     let mut rounds = 0u64;
 
@@ -376,15 +425,18 @@ fn epoch_rank_main(
         // way a de-scheduled thread would.
         for t in 1..threads {
             let fw = &fw;
+            let tw = tel.writer(rank as u32, t as u32);
             s.spawn(move |_| {
                 let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET + t);
                 let mut h = fw.handle(t);
                 let mut epoch = 0u32;
+                let mut drawn = 0u64;
                 'run: loop {
                     let quota = plan.worker_quota(rank, t, epoch, n0);
                     for _ in 0..quota {
                         let interior = sampler.sample(g);
                         h.record_sample(interior);
+                        drawn += 1;
                     }
                     loop {
                         if fw.check_transition(&mut h) {
@@ -397,6 +449,8 @@ fn epoch_rank_main(
                     }
                     epoch += 1;
                 }
+                // One flush at exit keeps the hot loop free of stores.
+                tw.count(CounterId::Samples, drawn);
             });
         }
 
@@ -405,34 +459,47 @@ fn epoch_rank_main(
         let mut h = fw.handle(0);
         let mut epoch = 0u32;
         loop {
+            w.set_epoch(epoch);
             if let Some(p) = probe {
                 p.begin_round(rank, epoch);
             }
+            let sp = w.begin(SpanId::SampleBatch);
             for _ in 0..n0 {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
             }
+            w.end(sp);
+            let mut overlapped = 0u64;
             fw.force_transition(&mut h, epoch);
             // Deterministic transition overlap: the framework has no
             // Request to meter polls on, so the plan supplies the overlap
             // sample count directly; the residual wait samples nothing.
+            let sp = w.begin(SpanId::TransitionWait);
             for _ in 0..plan.transition_overlap(rank, epoch) {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
+                overlapped += 1;
             }
             while !fw.transition_done(epoch) {
                 std::hint::spin_loop();
             }
+            w.end(sp);
 
+            let sp = w.begin(SpanId::FrameAggregate);
             let mut epoch_frame = vec![0u64; n + 1];
             let tau_epoch = fw.aggregate_epoch(epoch, &mut epoch_frame[..n]);
             epoch_frame[n] = tau_epoch;
+            w.end(sp);
+            w.count(CounterId::BytesReduced, epoch_frame.len() as u64 * 8);
 
+            let sp = w.begin(SpanId::IreduceWait);
             let mut req = local.ireduce_sum_u64(0, &epoch_frame);
             while !req.test() {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
+                overlapped += 1;
             }
+            w.end(sp);
             // xtask: allow(unwrap) — test() returned true, so the request
             // completed and its result is present.
             let node_frame = req.into_result().unwrap();
@@ -440,22 +507,30 @@ fn epoch_rank_main(
             let mut d = 0u64;
             let mut folded = [0u64; 2]; // rank 0: [Σc̃, τ] absorbed
             if is_leader {
+                let sp = w.begin(SpanId::IbarrierWait);
                 let mut bar = leaders.ibarrier();
                 while !bar.test() {
                     let interior = sampler.sample(g);
                     h.record_sample(interior);
+                    overlapped += 1;
                 }
+                w.end(sp);
                 // xtask: allow(unwrap) — this rank is its node's local
                 // root, so the local reduce delivered Some to it.
                 let frame = node_frame.expect("leader holds node frame");
+                let sp = w.begin(SpanId::Reduce);
                 let reduced = leaders.reduce_sum_u64(0, &frame);
+                w.end(sp);
+                w.count(CounterId::BytesReduced, frame.len() as u64 * 8);
                 if rank == 0 {
                     // xtask: allow(unwrap) — world rank 0 is the leader
                     // root, so the reduction delivered Some to it.
                     let reduced = reduced.expect("leader root receives reduction");
                     folded = [reduced[..n].iter().sum(), reduced[n]];
+                    let sp = w.begin(SpanId::Check);
                     let stop =
                         fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
+                    w.end(sp);
                     d = u64::from(stop);
                 }
             }
@@ -478,12 +553,16 @@ fn epoch_rank_main(
                 rounds += 1;
             }
 
+            let sp = w.begin(SpanId::BcastStop);
             let mut breq = world.ibcast_u64(0, (rank == 0).then_some(d));
             while !breq.test() {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
+                overlapped += 1;
             }
-            stats.epochs += 1;
+            w.end(sp);
+            w.count(CounterId::Samples, n0 + overlapped);
+            w.count(CounterId::Epochs, 1);
             if let Some(p) = probe {
                 p.complete_round(rank, epoch);
             }
@@ -497,20 +576,19 @@ fn epoch_rank_main(
     })
     // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("adaptive sampling scope");
+    w.end(sp_ads);
 
     let result = (rank == 0).then(|| {
         let tau = s_global[n];
+        let rec = w.recorder();
+        let mut stats = sampling_stats_from(rec);
         stats.samples = tau;
         BetweennessResult {
             scores: scores_from_counts(&s_global[..n], tau),
             samples: tau,
             omega,
             vertex_diameter: vd,
-            timings: PhaseTimings {
-                diameter: diameter_time,
-                calibration: calibration_time,
-                adaptive_sampling: ads_start.elapsed(),
-            },
+            timings: phase_timings_from(rec),
             stats,
         }
     });
@@ -524,12 +602,14 @@ fn epoch_rank_main(
     )
 }
 
-/// Assembles the [`ChaosReport`] from the run result and the shared probe.
+/// Assembles the [`ChaosReport`] from the run result, the shared probe and
+/// the telemetry registry.
 fn finish_report(
     result: BetweennessResult,
     conservation_rounds: u64,
     probe: Option<Arc<CrossEpochProbe>>,
     opts: &ChaosOptions,
+    tel: &Telemetry,
 ) -> ChaosReport {
     let (max_epoch_gap, probe_observations, probe_violations) = match &probe {
         Some(p) => (p.max_gap(), p.observations(), p.violations()),
@@ -542,6 +622,7 @@ fn finish_report(
         probe_violations,
         conservation_rounds,
         plan_summary: opts.plan.summary(),
+        phases: tel.summary(),
     }
 }
 
@@ -611,7 +692,12 @@ mod tests {
     fn probes_can_be_disabled() {
         let g = small_graph();
         let cfg = KadabraConfig::new(0.1, 0.1);
-        let opts = ChaosOptions { plan: FaultPlan::ideal(1), probe: false, conservation: false };
+        let opts = ChaosOptions {
+            plan: FaultPlan::ideal(1),
+            probe: false,
+            conservation: false,
+            telemetry: false,
+        };
         let r = kadabra_mpi_flat_observed(&g, &cfg, 2, &opts);
         assert_eq!(r.probe_observations, 0);
         assert_eq!(r.conservation_rounds, 0);

@@ -15,13 +15,14 @@ use crate::config::{ClusterShape, KadabraConfig};
 use crate::phases::{
     calibration_samples_for_thread, diameter_phase, fold_and_check, scores_from_counts,
 };
-use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::result::BetweennessResult;
 use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use crate::shared::{phase_timings_from, sampling_stats_from};
 use crate::{bounds, calibration::Calibration};
 use kadabra_epoch::EpochFramework;
 use kadabra_graph::Graph;
 use kadabra_mpisim::{Communicator, Universe};
-use std::time::Instant;
+use kadabra_telemetry::{CounterId, SpanId, Telemetry};
 
 /// Per-rank outcome, used by the driver to assemble global statistics.
 struct RankOutcome {
@@ -35,11 +36,23 @@ struct RankOutcome {
 /// Runs Algorithm 2 on a simulated cluster of the given shape. Returns rank
 /// 0's result with cluster-wide communication statistics attached.
 pub fn kadabra_epoch_mpi(g: &Graph, cfg: &KadabraConfig, shape: ClusterShape) -> BetweennessResult {
+    kadabra_epoch_mpi_traced(g, cfg, shape, &Telemetry::stats_only())
+}
+
+/// [`kadabra_epoch_mpi`] recording into an explicit [`Telemetry`] registry:
+/// per-`(rank, thread)` spans and counters, plus collective/p2p markers from
+/// the mpisim tracer hooks (and the full event stream in tracing mode).
+pub fn kadabra_epoch_mpi_traced(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    shape: ClusterShape,
+    tel: &Telemetry,
+) -> BetweennessResult {
     cfg.validate();
     shape.validate();
     assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
 
-    let outcomes = Universe::run(shape.ranks, |comm| rank_main(g, cfg, shape, comm));
+    let outcomes = Universe::run(shape.ranks, |comm| rank_main(g, cfg, shape, comm, tel));
 
     // Total communication: node-local engines are shared per node (count
     // each once, via its leader), the leader and world engines are global
@@ -83,29 +96,33 @@ fn rank_main(
     cfg: &KadabraConfig,
     shape: ClusterShape,
     world: Communicator,
+    tel: &Telemetry,
 ) -> RankOutcome {
     let n = g.num_nodes();
     let rank = world.rank();
     let threads = shape.threads_per_rank;
+    let w = tel.writer(rank as u32, 0);
+    // Attach before splitting so the derived communicators inherit it.
+    world.set_tracer(w.clone());
 
     // Section IV-E communicators: node-local + leaders.
     let (local, is_leader, leaders) = hierarchical_comms(&world, shape);
 
     // Phase 1: sequential diameter at rank 0, broadcast.
-    let diam_start = Instant::now();
+    let sp = w.begin(SpanId::Diameter);
     let vd = if rank == 0 {
         let (vd, _) = diameter_phase(g, cfg);
         world.bcast_u64(0, Some(vd as u64)) as u32
     } else {
         world.bcast_u64(0, None) as u32
     };
-    let diameter_time = diam_start.elapsed();
+    w.end(sp);
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
 
     // Phase 2: calibration — all P·T threads sample in parallel, blocking
     // aggregation (Section IV-F: "Parallelizing the computation of the
     // initial fixed number of samples is straightforward").
-    let calib_start = Instant::now();
+    let sp_calib = w.begin(SpanId::Calibration);
     let total_threads = shape.total_threads();
     let mut calib = vec![0u64; n + 1];
     crossbeam::scope(|s| {
@@ -140,27 +157,31 @@ fn rank_main(
     .expect("calibration scope");
     let total = world.allreduce_sum_u64(&calib);
     let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
-    let calibration_time = calib_start.elapsed();
+    w.end(sp_calib);
 
     // Phase 3: Algorithm 2.
-    let ads_start = Instant::now();
+    let sp_ads = w.begin(SpanId::AdaptiveSampling);
     let n0 = cfg.n0(total_threads);
     let fw = EpochFramework::new(n, threads);
-    let mut stats = SamplingStats::default();
     let mut s_global = vec![0u64; n + 1]; // aggregated frame at world rank 0
 
     crossbeam::scope(|s| {
         // Worker threads t = 1..T (Algorithm 2, lines 5-9).
         for t in 1..threads {
             let fw = &fw;
+            let tw = tel.writer(rank as u32, t as u32);
             s.spawn(move |_| {
                 let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET + t);
                 let mut h = fw.handle(t);
+                let mut drawn = 0u64;
                 while !fw.should_terminate() {
                     let interior = sampler.sample(g);
                     h.record_sample(interior);
+                    drawn += 1;
                     fw.check_transition(&mut h);
                 }
+                // One flush at exit keeps the hot loop free of stores.
+                tw.count(CounterId::Samples, drawn);
             });
         }
 
@@ -169,34 +190,45 @@ fn rank_main(
         let mut h = fw.handle(0);
         let mut epoch = 0u32;
         loop {
+            w.set_epoch(epoch);
             // Lines 12-13: n0 samples into the current epoch.
+            let sp = w.begin(SpanId::SampleBatch);
             for _ in 0..n0 {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
             }
+            w.end(sp);
+            let mut overlapped = 0u64;
             // Lines 14-15: command and await the epoch transition,
             // overlapping with sampling into the next epoch's frame.
             fw.force_transition(&mut h, epoch);
-            let wait_start = Instant::now();
+            let sp = w.begin(SpanId::TransitionWait);
             while !fw.transition_done(epoch) {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
+                overlapped += 1;
             }
-            stats.transition_wait += wait_start.elapsed();
+            w.end(sp);
 
             // Lines 16-18: aggregate the epoch's frames locally.
+            let sp = w.begin(SpanId::FrameAggregate);
             let mut epoch_frame = vec![0u64; n + 1];
             let tau_epoch = fw.aggregate_epoch(epoch, &mut epoch_frame[..n]);
             epoch_frame[n] = tau_epoch;
+            w.end(sp);
+            w.count(CounterId::BytesReduced, epoch_frame.len() as u64 * 8);
 
             // Section IV-E: node-local aggregation (the paper uses MPI RMA
             // over shared memory; semantically a node-local reduce),
             // overlapped with sampling.
+            let sp = w.begin(SpanId::IreduceWait);
             let mut req = local.ireduce_sum_u64(0, &epoch_frame);
             while !req.test() {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
+                overlapped += 1;
             }
+            w.end(sp);
             // xtask: allow(unwrap) — test() returned true, so the request
             // completed and its result is present.
             let node_frame = req.into_result().unwrap();
@@ -205,42 +237,48 @@ fn rank_main(
             // blocking Reduce — the strategy that outperformed MPI_Ireduce.
             let mut d = 0u64;
             if is_leader {
-                let bar_start = Instant::now();
+                let sp = w.begin(SpanId::IbarrierWait);
                 let mut bar = leaders.ibarrier();
                 while !bar.test() {
                     let interior = sampler.sample(g);
                     h.record_sample(interior);
+                    overlapped += 1;
                 }
-                stats.barrier_wait += bar_start.elapsed();
+                w.end(sp);
 
-                let reduce_start = Instant::now();
+                let sp = w.begin(SpanId::Reduce);
                 // xtask: allow(unwrap) — this rank is its node's local
                 // root, so the local reduce delivered Some to it.
                 let frame = node_frame.expect("leader holds node frame");
                 let reduced = leaders.reduce_sum_u64(0, &frame);
-                stats.reduce_time += reduce_start.elapsed();
+                w.end(sp);
+                w.count(CounterId::BytesReduced, frame.len() as u64 * 8);
 
                 // Lines 22-24: world rank 0 folds and checks.
                 if rank == 0 {
                     // xtask: allow(unwrap) — world rank 0 is the leader
                     // root, so the reduction delivered Some to it.
                     let reduced = reduced.expect("leader root receives reduction");
-                    let check_start = Instant::now();
+                    let sp = w.begin(SpanId::Check);
                     let stop =
                         fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
-                    stats.check_time += check_start.elapsed();
+                    w.end(sp);
                     d = u64::from(stop);
                 }
             }
 
             // Lines 25-27: broadcast the termination flag world-wide,
             // overlapped with sampling.
+            let sp = w.begin(SpanId::BcastStop);
             let mut breq = world.ibcast_u64(0, (rank == 0).then_some(d));
             while !breq.test() {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
+                overlapped += 1;
             }
-            stats.epochs += 1;
+            w.end(sp);
+            w.count(CounterId::Samples, n0 + overlapped);
+            w.count(CounterId::Epochs, 1);
 
             // Lines 28-30.
             // xtask: allow(unwrap) — test() returned true above.
@@ -253,20 +291,19 @@ fn rank_main(
     })
     // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("adaptive sampling scope");
+    w.end(sp_ads);
 
     let result = if rank == 0 {
         let tau = s_global[n];
+        let rec = w.recorder();
+        let mut stats = sampling_stats_from(rec);
         stats.samples = tau;
         Some(BetweennessResult {
             scores: scores_from_counts(&s_global[..n], tau),
             samples: tau,
             omega,
             vertex_diameter: vd,
-            timings: PhaseTimings {
-                diameter: diameter_time,
-                calibration: calibration_time,
-                adaptive_sampling: ads_start.elapsed(),
-            },
+            timings: phase_timings_from(rec),
             stats,
         })
     } else {

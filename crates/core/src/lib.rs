@@ -45,14 +45,14 @@ pub use bounds::{f_bound, g_bound, omega};
 pub use calibration::Calibration;
 pub use chaos::{kadabra_epoch_mpi_observed, kadabra_mpi_flat_observed, ChaosOptions, ChaosReport};
 pub use config::{ClusterShape, KadabraConfig};
-pub use epoch_mpi::kadabra_epoch_mpi;
-pub use mpi::kadabra_mpi_flat;
+pub use epoch_mpi::{kadabra_epoch_mpi, kadabra_epoch_mpi_traced};
+pub use mpi::{kadabra_mpi_flat, kadabra_mpi_flat_traced};
 pub use naive::kadabra_naive_parallel;
 pub use phases::{prepare, Prepared};
 pub use result::{BetweennessResult, PhaseTimings, SamplingStats};
 pub use sampler::ThreadSampler;
-pub use sequential::kadabra_sequential;
-pub use shared::kadabra_shared;
+pub use sequential::{kadabra_sequential, kadabra_sequential_traced};
+pub use shared::{kadabra_shared, kadabra_shared_traced, phase_timings_from, sampling_stats_from};
 pub use topk::{
     confidence_intervals, confident_top_k, kadabra_topk, AdaptiveTopKResult, ConfidenceInterval,
     TopKResult,

@@ -16,20 +16,33 @@ use crate::config::KadabraConfig;
 use crate::phases::{
     calibration_samples_for_thread, diameter_phase, fold_and_check, scores_from_counts,
 };
-use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::result::BetweennessResult;
 use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
+use crate::shared::{phase_timings_from, sampling_stats_from};
 use crate::{bounds, calibration::Calibration};
 use kadabra_graph::Graph;
 use kadabra_mpisim::{Communicator, Universe};
-use std::time::Instant;
+use kadabra_telemetry::{CounterId, SpanId, Telemetry};
 
 /// Runs Algorithm 1 with `ranks` simulated MPI processes (one sampling
 /// thread each). Returns rank 0's result.
 pub fn kadabra_mpi_flat(g: &Graph, cfg: &KadabraConfig, ranks: usize) -> BetweennessResult {
+    kadabra_mpi_flat_traced(g, cfg, ranks, &Telemetry::stats_only())
+}
+
+/// [`kadabra_mpi_flat`] recording into an explicit [`Telemetry`] registry:
+/// per-rank spans and counters, plus collective/p2p markers from the mpisim
+/// tracer hooks (and the full event stream in tracing mode).
+pub fn kadabra_mpi_flat_traced(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    ranks: usize,
+    tel: &Telemetry,
+) -> BetweennessResult {
     cfg.validate();
     assert!(ranks >= 1);
     assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
-    let mut results = Universe::run(ranks, |comm| rank_main(g, cfg, comm));
+    let mut results = Universe::run(ranks, |comm| rank_main(g, cfg, comm, tel));
     results
         .swap_remove(0)
         // xtask: allow(unwrap) — rank_main returns Some exactly at rank 0.
@@ -37,27 +50,34 @@ pub fn kadabra_mpi_flat(g: &Graph, cfg: &KadabraConfig, ranks: usize) -> Between
 }
 
 /// Per-rank body of Algorithm 1.
-fn rank_main(g: &Graph, cfg: &KadabraConfig, comm: Communicator) -> Option<BetweennessResult> {
+fn rank_main(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    comm: Communicator,
+    tel: &Telemetry,
+) -> Option<BetweennessResult> {
     let n = g.num_nodes();
     let rank = comm.rank();
     let ranks = comm.size();
+    let w = tel.writer(rank as u32, 0);
+    comm.set_tracer(w.clone());
 
     // Phase 1: diameter on rank 0, broadcast (the paper computes it with a
     // sequential algorithm; other ranks idle — the Amdahl term of Fig. 2b).
-    let diam_start = Instant::now();
+    let sp = w.begin(SpanId::Diameter);
     let vd = if rank == 0 {
         let (vd, _) = diameter_phase(g, cfg);
         comm.bcast_u64(0, Some(vd as u64)) as u32
     } else {
         comm.bcast_u64(0, None) as u32
     };
-    let diameter_time = diam_start.elapsed();
+    w.end(sp);
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
 
     // Phase 2: calibration — parallel sampling, blocking aggregation
     // (MPI_Reduce in the paper; we all-reduce so every rank derives the
     // same δ budgets deterministically).
-    let calib_start = Instant::now();
+    let sp = w.begin(SpanId::Calibration);
     let mut sampler = ThreadSampler::new(n, cfg.seed, rank, 0);
     let mut counts = vec![0u64; n + 1];
     let taken =
@@ -65,16 +85,16 @@ fn rank_main(g: &Graph, cfg: &KadabraConfig, comm: Communicator) -> Option<Betwe
     counts[n] = taken;
     let total = comm.allreduce_sum_u64(&counts);
     let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
-    let calibration_time = calib_start.elapsed();
+    w.end(sp);
 
     // Phase 3: Algorithm 1.
-    let ads_start = Instant::now();
+    let sp_ads = w.begin(SpanId::AdaptiveSampling);
     let n0 = cfg.n0(ranks);
     let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET);
-    let mut stats = SamplingStats::default();
     // S_loc: local state frame; S: aggregated frame at rank 0 (line 1).
     let mut s_loc = vec![0u64; n + 1];
     let mut s_global = vec![0u64; n + 1];
+    let mut epoch = 0u32;
 
     let sample_into = |frame: &mut Vec<u64>, sampler: &mut ThreadSampler| {
         for &v in sampler.sample(g) {
@@ -84,21 +104,26 @@ fn rank_main(g: &Graph, cfg: &KadabraConfig, comm: Communicator) -> Option<Betwe
     };
 
     loop {
+        w.set_epoch(epoch);
         // Lines 5-6: n0 local samples.
+        let sp = w.begin(SpanId::SampleBatch);
         for _ in 0..n0 {
             sample_into(&mut s_loc, &mut sampler);
         }
+        w.end(sp);
         // Lines 7-8: snapshot, so overlapped samples don't corrupt the
         // communication buffer.
         let snapshot = std::mem::replace(&mut s_loc, vec![0u64; n + 1]);
         // Lines 10-11: non-blocking reduce, overlapped with sampling.
-        let reduce_start = Instant::now();
+        let sp = w.begin(SpanId::IreduceWait);
         let mut req = comm.ireduce_sum_u64(0, &snapshot);
+        let mut overlapped = 0u64;
         while !req.test() {
             sample_into(&mut s_loc, &mut sampler);
+            overlapped += 1;
         }
-        stats.reduce_time += reduce_start.elapsed();
-        stats.comm_bytes += snapshot.len() as u64 * 8;
+        w.end(sp);
+        w.count(CounterId::BytesReduced, snapshot.len() as u64 * 8);
 
         // Lines 12-14: rank 0 folds and checks.
         let mut d = 0u64;
@@ -106,39 +131,41 @@ fn rank_main(g: &Graph, cfg: &KadabraConfig, comm: Communicator) -> Option<Betwe
             // xtask: allow(unwrap) — the request completed (test() was
             // true) and rank 0 is the reduction root, so both layers are Some.
             let reduced = req.into_result().unwrap().expect("root receives reduction");
-            let check_start = Instant::now();
+            let sp = w.begin(SpanId::Check);
             let stop = fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
-            stats.check_time += check_start.elapsed();
+            w.end(sp);
             d = u64::from(stop);
         }
         // Lines 15-17: broadcast the termination flag, overlapped.
-        let bcast_start = Instant::now();
+        let sp = w.begin(SpanId::BcastStop);
         let mut breq = comm.ibcast_u64(0, (rank == 0).then_some(d));
         while !breq.test() {
             sample_into(&mut s_loc, &mut sampler);
+            overlapped += 1;
         }
-        stats.barrier_wait += bcast_start.elapsed();
-        stats.epochs += 1;
+        w.end(sp);
+        w.count(CounterId::Samples, n0 + overlapped);
+        w.count(CounterId::Epochs, 1);
         // xtask: allow(unwrap) — test() returned true above.
         if breq.into_result().unwrap() != 0 {
             break;
         }
+        epoch += 1;
     }
-    stats.comm_bytes = comm.bytes_transferred();
+    w.end(sp_ads);
 
     if rank == 0 {
         let tau = s_global[n];
+        let rec = w.recorder();
+        let mut stats = sampling_stats_from(rec);
         stats.samples = tau;
+        stats.comm_bytes = comm.bytes_transferred();
         Some(BetweennessResult {
             scores: scores_from_counts(&s_global[..n], tau),
             samples: tau,
             omega,
             vertex_diameter: vd,
-            timings: PhaseTimings {
-                diameter: diameter_time,
-                calibration: calibration_time,
-                adaptive_sampling: ads_start.elapsed(),
-            },
+            timings: phase_timings_from(rec),
             stats,
         })
     } else {

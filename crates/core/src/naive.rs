@@ -17,9 +17,9 @@ use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use crate::sync::{AtomicBool, Ordering};
 use crate::{bounds, calibration::Calibration};
 use kadabra_graph::Graph;
+use kadabra_telemetry::Stopwatch;
 use parking_lot::Mutex;
 use std::sync::Barrier;
-use std::time::Instant;
 
 /// Runs the naive fork-join parallelization with `threads` sampling threads.
 pub fn kadabra_naive_parallel(g: &Graph, cfg: &KadabraConfig, threads: usize) -> BetweennessResult {
@@ -33,14 +33,14 @@ pub fn kadabra_naive_parallel(g: &Graph, cfg: &KadabraConfig, threads: usize) ->
 
     // Calibration identical to the epoch-based version (single-threaded here;
     // the naive scheme is about the adaptive phase).
-    let calib_start = Instant::now();
+    let calib_start = Stopwatch::start();
     let mut sampler0 = ThreadSampler::new(n, cfg.seed, 0, 0);
     let mut calib_counts = vec![0u64; n];
     let tau0 = calibration_samples_for_thread(g, &mut sampler0, &mut calib_counts, cfg, omega, 1);
     let calibration = Calibration::from_counts(&calib_counts, tau0, cfg);
     let calibration_time = calib_start.elapsed();
 
-    let ads_start = Instant::now();
+    let ads_start = Stopwatch::start();
     let n0 = cfg.n0(threads).max(8); // per-thread samples per round
     let barrier = Barrier::new(threads);
     let terminate = AtomicBool::new(false);
@@ -94,11 +94,11 @@ pub fn kadabra_naive_parallel(g: &Graph, cfg: &KadabraConfig, threads: usize) ->
                     }
                 }
             }
-            let wait_start = Instant::now();
+            let wait_start = Stopwatch::start();
             barrier.wait(); // round end: blocking, no overlap — the point
             stats.barrier_wait += wait_start.elapsed();
 
-            let agg_start = Instant::now();
+            let agg_start = Stopwatch::start();
             for wc in &worker_counts {
                 let mut counts = wc.lock();
                 for (a, c) in acc.iter_mut().zip(counts.iter_mut()) {
@@ -111,7 +111,7 @@ pub fn kadabra_naive_parallel(g: &Graph, cfg: &KadabraConfig, threads: usize) ->
             tau += n0 * threads as u64;
             stats.epochs += 1;
 
-            let check_start = Instant::now();
+            let check_start = Stopwatch::start();
             stop = stopping_condition(
                 &acc,
                 tau,

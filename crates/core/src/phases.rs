@@ -11,7 +11,8 @@ use crate::config::KadabraConfig;
 use crate::sampler::ThreadSampler;
 use kadabra_graph::diameter::diameter;
 use kadabra_graph::{Graph, NodeId};
-use std::time::{Duration, Instant};
+use kadabra_telemetry::Stopwatch;
+use std::time::Duration;
 
 /// Output of the preparatory phases, consumed by the adaptive-sampling
 /// phase of every execution mode.
@@ -34,7 +35,7 @@ pub struct Prepared {
 /// rooted at a maximum-degree vertex (a good iFUB start on complex
 /// networks).
 pub fn diameter_phase(g: &Graph, cfg: &KadabraConfig) -> (u32, Duration) {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let root = (0..g.num_nodes() as NodeId)
         .max_by_key(|&v| g.degree(v))
         // xtask: allow(unwrap) — callers assert num_nodes >= 2.
@@ -73,7 +74,7 @@ pub fn prepare(g: &Graph, cfg: &KadabraConfig) -> Prepared {
     let (vd, diameter_time) = diameter_phase(g, cfg);
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
 
-    let calib_start = Instant::now();
+    let calib_start = Stopwatch::start();
     let mut sampler = ThreadSampler::new(g.num_nodes(), cfg.seed, 0, 0);
     let mut counts = vec![0u64; g.num_nodes()];
     let tau0 = calibration_samples_for_thread(g, &mut sampler, &mut counts, cfg, omega, 1);

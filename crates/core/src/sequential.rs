@@ -4,11 +4,13 @@
 
 use crate::bounds::stopping_condition;
 use crate::config::KadabraConfig;
-use crate::phases::{prepare, scores_from_counts};
-use crate::result::{BetweennessResult, PhaseTimings, SamplingStats};
+use crate::phases::{calibration_samples_for_thread, diameter_phase, scores_from_counts};
+use crate::result::BetweennessResult;
 use crate::sampler::ThreadSampler;
+use crate::shared::{phase_timings_from, sampling_stats_from};
+use crate::{bounds, calibration::Calibration};
 use kadabra_graph::Graph;
-use std::time::Instant;
+use kadabra_telemetry::{CounterId, SpanId, Telemetry};
 
 /// Runs sequential KADABRA on `g`.
 ///
@@ -16,49 +18,77 @@ use std::time::Instant;
 /// study (the paper's experimental setup); disconnected inputs are legal —
 /// pairs in different components contribute samples with empty interiors.
 pub fn kadabra_sequential(g: &Graph, cfg: &KadabraConfig) -> BetweennessResult {
-    let prepared = prepare(g, cfg);
-    let n = g.num_nodes();
+    kadabra_sequential_traced(g, cfg, &Telemetry::stats_only())
+}
 
-    let ads_start = Instant::now();
+/// [`kadabra_sequential`] recording into an explicit [`Telemetry`] registry.
+pub fn kadabra_sequential_traced(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    tel: &Telemetry,
+) -> BetweennessResult {
+    cfg.validate();
+    let n = g.num_nodes();
+    assert!(n >= 2, "KADABRA requires at least two vertices");
+    let w = tel.writer(0, 0);
+
+    let sp = w.begin(SpanId::Diameter);
+    let (vd, _) = diameter_phase(g, cfg);
+    w.end(sp);
+    let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
+
+    let sp = w.begin(SpanId::Calibration);
+    let mut sampler = ThreadSampler::new(n, cfg.seed, 0, 0);
+    let mut calib_counts = vec![0u64; n];
+    let tau0 = calibration_samples_for_thread(g, &mut sampler, &mut calib_counts, cfg, omega, 1);
+    let calibration = Calibration::from_counts(&calib_counts, tau0, cfg);
+    w.end(sp);
+
+    let sp_ads = w.begin(SpanId::AdaptiveSampling);
     let mut sampler = ThreadSampler::new(n, cfg.seed, 0, 1);
     let mut counts = vec![0u64; n];
     let mut tau: u64 = 0;
     let n0 = cfg.n0(1);
-    let mut stats = SamplingStats::default();
+    let mut epoch = 0u32;
     loop {
+        w.set_epoch(epoch);
+        let sp = w.begin(SpanId::SampleBatch);
         for _ in 0..n0 {
             for &v in sampler.sample(g) {
                 counts[v as usize] += 1;
             }
         }
+        w.end(sp);
         tau += n0;
-        stats.epochs += 1;
-        let check_start = Instant::now();
+        w.count(CounterId::Samples, n0);
+        w.count(CounterId::Epochs, 1);
+        let sp = w.begin(SpanId::Check);
         let stop = stopping_condition(
             &counts,
             tau,
             cfg.epsilon,
-            prepared.omega,
-            &prepared.calibration.delta_l,
-            &prepared.calibration.delta_u,
+            omega,
+            &calibration.delta_l,
+            &calibration.delta_u,
         );
-        stats.check_time += check_start.elapsed();
+        w.end(sp);
         if stop {
             break;
         }
+        epoch += 1;
     }
+    w.end(sp_ads);
+
+    let rec = w.recorder();
+    let mut stats = sampling_stats_from(rec);
     stats.samples = tau;
 
     BetweennessResult {
         scores: scores_from_counts(&counts, tau),
         samples: tau,
-        omega: prepared.omega,
-        vertex_diameter: prepared.vertex_diameter,
-        timings: PhaseTimings {
-            diameter: prepared.diameter_time,
-            calibration: prepared.calibration_time,
-            adaptive_sampling: ads_start.elapsed(),
-        },
+        omega,
+        vertex_diameter: vd,
+        timings: phase_timings_from(rec),
         stats,
     }
 }

@@ -15,21 +15,65 @@ use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use crate::{bounds, calibration::Calibration};
 use kadabra_epoch::EpochFramework;
 use kadabra_graph::Graph;
-use std::time::Instant;
+use kadabra_telemetry::{CounterId, SpanId, Telemetry, ThreadRecorder};
+use std::time::Duration;
+
+/// Derives the Section III-A per-phase breakdown from a rank's thread-0
+/// recorder. Together with [`sampling_stats_from`] this is the **single
+/// timing code path** shared by every driver: the drivers record telemetry
+/// spans, and the legacy result types are projections of those spans.
+pub fn phase_timings_from(rec: &ThreadRecorder) -> PhaseTimings {
+    let d = |s: SpanId| Duration::from_nanos(rec.span_ns(s));
+    PhaseTimings {
+        diameter: d(SpanId::Diameter),
+        calibration: d(SpanId::Calibration),
+        adaptive_sampling: d(SpanId::AdaptiveSampling),
+    }
+}
+
+/// Derives Table II-style sampling statistics from a rank's thread-0
+/// recorder. `samples` (τ) and `comm_bytes` are driver-level quantities the
+/// caller fills in afterwards.
+pub fn sampling_stats_from(rec: &ThreadRecorder) -> SamplingStats {
+    let d = |s: SpanId| Duration::from_nanos(rec.span_ns(s));
+    SamplingStats {
+        epochs: rec.counter(CounterId::Epochs),
+        samples: 0,
+        barrier_wait: d(SpanId::IbarrierWait) + d(SpanId::BcastStop),
+        reduce_time: d(SpanId::IreduceWait) + d(SpanId::Reduce) + d(SpanId::FrameAggregate),
+        transition_wait: d(SpanId::TransitionWait),
+        check_time: d(SpanId::Check),
+        comm_bytes: 0,
+    }
+}
 
 /// Runs epoch-based shared-memory KADABRA with `threads` sampling threads.
 pub fn kadabra_shared(g: &Graph, cfg: &KadabraConfig, threads: usize) -> BetweennessResult {
+    kadabra_shared_traced(g, cfg, threads, &Telemetry::stats_only())
+}
+
+/// [`kadabra_shared`] recording into an explicit [`Telemetry`] registry
+/// (spans, counters and — in tracing mode — the Chrome-trace event stream).
+pub fn kadabra_shared_traced(
+    g: &Graph,
+    cfg: &KadabraConfig,
+    threads: usize,
+    tel: &Telemetry,
+) -> BetweennessResult {
     cfg.validate();
     assert!(threads >= 1, "need at least one thread");
     let n = g.num_nodes();
     assert!(n >= 2, "KADABRA requires at least two vertices");
+    let w = tel.writer(0, 0);
 
     // Phase 1: diameter (sequential).
-    let (vd, diameter_time) = diameter_phase(g, cfg);
+    let sp = w.begin(SpanId::Diameter);
+    let (vd, _) = diameter_phase(g, cfg);
+    w.end(sp);
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
 
     // Phase 2: calibration — pleasingly parallel sampling, sequential δ fit.
-    let calib_start = Instant::now();
+    let sp_calib = w.begin(SpanId::Calibration);
     let mut partials: Vec<(Vec<u64>, u64)> = Vec::new();
     crossbeam::scope(|s| {
         let handles: Vec<_> = (0..threads)
@@ -66,27 +110,31 @@ pub fn kadabra_shared(g: &Graph, cfg: &KadabraConfig, threads: usize) -> Between
         tau0 += taken;
     }
     let calibration = Calibration::from_counts(&calib_counts, tau0, cfg);
-    let calibration_time = calib_start.elapsed();
+    w.end(sp_calib);
 
     // Phase 3: epoch-based adaptive sampling.
-    let ads_start = Instant::now();
+    let sp_ads = w.begin(SpanId::AdaptiveSampling);
     let fw = EpochFramework::new(n, threads);
     let n0 = cfg.n0(threads);
     let mut acc = vec![0u64; n];
     let mut tau: u64 = 0;
-    let mut stats = SamplingStats::default();
 
     crossbeam::scope(|s| {
         for t in 1..threads {
             let fw = &fw;
+            let tw = tel.writer(0, t as u32);
             s.spawn(move |_| {
                 let mut sampler = ThreadSampler::new(n, cfg.seed, 0, ADS_STREAM_OFFSET + t);
                 let mut h = fw.handle(t);
+                let mut drawn = 0u64;
                 while !fw.should_terminate() {
                     let interior = sampler.sample(g);
                     h.record_sample(interior);
+                    drawn += 1;
                     fw.check_transition(&mut h);
                 }
+                // One flush at exit keeps the hot loop free of stores.
+                tw.count(CounterId::Samples, drawn);
             });
         }
 
@@ -95,27 +143,33 @@ pub fn kadabra_shared(g: &Graph, cfg: &KadabraConfig, threads: usize) -> Between
         let mut h = fw.handle(0);
         let mut epoch = 0u32;
         loop {
+            w.set_epoch(epoch);
+            let sp = w.begin(SpanId::SampleBatch);
             for _ in 0..n0 {
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
             }
+            w.end(sp);
             fw.force_transition(&mut h, epoch);
-            let wait_start = Instant::now();
+            let sp = w.begin(SpanId::TransitionWait);
+            let mut overlapped = 0u64;
             while !fw.transition_done(epoch) {
                 // Overlapped: h already advanced, so these samples land in
                 // the next epoch's frame.
                 let interior = sampler.sample(g);
                 h.record_sample(interior);
+                overlapped += 1;
             }
-            stats.transition_wait += wait_start.elapsed();
+            w.end(sp);
+            w.count(CounterId::Samples, n0 + overlapped);
 
-            let agg_start = Instant::now();
+            let sp = w.begin(SpanId::FrameAggregate);
             tau += fw.aggregate_epoch(epoch, &mut acc);
-            stats.reduce_time += agg_start.elapsed();
-            stats.comm_bytes += (fw.frame_bytes() * threads) as u64;
-            stats.epochs += 1;
+            w.end(sp);
+            w.count(CounterId::BytesReduced, (fw.frame_bytes() * threads) as u64);
+            w.count(CounterId::Epochs, 1);
 
-            let check_start = Instant::now();
+            let sp = w.begin(SpanId::Check);
             let stop = stopping_condition(
                 &acc,
                 tau,
@@ -124,7 +178,7 @@ pub fn kadabra_shared(g: &Graph, cfg: &KadabraConfig, threads: usize) -> Between
                 &calibration.delta_l,
                 &calibration.delta_u,
             );
-            stats.check_time += check_start.elapsed();
+            w.end(sp);
             if stop {
                 fw.signal_termination();
                 break;
@@ -134,18 +188,19 @@ pub fn kadabra_shared(g: &Graph, cfg: &KadabraConfig, threads: usize) -> Between
     })
     // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("adaptive sampling scope");
+    w.end(sp_ads);
+
+    let rec = w.recorder();
+    let mut stats = sampling_stats_from(rec);
     stats.samples = tau;
+    stats.comm_bytes = rec.counter(CounterId::BytesReduced);
 
     BetweennessResult {
         scores: scores_from_counts(&acc, tau),
         samples: tau,
         omega,
         vertex_diameter: vd,
-        timings: PhaseTimings {
-            diameter: diameter_time,
-            calibration: calibration_time,
-            adaptive_sampling: ads_start.elapsed(),
-        },
+        timings: phase_timings_from(rec),
         stats,
     }
 }

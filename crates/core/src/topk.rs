@@ -114,7 +114,7 @@ pub fn kadabra_topk(
     use crate::phases::{prepare, scores_from_counts};
     use crate::result::{PhaseTimings, SamplingStats};
     use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
-    use std::time::Instant;
+    use kadabra_telemetry::Stopwatch;
 
     cfg.validate();
     let n = g.num_nodes();
@@ -123,7 +123,7 @@ pub fn kadabra_topk(
     let prepared = prepare(g, cfg);
     let omega = omega_fn(cfg.c, cfg.epsilon, cfg.delta, prepared.vertex_diameter);
 
-    let ads_start = Instant::now();
+    let ads_start = Stopwatch::start();
     let mut sampler = ThreadSampler::new(n, cfg.seed, 0, ADS_STREAM_OFFSET + 7);
     let mut counts = vec![0u64; n];
     let mut tau = 0u64;
@@ -138,7 +138,7 @@ pub fn kadabra_topk(
         }
         tau += n0;
         stats.epochs += 1;
-        let check_start = Instant::now();
+        let check_start = Stopwatch::start();
         // Top-k separation check on the current consistent state.
         let interim = BetweennessResult {
             scores: scores_from_counts(&counts, tau),

@@ -25,9 +25,9 @@ use kadabra_graph::weighted::{
     estimate_vertex_diameter, sample_weighted_shortest_path, WeightedGraph,
 };
 use kadabra_graph::NodeId;
+use kadabra_telemetry::Stopwatch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Anything KADABRA can sample shortest paths from.
 pub trait PathSource {
@@ -145,7 +145,7 @@ pub fn kadabra_generic<S: PathSource>(source: &S, cfg: &KadabraConfig) -> Betwee
     let n = source.num_nodes();
     assert!(n >= 2, "KADABRA requires at least two vertices");
 
-    let diam_start = Instant::now();
+    let diam_start = Stopwatch::start();
     let vd = source.vertex_diameter_upper(cfg);
     let diameter_time = diam_start.elapsed();
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
@@ -162,7 +162,7 @@ pub fn kadabra_generic<S: PathSource>(source: &S, cfg: &KadabraConfig) -> Betwee
     };
 
     // Calibration.
-    let calib_start = Instant::now();
+    let calib_start = Stopwatch::start();
     let tau0 = calibration_sample_count(cfg, omega);
     let mut counts = vec![0u64; n];
     for _ in 0..tau0 {
@@ -178,7 +178,7 @@ pub fn kadabra_generic<S: PathSource>(source: &S, cfg: &KadabraConfig) -> Betwee
 
     // Adaptive sampling (fresh counters; calibration samples are not reused,
     // matching the main implementation).
-    let ads_start = Instant::now();
+    let ads_start = Stopwatch::start();
     let n0 = cfg.n0(1);
     let mut counts = vec![0u64; n];
     let mut tau = 0u64;
@@ -194,7 +194,7 @@ pub fn kadabra_generic<S: PathSource>(source: &S, cfg: &KadabraConfig) -> Betwee
         }
         tau += n0;
         stats.epochs += 1;
-        let check_start = Instant::now();
+        let check_start = Stopwatch::start();
         let stop = stopping_condition(
             &counts,
             tau,

@@ -17,9 +17,9 @@ use kadabra_graph::digraph::{sample_directed_shortest_path, DiGraph};
 use kadabra_graph::scratch::TraversalScratch;
 use kadabra_graph::weighted::{sample_weighted_shortest_path, WeightedGraph};
 use kadabra_graph::NodeId;
+use kadabra_telemetry::Stopwatch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// A shareable path source for multi-threaded sampling.
 pub trait ParallelPathSource: Sync {
@@ -115,7 +115,7 @@ pub fn kadabra_shared_generic<S: ParallelPathSource>(
     let n = source.num_nodes();
     assert!(n >= 2, "KADABRA requires at least two vertices");
 
-    let diam_start = Instant::now();
+    let diam_start = Stopwatch::start();
     let vd = source.vertex_diameter_upper(cfg);
     let diameter_time = diam_start.elapsed();
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
@@ -130,7 +130,7 @@ pub fn kadabra_shared_generic<S: ParallelPathSource>(
     };
 
     // Calibration: parallel sampling, merged counts.
-    let calib_start = Instant::now();
+    let calib_start = Stopwatch::start();
     let tau0 = calibration_sample_count(cfg, omega);
     let share = tau0.div_ceil(threads as u64);
     let mut calib_counts = vec![0u64; n];
@@ -168,7 +168,7 @@ pub fn kadabra_shared_generic<S: ParallelPathSource>(
     let calibration_time = calib_start.elapsed();
 
     // Epoch-based adaptive sampling.
-    let ads_start = Instant::now();
+    let ads_start = Stopwatch::start();
     let fw = EpochFramework::new(n, threads);
     let n0 = cfg.n0(threads);
     let mut acc = vec![0u64; n];
@@ -206,7 +206,7 @@ pub fn kadabra_shared_generic<S: ParallelPathSource>(
                 h.record_sample(&path);
             }
             fw.force_transition(&mut h, epoch);
-            let wait_start = Instant::now();
+            let wait_start = Stopwatch::start();
             while !fw.transition_done(epoch) {
                 let (s, tt) = draw_pair(&mut rng);
                 path.clear();
@@ -217,7 +217,7 @@ pub fn kadabra_shared_generic<S: ParallelPathSource>(
             tau += fw.aggregate_epoch(epoch, &mut acc);
             stats.comm_bytes += (fw.frame_bytes() * threads) as u64;
             stats.epochs += 1;
-            let check_start = Instant::now();
+            let check_start = Stopwatch::start();
             let stop = stopping_condition(
                 &acc,
                 tau,

@@ -1,8 +1,9 @@
 //! Communicators and typed collective operations.
 
 use crate::engine::{Engine, OpKind, Request};
+use kadabra_telemetry::{CounterId, EventWriter, MarkId};
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -76,6 +77,11 @@ pub struct Communicator {
     engine: Arc<Engine>,
     rank: usize,
     seq: Cell<u64>,
+    /// Telemetry writer of the thread driving this rank (None = untraced).
+    /// `RefCell`, not a lock: the communicator is single-threaded by
+    /// construction (`!Sync` via `seq`), mirroring MPI's one-handle-per-rank
+    /// ownership.
+    tracer: RefCell<Option<EventWriter>>,
 }
 
 /// color -> (engine, member world ranks in communicator order).
@@ -89,7 +95,46 @@ struct SplitAcc {
 
 impl Communicator {
     pub(crate) fn new(engine: Arc<Engine>, rank: usize) -> Self {
-        Communicator { engine, rank, seq: Cell::new(0) }
+        Communicator { engine, rank, seq: Cell::new(0), tracer: RefCell::new(None) }
+    }
+
+    /// Attaches the telemetry writer of the thread driving this rank. Every
+    /// collective then records `CollectiveStart`/`CollectiveComplete`
+    /// markers, overlapped polls tick the writer's logical clock, and p2p
+    /// receives record delivery slots. Derived communicators
+    /// ([`Communicator::split`]) inherit the tracer.
+    pub fn set_tracer(&self, writer: EventWriter) {
+        *self.tracer.borrow_mut() = Some(writer);
+    }
+
+    /// This rank joined collective `seq`.
+    fn trace_join(&self, seq: u64) {
+        if let Some(w) = self.tracer.borrow().as_ref() {
+            w.mark(MarkId::CollectiveStart, seq);
+            w.count(CounterId::Collectives, 1);
+        }
+    }
+
+    /// A blocking collective resolved at this rank (non-blocking requests
+    /// record their own completion).
+    fn trace_complete(&self, seq: u64) {
+        if let Some(w) = self.tracer.borrow().as_ref() {
+            w.mark(MarkId::CollectiveComplete, seq);
+        }
+    }
+
+    /// Tracer handle for a [`Request`] (same thread, so cloning is safe).
+    fn tracer_clone(&self) -> Option<EventWriter> {
+        self.tracer.borrow().clone()
+    }
+
+    /// A p2p message from `src` was delivered out of delivery slot `slot`
+    /// (see `p2p.rs`; slot != send index only under fault-plan jitter).
+    pub(crate) fn trace_p2p(&self, src: usize, slot: u64) {
+        if let Some(w) = self.tracer.borrow().as_ref() {
+            w.mark(MarkId::P2pDeliver, ((src as u64) << 32) | (slot & 0xffff_ffff));
+            w.count(CounterId::P2pDelivered, 1);
+        }
     }
 
     /// This process's rank within the communicator.
@@ -152,7 +197,14 @@ impl Communicator {
     pub fn ibarrier(&self) -> Request<()> {
         let seq = self.next_seq();
         self.engine.join(seq, OpKind::Barrier, |_acc| {}, |_acc| {});
-        Request::new(self.engine.clone(), seq, self.injected_delay(seq), Box::new(|_acc| {}))
+        self.trace_join(seq);
+        Request::new(
+            self.engine.clone(),
+            seq,
+            self.injected_delay(seq),
+            Box::new(|_acc| {}),
+            self.tracer_clone(),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -189,6 +241,7 @@ impl Communicator {
             },
             |_acc| {},
         );
+        self.trace_join(seq);
         let is_root = self.rank == root;
         Request::new(
             self.engine.clone(),
@@ -203,6 +256,7 @@ impl Communicator {
                     }
                 },
             ),
+            self.tracer_clone(),
         )
     }
 
@@ -224,14 +278,17 @@ impl Communicator {
             },
             |_acc| {},
         );
+        self.trace_join(seq);
         let is_root = self.rank == root;
-        self.engine.wait_complete(seq, move |acc| {
+        let out = self.engine.wait_complete(seq, move |acc| {
             if is_root {
                 Some(acc_take::<(ReduceOp, u64)>(acc).1)
             } else {
                 None
             }
-        })
+        });
+        self.trace_complete(seq);
+        out
     }
 
     /// Blocking element-wise sum all-reduce of `u64` vectors: every rank
@@ -257,7 +314,10 @@ impl Communicator {
             },
             |_acc| {},
         );
-        self.engine.wait_complete(seq, |acc| acc_slot_ref::<Vec<u64>>(acc).clone())
+        self.trace_join(seq);
+        let out = self.engine.wait_complete(seq, |acc| acc_slot_ref::<Vec<u64>>(acc).clone());
+        self.trace_complete(seq);
+        out
     }
 
     /// Blocking all-reduce (scalar): every rank receives the reduction.
@@ -277,7 +337,10 @@ impl Communicator {
             },
             |_acc| {},
         );
-        self.engine.wait_complete(seq, |acc| acc_slot_ref::<(ReduceOp, u64)>(acc).1)
+        self.trace_join(seq);
+        let out = self.engine.wait_complete(seq, |acc| acc_slot_ref::<(ReduceOp, u64)>(acc).1);
+        self.trace_complete(seq);
+        out
     }
 
     // ------------------------------------------------------------------
@@ -312,11 +375,13 @@ impl Communicator {
             },
             |_acc| {},
         );
+        self.trace_join(seq);
         Request::new(
             self.engine.clone(),
             seq,
             self.injected_delay(seq),
             Box::new(|acc: &mut Option<Box<dyn Any + Send>>| *acc_slot_ref::<u64>(acc)),
+            self.tracer_clone(),
         )
     }
 
@@ -373,8 +438,9 @@ impl Communicator {
                 sp.groups = Some(groups);
             },
         );
+        self.trace_join(seq);
         let my_rank = self.rank;
-        self.engine.wait_complete(seq, move |acc| {
+        let child = self.engine.wait_complete(seq, move |acc| {
             let sp = acc_slot_ref::<SplitAcc>(acc);
             // xtask: allow(unwrap) — finalize ran before any wait_complete
             // returns, so the per-color groups exist.
@@ -386,6 +452,13 @@ impl Communicator {
                 // exactly one color group.
                 .expect("own rank in group");
             Communicator::new(engine.clone(), new_rank)
-        })
+        });
+        self.trace_complete(seq);
+        // Derived communicators report into the same per-thread recorder, so
+        // the phase summary covers local and leader traffic alike.
+        if let Some(w) = self.tracer_clone() {
+            child.set_tracer(w);
+        }
+        child
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::fault::FaultPlan;
 use crate::sync::{AtomicBool, AtomicU64, Ordering};
+use kadabra_telemetry::{CounterId, EventWriter, MarkId};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
@@ -233,14 +234,40 @@ pub struct Request<T> {
     /// Remaining injected polls before this rank may observe completion
     /// (the fault plan's logical clock; 0 when running without a plan).
     delay: u64,
+    /// Telemetry writer of the owning rank thread: each unsuccessful
+    /// `test()` ticks its logical clock (one overlapped unit of work) and
+    /// completion records a `CollectiveComplete` marker.
+    tracer: Option<EventWriter>,
 }
 
 /// Extractor applied to the op's accumulator once a collective completes.
 type Collector<T> = Box<dyn FnOnce(&mut Option<Box<dyn Any + Send>>) -> T + Send>;
 
 impl<T> Request<T> {
-    pub(crate) fn new(engine: Arc<Engine>, seq: u64, delay: u64, collect: Collector<T>) -> Self {
-        Request { engine, seq, collect: Some(collect), result: None, delay }
+    pub(crate) fn new(
+        engine: Arc<Engine>,
+        seq: u64,
+        delay: u64,
+        collect: Collector<T>,
+        tracer: Option<EventWriter>,
+    ) -> Self {
+        Request { engine, seq, collect: Some(collect), result: None, delay, tracer }
+    }
+
+    /// One overlapped (unsuccessful) poll: tick the logical clock and the
+    /// overlap counter.
+    fn trace_poll(&self) {
+        if let Some(w) = &self.tracer {
+            w.tick(1);
+            w.count(CounterId::OverlapPolls, 1);
+        }
+    }
+
+    /// The collective resolved at this rank.
+    fn trace_complete(&self) {
+        if let Some(w) = &self.tracer {
+            w.mark(MarkId::CollectiveComplete, self.seq);
+        }
     }
 
     /// Polls for completion without blocking. Returns `true` once the
@@ -262,6 +289,7 @@ impl<T> Request<T> {
         }
         if self.delay > 0 {
             self.delay -= 1;
+            self.trace_poll();
             return false;
         }
         if self.engine.plan.is_some() {
@@ -272,9 +300,11 @@ impl<T> Request<T> {
             // here or below, both guarded by the early return above.
             let collect = self.collect.take().unwrap();
             self.result = Some(self.engine.wait_complete(self.seq, collect));
+            self.trace_complete();
             return true;
         }
         if !self.engine.is_complete(self.seq) {
+            self.trace_poll();
             return false;
         }
         // Completion is monotone and this rank has not retired yet, so the
@@ -283,6 +313,7 @@ impl<T> Request<T> {
         // the first successful test(), guarded by the early return above.
         let collect = self.collect.take().unwrap();
         self.result = Some(self.engine.try_complete(self.seq, collect));
+        self.trace_complete();
         true
     }
 
@@ -294,7 +325,9 @@ impl<T> Request<T> {
         // xtask: allow(unwrap) — wait() takes self; if test() already
         // collected, the result.take() above returned early.
         let collect = self.collect.take().expect("request already consumed");
-        self.engine.wait_complete(self.seq, collect)
+        let out = self.engine.wait_complete(self.seq, collect);
+        self.trace_complete();
+        out
     }
 
     /// Returns the result if `test()` previously succeeded.

@@ -73,14 +73,17 @@ impl Mailbox {
         self.cv.notify_all();
     }
 
-    fn take(&self, src: usize, dst: usize, tag: u64) -> Vec<u64> {
+    /// Pops the minimum pending `(slot, index)` and returns it with the
+    /// payload, so the receiver's tracer can record the delivery slot.
+    fn take(&self, src: usize, dst: usize, tag: u64) -> ((u64, u64), Vec<u64>) {
         let mut q = self.queues.lock();
         loop {
             if let Some(stream) = q.get_mut(&(src, dst, tag)) {
                 if let Some((&key, _)) = stream.pending.iter().next() {
                     // xtask: allow(unwrap) — `key` was just observed present
                     // and the map is under the same lock.
-                    return stream.pending.remove(&key).expect("pending message present");
+                    let payload = stream.pending.remove(&key).expect("pending message present");
+                    return (key, payload);
                 }
             }
             if self.cv.wait_for(&mut q, self.timeout).timed_out() {
@@ -111,7 +114,9 @@ impl Communicator {
     /// Blocking receive of a message from `src` with `tag` (`MPI_Recv`).
     pub fn recv_u64s(&self, src: usize, tag: u64) -> Vec<u64> {
         assert!(src < self.size(), "source out of range");
-        self.mailbox().take(src, self.rank(), tag)
+        let ((slot, _idx), payload) = self.mailbox().take(src, self.rank(), tag);
+        self.trace_p2p(src, slot);
+        payload
     }
 
     /// Non-blocking probe: whether a message from `src` with `tag` is ready.

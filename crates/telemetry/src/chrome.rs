@@ -1,0 +1,191 @@
+//! Chrome trace-event JSON export (`chrome://tracing` / Perfetto).
+//!
+//! Emits the stable subset of the trace-event format: `"X"` complete events
+//! for spans, `"i"` instant events for marks, `"C"` counter events, and
+//! `"M"` metadata naming each rank (process) and thread. `pid` is the MPI
+//! rank, `tid` the thread within the rank, so Perfetto renders one process
+//! lane per rank with the paper's phases as nested slices.
+
+use crate::event::{Event, EventKind};
+use std::io::{self, Write};
+
+/// Which clock supplies the trace timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeBase {
+    /// Wall nanoseconds since the run origin (normal runs).
+    Wall,
+    /// The deterministic logical clock (chaos / DES runs, where wall
+    /// readings are suppressed); one tick renders as one microsecond.
+    Logical,
+}
+
+/// Timestamp in trace microseconds under `base`, as a JSON number string.
+fn ts(e: &Event, base: TimeBase) -> String {
+    match base {
+        TimeBase::Wall => format!("{:.3}", e.wall_ns as f64 / 1e3),
+        TimeBase::Logical => format!("{}", e.logical),
+    }
+}
+
+/// Span duration in trace microseconds. `Event::value` for spans is already
+/// in the run's time base (wall ns, or ticks when deterministic).
+fn dur(e: &Event, base: TimeBase) -> String {
+    match base {
+        TimeBase::Wall => format!("{:.3}", e.value as f64 / 1e3),
+        TimeBase::Logical => format!("{}", e.value),
+    }
+}
+
+/// Writes `events` as a Chrome trace-event JSON document.
+///
+/// The output is a single `{"traceEvents": [...]}` object; load it directly
+/// in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn write_trace<W: Write>(events: &[Event], base: TimeBase, out: &mut W) -> io::Result<()> {
+    let mut first = true;
+    writeln!(out, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+
+    // Metadata: name each (rank) process and (rank, thread) lane once.
+    let mut ranks: Vec<u32> = events.iter().map(|e| e.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    let mut lanes: Vec<(u32, u32)> = events.iter().map(|e| (e.rank, e.thread)).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    let mut emit = |out: &mut W, line: String| -> io::Result<()> {
+        if first {
+            first = false;
+            writeln!(out, "{line}")
+        } else {
+            writeln!(out, ",{line}")
+        }
+    };
+    for r in &ranks {
+        emit(
+            out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{r},\"tid\":0,\
+                 \"args\":{{\"name\":\"rank {r}\"}}}}"
+            ),
+        )?;
+    }
+    for (r, t) in &lanes {
+        emit(
+            out,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{r},\"tid\":{t},\
+                 \"args\":{{\"name\":\"thread {t}\"}}}}"
+            ),
+        )?;
+    }
+
+    for e in events {
+        let line = match e.kind {
+            EventKind::Span => format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"phase\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"epoch\":{},\"logical\":{}}}}}",
+                e.name(),
+                e.rank,
+                e.thread,
+                ts(e, base),
+                dur(e, base),
+                e.epoch,
+                e.logical,
+            ),
+            EventKind::Mark => format!(
+                "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"mpi\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{},\"s\":\"t\",\"args\":{{\"epoch\":{},\"value\":{}}}}}",
+                e.name(),
+                e.rank,
+                e.thread,
+                ts(e, base),
+                e.epoch,
+                e.value,
+            ),
+            EventKind::Count => format!(
+                "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\
+                 \"args\":{{\"{}\":{}}}}}",
+                e.name(),
+                e.rank,
+                e.thread,
+                ts(e, base),
+                e.name(),
+                e.value,
+            ),
+        };
+        emit(out, line)?;
+    }
+    writeln!(out, "]}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, MarkId, SpanId};
+    use crate::json::Json;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event {
+                rank: 0,
+                thread: 0,
+                kind: EventKind::Span,
+                id: SpanId::SampleBatch as u8,
+                epoch: 2,
+                wall_ns: 1_500,
+                logical: 3,
+                value: 4_000,
+            },
+            Event {
+                rank: 1,
+                thread: 2,
+                kind: EventKind::Mark,
+                id: MarkId::CollectiveStart as u8,
+                epoch: 2,
+                wall_ns: 2_000,
+                logical: 4,
+                value: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_records() {
+        let mut buf = Vec::new();
+        write_trace(&events(), TimeBase::Wall, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let doc = Json::parse(&text).expect("chrome trace must be valid JSON");
+        let list = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents");
+        // 2 process_name + 2 thread_name + 2 events.
+        assert_eq!(list.len(), 6);
+        let span = list
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("span record");
+        assert_eq!(span.get("name").and_then(Json::as_str), Some("sample_batch"));
+        assert_eq!(span.get("pid").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn logical_base_uses_ticks() {
+        let mut buf = Vec::new();
+        write_trace(&events(), TimeBase::Logical, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let doc = Json::parse(&text).expect("valid JSON");
+        let list = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents");
+        let span = list
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("span record");
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut buf = Vec::new();
+        write_trace(&[], TimeBase::Wall, &mut buf).expect("write");
+        let doc = Json::parse(&String::from_utf8(buf).expect("utf8")).expect("valid");
+        assert_eq!(doc.get("traceEvents").and_then(Json::as_array).map(Vec::len), Some(0));
+    }
+}

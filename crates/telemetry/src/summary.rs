@@ -1,0 +1,260 @@
+//! Aggregated phase metrics: the sink behind the paper's phase-breakdown
+//! tables (Fig. 2b / Table II) and the `BENCH_*.json` derived figures.
+
+use crate::event::{CounterId, Event, EventKind, SpanId, N_COUNTERS, N_SPANS};
+use crate::recorder::ThreadRecorder;
+use std::fmt;
+
+/// Phase metrics aggregated over every `(rank, thread)` recorder (or over a
+/// raw event log, for the cluster DES's virtual-time traces).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Per-span total durations, in the run's time base (wall nanoseconds,
+    /// or logical ticks / DES virtual nanoseconds for deterministic runs).
+    pub span_ns: [u64; N_SPANS],
+    /// Per-span logical-tick totals (always maintained).
+    pub span_ticks: [u64; N_SPANS],
+    /// Per-span completion counts.
+    pub span_count: [u64; N_SPANS],
+    /// Counter totals.
+    pub counters: [u64; N_COUNTERS],
+    /// Distinct `(rank, thread)` identities that contributed.
+    pub producers: usize,
+    /// Events dropped by full buffers (0 in stats-only mode).
+    pub dropped_events: u64,
+}
+
+impl Summary {
+    /// Aggregates the running totals of a set of recorders.
+    pub fn from_recorders<'a>(recs: impl IntoIterator<Item = &'a ThreadRecorder>) -> Self {
+        let mut s = Summary::default();
+        for r in recs {
+            s.producers += 1;
+            s.dropped_events += r.dropped_events();
+            for span in SpanId::ALL {
+                s.span_ns[span.index()] += r.span_ns(*span);
+                s.span_ticks[span.index()] += r.span_ticks(*span);
+                s.span_count[span.index()] += r.span_count(*span);
+            }
+            for c in CounterId::ALL {
+                s.counters[c.index()] += r.counter(*c);
+            }
+        }
+        s
+    }
+
+    /// Aggregates a raw event log (e.g. the cluster DES's virtual-time
+    /// trace, where `Event::value` for spans is virtual nanoseconds).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = Summary::default();
+        let mut ids: Vec<(u32, u32)> = Vec::new();
+        for e in events {
+            if !ids.contains(&(e.rank, e.thread)) {
+                ids.push((e.rank, e.thread));
+            }
+            match e.kind {
+                EventKind::Span => {
+                    if let Some(span) = SpanId::from_code(e.id) {
+                        s.span_ns[span.index()] += e.value;
+                        s.span_count[span.index()] += 1;
+                    }
+                }
+                EventKind::Count => {
+                    if let Some(c) = CounterId::from_code(e.id) {
+                        s.counters[c.index()] += e.value;
+                    }
+                }
+                EventKind::Mark => {}
+            }
+        }
+        s.producers = ids.len();
+        s
+    }
+
+    /// Total duration recorded for `span`, in the run's time base.
+    pub fn span_total(&self, span: SpanId) -> u64 {
+        self.span_ns[span.index()]
+    }
+
+    /// Completions recorded for `span`.
+    pub fn span_completions(&self, span: SpanId) -> u64 {
+        self.span_count[span.index()]
+    }
+
+    /// A counter's total.
+    pub fn counter(&self, c: CounterId) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// Time spent in waits that overlap useful sampling work (the paper's
+    /// Section IV-F non-blocking collectives), in the run's time base.
+    pub fn overlapped_wait(&self) -> u64 {
+        self.span_total(SpanId::IreduceWait)
+            + self.span_total(SpanId::IbarrierWait)
+            + self.span_total(SpanId::BcastStop)
+            + self.span_total(SpanId::TransitionWait)
+    }
+
+    /// Time spent in blocking communication/aggregation.
+    pub fn blocking_comm(&self) -> u64 {
+        self.span_total(SpanId::Reduce) + self.span_total(SpanId::FrameAggregate)
+    }
+
+    /// Fraction of reduction/synchronization time that was overlapped with
+    /// sampling, in `[0, 1]`. Falls back to logical ticks when the wall
+    /// totals are zero (deterministic runs).
+    pub fn reduction_overlap(&self) -> f64 {
+        let (ov, bl) = if self.overlapped_wait() + self.blocking_comm() > 0 {
+            (self.overlapped_wait(), self.blocking_comm())
+        } else {
+            let tick = |s: SpanId| self.span_ticks[s.index()];
+            (
+                tick(SpanId::IreduceWait)
+                    + tick(SpanId::IbarrierWait)
+                    + tick(SpanId::BcastStop)
+                    + tick(SpanId::TransitionWait),
+                tick(SpanId::Reduce) + tick(SpanId::FrameAggregate),
+            )
+        };
+        if ov + bl == 0 {
+            return 0.0;
+        }
+        let f = ov as f64 / (ov + bl) as f64;
+        f.clamp(0.0, 1.0)
+    }
+
+    /// Whether any span or counter recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.span_count.iter().all(|&c| c == 0) && self.counters.iter().all(|&c| c == 0)
+    }
+
+    /// The phase-breakdown table as rows of
+    /// `(name, total_duration, completions)`, skipping empty rows.
+    pub fn table(&self) -> Vec<(&'static str, u64, u64)> {
+        SpanId::ALL
+            .iter()
+            .filter(|s| self.span_count[s.index()] > 0)
+            .map(|s| (s.name(), self.span_ns[s.index()], self.span_count[s.index()]))
+            .collect()
+    }
+}
+
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for Summary {
+    /// Renders the phase-breakdown table (the shape of the paper's Fig. 2b)
+    /// plus counters — the `--metrics` output and the `ChaosReport` phase
+    /// section.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<20} {:>14} {:>14} {:>10}", "phase", "total", "ticks", "count")?;
+        for span in SpanId::ALL {
+            let i = span.index();
+            if self.span_count[i] == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<20} {:>14} {:>14} {:>10}",
+                span.name(),
+                fmt_dur(self.span_ns[i]),
+                self.span_ticks[i],
+                self.span_count[i],
+            )?;
+        }
+        for c in CounterId::ALL {
+            if self.counters[c.index()] == 0 {
+                continue;
+            }
+            writeln!(f, "{:<20} {:>40}", c.name(), self.counters[c.index()])?;
+        }
+        write!(f, "reduction_overlap    {:>40.4}", self.reduction_overlap())?;
+        if self.dropped_events > 0 {
+            write!(f, "\ndropped_events       {:>40}", self.dropped_events)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn span_event(rank: u32, id: SpanId, value: u64) -> Event {
+        Event {
+            rank,
+            thread: 0,
+            kind: EventKind::Span,
+            id: id as u8,
+            epoch: 0,
+            wall_ns: 0,
+            logical: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn from_events_aggregates_and_counts_producers() {
+        let events = vec![
+            span_event(0, SpanId::Reduce, 100),
+            span_event(1, SpanId::Reduce, 50),
+            span_event(0, SpanId::IreduceWait, 300),
+            Event {
+                rank: 0,
+                thread: 0,
+                kind: EventKind::Count,
+                id: CounterId::Samples as u8,
+                epoch: 0,
+                wall_ns: 0,
+                logical: 0,
+                value: 42,
+            },
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.producers, 2);
+        assert_eq!(s.span_total(SpanId::Reduce), 150);
+        assert_eq!(s.span_completions(SpanId::Reduce), 2);
+        assert_eq!(s.counter(CounterId::Samples), 42);
+        let f = s.reduction_overlap();
+        assert!((f - 300.0 / 450.0).abs() < 1e-12);
+        assert!(!s.is_empty());
+        assert_eq!(s.table().len(), 2);
+    }
+
+    #[test]
+    fn overlap_falls_back_to_ticks_when_walls_are_zero() {
+        let mut s = Summary::default();
+        s.span_ticks[SpanId::IreduceWait.index()] = 30;
+        s.span_ticks[SpanId::Reduce.index()] = 10;
+        s.span_count[SpanId::Reduce.index()] = 1;
+        assert!((s.reduction_overlap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::default();
+        assert!(s.is_empty());
+        assert_eq!(s.reduction_overlap(), 0.0);
+        assert!(s.table().is_empty());
+        let _ = s.to_string();
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let s = Summary::from_events(&[span_event(0, SpanId::Check, 2_500_000)]);
+        let text = s.to_string();
+        assert!(text.contains("check"));
+        assert!(text.contains("2.500ms"));
+        assert!(text.contains("reduction_overlap"));
+    }
+}

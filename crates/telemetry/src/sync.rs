@@ -1,0 +1,13 @@
+//! Atomic primitives behind a swap point for model checking.
+//!
+//! With the default feature set these are exactly `std::sync::atomic`; with
+//! `--features loom` they resolve to the loom shim's model-checked versions
+//! so `tests/loom.rs` can exhaustively explore the single-writer publication
+//! protocol of [`crate::recorder::ThreadRecorder`] — including every stale
+//! value a `Relaxed` load may legally return.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};

@@ -25,6 +25,10 @@
 //!   measure real time).
 //! * **unwrap** — `.unwrap()` / `.expect(` are banned in library non-test
 //!   code; recover, propagate, or document the invariant with a waiver.
+//! * **wallclock** — raw wall-clock reads (`Instant::now`,
+//!   `SystemTime::now`) are banned under `crates/core/src`: the algorithm
+//!   drivers must take time through `kadabra-telemetry` spans (or its
+//!   `Stopwatch`) so there is exactly one timing code path (DESIGN.md §9).
 //!
 //! Any rule can be waived for one line with a trailing or preceding comment
 //! `// xtask: allow(<rule>) — <why this occurrence is sound>`. Waivers are
@@ -43,6 +47,15 @@
 //! `tsan` and `miri` need nightly components that may be absent in an
 //! offline container, in which case they print exactly what is missing and
 //! exit with code 2 (CI marks those jobs allowed-to-fail).
+//!
+//! # `cargo xtask bench --smoke`
+//!
+//! Runs the `bench_smoke` binary (a tiny instance through the sequential,
+//! flat-MPI and epoch-MPI drivers), which writes `BENCH_smoke.json` to the
+//! repo root, then validates the artifact against the `kadabra-bench/v1`
+//! schema — including the value-range checks (nonzero samples/sec,
+//! reduction-overlap fraction in [0, 1]). A required CI job, so schema
+//! drift fails the PR that causes it, not a plotting script later.
 //!
 //! # `cargo xtask chaos`
 //!
@@ -64,15 +77,17 @@ fn main() -> ExitCode {
         Some("tsan") => cmd_tsan(),
         Some("miri") => cmd_miri(),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
                  commands:\n  \
                  lint   custom concurrency-discipline lint pass (stable)\n  \
-                 loom   model-check the epoch protocol (stable)\n  \
+                 loom   model-check the epoch protocol + telemetry recorder (stable)\n  \
                  tsan   run concurrency tests under ThreadSanitizer (nightly + rust-src)\n  \
                  miri   run epoch tests under Miri (nightly + miri component)\n  \
-                 chaos  run the chaos conformance suite [--plans N] (stable)"
+                 chaos  run the chaos conformance suite [--plans N] (stable)\n  \
+                 bench  --smoke: emit and schema-validate BENCH_smoke.json (stable)"
             );
             ExitCode::from(2)
         }
@@ -109,6 +124,11 @@ const UNWRAP: Rule = Rule {
     name: "unwrap",
     hint: "library code must not panic on Option/Result; recover, propagate, or document the \
            invariant with `// xtask: allow(unwrap) — <why>`",
+};
+const WALLCLOCK: Rule = Rule {
+    name: "wallclock",
+    hint: "crates/core takes time through kadabra-telemetry (spans or Stopwatch) so there is \
+           exactly one timing code path; do not read Instant/SystemTime directly",
 };
 
 struct Violation {
@@ -181,11 +201,18 @@ fn is_deterministic_path(rel: &Path) -> bool {
         && !s.ends_with("calibrate.rs")
 }
 
+/// True for files under `crates/core/src`, where the `wallclock` rule
+/// funnels all timing through the telemetry crate.
+fn is_core_library_path(rel: &Path) -> bool {
+    rel.to_string_lossy().starts_with("crates/core/src")
+}
+
 fn lint_file(rel: &Path, raw: &str, out: &mut Vec<Violation>) {
     let sf = ScannedFile::new(raw);
     let test_path = is_test_or_bin_path(rel);
     let is_sync_module = rel.file_name().is_some_and(|f| f == "sync.rs");
     let deterministic = is_deterministic_path(rel);
+    let core_library = is_core_library_path(rel);
     // xtask lints itself; its own source names the banned tokens only in
     // strings and comments, which the scanner strips.
 
@@ -219,6 +246,9 @@ fn lint_file(rel: &Path, raw: &str, out: &mut Vec<Violation>) {
         }
         if deterministic && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
             report(&NONDETERMINISM, code);
+        }
+        if core_library && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
+            report(&WALLCLOCK, code);
         }
         if !test_path && !in_test_mod && (code.contains(".unwrap()") || code.contains(".expect(")) {
             report(&UNWRAP, code);
@@ -547,12 +577,65 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
 }
 
 fn cmd_loom() -> ExitCode {
-    println!("xtask loom: model-checking the epoch protocol (stable toolchain)");
-    run_stream(
+    println!(
+        "xtask loom: model-checking the epoch protocol and the telemetry recorder \
+         (stable toolchain)"
+    );
+    let root = workspace_root();
+    if !run_ok(
         Command::new("cargo")
             .args(["test", "-p", "kadabra-epoch", "--features", "loom", "--test", "loom"])
-            .current_dir(workspace_root()),
+            .current_dir(&root),
+    ) {
+        return ExitCode::FAILURE;
+    }
+    run_stream(
+        Command::new("cargo")
+            .args(["test", "-p", "kadabra-telemetry", "--features", "loom", "--test", "loom"])
+            .current_dir(root),
     )
+}
+
+/// `cargo xtask bench --smoke`: emits and schema-validates `BENCH_smoke.json`
+/// in the repo root. The run itself lives in the `bench_smoke` binary of
+/// `kadabra-bench`; this wrapper owns the pass/fail decision.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    if args != ["--smoke"] {
+        eprintln!("xtask bench: the only supported mode is `cargo xtask bench --smoke`");
+        return ExitCode::from(2);
+    }
+    let root = workspace_root();
+    println!("xtask bench: running the smoke benchmark (release mode)");
+    if !run_ok(
+        Command::new("cargo")
+            .args(["run", "--release", "-p", "kadabra-bench", "--bin", "bench_smoke"])
+            .env("KADABRA_RESULTS_DIR", &root)
+            .current_dir(&root),
+    ) {
+        return ExitCode::FAILURE;
+    }
+    let path = root.join("BENCH_smoke.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bench: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match kadabra_telemetry::validate_json(&text) {
+        Ok(name) => {
+            println!(
+                "xtask bench: {} is schema-valid ({}, artifact `{name}`)",
+                path.display(),
+                kadabra_telemetry::BENCH_SCHEMA
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask bench: {} violates the schema: {e}", path.display());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_tsan() -> ExitCode {
@@ -774,7 +857,31 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty());
+        lint_file(Path::new("crates/graph/src/diameter.rs"), "let t = Instant::now();\n", &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wallclock_rule_guards_core_and_accepts_waivers() {
+        let mut out = Vec::new();
         lint_file(Path::new("crates/core/src/naive.rs"), "let t = Instant::now();\n", &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "wallclock");
+        out.clear();
+        lint_file(
+            Path::new("crates/core/src/naive.rs"),
+            "// xtask: allow(wallclock) — calibration measures real time by design\n\
+             let t = Instant::now();\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+        // The telemetry crate itself is the one place allowed to read the
+        // clock — it is outside crates/core and thus out of rule scope.
+        lint_file(
+            Path::new("crates/telemetry/src/clock.rs"),
+            "let t = Instant::now();\n",
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 }

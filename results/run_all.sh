@@ -1,8 +1,12 @@
 #!/bin/bash
-# Full experiment campaign; outputs land in results/*.txt
+# Full experiment campaign. Human-readable tables land in results/*.txt;
+# every binary also writes a machine-readable results/BENCH_<name>.json
+# (kadabra-bench/v1 schema, see DESIGN.md §9) — except exp_table1, which
+# benchmarks nothing. Override the JSON directory with KADABRA_RESULTS_DIR.
 cd /root/repo
 export KADABRA_SCALE=0.25
 export KADABRA_SEED=42
+export KADABRA_RESULTS_DIR=results
 B=target/release
 echo "== table1 ==" && $B/exp_table1 > results/table1.txt 2>results/table1.err
 echo "== fig2 ==" && KADABRA_EPS=0.005 $B/exp_fig2 > results/fig2.txt 2>results/fig2.err

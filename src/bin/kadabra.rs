@@ -3,7 +3,14 @@
 //! ```text
 //! kadabra <GRAPH> [--eps 0.01] [--delta 0.1] [--mode seq|shared|mpi|epoch-mpi]
 //!                 [--threads T] [--ranks P] [--top K] [--seed S] [--all]
+//!                 [--trace FILE] [--metrics]
 //! ```
+//!
+//! `--trace FILE` records the run's telemetry events and writes a Chrome
+//! trace-event JSON (open in `chrome://tracing` or Perfetto; one process
+//! row per MPI rank, one thread row per sampling thread). `--metrics`
+//! prints the phase-breakdown table (spans, counters, reduction overlap)
+//! to stderr after the run. Both observe the run without changing it.
 //!
 //! `GRAPH` is an edge-list text file (`u v` per line, `#`/`%` comments —
 //! the SNAP/KONECT interchange format) or a `.bin` CSR cache written by
@@ -15,11 +22,12 @@
 
 use kadabra_mpi::core::{kadabra_directed, kadabra_weighted};
 use kadabra_mpi::core::{
-    kadabra_epoch_mpi, kadabra_mpi_flat, kadabra_sequential, kadabra_shared, ClusterShape,
-    KadabraConfig,
+    kadabra_epoch_mpi_traced, kadabra_mpi_flat_traced, kadabra_sequential_traced,
+    kadabra_shared_traced, ClusterShape, KadabraConfig,
 };
 use kadabra_mpi::graph::components::largest_component;
 use kadabra_mpi::graph::io::{read_arc_list, read_path, read_weighted_edge_list, write_path};
+use kadabra_mpi::telemetry::{chrome, Telemetry};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -36,13 +44,16 @@ struct Args {
     save_bin: Option<PathBuf>,
     directed: bool,
     weighted: bool,
+    trace: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: kadabra <GRAPH> [--eps 0.01] [--delta 0.1] \
          [--mode seq|shared|mpi|epoch-mpi] [--threads T] [--ranks P] \
-         [--top K] [--seed S] [--all] [--save-bin FILE] [--directed] [--weighted]"
+         [--top K] [--seed S] [--all] [--save-bin FILE] [--directed] [--weighted] \
+         [--trace FILE] [--metrics]"
     );
     std::process::exit(2);
 }
@@ -61,6 +72,8 @@ fn parse_args() -> Args {
         save_bin: None,
         directed: false,
         weighted: false,
+        trace: None,
+        metrics: false,
     };
     let mut it = std::env::args().skip(1);
     let mut have_graph = false;
@@ -83,6 +96,8 @@ fn parse_args() -> Args {
             "--directed" => args.directed = true,
             "--weighted" => args.weighted = true,
             "--save-bin" => args.save_bin = Some(PathBuf::from(val("--save-bin"))),
+            "--trace" => args.trace = Some(PathBuf::from(val("--trace"))),
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => usage(),
             _ if !have_graph => {
                 args.graph = PathBuf::from(a);
@@ -139,11 +154,14 @@ fn main() -> ExitCode {
         seed: args.seed,
         ..Default::default()
     };
+    // One telemetry registry observes the whole run: buffered events when a
+    // Chrome trace was requested, counters/spans only otherwise.
+    let tel = if args.trace.is_some() { Telemetry::tracing() } else { Telemetry::stats_only() };
     let result = match args.mode.as_str() {
-        "seq" => kadabra_sequential(&g, &cfg),
-        "shared" => kadabra_shared(&g, &cfg, args.threads),
-        "mpi" => kadabra_mpi_flat(&g, &cfg, args.ranks),
-        "epoch-mpi" => kadabra_epoch_mpi(
+        "seq" => kadabra_sequential_traced(&g, &cfg, &tel),
+        "shared" => kadabra_shared_traced(&g, &cfg, args.threads, &tel),
+        "mpi" => kadabra_mpi_flat_traced(&g, &cfg, args.ranks, &tel),
+        "epoch-mpi" => kadabra_epoch_mpi_traced(
             &g,
             &cfg,
             ClusterShape {
@@ -151,12 +169,23 @@ fn main() -> ExitCode {
                 ranks_per_node: 2.min(args.ranks),
                 threads_per_rank: args.threads,
             },
+            &tel,
         ),
         other => {
             eprintln!("unknown mode: {other}");
             usage();
         }
     };
+
+    if let Some(path) = &args.trace {
+        if let Err(e) = write_chrome_trace(&tel, path) {
+            eprintln!("error writing trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.metrics {
+        eprint!("{}", tel.summary());
+    }
 
     eprintln!(
         "done: {} samples (omega {}), {} epochs, diameter {:.2?} / calibration {:.2?} / sampling {:.2?}",
@@ -183,6 +212,26 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Writes the buffered telemetry events as Chrome trace-event JSON.
+fn write_chrome_trace(tel: &Telemetry, path: &PathBuf) -> std::io::Result<()> {
+    use std::io::Write;
+    let events = tel.events();
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    chrome::write_trace(&events, tel.time_base(), &mut out)?;
+    out.flush()?;
+    eprintln!(
+        "wrote {} trace events to {}{}",
+        events.len(),
+        path.display(),
+        if tel.dropped_events() > 0 {
+            format!(" ({} dropped: ring buffer full)", tel.dropped_events())
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
 /// Directed/weighted runs (sequential; paper footnote 1). These operate on
 /// the raw input (no LCC reduction: component structure differs for
 /// digraphs, and disconnected pairs are handled by the estimator).
@@ -190,6 +239,9 @@ fn run_variant(args: &Args) -> ExitCode {
     if args.directed && args.weighted {
         eprintln!("--directed and --weighted are mutually exclusive");
         return ExitCode::FAILURE;
+    }
+    if args.trace.is_some() || args.metrics {
+        eprintln!("note: --trace/--metrics cover the undirected modes only; ignoring");
     }
     let cfg = KadabraConfig {
         epsilon: args.eps,

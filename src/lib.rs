@@ -12,6 +12,8 @@
 //! * [`graph`] — CSR graphs, traversal, diameter, generators ([`kadabra_graph`]).
 //! * [`epoch`] — the wait-free epoch-based aggregation framework ([`kadabra_epoch`]).
 //! * [`mpisim`] — the simulated MPI runtime ([`kadabra_mpisim`]).
+//! * [`telemetry`] — wait-free tracing, phase metrics and benchmark
+//!   artifacts ([`kadabra_telemetry`]).
 //! * [`cluster`] — the calibrated discrete-event cluster simulator
 //!   ([`kadabra_cluster`]).
 //! * [`core`] — the KADABRA algorithms themselves ([`kadabra_core`]).
@@ -61,6 +63,7 @@ pub use kadabra_core as core;
 pub use kadabra_epoch as epoch;
 pub use kadabra_graph as graph;
 pub use kadabra_mpisim as mpisim;
+pub use kadabra_telemetry as telemetry;
 
 /// Workspace version, for experiment logs.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

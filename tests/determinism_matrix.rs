@@ -35,6 +35,7 @@ fn epoch_mpi_is_bit_identical_across_runs_over_the_seed_matrix() {
                 plan: FaultPlan::from_seed(seed),
                 probe: false,
                 conservation: false,
+                telemetry: false,
             };
             let a = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
             let b = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
@@ -53,6 +54,35 @@ fn epoch_mpi_is_bit_identical_across_runs_over_the_seed_matrix() {
 }
 
 #[test]
+fn telemetry_tracing_does_not_perturb_chaos_runs() {
+    // Recording a full event trace must be a pure observer: scores, sample
+    // totals and epoch counts stay bit-identical to a trace-free run of the
+    // same plan, for both MPI drivers.
+    let (g, _) = largest_component(&gnm(GnmConfig { n: 50, m: 130, seed: 3 }));
+    let cfg = KadabraConfig { epsilon: 0.08, delta: 0.1, seed: 9, ..Default::default() };
+
+    let off = ChaosOptions::all(FaultPlan::from_seed(9));
+    let on = off.clone().with_telemetry();
+
+    let a = kadabra_mpi_flat_observed(&g, &cfg, 3, &off);
+    let b = kadabra_mpi_flat_observed(&g, &cfg, 3, &on);
+    assert_eq!(a.result.scores, b.result.scores, "flat: telemetry perturbed scores");
+    assert_eq!(a.result.samples, b.result.samples);
+    assert_eq!(a.result.stats.epochs, b.result.stats.epochs);
+    // The traced run's phase breakdown carries real content…
+    assert!(b.phases.counter(kadabra_mpi::telemetry::CounterId::Samples) > 0);
+    // …and is itself reproducible: same plan, same breakdown.
+    let c = kadabra_mpi_flat_observed(&g, &cfg, 3, &on);
+    assert_eq!(b.phases, c.phases, "traced phase breakdown diverged between reruns");
+
+    let shape = ClusterShape { ranks: 2, ranks_per_node: 2, threads_per_rank: 2 };
+    let a = kadabra_epoch_mpi_observed(&g, &cfg, shape, &off);
+    let b = kadabra_epoch_mpi_observed(&g, &cfg, shape, &on);
+    assert_eq!(a.result.scores, b.result.scores, "epoch: telemetry perturbed scores");
+    assert_eq!(a.result.samples, b.result.samples);
+}
+
+#[test]
 fn flat_mpi_is_bit_identical_across_runs_over_the_seed_matrix() {
     let (g, _) = largest_component(&gnm(GnmConfig { n: 50, m: 130, seed: 3 }));
     for ranks in [1usize, 2, 4] {
@@ -62,6 +92,7 @@ fn flat_mpi_is_bit_identical_across_runs_over_the_seed_matrix() {
                 plan: FaultPlan::from_seed(seed),
                 probe: false,
                 conservation: false,
+                telemetry: false,
             };
             let a = kadabra_mpi_flat_observed(&g, &cfg, ranks, &opts);
             let b = kadabra_mpi_flat_observed(&g, &cfg, ranks, &opts);
