@@ -18,7 +18,7 @@ fn bench_reduce_vectors(c: &mut Criterion) {
                     b.iter(|| {
                         Universe::run(ranks, |comm| {
                             let data = vec![comm.rank() as u64; len];
-                            comm.reduce_sum_u64(0, &data).map(|v| v[0])
+                            comm.reduce_sum_u64(0, &data).expect("healthy world").map(|v| v[0])
                         })
                     });
                 },
@@ -36,8 +36,8 @@ fn bench_barrier_round(c: &mut Criterion) {
             b.iter(|| {
                 Universe::run(ranks, |comm| {
                     for _ in 0..8 {
-                        let mut req = comm.ibarrier();
-                        while !req.test() {
+                        let mut req = comm.ibarrier().expect("healthy world");
+                        while !req.test().expect("healthy world") {
                             std::hint::spin_loop();
                         }
                     }

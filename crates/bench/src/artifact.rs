@@ -104,6 +104,8 @@ mod tests {
             check_ns: 4_000,
             comm_bytes: 8192,
             total_threads: 8,
+            ranks_lost: 0,
+            recovery_ns: 0,
         }
     }
 

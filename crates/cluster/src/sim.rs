@@ -28,7 +28,7 @@ use kadabra_core::phases::scores_from_counts;
 use kadabra_core::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use kadabra_core::{ClusterShape, KadabraConfig, Prepared};
 use kadabra_graph::Graph;
-use kadabra_mpisim::FaultPlan;
+use kadabra_mpisim::{CrashPoint, FaultPlan};
 use kadabra_telemetry::{CounterId, EventLog, MarkId, SpanId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -87,6 +87,11 @@ pub struct SimReport {
     pub comm_bytes: u64,
     /// Total sampling threads (P·T).
     pub total_threads: usize,
+    /// Ranks lost to plan-scheduled crashes during the run.
+    pub ranks_lost: u64,
+    /// Virtual time spent in shrink-and-continue recovery (failure
+    /// confirmation, communicator shrink, ledger all-reduce).
+    pub recovery_ns: u64,
 }
 
 impl SimReport {
@@ -254,7 +259,14 @@ pub fn simulate(
 /// * a slow thread ([`FaultPlan::slow_threads`]) additionally multiplies that
 ///   one thread's sample durations by [`FaultPlan::slow_thread_factor`],
 /// * the calibration makespan follows the slowest thread (that phase joins
-///   on a blocking all-reduce).
+///   on a blocking all-reduce),
+/// * a scheduled rank crash ([`FaultPlan::crashes`]) is mapped onto a global
+///   round (see [`crash_schedule`]) and sacrifices that round: its samples
+///   are discarded everywhere (matching the real drivers' ledger recovery,
+///   which only counts globally-reduced rounds), survivors pay a recovery
+///   penalty — failure confirmation + communicator shrink + ledger
+///   all-reduce — a dead leader's node promotes its next rank, and n0 is
+///   re-derived for the shrunk world.
 ///
 /// `plan: None` (or an ideal plan) reproduces [`simulate`] bit-for-bit.
 /// `SimConfig` stays `Copy`; the plan travels as a separate argument.
@@ -268,6 +280,49 @@ pub fn simulate_perturbed(
     plan: Option<&FaultPlan>,
 ) -> SimReport {
     simulate_traced(g, cfg, prepared, sim, spec, cost, plan, None)
+}
+
+/// Maps the plan's first scheduled crash onto `(victim process, global
+/// round)` — the granularity the DES can honor. The simulated MPI runtime
+/// fires crashes on a per-join logical clock; the DES advances in whole
+/// rounds, so the mapping is deliberately coarse:
+///
+/// * [`CrashPoint::AtCollective`]`(s)`: Algorithm 2 costs a rank four setup
+///   joins (two hierarchy splits, diameter broadcast, calibration
+///   all-reduce) and two joins per adaptive round (local reduce, termination
+///   broadcast), so the crash lands in round `(s − 4) / 2`.
+/// * [`CrashPoint::AfterPolls`]`(k)`: a rank accrues about
+///   `avg_delay × 2 collectives = lo + hi` injected polls per round (scaled
+///   by its straggler factor); with no injected delay the fuse never ticks,
+///   exactly as in the runtime.
+///
+/// The DES pins its root-side bookkeeping (span trace, wait columns) to
+/// process 0, so a schedule naming rank 0 is remapped to rank 1 —
+/// crash *timing* is rank-symmetric here, and root fail-over semantics are
+/// covered by the real drivers' tests. A single remaining rank cannot
+/// shrink, so `p_count == 1` never crashes.
+fn crash_schedule(plan: Option<&FaultPlan>, p_count: usize) -> Option<(usize, usize)> {
+    let plan = plan?;
+    let &(rank, point) = plan.crashes.first()?;
+    if p_count <= 1 {
+        return None;
+    }
+    let victim = match rank % p_count {
+        0 => 1,
+        r => r,
+    };
+    let round = match point {
+        CrashPoint::AtCollective(s) => s.saturating_sub(4) / 2,
+        CrashPoint::AfterPolls(k) => {
+            let (lo, hi) = plan.collective_delay_polls;
+            let per_round = (lo + hi).saturating_mul(plan.rank_factor(victim));
+            if per_round == 0 {
+                return None;
+            }
+            k / per_round
+        }
+    };
+    Some((victim, usize::try_from(round).unwrap_or(usize::MAX)))
 }
 
 /// [`simulate_perturbed`] that additionally records the root's virtual-time
@@ -300,7 +355,7 @@ pub fn simulate_traced(
     let total_threads = shape.total_threads();
     let nodes = shape.nodes();
     let leaders: usize = nodes; // first rank of each node
-    let n0 = cfg.n0(total_threads);
+    let mut n0 = cfg.n0(total_threads);
     let omega = prepared.omega;
     let frame_bytes = (n as u64 + 1) * 8;
     let numa_mul = if sim.numa_penalty { spec.numa_sampling_penalty } else { 1.0 };
@@ -369,10 +424,16 @@ pub fn simulate_traced(
             }
         })
         .collect();
-    let procs_in_node = |node: usize| -> usize {
+    // Crash bookkeeping: at most one plan-scheduled crash (mirroring the
+    // crash-corpus generator), resolved to a (victim, round) coordinate.
+    let crash = crash_schedule(plan, p_count);
+    let mut crashed = vec![false; p_count];
+    let mut active_procs = p_count;
+    let mut active_leaders = leaders;
+    let procs_in_node = |crashed: &[bool], node: usize| -> usize {
         let lo = node * shape.ranks_per_node;
         let hi = ((node + 1) * shape.ranks_per_node).min(p_count);
-        hi - lo
+        (lo..hi).filter(|&p| !crashed[p]).count()
     };
 
     let mut rounds: Vec<Round> = vec![Round::new(n, nodes)];
@@ -407,6 +468,8 @@ pub fn simulate_traced(
         check_ns: 0,
         comm_bytes: 0,
         total_threads,
+        ranks_lost: 0,
+        recovery_ns: 0,
     };
     let mut makespan = 0u64;
     // Root transition bookkeeping (started-at time for the wait columns).
@@ -421,6 +484,13 @@ pub fn simulate_traced(
             Ev::Sample { tid } => {
                 let proc_id = threads[tid].proc;
                 if threads[tid].stopped {
+                    continue;
+                }
+                if crashed[proc_id] {
+                    // The process died at a round boundary; its threads fall
+                    // silent at their next sample boundary.
+                    threads[tid].stopped = true;
+                    makespan = makespan.max(now);
                     continue;
                 }
                 // The sample that just finished: take it for real and record
@@ -526,9 +596,9 @@ pub fn simulate_traced(
                             &mut queue,
                             &mut seq,
                             p_count,
-                            leaders,
+                            active_leaders,
                             frame_bytes,
-                            &procs_in_node,
+                            &|node| procs_in_node(&crashed, node),
                             &mut root_barrier_started,
                             &mut root_bcast_started,
                             &mut resample,
@@ -561,7 +631,7 @@ pub fn simulate_traced(
                                     &mut queue,
                                     &mut seq,
                                     p_count,
-                                    leaders,
+                                    active_leaders,
                                     frame_bytes,
                                     /*blocking=*/ true,
                                 );
@@ -646,9 +716,9 @@ pub fn simulate_traced(
                         &mut queue,
                         &mut seq,
                         p_count,
-                        leaders,
+                        active_leaders,
                         frame_bytes,
-                        &procs_in_node,
+                        &|node| procs_in_node(&crashed, node),
                         &mut root_barrier_started,
                         &mut root_bcast_started,
                         &mut resample,
@@ -673,13 +743,95 @@ pub fn simulate_traced(
                 if sim.strategy != ReduceStrategy::Ireduce {
                     report.reduce_ns += now - round.root_reduce_arrival;
                 }
+                // A plan-scheduled crash lands in this round: the collective
+                // failed. Sacrifice the round — its samples are discarded
+                // everywhere, matching the real drivers, whose recovery
+                // ledger only carries globally-reduced rounds — then shrink
+                // and continue with the survivors.
+                if let Some((victim, crash_round)) = crash {
+                    if round_idx == crash_round && !crashed[victim] {
+                        let members = active_procs as u64;
+                        let reduce_arrival = round.root_reduce_arrival;
+                        crashed[victim] = true;
+                        active_procs -= 1;
+                        report.ranks_lost += 1;
+                        // A dead leader's node promotes its next surviving
+                        // rank (the real drivers re-split by original world
+                        // rank); an emptied node leaves the leader ring.
+                        if procs[victim].is_leader {
+                            procs[victim].is_leader = false;
+                            let node = procs[victim].node;
+                            let lo = node * shape.ranks_per_node;
+                            let hi = ((node + 1) * shape.ranks_per_node).min(p_count);
+                            match (lo..hi).find(|&p| !crashed[p]) {
+                                Some(next) => procs[next].is_leader = true,
+                                None => active_leaders -= 1,
+                            }
+                        }
+                        // Survivors re-derive n0 for the shrunk world.
+                        n0 = cfg.n0(active_procs * t_count);
+                        // Recovery penalty: shrink consensus (a barrier over
+                        // the survivors) plus the ledger rebuild (an
+                        // all-reduce ≈ reduce + broadcast of one frame).
+                        let recovery_ns = spec.network.barrier_ns(active_procs)
+                            + 2 * spec.network.tree_collective_ns(active_procs, frame_bytes);
+                        report.recovery_ns += recovery_ns;
+                        // The torn reduce still moved frames; the rebuild
+                        // moves one ledger frame per survivor.
+                        report.comm_bytes += (members + active_procs as u64) * frame_bytes;
+                        if let Some(l) = log.as_deref_mut() {
+                            let e = round_idx as u32;
+                            if sim.strategy != ReduceStrategy::Ireduce {
+                                l.span(
+                                    0,
+                                    0,
+                                    SpanId::Reduce,
+                                    e,
+                                    vt_base + reduce_arrival,
+                                    now - reduce_arrival,
+                                );
+                            }
+                            l.span(0, 0, SpanId::Recovery, e, vt_base + now, recovery_ns);
+                            l.count(0, 0, CounterId::RanksLost, e, vt_base + now, 1);
+                            l.count(
+                                0,
+                                0,
+                                CounterId::BytesReduced,
+                                e,
+                                vt_base + now,
+                                (members + active_procs as u64) * frame_bytes,
+                            );
+                        }
+                        // Never terminate on a sacrificed round: survivors
+                        // resume sampling once recovery completes.
+                        rounds[round_idx].bcast = Some((now + recovery_ns, false));
+                        for (p, proc) in procs.iter_mut().enumerate() {
+                            if crashed[p] {
+                                continue;
+                            }
+                            if proc.ctrl == Ctrl::BlockedReduce && proc.round == round_idx {
+                                proc.ctrl = Ctrl::AwaitBcast;
+                                let resume = now + recovery_ns;
+                                if p == 0 {
+                                    root_bcast_started = resume;
+                                }
+                                let tid = p * t_count;
+                                let d_ns =
+                                    (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
+                                push(&mut queue, &mut seq, resume + d_ns, Ev::Sample { tid });
+                            }
+                        }
+                        continue;
+                    }
+                }
+                let round = &mut rounds[round_idx];
                 let pending = std::mem::take(&mut round.pending);
                 for (a, p) in s_total.iter_mut().zip(&pending) {
                     *a += p;
                 }
                 tau_total += round.pending_tau;
                 report.epochs += 1;
-                report.comm_bytes += p_count as u64 * frame_bytes;
+                report.comm_bytes += active_procs as u64 * frame_bytes;
 
                 let check_cost = cost.check_ns(n);
                 report.check_ns += check_cost;
@@ -717,7 +869,7 @@ pub fn simulate_traced(
                         CounterId::BytesReduced,
                         e,
                         vt_base + now,
-                        p_count as u64 * frame_bytes,
+                        active_procs as u64 * frame_bytes,
                     );
                 }
                 let d = stopping_condition(
@@ -1121,6 +1273,81 @@ mod tests {
             let overlap = s.reduction_overlap();
             assert!((0.0..=1.0).contains(&overlap), "{strategy:?}: overlap {overlap}");
         }
+    }
+
+    #[test]
+    fn crashed_rank_shrinks_the_cluster_and_still_terminates() {
+        let (g, cfg, prepared, cost) = setup();
+        let spec = ClusterSpec::default();
+        let sim = SimConfig {
+            shape: shape(4, 2, 2),
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+        };
+        // Collective join 6 maps to round (6 − 4) / 2 = 1.
+        let plan = FaultPlan::ideal(0).with_crash_at_collective(2, 6);
+        let r = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+        assert_eq!(r.ranks_lost, 1, "the scheduled crash must fire");
+        assert!(r.recovery_ns > 0, "recovery must cost virtual time");
+        assert!(r.samples > 0);
+        assert!(r.epochs >= 1, "the run must fold at least one healthy round");
+        let exact = kadabra_baselines_brandes(&g);
+        let worst = r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst} after recovery");
+        // Bit-reproducible from (plan, seed), like every other DES run.
+        let again = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+        assert_eq!(r.scores, again.scores);
+        assert_eq!(r.ads_ns, again.ads_ns);
+        assert_eq!(r.recovery_ns, again.recovery_ns);
+        // A healthy plan loses nothing and books no recovery.
+        let healthy = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
+        assert_eq!(healthy.ranks_lost, 0);
+        assert_eq!(healthy.recovery_ns, 0);
+    }
+
+    #[test]
+    fn crash_recovery_lands_in_the_event_trace() {
+        let (g, cfg, prepared, cost) = setup();
+        let spec = ClusterSpec::default();
+        let sim = SimConfig {
+            shape: shape(4, 2, 2),
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+        };
+        let plan = FaultPlan::ideal(0).with_crash_at_collective(3, 4);
+        let base = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+        let mut log = EventLog::new();
+        let traced =
+            simulate_traced(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan), Some(&mut log));
+        // Recording stays a pure observer through a crash.
+        assert_eq!(base.scores, traced.scores);
+        assert_eq!(base.ads_ns, traced.ads_ns);
+        // The recovery columns follow the one-schema rule like every other.
+        let s = log.summary();
+        assert_eq!(s.span_total(SpanId::Recovery), traced.recovery_ns);
+        assert_eq!(s.counter(CounterId::RanksLost), traced.ranks_lost);
+        assert_eq!(s.counter(CounterId::BytesReduced), traced.comm_bytes);
+        assert_eq!(s.counter(CounterId::Samples), traced.samples, "discarded rounds stay out");
+    }
+
+    #[test]
+    fn crash_schedule_mapping_is_coarse_but_sound() {
+        // AtCollective: past the four setup joins, two joins per round.
+        let p = FaultPlan::ideal(1).with_crash_at_collective(2, 9);
+        assert_eq!(crash_schedule(Some(&p), 4), Some((2, 2)));
+        // Rank 0 is remapped (the DES pins root bookkeeping to proc 0).
+        let p = FaultPlan::ideal(1).with_crash_at_collective(0, 4);
+        assert_eq!(crash_schedule(Some(&p), 4), Some((1, 0)));
+        // AfterPolls without injected delay never fires, as in the runtime.
+        let p = FaultPlan::ideal(1).with_crash_after_polls(2, 12);
+        assert_eq!(crash_schedule(Some(&p), 4), None);
+        let p = FaultPlan::ideal(1).with_collective_delay(1, 5).with_crash_after_polls(2, 12);
+        assert_eq!(crash_schedule(Some(&p), 4), Some((2, 2)));
+        // A sole rank cannot shrink; crash-free plans schedule nothing.
+        let p = FaultPlan::ideal(1).with_crash_at_collective(0, 9);
+        assert_eq!(crash_schedule(Some(&p), 1), None);
+        assert_eq!(crash_schedule(Some(&FaultPlan::ideal(1)), 4), None);
+        assert_eq!(crash_schedule(None, 4), None);
     }
 
     #[test]

@@ -63,6 +63,8 @@ pub fn simulate_naive(
         check_ns: 0,
         comm_bytes: 0,
         total_threads: threads,
+        ranks_lost: 0,
+        recovery_ns: 0,
     };
 
     loop {

@@ -2,9 +2,12 @@
 //! cost models and degenerate cluster shapes must neither wedge the event
 //! loop nor corrupt the statistical results.
 
-use kadabra_cluster::{simulate, ClusterSpec, CostModel, NetworkModel, ReduceStrategy, SimConfig};
+use kadabra_cluster::{
+    simulate, simulate_perturbed, ClusterSpec, CostModel, NetworkModel, ReduceStrategy, SimConfig,
+};
 use kadabra_core::{prepare, ClusterShape, KadabraConfig};
 use kadabra_graph::generators::{grid, GridConfig};
+use kadabra_mpisim::FaultPlan;
 
 fn setup() -> (kadabra_graph::Graph, KadabraConfig, kadabra_core::Prepared) {
     let g = grid(GridConfig { rows: 7, cols: 7, diagonal_prob: 0.0, seed: 0 });
@@ -107,6 +110,73 @@ fn zero_cost_check_and_aggregation() {
     let r = simulate(&g, &cfg, &prepared, &shape(2, 2, 2), &ClusterSpec::default(), &cost);
     assert!(r.samples > 0);
     assert_eq!(r.diameter_ns, 0);
+}
+
+#[test]
+fn rank_crash_under_every_strategy_and_victim_still_terminates() {
+    // Killing any rank (including the root, which the DES remaps to a
+    // timing-equivalent peer) in any reduce strategy must shrink the
+    // cluster, sacrifice exactly one round, and still terminate with sane
+    // scores.
+    let (g, cfg, prepared) = setup();
+    let cost = CostModel::synthetic(20_000);
+    let spec = ClusterSpec::default();
+    for strategy in [
+        ReduceStrategy::IbarrierThenBlockingReduce,
+        ReduceStrategy::Ireduce,
+        ReduceStrategy::FullyBlocking,
+    ] {
+        for victim in 0..4 {
+            let sim = SimConfig { strategy, ..shape(4, 2, 2) };
+            let plan = FaultPlan::ideal(7).with_crash_at_collective(victim, 4);
+            let r = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+            assert_eq!(r.ranks_lost, 1, "{strategy:?} victim {victim}");
+            assert!(r.recovery_ns > 0, "{strategy:?} victim {victim}");
+            assert!(r.samples > 0, "{strategy:?} victim {victim}");
+            for s in &r.scores {
+                assert!((0.0..=1.0).contains(s), "{strategy:?} victim {victim}");
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_emptying_a_node_drops_its_leader_from_the_ring() {
+    // Shape 3×(2 per node): node 1 hosts only rank 2. Killing it must
+    // remove a whole node (and its leader) without wedging the barrier.
+    let (g, cfg, prepared) = setup();
+    let cost = CostModel::synthetic(20_000);
+    // Join 4 maps to round 0 — the only round this loose-ε run is
+    // guaranteed to reach.
+    let plan = FaultPlan::ideal(3).with_crash_at_collective(2, 4);
+    let r = simulate_perturbed(
+        &g,
+        &cfg,
+        &prepared,
+        &shape(3, 2, 2),
+        &ClusterSpec::default(),
+        &cost,
+        Some(&plan),
+    );
+    assert_eq!(r.ranks_lost, 1);
+    assert!(r.samples > 0);
+    assert!(r.epochs >= 1);
+}
+
+#[test]
+fn crash_scheduled_past_termination_never_fires() {
+    let (g, cfg, prepared) = setup();
+    let cost = CostModel::synthetic(20_000);
+    let plan = FaultPlan::ideal(5).with_crash_at_collective(1, 100_000);
+    let sim = shape(4, 2, 2);
+    let spec = ClusterSpec::default();
+    let r = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+    assert_eq!(r.ranks_lost, 0);
+    assert_eq!(r.recovery_ns, 0);
+    // And it reproduces the unperturbed run exactly.
+    let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
+    assert_eq!(r.scores, base.scores);
+    assert_eq!(r.ads_ns, base.ads_ns);
 }
 
 #[test]

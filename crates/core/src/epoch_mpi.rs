@@ -10,18 +10,31 @@
 //! rank of each node) performs the global reduction. Epoch ends are never
 //! synchronized across ranks, yet stay within ±1 epoch because the global
 //! collective acts as a non-blocking barrier.
+//!
+//! Like the flat driver, the adaptive loop is **crash-fault tolerant**
+//! (DESIGN.md §10): when a collective fails with
+//! [`kadabra_mpisim::CommError::RankFailed`], thread 0 of every survivor
+//! shrinks the world, rebuilds the global state from the survivors'
+//! [`SampleLedger`]s, **re-splits the Section IV-E hierarchy** over the
+//! shrunk world (node identity keyed by original world rank, so surviving
+//! ranks stay on their NUMA node), re-derives `n0` for the smaller world,
+//! and continues. The smallest surviving world rank becomes world rank 0 of
+//! the shrunk communicator — and, because split keys are world ranks, it is
+//! always its node's leader and the leaders' root, so the stopping-condition
+//! bookkeeping fails over to it consistently.
 
 use crate::config::{ClusterShape, KadabraConfig};
 use crate::phases::{
     calibration_samples_for_thread, diameter_phase, fold_and_check, scores_from_counts,
 };
+use crate::recovery::{shrink_and_rebuild, SampleLedger};
 use crate::result::BetweennessResult;
 use crate::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use crate::shared::{phase_timings_from, sampling_stats_from};
 use crate::{bounds, calibration::Calibration};
 use kadabra_epoch::EpochFramework;
 use kadabra_graph::Graph;
-use kadabra_mpisim::{Communicator, Universe};
+use kadabra_mpisim::{CommError, Communicator, Universe};
 use kadabra_telemetry::{CounterId, SpanId, Telemetry};
 
 /// Per-rank outcome, used by the driver to assemble global statistics.
@@ -33,8 +46,23 @@ struct RankOutcome {
     world_bytes: u64,
 }
 
-/// Runs Algorithm 2 on a simulated cluster of the given shape. Returns rank
-/// 0's result with cluster-wide communication statistics attached.
+impl RankOutcome {
+    /// The outcome of a rank whose scheduled crash fired: no result, no
+    /// byte accounting (its communicators' traffic is reported by the
+    /// survivors that shared the engines).
+    fn dead() -> Self {
+        RankOutcome {
+            result: None,
+            is_leader: false,
+            local_bytes: 0,
+            leader_bytes: 0,
+            world_bytes: 0,
+        }
+    }
+}
+
+/// Runs Algorithm 2 on a simulated cluster of the given shape. Returns the
+/// root's result with cluster-wide communication statistics attached.
 pub fn kadabra_epoch_mpi(g: &Graph, cfg: &KadabraConfig, shape: ClusterShape) -> BetweennessResult {
     kadabra_epoch_mpi_traced(g, cfg, shape, &Telemetry::stats_only())
 }
@@ -55,20 +83,20 @@ pub fn kadabra_epoch_mpi_traced(
     let outcomes = Universe::run(shape.ranks, |comm| rank_main(g, cfg, shape, comm, tel));
 
     // Total communication: node-local engines are shared per node (count
-    // each once, via its leader), the leader and world engines are global
-    // (count once, via rank 0).
+    // each once, via its final leader), the leader and world engines are
+    // global — every member of a shared engine reports the same cumulative
+    // figure, so the maximum across outcomes is that engine's total even
+    // when some ranks died.
     let local_total: u64 = outcomes.iter().filter(|o| o.is_leader).map(|o| o.local_bytes).sum();
-    let leader_total = outcomes[0].leader_bytes;
-    let world_total = outcomes[0].world_bytes;
+    let leader_total = outcomes.iter().map(|o| o.leader_bytes).fold(0, u64::max);
+    let world_total = outcomes.iter().map(|o| o.world_bytes).fold(0, u64::max);
 
     let mut result = outcomes
         .into_iter()
-        .next()
-        // xtask: allow(unwrap) — ranks >= 1 is asserted on entry.
-        .unwrap()
-        .result
-        // xtask: allow(unwrap) — rank_main returns Some exactly at rank 0.
-        .expect("rank 0 always produces the result");
+        .find_map(|o| o.result)
+        // xtask: allow(unwrap) — exactly one rank (the final root) returns
+        // Some; without crash faults that is rank 0.
+        .expect("the surviving root produces the result");
     result.stats.comm_bytes = local_total + leader_total + world_total;
     result
 }
@@ -78,16 +106,20 @@ pub fn kadabra_epoch_mpi_traced(
 /// leader communicator (the first rank of each node; other ranks receive a
 /// same-shaped communicator they never use, because `MPI_Comm_split` is
 /// collective). Returns `(local, is_leader, leaders)`.
+///
+/// Node identity and split keys use the **world rank** (the rank in the
+/// original `MPI_COMM_WORLD`), so the hierarchy stays NUMA-consistent when
+/// rebuilt over a shrunk communicator after crash recovery.
 pub(crate) fn hierarchical_comms(
     world: &Communicator,
     shape: ClusterShape,
-) -> (Communicator, bool, Communicator) {
-    let rank = world.rank();
+) -> Result<(Communicator, bool, Communicator), CommError> {
+    let rank = world.world_rank();
     let node_id = (rank / shape.ranks_per_node) as u32;
-    let local = world.split(node_id, rank as i64);
+    let local = world.split(node_id, rank as i64)?;
     let is_leader = local.rank() == 0;
-    let leaders = world.split(u32::from(!is_leader), rank as i64);
-    (local, is_leader, leaders)
+    let leaders = world.split(u32::from(!is_leader), rank as i64)?;
+    Ok((local, is_leader, leaders))
 }
 
 /// Per-rank body of Algorithm 2.
@@ -99,22 +131,37 @@ fn rank_main(
     tel: &Telemetry,
 ) -> RankOutcome {
     let n = g.num_nodes();
-    let rank = world.rank();
+    let my_world = world.world_rank();
     let threads = shape.threads_per_rank;
-    let w = tel.writer(rank as u32, 0);
+    let w = tel.writer(my_world as u32, 0);
     // Attach before splitting so the derived communicators inherit it.
     world.set_tracer(w.clone());
 
-    // Section IV-E communicators: node-local + leaders.
-    let (local, is_leader, leaders) = hierarchical_comms(&world, shape);
+    // Section IV-E communicators: node-local + leaders. A setup-phase
+    // communicator failure is recoverable only as this rank's own death —
+    // crash schedules are constrained to the adaptive phase.
+    let (local, is_leader, leaders) = match hierarchical_comms(&world, shape) {
+        Ok(t) => t,
+        Err(e) if e.failed_rank() == Some(my_world) => return RankOutcome::dead(),
+        Err(e) => {
+            panic!("rank failure during setup phases (schedule crashes in the adaptive phase): {e}")
+        }
+    };
 
     // Phase 1: sequential diameter at rank 0, broadcast.
     let sp = w.begin(SpanId::Diameter);
-    let vd = if rank == 0 {
+    let vd_bcast = if world.rank() == 0 {
         let (vd, _) = diameter_phase(g, cfg);
-        world.bcast_u64(0, Some(vd as u64)) as u32
+        world.bcast_u64(0, Some(vd as u64))
     } else {
-        world.bcast_u64(0, None) as u32
+        world.bcast_u64(0, None)
+    };
+    let vd = match vd_bcast {
+        Ok(v) => v as u32,
+        Err(e) if e.failed_rank() == Some(my_world) => return RankOutcome::dead(),
+        Err(e) => {
+            panic!("rank failure during setup phases (schedule crashes in the adaptive phase): {e}")
+        }
     };
     w.end(sp);
     let omega = bounds::omega(cfg.c, cfg.epsilon, cfg.delta, vd);
@@ -129,7 +176,7 @@ fn rank_main(
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 s.spawn(move |_| {
-                    let mut sampler = ThreadSampler::new(n, cfg.seed, rank, t);
+                    let mut sampler = ThreadSampler::new(n, cfg.seed, my_world, t);
                     let mut counts = vec![0u64; n];
                     let taken = calibration_samples_for_thread(
                         g,
@@ -155,23 +202,40 @@ fn rank_main(
     })
     // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("calibration scope");
-    let total = world.allreduce_sum_u64(&calib);
+    let total = match world.allreduce_sum_u64(&calib) {
+        Ok(t) => t,
+        Err(e) if e.failed_rank() == Some(my_world) => return RankOutcome::dead(),
+        Err(e) => {
+            panic!("rank failure during setup phases (schedule crashes in the adaptive phase): {e}")
+        }
+    };
     let calibration = Calibration::from_counts(&total[..n], total[n], cfg);
     w.end(sp_calib);
 
-    // Phase 3: Algorithm 2.
+    // Phase 3: Algorithm 2, with shrink-and-continue recovery driven by
+    // thread 0 (the only thread that communicates).
     let sp_ads = w.begin(SpanId::AdaptiveSampling);
-    let n0 = cfg.n0(total_threads);
     let fw = EpochFramework::new(n, threads);
-    let mut s_global = vec![0u64; n + 1]; // aggregated frame at world rank 0
+    let mut world = world;
+    let mut local = local;
+    let mut leaders = leaders;
+    let mut is_leader = is_leader;
+    let mut n0 = cfg.n0(total_threads);
+    let mut s_global = vec![0u64; n + 1]; // aggregated frame at the root
+    let mut ledger = SampleLedger::new(n);
+    // Superseded communicators' traffic, accumulated across recoveries
+    // (the world engine carries its byte counter through shrink itself).
+    let mut local_bytes_acc = 0u64;
+    let mut leader_bytes_acc = 0u64;
+    let mut dead = false;
 
     crossbeam::scope(|s| {
         // Worker threads t = 1..T (Algorithm 2, lines 5-9).
         for t in 1..threads {
             let fw = &fw;
-            let tw = tel.writer(rank as u32, t as u32);
+            let tw = tel.writer(my_world as u32, t as u32);
             s.spawn(move |_| {
-                let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET + t);
+                let mut sampler = ThreadSampler::new(n, cfg.seed, my_world, ADS_STREAM_OFFSET + t);
                 let mut h = fw.handle(t);
                 let mut drawn = 0u64;
                 while !fw.should_terminate() {
@@ -186,114 +250,181 @@ fn rank_main(
         }
 
         // Thread 0 (Algorithm 2, lines 10-31).
-        let mut sampler = ThreadSampler::new(n, cfg.seed, rank, ADS_STREAM_OFFSET);
+        let mut sampler = ThreadSampler::new(n, cfg.seed, my_world, ADS_STREAM_OFFSET);
         let mut h = fw.handle(0);
         let mut epoch = 0u32;
         loop {
             w.set_epoch(epoch);
-            // Lines 12-13: n0 samples into the current epoch.
-            let sp = w.begin(SpanId::SampleBatch);
-            for _ in 0..n0 {
-                let interior = sampler.sample(g);
-                h.record_sample(interior);
-            }
-            w.end(sp);
-            let mut overlapped = 0u64;
-            // Lines 14-15: command and await the epoch transition,
-            // overlapping with sampling into the next epoch's frame.
-            fw.force_transition(&mut h, epoch);
-            let sp = w.begin(SpanId::TransitionWait);
-            while !fw.transition_done(epoch) {
-                let interior = sampler.sample(g);
-                h.record_sample(interior);
-                overlapped += 1;
-            }
-            w.end(sp);
-
-            // Lines 16-18: aggregate the epoch's frames locally.
-            let sp = w.begin(SpanId::FrameAggregate);
-            let mut epoch_frame = vec![0u64; n + 1];
-            let tau_epoch = fw.aggregate_epoch(epoch, &mut epoch_frame[..n]);
-            epoch_frame[n] = tau_epoch;
-            w.end(sp);
-            w.count(CounterId::BytesReduced, epoch_frame.len() as u64 * 8);
-
-            // Section IV-E: node-local aggregation (the paper uses MPI RMA
-            // over shared memory; semantically a node-local reduce),
-            // overlapped with sampling.
-            let sp = w.begin(SpanId::IreduceWait);
-            let mut req = local.ireduce_sum_u64(0, &epoch_frame);
-            while !req.test() {
-                let interior = sampler.sample(g);
-                h.record_sample(interior);
-                overlapped += 1;
-            }
-            w.end(sp);
-            // xtask: allow(unwrap) — test() returned true, so the request
-            // completed and its result is present.
-            let node_frame = req.into_result().unwrap();
-
-            // Section IV-F: leaders run Ibarrier (overlapped), then a
-            // blocking Reduce — the strategy that outperformed MPI_Ireduce.
-            let mut d = 0u64;
-            if is_leader {
-                let sp = w.begin(SpanId::IbarrierWait);
-                let mut bar = leaders.ibarrier();
-                while !bar.test() {
+            // One epoch round; every communicator failure is typed.
+            let round = (|| -> Result<bool, CommError> {
+                // Lines 12-13: n0 samples into the current epoch.
+                let sp = w.begin(SpanId::SampleBatch);
+                for _ in 0..n0 {
+                    let interior = sampler.sample(g);
+                    h.record_sample(interior);
+                }
+                w.end(sp);
+                let mut overlapped = 0u64;
+                // Lines 14-15: command and await the epoch transition,
+                // overlapping with sampling into the next epoch's frame.
+                fw.force_transition(&mut h, epoch);
+                let sp = w.begin(SpanId::TransitionWait);
+                while !fw.transition_done(epoch) {
                     let interior = sampler.sample(g);
                     h.record_sample(interior);
                     overlapped += 1;
                 }
                 w.end(sp);
 
-                let sp = w.begin(SpanId::Reduce);
-                // xtask: allow(unwrap) — this rank is its node's local
-                // root, so the local reduce delivered Some to it.
-                let frame = node_frame.expect("leader holds node frame");
-                let reduced = leaders.reduce_sum_u64(0, &frame);
+                // Lines 16-18: aggregate the epoch's frames locally.
+                let sp = w.begin(SpanId::FrameAggregate);
+                let mut epoch_frame = vec![0u64; n + 1];
+                let tau_epoch = fw.aggregate_epoch(epoch, &mut epoch_frame[..n]);
+                epoch_frame[n] = tau_epoch;
                 w.end(sp);
-                w.count(CounterId::BytesReduced, frame.len() as u64 * 8);
+                w.count(CounterId::BytesReduced, epoch_frame.len() as u64 * 8);
 
-                // Lines 22-24: world rank 0 folds and checks.
-                if rank == 0 {
-                    // xtask: allow(unwrap) — world rank 0 is the leader
-                    // root, so the reduction delivered Some to it.
-                    let reduced = reduced.expect("leader root receives reduction");
-                    let sp = w.begin(SpanId::Check);
-                    let stop =
-                        fold_and_check(&mut s_global, &reduced, cfg.epsilon, omega, &calibration);
-                    w.end(sp);
-                    d = u64::from(stop);
+                // Section IV-E: node-local aggregation (the paper uses MPI
+                // RMA over shared memory; semantically a node-local reduce),
+                // overlapped with sampling.
+                let sp = w.begin(SpanId::IreduceWait);
+                let mut req = local.ireduce_sum_u64(0, &epoch_frame)?;
+                while !req.test()? {
+                    let interior = sampler.sample(g);
+                    h.record_sample(interior);
+                    overlapped += 1;
                 }
-            }
+                w.end(sp);
+                // The node reduce completed: this rank's epoch frame is now
+                // part of a globally-consistent prefix — checkpoint it. A
+                // round that fails earlier never confirms, so its in-flight
+                // frame is discarded at every rank, never double-counted.
+                ledger.confirm(&epoch_frame);
+                // xtask: allow(unwrap) — test() returned true, so the
+                // request completed and its result is present.
+                let node_frame = req.into_result().unwrap();
 
-            // Lines 25-27: broadcast the termination flag world-wide,
-            // overlapped with sampling.
-            let sp = w.begin(SpanId::BcastStop);
-            let mut breq = world.ibcast_u64(0, (rank == 0).then_some(d));
-            while !breq.test() {
-                let interior = sampler.sample(g);
-                h.record_sample(interior);
-                overlapped += 1;
-            }
-            w.end(sp);
-            w.count(CounterId::Samples, n0 + overlapped);
-            w.count(CounterId::Epochs, 1);
+                // Section IV-F: leaders run Ibarrier (overlapped), then a
+                // blocking Reduce — the strategy that outperformed
+                // MPI_Ireduce.
+                let mut d = 0u64;
+                if is_leader {
+                    let sp = w.begin(SpanId::IbarrierWait);
+                    let mut bar = leaders.ibarrier()?;
+                    while !bar.test()? {
+                        let interior = sampler.sample(g);
+                        h.record_sample(interior);
+                        overlapped += 1;
+                    }
+                    w.end(sp);
 
-            // Lines 28-30.
-            // xtask: allow(unwrap) — test() returned true above.
-            if breq.into_result().unwrap() != 0 {
-                fw.signal_termination();
-                break;
+                    let sp = w.begin(SpanId::Reduce);
+                    // xtask: allow(unwrap) — this rank is its node's local
+                    // root, so the local reduce delivered Some to it.
+                    let frame = node_frame.expect("leader holds node frame");
+                    let reduced = leaders.reduce_sum_u64(0, &frame)?;
+                    w.end(sp);
+                    w.count(CounterId::BytesReduced, frame.len() as u64 * 8);
+
+                    // Lines 22-24: the root folds and checks.
+                    if world.rank() == 0 {
+                        // xtask: allow(unwrap) — the root is the leader
+                        // root, so the reduction delivered Some to it.
+                        let reduced = reduced.expect("leader root receives reduction");
+                        let sp = w.begin(SpanId::Check);
+                        let stop = fold_and_check(
+                            &mut s_global,
+                            &reduced,
+                            cfg.epsilon,
+                            omega,
+                            &calibration,
+                        );
+                        w.end(sp);
+                        d = u64::from(stop);
+                    }
+                }
+
+                // Lines 25-27: broadcast the termination flag world-wide,
+                // overlapped with sampling.
+                let sp = w.begin(SpanId::BcastStop);
+                let mut breq = world.ibcast_u64(0, (world.rank() == 0).then_some(d))?;
+                while !breq.test()? {
+                    let interior = sampler.sample(g);
+                    h.record_sample(interior);
+                    overlapped += 1;
+                }
+                w.end(sp);
+                w.count(CounterId::Samples, n0 + overlapped);
+                w.count(CounterId::Epochs, 1);
+                // xtask: allow(unwrap) — test() returned true above.
+                Ok(breq.into_result().unwrap() != 0)
+            })();
+
+            match round {
+                // Lines 28-30.
+                Ok(stop) => {
+                    if stop {
+                        fw.signal_termination();
+                        break;
+                    }
+                    epoch += 1;
+                }
+                Err(CommError::RankFailed { rank }) if rank == my_world => {
+                    dead = true; // own scheduled crash: leave the run
+                    fw.signal_termination();
+                    break;
+                }
+                Err(CommError::RankFailed { .. }) => {
+                    // A peer died (or entered recovery): shrink the world,
+                    // rebuild the global state from survivor ledgers, and
+                    // re-split the hierarchy. Loop because further members
+                    // can die while recovery itself is in flight.
+                    loop {
+                        let recovered = (|| -> Result<(), CommError> {
+                            let (new_world, rebuilt) = shrink_and_rebuild(&world, &ledger, &w)?;
+                            local_bytes_acc += local.bytes_transferred();
+                            leader_bytes_acc += leaders.bytes_transferred();
+                            world = new_world;
+                            s_global = rebuilt;
+                            let (l, il, ld) = hierarchical_comms(&world, shape)?;
+                            local = l;
+                            is_leader = il;
+                            leaders = ld;
+                            n0 = cfg.n0(threads * world.size());
+                            Ok(())
+                        })();
+                        match recovered {
+                            Ok(()) => {
+                                epoch += 1;
+                                break;
+                            }
+                            Err(CommError::RankFailed { rank }) if rank != my_world => continue,
+                            Err(e) if e.failed_rank() == Some(my_world) => {
+                                dead = true; // died mid-recovery
+                                fw.signal_termination();
+                                break;
+                            }
+                            Err(e) => {
+                                panic!("unrecoverable communicator failure during recovery: {e}")
+                            }
+                        }
+                    }
+                    if dead {
+                        break;
+                    }
+                }
+                Err(e) => panic!("unrecoverable communicator failure: {e}"),
             }
-            epoch += 1;
         }
     })
     // xtask: allow(unwrap) — children are joined above; see worker waiver.
     .expect("adaptive sampling scope");
     w.end(sp_ads);
+    if dead {
+        return RankOutcome::dead();
+    }
 
-    let result = if rank == 0 {
+    let result = if world.rank() == 0 {
         let tau = s_global[n];
         let rec = w.recorder();
         let mut stats = sampling_stats_from(rec);
@@ -312,8 +443,8 @@ fn rank_main(
     RankOutcome {
         result,
         is_leader,
-        local_bytes: local.bytes_transferred(),
-        leader_bytes: leaders.bytes_transferred(),
+        local_bytes: local_bytes_acc + local.bytes_transferred(),
+        leader_bytes: leader_bytes_acc + leaders.bytes_transferred(),
         world_bytes: world.bytes_transferred(),
     }
 }
@@ -324,6 +455,7 @@ mod tests {
     use kadabra_baselines::brandes;
     use kadabra_graph::components::largest_component;
     use kadabra_graph::generators::{gnm, grid, GnmConfig, GridConfig};
+    use kadabra_mpisim::FaultPlan;
 
     #[test]
     fn minimal_cluster_terminates() {
@@ -370,5 +502,60 @@ mod tests {
         for s in &r.scores {
             assert!((0.0..=1.0).contains(s));
         }
+    }
+
+    #[test]
+    fn crash_mid_adaptive_shrinks_resplits_and_stays_within_epsilon() {
+        // Rank 3 (a non-leader on node 1) dies at its 5th collective join —
+        // its first node-local reduce of the adaptive phase. Its node leader
+        // fails the local reduce and starts recovery; the other node's ranks
+        // observe the recovery through the leaders/world collectives; all
+        // survivors shrink, re-split (node 1 keeps rank 2, now alone and
+        // leader), and finish within ε.
+        let g = gnm(GnmConfig { n: 50, m: 130, seed: 12 });
+        let (lcc, _) = largest_component(&g);
+        let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 31, ..Default::default() };
+        let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
+        let plan = FaultPlan::ideal(7).with_crash_at_collective(3, 4);
+        let tel = Telemetry::stats_only();
+        let outcomes =
+            Universe::run_with_plan(4, plan, |comm| rank_main(&lcc, &cfg, shape, comm, &tel));
+        assert!(outcomes[3].result.is_none());
+        let r =
+            outcomes.into_iter().find_map(|o| o.result).expect("surviving root returns the result");
+        let exact = brandes(&lcc);
+        let worst = r.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst} after crash recovery");
+        assert_eq!(
+            tel.summary().counter(CounterId::RanksLost),
+            3,
+            "three survivors each saw one loss"
+        );
+    }
+
+    #[test]
+    fn root_crash_fails_over_to_the_next_leader() {
+        // World rank 0 — the leaders' root — dies mid-adaptive-phase; rank 1
+        // becomes its node's leader and the new world root, resumes from the
+        // rebuilt ledger state, and returns the final result.
+        let g = gnm(GnmConfig { n: 40, m: 100, seed: 4 });
+        let (lcc, _) = largest_component(&g);
+        let cfg = KadabraConfig { epsilon: 0.06, delta: 0.1, seed: 9, ..Default::default() };
+        let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 1 };
+        let plan = FaultPlan::ideal(3).with_crash_at_collective(0, 10);
+        let tel = Telemetry::stats_only();
+        let outcomes =
+            Universe::run_with_plan(4, plan, |comm| rank_main(&lcc, &cfg, shape, comm, &tel));
+        assert!(outcomes[0].result.is_none(), "the dead root cannot return a result");
+        let survivors: Vec<_> = outcomes.into_iter().filter_map(|o| o.result).collect();
+        assert_eq!(survivors.len(), 1, "exactly one surviving root");
+        let exact = brandes(&lcc);
+        let worst = survivors[0]
+            .scores
+            .iter()
+            .zip(&exact)
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst} after root fail-over");
     }
 }

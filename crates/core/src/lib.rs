@@ -32,6 +32,7 @@ pub mod epoch_mpi;
 pub mod mpi;
 pub mod naive;
 pub mod phases;
+pub mod recovery;
 pub mod result;
 pub mod sampler;
 pub mod sequential;
@@ -49,6 +50,7 @@ pub use epoch_mpi::{kadabra_epoch_mpi, kadabra_epoch_mpi_traced};
 pub use mpi::{kadabra_mpi_flat, kadabra_mpi_flat_traced};
 pub use naive::kadabra_naive_parallel;
 pub use phases::{prepare, Prepared};
+pub use recovery::{shrink_and_rebuild, SampleLedger};
 pub use result::{BetweennessResult, PhaseTimings, SamplingStats};
 pub use sampler::ThreadSampler;
 pub use sequential::{kadabra_sequential, kadabra_sequential_traced};

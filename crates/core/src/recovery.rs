@@ -1,0 +1,166 @@
+//! Shrink-and-continue recovery (DESIGN.md §10): sampling-state checkpoints
+//! and the recovery protocol shared by the flat ([`crate::mpi`]) and epoch
+//! ([`crate::epoch_mpi`]) MPI drivers.
+//!
+//! # The checkpoint: a ledger of globally-reduced frames
+//!
+//! Each rank keeps a [`SampleLedger`] — the element-wise sum of every state
+//! frame it has contributed to a reduction *whose completion it observed*.
+//! Because a simulated collective completes only once **all** members have
+//! joined (the non-blocking-barrier property the paper relies on in Section
+//! IV-C), "my reduce completed" is a global fact: either every live rank
+//! confirms a round into its ledger, or none does. The ledger is therefore a
+//! prefix-consistent checkpoint that costs one vector add per epoch — no
+//! extra communication, no stable storage.
+//!
+//! # The protocol
+//!
+//! When a collective fails with [`CommError::RankFailed`], every survivor
+//! calls [`shrink_and_rebuild`]:
+//!
+//! 1. [`Communicator::shrink`] builds the survivor communicator (ULFM's
+//!    `MPI_Comm_shrink`);
+//! 2. an all-reduce of the survivors' ledgers rebuilds the global sampling
+//!    state `S := Σ ledgers` at every rank — in particular at the new rank
+//!    0, which resumes the stopping-condition bookkeeping.
+//!
+//! If another member dies *during* recovery, the all-reduce itself fails
+//! with `RankFailed` and the loop shrinks again; the protocol terminates
+//! because each iteration removes at least one member.
+//!
+//! # Why (ε, δ) is preserved
+//!
+//! The rebuilt state discards two kinds of samples: the dead rank's entire
+//! history, and any frame in flight (snapshotted but with an unobserved
+//! reduction) at the failure point. Both are simply i.i.d. samples that are
+//! *never counted* — the estimator proceeds exactly as if they had not been
+//! drawn. The adaptive stopping rule re-evaluates on the rebuilt `[Σ c̃, τ]`,
+//! so the guarantee "P(∀v: |c̃(v) − c(v)| ≤ ε) ≥ 1 − δ at the τ where we
+//! stop" is untouched; a crash only delays the stop (smaller τ after
+//! rebuild) — it never double-counts or fabricates samples. Survivors
+//! re-derive the batch size `n0 = 1000/(PT)^1.33` for the shrunk world, so
+//! post-recovery scheduling matches what a fresh launch at that scale would
+//! do.
+
+use kadabra_mpisim::{CommError, Communicator};
+use kadabra_telemetry::{CounterId, EventWriter, SpanId};
+
+/// Element-wise sum of every state frame this rank has contributed to an
+/// *observed-complete* reduction: `[per-vertex counts.., τ]`, the same
+/// layout the drivers reduce. This is the rank's recovery checkpoint.
+pub struct SampleLedger {
+    frame: Vec<u64>,
+}
+
+impl SampleLedger {
+    /// An empty ledger for an `n`-vertex graph (frame length `n + 1`).
+    pub fn new(n: usize) -> Self {
+        SampleLedger { frame: vec![0u64; n + 1] }
+    }
+
+    /// Confirms a frame whose reduction this rank observed completing.
+    /// Must be called exactly once per completed reduction, with the same
+    /// frame that was reduced — the conservation invariant the chaos suite
+    /// checks is `global state == Σ survivor ledgers`, element-wise.
+    pub fn confirm(&mut self, frame: &[u64]) {
+        debug_assert_eq!(frame.len(), self.frame.len());
+        for (a, &x) in self.frame.iter_mut().zip(frame) {
+            *a += x;
+        }
+    }
+
+    /// The accumulated checkpoint frame.
+    pub fn frame(&self) -> &[u64] {
+        &self.frame
+    }
+}
+
+/// One recovery: shrinks `comm` until the survivor set is stable, then
+/// rebuilds the global sampling state from the survivors' ledgers. Returns
+/// the survivor communicator and the rebuilt state (identical at every
+/// survivor).
+///
+/// Records a [`SpanId::Recovery`] span and counts the excluded members into
+/// [`CounterId::RanksLost`] on this rank's telemetry writer.
+///
+/// Errors other than `RankFailed` (timeout, poison) abort recovery — they
+/// indicate an algorithm bug, not a crash fault — and `RankFailed` with this
+/// rank's own identity is returned so a rank that dies mid-recovery reports
+/// itself dead.
+pub fn shrink_and_rebuild(
+    comm: &Communicator,
+    ledger: &SampleLedger,
+    w: &EventWriter,
+) -> Result<(Communicator, Vec<u64>), CommError> {
+    let sp = w.begin(SpanId::Recovery);
+    let mut prev_size = comm.size();
+    let mut small = comm.shrink()?;
+    loop {
+        let lost = prev_size - small.size();
+        if lost > 0 {
+            w.count(CounterId::RanksLost, lost as u64);
+        }
+        match small.allreduce_sum_u64(ledger.frame()) {
+            Ok(rebuilt) => {
+                w.end(sp);
+                return Ok((small, rebuilt));
+            }
+            // Another member died while recovery was in flight: shrink the
+            // already-shrunk communicator again. Terminates — every
+            // iteration excludes at least the newly dead member.
+            Err(CommError::RankFailed { rank }) if rank != small.world_rank() => {
+                prev_size = small.size();
+                small = small.shrink()?;
+            }
+            Err(e) => {
+                return Err(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kadabra_mpisim::{FaultPlan, Universe};
+    use kadabra_telemetry::Telemetry;
+
+    #[test]
+    fn ledger_accumulates_elementwise() {
+        let mut l = SampleLedger::new(3);
+        l.confirm(&[1, 0, 2, 1]);
+        l.confirm(&[0, 5, 1, 2]);
+        assert_eq!(l.frame(), &[1, 5, 3, 3]);
+    }
+
+    #[test]
+    fn rebuild_sums_survivor_ledgers_and_counts_losses() {
+        // Rank 1 of 3 dies at its first collective; survivors recover and
+        // the rebuilt state is exactly the element-wise survivor-ledger sum.
+        let tel = Telemetry::stats_only();
+        let plan = FaultPlan::ideal(5).with_crash_at_collective(1, 0);
+        let out = Universe::run_with_plan(3, plan, |comm| {
+            let w = tel.writer(comm.rank() as u32, 0);
+            let mut ledger = SampleLedger::new(2);
+            ledger.confirm(&[comm.rank() as u64 + 1, 0, 10]);
+            match comm.allreduce_sum_u64(&[0, 0, 0]) {
+                Err(CommError::RankFailed { rank }) if rank == comm.world_rank() => None,
+                Err(CommError::RankFailed { .. }) => {
+                    let (small, rebuilt) = shrink_and_rebuild(&comm, &ledger, &w).unwrap();
+                    Some((small.members().to_vec(), rebuilt))
+                }
+                other => panic!("expected a rank failure, got {other:?}"),
+            }
+        });
+        assert!(out[1].is_none());
+        for o in [&out[0], &out[2]] {
+            let (members, rebuilt) = o.as_ref().unwrap();
+            assert_eq!(members, &[0, 2]);
+            // Ledgers of ranks 0 and 2: [1,0,10] + [3,0,10].
+            assert_eq!(rebuilt, &[4, 0, 20]);
+        }
+        let summary = tel.summary();
+        // Both survivors observed the same single-member loss.
+        assert_eq!(summary.counter(CounterId::RanksLost), 2);
+    }
+}

@@ -23,11 +23,16 @@
 use crate::sync::{AtomicU32, AtomicU64, Ordering};
 use crossbeam::utils::CachePadded;
 
+/// Sentinel marking a retired (crashed) rank in `current`; retired ranks
+/// are excluded from the gap audit.
+const RETIRED: u32 = u32::MAX;
+
 /// Shared probe auditing the cross-process epoch gap at every completed
 /// reduction point. One instance is shared (via `Arc`) by all simulated
 /// ranks of a run; all methods are safe to call concurrently.
 pub struct CrossEpochProbe {
-    /// Per-rank current round, stored as `round + 1` (`0` = not started).
+    /// Per-rank current round, stored as `round + 1` (`0` = not started,
+    /// [`RETIRED`] = excluded after a crash).
     current: Vec<CachePadded<AtomicU32>>,
     /// Largest gap any completion event observed.
     max_gap: AtomicU32,
@@ -65,10 +70,20 @@ impl CrossEpochProbe {
         self.current[rank].store(round + 1, Ordering::Release);
     }
 
+    /// Permanently excludes `rank` from the gap audit: its round counter
+    /// froze when it crashed, which is not a protocol violation by the
+    /// survivors. Called by each survivor after a communicator shrink for
+    /// every member the shrink excluded (idempotent — any number of
+    /// survivors may report the same loss). The invariant then continues to
+    /// be enforced over the surviving ranks only.
+    pub fn retire(&self, rank: usize) {
+        self.current[rank].store(RETIRED, Ordering::Release);
+    }
+
     /// Rank `rank` observed completion of global round `round` (its
-    /// reduction/broadcast chain fully resolved). Audits every started
-    /// rank's current round against `{round, round + 1}` and returns the
-    /// observed gap (max − min of current rounds).
+    /// reduction/broadcast chain fully resolved). Audits every started,
+    /// non-retired rank's current round against `{round, round + 1}` and
+    /// returns the observed gap (max − min of current rounds).
     pub fn complete_round(&self, rank: usize, round: u32) -> u32 {
         debug_assert!(
             self.current[rank].load(Ordering::Relaxed) > round,
@@ -78,6 +93,9 @@ impl CrossEpochProbe {
         let mut hi = 0u32;
         for cur in &self.current {
             let c = cur.load(Ordering::Acquire);
+            if c == RETIRED {
+                continue;
+            }
             if c == 0 {
                 // A rank that never began a round while another completes
                 // one is itself a gap violation past round 0; treat it as
@@ -200,6 +218,29 @@ mod tests {
         // it lagging below the {round, round+1} window.
         assert_eq!(p.complete_round(0, 1), 1);
         assert_eq!(p.violations(), 1);
+    }
+
+    #[test]
+    fn retired_ranks_are_excluded_from_the_audit() {
+        let p = CrossEpochProbe::new(3);
+        for r in 0..3 {
+            p.begin_round(r, 0);
+        }
+        for r in 0..3 {
+            p.complete_round(r, 0);
+        }
+        // Rank 2 crashes; its counter froze at round 0. Survivors retire it
+        // after the shrink and advance many rounds without tripping the
+        // audit.
+        p.retire(2);
+        for round in 1..6 {
+            p.begin_round(0, round);
+            p.begin_round(1, round);
+            assert_eq!(p.complete_round(0, round), 0);
+            assert_eq!(p.complete_round(1, round), 0);
+        }
+        assert_eq!(p.violations(), 0);
+        p.assert_clean("retired rank");
     }
 
     #[test]

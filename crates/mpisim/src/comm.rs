@@ -1,6 +1,15 @@
 //! Communicators and typed collective operations.
+//!
+//! Every collective returns a `Result`: the error side is a typed
+//! [`CommError`](crate::CommError), never a panic. A
+//! [`CommError::RankFailed`](crate::CommError::RankFailed) marks a dead
+//! member and is recoverable via [`Communicator::shrink`] —
+//! shrink-and-continue in the ULFM sense; `Timeout`/`Poisoned` indicate an
+//! algorithm bug and carry the `(plan, seed)` replay pair.
 
 use crate::engine::{Engine, OpKind, Request};
+use crate::error::CommError;
+use crate::health::RankCrashState;
 use kadabra_telemetry::{CounterId, EventWriter, MarkId};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
@@ -71,12 +80,19 @@ impl ReduceOp {
 }
 
 /// A simulated MPI communicator: a rank number plus a handle on the shared
-/// collective engine. Cloneable only via [`Communicator::split`] (each rank
-/// must own exactly one handle per communicator, mirroring MPI).
+/// collective engine. Cloneable only via [`Communicator::split`] /
+/// [`Communicator::shrink`] (each rank must own exactly one handle per
+/// communicator, mirroring MPI).
 pub struct Communicator {
     engine: Arc<Engine>,
     rank: usize,
     seq: Cell<u64>,
+    /// Next shrink generation of this communicator (advanced on success, so
+    /// repeated failures shrink through distinct generations).
+    shrink_gen: Cell<u64>,
+    /// Crash schedule of the OS thread driving this rank (shared across all
+    /// of the rank's communicators; None without a scheduled crash).
+    crash: Option<Arc<RankCrashState>>,
     /// Telemetry writer of the thread driving this rank (None = untraced).
     /// `RefCell`, not a lock: the communicator is single-threaded by
     /// construction (`!Sync` via `seq`), mirroring MPI's one-handle-per-rank
@@ -84,25 +100,37 @@ pub struct Communicator {
     tracer: RefCell<Option<EventWriter>>,
 }
 
-/// color -> (engine, member world ranks in communicator order).
+/// color -> (engine, member parent ranks in communicator order).
 type SplitGroups = HashMap<u32, (Arc<Engine>, Vec<usize>)>;
 
 /// Accumulator for `Split` collectives: submissions, then per-color results.
 struct SplitAcc {
-    submissions: Vec<(usize, u32, i64)>, // (world rank, color, key)
+    submissions: Vec<(usize, u32, i64)>, // (parent rank, color, key)
     groups: Option<SplitGroups>,
 }
 
 impl Communicator {
-    pub(crate) fn new(engine: Arc<Engine>, rank: usize) -> Self {
-        Communicator { engine, rank, seq: Cell::new(0), tracer: RefCell::new(None) }
+    pub(crate) fn new(
+        engine: Arc<Engine>,
+        rank: usize,
+        crash: Option<Arc<RankCrashState>>,
+    ) -> Self {
+        Communicator {
+            engine,
+            rank,
+            seq: Cell::new(0),
+            shrink_gen: Cell::new(0),
+            crash,
+            tracer: RefCell::new(None),
+        }
     }
 
     /// Attaches the telemetry writer of the thread driving this rank. Every
     /// collective then records `CollectiveStart`/`CollectiveComplete`
     /// markers, overlapped polls tick the writer's logical clock, and p2p
     /// receives record delivery slots. Derived communicators
-    /// ([`Communicator::split`]) inherit the tracer.
+    /// ([`Communicator::split`], [`Communicator::shrink`]) inherit the
+    /// tracer.
     pub fn set_tracer(&self, writer: EventWriter) {
         *self.tracer.borrow_mut() = Some(writer);
     }
@@ -137,6 +165,16 @@ impl Communicator {
         }
     }
 
+    /// Crash checkpoint before a collective join: a rank whose fault plan
+    /// schedules a crash here dies *instead of* joining (its peers then see
+    /// [`CommError::RankFailed`] on the op).
+    fn crash_checkpoint(&self) -> Result<(), CommError> {
+        match &self.crash {
+            Some(c) => c.on_collective(),
+            None => Ok(()),
+        }
+    }
+
     /// This process's rank within the communicator.
     pub fn rank(&self) -> usize {
         self.rank
@@ -147,8 +185,20 @@ impl Communicator {
         self.engine.size
     }
 
+    /// This process's rank in the original world communicator (stable across
+    /// [`Communicator::split`] and [`Communicator::shrink`] — the identity
+    /// that [`CommError::RankFailed`] reports).
+    pub fn world_rank(&self) -> usize {
+        self.engine.members[self.rank]
+    }
+
+    /// World ranks of the communicator's members, in rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.engine.members
+    }
+
     /// Total payload bytes contributed to this communicator's collectives by
-    /// all ranks so far.
+    /// all ranks so far (a shrunk communicator carries its parent's tally).
     pub fn bytes_transferred(&self) -> u64 {
         self.engine.bytes_transferred()
     }
@@ -160,6 +210,13 @@ impl Communicator {
 
     pub(crate) fn engine_add_bytes(&self, bytes: u64) {
         self.engine.add_bytes(bytes);
+    }
+
+    /// Plan-hash salt of the underlying engine (test hook for the salt
+    /// independence regression in `tests.rs`).
+    #[cfg(test)]
+    pub(crate) fn salt(&self) -> u64 {
+        self.engine.salt
     }
 
     fn next_seq(&self) -> u64 {
@@ -188,23 +245,25 @@ impl Communicator {
     // ------------------------------------------------------------------
 
     /// Blocking barrier (`MPI_Barrier`).
-    pub fn barrier(&self) {
-        self.ibarrier().wait();
+    pub fn barrier(&self) -> Result<(), CommError> {
+        self.ibarrier()?.wait()
     }
 
     /// Non-blocking barrier (`MPI_Ibarrier`). The paper's final
     /// implementation (Section IV-F) pairs this with a blocking reduce.
-    pub fn ibarrier(&self) -> Request<()> {
+    pub fn ibarrier(&self) -> Result<Request<()>, CommError> {
+        self.crash_checkpoint()?;
         let seq = self.next_seq();
-        self.engine.join(seq, OpKind::Barrier, |_acc| {}, |_acc| {});
+        self.engine.join(self.rank, seq, OpKind::Barrier, |_acc| {}, |_acc| {})?;
         self.trace_join(seq);
-        Request::new(
+        Ok(Request::new(
             self.engine.clone(),
             seq,
             self.injected_delay(seq),
             Box::new(|_acc| {}),
+            self.crash.clone(),
             self.tracer_clone(),
-        )
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -214,19 +273,25 @@ impl Communicator {
     /// Blocking element-wise sum reduction of `u64` vectors to `root`
     /// (`MPI_Reduce` with `MPI_SUM`). Returns `Some(total)` at the root,
     /// `None` elsewhere. All ranks must pass vectors of equal length.
-    pub fn reduce_sum_u64(&self, root: usize, data: &[u64]) -> Option<Vec<u64>> {
-        self.ireduce_sum_u64(root, data).wait()
+    pub fn reduce_sum_u64(&self, root: usize, data: &[u64]) -> Result<Option<Vec<u64>>, CommError> {
+        self.ireduce_sum_u64(root, data)?.wait()
     }
 
     /// Non-blocking element-wise sum reduction (`MPI_Ireduce`). Completion
     /// (even at non-roots) requires all ranks to have joined — the
     /// "non-blocking barrier" property of Section IV-C.
-    pub fn ireduce_sum_u64(&self, root: usize, data: &[u64]) -> Request<Option<Vec<u64>>> {
+    pub fn ireduce_sum_u64(
+        &self,
+        root: usize,
+        data: &[u64],
+    ) -> Result<Request<Option<Vec<u64>>>, CommError> {
         assert!(root < self.size(), "root out of range");
+        self.crash_checkpoint()?;
         let seq = self.next_seq();
         self.engine.add_bytes(data.len() as u64 * 8);
         let expected_len = data.len();
         self.engine.join(
+            self.rank,
             seq,
             OpKind::Reduce { root },
             |acc| match acc {
@@ -240,10 +305,10 @@ impl Communicator {
                 }
             },
             |_acc| {},
-        );
+        )?;
         self.trace_join(seq);
         let is_root = self.rank == root;
-        Request::new(
+        Ok(Request::new(
             self.engine.clone(),
             seq,
             self.injected_delay(seq),
@@ -256,16 +321,24 @@ impl Communicator {
                     }
                 },
             ),
+            self.crash.clone(),
             self.tracer_clone(),
-        )
+        ))
     }
 
     /// Blocking scalar reduction to `root`.
-    pub fn reduce_scalar_u64(&self, root: usize, op: ReduceOp, value: u64) -> Option<u64> {
+    pub fn reduce_scalar_u64(
+        &self,
+        root: usize,
+        op: ReduceOp,
+        value: u64,
+    ) -> Result<Option<u64>, CommError> {
         assert!(root < self.size(), "root out of range");
+        self.crash_checkpoint()?;
         let seq = self.next_seq();
         self.engine.add_bytes(8);
         self.engine.join(
+            self.rank,
             seq,
             OpKind::Reduce { root },
             |acc| match acc {
@@ -277,7 +350,7 @@ impl Communicator {
                 }
             },
             |_acc| {},
-        );
+        )?;
         self.trace_join(seq);
         let is_root = self.rank == root;
         let out = self.engine.wait_complete(seq, move |acc| {
@@ -286,20 +359,23 @@ impl Communicator {
             } else {
                 None
             }
-        });
+        })?;
         self.trace_complete(seq);
-        out
+        Ok(out)
     }
 
     /// Blocking element-wise sum all-reduce of `u64` vectors: every rank
     /// receives the total. Used for the calibration phase, where every rank
     /// derives the per-vertex failure probabilities from the same aggregated
-    /// counts.
-    pub fn allreduce_sum_u64(&self, data: &[u64]) -> Vec<u64> {
+    /// counts, and by recovery to rebuild the global state from survivor
+    /// ledgers.
+    pub fn allreduce_sum_u64(&self, data: &[u64]) -> Result<Vec<u64>, CommError> {
+        self.crash_checkpoint()?;
         let seq = self.next_seq();
         self.engine.add_bytes(data.len() as u64 * 8);
         let expected_len = data.len();
         self.engine.join(
+            self.rank,
             seq,
             OpKind::Allreduce,
             |acc| match acc {
@@ -313,18 +389,20 @@ impl Communicator {
                 }
             },
             |_acc| {},
-        );
+        )?;
         self.trace_join(seq);
-        let out = self.engine.wait_complete(seq, |acc| acc_slot_ref::<Vec<u64>>(acc).clone());
+        let out = self.engine.wait_complete(seq, |acc| acc_slot_ref::<Vec<u64>>(acc).clone())?;
         self.trace_complete(seq);
-        out
+        Ok(out)
     }
 
     /// Blocking all-reduce (scalar): every rank receives the reduction.
-    pub fn allreduce_scalar_u64(&self, op: ReduceOp, value: u64) -> u64 {
+    pub fn allreduce_scalar_u64(&self, op: ReduceOp, value: u64) -> Result<u64, CommError> {
+        self.crash_checkpoint()?;
         let seq = self.next_seq();
         self.engine.add_bytes(8);
         self.engine.join(
+            self.rank,
             seq,
             OpKind::Allreduce,
             |acc| match acc {
@@ -336,11 +414,11 @@ impl Communicator {
                 }
             },
             |_acc| {},
-        );
+        )?;
         self.trace_join(seq);
-        let out = self.engine.wait_complete(seq, |acc| acc_slot_ref::<(ReduceOp, u64)>(acc).1);
+        let out = self.engine.wait_complete(seq, |acc| acc_slot_ref::<(ReduceOp, u64)>(acc).1)?;
         self.trace_complete(seq);
-        out
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -349,22 +427,24 @@ impl Communicator {
 
     /// Blocking broadcast of one `u64` from `root`; the root passes
     /// `Some(value)`, everyone else `None`; all ranks receive the value.
-    pub fn bcast_u64(&self, root: usize, value: Option<u64>) -> u64 {
-        self.ibcast_u64(root, value).wait()
+    pub fn bcast_u64(&self, root: usize, value: Option<u64>) -> Result<u64, CommError> {
+        self.ibcast_u64(root, value)?.wait()
     }
 
     /// Non-blocking broadcast of one `u64` (`MPI_Ibcast`). Used to propagate
     /// the termination flag while overlapping sampling (Algorithm 1 line 16).
-    pub fn ibcast_u64(&self, root: usize, value: Option<u64>) -> Request<u64> {
+    pub fn ibcast_u64(&self, root: usize, value: Option<u64>) -> Result<Request<u64>, CommError> {
         assert!(root < self.size(), "root out of range");
         assert_eq!(
             value.is_some(),
             self.rank == root,
             "exactly the root must supply the broadcast value"
         );
+        self.crash_checkpoint()?;
         let seq = self.next_seq();
         self.engine.add_bytes(8);
         self.engine.join(
+            self.rank,
             seq,
             OpKind::Bcast { root },
             |acc| {
@@ -374,20 +454,21 @@ impl Communicator {
                 }
             },
             |_acc| {},
-        );
+        )?;
         self.trace_join(seq);
-        Request::new(
+        Ok(Request::new(
             self.engine.clone(),
             seq,
             self.injected_delay(seq),
             Box::new(|acc: &mut Option<Box<dyn Any + Send>>| *acc_slot_ref::<u64>(acc)),
+            self.crash.clone(),
             self.tracer_clone(),
-        )
+        ))
     }
 
     /// Broadcast of a boolean (the termination flag `d` of the paper's
     /// algorithms), encoded over [`Self::ibcast_u64`].
-    pub fn ibcast_bool(&self, root: usize, value: Option<bool>) -> Request<u64> {
+    pub fn ibcast_bool(&self, root: usize, value: Option<bool>) -> Result<Request<u64>, CommError> {
         self.ibcast_u64(root, value.map(u64::from))
     }
 
@@ -401,16 +482,20 @@ impl Communicator {
     /// Section IV-E of the paper builds two derived communicators this way:
     /// a node-local one (all ranks on one compute node) and a global one
     /// (the first rank of each node).
-    pub fn split(&self, color: u32, key: i64) -> Communicator {
+    pub fn split(&self, color: u32, key: i64) -> Result<Communicator, CommError> {
+        self.crash_checkpoint()?;
         let seq = self.next_seq();
         let my = (self.rank, color, key);
-        // Every rank captures identical (plan, salt); whichever arrives last
-        // runs `finalize`, so child engines are identical regardless of
-        // arrival order. Each color derives its own salt so sibling
-        // communicators draw from independent delay streams.
+        // Every rank captures identical (plan, salt, members, health);
+        // whichever arrives last runs `finalize`, so child engines are
+        // identical regardless of arrival order. Each color derives its own
+        // salt so sibling communicators draw from independent delay streams.
         let plan = self.engine.plan.clone();
         let parent_salt = self.engine.salt;
+        let parent_members = self.engine.members.clone();
+        let health = self.engine.health.clone();
         self.engine.join(
+            self.rank,
             seq,
             OpKind::Split,
             |acc| match acc {
@@ -432,14 +517,17 @@ impl Communicator {
                 for (c, mut members) in by_color {
                     members.sort_unstable();
                     let ranks: Vec<usize> = members.into_iter().map(|(_, r)| r).collect();
+                    let world: Vec<usize> = ranks.iter().map(|&r| parent_members[r]).collect();
                     let salt = crate::fault::derive_salt(parent_salt, seq, c);
-                    groups.insert(c, (Engine::with_plan(ranks.len(), plan.clone(), salt), ranks));
+                    let engine = Engine::for_members(world, plan.clone(), salt, health.clone(), 0);
+                    groups.insert(c, (engine, ranks));
                 }
                 sp.groups = Some(groups);
             },
-        );
+        )?;
         self.trace_join(seq);
         let my_rank = self.rank;
+        let my_crash = self.crash.clone();
         let child = self.engine.wait_complete(seq, move |acc| {
             let sp = acc_slot_ref::<SplitAcc>(acc);
             // xtask: allow(unwrap) — finalize ran before any wait_complete
@@ -451,14 +539,51 @@ impl Communicator {
                 // xtask: allow(unwrap) — this rank's own submission is in
                 // exactly one color group.
                 .expect("own rank in group");
-            Communicator::new(engine.clone(), new_rank)
-        });
+            Communicator::new(engine.clone(), new_rank, my_crash)
+        })?;
         self.trace_complete(seq);
         // Derived communicators report into the same per-thread recorder, so
         // the phase summary covers local and leader traffic alike.
         if let Some(w) = self.tracer_clone() {
             child.set_tracer(w);
         }
-        child
+        Ok(child)
+    }
+
+    // ------------------------------------------------------------------
+    // Shrink
+    // ------------------------------------------------------------------
+
+    /// Shrinks the communicator after a member failure (ULFM's
+    /// `MPI_Comm_shrink`): every *living* member calls this; the result is a
+    /// new, smaller communicator over exactly the survivors, ordered by
+    /// parent rank. Dead members are excluded; a member that died between
+    /// the failure and its own shrink call is excluded too (survivorship is
+    /// decided by the shared health registry, so all survivors agree on the
+    /// membership).
+    ///
+    /// Entering shrink abandons every in-flight operation on *all* of this
+    /// rank's communicators: waiters elsewhere observe the abandonment as
+    /// [`CommError::RankFailed`] and are expected to join the recovery
+    /// themselves (the shrink-and-continue protocol of the drivers in
+    /// `kadabra-core`). The child draws injected-fault streams from a salt
+    /// derived from the shrink *generation*, independent of every `split`
+    /// sibling and of the parent — survivors' op-sequence counters may have
+    /// diverged at the failure point, so the generation (not the seq) is the
+    /// coordinate all survivors share.
+    pub fn shrink(&self) -> Result<Communicator, CommError> {
+        // Deliberately no crash checkpoint: shrink is the recovery path.
+        // A rank whose own crash already fired cannot get here (every
+        // checkpoint after `die()` keeps failing), so survivors-only is
+        // preserved without consuming a logical-clock tick.
+        self.engine.health.begin_recovery(self.world_rank());
+        let generation = self.shrink_gen.get();
+        let (engine, new_rank) = self.engine.shrink(self.rank, generation)?;
+        self.shrink_gen.set(generation + 1);
+        let child = Communicator::new(engine, new_rank, self.crash.clone());
+        if let Some(w) = self.tracer_clone() {
+            child.set_tracer(w);
+        }
+        Ok(child)
     }
 }

@@ -4,8 +4,25 @@
 //! the same sequence number across ranks form one *operation instance*. An
 //! instance lives in a slot map until all ranks have both **joined**
 //! (contributed their input) and **retired** (observed completion) it.
+//!
+//! # Failure semantics
+//!
+//! Completion of an instance is, and stays, "all members joined" — latched
+//! at the last join, so whether an op completes is a pure function of each
+//! member's sequential program (and therefore of `(plan, seed)` under fault
+//! injection). The crash-fault layer never revokes a completed op; it only
+//! lets waiters escape ops that *provably cannot* complete: a member that
+//! has joined neither the op nor (state-wise) the living — it is dead or in
+//! shrink recovery — will never arrive, so after a bounded
+//! confirm-and-backoff the wait fails with
+//! [`CommError::RankFailed`](crate::CommError::RankFailed). Deadlock
+//! timeouts and poison (protocol misuse) likewise surface as typed
+//! [`CommError`]s carrying the `(plan, seed)` replay pair; the engine has no
+//! panicking failure path.
 
+use crate::error::CommError;
 use crate::fault::FaultPlan;
+use crate::health::{RankCrashState, WorldHealth};
 use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use kadabra_telemetry::{CounterId, EventWriter, MarkId};
 use parking_lot::{Condvar, Mutex};
@@ -15,11 +32,29 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// How long a blocking wait may stall before the runtime assumes a deadlock
-/// (collective order mismatch in the algorithm under test) and panics.
-/// Under a fault plan this base budget is scaled by
-/// [`FaultPlan::timeout_scale`], because an injected straggler legitimately
-/// keeps its peers waiting (see [`Engine::deadlock_timeout`]).
+/// (collective order mismatch in the algorithm under test) and fails with
+/// [`CommError::Timeout`](crate::CommError::Timeout). Under a fault plan
+/// this base budget is scaled by [`FaultPlan::timeout_scale`], because an
+/// injected straggler legitimately keeps its peers waiting (see
+/// [`Engine::deadlock_timeout`]).
 pub(crate) const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Granularity of a blocking wait: waiters re-check completion, poison and
+/// member health every slice, so a death needs no cross-engine wakeup
+/// plumbing to be noticed promptly.
+const WAIT_SLICE: Duration = Duration::from_millis(5);
+
+/// A stuck member must be re-confirmed this many times — with doubling
+/// backoff slices between checks — before the wait fails. The backoff is
+/// observation-only (completion is latched by joins), so it cannot change a
+/// run's outcome; it only lets concurrent deaths settle so the reported
+/// rank is usually the smallest stuck member.
+const FAILURE_CONFIRM_RETRIES: u32 = 3;
+
+/// Reserved key space for shrink generations in the slot map: ordinary op
+/// sequence numbers are small, so `SHRINK_KEY_BASE | generation` can never
+/// collide with them (or with the salts `split` derives from real seqs).
+const SHRINK_KEY_BASE: u64 = 1 << 62;
 
 /// Operation kinds, used both for dispatch and for mismatch detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +64,7 @@ pub(crate) enum OpKind {
     Bcast { root: usize },
     Allreduce,
     Split,
+    Shrink,
 }
 
 /// One collective instance.
@@ -36,6 +72,9 @@ pub(crate) struct OpSlot {
     pub kind: OpKind,
     /// Ranks that have joined so far.
     pub arrived: usize,
+    /// Per-rank join flags (indexed by communicator rank), for stuck-member
+    /// detection against [`WorldHealth`].
+    pub joined: Vec<bool>,
     /// Ranks that have observed completion.
     pub retired: usize,
     /// Operation-specific accumulator (reduction value, bcast payload,
@@ -43,15 +82,34 @@ pub(crate) struct OpSlot {
     pub acc: Option<Box<dyn Any + Send>>,
 }
 
+impl OpSlot {
+    fn new(kind: OpKind, size: usize) -> Self {
+        OpSlot { kind, arrived: 0, joined: vec![false; size], retired: 0, acc: None }
+    }
+}
+
+/// Result of a completed shrink generation, shared by all survivors.
+struct ShrinkAcc {
+    /// Child engine plus the surviving ranks *of the parent communicator*,
+    /// in ascending order (position = new rank).
+    child: (Arc<Engine>, Vec<usize>),
+}
+
 /// Engine state shared by all ranks of one communicator.
 pub(crate) struct Engine {
     pub size: usize,
+    /// World rank of each member, indexed by communicator rank. The world
+    /// engine's members are `0..size`; `split`/`shrink` children carry the
+    /// mapping through, so failures are always reported in world ranks.
+    pub(crate) members: Vec<usize>,
     slots: Mutex<HashMap<u64, OpSlot>>,
     cv: Condvar,
     bytes: AtomicU64,
     /// Set when any rank detects protocol misuse; wakes and fails all
     /// waiters instead of letting them run into the deadlock timeout.
     poisoned: AtomicBool,
+    /// Diagnostic written by the poisoning rank before the flag is set.
+    poison_msg: Mutex<String>,
     /// Point-to-point mailbox shared by the communicator's ranks.
     pub(crate) mailbox: Arc<crate::p2p::Mailbox>,
     /// Fault plan this communicator runs under (None = free-running).
@@ -59,6 +117,8 @@ pub(crate) struct Engine {
     /// Per-communicator hash salt separating the plan's delay streams of
     /// parent, child, and sibling communicators (see `fault::derive_salt`).
     pub(crate) salt: u64,
+    /// Liveness registry shared by every communicator of the world.
+    pub(crate) health: Arc<WorldHealth>,
 }
 
 impl Engine {
@@ -66,21 +126,46 @@ impl Engine {
         Engine::with_plan(size, None, 0)
     }
 
-    /// An engine whose collectives consult `plan` (hash-salted by `salt`).
+    /// A *world* engine whose collectives consult `plan` (hash-salted by
+    /// `salt`): members are `0..size` and the health registry is fresh.
     pub fn with_plan(size: usize, plan: Option<Arc<FaultPlan>>, salt: u64) -> Arc<Self> {
+        Engine::for_members((0..size).collect(), plan, salt, WorldHealth::new(), 0)
+    }
+
+    /// A derived engine (`split` color group or `shrink` survivor set):
+    /// `members` maps its ranks to world ranks, `health` is shared with the
+    /// parent, and `carried_bytes` seeds the byte counter (shrink children
+    /// carry the parent's tally so per-run communication volume survives
+    /// recovery).
+    pub(crate) fn for_members(
+        members: Vec<usize>,
+        plan: Option<Arc<FaultPlan>>,
+        salt: u64,
+        health: Arc<WorldHealth>,
+        carried_bytes: u64,
+    ) -> Arc<Self> {
         let timeout = match &plan {
             Some(p) => DEADLOCK_TIMEOUT * p.timeout_scale(),
             None => DEADLOCK_TIMEOUT,
         };
         Arc::new(Engine {
-            size,
+            size: members.len(),
+            mailbox: crate::p2p::Mailbox::new(
+                plan.clone(),
+                salt,
+                timeout,
+                members.clone(),
+                health.clone(),
+            ),
+            members,
             slots: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
-            bytes: AtomicU64::new(0),
+            bytes: AtomicU64::new(carried_bytes),
             poisoned: AtomicBool::new(false),
-            mailbox: crate::p2p::Mailbox::new(plan.clone(), salt, timeout),
+            poison_msg: Mutex::new(String::new()),
             plan,
             salt,
+            health,
         })
     }
 
@@ -94,21 +179,39 @@ impl Engine {
         }
     }
 
-    /// Marks the communicator broken and wakes all waiters, then panics with
-    /// the given message.
-    fn poison(&self, msg: String) -> ! {
-        // Release pairs with the Acquire loads in `check_poison`/waiters: a
-        // rank that observes the flag also observes everything the poisoning
-        // rank did first. No stronger ordering is needed — there is no
-        // multi-flag consensus here, just one one-way latch.
-        self.poisoned.store(true, Ordering::Release);
-        self.cv.notify_all();
-        panic!("{msg}");
+    /// The `(plan, seed)` replay pair every `Timeout`/`Poisoned` diagnostic
+    /// carries (satisfying "replay any failure from its message alone").
+    pub(crate) fn replay(&self) -> String {
+        match &self.plan {
+            Some(p) => p.summary(),
+            None => "plan: none (free-running)".to_string(),
+        }
     }
 
-    fn check_poison(&self) {
+    /// Marks the communicator broken, wakes all waiters, and returns the
+    /// typed error for the detecting rank.
+    ///
+    /// Release pairs with the Acquire loads in `check_poison`/waiters: a
+    /// rank that observes the flag also observes the diagnostic written
+    /// first. No stronger ordering is needed — there is no multi-flag
+    /// consensus here, just one one-way latch.
+    fn poison(&self, msg: String) -> CommError {
+        *self.poison_msg.lock() = msg.clone();
+        self.poisoned.store(true, Ordering::Release);
+        self.cv.notify_all();
+        CommError::Poisoned { detail: msg, replay: self.replay() }
+    }
+
+    fn poisoned_error(&self) -> CommError {
+        let detail = self.poison_msg.lock().clone();
+        CommError::Poisoned { detail, replay: self.replay() }
+    }
+
+    fn check_poison(&self) -> Result<(), CommError> {
         if self.poisoned.load(Ordering::Acquire) {
-            panic!("communicator poisoned by a collective mismatch in another rank");
+            Err(self.poisoned_error())
+        } else {
+            Ok(())
         }
     }
 
@@ -121,35 +224,39 @@ impl Engine {
         self.bytes.fetch_add(b, Ordering::Relaxed);
     }
 
-    /// Joins operation `seq` of kind `kind`, contributing via `deposit`,
-    /// which receives the accumulator slot (None on first arrival).
-    /// `finalize` runs exactly once, when the last rank arrives.
+    /// Joins operation `seq` of kind `kind` as communicator rank `rank`,
+    /// contributing via `deposit`, which receives the accumulator slot
+    /// (None on first arrival). `finalize` runs exactly once, when the last
+    /// rank arrives.
     pub fn join(
         &self,
+        rank: usize,
         seq: u64,
         kind: OpKind,
         deposit: impl FnOnce(&mut Option<Box<dyn Any + Send>>),
         finalize: impl FnOnce(&mut Option<Box<dyn Any + Send>>),
-    ) {
-        self.check_poison();
+    ) -> Result<(), CommError> {
+        self.check_poison()?;
         let mut slots = self.slots.lock();
-        let slot =
-            slots.entry(seq).or_insert_with(|| OpSlot { kind, arrived: 0, retired: 0, acc: None });
+        let slot = slots.entry(seq).or_insert_with(|| OpSlot::new(kind, self.size));
         if slot.kind != kind {
             let msg = format!(
                 "collective mismatch at seq {seq}: one rank called {:?}, another {kind:?}",
                 slot.kind
             );
             drop(slots);
-            self.poison(msg);
+            return Err(self.poison(msg));
         }
         deposit(&mut slot.acc);
+        assert!(!slot.joined[rank], "rank {rank} joined op seq {seq} twice");
+        slot.joined[rank] = true;
         slot.arrived += 1;
         assert!(slot.arrived <= self.size, "more joins than communicator size at seq {seq}");
         if slot.arrived == self.size {
             finalize(&mut slot.acc);
             self.cv.notify_all();
         }
+        Ok(())
     }
 
     /// Non-blocking check whether all ranks have joined op `seq`.
@@ -187,17 +294,27 @@ impl Engine {
     }
 
     /// Blocking completion: waits until all ranks joined, then collects.
+    ///
+    /// Fails fast with [`CommError::RankFailed`] once a member that has not
+    /// joined is confirmed dead or recovering (after
+    /// [`FAILURE_CONFIRM_RETRIES`] backoff re-checks), with
+    /// [`CommError::Poisoned`] on protocol misuse elsewhere, and with
+    /// [`CommError::Timeout`] when the plan-scaled deadlock budget runs out.
     pub fn wait_complete<T>(
         &self,
         seq: u64,
         collect: impl FnOnce(&mut Option<Box<dyn Any + Send>>) -> T,
-    ) -> T {
+    ) -> Result<T, CommError> {
         let mut slots = self.slots.lock();
+        let budget = self.deadlock_timeout();
+        let mut waited = Duration::ZERO;
+        let mut stuck_checks = 0u32;
+        let mut slice = WAIT_SLICE;
         loop {
             if self.poisoned.load(Ordering::Acquire) {
-                panic!("communicator poisoned by a collective mismatch in another rank");
+                return Err(self.poisoned_error());
             }
-            {
+            let (kind, arrived, stuck) = {
                 // xtask: allow(unwrap) — `seq` comes from a Request this
                 // engine issued, and this rank has not retired it yet.
                 let slot = slots.get_mut(&seq).expect("wait_complete on unknown op");
@@ -207,16 +324,125 @@ impl Engine {
                     if slot.retired == self.size {
                         slots.remove(&seq);
                     }
-                    return out;
+                    return Ok(out);
+                }
+                let stuck = self.health.first_stuck_member(&self.members, &slot.joined);
+                (slot.kind, slot.arrived, stuck)
+            };
+            if let Some(world_rank) = stuck {
+                stuck_checks += 1;
+                if stuck_checks > FAILURE_CONFIRM_RETRIES {
+                    return Err(CommError::RankFailed { rank: world_rank });
+                }
+                slice = slice.saturating_mul(2); // confirm with backoff
+            } else {
+                stuck_checks = 0;
+                slice = WAIT_SLICE;
+            }
+            if self.cv.wait_for(&mut slots, slice).timed_out() {
+                waited += slice;
+                if waited >= budget {
+                    return Err(CommError::Timeout {
+                        op: format!(
+                            "op seq {seq} ({kind:?}) stuck with {arrived}/{} ranks \
+                             after {budget:?}",
+                            self.size
+                        ),
+                        replay: self.replay(),
+                    });
                 }
             }
-            let timeout = self.deadlock_timeout();
-            if self.cv.wait_for(&mut slots, timeout).timed_out() {
-                let slot = &slots[&seq];
-                panic!(
-                    "collective deadlock: op seq {seq} ({:?}) stuck with {}/{} ranks after {:?}",
-                    slot.kind, slot.arrived, self.size, timeout
-                );
+        }
+    }
+
+    /// One generation of the shrink protocol (`MPI_Comm_shrink` in ULFM
+    /// terms): every *living* member must call this with the same
+    /// `generation`; the generation completes once each member has either
+    /// joined it or been declared dead. The first rank to observe
+    /// completion builds the child engine — survivors are exactly the
+    /// joiners, in parent-rank order — and all survivors receive the same
+    /// child. Returns the child engine plus this rank's new rank.
+    ///
+    /// The child's plan-hash salt is derived from the *generation key*, not
+    /// from the op-sequence counter (survivors' seq counters legitimately
+    /// diverge before a failure is noticed), which also guarantees the salt
+    /// stream is independent of every `split` child and of other shrink
+    /// generations.
+    pub(crate) fn shrink(
+        &self,
+        rank: usize,
+        generation: u64,
+    ) -> Result<(Arc<Engine>, usize), CommError> {
+        let key = SHRINK_KEY_BASE | generation;
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(key).or_insert_with(|| OpSlot::new(OpKind::Shrink, self.size));
+        assert!(slot.kind == OpKind::Shrink, "reserved shrink key collided with an op");
+        assert!(!slot.joined[rank], "rank {rank} joined shrink generation {generation} twice");
+        slot.joined[rank] = true;
+        slot.arrived += 1;
+        self.cv.notify_all();
+        let budget = self.deadlock_timeout();
+        let mut waited = Duration::ZERO;
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(self.poisoned_error());
+            }
+            {
+                // xtask: allow(unwrap) — the slot is freed only after the
+                // last survivor retires, and this rank has not retired yet.
+                let slot = slots.get_mut(&key).expect("shrink generation slot present");
+                let done =
+                    slot.acc.is_some() || self.health.shrink_complete(&self.members, &slot.joined);
+                if done {
+                    if slot.acc.is_none() {
+                        // First observer: survivors = the joiners, in parent
+                        // rank order (deterministic — a member dead at this
+                        // point never joins this generation later).
+                        let survivors: Vec<usize> =
+                            (0..self.size).filter(|&r| slot.joined[r]).collect();
+                        let world: Vec<usize> =
+                            survivors.iter().map(|&r| self.members[r]).collect();
+                        let salt = crate::fault::derive_salt(self.salt, key, 0);
+                        let child = Engine::for_members(
+                            world.clone(),
+                            self.plan.clone(),
+                            salt,
+                            self.health.clone(),
+                            self.bytes_transferred(),
+                        );
+                        self.health.end_recovery(&world);
+                        slot.acc = Some(Box::new(ShrinkAcc { child: (child, survivors) }));
+                        self.cv.notify_all();
+                    }
+                    let acc = slot
+                        .acc
+                        .as_ref()
+                        .and_then(|a| a.downcast_ref::<ShrinkAcc>())
+                        // xtask: allow(unwrap) — just stored/observed above,
+                        // and the reserved key space pins the type.
+                        .expect("shrink accumulator");
+                    let (child, survivors) = (acc.child.0.clone(), acc.child.1.clone());
+                    let new_rank = survivors
+                        .iter()
+                        .position(|&r| r == rank)
+                        // xtask: allow(unwrap) — this rank joined, so it is
+                        // among the survivors by construction.
+                        .expect("own rank among shrink survivors");
+                    slot.retired += 1;
+                    if slot.retired == survivors.len() {
+                        slots.remove(&key);
+                    }
+                    return Ok((child, new_rank));
+                }
+            }
+            if self.cv.wait_for(&mut slots, WAIT_SLICE).timed_out() {
+                waited += WAIT_SLICE;
+                if waited >= budget {
+                    return Err(CommError::Timeout {
+                        op: format!("shrink generation {generation} incomplete after {budget:?}"),
+                        replay: self.replay(),
+                    });
+                }
             }
         }
     }
@@ -231,9 +457,15 @@ pub struct Request<T> {
     /// Extractor for this rank's result; consumed on completion.
     collect: Option<Collector<T>>,
     result: Option<T>,
+    /// Sticky failure: once an error is observed the request keeps
+    /// reporting it.
+    failed: Option<CommError>,
     /// Remaining injected polls before this rank may observe completion
     /// (the fault plan's logical clock; 0 when running without a plan).
     delay: u64,
+    /// Crash schedule of the owning rank: each unsuccessful poll is one
+    /// logical-clock tick of its `AfterPolls` fuse.
+    crash: Option<Arc<RankCrashState>>,
     /// Telemetry writer of the owning rank thread: each unsuccessful
     /// `test()` ticks its logical clock (one overlapped unit of work) and
     /// completion records a `CollectiveComplete` marker.
@@ -249,18 +481,35 @@ impl<T> Request<T> {
         seq: u64,
         delay: u64,
         collect: Collector<T>,
+        crash: Option<Arc<RankCrashState>>,
         tracer: Option<EventWriter>,
     ) -> Self {
-        Request { engine, seq, collect: Some(collect), result: None, delay, tracer }
+        Request {
+            engine,
+            seq,
+            collect: Some(collect),
+            result: None,
+            failed: None,
+            delay,
+            crash,
+            tracer,
+        }
     }
 
-    /// One overlapped (unsuccessful) poll: tick the logical clock and the
-    /// overlap counter.
-    fn trace_poll(&self) {
+    /// One overlapped (unsuccessful) poll: tick the logical clock, the
+    /// overlap counter, and the owning rank's crash fuse.
+    fn trace_poll(&mut self) -> Result<(), CommError> {
         if let Some(w) = &self.tracer {
             w.tick(1);
             w.count(CounterId::OverlapPolls, 1);
         }
+        if let Some(c) = &self.crash {
+            if let Err(e) = c.on_poll() {
+                self.failed = Some(e.clone());
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     /// The collective resolved at this rank.
@@ -270,27 +519,30 @@ impl<T> Request<T> {
         }
     }
 
-    /// Polls for completion without blocking. Returns `true` once the
+    /// Polls for completion without blocking. Returns `Ok(true)` once the
     /// operation is complete (after which [`Request::into_result`] /
     /// [`Request::wait`] yield the value). Subsequent calls keep returning
-    /// `true`.
+    /// `Ok(true)`; a failed request keeps returning its error.
     ///
     /// Under a fault plan the poll sequence is *deterministic*: the request
-    /// returns `false` exactly as many times as the plan injected for this
-    /// `(communicator, rank, seq)` — each `false` is one tick of the logical
-    /// clock, i.e. one overlapped sample in the paper's algorithms — and the
-    /// next call blocks until the collective genuinely completes, then
-    /// returns `true`. The number of overlapped iterations thus depends only
-    /// on `(plan, seed)`, never on OS scheduling, which is what makes
-    /// perturbed runs bit-reproducible.
-    pub fn test(&mut self) -> bool {
+    /// returns `Ok(false)` exactly as many times as the plan injected for
+    /// this `(communicator, rank, seq)` — each `false` is one tick of the
+    /// logical clock, i.e. one overlapped sample in the paper's algorithms —
+    /// and the next call blocks until the collective genuinely completes,
+    /// then returns `Ok(true)`. The number of overlapped iterations thus
+    /// depends only on `(plan, seed)`, never on OS scheduling, which is what
+    /// makes perturbed runs bit-reproducible.
+    pub fn test(&mut self) -> Result<bool, CommError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
         if self.result.is_some() || self.collect.is_none() {
-            return true;
+            return Ok(true);
         }
         if self.delay > 0 {
             self.delay -= 1;
-            self.trace_poll();
-            return false;
+            self.trace_poll()?;
+            return Ok(false);
         }
         if self.engine.plan.is_some() {
             // Deterministic regime: injected polls exhausted — resolve now,
@@ -299,13 +551,21 @@ impl<T> Request<T> {
             // xtask: allow(unwrap) — `collect` is consumed exactly once:
             // here or below, both guarded by the early return above.
             let collect = self.collect.take().unwrap();
-            self.result = Some(self.engine.wait_complete(self.seq, collect));
-            self.trace_complete();
-            return true;
+            match self.engine.wait_complete(self.seq, collect) {
+                Ok(v) => {
+                    self.result = Some(v);
+                    self.trace_complete();
+                    return Ok(true);
+                }
+                Err(e) => {
+                    self.failed = Some(e.clone());
+                    return Err(e);
+                }
+            }
         }
         if !self.engine.is_complete(self.seq) {
-            self.trace_poll();
-            return false;
+            self.trace_poll()?;
+            return Ok(false);
         }
         // Completion is monotone and this rank has not retired yet, so the
         // slot is guaranteed to still exist for the collection step.
@@ -314,20 +574,23 @@ impl<T> Request<T> {
         let collect = self.collect.take().unwrap();
         self.result = Some(self.engine.try_complete(self.seq, collect));
         self.trace_complete();
-        true
+        Ok(true)
     }
 
     /// Blocks until completion and returns the result.
-    pub fn wait(mut self) -> T {
+    pub fn wait(mut self) -> Result<T, CommError> {
+        if let Some(e) = self.failed.take() {
+            return Err(e);
+        }
         if let Some(v) = self.result.take() {
-            return v;
+            return Ok(v);
         }
         // xtask: allow(unwrap) — wait() takes self; if test() already
         // collected, the result.take() above returned early.
         let collect = self.collect.take().expect("request already consumed");
-        let out = self.engine.wait_complete(self.seq, collect);
+        let out = self.engine.wait_complete(self.seq, collect)?;
         self.trace_complete();
-        out
+        Ok(out)
     }
 
     /// Returns the result if `test()` previously succeeded.

@@ -1,0 +1,91 @@
+//! Typed communicator errors.
+//!
+//! The engine's failure paths (deadlock timeout, poison on protocol misuse,
+//! and the crash-fault layer's dead-rank detection) surface as [`CommError`]
+//! values propagated through `Result`s instead of panics, so drivers can
+//! react — a [`CommError::RankFailed`] is the cue for shrink-and-continue
+//! recovery ([`crate::Communicator::shrink`]), while `Timeout`/`Poisoned`
+//! indicate an algorithm bug and carry the `(plan, seed)` replay pair needed
+//! to reproduce it bit-for-bit.
+
+use std::fmt;
+
+/// Why a communicator operation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A member of the communicator was declared dead before joining the
+    /// operation; the op can never complete. `rank` is the failed process's
+    /// *world* rank (stable across splits and shrinks). A crashing rank
+    /// receives this error with its own world rank.
+    RankFailed {
+        /// World rank of the failed process.
+        rank: usize,
+    },
+    /// A blocking wait exhausted the (plan-scaled) deadlock budget with no
+    /// member declared dead — a collective-order bug in the algorithm under
+    /// test, not a fault-injection outcome.
+    Timeout {
+        /// What was being waited on (op seq, kind, join progress).
+        op: String,
+        /// The `(plan, seed)` replay pair of the run.
+        replay: String,
+    },
+    /// Another rank detected protocol misuse (collective kind mismatch) and
+    /// poisoned the communicator; all waiters fail fast instead of riding
+    /// the deadlock timeout.
+    Poisoned {
+        /// The poisoning rank's diagnostic.
+        detail: String,
+        /// The `(plan, seed)` replay pair of the run.
+        replay: String,
+    },
+}
+
+impl CommError {
+    /// The failed world rank, if this error reports a dead member.
+    pub fn failed_rank(&self) -> Option<usize> {
+        match self {
+            CommError::RankFailed { rank } => Some(*rank),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::RankFailed { rank } => {
+                write!(f, "communicator member failed: world rank {rank} is dead")
+            }
+            CommError::Timeout { op, replay } => {
+                write!(f, "collective deadlock: {op} [replay: {replay}]")
+            }
+            CommError::Poisoned { detail, replay } => {
+                write!(f, "communicator poisoned: {detail} [replay: {replay}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_and_poison_messages_carry_the_replay_pair() {
+        let t = CommError::Timeout {
+            op: "op seq 3 (Barrier) stuck with 1/2 ranks".into(),
+            replay: "FaultPlan { seed: 7, .. }".into(),
+        };
+        assert!(t.to_string().contains("replay: FaultPlan { seed: 7"));
+        let p = CommError::Poisoned {
+            detail: "collective mismatch at seq 0".into(),
+            replay: "plan: none (free-running)".into(),
+        };
+        assert!(p.to_string().contains("replay: plan: none"));
+        assert_eq!(p.failed_rank(), None);
+        assert_eq!(CommError::RankFailed { rank: 3 }.failed_rank(), Some(3));
+    }
+}

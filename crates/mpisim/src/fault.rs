@@ -60,6 +60,23 @@ const TAG_COLLECTIVE: u64 = 0x01;
 const TAG_P2P: u64 = 0x02;
 const TAG_QUOTA: u64 = 0x03;
 const TAG_OVERLAP: u64 = 0x04;
+const TAG_CRASH: u64 = 0x05;
+
+/// When a scheduled rank crash fires, on the rank's own logical clock (see
+/// the module docs) — so crashes are exactly reproducible from
+/// `(plan, seed)` like every other injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// The rank dies *instead of joining* its `s`-th collective call
+    /// (0-based), counted across every communicator it owns — world and
+    /// `split` children alike ([`crate::Communicator::shrink`] is the
+    /// recovery path and carries no crash checkpoint).
+    AtCollective(u64),
+    /// The rank dies on its `k`-th cumulative unsuccessful request poll
+    /// (1-based) — i.e. mid-overlap, typically with a reduction in flight,
+    /// which is how the chaos suite exercises crash-during-reduction.
+    AfterPolls(u64),
+}
 
 /// A deterministic fault & straggler plan for one simulated MPI world.
 ///
@@ -93,6 +110,11 @@ pub struct FaultPlan {
     /// Percentage jitter (`0..=90`) applied to worker per-epoch quotas, so
     /// epoch lengths are skewed across threads even without slow threads.
     pub quota_jitter_pct: u64,
+    /// Scheduled rank crashes: `(world rank, crash point)` pairs. At most
+    /// the first entry per rank applies. Empty in [`FaultPlan::ideal`] and
+    /// [`FaultPlan::from_seed`] plans; use the `with_crash_*` builders or
+    /// [`FaultPlan::from_seed_with_crashes`].
+    pub crashes: Vec<(usize, CrashPoint)>,
 }
 
 impl FaultPlan {
@@ -109,6 +131,7 @@ impl FaultPlan {
             slow_threads: Vec::new(),
             slow_thread_factor: 1,
             quota_jitter_pct: 0,
+            crashes: Vec::new(),
         }
     }
 
@@ -127,6 +150,7 @@ impl FaultPlan {
             slow_threads: Vec::new(),
             slow_thread_factor: 1,
             quota_jitter_pct: h(4) % 60,
+            crashes: Vec::new(),
         };
         if h(5) % 2 == 0 {
             // One straggler rank among the first 8 (clamped later by use).
@@ -138,6 +162,31 @@ impl FaultPlan {
                 usize::try_from(h(10) % 4).unwrap_or(0),
                 2 + h(11) % 6,
             );
+        }
+        plan
+    }
+
+    /// A [`FaultPlan::from_seed`] corpus plan with one scheduled rank crash
+    /// on top — the crash-chaos corpus generator (`cargo xtask chaos
+    /// --crashes N`). The victim rank and crash point are hashed from the
+    /// seed; collectives are scheduled past the setup phase (diameter
+    /// broadcast, calibration all-reduce, hierarchy splits) so the crash
+    /// lands mid-adaptive-sampling, where ledger-based recovery applies.
+    /// With `world_size <= 1` no crash is added (a sole rank cannot shrink).
+    pub fn from_seed_with_crashes(seed: u64, world_size: usize) -> Self {
+        let mut plan = Self::from_seed(seed);
+        if world_size > 1 {
+            let h = |k: u64| mix2(mix2(seed, TAG_CRASH), k);
+            let rank = usize::try_from(h(1) % world_size as u64).unwrap_or(0);
+            plan = if h(2) % 2 == 0 {
+                plan.with_crash_at_collective(rank, 5 + h(3) % 10)
+            } else {
+                // Guarantee polls actually occur so the crash can fire.
+                if plan.collective_delay_polls.1 < 4 {
+                    plan.collective_delay_polls.1 = 4;
+                }
+                plan.with_crash_after_polls(rank, 8 + h(4) % 48)
+            };
         }
         plan
     }
@@ -168,6 +217,26 @@ impl FaultPlan {
         assert!(min <= max, "delay range reversed");
         self.collective_delay_polls = (min, max);
         self
+    }
+
+    /// Schedules world rank `rank` to die instead of joining its `s`-th
+    /// collective call (0-based, counted across all its communicators).
+    pub fn with_crash_at_collective(mut self, rank: usize, s: u64) -> Self {
+        self.crashes.push((rank, CrashPoint::AtCollective(s)));
+        self
+    }
+
+    /// Schedules world rank `rank` to die on its `k`-th cumulative
+    /// unsuccessful request poll (1-based) — mid-overlap, with whatever
+    /// collective it was polling still in flight.
+    pub fn with_crash_after_polls(mut self, rank: usize, k: u64) -> Self {
+        self.crashes.push((rank, CrashPoint::AfterPolls(k.max(1))));
+        self
+    }
+
+    /// The crash scheduled for world rank `rank`, if any (first entry wins).
+    pub fn crash_point(&self, rank: usize) -> Option<CrashPoint> {
+        self.crashes.iter().find(|(r, _)| *r == rank).map(|(_, p)| *p)
     }
 
     /// The latency scale of `rank` (1 unless rank-scoped factors apply).
@@ -256,14 +325,15 @@ impl FaultPlan {
     pub fn summary(&self) -> String {
         format!(
             "FaultPlan {{ seed: {}, delay: {:?}, rank_factors: {:?}, p2p_jitter: {}, \
-             slow_threads: {:?}/{}, quota_jitter: {}% }}",
+             slow_threads: {:?}/{}, quota_jitter: {}%, crashes: {:?} }}",
             self.seed,
             self.collective_delay_polls,
             self.rank_factors,
             self.p2p_jitter,
             self.slow_threads,
             self.slow_thread_factor,
-            self.quota_jitter_pct
+            self.quota_jitter_pct,
+            self.crashes
         )
     }
 }
@@ -383,6 +453,42 @@ mod tests {
             assert!(a.p2p_jitter <= 3);
             assert!(a.quota_jitter_pct <= 90);
             assert!(a.timeout_scale() >= 1);
+            assert!(a.crashes.is_empty(), "plain corpus plans must stay crash-free");
         }
+    }
+
+    #[test]
+    fn crash_schedule_is_plain_data_and_reproducible() {
+        let p = FaultPlan::ideal(4).with_crash_at_collective(2, 7).with_crash_after_polls(1, 16);
+        assert_eq!(p.crash_point(2), Some(CrashPoint::AtCollective(7)));
+        assert_eq!(p.crash_point(1), Some(CrashPoint::AfterPolls(16)));
+        assert_eq!(p.crash_point(0), None);
+        // First entry per rank wins.
+        let q = p.clone().with_crash_after_polls(2, 3);
+        assert_eq!(q.crash_point(2), Some(CrashPoint::AtCollective(7)));
+        // The summary (the replay handle) carries the crash schedule.
+        assert!(p.summary().contains("AtCollective(7)"), "{}", p.summary());
+        assert_eq!(p, p.clone());
+    }
+
+    #[test]
+    fn crash_corpus_is_reproducible_bounded_and_past_setup() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed_with_crashes(seed, 4);
+            assert_eq!(a, FaultPlan::from_seed_with_crashes(seed, 4));
+            assert_eq!(a.crashes.len(), 1, "exactly one crash per corpus plan");
+            let (rank, point) = a.crashes[0];
+            assert!(rank < 4);
+            match point {
+                // Past the setup phase of both drivers (see generator docs).
+                CrashPoint::AtCollective(s) => assert!((5..15).contains(&s)),
+                CrashPoint::AfterPolls(k) => {
+                    assert!((8..56).contains(&k));
+                    assert!(a.collective_delay_polls.1 >= 4, "polls must be able to occur");
+                }
+            }
+        }
+        // A single-rank world never gets a crash scheduled.
+        assert!(FaultPlan::from_seed_with_crashes(11, 1).crashes.is_empty());
     }
 }

@@ -1,0 +1,213 @@
+//! World-health bookkeeping for the crash-fault layer.
+//!
+//! One [`WorldHealth`] is shared by every communicator of a simulated MPI
+//! world (the world engine and all of its `split`/`shrink` descendants), so
+//! a rank declared dead on any communicator is visible to waiters on all of
+//! them — the property that keeps the hierarchical drivers deadlock-free
+//! when a failure is first observed on a sibling communicator.
+//!
+//! Two member states matter to a waiter:
+//!
+//! * **dead** — the rank hit its plan-scheduled crash point and will never
+//!   join another operation;
+//! * **recovering** — the rank abandoned its current program point to enter
+//!   [`crate::Communicator::shrink`] and will never join *old* (pre-shrink)
+//!   operations, though it is still alive.
+//!
+//! An operation wait fails (with [`crate::CommError::RankFailed`]) exactly
+//! when some member has joined neither state-wise nor literally: a member in
+//! `dead ∪ recovering` that has not joined the op never will, so the op can
+//! never complete. Completion itself remains "all members joined" — failure
+//! detection only short-circuits waits that are provably stuck, which is
+//! what keeps perturbed-run outcomes a pure function of `(plan, seed)`.
+
+use crate::error::CommError;
+use crate::fault::CrashPoint;
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Liveness registry shared by all communicators of one world.
+pub(crate) struct WorldHealth {
+    state: Mutex<HealthState>,
+}
+
+#[derive(Default)]
+struct HealthState {
+    dead: BTreeSet<usize>,
+    recovering: BTreeSet<usize>,
+}
+
+impl WorldHealth {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(WorldHealth { state: Mutex::new(HealthState::default()) })
+    }
+
+    /// Declares `world_rank` dead (idempotent, never reversed).
+    pub(crate) fn mark_dead(&self, world_rank: usize) {
+        self.state.lock().dead.insert(world_rank);
+    }
+
+    pub(crate) fn is_dead(&self, world_rank: usize) -> bool {
+        self.state.lock().dead.contains(&world_rank)
+    }
+
+    /// Marks `world_rank` as having abandoned pre-shrink operations.
+    pub(crate) fn begin_recovery(&self, world_rank: usize) {
+        self.state.lock().recovering.insert(world_rank);
+    }
+
+    /// Clears the recovering flag of every shrink survivor (they have all
+    /// joined the shrink generation, so no waiter can still be blocked on an
+    /// operation they abandoned).
+    pub(crate) fn end_recovery(&self, survivors: &[usize]) {
+        let mut st = self.state.lock();
+        for r in survivors {
+            st.recovering.remove(r);
+        }
+    }
+
+    /// The smallest world rank in `members` that has not joined (per
+    /// `joined`, indexed like `members`) and never will — i.e. is dead or
+    /// recovering. `None` means every absent member may still arrive.
+    pub(crate) fn first_stuck_member(&self, members: &[usize], joined: &[bool]) -> Option<usize> {
+        let st = self.state.lock();
+        members
+            .iter()
+            .zip(joined)
+            .filter(|&(wr, &j)| !j && (st.dead.contains(wr) || st.recovering.contains(wr)))
+            .map(|(&wr, _)| wr)
+            .min()
+    }
+
+    /// Whether every member either joined or is dead (the completion rule of
+    /// a shrink generation, which excuses only the genuinely dead — a
+    /// recovering member is en route to this very shrink and must join it).
+    pub(crate) fn shrink_complete(&self, members: &[usize], joined: &[bool]) -> bool {
+        let st = self.state.lock();
+        members.iter().zip(joined).all(|(wr, &j)| j || st.dead.contains(wr))
+    }
+}
+
+/// Per-rank crash schedule derived from the [`crate::FaultPlan`]: a logical
+/// clock of collective joins and unsuccessful polls, shared (via `Arc`) by
+/// every communicator and request the rank owns, so the crash fires at the
+/// plan's exact program point regardless of which communicator the rank is
+/// using. Created by [`crate::Universe`]; absent without a scheduled crash.
+pub(crate) struct RankCrashState {
+    world_rank: usize,
+    point: CrashPoint,
+    health: Arc<WorldHealth>,
+    joins: AtomicU64,
+    polls: AtomicU64,
+    fired: AtomicBool,
+}
+
+impl RankCrashState {
+    pub(crate) fn new(world_rank: usize, point: CrashPoint, health: Arc<WorldHealth>) -> Arc<Self> {
+        Arc::new(RankCrashState {
+            world_rank,
+            point,
+            health,
+            joins: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        })
+    }
+
+    fn die(&self) -> CommError {
+        self.fired.store(true, Ordering::Relaxed);
+        self.health.mark_dead(self.world_rank);
+        CommError::RankFailed { rank: self.world_rank }
+    }
+
+    /// Called before each collective join (shrink excluded). The rank dies
+    /// *instead of* joining its scheduled collective, counted across every
+    /// communicator it owns.
+    pub(crate) fn on_collective(&self) -> Result<(), CommError> {
+        if self.fired.load(Ordering::Relaxed) {
+            return Err(CommError::RankFailed { rank: self.world_rank });
+        }
+        let nth = self.joins.fetch_add(1, Ordering::Relaxed);
+        match self.point {
+            CrashPoint::AtCollective(s) if nth >= s => Err(self.die()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Called on each unsuccessful request poll (one logical-clock tick).
+    /// Under a plan the cumulative poll count at any program point is a pure
+    /// function of the plan's injected delays, so an `AfterPolls` crash
+    /// lands mid-overlap (e.g. during an in-flight reduction) and is still
+    /// exactly reproducible.
+    pub(crate) fn on_poll(&self) -> Result<(), CommError> {
+        if self.fired.load(Ordering::Relaxed) {
+            return Err(CommError::RankFailed { rank: self.world_rank });
+        }
+        let n = self.polls.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.point {
+            CrashPoint::AfterPolls(k) if n >= k => Err(self.die()),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_fires_at_the_scheduled_collective_and_marks_dead() {
+        let health = WorldHealth::new();
+        let cs = RankCrashState::new(2, CrashPoint::AtCollective(3), health.clone());
+        for _ in 0..3 {
+            assert!(cs.on_collective().is_ok());
+        }
+        assert!(!health.is_dead(2));
+        assert_eq!(cs.on_collective(), Err(CommError::RankFailed { rank: 2 }));
+        assert!(health.is_dead(2));
+        // Once fired, every further checkpoint keeps failing.
+        assert!(cs.on_poll().is_err());
+        assert!(cs.on_collective().is_err());
+    }
+
+    #[test]
+    fn poll_crash_counts_cumulatively() {
+        let health = WorldHealth::new();
+        let cs = RankCrashState::new(0, CrashPoint::AfterPolls(5), health.clone());
+        for _ in 0..4 {
+            assert!(cs.on_poll().is_ok());
+        }
+        assert_eq!(cs.on_poll(), Err(CommError::RankFailed { rank: 0 }));
+        assert!(health.is_dead(0));
+    }
+
+    #[test]
+    fn stuck_member_detection_respects_join_state() {
+        let health = WorldHealth::new();
+        let members = [0usize, 3, 5];
+        // Nobody dead: absent members may still arrive.
+        assert_eq!(health.first_stuck_member(&members, &[false, false, false]), None);
+        health.mark_dead(5);
+        // Dead but already joined: the op can still complete.
+        assert_eq!(health.first_stuck_member(&members, &[false, false, true]), None);
+        // Dead and not joined: provably stuck.
+        assert_eq!(health.first_stuck_member(&members, &[true, false, false]), Some(5));
+        health.begin_recovery(3);
+        assert_eq!(health.first_stuck_member(&members, &[true, false, false]), Some(3));
+        health.end_recovery(&[3]);
+        assert_eq!(health.first_stuck_member(&members, &[true, false, false]), Some(5));
+    }
+
+    #[test]
+    fn shrink_completion_excuses_only_the_dead() {
+        let health = WorldHealth::new();
+        let members = [0usize, 1, 2];
+        assert!(!health.shrink_complete(&members, &[true, false, true]));
+        health.begin_recovery(1); // recovering must still join
+        assert!(!health.shrink_complete(&members, &[true, false, true]));
+        health.mark_dead(1);
+        assert!(health.shrink_complete(&members, &[true, false, true]));
+    }
+}

@@ -13,8 +13,9 @@
 //!
 //! * Collectives must be called by **all ranks of a communicator in the same
 //!   order** — exactly MPI's rule. The runtime detects violations (mismatched
-//!   operation kinds for the same sequence number) and panics with a
-//!   diagnostic instead of deadlocking.
+//!   operation kinds for the same sequence number), poisons the communicator,
+//!   and every waiter fails with a typed [`CommError::Poisoned`] instead of
+//!   deadlocking or panicking.
 //! * Non-blocking operations return a [`Request`]; `test()` polls without
 //!   blocking (the caller can keep sampling — this is what Algorithms 1 and 2
 //!   of the paper do in their `while IREDUCE(...) is not done` loops),
@@ -33,17 +34,27 @@
 //! Besides the collectives the paper's algorithms use, the runtime provides
 //! tagged point-to-point messaging (buffered `send`, blocking `recv`,
 //! `probe`) and a rank-ordered `gather` built on it — see [`Communicator`].
+//!
+//! **Fault tolerance** (DESIGN.md §10): every communicator operation returns
+//! a `Result` whose error side is a typed [`CommError`] — never a panic. A
+//! [`FaultPlan`] can schedule deterministic rank crashes ([`CrashPoint`]);
+//! survivors observe [`CommError::RankFailed`] and recover with
+//! [`Communicator::shrink`], the ULFM-style shrink-and-continue protocol the
+//! `kadabra-core` drivers build on.
 
 mod comm;
 mod engine;
+mod error;
 mod fault;
+mod health;
 mod p2p;
 mod sync;
 mod universe;
 
 pub use comm::{Communicator, ReduceOp};
 pub use engine::Request;
-pub use fault::FaultPlan;
+pub use error::CommError;
+pub use fault::{CrashPoint, FaultPlan};
 pub use universe::Universe;
 
 #[cfg(test)]

@@ -5,14 +5,23 @@
 //! uses `gather` to collect distributed score vectors). Matching follows
 //! MPI semantics: messages between a (sender, receiver, tag) triple are
 //! non-overtaking (FIFO); `send` is buffered (never blocks); `recv` blocks
-//! until a matching message arrives.
+//! until a matching message arrives — or fails with a typed
+//! [`CommError`]: `RankFailed` once the awaited source is declared dead
+//! with nothing pending, `Timeout` when the deadlock budget runs out.
 
 use crate::comm::Communicator;
+use crate::error::CommError;
 use crate::fault::FaultPlan;
+use crate::health::WorldHealth;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Re-check period of a blocking receive (matches the engine's wait slice):
+/// each slice the receiver re-examines pending messages and the sender's
+/// liveness.
+const RECV_SLICE: Duration = Duration::from_millis(5);
 
 /// One (src, dst, tag) message stream. Each posted message gets a send
 /// index and a *delivery slot* (slot = index, unless a fault plan displaces
@@ -47,17 +56,38 @@ pub(crate) struct Mailbox {
     salt: u64,
     /// Deadlock budget, already scaled by the plan's worst injected latency.
     timeout: Duration,
+    /// World rank of each member (indexed by communicator rank), for
+    /// dead-sender detection.
+    members: Vec<usize>,
+    /// Liveness registry shared with the owning engine.
+    health: Arc<WorldHealth>,
 }
 
 impl Mailbox {
-    pub(crate) fn new(plan: Option<Arc<FaultPlan>>, salt: u64, timeout: Duration) -> Arc<Self> {
+    pub(crate) fn new(
+        plan: Option<Arc<FaultPlan>>,
+        salt: u64,
+        timeout: Duration,
+        members: Vec<usize>,
+        health: Arc<WorldHealth>,
+    ) -> Arc<Self> {
         Arc::new(Mailbox {
             queues: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
             plan,
             salt,
             timeout,
+            members,
+            health,
         })
+    }
+
+    /// The `(plan, seed)` replay pair for failure diagnostics.
+    fn replay(&self) -> String {
+        match &self.plan {
+            Some(p) => p.summary(),
+            None => "plan: none (free-running)".to_string(),
+        }
     }
 
     fn post(&self, src: usize, dst: usize, tag: u64, payload: Vec<u64>) {
@@ -75,23 +105,38 @@ impl Mailbox {
 
     /// Pops the minimum pending `(slot, index)` and returns it with the
     /// payload, so the receiver's tracer can record the delivery slot.
-    fn take(&self, src: usize, dst: usize, tag: u64) -> ((u64, u64), Vec<u64>) {
+    ///
+    /// Pending messages win over a dead sender (a buffered send survives the
+    /// sender's crash, as in MPI); only an *empty* stream from a dead source
+    /// fails, because nothing new can ever be posted.
+    fn take(&self, src: usize, dst: usize, tag: u64) -> Result<((u64, u64), Vec<u64>), CommError> {
         let mut q = self.queues.lock();
+        let mut waited = Duration::ZERO;
         loop {
             if let Some(stream) = q.get_mut(&(src, dst, tag)) {
                 if let Some((&key, _)) = stream.pending.iter().next() {
                     // xtask: allow(unwrap) — `key` was just observed present
                     // and the map is under the same lock.
                     let payload = stream.pending.remove(&key).expect("pending message present");
-                    return (key, payload);
+                    return Ok((key, payload));
                 }
             }
-            if self.cv.wait_for(&mut q, self.timeout).timed_out() {
-                panic!(
-                    "recv deadlock: no message from rank {src} to rank {dst} with tag {tag} \
-                     after {:?}",
-                    self.timeout
-                );
+            let src_world = self.members[src];
+            if self.health.is_dead(src_world) {
+                return Err(CommError::RankFailed { rank: src_world });
+            }
+            if self.cv.wait_for(&mut q, RECV_SLICE).timed_out() {
+                waited += RECV_SLICE;
+                if waited >= self.timeout {
+                    return Err(CommError::Timeout {
+                        op: format!(
+                            "recv from rank {src} to rank {dst} with tag {tag}: no message \
+                             after {:?}",
+                            self.timeout
+                        ),
+                        replay: self.replay(),
+                    });
+                }
             }
         }
     }
@@ -112,11 +157,11 @@ impl Communicator {
     }
 
     /// Blocking receive of a message from `src` with `tag` (`MPI_Recv`).
-    pub fn recv_u64s(&self, src: usize, tag: u64) -> Vec<u64> {
+    pub fn recv_u64s(&self, src: usize, tag: u64) -> Result<Vec<u64>, CommError> {
         assert!(src < self.size(), "source out of range");
-        let ((slot, _idx), payload) = self.mailbox().take(src, self.rank(), tag);
+        let ((slot, _idx), payload) = self.mailbox().take(src, self.rank(), tag)?;
         self.trace_p2p(src, slot);
-        payload
+        Ok(payload)
     }
 
     /// Non-blocking probe: whether a message from `src` with `tag` is ready.
@@ -127,7 +172,11 @@ impl Communicator {
     /// Gathers every rank's vector at `root` (`MPI_Gatherv`): the root
     /// receives all payloads ordered by rank; other ranks receive `None`.
     /// Implemented over point-to-point with a reserved tag space.
-    pub fn gather_u64s(&self, root: usize, payload: &[u64]) -> Option<Vec<Vec<u64>>> {
+    pub fn gather_u64s(
+        &self,
+        root: usize,
+        payload: &[u64],
+    ) -> Result<Option<Vec<Vec<u64>>>, CommError> {
         assert!(root < self.size(), "root out of range");
         const GATHER_TAG: u64 = u64::MAX - 0xA1;
         if self.rank() == root {
@@ -136,13 +185,13 @@ impl Communicator {
                 if src == root {
                     out.push(payload.to_vec());
                 } else {
-                    out.push(self.recv_u64s(src, GATHER_TAG));
+                    out.push(self.recv_u64s(src, GATHER_TAG)?);
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
             self.send_u64s(root, GATHER_TAG, payload);
-            None
+            Ok(None)
         }
     }
 }
@@ -158,7 +207,7 @@ mod tests {
                 comm.send_u64s(1, 7, &[1, 2, 3]);
                 Vec::new()
             } else {
-                comm.recv_u64s(0, 7)
+                comm.recv_u64s(0, 7).unwrap()
             }
         });
         assert_eq!(out[1], vec![1, 2, 3]);
@@ -173,7 +222,7 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..10).map(|_| comm.recv_u64s(0, 1)[0]).collect()
+                (0..10).map(|_| comm.recv_u64s(0, 1).unwrap()[0]).collect()
             }
         });
         assert_eq!(out[1], (0..10).collect::<Vec<u64>>());
@@ -188,8 +237,8 @@ mod tests {
                 (0, 0)
             } else {
                 // Receive in reverse send order; tags keep them apart.
-                let b = comm.recv_u64s(0, 200)[0];
-                let a = comm.recv_u64s(0, 100)[0];
+                let b = comm.recv_u64s(0, 200).unwrap()[0];
+                let a = comm.recv_u64s(0, 100).unwrap()[0];
                 (a, b)
             }
         });
@@ -201,12 +250,12 @@ mod tests {
         let out = Universe::run(2, |comm| {
             if comm.rank() == 0 {
                 comm.send_u64s(1, 5, &[42]);
-                comm.barrier();
+                comm.barrier().unwrap();
                 true
             } else {
-                comm.barrier(); // ensure the message has been posted
+                comm.barrier().unwrap(); // ensure the message has been posted
                 let ready = comm.probe(0, 5);
-                let v = comm.recv_u64s(0, 5);
+                let v = comm.recv_u64s(0, 5).unwrap();
                 ready && v == vec![42] && !comm.probe(0, 5)
             }
         });
@@ -217,7 +266,7 @@ mod tests {
     fn gather_collects_in_rank_order() {
         let out = Universe::run(4, |comm| {
             let mine = vec![comm.rank() as u64; comm.rank() + 1];
-            comm.gather_u64s(2, &mine)
+            comm.gather_u64s(2, &mine).unwrap()
         });
         let g = out[2].as_ref().unwrap();
         assert_eq!(g.len(), 4);
@@ -244,7 +293,7 @@ mod tests {
             let mut sum = 0;
             for src in 0..comm.size() {
                 if src != comm.rank() {
-                    sum += comm.recv_u64s(src, 9)[0];
+                    sum += comm.recv_u64s(src, 9).unwrap()[0];
                 }
             }
             sum
@@ -261,8 +310,8 @@ mod tests {
         let out = Universe::run(2, |comm| {
             comm.send_u64s(comm.rank(), 3, &[10]);
             comm.send_u64s(comm.rank(), 3, &[20]);
-            let a = comm.recv_u64s(comm.rank(), 3)[0];
-            let b = comm.recv_u64s(comm.rank(), 3)[0];
+            let a = comm.recv_u64s(comm.rank(), 3).unwrap()[0];
+            let b = comm.recv_u64s(comm.rank(), 3).unwrap()[0];
             (a, b)
         });
         assert_eq!(out, vec![(10, 20), (10, 20)]);
@@ -274,17 +323,17 @@ mod tests {
         // communicator must address different streams: a message posted on
         // the world mailbox is invisible to the child and vice versa.
         let out = Universe::run(4, |comm| {
-            let sub = comm.split(u32::try_from(comm.rank() % 2).unwrap_or(0), 0);
+            let sub = comm.split(u32::try_from(comm.rank() % 2).unwrap_or(0), 0).unwrap();
             // World traffic: 0 -> 1. Child traffic (color 0: world ranks
             // {0, 2} as sub ranks {0, 1}): sub 0 -> sub 1 with the SAME tag.
             if comm.rank() == 0 {
                 comm.send_u64s(1, 7, &[111]);
                 sub.send_u64s(1, 7, &[222]);
             }
-            comm.barrier();
+            comm.barrier().unwrap();
             match comm.rank() {
-                1 => comm.recv_u64s(0, 7)[0],
-                2 => sub.recv_u64s(0, 7)[0],
+                1 => comm.recv_u64s(0, 7).unwrap()[0],
+                2 => sub.recv_u64s(0, 7).unwrap()[0],
                 _ => 0,
             }
         });
@@ -301,11 +350,11 @@ mod tests {
                     for i in 0..32u64 {
                         comm.send_u64s(1, 1, &[i]);
                     }
-                    comm.barrier();
+                    comm.barrier().unwrap();
                     Vec::new()
                 } else {
-                    comm.barrier(); // all messages pending before any recv
-                    (0..32).map(|_| comm.recv_u64s(0, 1)[0]).collect::<Vec<u64>>()
+                    comm.barrier().unwrap(); // all messages pending before any recv
+                    (0..32).map(|_| comm.recv_u64s(0, 1).unwrap()[0]).collect::<Vec<u64>>()
                 }
             })
         };
@@ -337,7 +386,7 @@ mod tests {
                 }
                 Vec::new()
             } else {
-                (0..16).map(|_| comm.recv_u64s(0, 4)[0]).collect()
+                (0..16).map(|_| comm.recv_u64s(0, 4).unwrap()[0]).collect()
             }
         });
         assert_eq!(out[1], (0..16).collect::<Vec<u64>>());

@@ -1,6 +1,6 @@
 //! Integration tests of the simulated MPI runtime.
 
-use crate::{Communicator, FaultPlan, ReduceOp, Universe};
+use crate::{CommError, Communicator, FaultPlan, ReduceOp, Universe};
 
 #[test]
 fn world_size_and_ranks() {
@@ -14,10 +14,10 @@ fn world_size_and_ranks() {
 #[test]
 fn single_rank_world() {
     let out = Universe::run(1, |comm| {
-        comm.barrier();
-        let r = comm.reduce_sum_u64(0, &[1, 2, 3]);
+        comm.barrier().unwrap();
+        let r = comm.reduce_sum_u64(0, &[1, 2, 3]).unwrap();
         assert_eq!(r, Some(vec![1, 2, 3]));
-        comm.bcast_u64(0, Some(9))
+        comm.bcast_u64(0, Some(9)).unwrap()
     });
     assert_eq!(out, vec![9]);
 }
@@ -30,7 +30,7 @@ fn barrier_synchronizes() {
         // Relaxed suffices: the barrier itself is the synchronization under
         // test, and it must order these accesses for the assert to hold.
         before.fetch_add(1, Ordering::Relaxed);
-        comm.barrier();
+        comm.barrier().unwrap();
         // After the barrier every rank must observe all six arrivals.
         assert_eq!(before.load(Ordering::Relaxed), 6);
     });
@@ -40,7 +40,7 @@ fn barrier_synchronizes() {
 fn reduce_sum_vectors() {
     let out = Universe::run(5, |comm| {
         let data = vec![comm.rank() as u64; 4];
-        comm.reduce_sum_u64(2, &data)
+        comm.reduce_sum_u64(2, &data).unwrap()
     });
     for (rank, r) in out.iter().enumerate() {
         if rank == 2 {
@@ -55,10 +55,10 @@ fn reduce_sum_vectors() {
 fn ireduce_overlaps_with_computation() {
     let out = Universe::run(4, |comm| {
         let data = vec![1u64, comm.rank() as u64];
-        let mut req = comm.ireduce_sum_u64(0, &data);
+        let mut req = comm.ireduce_sum_u64(0, &data).unwrap();
         // Simulated "overlapped sampling": spin on test() doing local work.
         let mut local_work = 0u64;
-        while !req.test() {
+        while !req.test().unwrap() {
             local_work += 1;
             std::hint::spin_loop();
         }
@@ -75,9 +75,9 @@ fn scalar_reductions() {
     let out = Universe::run(4, |comm| {
         let v = comm.rank() as u64 + 1;
         (
-            comm.reduce_scalar_u64(0, ReduceOp::Sum, v),
-            comm.reduce_scalar_u64(0, ReduceOp::Min, v),
-            comm.reduce_scalar_u64(0, ReduceOp::Max, v),
+            comm.reduce_scalar_u64(0, ReduceOp::Sum, v).unwrap(),
+            comm.reduce_scalar_u64(0, ReduceOp::Min, v).unwrap(),
+            comm.reduce_scalar_u64(0, ReduceOp::Max, v).unwrap(),
         )
     });
     assert_eq!(out[0], (Some(10), Some(1), Some(4)));
@@ -86,8 +86,9 @@ fn scalar_reductions() {
 
 #[test]
 fn allreduce_gives_everyone_the_result() {
-    let out =
-        Universe::run(3, |comm| comm.allreduce_scalar_u64(ReduceOp::Max, comm.rank() as u64 * 7));
+    let out = Universe::run(3, |comm| {
+        comm.allreduce_scalar_u64(ReduceOp::Max, comm.rank() as u64 * 7).unwrap()
+    });
     assert_eq!(out, vec![14, 14, 14]);
 }
 
@@ -95,7 +96,7 @@ fn allreduce_gives_everyone_the_result() {
 fn broadcast_from_nonzero_root() {
     let out = Universe::run(4, |comm| {
         let v = if comm.rank() == 3 { Some(42) } else { None };
-        comm.bcast_u64(3, v)
+        comm.bcast_u64(3, v).unwrap()
     });
     assert_eq!(out, vec![42; 4]);
 }
@@ -104,9 +105,9 @@ fn broadcast_from_nonzero_root() {
 fn ibcast_bool_termination_flag() {
     let out = Universe::run(3, |comm| {
         let v = if comm.rank() == 0 { Some(true) } else { None };
-        let mut req = comm.ibcast_bool(0, v);
+        let mut req = comm.ibcast_bool(0, v).unwrap();
         let mut spins = 0u64;
-        while !req.test() {
+        while !req.test().unwrap() {
             spins += 1;
             std::hint::spin_loop();
         }
@@ -120,7 +121,7 @@ fn multiple_sequential_collectives_keep_order() {
     let out = Universe::run(3, |comm| {
         let mut results = Vec::new();
         for round in 0..10u64 {
-            let r = comm.allreduce_scalar_u64(ReduceOp::Sum, round + comm.rank() as u64);
+            let r = comm.allreduce_scalar_u64(ReduceOp::Sum, round + comm.rank() as u64).unwrap();
             results.push(r);
         }
         results
@@ -137,16 +138,16 @@ fn split_into_node_local_and_leader_comms() {
     // 8 ranks, 2 per "node" -> 4 nodes; reproduce Section IV-E's layout.
     let out = Universe::run(8, |comm| {
         let node = (comm.rank() / 2) as u32;
-        let local = comm.split(node, comm.rank() as i64);
+        let local = comm.split(node, comm.rank() as i64).unwrap();
         assert_eq!(local.size(), 2);
-        let local_sum = local.allreduce_scalar_u64(ReduceOp::Sum, comm.rank() as u64);
+        let local_sum = local.allreduce_scalar_u64(ReduceOp::Sum, comm.rank() as u64).unwrap();
 
         // Leader communicator: the first rank of each node gets color 0,
         // everyone else color 1 (they never use theirs).
         let is_leader = local.rank() == 0;
-        let leaders = comm.split(u32::from(!is_leader), comm.rank() as i64);
+        let leaders = comm.split(u32::from(!is_leader), comm.rank() as i64).unwrap();
         let leader_sum = if is_leader {
-            Some(leaders.allreduce_scalar_u64(ReduceOp::Sum, local_sum))
+            Some(leaders.allreduce_scalar_u64(ReduceOp::Sum, local_sum).unwrap())
         } else {
             None
         };
@@ -169,7 +170,7 @@ fn split_into_node_local_and_leader_comms() {
 fn split_orders_by_key() {
     let out = Universe::run(4, |comm| {
         // Reverse the rank order via the key.
-        let sub = comm.split(0, -(comm.rank() as i64));
+        let sub = comm.split(0, -(comm.rank() as i64)).unwrap();
         sub.rank()
     });
     assert_eq!(out, vec![3, 2, 1, 0]);
@@ -179,8 +180,8 @@ fn split_orders_by_key() {
 fn bytes_are_accounted() {
     let out = Universe::run(2, |comm| {
         let data = vec![0u64; 100];
-        comm.reduce_sum_u64(0, &data);
-        comm.barrier();
+        comm.reduce_sum_u64(0, &data).unwrap();
+        comm.barrier().unwrap();
         comm.bytes_transferred()
     });
     // 2 ranks * 100 u64 = 1600 bytes for the reduce; barrier adds none.
@@ -189,30 +190,34 @@ fn bytes_are_accounted() {
 }
 
 #[test]
-#[should_panic]
-fn collective_kind_mismatch_is_detected() {
-    // Suppress the noisy double-panic output from the second rank.
-    let prev_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let result = std::panic::catch_unwind(|| {
-        Universe::run(2, |comm: Communicator| {
-            if comm.rank() == 0 {
-                comm.barrier();
-            } else {
-                comm.reduce_scalar_u64(0, ReduceOp::Sum, 1);
-            }
-        });
+fn collective_kind_mismatch_poisons_with_a_typed_error() {
+    // Mismatched collective kinds must surface as `CommError::Poisoned` at
+    // EVERY rank — a typed result, not a panic or a deadlock — and the
+    // diagnostic must carry the replay pair.
+    let out = Universe::run(2, |comm: Communicator| {
+        if comm.rank() == 0 {
+            comm.barrier().err()
+        } else {
+            comm.reduce_scalar_u64(0, ReduceOp::Sum, 1).err()
+        }
     });
-    std::panic::set_hook(prev_hook);
-    assert!(result.is_err());
-    panic!("propagate for should_panic");
+    for (rank, err) in out.iter().enumerate() {
+        let err = err.as_ref().unwrap_or_else(|| panic!("rank {rank} missed the poison"));
+        assert!(
+            matches!(err, CommError::Poisoned { .. }),
+            "rank {rank}: expected Poisoned, got {err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("collective mismatch at seq 0"), "diagnostic lost: {msg}");
+        assert!(msg.contains("replay:"), "replay pair missing: {msg}");
+    }
 }
 
 #[test]
 fn nested_splits() {
     let out = Universe::run(8, |comm| {
-        let half = comm.split((comm.rank() / 4) as u32, comm.rank() as i64);
-        let quarter = half.split((half.rank() / 2) as u32, half.rank() as i64);
+        let half = comm.split((comm.rank() / 4) as u32, comm.rank() as i64).unwrap();
+        let quarter = half.split((half.rank() / 2) as u32, half.rank() as i64).unwrap();
         (half.size(), quarter.size(), quarter.rank())
     });
     for (rank, &(h, q, qr)) in out.iter().enumerate() {
@@ -227,7 +232,7 @@ fn large_vector_reduce() {
     let n = 100_000;
     let out = Universe::run(3, |comm| {
         let data = vec![comm.rank() as u64 + 1; n];
-        comm.reduce_sum_u64(0, &data)
+        comm.reduce_sum_u64(0, &data).unwrap()
     });
     let root = out[0].as_ref().unwrap();
     assert_eq!(root.len(), n);
@@ -242,12 +247,12 @@ fn many_rounds_of_ibarrier_plus_reduce() {
     let out = Universe::run(4, |comm| {
         let mut collected = 0u64;
         for round in 0..rounds {
-            let mut bar = comm.ibarrier();
+            let mut bar = comm.ibarrier().unwrap();
             let mut local = 0u64;
-            while !bar.test() {
+            while !bar.test().unwrap() {
                 local += 1; // overlapped "sampling"
             }
-            let r = comm.reduce_sum_u64(0, &[round + comm.rank() as u64, local]);
+            let r = comm.reduce_sum_u64(0, &[round + comm.rank() as u64, local]).unwrap();
             if let Some(v) = r {
                 collected += v[0];
             }
@@ -263,7 +268,7 @@ fn many_rounds_of_ibarrier_plus_reduce() {
 fn allreduce_vectors() {
     let out = Universe::run(3, |comm| {
         let data = vec![comm.rank() as u64, 10];
-        comm.allreduce_sum_u64(&data)
+        comm.allreduce_sum_u64(&data).unwrap()
     });
     for r in out {
         assert_eq!(r, vec![3, 30]);
@@ -280,9 +285,9 @@ fn collectives_stay_correct_under_a_fault_plan() {
     // *what* a collective computes.
     let plan = FaultPlan::ideal(1).with_collective_delay(1, 12).with_straggler(1, 5);
     let out = Universe::run_with_plan(4, plan, |comm| {
-        let sum = comm.allreduce_scalar_u64(ReduceOp::Sum, comm.rank() as u64);
-        let r = comm.reduce_sum_u64(0, &[1, comm.rank() as u64]);
-        let b = comm.bcast_u64(2, (comm.rank() == 2).then_some(77));
+        let sum = comm.allreduce_scalar_u64(ReduceOp::Sum, comm.rank() as u64).unwrap();
+        let r = comm.reduce_sum_u64(0, &[1, comm.rank() as u64]).unwrap();
+        let b = comm.bcast_u64(2, (comm.rank() == 2).then_some(77)).unwrap();
         (sum, r, b)
     });
     for (rank, (sum, r, b)) in out.iter().enumerate() {
@@ -307,9 +312,9 @@ fn overlap_counts_are_plan_deterministic() {
         Universe::run_with_plan(4, plan.clone(), |comm| {
             let mut polls = Vec::new();
             for round in 0..6u64 {
-                let mut req = comm.ireduce_sum_u64(0, &[round]);
+                let mut req = comm.ireduce_sum_u64(0, &[round]).unwrap();
                 let mut n = 0u64;
-                while !req.test() {
+                while !req.test().unwrap() {
                     n += 1;
                 }
                 polls.push(n);
@@ -332,16 +337,16 @@ fn overlap_counts_are_plan_deterministic() {
 #[test]
 fn straggler_delays_peer_completion_observably() {
     // A straggler's big injected delay shows up in ITS OWN poll count; its
-    // peers just block in wait() until it resolves — no deadlock panic,
+    // peers just block in wait() until it resolves — no deadlock error,
     // because the engine scales its timeout by the plan's max latency.
     let plan = FaultPlan::ideal(5).with_collective_delay(10, 10).with_straggler(3, 20);
     let out = Universe::run_with_plan(4, plan, |comm| {
-        let mut req = comm.ibarrier();
+        let mut req = comm.ibarrier().unwrap();
         let mut n = 0u64;
-        while !req.test() {
+        while !req.test().unwrap() {
             n += 1;
         }
-        req.wait();
+        req.wait().unwrap();
         n
     });
     assert_eq!(out[3], 200, "straggler factor must scale its poll count");
@@ -352,16 +357,191 @@ fn straggler_delays_peer_completion_observably() {
 fn split_children_inherit_the_plan() {
     let plan = FaultPlan::ideal(8).with_collective_delay(1, 30);
     let out = Universe::run_with_plan(4, plan, |comm| {
-        let sub = comm.split(u32::try_from(comm.rank() % 2).unwrap_or(0), 0);
+        let sub = comm.split(u32::try_from(comm.rank() % 2).unwrap_or(0), 0).unwrap();
         assert!(sub.fault_plan().is_some(), "child communicator lost the plan");
         // Child collectives are also delayed deterministically.
-        let mut req = sub.ibarrier();
+        let mut req = sub.ibarrier().unwrap();
         let mut n = 0u64;
-        while !req.test() {
+        while !req.test().unwrap() {
             n += 1;
         }
-        req.wait();
+        req.wait().unwrap();
         n
     });
     assert!(out.iter().any(|&n| n > 0), "child communicator saw no injected delay");
+}
+
+// ---------------------------------------------------------------------------
+// Crash faults & shrink-and-continue
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scheduled_crash_is_typed_and_bit_reproducible() {
+    // Rank 1 dies instead of joining its third collective (0-based seq 2):
+    // it observes RankFailed{1} with its OWN rank, peers observe RankFailed{1}
+    // on the op it never joined, and the whole outcome replays bit-for-bit.
+    let plan = FaultPlan::ideal(11).with_crash_at_collective(1, 2);
+    let run = || {
+        Universe::run_with_plan(3, plan.clone(), |comm| {
+            let mut results = Vec::new();
+            for round in 0..4u64 {
+                match comm.allreduce_scalar_u64(ReduceOp::Sum, round + comm.rank() as u64) {
+                    Ok(v) => results.push(Ok(v)),
+                    Err(e) => {
+                        results.push(Err(e));
+                        break;
+                    }
+                }
+            }
+            results
+        })
+    };
+    let a = run();
+    assert_eq!(a, run(), "crash outcome must replay from (plan, seed): {}", plan.summary());
+    // Two clean rounds everywhere.
+    for r in &a {
+        #[allow(clippy::identity_op)] // the spelled-out rank sum documents who joined
+        {
+            assert_eq!(r[0], Ok(0 + 1 + 2));
+            assert_eq!(r[1], Ok(3 + 1 + 2));
+        }
+    }
+    // Round 2: everyone observes the same typed failure.
+    for (rank, r) in a.iter().enumerate() {
+        assert_eq!(r.len(), 3, "rank {rank} should stop at the failed round");
+        assert_eq!(r[2], Err(CommError::RankFailed { rank: 1 }), "rank {rank}: {:?}", r[2]);
+    }
+}
+
+#[test]
+fn shrink_excludes_the_dead_and_survivors_continue() {
+    // Rank 2 of 4 dies; survivors shrink and keep computing on the smaller
+    // communicator, with world identities preserved.
+    let plan = FaultPlan::ideal(21).with_crash_at_collective(2, 1);
+    let out = Universe::run_with_plan(4, plan, |comm| {
+        let mut sums = Vec::new();
+        loop {
+            match comm.allreduce_scalar_u64(ReduceOp::Sum, comm.world_rank() as u64) {
+                Ok(v) => sums.push(v),
+                Err(CommError::RankFailed { rank }) if rank == comm.world_rank() => {
+                    return (sums, None); // this rank is the casualty
+                }
+                Err(CommError::RankFailed { .. }) => break,
+                Err(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+        let small = comm.shrink().unwrap();
+        assert_eq!(small.size(), 3);
+        assert_eq!(small.members(), &[0, 1, 3]);
+        assert_eq!(small.world_rank(), comm.world_rank());
+        // Survivor sum over world ranks: 0 + 1 + 3.
+        let v = small.allreduce_scalar_u64(ReduceOp::Sum, small.world_rank() as u64).unwrap();
+        let b = small.bcast_u64(0, (small.rank() == 0).then_some(99)).unwrap();
+        (sums, Some((small.rank(), v, b)))
+    });
+    // One clean round before the crash (rank 2 joins seq 0, dies at seq 1).
+    for (rank, (sums, after)) in out.iter().enumerate() {
+        #[allow(clippy::identity_op)] // the spelled-out rank sum documents who joined
+        {
+            assert_eq!(sums, &[0 + 1 + 2 + 3], "rank {rank} pre-crash rounds");
+        }
+        if rank == 2 {
+            assert!(after.is_none(), "the dead rank cannot continue");
+        } else {
+            let (small_rank, v, b) = after.unwrap();
+            let expected_rank = [0, 1, usize::MAX, 2][rank];
+            assert_eq!(small_rank, expected_rank);
+            assert_eq!(v, 4);
+            assert_eq!(b, 99);
+        }
+    }
+}
+
+#[test]
+fn after_polls_crash_fires_mid_overlap() {
+    // An AfterPolls crash consumes the rank's poll budget across its
+    // overlapped test() loops — it dies with a reduction in flight, and the
+    // failure is observed through the *request*, not a fresh collective.
+    let plan = FaultPlan::ideal(3).with_collective_delay(2, 6).with_crash_after_polls(1, 10);
+    let run = || {
+        Universe::run_with_plan(2, plan.clone(), |comm| {
+            let mut polls = 0u64;
+            for round in 0..8u64 {
+                let mut req = match comm.ireduce_sum_u64(0, &[round]) {
+                    Ok(r) => r,
+                    Err(e) => return (polls, round, Some(e)),
+                };
+                loop {
+                    match req.test() {
+                        Ok(true) => break,
+                        Ok(false) => polls += 1,
+                        Err(e) => return (polls, round, Some(e)),
+                    }
+                }
+            }
+            (polls, 8, None)
+        })
+    };
+    let a = run();
+    assert_eq!(a, run(), "mid-overlap crash must replay identically: {}", plan.summary());
+    let (polls, _round, err) = &a[1];
+    // The 10th unsuccessful poll is the crash tick.
+    assert_eq!(*polls, 9, "rank 1 dies on its 10th poll");
+    assert_eq!(err.as_ref(), Some(&CommError::RankFailed { rank: 1 }));
+    // Rank 0 eventually observes the same world-rank failure.
+    assert_eq!(a[0].2.as_ref().and_then(CommError::failed_rank), Some(1));
+}
+
+#[test]
+fn shrink_generations_and_split_children_use_independent_salts() {
+    // Regression (satellite b): split children of a communicator that later
+    // shrinks must not alias the shrunk communicator's hash-stream salt, and
+    // successive shrink generations must draw distinct streams too —
+    // otherwise post-recovery delay schedules silently replay pre-failure
+    // ones.
+    let plan = FaultPlan::ideal(17).with_collective_delay(4, 20);
+    let out = Universe::run_with_plan(3, plan, |comm| {
+        let split_child = comm.split(0, comm.rank() as i64).unwrap();
+        let gen0 = comm.shrink().unwrap(); // nobody dead: full-membership shrink
+        let gen1 = comm.shrink().unwrap();
+        let post_split = gen0.split(0, gen0.rank() as i64).unwrap();
+        assert_eq!(gen0.size(), 3);
+        assert_eq!(gen1.size(), 3);
+        vec![comm.salt(), split_child.salt(), gen0.salt(), gen1.salt(), post_split.salt()]
+    });
+    // All ranks agree on every derived salt...
+    assert_eq!(out[0], out[1]);
+    assert_eq!(out[0], out[2]);
+    // ...and the five streams are pairwise distinct.
+    let salts = &out[0];
+    for i in 0..salts.len() {
+        for j in (i + 1)..salts.len() {
+            assert_ne!(
+                salts[i], salts[j],
+                "salt stream aliasing between communicators {i} and {j}: {salts:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recv_from_a_dead_rank_fails_typed_but_buffered_sends_survive() {
+    // A message posted before the sender's death is still deliverable
+    // (buffered send, as in MPI); once the stream is drained, further recvs
+    // fail with RankFailed instead of hanging until the deadlock timeout.
+    let plan = FaultPlan::ideal(7).with_crash_at_collective(0, 0);
+    let out = Universe::run_with_plan(2, plan, |comm| {
+        if comm.rank() == 0 {
+            comm.send_u64s(1, 3, &[41, 42]);
+            let died = comm.barrier(); // crash point: dies instead of joining
+            (Vec::new(), died.err())
+        } else {
+            let payload = comm.recv_u64s(0, 3).unwrap();
+            let starved = comm.recv_u64s(0, 3);
+            (payload, starved.err())
+        }
+    });
+    assert_eq!(out[0].1, Some(CommError::RankFailed { rank: 0 }));
+    assert_eq!(out[1].0, vec![41, 42]);
+    assert_eq!(out[1].1, Some(CommError::RankFailed { rank: 0 }));
 }

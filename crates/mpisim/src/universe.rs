@@ -3,6 +3,7 @@
 use crate::comm::Communicator;
 use crate::engine::Engine;
 use crate::fault::FaultPlan;
+use crate::health::RankCrashState;
 use std::sync::Arc;
 
 /// Entry point of the simulated MPI runtime, analogous to
@@ -21,25 +22,38 @@ impl Universe {
         T: Send,
         F: Fn(Communicator) -> T + Sync,
     {
-        Universe::launch(Engine::new(world_size), world_size, f)
+        Universe::launch(Engine::new(world_size), world_size, None, f)
     }
 
     /// Like [`Universe::run`], but the world executes under a deterministic
     /// [`FaultPlan`]: collectives complete with plan-injected delays, p2p
-    /// delivery follows the plan's slot permutation, and every non-blocking
-    /// request polls deterministically — so two runs with the same
+    /// delivery follows the plan's slot permutation, every non-blocking
+    /// request polls deterministically, and plan-scheduled rank crashes fire
+    /// at their logical-clock coordinates — so two runs with the same
     /// `(plan, f)` produce bit-identical schedules (see the `fault` module
-    /// docs). Communicators created by `split` inherit the plan with
-    /// derived hash salts.
+    /// docs). Communicators created by `split`/`shrink` inherit the plan
+    /// with derived hash salts.
+    ///
+    /// A rank whose crash fires observes [`crate::CommError::RankFailed`]
+    /// with its own world rank from the failing call onward; its closure
+    /// must return through the error (the thread itself stays joinable —
+    /// a "dead" rank is one that can no longer communicate).
     pub fn run_with_plan<T, F>(world_size: usize, plan: FaultPlan, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Communicator) -> T + Sync,
     {
-        Universe::launch(Engine::with_plan(world_size, Some(Arc::new(plan)), 0), world_size, f)
+        let plan = Arc::new(plan);
+        let engine = Engine::with_plan(world_size, Some(plan.clone()), 0);
+        Universe::launch(engine, world_size, Some(plan), f)
     }
 
-    fn launch<T, F>(engine: Arc<Engine>, world_size: usize, f: F) -> Vec<T>
+    fn launch<T, F>(
+        engine: Arc<Engine>,
+        world_size: usize,
+        plan: Option<Arc<FaultPlan>>,
+        f: F,
+    ) -> Vec<T>
     where
         T: Send,
         F: Fn(Communicator) -> T + Sync,
@@ -51,7 +65,11 @@ impl Universe {
                 .iter_mut()
                 .enumerate()
                 .map(|(rank, slot)| {
-                    let comm = Communicator::new(engine.clone(), rank);
+                    let crash = plan
+                        .as_ref()
+                        .and_then(|p| p.crash_point(rank))
+                        .map(|pt| RankCrashState::new(rank, pt, engine.health.clone()));
+                    let comm = Communicator::new(engine.clone(), rank, crash);
                     let f = &f;
                     s.builder()
                         .name(format!("mpi-rank-{rank}"))

@@ -21,7 +21,7 @@ proptest! {
             let data: Vec<u64> = (0..len)
                 .map(|i| base.get(i).copied().unwrap_or(7) + comm.rank() as u64 * 13)
                 .collect();
-            comm.reduce_sum_u64(root, &data)
+            comm.reduce_sum_u64(root, &data).unwrap()
         });
         for (rank, res) in out.iter().enumerate() {
             if rank == root {
@@ -52,7 +52,7 @@ proptest! {
         ] {
             let vals = values.clone();
             let out = Universe::run(ranks, |comm| {
-                comm.allreduce_scalar_u64(op, vals[comm.rank()])
+                comm.allreduce_scalar_u64(op, vals[comm.rank()]).unwrap()
             });
             let expect = values[1..ranks].iter().fold(values[0], |a, &b| fold(a, b));
             prop_assert!(out.iter().all(|&x| x == expect), "{op:?}");
@@ -64,7 +64,7 @@ proptest! {
     fn broadcast_delivers(ranks in 1usize..6, root_pick in 0usize..6, value in any::<u64>()) {
         let root = root_pick % ranks;
         let out = Universe::run(ranks, |comm| {
-            comm.bcast_u64(root, (comm.rank() == root).then_some(value))
+            comm.bcast_u64(root, (comm.rank() == root).then_some(value)).unwrap()
         });
         prop_assert!(out.iter().all(|&x| x == value));
     }
@@ -76,7 +76,7 @@ proptest! {
         let colors_for = colors.clone();
         let out = Universe::run(ranks, |comm| {
             let color = colors_for[comm.rank()];
-            let sub = comm.split(color, comm.rank() as i64);
+            let sub = comm.split(color, comm.rank() as i64).unwrap();
             let members = comm.size(); // keep comm alive; use world size too
             (color, sub.rank(), sub.size(), members)
         });

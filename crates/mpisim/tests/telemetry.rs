@@ -13,16 +13,16 @@ fn collectives_and_p2p_are_traced() {
         let w = tel.writer(comm.rank() as u32, 0);
         comm.set_tracer(w);
         // One non-blocking barrier polled to completion...
-        let mut req = comm.ibarrier();
-        while !req.test() {}
+        let mut req = comm.ibarrier().unwrap();
+        while !req.test().unwrap() {}
         // ...one blocking allreduce...
-        let total = comm.allreduce_scalar_u64(kadabra_mpisim::ReduceOp::Sum, 1);
+        let total = comm.allreduce_scalar_u64(kadabra_mpisim::ReduceOp::Sum, 1).unwrap();
         assert_eq!(total, 2);
         // ...and one p2p exchange.
         if comm.rank() == 0 {
             comm.send_u64s(1, 3, &[7]);
         } else {
-            assert_eq!(comm.recv_u64s(0, 3), vec![7]);
+            assert_eq!(comm.recv_u64s(0, 3).unwrap(), vec![7]);
         }
     });
     let s = tel.summary();
@@ -43,8 +43,8 @@ fn split_children_inherit_the_tracer() {
     let tel = Arc::new(Telemetry::stats_only());
     Universe::run(4, |comm| {
         comm.set_tracer(tel.writer(comm.rank() as u32, 0));
-        let sub = comm.split(u32::try_from(comm.rank() % 2).unwrap_or(0), 0);
-        sub.barrier();
+        let sub = comm.split(u32::try_from(comm.rank() % 2).unwrap_or(0), 0).unwrap();
+        sub.barrier().unwrap();
     });
     // 4 splits + 4 child barriers, all attributed to the same recorders.
     assert_eq!(tel.summary().counter(CounterId::Collectives), 8);
@@ -58,9 +58,9 @@ fn plan_runs_trace_deterministically() {
         let plan = FaultPlan::ideal(11).with_collective_delay(1, 5);
         Universe::run_with_plan(2, plan, |comm| {
             comm.set_tracer(tel.writer(comm.rank() as u32, 0));
-            let mut req = comm.ireduce_sum_u64(0, &[comm.rank() as u64 + 1]);
+            let mut req = comm.ireduce_sum_u64(0, &[comm.rank() as u64 + 1]).unwrap();
             let mut polls = 0u64;
-            while !req.test() {
+            while !req.test().unwrap() {
                 polls += 1;
             }
             if comm.rank() == 0 {

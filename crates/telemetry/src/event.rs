@@ -100,11 +100,14 @@ id_enum! {
         BcastStop = (9, "bcast_stop"),
         /// Overlapped wait for an epoch transition to complete.
         TransitionWait = (10, "transition_wait"),
+        /// Shrink-and-continue recovery after a rank failure: communicator
+        /// shrink plus the ledger all-reduce rebuilding the global state.
+        Recovery = (11, "recovery"),
     }
 }
 
 /// Number of distinct [`SpanId`]s (arrays in the recorder are this long).
-pub const N_SPANS: usize = 11;
+pub const N_SPANS: usize = 12;
 
 id_enum! {
     /// Counter identities.
@@ -122,11 +125,13 @@ id_enum! {
         Collectives = (4, "collectives"),
         /// Point-to-point messages delivered.
         P2pDelivered = (5, "p2p_delivered"),
+        /// Ranks declared dead and excluded by a communicator shrink.
+        RanksLost = (6, "ranks_lost"),
     }
 }
 
 /// Number of distinct [`CounterId`]s.
-pub const N_COUNTERS: usize = 6;
+pub const N_COUNTERS: usize = 7;
 
 id_enum! {
     /// Instantaneous-marker identities (mpisim engine events).

@@ -29,6 +29,11 @@
 //!   `SystemTime::now`) are banned under `crates/core/src`: the algorithm
 //!   drivers must take time through `kadabra-telemetry` spans (or its
 //!   `Stopwatch`) so there is exactly one timing code path (DESIGN.md §9).
+//! * **comm-panic** — `panic!` / `todo!` / `unimplemented!` are banned in
+//!   `crates/mpisim/src`: communicator error paths must surface typed
+//!   `CommError`s so the fault-tolerance layer can shrink and continue
+//!   (DESIGN.md §10). A panicking rank would take the whole simulated
+//!   cluster down instead of exercising recovery.
 //!
 //! Any rule can be waived for one line with a trailing or preceding comment
 //! `// xtask: allow(<rule>) — <why this occurrence is sound>`. Waivers are
@@ -63,8 +68,10 @@
 //! fault-injection unit tests of `kadabra-mpisim` and `kadabra-epoch`, the
 //! fault-plan corpus sweeps of `tests/chaos.rs`, and the seed-matrix
 //! determinism regression of `tests/determinism_matrix.rs`. `--plans N` (or
-//! `KADABRA_CHAOS_PLANS`) sizes the corpus; the default of 4 keeps the
-//! required CI job around two minutes, the nightly advisory job raises it.
+//! `KADABRA_CHAOS_PLANS`) sizes the straggler corpus and `--crashes N` (or
+//! `KADABRA_CHAOS_CRASHES`) the rank-crash corpus; the defaults of 4 keep
+//! the required CI job around two minutes, the nightly advisory job raises
+//! them.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -86,7 +93,7 @@ fn main() -> ExitCode {
                  loom   model-check the epoch protocol + telemetry recorder (stable)\n  \
                  tsan   run concurrency tests under ThreadSanitizer (nightly + rust-src)\n  \
                  miri   run epoch tests under Miri (nightly + miri component)\n  \
-                 chaos  run the chaos conformance suite [--plans N] (stable)\n  \
+                 chaos  run the chaos conformance suite [--plans N] [--crashes N] (stable)\n  \
                  bench  --smoke: emit and schema-validate BENCH_smoke.json (stable)"
             );
             ExitCode::from(2)
@@ -129,6 +136,11 @@ const WALLCLOCK: Rule = Rule {
     name: "wallclock",
     hint: "crates/core takes time through kadabra-telemetry (spans or Stopwatch) so there is \
            exactly one timing code path; do not read Instant/SystemTime directly",
+};
+const COMM_PANIC: Rule = Rule {
+    name: "comm-panic",
+    hint: "communicator code must surface typed CommErrors (RankFailed/Timeout/Poisoned) so \
+           shrink-and-continue recovery can run; a panic here kills the whole simulated cluster",
 };
 
 struct Violation {
@@ -207,12 +219,19 @@ fn is_core_library_path(rel: &Path) -> bool {
     rel.to_string_lossy().starts_with("crates/core/src")
 }
 
+/// True for files under `crates/mpisim/src`, where the `comm-panic` rule
+/// bans panicking macros on communicator error paths.
+fn is_comm_path(rel: &Path) -> bool {
+    rel.to_string_lossy().starts_with("crates/mpisim/src")
+}
+
 fn lint_file(rel: &Path, raw: &str, out: &mut Vec<Violation>) {
     let sf = ScannedFile::new(raw);
     let test_path = is_test_or_bin_path(rel);
     let is_sync_module = rel.file_name().is_some_and(|f| f == "sync.rs");
     let deterministic = is_deterministic_path(rel);
     let core_library = is_core_library_path(rel);
+    let comm_library = is_comm_path(rel) && !test_path;
     // xtask lints itself; its own source names the banned tokens only in
     // strings and comments, which the scanner strips.
 
@@ -252,6 +271,14 @@ fn lint_file(rel: &Path, raw: &str, out: &mut Vec<Violation>) {
         }
         if !test_path && !in_test_mod && (code.contains(".unwrap()") || code.contains(".expect(")) {
             report(&UNWRAP, code);
+        }
+        if comm_library
+            && !in_test_mod
+            && (code.contains("panic!(")
+                || code.contains("todo!(")
+                || code.contains("unimplemented!("))
+        {
+            report(&COMM_PANIC, code);
         }
     }
 }
@@ -535,10 +562,12 @@ fn workspace_root() -> PathBuf {
 /// (`tests/determinism_matrix.rs`) and the in-crate fault/chaos unit tests.
 ///
 /// `--plans N` (or the `KADABRA_CHAOS_PLANS` environment variable) sets the
-/// corpus size per sweep; CI uses a small bounded corpus on every push and a
-/// larger one nightly.
+/// straggler-corpus size per sweep and `--crashes N` (or
+/// `KADABRA_CHAOS_CRASHES`) the rank-crash corpus size; CI uses small
+/// bounded corpora on every push and larger ones nightly.
 fn cmd_chaos(args: &[String]) -> ExitCode {
     let mut plans: Option<String> = std::env::var("KADABRA_CHAOS_PLANS").ok();
+    let mut crashes: Option<String> = std::env::var("KADABRA_CHAOS_CRASHES").ok();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -549,6 +578,13 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--crashes" => match it.next() {
+                Some(n) if n.parse::<u64>().is_ok() => crashes = Some(n.clone()),
+                _ => {
+                    eprintln!("xtask chaos: --crashes needs an integer argument");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("xtask chaos: unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -556,7 +592,11 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
         }
     }
     let plans = plans.unwrap_or_else(|| "4".to_string());
-    println!("xtask chaos: corpus of {plans} fault plans per sweep (release mode)");
+    let crashes = crashes.unwrap_or_else(|| "4".to_string());
+    println!(
+        "xtask chaos: corpus of {plans} fault plans / {crashes} crash plans per sweep \
+         (release mode)"
+    );
     let root = workspace_root();
     // Fault-layer unit tests first (fast, precise diagnostics), then the
     // cross-crate conformance sweeps.
@@ -564,6 +604,7 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
         Command::new("cargo")
             .args(["test", "--release", "-p", "kadabra-mpisim", "-p", "kadabra-epoch", "--lib"])
             .env("KADABRA_CHAOS_PLANS", &plans)
+            .env("KADABRA_CHAOS_CRASHES", &crashes)
             .current_dir(&root),
     ) {
         return ExitCode::FAILURE;
@@ -572,6 +613,7 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
         Command::new("cargo")
             .args(["test", "--release", "--test", "chaos", "--test", "determinism_matrix"])
             .env("KADABRA_CHAOS_PLANS", &plans)
+            .env("KADABRA_CHAOS_CRASHES", &crashes)
             .current_dir(&root),
     )
 }
@@ -858,6 +900,31 @@ mod tests {
         );
         assert!(out.is_empty());
         lint_file(Path::new("crates/graph/src/diameter.rs"), "let t = Instant::now();\n", &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn comm_panic_rule_guards_mpisim_only() {
+        let src = "fn f() { panic!(\"boom\"); }\nfn g() { todo!() }\n";
+        let mut out = Vec::new();
+        // `todo!()` without arguments still matches on the `todo!(` token.
+        lint_file(Path::new("crates/mpisim/src/comm.rs"), src, &mut out);
+        assert_eq!(out.len(), 2, "{:?}", out.iter().map(|v| v.rule).collect::<Vec<_>>());
+        assert!(out.iter().all(|v| v.rule == "comm-panic"));
+        // Test files within the crate and other crates' libraries are out of
+        // scope.
+        out.clear();
+        lint_file(Path::new("crates/mpisim/src/tests.rs"), src, &mut out);
+        assert!(out.is_empty());
+        lint_file(Path::new("crates/core/src/mpi.rs"), src, &mut out);
+        assert!(out.is_empty());
+        // Waivers are honored like every other rule.
+        lint_file(
+            Path::new("crates/mpisim/src/engine.rs"),
+            "// xtask: allow(comm-panic) — unreachable: seq is validated above\n\
+             fn f() { panic!(\"boom\"); }\n",
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 

@@ -88,7 +88,9 @@ impl Bencher {
             }
             let elapsed = t0.elapsed();
             if elapsed >= WARMUP_TARGET || iters >= u64::MAX / 4 {
-                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                // max(1) after the division: a sub-ns-per-iteration routine in
+                // release mode would otherwise round per_iter to zero.
+                let per_iter = (elapsed.as_nanos() / iters as u128).max(1);
                 let measured = (MEASURE_TARGET.as_nanos() / per_iter).clamp(1, u64::MAX as u128);
                 let t1 = Instant::now();
                 for _ in 0..measured {

@@ -33,6 +33,13 @@ fn corpus_size() -> u64 {
     std::env::var("KADABRA_CHAOS_PLANS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
 }
 
+/// How many crash-corpus plans the rank-failure sweeps cover. The CI chaos
+/// job raises this via `KADABRA_CHAOS_CRASHES` (`cargo xtask chaos
+/// --crashes N`).
+fn crash_corpus_size() -> u64 {
+    std::env::var("KADABRA_CHAOS_CRASHES").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
 /// The acceptance scenario from the issue, verbatim: one straggler rank plus
 /// reordered p2p delivery, Algorithm 2 on P=4 ranks × T=2 threads. Scores
 /// must land within ε of Brandes, the epoch-gap probe must never see a
@@ -90,6 +97,109 @@ fn epoch_corpus_respects_epsilon_and_gap_invariant() {
     let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
     for seed in 0..corpus_size() {
         let opts = ChaosOptions::all(FaultPlan::from_seed(seed));
+        let report = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
+        report.assert_invariants();
+        assert!(report.probe_observations > 0, "[{}]", report.plan_summary);
+        let err = max_abs_diff(&report.result.scores, &exact);
+        assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", report.plan_summary);
+    }
+}
+
+/// The rank-crash acceptance scenario from the issue: Algorithm 2 on P=4
+/// ranks × T=2 threads with one rank killed mid-adaptive-phase. The
+/// survivors must shrink the communicator, resume from the checkpointed
+/// sample ledger, terminate, and still land within ε of Brandes — and the
+/// whole recovery must replay bit-for-bit from the same `(plan, seed)`.
+#[test]
+fn crash_mid_adaptive_shrinks_resumes_and_meets_guarantee() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 2021, ..Default::default() };
+    let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
+    // Join 4 is rank 3's first adaptive-phase collective (after the two
+    // hierarchy splits, the diameter broadcast, and the calibration
+    // all-reduce), so the crash lands squarely in the sampling loop.
+    let plan = FaultPlan::ideal(41).with_crash_at_collective(3, 4);
+    let opts = ChaosOptions::all(plan);
+
+    let first = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
+    first.assert_invariants();
+    assert!(first.recoveries >= 1, "crash never triggered recovery [{}]", first.plan_summary);
+    assert_eq!(first.ranks_lost, 1, "[{}]", first.plan_summary);
+    assert!(first.conservation_rounds > 0, "[{}]", first.plan_summary);
+    let err = max_abs_diff(&first.result.scores, &exact);
+    assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", first.plan_summary);
+
+    let second = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
+    assert_eq!(
+        first.result.scores, second.result.scores,
+        "same (plan, seed) must reproduce the recovery bit-for-bit [{}]",
+        first.plan_summary
+    );
+    assert_eq!(first.result.samples, second.result.samples);
+    assert_eq!(first.ranks_lost, second.ranks_lost);
+}
+
+/// The crash-during-reduction case: injected completion delays make the
+/// victim poll its in-flight `Ireduce` request, and the plan kills it on a
+/// cumulative poll count — so it dies with a reduction half-joined. The
+/// survivors' ledger-based recovery must discard the torn round everywhere
+/// and still meet the guarantee, reproducibly.
+#[test]
+fn crash_during_reduction_recovers_and_meets_guarantee() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 2022, ..Default::default() };
+    // Delay ≥ 2 guarantees the victim polls its round-0 `Ireduce` at least
+    // twice, so the poll-2 fuse provably fires with that reduction in
+    // flight (blocking setup collectives never tick the fuse).
+    let plan = FaultPlan::ideal(53).with_collective_delay(2, 8).with_crash_after_polls(2, 2);
+    let opts = ChaosOptions::all(plan);
+
+    let first = kadabra_mpi_flat_observed(&g, &cfg, 4, &opts);
+    first.assert_invariants();
+    assert!(first.recoveries >= 1, "crash never triggered recovery [{}]", first.plan_summary);
+    assert_eq!(first.ranks_lost, 1, "[{}]", first.plan_summary);
+    let err = max_abs_diff(&first.result.scores, &exact);
+    assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", first.plan_summary);
+
+    let second = kadabra_mpi_flat_observed(&g, &cfg, 4, &opts);
+    assert_eq!(
+        first.result.scores, second.result.scores,
+        "same (plan, seed) must reproduce the recovery bit-for-bit [{}]",
+        first.plan_summary
+    );
+    assert_eq!(first.recoveries, second.recoveries);
+}
+
+/// Crash-corpus sweep over Algorithm 1: every generated plan schedules one
+/// rank crash on top of randomized delays. Whether or not the crash fires
+/// before termination, the ε guarantee and both conservation invariants
+/// must hold.
+#[test]
+fn flat_crash_corpus_respects_epsilon_and_conserves_samples() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.06, delta: 0.1, seed: 601, ..Default::default() };
+    for seed in 0..crash_corpus_size() {
+        let opts = ChaosOptions::all(FaultPlan::from_seed_with_crashes(seed, 4));
+        let report = kadabra_mpi_flat_observed(&g, &cfg, 4, &opts);
+        report.assert_invariants();
+        assert!(report.conservation_rounds > 0, "[{}]", report.plan_summary);
+        let err = max_abs_diff(&report.result.scores, &exact);
+        assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", report.plan_summary);
+    }
+}
+
+/// Crash-corpus sweep over Algorithm 2 on the hierarchical shape.
+#[test]
+fn epoch_crash_corpus_respects_epsilon_and_gap_invariant() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.06, delta: 0.1, seed: 602, ..Default::default() };
+    let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
+    for seed in 0..crash_corpus_size() {
+        let opts = ChaosOptions::all(FaultPlan::from_seed_with_crashes(seed, 4));
         let report = kadabra_epoch_mpi_observed(&g, &cfg, shape, &opts);
         report.assert_invariants();
         assert!(report.probe_observations > 0, "[{}]", report.plan_summary);

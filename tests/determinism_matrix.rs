@@ -83,6 +83,44 @@ fn telemetry_tracing_does_not_perturb_chaos_runs() {
 }
 
 #[test]
+fn crash_recovery_runs_are_bit_identical_with_telemetry_on_and_off() {
+    // Shrink-and-continue recovery must be just as deterministic as a
+    // healthy run: a plan that kills a rank mid-adaptive-phase produces
+    // bit-identical scores whether or not a full event trace is recorded,
+    // and the recovery path itself (ranks lost, shrink count) reproduces.
+    let (g, _) = largest_component(&gnm(GnmConfig { n: 50, m: 130, seed: 3 }));
+    let cfg = KadabraConfig { epsilon: 0.08, delta: 0.1, seed: 9, ..Default::default() };
+
+    // Flat driver: rank 1 dies instead of joining its round-0 reduction
+    // (joins 0–1 are the setup broadcast and calibration all-reduce).
+    let off = ChaosOptions::all(FaultPlan::ideal(21).with_crash_at_collective(1, 2));
+    let on = off.clone().with_telemetry();
+    let a = kadabra_mpi_flat_observed(&g, &cfg, 3, &off);
+    let b = kadabra_mpi_flat_observed(&g, &cfg, 3, &on);
+    assert!(a.recoveries >= 1, "crash never fired [{}]", a.plan_summary);
+    assert_eq!(a.result.scores, b.result.scores, "flat: telemetry perturbed a crash run");
+    assert_eq!(a.result.samples, b.result.samples);
+    assert_eq!((a.ranks_lost, a.recoveries), (b.ranks_lost, b.recoveries));
+    // The traced recovery is itself reproducible, phase breakdown included.
+    let c = kadabra_mpi_flat_observed(&g, &cfg, 3, &on);
+    assert_eq!(b.result.scores, c.result.scores);
+    assert_eq!(b.phases, c.phases, "traced crash-run phase breakdown diverged");
+
+    // Epoch driver: rank 3 dies instead of joining its first adaptive
+    // collective (joins 0–3 are the two hierarchy splits, the diameter
+    // broadcast, and the calibration all-reduce).
+    let shape = ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 };
+    let off = ChaosOptions::all(FaultPlan::ideal(33).with_crash_at_collective(3, 4));
+    let on = off.clone().with_telemetry();
+    let a = kadabra_epoch_mpi_observed(&g, &cfg, shape, &off);
+    let b = kadabra_epoch_mpi_observed(&g, &cfg, shape, &on);
+    assert!(a.recoveries >= 1, "crash never fired [{}]", a.plan_summary);
+    assert_eq!(a.result.scores, b.result.scores, "epoch: telemetry perturbed a crash run");
+    assert_eq!(a.result.samples, b.result.samples);
+    assert_eq!((a.ranks_lost, a.recoveries), (b.ranks_lost, b.recoveries));
+}
+
+#[test]
 fn flat_mpi_is_bit_identical_across_runs_over_the_seed_matrix() {
     let (g, _) = largest_component(&gnm(GnmConfig { n: 50, m: 130, seed: 3 }));
     for ranks in [1usize, 2, 4] {
