@@ -599,11 +599,8 @@ fn epoch_rank_main(
                 let mut drawn = 0u64;
                 'run: loop {
                     let quota = plan.worker_quota(my_world, t, epoch, quota_n0);
-                    for _ in 0..quota {
-                        let interior = sampler.sample(g);
-                        h.record_sample(interior);
-                        drawn += 1;
-                    }
+                    sampler.sample_batch(g, quota, |interior| h.record_sample(interior));
+                    drawn += quota;
                     loop {
                         if fw.check_transition(&mut h) {
                             break;
@@ -631,10 +628,7 @@ fn epoch_rank_main(
             }
             let round_result = (|| -> Result<bool, CommError> {
                 let sp = w.begin(SpanId::SampleBatch);
-                for _ in 0..n0 {
-                    let interior = sampler.sample(g);
-                    h.record_sample(interior);
-                }
+                sampler.sample_batch(g, n0, |interior| h.record_sample(interior));
                 w.end(sp);
                 let mut overlapped = 0u64;
                 fw.force_transition(&mut h, epoch);
@@ -643,11 +637,9 @@ fn epoch_rank_main(
                 // overlap sample count directly; the residual wait samples
                 // nothing.
                 let sp = w.begin(SpanId::TransitionWait);
-                for _ in 0..plan.transition_overlap(my_world, epoch) {
-                    let interior = sampler.sample(g);
-                    h.record_sample(interior);
-                    overlapped += 1;
-                }
+                let planned_overlap = plan.transition_overlap(my_world, epoch);
+                sampler.sample_batch(g, planned_overlap, |interior| h.record_sample(interior));
+                overlapped += planned_overlap;
                 while !fw.transition_done(epoch) {
                     std::hint::spin_loop();
                 }

@@ -238,10 +238,13 @@ fn rank_main(
                 let mut sampler = ThreadSampler::new(n, cfg.seed, my_world, ADS_STREAM_OFFSET + t);
                 let mut h = fw.handle(t);
                 let mut drawn = 0u64;
+                // Small batches amortize pair drawing while still polling
+                // the epoch command often enough to stay within the
+                // framework's one-epoch lag bound.
+                const WORKER_CHUNK: u64 = 8;
                 while !fw.should_terminate() {
-                    let interior = sampler.sample(g);
-                    h.record_sample(interior);
-                    drawn += 1;
+                    sampler.sample_batch(g, WORKER_CHUNK, |interior| h.record_sample(interior));
+                    drawn += WORKER_CHUNK;
                     fw.check_transition(&mut h);
                 }
                 // One flush at exit keeps the hot loop free of stores.
@@ -257,12 +260,9 @@ fn rank_main(
             w.set_epoch(epoch);
             // One epoch round; every communicator failure is typed.
             let round = (|| -> Result<bool, CommError> {
-                // Lines 12-13: n0 samples into the current epoch.
+                // Lines 12-13: n0 samples into the current epoch, one batch.
                 let sp = w.begin(SpanId::SampleBatch);
-                for _ in 0..n0 {
-                    let interior = sampler.sample(g);
-                    h.record_sample(interior);
-                }
+                sampler.sample_batch(g, n0, |interior| h.record_sample(interior));
                 w.end(sp);
                 let mut overlapped = 0u64;
                 // Lines 14-15: command and await the epoch transition,

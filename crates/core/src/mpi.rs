@@ -149,10 +149,16 @@ fn rank_main(
         w.set_epoch(epoch);
         // One reduction round, all failure paths typed.
         let round = (|| -> Result<bool, CommError> {
-            // Lines 5-6: n0 local samples.
+            // Lines 5-6: n0 local samples, drawn as one batch.
             let sp = w.begin(SpanId::SampleBatch);
-            for _ in 0..n0 {
-                sample_into(&mut s_loc, &mut sampler);
+            {
+                let frame = &mut s_loc;
+                sampler.sample_batch(g, n0, |interior| {
+                    for &v in interior {
+                        frame[v as usize] += 1;
+                    }
+                    frame[n] += 1;
+                });
             }
             w.end(sp);
             // Lines 7-8: snapshot, so overlapped samples don't corrupt the

@@ -65,11 +65,11 @@ pub fn kadabra_naive_parallel(g: &Graph, cfg: &KadabraConfig, threads: usize) ->
                     }
                     {
                         let mut counts = worker_counts[t].lock();
-                        for _ in 0..n0 {
-                            for &v in sampler.sample(g) {
+                        sampler.sample_batch(g, n0, |interior| {
+                            for &v in interior {
                                 counts[v as usize] += 1;
                             }
-                        }
+                        });
                     }
                     barrier.wait(); // round end
                 }
@@ -88,11 +88,11 @@ pub fn kadabra_naive_parallel(g: &Graph, cfg: &KadabraConfig, threads: usize) ->
             }
             {
                 let mut counts = worker_counts[0].lock();
-                for _ in 0..n0 {
-                    for &v in sampler.sample(g) {
+                sampler.sample_batch(g, n0, |interior| {
+                    for &v in interior {
                         counts[v as usize] += 1;
                     }
-                }
+                });
             }
             let wait_start = Stopwatch::start();
             barrier.wait(); // round end: blocking, no overlap — the point

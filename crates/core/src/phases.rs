@@ -58,11 +58,11 @@ pub fn calibration_samples_for_thread(
 ) -> u64 {
     let tau0 = calibration_sample_count(cfg, omega);
     let share = tau0.div_ceil(total_threads as u64);
-    for _ in 0..share {
-        for &v in sampler.sample(g) {
+    sampler.sample_batch(g, share, |interior| {
+        for &v in interior {
             counts[v as usize] += 1;
         }
-    }
+    });
     share
 }
 

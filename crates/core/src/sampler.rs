@@ -4,8 +4,12 @@
 //! derived from `(seed, rank, thread)`, reusable BFS scratch, and the pair +
 //! path sampling loop. One call to [`ThreadSampler::sample`] = one KADABRA
 //! sample = one bidirectional BFS (the `SAMPLE()` of Algorithms 1 and 2).
+//! [`ThreadSampler::sample_batch`] amortizes the per-sample bookkeeping over
+//! a whole batch (DESIGN.md §11): pairs are pre-drawn in one sweep from the
+//! xoshiro stream and every sample writes its interior into the same reused
+//! scratch buffer, so at steady state a sample allocates nothing.
 
-use kadabra_graph::bibfs::sample_shortest_path;
+use kadabra_graph::bibfs::{sample_shortest_path_into, SearchStats};
 use kadabra_graph::{Graph, NodeId, TraversalScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,8 +34,10 @@ pub struct ThreadSampler {
     rng: StdRng,
     scratch: TraversalScratch,
     n: usize,
-    /// Interior vertices of the most recent sample.
-    path_buf: Vec<NodeId>,
+    /// Pre-drawn endpoint pairs for the current batch.
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Cumulative search statistics over every sample taken.
+    pub stats: SearchStats,
     /// Total samples produced by this sampler.
     pub samples_taken: u64,
 }
@@ -44,9 +50,21 @@ impl ThreadSampler {
             rng: StdRng::seed_from_u64(mix_seed(seed, rank as u64, thread as u64)),
             scratch: TraversalScratch::new(n),
             n,
-            path_buf: Vec::new(),
+            pairs: Vec::new(),
+            stats: SearchStats::default(),
             samples_taken: 0,
         }
+    }
+
+    /// Draws a uniform ordered pair `(s, t)` with `s ≠ t`.
+    #[inline]
+    fn draw_pair(&mut self) -> (NodeId, NodeId) {
+        let s = self.rng.gen_range(0..self.n as NodeId);
+        let mut t = self.rng.gen_range(0..self.n as NodeId - 1);
+        if t >= s {
+            t += 1; // uniform over t != s without rejection
+        }
+        (s, t)
     }
 
     /// Takes one sample: draws a uniform ordered pair `(s, t)`, `s ≠ t`,
@@ -56,17 +74,46 @@ impl ThreadSampler {
     /// interior, keeping `b̃` an unbiased estimator on disconnected graphs).
     pub fn sample(&mut self, g: &Graph) -> &[NodeId] {
         debug_assert_eq!(g.num_nodes(), self.n);
-        let s = self.rng.gen_range(0..self.n as NodeId);
-        let mut t = self.rng.gen_range(0..self.n as NodeId - 1);
-        if t >= s {
-            t += 1; // uniform over t != s without rejection
-        }
-        self.path_buf.clear();
-        if let Some(p) = sample_shortest_path(g, s, t, &mut self.scratch, &mut self.rng) {
-            self.path_buf.extend_from_slice(&p.interior);
-        }
+        let (s, t) = self.draw_pair();
+        let _ =
+            sample_shortest_path_into(g, s, t, &mut self.scratch, &mut self.rng, &mut self.stats);
         self.samples_taken += 1;
-        &self.path_buf
+        &self.scratch.path
+    }
+
+    /// Takes `k` samples, invoking `consume` with each sample's interior
+    /// vertices (same semantics as [`ThreadSampler::sample`]).
+    ///
+    /// The `k` endpoint pairs are pre-drawn from the RNG stream in one tight
+    /// sweep before any BFS runs — this batches the stream arithmetic and
+    /// keeps the BFS loop free of per-sample RNG state churn. The pair/path
+    /// distribution is identical to `k` calls of `sample` (every draw is
+    /// independent), only the order in which the stream is consumed differs,
+    /// which the `(ε, δ)` guarantee is insensitive to (DESIGN.md §11).
+    pub fn sample_batch<F: FnMut(&[NodeId])>(&mut self, g: &Graph, k: u64, mut consume: F) {
+        debug_assert_eq!(g.num_nodes(), self.n);
+        self.pairs.clear();
+        self.pairs.reserve(k as usize);
+        for _ in 0..k {
+            let p = self.draw_pair();
+            self.pairs.push(p);
+        }
+        // Move the pair buffer out so the sweep can borrow `self` mutably;
+        // moved back below, so no allocation happens either way.
+        let pairs = std::mem::take(&mut self.pairs);
+        for &(s, t) in &pairs {
+            let _ = sample_shortest_path_into(
+                g,
+                s,
+                t,
+                &mut self.scratch,
+                &mut self.rng,
+                &mut self.stats,
+            );
+            consume(&self.scratch.path);
+        }
+        self.pairs = pairs;
+        self.samples_taken += k;
     }
 }
 
@@ -84,6 +131,22 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.sample(&g), b.sample(&g));
         }
+    }
+
+    #[test]
+    fn batch_is_deterministic_and_counts() {
+        let g = gnm(GnmConfig { n: 40, m: 140, seed: 2 });
+        let mut a = ThreadSampler::new(40, 9, 0, 0);
+        let mut b = ThreadSampler::new(40, 9, 0, 0);
+        let mut seen_a: Vec<Vec<NodeId>> = Vec::new();
+        let mut seen_b: Vec<Vec<NodeId>> = Vec::new();
+        a.sample_batch(&g, 64, |p| seen_a.push(p.to_vec()));
+        b.sample_batch(&g, 64, |p| seen_b.push(p.to_vec()));
+        assert_eq!(seen_a, seen_b);
+        assert_eq!(seen_a.len(), 64);
+        assert_eq!(a.samples_taken, 64);
+        // At least one sample on this dense instance has an interior vertex.
+        assert!(seen_a.iter().any(|p| !p.is_empty()));
     }
 
     #[test]
@@ -108,6 +171,7 @@ mod tests {
             s.sample(&g);
         }
         assert_eq!(s.samples_taken, 10);
+        assert!(s.stats.edges_scanned > 0);
     }
 
     #[test]
@@ -120,6 +184,7 @@ mod tests {
             // the interior is always empty.
             assert!(interior.is_empty());
         }
+        s.sample_batch(&g, 50, |interior| assert!(interior.is_empty()));
     }
 
     #[test]
@@ -135,6 +200,21 @@ mod tests {
                 hits += 1;
             }
         }
+        let frac = hits as f64 / trials as f64;
+        assert!((frac - 1.0 / 3.0).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn batch_estimates_match_exact_on_path_graph() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut s = ThreadSampler::new(3, 6, 0, 0);
+        let trials = 30_000u64;
+        let mut hits = 0u64;
+        s.sample_batch(&g, trials, |p| {
+            if !p.is_empty() {
+                hits += 1;
+            }
+        });
         let frac = hits as f64 / trials as f64;
         assert!((frac - 1.0 / 3.0).abs() < 0.01, "frac = {frac}");
     }

@@ -32,6 +32,12 @@ pub fn kadabra_sequential_traced(
     assert!(n >= 2, "KADABRA requires at least two vertices");
     let w = tel.writer(0, 0);
 
+    // Cache-aware relabeling: the whole run samples on the degree-relabeled
+    // CSR (hot vertices packed at the low end of the id space) and the final
+    // scores are mapped back to the caller's ids (DESIGN.md §11).
+    let (rg, perm) = g.relabel_by_degree();
+    let g = &rg;
+
     let sp = w.begin(SpanId::Diameter);
     let (vd, _) = diameter_phase(g, cfg);
     w.end(sp);
@@ -53,11 +59,11 @@ pub fn kadabra_sequential_traced(
     loop {
         w.set_epoch(epoch);
         let sp = w.begin(SpanId::SampleBatch);
-        for _ in 0..n0 {
-            for &v in sampler.sample(g) {
+        sampler.sample_batch(g, n0, |interior| {
+            for &v in interior {
                 counts[v as usize] += 1;
             }
-        }
+        });
         w.end(sp);
         tau += n0;
         w.count(CounterId::Samples, n0);
@@ -84,7 +90,8 @@ pub fn kadabra_sequential_traced(
     stats.samples = tau;
 
     BetweennessResult {
-        scores: scores_from_counts(&counts, tau),
+        // Map the relabeled-id scores back to the caller's original ids.
+        scores: perm.unrelabel(&scores_from_counts(&counts, tau)),
         samples: tau,
         omega,
         vertex_diameter: vd,

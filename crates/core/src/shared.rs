@@ -66,6 +66,12 @@ pub fn kadabra_shared_traced(
     assert!(n >= 2, "KADABRA requires at least two vertices");
     let w = tel.writer(0, 0);
 
+    // Cache-aware relabeling: all sampling threads share the degree-relabeled
+    // CSR; the final scores are mapped back to the caller's ids
+    // (DESIGN.md §11).
+    let (rg, perm) = g.relabel_by_degree();
+    let g = &rg;
+
     // Phase 1: diameter (sequential).
     let sp = w.begin(SpanId::Diameter);
     let (vd, _) = diameter_phase(g, cfg);
@@ -127,10 +133,13 @@ pub fn kadabra_shared_traced(
                 let mut sampler = ThreadSampler::new(n, cfg.seed, 0, ADS_STREAM_OFFSET + t);
                 let mut h = fw.handle(t);
                 let mut drawn = 0u64;
+                // Small batches amortize pair drawing while still polling
+                // the epoch command often enough to stay within the
+                // framework's one-epoch lag bound.
+                const WORKER_CHUNK: u64 = 8;
                 while !fw.should_terminate() {
-                    let interior = sampler.sample(g);
-                    h.record_sample(interior);
-                    drawn += 1;
+                    sampler.sample_batch(g, WORKER_CHUNK, |interior| h.record_sample(interior));
+                    drawn += WORKER_CHUNK;
                     fw.check_transition(&mut h);
                 }
                 // One flush at exit keeps the hot loop free of stores.
@@ -145,10 +154,7 @@ pub fn kadabra_shared_traced(
         loop {
             w.set_epoch(epoch);
             let sp = w.begin(SpanId::SampleBatch);
-            for _ in 0..n0 {
-                let interior = sampler.sample(g);
-                h.record_sample(interior);
-            }
+            sampler.sample_batch(g, n0, |interior| h.record_sample(interior));
             w.end(sp);
             fw.force_transition(&mut h, epoch);
             let sp = w.begin(SpanId::TransitionWait);
@@ -196,7 +202,8 @@ pub fn kadabra_shared_traced(
     stats.comm_bytes = rec.counter(CounterId::BytesReduced);
 
     BetweennessResult {
-        scores: scores_from_counts(&acc, tau),
+        // Map the relabeled-id scores back to the caller's original ids.
+        scores: perm.unrelabel(&scores_from_counts(&acc, tau)),
         samples: tau,
         omega,
         vertex_diameter: vd,

@@ -32,6 +32,9 @@ pub fn bfs(g: &Graph, source: NodeId) -> BfsResult {
     while head < order.len() {
         let u = order[head];
         head += 1;
+        if let Some(&w) = order.get(head) {
+            g.prefetch_neighbors(w);
+        }
         let du = dist[u as usize];
         for &v in g.neighbors(u) {
             if dist[v as usize] == UNREACHED {
@@ -70,6 +73,9 @@ pub fn sigma_bfs(g: &Graph, source: NodeId) -> SigmaBfsResult {
     while head < order.len() {
         let u = order[head];
         head += 1;
+        if let Some(&w) = order.get(head) {
+            g.prefetch_neighbors(w);
+        }
         let du = dist[u as usize];
         let su = sigma[u as usize];
         for &v in g.neighbors(u) {

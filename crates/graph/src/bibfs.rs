@@ -54,6 +54,19 @@ pub struct SearchStats {
     pub vertices_settled: u64,
 }
 
+/// Summary of a sampled path whose interior vertices were left in
+/// `scratch.path` by [`sample_shortest_path_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleInfo {
+    /// Shortest s-t distance in hops.
+    pub distance: u32,
+    /// Total number of distinct shortest s-t paths (saturating at `u128::MAX`).
+    pub num_paths: u128,
+}
+
+/// How many adjacency entries ahead the scan prefetches the stamped state.
+const STATE_PREFETCH_DIST: usize = 4;
+
 /// Samples a uniformly random shortest `s`-`t` path.
 ///
 /// Returns `None` if `t` is unreachable from `s`. `s == t` is rejected with a
@@ -80,27 +93,61 @@ pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
     scratch: &mut TraversalScratch,
     rng: &mut R,
 ) -> Option<(PathSample, SearchStats)> {
+    let mut stats = SearchStats::default();
+    let info = sample_shortest_path_into(g, s, t, scratch, rng, &mut stats)?;
+    let sample = PathSample {
+        distance: info.distance,
+        interior: scratch.path.clone(),
+        num_paths: info.num_paths,
+    };
+    Some((sample, stats))
+}
+
+/// Allocation-free core of the sampler: identical semantics to
+/// [`sample_shortest_path`], but the sampled interior is left in
+/// `scratch.path` (cleared on `None`) instead of being cloned into a fresh
+/// [`PathSample`], and search statistics are *accumulated* into `stats`.
+///
+/// Every buffer the search needs lives in `scratch`, so after the first few
+/// samples have grown the buffers to the working-set size, a call performs no
+/// heap allocation at all — the property the allocation-regression test in
+/// `kadabra-core` pins down.
+pub fn sample_shortest_path_into<R: Rng + ?Sized>(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    scratch: &mut TraversalScratch,
+    rng: &mut R,
+    stats: &mut SearchStats,
+) -> Option<SampleInfo> {
     assert!(s != t, "sampling requires distinct endpoints");
     assert!((s as usize) < g.num_nodes() && (t as usize) < g.num_nodes());
     scratch.reset();
-    let mut stats = SearchStats::default();
+    let TraversalScratch {
+        fwd,
+        bwd,
+        path,
+        frontier_fwd,
+        frontier_bwd,
+        next_frontier,
+        meets,
+        cut,
+        ..
+    } = scratch;
 
     // Frontiers hold the vertices of the most recently completed level.
-    let mut frontier_s = vec![s];
-    let mut frontier_t = vec![t];
-    scratch.fwd.visit(s, 0, 1);
-    scratch.bwd.visit(t, 0, 1);
+    frontier_fwd.push(s);
+    frontier_bwd.push(t);
+    fwd.visit(s, 0, 1);
+    bwd.visit(t, 0, 1);
     stats.vertices_settled += 2;
     let mut ds = 0u32; // completed radius around s
     let mut dt = 0u32; // completed radius around t
     let mut deg_s: u64 = g.degree(s) as u64;
     let mut deg_t: u64 = g.degree(t) as u64;
 
-    // Meeting vertices of the final level: (vertex, settled other-side dist).
-    let mut meets: Vec<(NodeId, u32)> = Vec::new();
-
     loop {
-        if frontier_s.is_empty() || frontier_t.is_empty() {
+        if frontier_fwd.is_empty() || frontier_bwd.is_empty() {
             return None; // one component exhausted without meeting
         }
         // Balanced expansion: grow the cheaper side.
@@ -111,26 +158,33 @@ pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
             &mut Vec<NodeId>,
             &mut u32,
         ) = if expand_fwd {
-            (&mut scratch.fwd, &mut scratch.bwd, &mut frontier_s, &mut ds)
+            (&mut *fwd, &mut *bwd, &mut *frontier_fwd, &mut ds)
         } else {
-            (&mut scratch.bwd, &mut scratch.fwd, &mut frontier_t, &mut dt)
+            (&mut *bwd, &mut *fwd, &mut *frontier_bwd, &mut dt)
         };
 
         let new_depth = *depth + 1;
-        let mut next = Vec::new();
+        next_frontier.clear();
         let mut next_deg: u64 = 0;
-        for &u in frontier.iter() {
+        for i in 0..frontier.len() {
+            let u = frontier[i];
+            // Pull the next frontier vertex's adjacency row while scanning
+            // this one's.
+            if let Some(&w) = frontier.get(i + 1) {
+                g.prefetch_neighbors(w);
+            }
             let su = state.sigma(u);
-            for &v in g.neighbors(u) {
+            let adj = g.neighbors(u);
+            for (j, &v) in adj.iter().enumerate() {
+                // Pull the stamped record a few probes ahead: the v's are
+                // data-dependent, so the hardware prefetcher cannot help.
+                if let Some(&w) = adj.get(j + STATE_PREFETCH_DIST) {
+                    state.prefetch(w);
+                }
                 stats.edges_scanned += 1;
-                if state.reached(v) {
-                    if state.dist(v) == new_depth {
-                        state.add_sigma(v, su);
-                    }
-                } else {
-                    state.visit(v, new_depth, su);
+                if state.settle_or_merge(v, new_depth, su) {
                     stats.vertices_settled += 1;
-                    next.push(v);
+                    next_frontier.push(v);
                     next_deg += g.degree(v) as u64;
                     if other.reached(v) {
                         meets.push((v, other.dist(v)));
@@ -139,7 +193,7 @@ pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
             }
         }
         *depth = new_depth;
-        *frontier = next;
+        std::mem::swap(frontier, next_frontier);
         if expand_fwd {
             deg_s = next_deg;
         } else {
@@ -151,26 +205,21 @@ pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
             let k0 = meets.iter().map(|&(_, k)| k).min().unwrap();
             let distance = new_depth + k0;
             // The cut lives at level `new_depth` of the side just expanded.
-            let (near, far) = if expand_fwd {
-                (&scratch.fwd, &scratch.bwd)
-            } else {
-                (&scratch.bwd, &scratch.fwd)
-            };
-            let cut: Vec<(NodeId, u128)> = meets
-                .iter()
-                .filter(|&&(_, k)| k == k0)
-                .map(|&(v, _)| {
+            let (near, far) = if expand_fwd { (&*fwd, &*bwd) } else { (&*bwd, &*fwd) };
+            let mut num_paths: u128 = 0;
+            for &(v, k) in meets.iter() {
+                if k == k0 {
                     let w = (near.sigma(v) as u128).saturating_mul(far.sigma(v) as u128);
-                    (v, w)
-                })
-                .collect();
-            let num_paths: u128 = cut.iter().fold(0u128, |a, &(_, w)| a.saturating_add(w));
+                    num_paths = num_paths.saturating_add(w);
+                    cut.push((v, w));
+                }
+            }
             debug_assert!(num_paths > 0);
 
             // Sample a cut vertex proportionally to σ_near · σ_far.
             let mut pick = rng.gen_range(0..num_paths);
             let mut chosen = cut[0].0;
-            for &(v, w) in &cut {
+            for &(v, w) in cut.iter() {
                 if pick < w {
                     chosen = v;
                     break;
@@ -179,27 +228,26 @@ pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
             }
 
             // Walk back towards both endpoints, σ-proportionally.
-            scratch.path.clear();
+            path.clear();
             if expand_fwd {
-                backtrack(g, &scratch.fwd, chosen, s, &mut scratch.path, rng);
+                backtrack(g, fwd, chosen, s, path, rng);
                 if chosen != t {
-                    scratch.path.push(chosen);
+                    path.push(chosen);
                 }
-                backtrack(g, &scratch.bwd, chosen, t, &mut scratch.path, rng);
+                backtrack(g, bwd, chosen, t, path, rng);
             } else {
-                backtrack(g, &scratch.bwd, chosen, t, &mut scratch.path, rng);
+                backtrack(g, bwd, chosen, t, path, rng);
                 if chosen != s {
-                    scratch.path.push(chosen);
+                    path.push(chosen);
                 }
-                backtrack(g, &scratch.fwd, chosen, s, &mut scratch.path, rng);
+                backtrack(g, fwd, chosen, s, path, rng);
             }
             debug_assert_eq!(
-                scratch.path.len() as u32 + 1,
+                path.len() as u32 + 1,
                 distance,
                 "interior vertex count must be distance - 1"
             );
-            let sample = PathSample { distance, interior: scratch.path.clone(), num_paths };
-            return Some((sample, stats));
+            return Some(SampleInfo { distance, num_paths });
         }
     }
 }

@@ -140,6 +140,175 @@ impl Graph {
     pub(crate) fn raw_parts(&self) -> (&[u64], &[NodeId]) {
         (&self.offsets, &self.targets)
     }
+
+    /// Hints the CPU to pull the start of `v`'s adjacency row into cache.
+    /// Used by the sampling hot path one frontier vertex ahead of the scan.
+    #[inline]
+    pub fn prefetch_neighbors(&self, v: NodeId) {
+        let lo = self.offsets[v as usize] as usize;
+        crate::prefetch::prefetch_read(&self.targets, lo);
+    }
+
+    /// Relabels vertices in descending degree order (ties broken by original
+    /// id), returning the relabeled graph and the [`Permutation`] that maps
+    /// between labelings.
+    ///
+    /// High-degree vertices are the ones a BFS touches most often; packing
+    /// them into the low end of the id space concentrates the hot rows of the
+    /// per-vertex state and the offset array into a few cache/TLB pages
+    /// (DESIGN.md §11). Driver outputs must be mapped back with
+    /// [`Permutation::unrelabel`] so callers always see original ids.
+    pub fn relabel_by_degree(&self) -> (Graph, Permutation) {
+        self.relabel_by_degree_in(&mut CsrArena::new())
+    }
+
+    /// Like [`Graph::relabel_by_degree`], recycling an arena's buffers for
+    /// the relabeled CSR arrays.
+    pub fn relabel_by_degree_in(&self, arena: &mut CsrArena) -> (Graph, Permutation) {
+        let n = self.num_nodes();
+        let mut to_old: Vec<NodeId> = (0..n as NodeId).collect();
+        // Highest degree first; the original id tiebreak makes the
+        // permutation deterministic for any input graph.
+        to_old.sort_unstable_by_key(|&v| (std::cmp::Reverse(self.degree(v)), v));
+        let mut to_new = vec![0 as NodeId; n];
+        for (new, &old) in to_old.iter().enumerate() {
+            to_new[old as usize] = new as NodeId;
+        }
+
+        let mut offsets = arena.take_offsets();
+        offsets.resize(n + 1, 0);
+        for new in 0..n {
+            offsets[new + 1] = offsets[new] + self.degree(to_old[new]) as u64;
+        }
+        let mut targets = arena.take_targets();
+        targets.resize(self.targets.len(), 0);
+        for new in 0..n {
+            let lo = offsets[new] as usize;
+            let hi = offsets[new + 1] as usize;
+            let row = &mut targets[lo..hi];
+            for (slot, &w) in row.iter_mut().zip(self.neighbors(to_old[new])) {
+                *slot = to_new[w as usize];
+            }
+            row.sort_unstable();
+        }
+        let g = Graph { offsets, targets };
+        debug_assert!(g.check_canonical().is_ok());
+        (g, Permutation { to_new, to_old })
+    }
+}
+
+/// A bijection between *original* and *relabeled* vertex ids, produced by
+/// [`Graph::relabel_by_degree`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    /// `to_new[old]` = relabeled id of original vertex `old`.
+    to_new: Vec<NodeId>,
+    /// `to_old[new]` = original id of relabeled vertex `new`.
+    to_old: Vec<NodeId>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<NodeId> = (0..n as NodeId).collect();
+        Permutation { to_new: ids.clone(), to_old: ids }
+    }
+
+    /// Number of vertices the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.to_new.len()
+    }
+
+    /// True for the permutation on the empty vertex set.
+    pub fn is_empty(&self) -> bool {
+        self.to_new.is_empty()
+    }
+
+    /// Relabeled id of original vertex `old`.
+    #[inline]
+    pub fn to_new(&self, old: NodeId) -> NodeId {
+        self.to_new[old as usize]
+    }
+
+    /// Original id of relabeled vertex `new`.
+    #[inline]
+    pub fn to_old(&self, new: NodeId) -> NodeId {
+        self.to_old[new as usize]
+    }
+
+    /// Whether this permutation maps every vertex to itself.
+    pub fn is_identity(&self) -> bool {
+        self.to_new.iter().enumerate().all(|(i, &v)| i as NodeId == v)
+    }
+
+    /// Maps a per-vertex array indexed by *relabeled* ids back to *original*
+    /// indexing: `result[old] = values[to_new[old]]`. This is how driver
+    /// outputs (betweenness scores) computed on a relabeled graph are
+    /// reported in the caller's original ids.
+    pub fn unrelabel<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        let mut out = Vec::new();
+        self.unrelabel_into(values, &mut out);
+        out
+    }
+
+    /// Allocation-reusing variant of [`Permutation::unrelabel`].
+    pub fn unrelabel_into<T: Copy>(&self, values: &[T], out: &mut Vec<T>) {
+        assert_eq!(values.len(), self.len(), "value array must cover every vertex");
+        out.clear();
+        out.extend(self.to_new.iter().map(|&new| values[new as usize]));
+    }
+
+    /// Inverse of [`Permutation::unrelabel`]: maps a per-vertex array indexed
+    /// by *original* ids to *relabeled* indexing (`result[new] =
+    /// values[to_old[new]]`), so `relabel ∘ unrelabel` is the identity.
+    pub fn relabel<T: Copy>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len(), "value array must cover every vertex");
+        self.to_old.iter().map(|&old| values[old as usize]).collect()
+    }
+}
+
+/// Recyclable CSR construction buffers.
+///
+/// Repeated graph builds through the same arena reuse the previous build's
+/// `offsets`/`targets` capacity: at steady state, [`GraphBuilder::build_in`]
+/// and [`Graph::relabel_by_degree_in`] perform **no** heap allocation for the
+/// CSR arrays (the builder's caller-owned edge list is the only buffer left).
+/// Hand a finished graph's storage back with [`CsrArena::recycle`].
+#[derive(Default)]
+pub struct CsrArena {
+    offsets: Vec<u64>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrArena {
+    /// An empty arena; its first build populates the buffers.
+    pub fn new() -> Self {
+        CsrArena::default()
+    }
+
+    /// Returns a graph's CSR storage to the arena for the next build.
+    pub fn recycle(&mut self, g: Graph) {
+        self.offsets = g.offsets;
+        self.targets = g.targets;
+    }
+
+    /// Capacity currently held, in bytes (for tests and diagnostics).
+    pub fn capacity_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u64>()
+            + self.targets.capacity() * std::mem::size_of::<NodeId>()
+    }
+
+    fn take_offsets(&mut self) -> Vec<u64> {
+        let mut v = std::mem::take(&mut self.offsets);
+        v.clear();
+        v
+    }
+
+    fn take_targets(&mut self) -> Vec<NodeId> {
+        let mut v = std::mem::take(&mut self.targets);
+        v.clear();
+        v
+    }
 }
 
 impl std::fmt::Debug for Graph {
@@ -202,7 +371,17 @@ impl GraphBuilder {
     }
 
     /// Finalizes the canonical CSR graph.
-    pub fn build(mut self) -> Graph {
+    pub fn build(self) -> Graph {
+        self.build_in(&mut CsrArena::new())
+    }
+
+    /// Finalizes the canonical CSR graph into `arena`-recycled buffers.
+    ///
+    /// The counting sort runs in place — the offset array doubles as the
+    /// scatter cursor and is repaired afterwards — so with a warm arena the
+    /// whole build allocates nothing beyond the edge list the builder
+    /// already holds.
+    pub fn build_in(mut self, arena: &mut CsrArena) -> Graph {
         if self.n > NodeId::MAX as usize {
             // `new` takes usize so this is reachable only on 64-bit hosts with
             // absurd n; keep it a panic rather than plumbing Result through
@@ -214,22 +393,33 @@ impl GraphBuilder {
 
         // Counting sort into CSR; every undirected edge contributes two arcs.
         let n = self.n;
-        let mut degrees = vec![0u64; n];
+        let mut offsets = arena.take_offsets();
+        offsets.resize(n + 1, 0);
         for &(u, v) in &self.edges {
-            degrees[u as usize] += 1;
-            degrees[v as usize] += 1;
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
         }
-        let mut offsets = vec![0u64; n + 1];
         for v in 0..n {
-            offsets[v + 1] = offsets[v] + degrees[v];
+            offsets[v + 1] += offsets[v];
         }
-        let mut cursor: Vec<u64> = offsets[..n].to_vec();
-        let mut targets = vec![0 as NodeId; offsets[n] as usize];
+        let mut targets = arena.take_targets();
+        targets.resize(offsets[n] as usize, 0);
+        // Scatter, using offsets[u] as row u's write cursor; each write
+        // advances the cursor, so afterwards offsets[u] holds row u's end
+        // (= row u+1's start).
         for &(u, v) in &self.edges {
-            targets[cursor[u as usize] as usize] = v;
-            cursor[u as usize] += 1;
-            targets[cursor[v as usize] as usize] = u;
-            cursor[v as usize] += 1;
+            targets[offsets[u as usize] as usize] = v;
+            offsets[u as usize] += 1;
+            targets[offsets[v as usize] as usize] = u;
+            offsets[v as usize] += 1;
+        }
+        // Repair: shift the advanced cursors one slot right so offsets[v] is
+        // row v's start again (offsets[n] already holds the total).
+        for v in (1..=n).rev() {
+            offsets[v] = offsets[v - 1];
+        }
+        if n > 0 {
+            offsets[0] = 0;
         }
         // Edges were processed in lexicographic order of (min, max); the
         // resulting per-vertex lists are not necessarily sorted (a vertex's
@@ -346,6 +536,82 @@ mod tests {
     #[should_panic(expected = "offsets must start at 0")]
     fn from_sorted_csr_rejects_bad_offsets() {
         Graph::from_sorted_csr(vec![1, 2], vec![0, 0]);
+    }
+
+    #[test]
+    fn relabel_by_degree_orders_vertices_by_degree() {
+        // Degrees: 0→1, 1→3, 2→2, 3→2 ⇒ new order 1, 2, 3, 0 (ties by id).
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        let (rg, perm) = g.relabel_by_degree();
+        assert!(rg.check_canonical().is_ok());
+        assert_eq!(rg.num_nodes(), g.num_nodes());
+        assert_eq!(rg.num_edges(), g.num_edges());
+        assert_eq!(perm.to_old(0), 1);
+        assert_eq!(perm.to_old(1), 2);
+        assert_eq!(perm.to_old(2), 3);
+        assert_eq!(perm.to_old(3), 0);
+        // Degrees are non-increasing in the new labeling.
+        for v in 1..rg.num_nodes() as NodeId {
+            assert!(rg.degree(v - 1) >= rg.degree(v));
+        }
+        // The relabeled graph is isomorphic via the permutation.
+        for (u, v) in g.edges() {
+            assert!(rg.has_edge(perm.to_new(u), perm.to_new(v)));
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrips() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 3), (1, 4)]);
+        let (_, perm) = g.relabel_by_degree();
+        // relabel ∘ unrelabel = id and unrelabel ∘ relabel = id.
+        let vals: Vec<u32> = vec![10, 20, 30, 40, 50];
+        assert_eq!(perm.relabel(&perm.unrelabel(&vals)), vals);
+        assert_eq!(perm.unrelabel(&perm.relabel(&vals)), vals);
+        for v in 0..5 {
+            assert_eq!(perm.to_new(perm.to_old(v)), v);
+            assert_eq!(perm.to_old(perm.to_new(v)), v);
+        }
+        assert!(Permutation::identity(5).is_identity());
+    }
+
+    #[test]
+    fn arena_reuses_buffers_across_builds() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let mut arena = CsrArena::new();
+        let mut b = GraphBuilder::with_capacity(4, edges.len());
+        b.extend_edges(edges.iter().copied()).expect("in range");
+        let g1 = b.build_in(&mut arena);
+        let baseline = graph_from_edges(4, &edges);
+        assert_eq!(g1, baseline);
+        // Recycle and rebuild: the arena now has capacity, and the result is
+        // identical.
+        arena.recycle(g1);
+        assert!(arena.capacity_bytes() > 0);
+        let mut b = GraphBuilder::with_capacity(4, edges.len());
+        b.extend_edges(edges.iter().copied()).expect("in range");
+        let g2 = b.build_in(&mut arena);
+        assert_eq!(g2, baseline);
+    }
+
+    #[test]
+    fn arena_relabel_matches_plain_relabel() {
+        let edges = [(0, 3), (3, 2), (2, 1), (1, 0), (0, 2), (4, 0)];
+        let g = graph_from_edges(5, &edges);
+        let (r1, p1) = g.relabel_by_degree();
+        let mut arena = CsrArena::new();
+        let (r2, p2) = g.relabel_by_degree_in(&mut arena);
+        assert_eq!(r1, r2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn relabel_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let (rg, perm) = g.relabel_by_degree();
+        assert_eq!(rg.num_nodes(), 0);
+        assert!(perm.is_empty());
+        assert!(perm.is_identity());
     }
 
     #[test]

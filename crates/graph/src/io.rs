@@ -23,6 +23,13 @@ const VERSION: u32 = 1;
 /// Parses an edge-list from a reader. Lines starting with `#` or `%` and
 /// blank lines are skipped; each other line must hold two integers.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    read_edge_list_in(reader, &mut crate::csr::CsrArena::new())
+}
+
+/// Like [`read_edge_list`], building the CSR arrays in `arena`-recycled
+/// buffers so repeated loads (e.g. an experiment sweep over instances)
+/// allocate no fresh CSR storage once the arena is warm.
+pub fn read_edge_list_in<R: Read>(reader: R, arena: &mut crate::csr::CsrArena) -> Result<Graph> {
     let mut edges: Vec<(u64, u64)> = Vec::new();
     let mut max_id: u64 = 0;
     let mut line_no = 0usize;
@@ -60,7 +67,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
     for (u, v) in edges {
         b.add_edge(u as NodeId, v as NodeId)?;
     }
-    Ok(b.build())
+    Ok(b.build_in(arena))
 }
 
 /// Writes the graph as an edge list (one `u v` line per undirected edge).

@@ -29,6 +29,8 @@
 //! * [`scratch`] — reusable per-thread traversal buffers. Each KADABRA sample
 //!   is a BFS, so avoiding per-sample allocation is critical (Section IV of
 //!   the paper takes a sample in <10ms on billion-edge graphs).
+//! * [`prefetch`] — best-effort software prefetch hints used by the sampling
+//!   hot path (see DESIGN.md §11).
 
 pub mod bfs;
 pub mod bibfs;
@@ -38,12 +40,13 @@ pub mod diameter;
 pub mod digraph;
 pub mod generators;
 pub mod io;
+pub mod prefetch;
 pub mod scratch;
 pub mod stats;
 pub mod sumsweep;
 pub mod weighted;
 
-pub use csr::{Graph, GraphBuilder, NodeId};
+pub use csr::{CsrArena, Graph, GraphBuilder, NodeId, Permutation};
 pub use scratch::TraversalScratch;
 
 /// Convenience result alias used by fallible graph routines (IO, parsing).

@@ -9,54 +9,108 @@
 //! memset), the scratch uses the classic *timestamp* trick: a vertex's entry
 //! is valid only if its stamp equals the current round number. Resetting is
 //! then `O(1)` (bump the round), with a full clear only on the rare round
-//! counter wrap.
+//! counter wrap — without that clear, a stamp written billions of rounds ago
+//! would alias the recycled round number and resurrect stale state.
+//!
+//! The per-vertex state is stored as an array of structs ([`Slot`]): one
+//! sample touches a sparse, essentially random subset of vertices, so keeping
+//! a vertex's stamp, distance and σ in a single 16-byte record turns three
+//! potential cache misses per probe into one.
 
 use crate::csr::NodeId;
+use crate::prefetch::prefetch_read;
 
 /// Sentinel distance meaning "not reached in the current round".
 pub const UNREACHED: u32 = u32::MAX;
 
-/// One direction's worth of BFS state with O(1) reset.
-pub struct StampedBfsState {
-    /// Distance from the round's source; valid iff `stamp[v] == round`.
-    dist: Vec<u32>,
-    /// Number of shortest paths from the source (σ); valid under the same stamp.
-    sigma: Vec<u64>,
-    /// Round stamp per vertex.
-    stamp: Vec<u32>,
+/// Round-stamp integer for [`StampedState`].
+///
+/// The default is `u32`; tests instantiate `u8` to exercise the wrap path
+/// cheaply (a `u32` stamp wraps only once per ~4 billion samples).
+pub trait Stamp: Copy + Eq + std::fmt::Debug {
+    /// Inactive stamp value; `reset` never yields a round equal to it, so a
+    /// cleared slot can never read as visited.
+    const CLEAR: Self;
+    /// Largest round value; the reset after it performs the full-clear wrap.
+    const LAST: Self;
+    /// Successor of a non-[`Self::LAST`] value.
+    fn next(self) -> Self;
+}
+
+impl Stamp for u32 {
+    const CLEAR: Self = 0;
+    const LAST: Self = u32::MAX;
+    #[inline]
+    fn next(self) -> Self {
+        self + 1
+    }
+}
+
+impl Stamp for u8 {
+    const CLEAR: Self = 0;
+    const LAST: Self = u8::MAX;
+    #[inline]
+    fn next(self) -> Self {
+        self + 1
+    }
+}
+
+/// Per-vertex BFS record: validity stamp, distance from the round's source,
+/// and shortest-path count σ, packed together for single-miss probes.
+#[derive(Clone, Copy)]
+struct Slot<S> {
+    /// Entry is valid iff `stamp == round` of the owning state.
+    stamp: S,
+    /// Distance from the round's source.
+    dist: u32,
+    /// Number of shortest paths from the source.
+    sigma: u64,
+}
+
+/// One direction's worth of BFS state with O(1) reset, generic over the
+/// stamp width (see [`Stamp`]).
+pub struct StampedState<S: Stamp> {
+    /// Per-vertex records; `slots[v]` is valid iff `slots[v].stamp == round`.
+    slots: Vec<Slot<S>>,
     /// Current round.
-    round: u32,
+    round: S,
     /// FIFO queue for the BFS frontier.
     pub queue: Vec<NodeId>,
 }
 
-impl StampedBfsState {
+/// The production stamp width: wraps once per ~4 billion samples.
+pub type StampedBfsState = StampedState<u32>;
+
+impl<S: Stamp> StampedState<S> {
     /// Creates state sized for an `n`-vertex graph.
     pub fn new(n: usize) -> Self {
-        StampedBfsState {
-            dist: vec![UNREACHED; n],
-            sigma: vec![0; n],
-            stamp: vec![0; n],
-            round: 0,
+        StampedState {
+            slots: vec![Slot { stamp: S::CLEAR, dist: UNREACHED, sigma: 0 }; n],
+            round: S::CLEAR,
             queue: Vec::new(),
         }
     }
 
-    /// Starts a fresh traversal round; O(1) except on round-counter wrap.
+    /// Starts a fresh traversal round; O(1) except on round-counter wrap,
+    /// where every stamp is cleared so recycled round numbers cannot alias
+    /// stamps written before the wrap.
     pub fn reset(&mut self) {
         self.queue.clear();
-        if self.round == u32::MAX {
-            self.stamp.fill(0);
-            self.round = 0;
+        if self.round == S::LAST {
+            for slot in &mut self.slots {
+                slot.stamp = S::CLEAR;
+            }
+            self.round = S::CLEAR;
         }
-        self.round += 1;
+        self.round = self.round.next();
     }
 
     /// Distance of `v` in the current round, or [`UNREACHED`].
     #[inline]
     pub fn dist(&self, v: NodeId) -> u32 {
-        if self.stamp[v as usize] == self.round {
-            self.dist[v as usize]
+        let slot = &self.slots[v as usize];
+        if slot.stamp == self.round {
+            slot.dist
         } else {
             UNREACHED
         }
@@ -65,8 +119,9 @@ impl StampedBfsState {
     /// σ(v): number of shortest source→v paths found this round (0 if unreached).
     #[inline]
     pub fn sigma(&self, v: NodeId) -> u64 {
-        if self.stamp[v as usize] == self.round {
-            self.sigma[v as usize]
+        let slot = &self.slots[v as usize];
+        if slot.stamp == self.round {
+            slot.sigma
         } else {
             0
         }
@@ -75,38 +130,63 @@ impl StampedBfsState {
     /// Marks `v` visited at `dist` with initial path count `sigma`.
     #[inline]
     pub fn visit(&mut self, v: NodeId, dist: u32, sigma: u64) {
-        self.stamp[v as usize] = self.round;
-        self.dist[v as usize] = dist;
-        self.sigma[v as usize] = sigma;
+        self.slots[v as usize] = Slot { stamp: self.round, dist, sigma };
     }
 
     /// Adds `extra` shortest paths to `v`'s count. `v` must be visited.
     #[inline]
     pub fn add_sigma(&mut self, v: NodeId, extra: u64) {
-        debug_assert_eq!(self.stamp[v as usize], self.round);
-        self.sigma[v as usize] = self.sigma[v as usize].saturating_add(extra);
+        let slot = &mut self.slots[v as usize];
+        debug_assert!(slot.stamp == self.round);
+        slot.sigma = slot.sigma.saturating_add(extra);
     }
 
     /// Whether `v` was reached this round.
     #[inline]
     pub fn reached(&self, v: NodeId) -> bool {
-        self.stamp[v as usize] == self.round
+        self.slots[v as usize].stamp == self.round
+    }
+
+    /// Single-probe BFS relaxation for the hot sampling loop: if `v` is
+    /// unvisited this round, settles it at `dist` with count `sigma` and
+    /// returns `true`; if `v` is already settled *at the same distance*,
+    /// accumulates `sigma` and returns `false`; otherwise returns `false`
+    /// without touching the record.
+    #[inline]
+    pub fn settle_or_merge(&mut self, v: NodeId, dist: u32, sigma: u64) -> bool {
+        let slot = &mut self.slots[v as usize];
+        if slot.stamp == self.round {
+            if slot.dist == dist {
+                slot.sigma = slot.sigma.saturating_add(sigma);
+            }
+            false
+        } else {
+            *slot = Slot { stamp: self.round, dist, sigma };
+            true
+        }
+    }
+
+    /// Hints the CPU to pull `v`'s record into cache ahead of a probe.
+    #[inline]
+    pub fn prefetch(&self, v: NodeId) {
+        prefetch_read(&self.slots, v as usize);
     }
 
     /// Number of vertices this state was sized for.
     pub fn len(&self) -> usize {
-        self.dist.len()
+        self.slots.len()
     }
 
     /// True if sized for the empty graph.
     pub fn is_empty(&self) -> bool {
-        self.dist.is_empty()
+        self.slots.is_empty()
     }
 }
 
 /// Scratch space for one sampling thread: two stamped BFS states (forward
-/// from `s`, backward from `t`) plus a path buffer for the sampled shortest
-/// path.
+/// from `s`, backward from `t`), frontier buffers, and result buffers for the
+/// sampled shortest path. All buffers are reused across samples, so at steady
+/// state a sample performs no heap allocation.
 pub struct TraversalScratch {
     /// Forward BFS state (from the sample's source `s`).
     pub fwd: StampedBfsState,
@@ -116,6 +196,16 @@ pub struct TraversalScratch {
     pub path: Vec<NodeId>,
     /// Bridge-edge buffer reused by the bidirectional sampler.
     pub bridges: Vec<(NodeId, NodeId, u64)>,
+    /// Forward frontier (most recently completed level around `s`).
+    pub frontier_fwd: Vec<NodeId>,
+    /// Backward frontier (most recently completed level around `t`).
+    pub frontier_bwd: Vec<NodeId>,
+    /// The level currently being built; swapped into a frontier when done.
+    pub next_frontier: Vec<NodeId>,
+    /// Meeting vertices of the final level: (vertex, settled other-side dist).
+    pub meets: Vec<(NodeId, u32)>,
+    /// Meeting-cut vertices with their path-count weights σ_near·σ_far.
+    pub cut: Vec<(NodeId, u128)>,
 }
 
 impl TraversalScratch {
@@ -126,15 +216,25 @@ impl TraversalScratch {
             bwd: StampedBfsState::new(n),
             path: Vec::new(),
             bridges: Vec::new(),
+            frontier_fwd: Vec::new(),
+            frontier_bwd: Vec::new(),
+            next_frontier: Vec::new(),
+            meets: Vec::new(),
+            cut: Vec::new(),
         }
     }
 
-    /// Resets both directions for a new sample.
+    /// Resets both directions and all buffers for a new sample.
     pub fn reset(&mut self) {
         self.fwd.reset();
         self.bwd.reset();
         self.path.clear();
         self.bridges.clear();
+        self.frontier_fwd.clear();
+        self.frontier_bwd.clear();
+        self.next_frontier.clear();
+        self.meets.clear();
+        self.cut.clear();
     }
 }
 
@@ -177,6 +277,20 @@ mod tests {
     }
 
     #[test]
+    fn settle_or_merge_matches_visit_semantics() {
+        let mut st = StampedBfsState::new(3);
+        st.reset();
+        assert!(st.settle_or_merge(1, 2, 5));
+        // Same distance: merge.
+        assert!(!st.settle_or_merge(1, 2, 3));
+        assert_eq!(st.sigma(1), 8);
+        // Larger distance: ignored.
+        assert!(!st.settle_or_merge(1, 3, 100));
+        assert_eq!(st.sigma(1), 8);
+        assert_eq!(st.dist(1), 2);
+    }
+
+    #[test]
     fn round_wrap_clears_stamps() {
         let mut st = StampedBfsState::new(2);
         st.reset();
@@ -188,6 +302,38 @@ mod tests {
         assert_eq!(st.dist(1), 2);
     }
 
+    /// Force a *natural* stamp wrap with a `u8` stamp: without the full clear
+    /// on wrap, the stamp written in round `r` would alias round `r` of the
+    /// next stamp cycle and resurrect stale distances.
+    #[test]
+    fn u8_stamp_survives_natural_wraparound() {
+        let mut st: StampedState<u8> = StampedState::new(4);
+        // Visit vertex 3 during round 7 of the first stamp cycle.
+        for _ in 0..7 {
+            st.reset();
+        }
+        st.visit(3, 42, 9);
+        assert_eq!(st.dist(3), 42);
+        // Run resets through the u8 wrap and back around to round 7 of the
+        // second cycle: 255 rounds per cycle, so 255 more resets land the
+        // round counter exactly where vertex 3's stale stamp sits.
+        for _ in 0..255 {
+            st.reset();
+            assert!(!st.reached(3), "stale stamp resurrected after wrap");
+        }
+        // A second full cycle for good measure.
+        for _ in 0..255 {
+            st.reset();
+            assert!(!st.reached(3));
+            assert_eq!(st.dist(3), UNREACHED);
+            assert_eq!(st.sigma(3), 0);
+        }
+        // The state still works normally after two wraps.
+        st.visit(3, 1, 2);
+        assert_eq!(st.dist(3), 1);
+        assert_eq!(st.sigma(3), 2);
+    }
+
     #[test]
     fn scratch_reset_clears_everything() {
         let mut sc = TraversalScratch::new(3);
@@ -196,11 +342,21 @@ mod tests {
         sc.bwd.visit(2, 0, 1);
         sc.path.push(1);
         sc.bridges.push((0, 2, 1));
+        sc.frontier_fwd.push(0);
+        sc.frontier_bwd.push(2);
+        sc.next_frontier.push(1);
+        sc.meets.push((1, 1));
+        sc.cut.push((1, 1));
         sc.reset();
         assert!(!sc.fwd.reached(0));
         assert!(!sc.bwd.reached(2));
         assert!(sc.path.is_empty());
         assert!(sc.bridges.is_empty());
+        assert!(sc.frontier_fwd.is_empty());
+        assert!(sc.frontier_bwd.is_empty());
+        assert!(sc.next_frontier.is_empty());
+        assert!(sc.meets.is_empty());
+        assert!(sc.cut.is_empty());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property tests for degree-descending CSR relabeling (DESIGN.md §11):
+//! relabeling is a pure layout change — every quantity the samplers compute
+//! must come out **bit-for-bit identical** once mapped back through
+//! [`Permutation::unrelabel`].
+
+use kadabra_graph::bfs::sigma_bfs;
+use kadabra_graph::bibfs::sample_shortest_path;
+use kadabra_graph::csr::graph_from_edges;
+use kadabra_graph::scratch::{TraversalScratch, UNREACHED};
+use kadabra_graph::{Graph, NodeId, Permutation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random edge list over up to `max_n` vertices (duplicates,
+/// self-loops, both orientations — the builder canonicalizes).
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        proptest::collection::vec(edge, 0..max_m).prop_map(move |edges| (n, edges))
+    })
+}
+
+/// Adds pair (s, t)'s exact per-pair betweenness contribution
+/// `σ_st(v)/σ_st` to `out[v]` — pure σ arithmetic, so the contribution is
+/// the same rational number (hence the same f64) in any labeling.
+fn add_pair_contribution(g: &Graph, s: NodeId, t: NodeId, out: &mut [f64]) {
+    let from_s = sigma_bfs(g, s);
+    let d = from_s.dist[t as usize];
+    if d == UNREACHED {
+        return;
+    }
+    let from_t = sigma_bfs(g, t);
+    let sigma_st = from_s.sigma[t as usize];
+    for (v, slot) in out.iter_mut().enumerate() {
+        let (ds, dt) = (from_s.dist[v], from_t.dist[v]);
+        if v as NodeId != s
+            && v as NodeId != t
+            && ds != UNREACHED
+            && dt != UNREACHED
+            && ds + dt == d
+        {
+            *slot += (from_s.sigma[v] * from_t.sigma[v]) as f64 / sigma_st as f64;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole invariant: estimates from a fixed pair set, computed on
+    /// the relabeled graph and mapped back through `unrelabel`, equal the
+    /// original-labeling estimates **bit for bit** (`f64::to_bits`, not an
+    /// epsilon) — per-vertex values are sums of identical f64 terms in
+    /// identical order, so layout must not perturb a single ULP.
+    #[test]
+    fn estimates_survive_relabeling_bit_for_bit((n, edges) in arb_edges(24, 80)) {
+        let g = graph_from_edges(n, &edges);
+        let (rg, perm) = g.relabel_by_degree();
+
+        // Fixed deterministic pair set in original IDs.
+        let pairs: Vec<(NodeId, NodeId)> = (0..n as NodeId)
+            .flat_map(|s| [(s, (s + 1) % n as NodeId), (s, (s * 7 + 3) % n as NodeId)])
+            .filter(|(s, t)| s != t)
+            .collect();
+
+        let mut original = vec![0.0f64; n];
+        let mut relabeled = vec![0.0f64; n];
+        for &(s, t) in &pairs {
+            add_pair_contribution(&g, s, t, &mut original);
+            add_pair_contribution(&rg, perm.to_new(s), perm.to_new(t), &mut relabeled);
+        }
+        let mapped = perm.unrelabel(&relabeled);
+        for v in 0..n {
+            prop_assert_eq!(
+                mapped[v].to_bits(),
+                original[v].to_bits(),
+                "vertex {}: {} (relabeled->unrelabel) vs {} (original)",
+                v, mapped[v], original[v]
+            );
+        }
+    }
+
+    /// `relabel ∘ unrelabel` (and the converse) is the identity on value
+    /// vectors, and the index maps invert each other.
+    #[test]
+    fn relabel_unrelabel_roundtrip((n, edges) in arb_edges(32, 120)) {
+        let g = graph_from_edges(n, &edges);
+        let (_, perm) = g.relabel_by_degree();
+        let values: Vec<f64> = (0..n).map(|v| v as f64 * 1.25 + 0.5).collect();
+        prop_assert_eq!(&perm.relabel(&perm.unrelabel(&values)), &values);
+        prop_assert_eq!(&perm.unrelabel(&perm.relabel(&values)), &values);
+        for v in 0..n as NodeId {
+            prop_assert_eq!(perm.to_new(perm.to_old(v)), v);
+            prop_assert_eq!(perm.to_old(perm.to_new(v)), v);
+        }
+        prop_assert_eq!(Permutation::identity(n).is_identity(), true);
+    }
+
+    /// The relabeled CSR is the same graph: `(u, v)` is an edge iff
+    /// `(to_new(u), to_new(v))` is, degrees transport, and the new labeling
+    /// is degree-descending.
+    #[test]
+    fn relabeled_graph_is_isomorphic_and_degree_sorted((n, edges) in arb_edges(32, 120)) {
+        let g = graph_from_edges(n, &edges);
+        let (rg, perm) = g.relabel_by_degree();
+        prop_assert!(rg.check_canonical().is_ok());
+        prop_assert_eq!(rg.num_nodes(), g.num_nodes());
+        prop_assert_eq!(rg.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            prop_assert!(rg.has_edge(perm.to_new(u), perm.to_new(v)));
+        }
+        for v in 0..n as NodeId {
+            prop_assert_eq!(rg.degree(perm.to_new(v)), g.degree(v));
+        }
+        for w in 1..n as NodeId {
+            prop_assert!(rg.degree(w - 1) >= rg.degree(w), "degrees must descend");
+        }
+    }
+
+    /// Paths sampled on the relabeled graph, mapped back through `to_old`,
+    /// are valid shortest paths of the original graph: right distance, and
+    /// interior distances partition the levels.
+    #[test]
+    fn sampled_paths_transport_back_to_original_ids(
+        (n, edges) in arb_edges(24, 80),
+        seed in 0u64..1_000,
+    ) {
+        let g = graph_from_edges(n, &edges);
+        let (rg, perm) = g.relabel_by_degree();
+        let mut scratch = TraversalScratch::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in 0..n.min(6) as NodeId {
+            let t = (s + n as NodeId / 2 + 1) % n as NodeId;
+            if s == t {
+                continue;
+            }
+            let from_s = sigma_bfs(&g, s);
+            let sampled =
+                sample_shortest_path(&rg, perm.to_new(s), perm.to_new(t), &mut scratch, &mut rng);
+            match sampled {
+                None => prop_assert_eq!(from_s.dist[t as usize], UNREACHED),
+                Some(p) => {
+                    prop_assert_eq!(from_s.dist[t as usize], p.distance);
+                    let from_t = sigma_bfs(&g, t);
+                    // Each original-ID interior vertex sits on a shortest
+                    // s-t path, one per level.
+                    let mut levels: Vec<u32> =
+                        p.interior.iter().map(|&w| from_s.dist[perm.to_old(w) as usize]).collect();
+                    levels.sort_unstable();
+                    for (i, &l) in levels.iter().enumerate() {
+                        prop_assert_eq!(l, i as u32 + 1);
+                    }
+                    for &w in &p.interior {
+                        let old = perm.to_old(w) as usize;
+                        prop_assert_eq!(from_s.dist[old] + from_t.dist[old], p.distance);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -38,6 +38,12 @@ pub struct BenchRun {
     pub reduction_overlap: f64,
     /// Payload bytes moved through reductions.
     pub comm_bytes: u64,
+    /// Extra numeric columns specific to one benchmark family, serialized
+    /// as additional JSON keys on the run object. [`validate_json`] ignores
+    /// unknown keys, so consumers of the core schema are unaffected; the
+    /// kernel microbenchmark uses this for `ns_per_sample` and
+    /// `allocs_per_sample`.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchRun {
@@ -67,14 +73,21 @@ impl BenchRun {
             samples_per_sec,
             reduction_overlap: summary.reduction_overlap(),
             comm_bytes: summary.counter(CounterId::BytesReduced),
+            extras: Vec::new(),
         }
     }
 
+    /// Adds an extra numeric column (serialized as one more JSON key).
+    pub fn with_extra(mut self, key: &str, value: f64) -> Self {
+        self.extras.push((key.to_string(), value));
+        self
+    }
+
     fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             "{{\"instance\":\"{}\",\"mode\":\"{}\",\"p\":{},\"t\":{},\"wall_ns\":{},\
              \"samples\":{},\"epochs\":{},\"samples_per_sec\":{},\
-             \"reduction_overlap\":{},\"comm_bytes\":{}}}",
+             \"reduction_overlap\":{},\"comm_bytes\":{}",
             escape(&self.instance),
             escape(&self.mode),
             self.p,
@@ -85,7 +98,12 @@ impl BenchRun {
             num(self.samples_per_sec),
             num(self.reduction_overlap),
             self.comm_bytes,
-        )
+        );
+        for (key, value) in &self.extras {
+            out.push_str(&format!(",\"{}\":{}", escape(key), num(*value)));
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -220,6 +238,7 @@ mod tests {
             samples_per_sec: 50_000.0,
             reduction_overlap: 0.83,
             comm_bytes: 1 << 20,
+            extras: Vec::new(),
         }
     }
 
@@ -246,6 +265,19 @@ mod tests {
         assert!(validate_json("not json").is_err());
         let empty = BenchArtifact::new("e", 1.0, 0.1, 1);
         assert!(validate_json(&empty.to_json()).is_err());
+    }
+
+    #[test]
+    fn extras_serialize_as_keys_and_keep_the_artifact_valid() {
+        let mut a = BenchArtifact::new("kernel", 1.0, 0.05, 42);
+        a.push(run().with_extra("ns_per_sample", 7452.5).with_extra("allocs_per_sample", 0.0));
+        let text = a.to_json();
+        assert!(text.contains("\"ns_per_sample\":7452.5"), "{text}");
+        assert!(text.contains("\"allocs_per_sample\":0"), "{text}");
+        let doc = Json::parse(&text).expect("valid JSON");
+        let runs = doc.get("runs").and_then(Json::as_array).expect("runs array");
+        assert_eq!(runs[0].get("ns_per_sample").and_then(Json::as_f64), Some(7452.5));
+        validate_json(&text).expect("extras must not break the v1 schema");
     }
 
     #[test]

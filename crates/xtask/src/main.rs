@@ -26,9 +26,10 @@
 //! * **unwrap** — `.unwrap()` / `.expect(` are banned in library non-test
 //!   code; recover, propagate, or document the invariant with a waiver.
 //! * **wallclock** — raw wall-clock reads (`Instant::now`,
-//!   `SystemTime::now`) are banned under `crates/core/src`: the algorithm
-//!   drivers must take time through `kadabra-telemetry` spans (or its
-//!   `Stopwatch`) so there is exactly one timing code path (DESIGN.md §9).
+//!   `SystemTime::now`) are banned under `crates/core/src` and
+//!   `crates/graph/src`: the algorithm drivers and the traversal kernel
+//!   must take time through `kadabra-telemetry` spans (or its `Stopwatch`)
+//!   so there is exactly one timing code path (DESIGN.md §9, §11).
 //! * **comm-panic** — `panic!` / `todo!` / `unimplemented!` are banned in
 //!   `crates/mpisim/src`: communicator error paths must surface typed
 //!   `CommError`s so the fault-tolerance layer can shrink and continue
@@ -62,6 +63,16 @@
 //! reduction-overlap fraction in [0, 1]). A required CI job, so schema
 //! drift fails the PR that causes it, not a plotting script later.
 //!
+//! # `cargo xtask bench --kernel [--check]`
+//!
+//! The sampling-kernel perf-regression gate (DESIGN.md §11). Without
+//! `--check`, runs the `bench_kernel` binary and records `BENCH_kernel.json`
+//! at the repo root — the committed baseline. With `--check`, measures into
+//! `target/bench-kernel/` instead and fails when the fresh `kernel` row
+//! (relabeled production layout) falls more than 15% below the committed
+//! baseline's `samples_per_sec` (`KADABRA_KERNEL_TOLERANCE` overrides the
+//! fraction) or reports a nonzero `allocs_per_sample`.
+//!
 //! # `cargo xtask chaos`
 //!
 //! Runs the chaos conformance suite (DESIGN.md §8) in release mode: the
@@ -94,7 +105,8 @@ fn main() -> ExitCode {
                  tsan   run concurrency tests under ThreadSanitizer (nightly + rust-src)\n  \
                  miri   run epoch tests under Miri (nightly + miri component)\n  \
                  chaos  run the chaos conformance suite [--plans N] [--crashes N] (stable)\n  \
-                 bench  --smoke: emit and schema-validate BENCH_smoke.json (stable)"
+                 bench  --smoke: emit and schema-validate BENCH_smoke.json (stable)\n         \
+                 --kernel [--check]: sampling-kernel perf baseline / regression gate"
             );
             ExitCode::from(2)
         }
@@ -213,10 +225,15 @@ fn is_deterministic_path(rel: &Path) -> bool {
         && !s.ends_with("calibrate.rs")
 }
 
-/// True for files under `crates/core/src`, where the `wallclock` rule
-/// funnels all timing through the telemetry crate.
+/// True for files under `crates/core/src` and `crates/graph/src`, where the
+/// `wallclock` rule funnels all timing through the telemetry crate. The
+/// graph crate joined the scope with the sampling hot-path overhaul
+/// (DESIGN.md §11): the traversal kernel is the innermost code in the
+/// workspace, and an ad-hoc `Instant::now` there would both perturb the
+/// perf-regression gate and bypass the deterministic clock.
 fn is_core_library_path(rel: &Path) -> bool {
-    rel.to_string_lossy().starts_with("crates/core/src")
+    let s = rel.to_string_lossy();
+    s.starts_with("crates/core/src") || s.starts_with("crates/graph/src")
 }
 
 /// True for files under `crates/mpisim/src`, where the `comm-panic` rule
@@ -642,10 +659,32 @@ fn cmd_loom() -> ExitCode {
 /// in the repo root. The run itself lives in the `bench_smoke` binary of
 /// `kadabra-bench`; this wrapper owns the pass/fail decision.
 fn cmd_bench(args: &[String]) -> ExitCode {
-    if args != ["--smoke"] {
-        eprintln!("xtask bench: the only supported mode is `cargo xtask bench --smoke`");
-        return ExitCode::from(2);
+    match args.first().map(String::as_str) {
+        Some("--smoke") if args.len() == 1 => cmd_bench_smoke(),
+        Some("--kernel") => {
+            let check = match &args[1..] {
+                [] => false,
+                [flag] if flag == "--check" => true,
+                _ => {
+                    eprintln!("xtask bench: usage: cargo xtask bench --kernel [--check]");
+                    return ExitCode::from(2);
+                }
+            };
+            cmd_bench_kernel(check)
+        }
+        _ => {
+            eprintln!(
+                "xtask bench: supported modes:\n  \
+                 cargo xtask bench --smoke             emit and validate BENCH_smoke.json\n  \
+                 cargo xtask bench --kernel            re-record the BENCH_kernel.json baseline\n  \
+                 cargo xtask bench --kernel --check    gate against the committed baseline"
+            );
+            ExitCode::from(2)
+        }
     }
+}
+
+fn cmd_bench_smoke() -> ExitCode {
     let root = workspace_root();
     println!("xtask bench: running the smoke benchmark (release mode)");
     if !run_ok(
@@ -678,6 +717,161 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Throughput the `--check` gate tolerates losing relative to the committed
+/// baseline before failing, as a fraction. `KADABRA_KERNEL_TOLERANCE`
+/// overrides it (e.g. `0.30` on a noisy shared runner).
+const KERNEL_TOLERANCE_DEFAULT: f64 = 0.15;
+
+/// One parsed row of a `BENCH_kernel.json` artifact.
+struct KernelRow {
+    samples_per_sec: f64,
+    allocs_per_sample: f64,
+}
+
+/// Extracts the gated `kernel` row (the relabeled production layout) from a
+/// serialized artifact.
+fn kernel_row(text: &str, what: &str) -> Result<KernelRow, String> {
+    kadabra_telemetry::validate_json(text).map_err(|e| format!("{what}: schema violation: {e}"))?;
+    let doc = kadabra_telemetry::json::Json::parse(text)
+        .map_err(|e| format!("{what}: invalid JSON: {e}"))?;
+    let runs = doc
+        .get("runs")
+        .and_then(kadabra_telemetry::json::Json::as_array)
+        .ok_or_else(|| format!("{what}: no runs array"))?;
+    for run in runs {
+        if run.get("mode").and_then(kadabra_telemetry::json::Json::as_str) == Some("kernel") {
+            let field = |key: &str| {
+                run.get(key)
+                    .and_then(kadabra_telemetry::json::Json::as_f64)
+                    .ok_or_else(|| format!("{what}: kernel row lacks numeric `{key}`"))
+            };
+            return Ok(KernelRow {
+                samples_per_sec: field("samples_per_sec")?,
+                allocs_per_sample: field("allocs_per_sample")?,
+            });
+        }
+    }
+    Err(format!("{what}: no run with mode \"kernel\""))
+}
+
+/// `cargo xtask bench --kernel [--check]`.
+///
+/// Record mode runs the `bench_kernel` binary with the repo root as results
+/// directory, refreshing the committed `BENCH_kernel.json` baseline. Check
+/// mode leaves the committed baseline untouched: it runs a fresh measurement
+/// into `target/bench-kernel/` and fails if the fresh `kernel` row's
+/// throughput drops more than the tolerance below the baseline, or if the
+/// hot path allocated.
+fn cmd_bench_kernel(check: bool) -> ExitCode {
+    let root = workspace_root();
+    let baseline_path = root.join("BENCH_kernel.json");
+    let results_dir = if check { root.join("target").join("bench-kernel") } else { root.clone() };
+
+    println!(
+        "xtask bench: running the sampling-kernel benchmark (release mode, {})",
+        if check { "check against committed baseline" } else { "recording baseline" }
+    );
+    if !run_ok(
+        Command::new("cargo")
+            .args(["run", "--release", "-p", "kadabra-bench", "--bin", "bench_kernel"])
+            .env("KADABRA_RESULTS_DIR", &results_dir)
+            .current_dir(&root),
+    ) {
+        return ExitCode::FAILURE;
+    }
+
+    let fresh_path = results_dir.join("BENCH_kernel.json");
+    let fresh = match std::fs::read_to_string(&fresh_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bench: cannot read {}: {e}", fresh_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh_row = match kernel_row(&fresh, "fresh artifact") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !check {
+        println!(
+            "xtask bench: recorded {} ({:.0} samples/s, {} allocs/sample)",
+            baseline_path.display(),
+            fresh_row.samples_per_sec,
+            fresh_row.allocs_per_sample
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if fresh_row.allocs_per_sample > 0.0 {
+        eprintln!(
+            "xtask bench: FAIL: sampling hot path allocated ({} allocs/sample); \
+             sample_batch must be allocation-free after warm-up (DESIGN.md §11)",
+            fresh_row.allocs_per_sample
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "xtask bench: cannot read committed baseline {}: {e}\n  \
+                 record one with `cargo xtask bench --kernel` and commit it",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_row = match kernel_row(&baseline, "committed baseline") {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let tolerance = match std::env::var("KADABRA_KERNEL_TOLERANCE") {
+        Ok(s) => match s.parse::<f64>() {
+            Ok(v) if (0.0..1.0).contains(&v) => v,
+            _ => {
+                eprintln!(
+                    "xtask bench: ignoring invalid KADABRA_KERNEL_TOLERANCE={s:?}; \
+                     using {KERNEL_TOLERANCE_DEFAULT}"
+                );
+                KERNEL_TOLERANCE_DEFAULT
+            }
+        },
+        Err(_) => KERNEL_TOLERANCE_DEFAULT,
+    };
+    let floor = baseline_row.samples_per_sec * (1.0 - tolerance);
+    let ratio = fresh_row.samples_per_sec / baseline_row.samples_per_sec;
+    if fresh_row.samples_per_sec < floor {
+        eprintln!(
+            "xtask bench: FAIL: kernel throughput regressed: {:.0} samples/s vs baseline \
+             {:.0} ({:.1}% of baseline; floor is {:.1}% => {:.0} samples/s)\n  \
+             if the slowdown is intended, re-record with `cargo xtask bench --kernel` \
+             and commit BENCH_kernel.json with a justification",
+            fresh_row.samples_per_sec,
+            baseline_row.samples_per_sec,
+            ratio * 100.0,
+            (1.0 - tolerance) * 100.0,
+            floor
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "xtask bench: kernel OK: {:.0} samples/s ({:.1}% of baseline {:.0}), 0 allocs/sample",
+        fresh_row.samples_per_sec,
+        ratio * 100.0,
+        baseline_row.samples_per_sec
+    );
+    ExitCode::SUCCESS
 }
 
 fn cmd_tsan() -> ExitCode {
@@ -899,7 +1093,18 @@ mod tests {
             &mut out,
         );
         assert!(out.is_empty());
+        // The graph crate is in wallclock scope (sampling hot path), not in
+        // the deterministic-simulation nondeterminism scope.
         lint_file(Path::new("crates/graph/src/diameter.rs"), "let t = Instant::now();\n", &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "wallclock");
+        out.clear();
+        // Graph test/bench code may still time things directly.
+        lint_file(
+            Path::new("crates/graph/tests/path_uniformity.rs"),
+            "let t = Instant::now();\n",
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
