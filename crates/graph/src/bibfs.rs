@@ -243,6 +243,9 @@ pub fn sample_shortest_path_into<R: Rng + ?Sized>(
                 backtrack(g, fwd, chosen, s, path, rng);
             }
             debug_assert_eq!(
+                // xtask: allow(determinism) — a shortest path visits each
+                // vertex at most once, so its length fits the u32 the CSR
+                // layout guarantees for vertex counts.
                 path.len() as u32 + 1,
                 distance,
                 "interior vertex count must be distance - 1"

@@ -240,6 +240,8 @@ pub fn sample_directed_shortest_path<R: Rng + ?Sized>(
             scratch.path.push(chosen);
         }
         backtrack_directed(g, &scratch.bwd, chosen, false, &mut scratch.path, rng);
+        // xtask: allow(determinism) — a shortest path visits each vertex at
+        // most once, so its length fits the CSR-guaranteed u32.
         debug_assert_eq!(scratch.path.len() as u32 + 1, distance);
         return Some(DirectedPathSample { distance, interior: scratch.path.clone(), num_paths });
     }

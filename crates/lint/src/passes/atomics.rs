@@ -1,0 +1,157 @@
+//! **atomic-protocol**: the workspace-wide ordering inventory.
+//!
+//! DESIGN.md §7 states the epoch protocol as pairings: every `Release`
+//! store publishes data that some `Acquire` load of the *same field*
+//! consumes. A `Release` with no `Acquire` (or vice versa) is either dead
+//! synchronization or — worse — a reader on the same field using `Relaxed`
+//! and silently racing past the happens-before edge. The lexer could only
+//! ban `SeqCst` token-wise; this pass builds the per-`(crate, field)`
+//! inventory of every atomic operation and checks the protocol shape:
+//!
+//! * a `store(Release)` (or `Release`/`AcqRel` RMW) requires an
+//!   `load(Acquire)`-side operation on the same field in the same crate;
+//! * an `load(Acquire)` requires a `Release`-side publisher;
+//! * once a field participates in a Release/Acquire protocol, *all-Relaxed*
+//!   operations on it are flagged — a Relaxed read of a published field is
+//!   exactly the bug the pairing exists to prevent. (Mixed orderings within
+//!   one op — e.g. `compare_exchange(…, Acquire, Relaxed)` — are fine: the
+//!   `Relaxed` there is the failure ordering.)
+//!
+//! Fields that are Relaxed-only everywhere (plain counters) are not
+//! protocol fields and are never flagged. Operations whose ordering is a
+//! variable (the loom `sync.rs` forwarding wrappers) carry no ordering
+//! identifier and are skipped.
+
+use std::collections::BTreeMap;
+
+use super::{method_call, orderings_in, receiver_field};
+use crate::{Pass, Sink, Workspace};
+
+/// See module docs.
+pub struct AtomicProtocol;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Store,
+    Load,
+    Rmw,
+}
+
+fn op_kind(name: &str) -> Option<Kind> {
+    match name {
+        "store" => Some(Kind::Store),
+        "load" => Some(Kind::Load),
+        "swap" | "compare_exchange" | "compare_exchange_weak" => Some(Kind::Rmw),
+        _ if name.starts_with("fetch_") => Some(Kind::Rmw),
+        _ => None,
+    }
+}
+
+struct Op {
+    file: usize,
+    tok: usize,
+    name: String,
+    kind: Kind,
+    orderings: Vec<&'static str>,
+}
+
+impl Op {
+    /// Publishes (write side with Release semantics).
+    fn releases(&self) -> bool {
+        self.kind != Kind::Load
+            && self.orderings.iter().any(|o| matches!(*o, "Release" | "AcqRel" | "SeqCst"))
+    }
+    /// Consumes (read side with Acquire semantics).
+    fn acquires(&self) -> bool {
+        self.kind != Kind::Store
+            && self.orderings.iter().any(|o| matches!(*o, "Acquire" | "AcqRel" | "SeqCst"))
+    }
+    /// Every stated ordering is `Relaxed`.
+    fn all_relaxed(&self) -> bool {
+        !self.orderings.is_empty() && self.orderings.iter().all(|o| *o == "Relaxed")
+    }
+}
+
+impl Pass for AtomicProtocol {
+    fn name(&self) -> &'static str {
+        "atomic-protocol"
+    }
+    fn hint(&self) -> &'static str {
+        "every Release store must pair with an Acquire load on the same field (DESIGN.md §7); \
+         Relaxed access to a protocol field bypasses the happens-before edge — if the invariant \
+         genuinely holds (single-writer, own-thread read), waive with the reason"
+    }
+    fn run(&self, ws: &Workspace, sink: &mut Sink<'_>) {
+        // Phase 1: inventory. Keyed by (crate, field) so unrelated crates
+        // reusing a field name don't satisfy each other's pairings.
+        let mut fields: BTreeMap<(String, String), Vec<Op>> = BTreeMap::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            if file.is_test_path() {
+                continue;
+            }
+            for i in 0..file.toks.len() {
+                let Some(kind) = file.toks.get(i).and_then(|t| op_kind(&t.text)) else {
+                    continue;
+                };
+                let Some((open, close)) = method_call(file, i) else { continue };
+                if file.in_test(i) {
+                    continue;
+                }
+                let orderings: Vec<&'static str> =
+                    orderings_in(file, open + 1, close).into_iter().map(|(_, n)| n).collect();
+                if orderings.is_empty() {
+                    continue; // ordering passed as a variable: not literal protocol code
+                }
+                let Some(field) = receiver_field(file, i) else { continue };
+                let key = (file.crate_name().to_string(), field);
+                fields.entry(key).or_default().push(Op {
+                    file: fi,
+                    tok: i,
+                    name: file.toks[i].text.clone(),
+                    kind,
+                    orderings,
+                });
+            }
+        }
+        // Phase 2: protocol checks per field.
+        for ((krate, field), ops) in &fields {
+            let has_release = ops.iter().any(Op::releases);
+            let has_acquire = ops.iter().any(Op::acquires);
+            let protocol = has_release || has_acquire;
+            for op in ops {
+                let file = &ws.files[op.file];
+                if op.releases() && !has_acquire {
+                    sink.emit(
+                        file,
+                        op.tok,
+                        format!(
+                            "`{}` publishes `{field}` with Release, but crate `{krate}` has no \
+                             Acquire-side load of `{field}` to pair with",
+                            op.name
+                        ),
+                    );
+                } else if op.acquires() && !has_release {
+                    sink.emit(
+                        file,
+                        op.tok,
+                        format!(
+                            "`{}` acquires `{field}`, but crate `{krate}` has no Release-side \
+                             store of `{field}` to pair with",
+                            op.name
+                        ),
+                    );
+                } else if protocol && op.all_relaxed() {
+                    sink.emit(
+                        file,
+                        op.tok,
+                        format!(
+                            "Relaxed `{}` of `{field}` — the field participates in a \
+                             Release/Acquire protocol in crate `{krate}`",
+                            op.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! **hot-loop-hygiene**: the sampling hot path must stay allocation-,
+//! lock-, and collective-free.
+//!
+//! PR 5 made `sample_batch` allocation-free and gated it with a perf
+//! regression test; this pass keeps it that way structurally instead of
+//! statistically. Two scopes are scanned:
+//!
+//! 1. every closure passed to a `.sample_batch(…)` call (the per-sample
+//!    consume callback runs once per drawn pair — an allocation there
+//!    multiplies by the sample count);
+//! 2. the bodies of the hot-path functions themselves —
+//!    `sample_batch`, `sample_shortest_path_into`, and `sample` in
+//!    `crates/core/src` / `crates/graph/src`.
+//!
+//! Banned inside those ranges: constructor allocations (`Vec::new`,
+//! `vec![…]`, `Box::new`, `String::from`, `format!`, `with_capacity`, …),
+//! allocating adaptors (`.collect()`, `.to_vec()`, `.to_owned()`,
+//! `.to_string()`, `.clone()`), lock acquisition (`.lock()`, `.read()`,
+//! `.write()`), and any call into the harvested comm API (a collective
+//! inside the per-sample loop serializes the whole cluster). Reusing
+//! pre-sized buffers is the sanctioned idiom, so `.push(…)`, `.reserve(…)`,
+//! and `std::mem::take` stay legal.
+
+use super::{comm_flow::harvest_comm_api, is_core_library_path, method_call};
+use crate::lex::TokKind;
+use crate::{Pass, Sink, SourceFile, Workspace};
+
+/// See module docs.
+pub struct HotLoopHygiene;
+
+/// Function names whose bodies are hot-path scope in core/graph.
+const HOT_FNS: [&str; 3] = ["sample_batch", "sample_shortest_path_into", "sample"];
+
+/// Allocating constructors reached through `Type::method(…)` paths.
+const ALLOC_TYPES: [&str; 6] = ["Vec", "VecDeque", "Box", "String", "HashMap", "HashSet"];
+const ALLOC_CTORS: [&str; 4] = ["new", "with_capacity", "from", "from_iter"];
+
+/// Allocating / blocking method calls.
+const BANNED_METHODS: [(&str, &str); 8] = [
+    ("collect", "allocates a fresh collection"),
+    ("to_vec", "allocates a copy"),
+    ("to_owned", "allocates a copy"),
+    ("to_string", "allocates a String"),
+    ("clone", "deep-copies per sample"),
+    ("lock", "blocks on a mutex"),
+    ("read", "blocks on a rwlock"),
+    ("write", "blocks on a rwlock"),
+];
+
+/// If token `i` begins a banned operation, returns `(anchor, message)`.
+fn banned_op(file: &SourceFile, i: usize, comm_api: &[String]) -> Option<(usize, String)> {
+    let t = file.toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    // `vec![…]` / `format!(…)`.
+    if (t.text == "vec" || t.text == "format")
+        && file.is_punct(i + 1, "!")
+        && file.toks.get(i + 2).is_some_and(|n| matches!(n.kind, TokKind::Open(_)))
+    {
+        return Some((i, format!("`{}!` allocates in the hot loop", t.text)));
+    }
+    // `Vec::new(…)`-style constructors.
+    if ALLOC_TYPES.contains(&t.text.as_str())
+        && file.is_punct(i + 1, "::")
+        && file.toks.get(i + 2).is_some_and(|c| ALLOC_CTORS.iter().any(|n| c.is_ident(n)))
+    {
+        return Some((
+            i,
+            format!("`{}::{}` allocates in the hot loop", t.text, file.toks[i + 2].text),
+        ));
+    }
+    // Banned method calls (must actually be `.name(…)`).
+    if let Some((_, _)) = method_call(file, i) {
+        for (name, why) in BANNED_METHODS {
+            if t.text == name {
+                return Some((i, format!("`.{name}()` {why}")));
+            }
+        }
+        if comm_api.contains(&t.text) {
+            return Some((
+                i,
+                format!("comm collective `.{}()` inside the sampling hot loop", t.text),
+            ));
+        }
+    }
+    None
+}
+
+/// Scans `[lo, hi)` of `file` and emits every banned op.
+fn scan_range(
+    file: &SourceFile,
+    lo: usize,
+    hi: usize,
+    ctx: &str,
+    comm_api: &[String],
+    sink: &mut Sink<'_>,
+) {
+    let mut i = lo;
+    while i < hi.min(file.toks.len()) {
+        if let Some((anchor, msg)) = banned_op(file, i, comm_api) {
+            sink.emit(file, anchor, format!("{msg} ({ctx})"));
+        }
+        i += 1;
+    }
+}
+
+impl Pass for HotLoopHygiene {
+    fn name(&self) -> &'static str {
+        "hot-loop-hygiene"
+    }
+    fn hint(&self) -> &'static str {
+        "the per-sample path must not allocate, lock, or run collectives (DESIGN.md §11): reuse \
+         pre-sized scratch buffers (push/reserve are fine) and keep communication at batch \
+         boundaries"
+    }
+    fn run(&self, ws: &Workspace, sink: &mut Sink<'_>) {
+        let comm_api = harvest_comm_api(ws);
+        for file in &ws.files {
+            if file.is_test_path() {
+                continue;
+            }
+            // Scope 1: closures handed to `.sample_batch(…)` anywhere.
+            for i in 0..file.toks.len() {
+                if !file.is_ident(i, "sample_batch") || file.in_test(i) {
+                    continue;
+                }
+                let Some((open, close)) = method_call(file, i) else { continue };
+                // Find the closure inside the argument list and scan its body.
+                let mut j = open + 1;
+                while j < close {
+                    if file.is_punct(j, "|") {
+                        let mut k = j + 1;
+                        while k < close && !file.is_punct(k, "|") {
+                            k += 1;
+                        }
+                        scan_range(
+                            file,
+                            k + 1,
+                            close,
+                            "sample_batch consume closure",
+                            &comm_api,
+                            sink,
+                        );
+                        break;
+                    }
+                    if let TokKind::Open(_) = file.toks[j].kind {
+                        if file.pair[j] != usize::MAX {
+                            j = file.pair[j];
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Scope 2: the hot-path function bodies in core/graph.
+            if !is_core_library_path(&file.rel) {
+                continue;
+            }
+            for f in &file.ast.fns {
+                if f.is_test || !HOT_FNS.contains(&f.name.as_str()) {
+                    continue;
+                }
+                let Some((lo, hi)) = f.body else { continue };
+                scan_range(file, lo + 1, hi, &format!("body of `{}`", f.name), &comm_api, sink);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixture-corpus conformance suite.
+//!
+//! Every pass ships three fixtures under `tests/fixtures/<pass>/`:
+//!
+//! - `bad.rs` — must trip the pass, on exactly the lines carrying a
+//!   `//~ <pass>` marker (checked with precise line numbers, so span
+//!   regressions fail here, not in production sweeps);
+//! - `good.rs` — the sanctioned idiom for the same operation; must produce
+//!   zero findings of the pass;
+//! - `waived.rs` — the violation plus an inline `xtask: allow(...)` waiver;
+//!   findings must still be *recorded* but marked waived (never active).
+//!
+//! Fixtures are plain source text fed through [`Workspace::from_sources`]
+//! under pass-appropriate virtual paths (scoped passes only fire inside
+//! certain crates); they are never compiled, and the real workspace scan
+//! skips `fixtures` directories.
+
+use std::fs;
+use std::path::PathBuf;
+
+use kadabra_lint::report::{validate_report, Baseline, Report};
+use kadabra_lint::{passes, Pass, Workspace};
+
+/// Pass slug → virtual workspace path for its fixtures, plus whether the
+/// fixture workspace needs the shared communicator-API file (whose `pub fn
+/// … -> Result<_, CommError>` signatures feed the call-site harvests).
+const CASES: &[(&str, &str, bool)] = &[
+    ("seqcst", "crates/demo/src/lib.rs", false),
+    ("direct-atomics", "crates/demo/src/lib.rs", false),
+    ("nondeterminism", "crates/mpisim/src/fixture.rs", false),
+    ("unwrap", "crates/demo/src/lib.rs", false),
+    ("wallclock", "crates/core/src/fixture.rs", false),
+    ("comm-panic", "crates/mpisim/src/fixture.rs", false),
+    ("comm-error-flow", "crates/core/src/fixture.rs", true),
+    ("atomic-protocol", "crates/demo/src/lib.rs", false),
+    ("determinism", "crates/core/src/fixture.rs", false),
+    ("hot-loop-hygiene", "crates/core/src/fixture.rs", true),
+];
+
+fn fixtures_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures")
+}
+
+/// Runs the full registry over one fixture and returns the report plus the
+/// fixture's source text (for marker extraction).
+fn run_case(pass: &str, rel: &str, needs_api: bool, which: &str) -> (Report, String) {
+    let path = fixtures_root().join(pass).join(format!("{which}.rs"));
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let api_text;
+    let mut sources: Vec<(&str, &str)> = vec![(rel, text.as_str())];
+    if needs_api {
+        api_text = fs::read_to_string(fixtures_root().join("comm_api.rs")).unwrap();
+        sources.push(("crates/mpisim/src/comm.rs", api_text.as_str()));
+    }
+    let ws = Workspace::from_sources(&sources);
+    let all = passes::all();
+    let refs: Vec<&dyn Pass> = all.iter().map(AsRef::as_ref).collect();
+    (ws.run(&refs, &Baseline::empty()), text)
+}
+
+/// 1-based line numbers carrying a `//~ <pass>` expectation marker.
+fn marker_lines(src: &str, pass: &str) -> Vec<u32> {
+    let tag = format!("//~ {pass}");
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains(tag.as_str()))
+        .map(|(i, _)| u32::try_from(i).unwrap() + 1)
+        .collect()
+}
+
+#[test]
+fn bad_fixtures_fire_on_exactly_the_marked_lines() {
+    for &(pass, rel, needs_api) in CASES {
+        let (report, src) = run_case(pass, rel, needs_api, "bad");
+        let expected = marker_lines(&src, pass);
+        assert!(!expected.is_empty(), "{pass}: bad.rs carries no //~ markers");
+        let mut got: Vec<u32> =
+            report.active().filter(|f| f.pass == pass && f.file == rel).map(|f| f.line).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got, expected, "{pass}: bad.rs findings landed on the wrong lines");
+    }
+}
+
+#[test]
+fn bad_fixture_excerpts_match_the_flagged_source_line() {
+    for &(pass, rel, needs_api) in CASES {
+        let (report, src) = run_case(pass, rel, needs_api, "bad");
+        for f in report.active().filter(|f| f.pass == pass && f.file == rel) {
+            let line = src
+                .lines()
+                .nth(usize::try_from(f.line).unwrap() - 1)
+                .unwrap_or_else(|| panic!("{pass}: finding line {} out of range", f.line));
+            assert_eq!(f.excerpt, line.trim(), "{pass}: excerpt drifted from source");
+            assert!(f.col >= 1, "{pass}: columns are 1-based");
+            assert!(
+                usize::try_from(f.col).unwrap() <= line.chars().count(),
+                "{pass}: column {} past end of line {}",
+                f.col,
+                f.line
+            );
+        }
+    }
+}
+
+#[test]
+fn seqcst_column_points_at_the_ordering_token() {
+    let (report, src) = run_case("seqcst", "crates/demo/src/lib.rs", false, "bad");
+    let f = report.active().find(|f| f.pass == "seqcst").expect("seqcst fired");
+    let line = src.lines().nth(usize::try_from(f.line).unwrap() - 1).unwrap();
+    let want = u32::try_from(line.find("SeqCst").unwrap()).unwrap() + 1;
+    assert_eq!(f.col, want, "span must anchor on the SeqCst token itself");
+}
+
+#[test]
+fn good_fixtures_stay_completely_clean() {
+    for &(pass, rel, needs_api) in CASES {
+        let (report, _) = run_case(pass, rel, needs_api, "good");
+        let hits: Vec<_> = report.findings.iter().filter(|f| f.pass == pass).collect();
+        assert!(
+            hits.is_empty(),
+            "{pass}: good.rs produced findings: {:?}",
+            hits.iter().map(|f| (f.line, f.message.as_str())).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn waived_fixtures_record_but_suppress_every_finding() {
+    for &(pass, rel, needs_api) in CASES {
+        let (report, _) = run_case(pass, rel, needs_api, "waived");
+        let total = report.findings.iter().filter(|f| f.pass == pass && f.file == rel).count();
+        let waived =
+            report.findings.iter().filter(|f| f.pass == pass && f.file == rel && f.waived).count();
+        assert!(total > 0, "{pass}: waived.rs never tripped the pass at all");
+        assert_eq!(total, waived, "{pass}: waived.rs has unwaived findings");
+        assert_eq!(
+            report.active().filter(|f| f.pass == pass).count(),
+            0,
+            "{pass}: waiver failed to suppress"
+        );
+    }
+}
+
+#[test]
+fn baseline_roundtrip_suppresses_accepted_findings() {
+    let (report, src) = run_case("seqcst", "crates/demo/src/lib.rs", false, "bad");
+    let active_before = report.active().count();
+    assert!(active_before > 0);
+    let baseline = Baseline::parse(&Baseline::render(&report)).expect("rendered baseline parses");
+    assert_eq!(baseline.len(), active_before);
+
+    let ws = Workspace::from_sources(&[("crates/demo/src/lib.rs", src.as_str())]);
+    let all = passes::all();
+    let refs: Vec<&dyn Pass> = all.iter().map(AsRef::as_ref).collect();
+    let rerun = ws.run(&refs, &baseline);
+    assert_eq!(rerun.active().count(), 0, "baselined findings must not be active");
+    let (_, active, _, baselined) = rerun.counts();
+    assert_eq!(active, 0);
+    assert_eq!(baselined, active_before);
+}
+
+#[test]
+fn fixture_reports_satisfy_the_lint_schema() {
+    for which in ["bad", "good", "waived"] {
+        let (report, _) = run_case("determinism", "crates/core/src/fixture.rs", false, which);
+        validate_report(&report.to_json())
+            .unwrap_or_else(|e| panic!("determinism/{which}.rs report failed schema: {e}"));
+    }
+}

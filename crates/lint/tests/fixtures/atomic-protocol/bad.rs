@@ -1,0 +1,23 @@
+//! atomic-protocol: unpaired and Relaxed protocol accesses.
+use crate::sync::{AtomicU64, Ordering};
+
+/// Protocol state with deliberately broken pairings.
+pub struct State {
+    /// Paired protocol field (also read Relaxed — the bug).
+    ready: AtomicU64,
+    /// Release-published, never Acquire-consumed.
+    orphan_pub: AtomicU64,
+    /// Acquire-consumed, never Release-published.
+    orphan_sub: AtomicU64,
+}
+
+impl State {
+    /// Publishes and consumes.
+    pub fn exercise(&self) {
+        self.ready.store(1, Ordering::Release);
+        let _r = self.ready.load(Ordering::Acquire);
+        let _x = self.ready.load(Ordering::Relaxed); //~ atomic-protocol
+        self.orphan_pub.store(2, Ordering::Release); //~ atomic-protocol
+        let _y = self.orphan_sub.load(Ordering::Acquire); //~ atomic-protocol
+    }
+}

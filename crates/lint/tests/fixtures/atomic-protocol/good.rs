@@ -1,0 +1,19 @@
+//! atomic-protocol: proper pairings and Relaxed-only counters stay clean.
+use crate::sync::{AtomicU64, Ordering};
+
+/// Clean protocol state.
+pub struct Clean {
+    /// Paired protocol field.
+    flag: AtomicU64,
+    /// Statistics counter, Relaxed everywhere by design.
+    hits: AtomicU64,
+}
+
+impl Clean {
+    /// Publishes then consumes; bumps a counter.
+    pub fn exercise(&self) -> u64 {
+        self.flag.store(1, Ordering::Release);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.flag.load(Ordering::Acquire) + self.hits.load(Ordering::Relaxed)
+    }
+}

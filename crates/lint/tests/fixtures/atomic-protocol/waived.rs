@@ -1,0 +1,23 @@
+//! atomic-protocol: an own-thread Relaxed read is suppressed but recorded.
+use crate::sync::{AtomicU64, Ordering};
+
+/// Single-writer cursor.
+pub struct Cursor {
+    /// Published position; written by one thread only.
+    pos: AtomicU64,
+}
+
+impl Cursor {
+    /// Advances the cursor on the writing thread.
+    pub fn advance(&self) {
+        // xtask: allow(atomic-protocol) — fixture: single-writer read-back on
+        // the writing thread; program order suffices.
+        let cur = self.pos.load(Ordering::Relaxed);
+        self.pos.store(cur + 1, Ordering::Release);
+    }
+
+    /// Consumes the position elsewhere.
+    pub fn snapshot(&self) -> u64 {
+        self.pos.load(Ordering::Acquire)
+    }
+}

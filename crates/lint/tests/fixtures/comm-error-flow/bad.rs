@@ -1,0 +1,12 @@
+//! comm-error-flow: swallowed rank-failure signals.
+use crate::comm::Comm;
+
+/// Every swallowing shape the pass distinguishes.
+pub fn swallow(comm: &Comm) -> u64 {
+    let _ = comm.barrier(); //~ comm-error-flow
+    comm.barrier().ok(); //~ comm-error-flow
+    comm.barrier(); //~ comm-error-flow
+    comm.allreduce_sum_u64(1).unwrap_or_default(); //~ comm-error-flow
+    let n = comm.allreduce_sum_u64(2).unwrap_or(0); //~ comm-error-flow
+    n
+}

@@ -1,0 +1,27 @@
+//! comm-error-flow: propagated, matched, and bound results stay clean.
+use crate::comm::{Comm, CommError};
+
+/// Propagates with `?`.
+pub fn propagate(comm: &Comm) -> Result<u64, CommError> {
+    comm.barrier()?;
+    let total = comm.allreduce_sum_u64(2)?;
+    Ok(total)
+}
+
+/// Matches on the outcome.
+pub fn recover(comm: &Comm) -> u64 {
+    match comm.barrier() {
+        Ok(()) => 1,
+        Err(CommError::RankFailed) => 0,
+    }
+}
+
+/// A named binding routed to a recovery decision.
+pub fn routed(comm: &Comm) -> u64 {
+    let outcome = comm.allreduce_sum_u64(3);
+    if outcome.is_ok() {
+        1
+    } else {
+        0
+    }
+}

@@ -1,0 +1,10 @@
+//! comm-error-flow: waived setup-phase swallows are suppressed but recorded.
+use crate::comm::Comm;
+
+/// Setup barrier where failure is fatal anyway.
+pub fn setup(comm: &Comm) {
+    // xtask: allow(comm-error-flow) — fixture: failure here aborts the run
+    // before sampling starts, so there is nothing to recover.
+    let _ = comm.barrier();
+    comm.barrier().ok(); // xtask: allow(comm-error-flow) — fixture: ditto.
+}

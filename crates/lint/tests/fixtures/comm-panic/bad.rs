@@ -1,0 +1,9 @@
+//! comm-panic: panicking macros on communicator paths.
+
+/// Dies instead of surfacing a typed error.
+pub fn explode(rank: usize) {
+    if rank > 0 {
+        panic!("rank {rank} died"); //~ comm-panic
+    }
+    todo!() //~ comm-panic
+}

@@ -1,0 +1,15 @@
+//! comm-panic: typed errors stay clean.
+
+/// Typed communicator error.
+pub enum CommError {
+    /// A rank died.
+    RankFailed,
+}
+
+/// Surfaces the failure as a value.
+pub fn fail(rank: usize) -> Result<(), CommError> {
+    if rank > 0 {
+        return Err(CommError::RankFailed);
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! comm-panic: a documented unreachable is suppressed but recorded.
+
+/// Validated-unreachable branch.
+pub fn guard(seq: u64) {
+    if seq == u64::MAX {
+        // xtask: allow(comm-panic) — fixture: seq is validated upstream.
+        panic!("impossible sequence");
+    }
+}

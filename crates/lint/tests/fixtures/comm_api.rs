@@ -1,0 +1,23 @@
+//! Fixture stand-in for the communicator API surface the comm-error-flow
+//! and hot-loop-hygiene harvests scan (virtual path `crates/mpisim/src/comm.rs`).
+
+/// Typed communicator error.
+pub enum CommError {
+    /// A rank died mid-collective.
+    RankFailed,
+}
+
+/// Minimal communicator mirroring the real method shapes.
+pub struct Comm;
+
+impl Comm {
+    /// Collective barrier.
+    pub fn barrier(&self) -> Result<(), CommError> {
+        Err(CommError::RankFailed)
+    }
+
+    /// Sum all-reduction.
+    pub fn allreduce_sum_u64(&self, x: u64) -> Result<u64, CommError> {
+        Ok(x)
+    }
+}

@@ -1,0 +1,16 @@
+//! determinism: waived order-insensitive folds are suppressed but recorded.
+use std::collections::HashMap;
+
+/// Order-insensitive count accumulation.
+pub fn tally() -> u64 {
+    let m: HashMap<u32, u64> = HashMap::new();
+    let mut total = 0;
+    // xtask: allow(determinism) — fixture: u64 addition is associative and
+    // commutative, so the fold result is order-free.
+    for (_k, v) in &m {
+        total += v;
+    }
+    // xtask: allow(determinism) — fixture: len is bounded by construction.
+    let n = m.len() as u32;
+    total + u64::from(n)
+}

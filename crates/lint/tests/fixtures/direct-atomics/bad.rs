@@ -1,0 +1,7 @@
+//! direct-atomics: std atomics bypass the loom `sync.rs` indirection.
+use std::sync::atomic::AtomicU64; //~ direct-atomics
+
+/// Uses the directly-imported type.
+pub fn make() -> AtomicU64 {
+    AtomicU64::new(0)
+}

@@ -1,0 +1,8 @@
+//! direct-atomics: a justified direct use is suppressed but recorded.
+// xtask: allow(direct-atomics) — fixture: FFI boundary needs the std type.
+use std::sync::atomic::AtomicU64;
+
+/// Uses the std type at the boundary.
+pub fn make() -> AtomicU64 {
+    AtomicU64::new(0)
+}

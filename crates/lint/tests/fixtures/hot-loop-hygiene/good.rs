@@ -1,0 +1,18 @@
+//! hot-loop-hygiene: reused scratch buffers and push-only closures stay clean.
+
+/// Clean consume closure: pre-sized buffer, pushes only.
+pub fn drive(sampler: &mut crate::sampler::ThreadSampler, counts: &mut [u64]) {
+    sampler.sample_batch(64, |interior| {
+        for &v in interior {
+            counts[v as usize] += 1;
+        }
+    });
+}
+
+/// Hot-path function using the sanctioned idiom.
+pub fn sample_batch(buf: &mut Vec<u32>, extra: &[u32]) {
+    buf.reserve(extra.len());
+    for &v in extra {
+        buf.push(v);
+    }
+}

@@ -1,0 +1,10 @@
+//! hot-loop-hygiene: a waived bounded allocation is suppressed but recorded.
+
+/// The closure clones once per batch under a documented bound.
+pub fn drive(sampler: &mut crate::sampler::ThreadSampler, out: &mut Vec<Vec<u32>>) {
+    sampler.sample_batch(1, |interior| {
+        // xtask: allow(hot-loop-hygiene) — fixture: batch size is 1, the
+        // clone runs once per epoch, not per sample.
+        out.push(interior.to_vec());
+    });
+}

@@ -1,0 +1,9 @@
+//! nondeterminism: entropy and wall clock inside the simulation.
+
+/// Draws entropy and reads the clock.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng(); //~ nondeterminism
+    let start = std::time::Instant::now(); //~ nondeterminism
+    let _ = (&mut rng, start);
+    0
+}

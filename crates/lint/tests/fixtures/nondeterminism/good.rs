@@ -1,0 +1,8 @@
+//! nondeterminism: seeded rngs and logical time stay clean.
+
+/// Seeded, reproducible drawing.
+pub fn draw(seed: u64) -> u64 {
+    let rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let _ = rng;
+    seed
+}

@@ -1,0 +1,9 @@
+//! nondeterminism: a justified clock read is suppressed but recorded.
+
+/// Calibration-style measurement.
+pub fn measure() -> u64 {
+    // xtask: allow(nondeterminism) — fixture: measures real time by design.
+    let start = std::time::Instant::now();
+    let _ = start;
+    0
+}

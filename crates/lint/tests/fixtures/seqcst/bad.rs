@@ -1,0 +1,18 @@
+//! seqcst: the banned ordering is flagged everywhere, even in tests.
+use crate::sync::{AtomicU64, Ordering};
+
+/// Stores with the banned ordering.
+pub fn publish(a: &AtomicU64) {
+    a.store(1, Ordering::SeqCst); //~ seqcst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_tests_are_flagged() {
+        let a = AtomicU64::new(0);
+        a.load(Ordering::SeqCst); //~ seqcst
+    }
+}

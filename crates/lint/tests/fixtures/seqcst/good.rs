@@ -1,0 +1,12 @@
+//! seqcst: explicit Release/Acquire pairings stay clean.
+use crate::sync::{AtomicU64, Ordering};
+
+/// Publishes with Release.
+pub fn publish(a: &AtomicU64) {
+    a.store(1, Ordering::Release);
+}
+
+/// Consumes with Acquire.
+pub fn consume(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Acquire)
+}

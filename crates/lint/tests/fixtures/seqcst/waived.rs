@@ -1,0 +1,8 @@
+//! seqcst: a justified escape hatch is suppressed but recorded.
+use crate::sync::{AtomicU64, Ordering};
+
+/// Mirrors an external API contract.
+pub fn mirrored(a: &AtomicU64) -> u64 {
+    // xtask: allow(seqcst) — fixture: matches a third-party fence contract.
+    a.load(Ordering::SeqCst)
+}

@@ -1,0 +1,8 @@
+//! unwrap: library panics on Option/Result values.
+
+/// Panics on empty input.
+pub fn first_and_last(v: &[u32]) -> u32 {
+    let head = v.first().unwrap(); //~ unwrap
+    let tail = v.last().expect("non-empty"); //~ unwrap
+    head + tail
+}

@@ -1,0 +1,16 @@
+//! unwrap: propagation and test code stay clean.
+
+/// Propagates absence.
+pub fn first(v: &[u32]) -> Option<u32> {
+    let head = v.first()?;
+    Some(*head)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

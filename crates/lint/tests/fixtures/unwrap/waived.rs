@@ -1,0 +1,7 @@
+//! unwrap: a documented invariant is suppressed but recorded.
+
+/// Reads the head of a non-empty buffer.
+pub fn head(v: &[u32]) -> u32 {
+    // xtask: allow(unwrap) — fixture: caller guarantees non-empty input.
+    *v.first().unwrap()
+}

@@ -1,0 +1,8 @@
+//! wallclock: raw clock reads in the core library.
+
+/// Times a phase directly instead of through telemetry.
+pub fn time_phase() -> u64 {
+    let start = std::time::Instant::now(); //~ wallclock
+    let _ = start;
+    0
+}

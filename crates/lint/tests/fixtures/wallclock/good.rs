@@ -1,0 +1,6 @@
+//! wallclock: telemetry-owned timing stays clean.
+
+/// Times through the telemetry facade.
+pub fn time_phase(sw: &kadabra_telemetry::Stopwatch) -> u64 {
+    sw.elapsed_ns()
+}

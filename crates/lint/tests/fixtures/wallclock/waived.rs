@@ -1,0 +1,10 @@
+//! wallclock: a justified raw read is suppressed but recorded.
+
+/// One-off startup calibration.
+pub fn calibrate() -> u64 {
+    // xtask: allow(wallclock) — fixture: startup calibration, not a phase
+    // measurement the telemetry layer should own.
+    let start = std::time::Instant::now();
+    let _ = start;
+    0
+}

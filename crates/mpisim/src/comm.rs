@@ -514,7 +514,14 @@ impl Communicator {
                     by_color.entry(c).or_default().push((k, rank));
                 }
                 let mut groups = HashMap::new();
-                for (c, mut members) in by_color {
+                // Per-color engines must be built in a deterministic order:
+                // construction touches the shared health ledger, and hash
+                // order would make that sequence differ run to run.
+                // xtask: allow(determinism) — hash order is drained into a
+                // Vec here and sorted by color on the next line.
+                let mut colors: Vec<(u32, Vec<(i64, usize)>)> = by_color.into_iter().collect();
+                colors.sort_unstable_by_key(|&(c, _)| c);
+                for (c, mut members) in colors {
                     members.sort_unstable();
                     let ranks: Vec<usize> = members.into_iter().map(|(_, r)| r).collect();
                     let world: Vec<usize> = ranks.iter().map(|&r| parent_members[r]).collect();

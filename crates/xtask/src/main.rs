@@ -3,9 +3,20 @@
 //!
 //! # `cargo xtask lint`
 //!
-//! A concurrency-discipline lint pass over `crates/` and the root `src/`,
-//! `tests/`, `examples/` trees, enforcing rules that clippy cannot express
-//! (see DESIGN.md, "Concurrency verification"):
+//! Workspace static analysis over `crates/` and the root `src/`, `tests/`,
+//! `examples/` trees, enforcing rules that clippy cannot express. The
+//! default engine is the `kadabra-lint` AST framework (DESIGN.md §12): a
+//! hand-rolled lexer and item-level parser drive a registry of passes, each
+//! reporting precise `(line, col)` spans; `--legacy` runs the original
+//! line-lexer rules of this file instead as an independent cross-check
+//! (both engines honour the same waiver syntax). `--json PATH` writes the
+//! machine-readable `kadabra-lint/v1` report (schema-validated before the
+//! command exits, and written even when findings fail the run so CI can
+//! upload it as an artifact). `--write-baseline` accepts all current
+//! findings into `lint-baseline.json`, which future runs subtract; the file
+//! being absent means an empty baseline.
+//!
+//! The token-level rules, identical across both engines:
 //!
 //! * **seqcst** — `Ordering::SeqCst` is banned everywhere. Every atomic in
 //!   this workspace has an explicit pairing argument (Release publish /
@@ -36,16 +47,46 @@
 //!   (DESIGN.md §10). A panicking rank would take the whole simulated
 //!   cluster down instead of exercising recovery.
 //!
+//! The AST engine adds four semantic passes on top (see
+//! `crates/lint/src/passes/` for the full rationale of each):
+//!
+//! * **comm-error-flow** — call sites of the communicator API (harvested
+//!   from `pub fn … -> Result<_, CommError>` signatures in
+//!   `crates/mpisim/src`) must not swallow the error: `.ok()`,
+//!   `.unwrap_or*(…)`, `let _ =`, and bare-statement drops are flagged;
+//!   `?`, `match`, and named bindings pass.
+//! * **atomic-protocol** — a workspace-wide inventory of atomic operations
+//!   per `(crate, field)`: Release stores with no Acquire consumer,
+//!   Acquire loads with no Release publisher, and Relaxed operations on
+//!   fields that participate in a Release/Acquire protocol are flagged.
+//! * **determinism** — name-based taint from hash-ordered containers
+//!   (`HashMap`/`HashSet`, through type aliases and struct fields) to
+//!   order-sensitive sinks: `for … in`, iteration adaptors, and float
+//!   accumulation over hash order; plus `len() as u32`-style truncating
+//!   casts in the reproducible crates.
+//! * **hot-loop-hygiene** — no allocation, locking, cloning, formatting,
+//!   or collectives inside per-sample code: `sample_batch` consume
+//!   closures and the named hot functions of `crates/core`/`crates/graph`.
+//!
 //! Any rule can be waived for one line with a trailing or preceding comment
 //! `// xtask: allow(<rule>) — <why this occurrence is sound>`. Waivers are
 //! part of the diff and hence of code review.
 //!
-//! The scanner is a hand-rolled lexer, not a regex grep: comments, string
-//! literals, and `#[cfg(test)]` modules are stripped before matching, so
-//! prose *about* `SeqCst` or an error message containing ".unwrap()" never
-//! trips a rule. `shims/` is deliberately out of scope — those crates
-//! reproduce third-party APIs (including their `SeqCst` surface) and are not
-//! governed by this workspace's concurrency discipline.
+//! Both engines lex rather than grep: comments, string literals, and
+//! `#[cfg(test)]` modules are stripped or marked before matching, so prose
+//! *about* `SeqCst` or an error message containing ".unwrap()" never trips
+//! a rule. `shims/` is deliberately out of scope — those crates reproduce
+//! third-party APIs (including their `SeqCst` surface) and are not governed
+//! by this workspace's concurrency discipline; `fixtures` directories are
+//! skipped too, since they exist to violate the rules on purpose.
+//!
+//! # `cargo xtask deny`
+//!
+//! Supply-chain gate: runs `cargo deny check` against the root `deny.toml`
+//! (RustSec advisories, license allow-list, duplicate major versions,
+//! source pinning). The cargo-deny binary is not vendored; where it is
+//! missing the command prints the install line and exits 2, and CI runs it
+//! as an advisory job.
 //!
 //! # `cargo xtask loom` / `tsan` / `miri`
 //!
@@ -90,7 +131,8 @@ use std::process::{Command, ExitCode};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => cmd_lint(),
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("deny") => cmd_deny(),
         Some("loom") => cmd_loom(),
         Some("tsan") => cmd_tsan(),
         Some("miri") => cmd_miri(),
@@ -100,7 +142,11 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo xtask <command>\n\n\
                  commands:\n  \
-                 lint   custom concurrency-discipline lint pass (stable)\n  \
+                 lint   AST-based semantic lint passes (stable)\n         \
+                 [--json PATH] write + validate the kadabra-lint/v1 report\n         \
+                 [--write-baseline] accept current findings into lint-baseline.json\n         \
+                 [--legacy] run the original line-lexer rules instead\n  \
+                 deny   supply-chain gate via cargo-deny, config in deny.toml (skips if absent)\n  \
                  loom   model-check the epoch protocol + telemetry recorder (stable)\n  \
                  tsan   run concurrency tests under ThreadSanitizer (nightly + rust-src)\n  \
                  miri   run epoch tests under Miri (nightly + miri component)\n  \
@@ -163,7 +209,131 @@ struct Violation {
     hint: &'static str,
 }
 
-fn cmd_lint() -> ExitCode {
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut legacy = false;
+    let mut write_baseline = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--legacy" => legacy = true,
+            "--write-baseline" => write_baseline = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask lint: --json needs a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if legacy {
+        if write_baseline || json_path.is_some() {
+            eprintln!("xtask lint: --legacy does not support --json / --write-baseline");
+            return ExitCode::from(2);
+        }
+        return cmd_lint_legacy();
+    }
+    cmd_lint_ast(json_path, write_baseline)
+}
+
+/// The AST lint engine (`kadabra-lint`): parses the workspace, runs every
+/// registered pass, applies inline waivers and the `lint-baseline.json`
+/// suppression set, and fails on any active finding. `--json PATH` also
+/// writes (and schema-validates) the `kadabra-lint/v1` report for CI to
+/// upload; `--write-baseline` accepts the current active findings into the
+/// baseline instead of failing.
+fn cmd_lint_ast(json_path: Option<PathBuf>, write_baseline: bool) -> ExitCode {
+    let root = workspace_root();
+    let ws = match kadabra_lint::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("xtask lint: failed to read the workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let passes = kadabra_lint::passes::all();
+    let pass_refs: Vec<&dyn kadabra_lint::Pass> = passes.iter().map(AsRef::as_ref).collect();
+    let baseline_path = root.join("lint-baseline.json");
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match kadabra_lint::report::Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("xtask lint: invalid {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => kadabra_lint::report::Baseline::empty(),
+    };
+    let report = ws.run(&pass_refs, &baseline);
+
+    if write_baseline {
+        let rendered = kadabra_lint::report::Baseline::render(&report);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("xtask lint: failed to write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        let (_, active, _, _) = report.counts();
+        println!(
+            "xtask lint: accepted {active} finding(s) into {} — each entry is tracked debt, \
+             not a licence",
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for f in report.active() {
+        println!(
+            "{}:{}:{}: [{}] {}\n    `{}`\n    hint: {}",
+            f.file, f.line, f.col, f.pass, f.message, f.excerpt, f.hint
+        );
+    }
+
+    if let Some(path) = &json_path {
+        let json = report.to_json();
+        if let Err(e) = kadabra_lint::report::validate_report(&json) {
+            eprintln!("xtask lint: generated report failed schema validation: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("xtask lint: failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: wrote {} (schema {})",
+            path.display(),
+            kadabra_lint::report::LINT_SCHEMA
+        );
+    }
+
+    let (total, active, waived, baselined) = report.counts();
+    if active == 0 {
+        println!(
+            "xtask lint: {} files clean across {} passes ({} waived, {} baselined)",
+            report.files_scanned,
+            report.passes.len(),
+            waived,
+            baselined
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "\nxtask lint: {active} active finding(s) ({total} total, {waived} waived, {baselined} \
+         baselined) in {} file(s); waive a line with `// xtask: allow(<pass>) — <reason>` if \
+         the occurrence is deliberate",
+        report.files_scanned
+    );
+    ExitCode::FAILURE
+}
+
+/// The original line-lexer rules, kept as a fallback engine
+/// (`cargo xtask lint --legacy`) and as a cross-check on the AST engine's
+/// token stream.
+fn cmd_lint_legacy() -> ExitCode {
     let root = workspace_root();
     let mut files = Vec::new();
     for dir in ["crates", "src", "tests", "examples"] {
@@ -380,8 +550,14 @@ fn blank_comments_and_strings(src: &str) -> String {
                     st = St::Str;
                     out.push('"');
                 }
-                'r' if next == Some('"') || next == Some('#') => {
+                'r' if (next == Some('"') || next == Some('#'))
+                    && !(i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')) =>
+                {
                     // Possible raw string: r"..." or r#"..."# (any # count).
+                    // The opener must be identifier-atomic: in `bar"x"` the
+                    // trailing `r` of `bar` is part of the identifier, not a
+                    // raw-string prefix — treating it as one used to truncate
+                    // the identifier and desynchronize the scan.
                     let mut j = i + 1;
                     let mut hashes = 0u32;
                     while b.get(j) == Some(&'#') {
@@ -438,7 +614,12 @@ fn blank_comments_and_strings(src: &str) -> String {
             }
             St::Str => match c {
                 '\\' => {
-                    out.push_str("  ");
+                    // An escape consumes two characters, but `\<newline>`
+                    // (line continuation) must still emit the newline:
+                    // swallowing it used to shift every later line number,
+                    // misaligning waivers and the cfg(test) mask.
+                    out.push(' ');
+                    out.push(if next == Some('\n') { '\n' } else { ' ' });
                     i += 2;
                     continue;
                 }
@@ -470,7 +651,9 @@ fn blank_comments_and_strings(src: &str) -> String {
             }
             St::Char => match c {
                 '\\' => {
-                    out.push_str("  ");
+                    // Same newline-preservation as the string arm.
+                    out.push(' ');
+                    out.push(if next == Some('\n') { '\n' } else { ' ' });
                     i += 2;
                     continue;
                 }
@@ -544,7 +727,9 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
         let path = entry.path();
         if path.is_dir() {
             let name = entry.file_name();
-            if name == "target" || name == ".git" {
+            // `fixtures/` holds the deliberately-violating lint corpus of
+            // crates/lint/tests — exercised by its own tests, never scanned.
+            if name == "target" || name == ".git" || name == "fixtures" {
                 continue;
             }
             collect_rs_files(&path, out);
@@ -568,6 +753,38 @@ fn workspace_root() -> PathBuf {
         }
         Err(_) => PathBuf::from("."),
     }
+}
+
+// ---------------------------------------------------------------------------
+// supply-chain gate
+// ---------------------------------------------------------------------------
+
+/// `cargo xtask deny`: the supply-chain gate. Runs `cargo deny check`
+/// against the committed `deny.toml` (advisories, license allow-list,
+/// duplicate-major bans, registry sources). The cargo-deny binary is not
+/// baked into the offline container, so — like `tsan`/`miri` — the command
+/// reports exactly what is missing and exits 2 when it cannot run; CI runs
+/// it as an advisory job.
+fn cmd_deny() -> ExitCode {
+    let root = workspace_root();
+    if !root.join("deny.toml").exists() {
+        eprintln!("xtask deny: deny.toml not found at the workspace root");
+        return ExitCode::FAILURE;
+    }
+    let available = Command::new("cargo")
+        .args(["deny", "--version"])
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !available {
+        return missing_toolchain(
+            "deny",
+            "the cargo-deny binary",
+            "cargo install cargo-deny --locked && cargo xtask deny",
+        );
+    }
+    println!("xtask deny: cargo deny check (advisories, licenses, bans, sources)");
+    run_stream(Command::new("cargo").args(["deny", "check"]).current_dir(root))
 }
 
 // ---------------------------------------------------------------------------
@@ -1029,6 +1246,49 @@ mod tests {
         let code = blank_comments_and_strings("let s = r#\"SeqCst\"#; let c = 'S'; let l: &'a u8;");
         assert!(!code.contains("SeqCst"));
         assert!(code.contains("&'a u8"));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // A `\`-continued string literal spans two physical lines; the
+        // scanner used to swallow the newline while consuming the escape
+        // pair, shifting every later line number (so waivers stopped
+        // matching and the cfg(test) mask drifted).
+        let src = "let s = \"first \\\n    second\";\nlet x = 1;\n";
+        let code = blank_comments_and_strings(src);
+        assert_eq!(
+            code.matches('\n').count(),
+            src.matches('\n').count(),
+            "blanked text must preserve the physical line structure"
+        );
+        // A violation after the continued string is reported on its true line.
+        let mut out = Vec::new();
+        lint_file(
+            Path::new("crates/demo/src/lib.rs"),
+            "let s = \"a \\\n   b\";\nlet t = a.load(Ordering::SeqCst);\n",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3, "line numbers must survive string continuations");
+    }
+
+    #[test]
+    fn escaped_newline_in_char_scan_keeps_line_numbers() {
+        // Not valid Rust, but the scanner must stay line-accurate even on
+        // malformed char literals rather than desynchronize.
+        let src = "let c = '\\\n';\nlet x = 1;\n";
+        let code = blank_comments_and_strings(src);
+        assert_eq!(code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn raw_string_opener_is_identifier_atomic() {
+        // The trailing `r` of `bar` is part of the identifier; it used to be
+        // mis-scanned as a raw-string prefix, truncating the identifier in
+        // the blanked stream.
+        let code = blank_comments_and_strings("foo(bar\"baz\", r\"SeqCst\")");
+        assert!(code.contains("bar"), "identifier must survive intact: {code:?}");
+        assert!(!code.contains("SeqCst"), "the real raw string is still blanked: {code:?}");
     }
 
     #[test]
