@@ -50,7 +50,7 @@ pub use epoch_mpi::{kadabra_epoch_mpi, kadabra_epoch_mpi_traced};
 pub use mpi::{kadabra_mpi_flat, kadabra_mpi_flat_traced};
 pub use naive::kadabra_naive_parallel;
 pub use phases::{prepare, Prepared};
-pub use recovery::{shrink_and_rebuild, SampleLedger};
+pub use recovery::{shrink_and_rebuild, CheckpointError, SampleLedger};
 pub use result::{BetweennessResult, PhaseTimings, SamplingStats};
 pub use sampler::ThreadSampler;
 pub use sequential::{kadabra_sequential, kadabra_sequential_traced};

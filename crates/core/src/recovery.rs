@@ -73,6 +73,92 @@ impl SampleLedger {
     pub fn frame(&self) -> &[u64] {
         &self.frame
     }
+
+    /// Total confirmed sample count τ (the last frame slot).
+    pub fn tau(&self) -> u64 {
+        // xtask: allow(unwrap) — `new` guarantees a non-empty frame.
+        *self.frame.last().unwrap()
+    }
+
+    /// Serializes the ledger as a self-describing checkpoint: magic tag,
+    /// frame length, the frame words, and a closing checksum — all
+    /// little-endian `u64`s, so the byte image is identical across hosts.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((self.frame.len() + 3) * 8);
+        out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&(self.frame.len() as u64).to_le_bytes());
+        for &w in &self.frame {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&checksum(&self.frame).to_le_bytes());
+        out
+    }
+
+    /// Restores a ledger from a [`SampleLedger::to_bytes`] image, verifying
+    /// the magic tag, declared length, and checksum. A ledger restored from
+    /// the last checkpoint and then refined further conserves the invariant
+    /// `frame == Σ confirmed frames since new()` — the property the
+    /// checkpoint round-trip proptests pin down.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let word = |i: usize| -> Result<u64, CheckpointError> {
+            let at = i * 8;
+            let end = at + 8;
+            if end > bytes.len() {
+                return Err(CheckpointError::Truncated);
+            }
+            // xtask: allow(unwrap) — the slice is exactly 8 bytes by construction.
+            Ok(u64::from_le_bytes(bytes[at..end].try_into().unwrap()))
+        };
+        if word(0)? != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let len = usize::try_from(word(1)?).map_err(|_| CheckpointError::Truncated)?;
+        if bytes.len() != (len + 3) * 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut frame = Vec::with_capacity(len);
+        for i in 0..len {
+            frame.push(word(2 + i)?);
+        }
+        if word(2 + len)? != checksum(&frame) {
+            return Err(CheckpointError::Corrupt);
+        }
+        Ok(SampleLedger { frame })
+    }
+}
+
+/// Magic tag opening a serialized [`SampleLedger`] checkpoint.
+const CHECKPOINT_MAGIC: u64 = 0x4b44_4252_4c47_5231; // "KDBRLGR1"
+
+/// Order-sensitive checksum over the frame words (a rotate-xor fold), so a
+/// corrupted or reordered image is rejected rather than silently restored.
+fn checksum(frame: &[u64]) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    for &w in frame {
+        h = h.rotate_left(7) ^ w.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    }
+    h
+}
+
+/// Why a checkpoint image failed to restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The image is shorter than its header declares (or not word-aligned).
+    Truncated,
+    /// The image does not begin with the ledger checkpoint magic tag.
+    BadMagic,
+    /// The checksum does not match the frame words.
+    Corrupt,
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint image truncated"),
+            CheckpointError::BadMagic => write!(f, "not a ledger checkpoint (bad magic)"),
+            CheckpointError::Corrupt => write!(f, "checkpoint checksum mismatch"),
+        }
+    }
 }
 
 /// One recovery: shrinks `comm` until the survivor set is stable, then
@@ -131,6 +217,38 @@ mod tests {
         l.confirm(&[1, 0, 2, 1]);
         l.confirm(&[0, 5, 1, 2]);
         assert_eq!(l.frame(), &[1, 5, 3, 3]);
+        assert_eq!(l.tau(), 3);
+    }
+
+    #[test]
+    fn checkpoint_bytes_round_trip() {
+        let mut l = SampleLedger::new(4);
+        l.confirm(&[3, 1, 4, 1, 5]);
+        l.confirm(&[9, 2, 6, 5, 3]);
+        let bytes = l.to_bytes();
+        let restored = SampleLedger::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.frame(), l.frame());
+        assert_eq!(restored.tau(), 8);
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption() {
+        let l = SampleLedger::new(2);
+        let good = l.to_bytes();
+        assert!(matches!(SampleLedger::from_bytes(&good[..7]), Err(CheckpointError::Truncated)));
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 1;
+        assert!(matches!(SampleLedger::from_bytes(&bad_magic), Err(CheckpointError::BadMagic)));
+        let mut flipped = good.clone();
+        flipped[16] ^= 0x40; // first frame word
+        assert!(matches!(SampleLedger::from_bytes(&flipped), Err(CheckpointError::Corrupt)));
+        let mut short = good;
+        short.truncate(good_len_minus_word(&l));
+        assert!(matches!(SampleLedger::from_bytes(&short), Err(CheckpointError::Truncated)));
+    }
+
+    fn good_len_minus_word(l: &SampleLedger) -> usize {
+        (l.frame().len() + 2) * 8
     }
 
     #[test]

@@ -10,7 +10,12 @@
 //!    multiplies by the sample count);
 //! 2. the bodies of the hot-path functions themselves —
 //!    `sample_batch`, `sample_shortest_path_into`, and `sample` in
-//!    `crates/core/src` / `crates/graph/src`.
+//!    `crates/core/src` / `crates/graph/src`;
+//! 3. the estimate-cache read path in `crates/server/src` —
+//!    `read_frontier_into`, `read_vertex`, and `read_stage_into` run on
+//!    every query against the resident service, concurrently with the
+//!    publishing writer; a lock or allocation there turns the wait-free
+//!    seqlock read into a serialization point (DESIGN.md §13).
 //!
 //! Banned inside those ranges: constructor allocations (`Vec::new`,
 //! `vec![…]`, `Box::new`, `String::from`, `format!`, `with_capacity`, …),
@@ -21,7 +26,7 @@
 //! pre-sized buffers is the sanctioned idiom, so `.push(…)`, `.reserve(…)`,
 //! and `std::mem::take` stay legal.
 
-use super::{comm_flow::harvest_comm_api, is_core_library_path, method_call};
+use super::{comm_flow::harvest_comm_api, is_core_library_path, is_server_path, method_call};
 use crate::lex::TokKind;
 use crate::{Pass, Sink, SourceFile, Workspace};
 
@@ -30,6 +35,9 @@ pub struct HotLoopHygiene;
 
 /// Function names whose bodies are hot-path scope in core/graph.
 const HOT_FNS: [&str; 3] = ["sample_batch", "sample_shortest_path_into", "sample"];
+
+/// Function names whose bodies are the service's cache read path.
+const SERVER_READ_FNS: [&str; 3] = ["read_frontier_into", "read_vertex", "read_stage_into"];
 
 /// Allocating constructors reached through `Type::method(…)` paths.
 const ALLOC_TYPES: [&str; 6] = ["Vec", "VecDeque", "Box", "String", "HashMap", "HashSet"];
@@ -153,11 +161,16 @@ impl Pass for HotLoopHygiene {
                 }
             }
             // Scope 2: the hot-path function bodies in core/graph.
-            if !is_core_library_path(&file.rel) {
+            // Scope 3: the cache read-path bodies in the server crate.
+            let scoped_fns: &[&str] = if is_core_library_path(&file.rel) {
+                &HOT_FNS
+            } else if is_server_path(&file.rel) {
+                &SERVER_READ_FNS
+            } else {
                 continue;
-            }
+            };
             for f in &file.ast.fns {
-                if f.is_test || !HOT_FNS.contains(&f.name.as_str()) {
+                if f.is_test || !scoped_fns.contains(&f.name.as_str()) {
                     continue;
                 }
                 let Some((lo, hi)) = f.body else { continue };

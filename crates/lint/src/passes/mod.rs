@@ -61,6 +61,13 @@ pub fn is_comm_path(rel: &str) -> bool {
     rel.starts_with("crates/mpisim/src")
 }
 
+/// True for files under `crates/server/src`, whose estimate-cache read path
+/// must stay allocation- and lock-free (DESIGN.md §13).
+#[must_use]
+pub fn is_server_path(rel: &str) -> bool {
+    rel.starts_with("crates/server/src")
+}
+
 /// True for the crates whose algorithms must be bit-reproducible from
 /// `(plan, seed)` — the determinism pass scope.
 #[must_use]

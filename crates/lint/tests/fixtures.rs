@@ -105,6 +105,39 @@ fn bad_fixture_excerpts_match_the_flagged_source_line() {
 }
 
 #[test]
+fn server_read_path_fixtures_fire_on_exactly_the_marked_lines() {
+    // The hot-loop-hygiene pass's third scope: cache read-path bodies under
+    // `crates/server/src`. `server_bad.rs` must trip line-exactly; the
+    // sanctioned `server_good.rs` (pre-sized reader-owned snapshots) must
+    // stay clean.
+    let pass = "hot-loop-hygiene";
+    let rel = "crates/server/src/cache.rs";
+    let (report, src) = run_case(pass, rel, true, "server_bad");
+    let expected = marker_lines(&src, pass);
+    assert!(!expected.is_empty(), "server_bad.rs carries no //~ markers");
+    let mut got: Vec<u32> =
+        report.active().filter(|f| f.pass == pass && f.file == rel).map(|f| f.line).collect();
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(got, expected, "server read-path findings landed on the wrong lines");
+    for f in report.active().filter(|f| f.pass == pass && f.file == rel) {
+        assert!(
+            f.message.contains("body of `read_"),
+            "finding must name the read-path body it fired in: {}",
+            f.message
+        );
+    }
+
+    let (clean, _) = run_case(pass, rel, true, "server_good");
+    let hits: Vec<_> = clean.findings.iter().filter(|f| f.pass == pass).collect();
+    assert!(
+        hits.is_empty(),
+        "server_good.rs produced findings: {:?}",
+        hits.iter().map(|f| (f.line, f.message.as_str())).collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn seqcst_column_points_at_the_ordering_token() {
     let (report, src) = run_case("seqcst", "crates/demo/src/lib.rs", false, "bad");
     let f = report.active().find(|f| f.pass == "seqcst").expect("seqcst fired");

@@ -1,0 +1,40 @@
+//! hot-loop-hygiene, server scope: the estimate-cache read path
+//! allocating and locking. Scanned under the virtual path
+//! `crates/server/src/cache.rs`, which puts these bodies in the pass's
+//! service read-path scope.
+
+/// A cache whose read path commits every banned class.
+pub struct Cache {
+    counts: Vec<u64>,
+    tau: std::sync::Mutex<u64>,
+}
+
+/// Reader-owned snapshot (pre-sized in the sanctioned idiom).
+pub struct Snapshot {
+    pub counts: Vec<u64>,
+    pub tau: u64,
+}
+
+impl Cache {
+    /// Bulk read that stages through fresh allocations.
+    pub fn read_frontier_into(&self, snap: &mut Snapshot) -> bool {
+        let staged: Vec<u64> = self.counts.iter().copied().collect(); //~ hot-loop-hygiene
+        snap.counts = staged.to_vec(); //~ hot-loop-hygiene
+        snap.tau = *self.tau.lock().expect("poisoned"); //~ hot-loop-hygiene
+        true
+    }
+
+    /// Scalar read that deep-copies the whole frontier per query.
+    pub fn read_vertex(&self, v: usize) -> Option<u64> {
+        let copy = self.counts.clone(); //~ hot-loop-hygiene
+        copy.get(v).copied()
+    }
+
+    /// Stage read that allocates scratch per call.
+    pub fn read_stage_into(&self, snap: &mut Snapshot) -> bool {
+        let mut scratch = Vec::new(); //~ hot-loop-hygiene
+        scratch.push(self.counts.len() as u64);
+        snap.tau = scratch[0];
+        true
+    }
+}

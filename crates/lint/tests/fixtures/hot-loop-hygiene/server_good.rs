@@ -1,0 +1,44 @@
+//! hot-loop-hygiene, server scope: the sanctioned cache read path — every
+//! query fills a reader-owned, pre-sized snapshot; no allocation, no lock.
+//! Scanned under the virtual path `crates/server/src/cache.rs`.
+
+/// A cache whose read path only copies into caller-provided buffers.
+pub struct Cache {
+    counts: Vec<u64>,
+    tau: u64,
+    round: u64,
+}
+
+/// Reader-owned snapshot, sized once at client setup.
+pub struct Snapshot {
+    pub counts: Vec<u64>,
+    pub tau: u64,
+    pub round: u64,
+}
+
+impl Cache {
+    /// Bulk read into the reusable snapshot: `copy_from_slice` plus scalar
+    /// stores, nothing else.
+    pub fn read_frontier_into(&self, snap: &mut Snapshot) -> bool {
+        snap.counts.copy_from_slice(&self.counts);
+        snap.tau = self.tau;
+        snap.round = self.round;
+        true
+    }
+
+    /// Scalar read straight off the published slot.
+    pub fn read_vertex(&self, v: usize) -> Option<u64> {
+        self.counts.get(v).copied()
+    }
+
+    /// Stage read reusing the same pre-sized snapshot (push onto a buffer
+    /// the caller pre-reserved is the sanctioned idiom).
+    pub fn read_stage_into(&self, snap: &mut Snapshot) -> bool {
+        snap.counts.clear();
+        for &c in &self.counts {
+            snap.counts.push(c);
+        }
+        snap.tau = self.tau;
+        true
+    }
+}

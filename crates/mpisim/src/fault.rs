@@ -234,6 +234,25 @@ impl FaultPlan {
         self
     }
 
+    /// Derives the plan for refinement `round` of a long-lived serving run:
+    /// same perturbation knobs (delays, stragglers, jitter, slow threads) but
+    /// a round-specific seed, and — crucially — **no crash schedule**. A
+    /// resident sampler pool survives a crash by shrinking once; replaying
+    /// the same crash point every subsequent round would kill the rebuilt
+    /// pool again, so rounds after the first derive their schedules from the
+    /// original plan without inheriting its crashes. Round 0 returns the plan
+    /// unchanged (crashes included), keeping `(plan, seed)` the complete
+    /// replay handle.
+    pub fn reseeded(&self, round: u64) -> Self {
+        if round == 0 {
+            return self.clone();
+        }
+        let mut plan = self.clone();
+        plan.seed = mix2(self.seed, mix2(TAG_CRASH ^ TAG_OVERLAP, round));
+        plan.crashes.clear();
+        plan
+    }
+
     /// The crash scheduled for world rank `rank`, if any (first entry wins).
     pub fn crash_point(&self, rank: usize) -> Option<CrashPoint> {
         self.crashes.iter().find(|(r, _)| *r == rank).map(|(_, p)| *p)
@@ -469,6 +488,23 @@ mod tests {
         // The summary (the replay handle) carries the crash schedule.
         assert!(p.summary().contains("AtCollective(7)"), "{}", p.summary());
         assert_eq!(p, p.clone());
+    }
+
+    #[test]
+    fn reseeded_rounds_keep_knobs_and_drop_crashes() {
+        let p = FaultPlan::from_seed(9)
+            .with_straggler(1, 6)
+            .with_crash_at_collective(2, 7)
+            .with_p2p_jitter(2);
+        assert_eq!(p.reseeded(0), p, "round 0 is the original plan, crash included");
+        let r1 = p.reseeded(1);
+        assert_ne!(r1.seed, p.seed, "rounds draw from distinct hash streams");
+        assert!(r1.crashes.is_empty(), "a crash must not replay after recovery");
+        assert_eq!(r1.rank_factors, p.rank_factors);
+        assert_eq!(r1.p2p_jitter, p.p2p_jitter);
+        assert_eq!(r1.collective_delay_polls, p.collective_delay_polls);
+        assert_eq!(r1, p.reseeded(1), "round derivation is deterministic");
+        assert_ne!(p.reseeded(1).seed, p.reseeded(2).seed);
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Atomic indirection: `std` atomics in production, loom's modelled atomics
+//! under `--features loom` — the same pattern every concurrent crate in the
+//! workspace uses, so `cargo xtask loom` checks the estimate cache's
+//! publish/read protocol against the simulated memory model.
+
+#[cfg(feature = "loom")]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(not(feature = "loom"))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};

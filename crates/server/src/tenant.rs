@@ -1,0 +1,497 @@
+//! A tenant: one named resident graph with its own sampler pool, estimate
+//! cache, δ calibration, and admission gate.
+//!
+//! Building a tenant runs the same setup phases as the flat driver —
+//! degree-relabel (PR 5), iFUB diameter, calibration with per-rank sampler
+//! streams — so a tenant's estimates are comparable sample-for-sample with a
+//! `kadabra_mpi_flat` run at the same seed and rank count. Queries read the
+//! [`EstimateCache`] without touching the engine; refinement locks the
+//! engine and advances it in deterministic fixed-length rounds.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::cache::{EstimateCache, FrontierSnapshot, StageSnapshot};
+use crate::engine::RefineEngine;
+use crate::QueryError;
+use kadabra_core::bounds::{self, f_bound, g_bound};
+use kadabra_core::calibration::Calibration;
+use kadabra_core::phases::{calibration_samples_for_thread, diameter_phase};
+use kadabra_core::sampler::ThreadSampler;
+use kadabra_core::KadabraConfig;
+use kadabra_graph::{Graph, NodeId, Permutation};
+use kadabra_mpisim::FaultPlan;
+use kadabra_telemetry::{EventWriter, SpanId, Telemetry};
+use parking_lot::Mutex;
+
+/// How a tenant is provisioned.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Resident sampler ranks in the tenant's pool.
+    pub pool_ranks: usize,
+    /// Failure probability δ of every guarantee the tenant hands out.
+    pub delta: f64,
+    /// Master seed; with the same seed, graph, and fault plan the tenant's
+    /// whole cache history is bit-reproducible.
+    pub seed: u64,
+    /// Strictly descending ε stages; the last entry is the floor the
+    /// background pool refines toward, and the tightest `estimate` queries
+    /// can ask for.
+    pub schedule: Vec<f64>,
+    /// Reduction epochs per engine round — the determinism quantum (see
+    /// [`RefineEngine`]).
+    pub max_epochs_per_round: u32,
+    /// Base of the epoch-length rule (smaller epochs = finer-grained
+    /// rounds); defaults to the driver's `KadabraConfig` default.
+    pub n0_base: f64,
+    /// Rounds run synchronously at build time, so the cache is warm before
+    /// the first query.
+    pub warmup_rounds: u32,
+    /// Per-tenant admission limits.
+    pub admission: AdmissionConfig,
+    /// Fault plan for the pool's collectives (crash faults included — the
+    /// chaos harness injects them here).
+    pub plan: FaultPlan,
+}
+
+impl TenantConfig {
+    /// Service defaults at the given seed: 2 ranks, δ = 0.1, a four-stage
+    /// schedule down to ε = 0.06, ideal (fault-free) delivery.
+    pub fn new(seed: u64) -> Self {
+        TenantConfig {
+            pool_ranks: 2,
+            delta: 0.1,
+            seed,
+            schedule: vec![0.5, 0.25, 0.12, 0.06],
+            max_epochs_per_round: 2,
+            n0_base: KadabraConfig::default().n0_base,
+            warmup_rounds: 1,
+            admission: AdmissionConfig::default(),
+            plan: FaultPlan::ideal(seed),
+        }
+    }
+
+    /// Panics on nonsense: empty/non-descending schedules, out-of-range δ,
+    /// an empty pool.
+    pub fn validate(&self) {
+        assert!(self.pool_ranks >= 1, "pool_ranks must be >= 1");
+        assert!(self.delta > 0.0 && self.delta < 1.0, "delta must be in (0, 1)");
+        assert!(!self.schedule.is_empty(), "schedule must have at least one stage");
+        for w in self.schedule.windows(2) {
+            assert!(w[1] < w[0], "schedule must be strictly descending");
+        }
+        for &e in &self.schedule {
+            assert!(e > 0.0 && e < 1.0, "stage epsilons must be in (0, 1)");
+        }
+        assert!(self.max_epochs_per_round >= 1, "rounds must run at least one epoch");
+        assert!(self.n0_base >= 1.0, "n0_base must be at least 1");
+    }
+}
+
+/// Reusable per-client query buffers: queries fill these in place, so the
+/// steady-state read path performs no allocation (enforced by the
+/// hot-loop-hygiene lint on the cache and measured by `bench_server`).
+pub struct QueryScratch {
+    /// Frontier snapshot target.
+    pub frontier: FrontierSnapshot,
+    /// Frozen-stage snapshot target.
+    pub stage: StageSnapshot,
+    /// Index permutation reused by top-k selection.
+    pub idx: Vec<u32>,
+}
+
+impl QueryScratch {
+    /// Scratch sized for an `n`-vertex tenant.
+    pub fn new(n: usize) -> Self {
+        QueryScratch {
+            frontier: FrontierSnapshot::new(n),
+            stage: StageSnapshot::new(n),
+            idx: (0..n as u32).collect(),
+        }
+    }
+}
+
+/// A per-vertex answer: the point estimate plus its two-sided confidence
+/// interval at the tenant's δ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VertexEstimate {
+    /// The queried vertex (original id).
+    pub vertex: NodeId,
+    /// Betweenness point estimate c̃/τ.
+    pub estimate: f64,
+    /// Lower confidence bound `max(0, b̃ − f)`.
+    pub lower: f64,
+    /// Upper confidence bound `min(1, b̃ + g)`.
+    pub upper: f64,
+    /// Accuracy of the frontier the answer came from.
+    pub eps: f64,
+    /// Samples behind the answer.
+    pub tau: u64,
+    /// Engine round that published the answer.
+    pub round: u64,
+}
+
+/// Metadata accompanying a full-vector or top-k answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateMeta {
+    /// Accuracy of the snapshot the answer came from (a frozen stage ε for
+    /// `estimate`, the live frontier ε for `topk`).
+    pub eps: f64,
+    /// Samples behind the answer.
+    pub tau: u64,
+    /// Engine round that published the snapshot.
+    pub round: u64,
+}
+
+/// What a refine call achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOutcome {
+    /// Accuracy after the call.
+    pub achieved: f64,
+    /// Confirmed samples after the call.
+    pub tau: u64,
+    /// Engine rounds actually run (0 if the target was already met).
+    pub rounds_run: u32,
+    /// Sampler ranks still alive.
+    pub live: usize,
+}
+
+/// One resident graph and everything needed to answer queries about it.
+pub struct Tenant {
+    name: String,
+    /// Degree-relabeled working graph (cache-aware layout, PR 5).
+    g: Graph,
+    perm: Permutation,
+    vd: u32,
+    omega: u64,
+    floor: f64,
+    delta: f64,
+    calibration: Calibration,
+    cache: EstimateCache,
+    engine: Mutex<RefineEngine>,
+    admission: Admission,
+}
+
+impl Tenant {
+    /// Provisions a tenant: relabel, diameter, calibration (mirroring the
+    /// flat driver's per-rank streams at `pool_ranks`), engine, and
+    /// `warmup_rounds` synchronous rounds so the cache starts warm.
+    pub fn build(name: &str, g: &Graph, cfg: &TenantConfig, tel: &Telemetry) -> Tenant {
+        cfg.validate();
+        assert!(g.num_nodes() >= 2, "KADABRA requires at least two vertices");
+        let (rg, perm) = g.relabel_by_degree();
+        let n = rg.num_nodes();
+        // xtask: allow(unwrap) — validate() rejects empty schedules.
+        let floor = *cfg.schedule.last().unwrap();
+        let kcfg = KadabraConfig {
+            epsilon: floor,
+            delta: cfg.delta,
+            seed: cfg.seed,
+            n0_base: cfg.n0_base,
+            ..Default::default()
+        };
+        kcfg.validate();
+        let (vd, _) = diameter_phase(&rg, &kcfg);
+        let omega = bounds::omega(kcfg.c, floor, cfg.delta, vd);
+
+        // Calibration, sequentially replaying each pool rank's stream so the
+        // δ budgets match what `kadabra_mpi_flat` at the same (seed, ranks)
+        // would derive.
+        let mut total = vec![0u64; n + 1];
+        for r in 0..cfg.pool_ranks {
+            let mut sampler = ThreadSampler::new(n, cfg.seed, r, 0);
+            let mut counts = vec![0u64; n + 1];
+            let taken = calibration_samples_for_thread(
+                &rg,
+                &mut sampler,
+                &mut counts[..n],
+                &kcfg,
+                omega,
+                cfg.pool_ranks,
+            );
+            counts[n] = taken;
+            for (a, &x) in total.iter_mut().zip(&counts) {
+                *a += x;
+            }
+        }
+        let calibration = Calibration::from_counts(&total[..n], total[n], &kcfg);
+
+        let engine = RefineEngine::new(
+            n,
+            kcfg,
+            omega,
+            cfg.pool_ranks,
+            cfg.max_epochs_per_round,
+            cfg.plan.clone(),
+        );
+        let tenant = Tenant {
+            name: name.to_string(),
+            g: rg,
+            perm,
+            vd,
+            omega,
+            floor,
+            delta: cfg.delta,
+            calibration,
+            cache: EstimateCache::new(n, &cfg.schedule),
+            engine: Mutex::new(engine),
+            admission: Admission::new(cfg.admission),
+        };
+        if cfg.warmup_rounds > 0 {
+            let w = tel.writer(crate::SERVICE_RANK, 0);
+            // Refine toward the floor with a `warmup_rounds` budget: the
+            // cache is guaranteed at least one publication before the first
+            // query.
+            tenant.refine(0.0, cfg.warmup_rounds, tel, &w);
+        }
+        tenant
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Vertex count of the resident graph.
+    pub fn num_vertices(&self) -> usize {
+        self.g.num_nodes()
+    }
+
+    /// The tightest ε the schedule reaches.
+    pub fn floor_eps(&self) -> f64 {
+        self.floor
+    }
+
+    /// The ε schedule.
+    pub fn schedule(&self) -> Vec<f64> {
+        self.cache.schedule()
+    }
+
+    /// Sample cap ω for the schedule floor.
+    pub fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// Vertex-diameter upper bound used to derive ω.
+    pub fn vertex_diameter(&self) -> u32 {
+        self.vd
+    }
+
+    /// Failure probability δ of the tenant's guarantees.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The admission gate (exposed for the front-end and tests).
+    pub fn admission(&self) -> &Admission {
+        &self.admission
+    }
+
+    /// The estimate cache (exposed for tests and the bench harness).
+    pub fn cache(&self) -> &EstimateCache {
+        &self.cache
+    }
+
+    /// The accuracy currently published in the frontier (1.0 before the
+    /// first publication).
+    pub fn achieved_eps(&self) -> f64 {
+        self.cache.read_vertex(0).map_or(1.0, |r| r.eps)
+    }
+
+    /// Advances the engine until the frontier supports `target_eps` (clamped
+    /// at the schedule floor), up to `max_rounds` rounds, publishing each
+    /// round's frame to the cache. Deterministic: round boundaries never
+    /// depend on the caller, only the number of rounds run does.
+    pub fn refine(
+        &self,
+        target_eps: f64,
+        max_rounds: u32,
+        tel: &Telemetry,
+        w: &EventWriter,
+    ) -> RefineOutcome {
+        let target = target_eps.max(self.floor);
+        let mut eng = self.engine.lock();
+        let mut rounds = 0u32;
+        while rounds < max_rounds
+            && eng.live() > 0
+            && eng.last_achieved() > target
+            && eng.last_tau() < self.omega
+        {
+            let rep = eng.step(&self.g, &self.calibration, tel);
+            let sp = w.begin(SpanId::CachePublish);
+            self.cache.publish_frontier(
+                &rep.global[..self.g.num_nodes()],
+                rep.tau,
+                rep.achieved,
+                rep.round,
+            );
+            w.end(sp);
+            rounds += 1;
+        }
+        RefineOutcome {
+            achieved: eng.last_achieved(),
+            tau: eng.last_tau(),
+            rounds_run: rounds,
+            live: eng.live(),
+        }
+    }
+
+    /// Checkpoints the engine's ledgers (see
+    /// [`crate::engine::RefineEngine::checkpoint`]).
+    pub fn checkpoint(&self) -> crate::engine::EngineCheckpoint {
+        self.engine.lock().checkpoint()
+    }
+
+    /// Answers a per-vertex query from the frontier: point estimate plus the
+    /// Bernstein confidence interval at the tenant's δ. Lock- and
+    /// allocation-free.
+    pub fn vertex_estimate(&self, v: NodeId) -> Result<VertexEstimate, QueryError> {
+        if (v as usize) >= self.g.num_nodes() {
+            return Err(QueryError::BadVertex);
+        }
+        let j = self.perm.to_new(v);
+        let read =
+            self.cache.read_vertex(j as usize).ok_or(QueryError::NotReady { achieved: 1.0 })?;
+        let b = read.count as f64 / read.tau.max(1) as f64;
+        let f = f_bound(b, self.calibration.delta_l[j as usize], self.omega, read.tau);
+        let g = g_bound(b, self.calibration.delta_u[j as usize], self.omega, read.tau);
+        Ok(VertexEstimate {
+            vertex: v,
+            estimate: b,
+            lower: (b - f).max(0.0),
+            upper: (b + g).min(1.0),
+            eps: read.eps,
+            tau: read.tau,
+            round: read.round,
+        })
+    }
+
+    /// Answers a full-vector query at accuracy `eps` from the matching
+    /// *frozen stage* (never the moving frontier), so repeated calls are
+    /// bit-identical regardless of concurrent refinement. `out` is filled in
+    /// original (pre-relabel) vertex order.
+    pub fn estimate_into(
+        &self,
+        eps: f64,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<EstimateMeta, QueryError> {
+        let stage =
+            self.cache.stage_for(eps).ok_or(QueryError::UnsatisfiableEps { floor: self.floor })?;
+        if !self.cache.read_stage_into(stage, &mut scratch.stage) {
+            return Err(QueryError::NotReady { achieved: self.achieved_eps() });
+        }
+        let n = self.g.num_nodes();
+        if out.len() != n {
+            out.resize(n, 0.0);
+        }
+        let tau = scratch.stage.tau.max(1) as f64;
+        for (j, &c) in scratch.stage.counts.iter().enumerate() {
+            out[self.perm.to_old(j as NodeId) as usize] = c as f64 / tau;
+        }
+        Ok(EstimateMeta {
+            eps: self.cache.stage_eps(stage),
+            tau: scratch.stage.tau,
+            round: scratch.stage.round,
+        })
+    }
+
+    /// Answers a top-k query from the frontier. Ties break like
+    /// `BetweennessResult::top_k`: descending score, then ascending original
+    /// vertex id. `out` receives `(vertex, score)` pairs.
+    pub fn topk_into(
+        &self,
+        k: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<(NodeId, f64)>,
+    ) -> Result<EstimateMeta, QueryError> {
+        if !self.cache.read_frontier_into(&mut scratch.frontier) {
+            return Err(QueryError::NotReady { achieved: 1.0 });
+        }
+        let n = self.g.num_nodes();
+        let counts = &scratch.frontier.counts;
+        let perm = &self.perm;
+        for (i, slot) in scratch.idx.iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        scratch.idx.sort_unstable_by(|&a, &b| {
+            counts[b as usize]
+                .cmp(&counts[a as usize])
+                .then_with(|| perm.to_old(a).cmp(&perm.to_old(b)))
+        });
+        let tau = scratch.frontier.tau.max(1) as f64;
+        out.clear();
+        for &j in scratch.idx.iter().take(k.min(n)) {
+            out.push((perm.to_old(j), counts[j as usize] as f64 / tau));
+        }
+        Ok(EstimateMeta {
+            eps: scratch.frontier.eps,
+            tau: scratch.frontier.tau,
+            round: scratch.frontier.round,
+        })
+    }
+}
+
+#[cfg(all(test, not(feature = "loom")))]
+mod tests {
+    use super::*;
+    use kadabra_graph::generators::{grid, GridConfig};
+
+    fn small_tenant(seed: u64) -> (Tenant, Telemetry) {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let tel = Telemetry::stats_only();
+        let cfg = TenantConfig { warmup_rounds: 2, ..TenantConfig::new(seed) };
+        let t = Tenant::build("grid", &g, &cfg, &tel);
+        (t, tel)
+    }
+
+    #[test]
+    fn warmup_makes_the_frontier_readable() {
+        let (t, _tel) = small_tenant(3);
+        assert!(t.achieved_eps() < 1.0, "warmup must publish a frontier");
+        let v = t.vertex_estimate(12).expect("frontier answer");
+        assert!(v.tau > 0);
+        assert!(v.lower <= v.estimate && v.estimate <= v.upper);
+    }
+
+    #[test]
+    fn bad_vertex_is_rejected() {
+        let (t, _tel) = small_tenant(3);
+        assert!(matches!(t.vertex_estimate(10_000), Err(QueryError::BadVertex)));
+    }
+
+    #[test]
+    fn estimate_requires_a_frozen_stage() {
+        let (t, tel) = small_tenant(4);
+        let mut scratch = QueryScratch::new(t.num_vertices());
+        let mut out = Vec::new();
+        // ε tighter than the floor is unsatisfiable by construction.
+        assert!(matches!(
+            t.estimate_into(0.001, &mut scratch, &mut out),
+            Err(QueryError::UnsatisfiableEps { .. })
+        ));
+        // Refine to the coarsest stage, which must then answer.
+        let w = tel.writer(7, 0);
+        let outcome = t.refine(t.schedule()[0], 64, &tel, &w);
+        assert!(outcome.achieved <= t.schedule()[0]);
+        let meta = t.estimate_into(t.schedule()[0], &mut scratch, &mut out).expect("stage frozen");
+        assert_eq!(out.len(), t.num_vertices());
+        assert!(meta.tau > 0);
+        let sum: f64 = out.iter().sum();
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn topk_is_sorted_and_tie_broken() {
+        let (t, tel) = small_tenant(5);
+        let w = tel.writer(7, 0);
+        t.refine(0.25, 64, &tel, &w);
+        let mut scratch = QueryScratch::new(t.num_vertices());
+        let mut top = Vec::new();
+        let meta = t.topk_into(10, &mut scratch, &mut top).expect("frontier ready");
+        assert_eq!(top.len(), 10);
+        assert!(meta.tau > 0);
+        for pair in top.windows(2) {
+            let ((va, sa), (vb, sb)) = (pair[0], pair[1]);
+            assert!(sa > sb || (sa == sb && va < vb), "order violated: {pair:?}");
+        }
+    }
+}

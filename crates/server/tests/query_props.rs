@@ -1,0 +1,118 @@
+//! Property tests of the query/refine interface: for random seeds and
+//! random query/refine interleavings, frozen-stage answers must be
+//! bit-identical across servers that served different query traffic, and
+//! every answer must stay within its reported accuracy of a from-scratch
+//! Brandes oracle.
+//!
+//! Cases are few but each boots two full service fixtures; the value is in
+//! the randomized interleaving coordinates, not the case count.
+
+use kadabra_server::testkit::{boot, corpus_graph, TENANT};
+use kadabra_server::{Client, QueryError, QueryScratch, Server};
+use proptest::prelude::*;
+
+/// Exact betweenness for the fixture graph at `seed`.
+fn oracle(seed: u64) -> Vec<f64> {
+    kadabra_baselines::brandes(&corpus_graph(seed))
+}
+
+/// Issues `burst` assorted read queries; every answer must be self-
+/// consistent and within its *reported* ε of the oracle.
+fn query_burst(c: &Client, sc: &mut QueryScratch, exact: &[f64], burst: usize, probe: usize) {
+    let n = exact.len();
+    let mut scores = Vec::new();
+    let mut top = Vec::new();
+    for q in 0..burst {
+        let v = ((probe + 7 * q) % n) as u32;
+        match c.vertex(TENANT, v) {
+            Ok(est) => {
+                assert!(est.lower <= est.estimate && est.estimate <= est.upper);
+                let err = (est.estimate - exact[v as usize]).abs();
+                assert!(err <= est.eps, "vertex {v}: err {err} > reported eps {}", est.eps);
+            }
+            Err(QueryError::NotReady { .. }) => {}
+            Err(e) => panic!("unexpected query error: {e}"),
+        }
+        if q % 3 == 0 {
+            if let Ok(meta) = c.topk_into(TENANT, 5, sc, &mut top) {
+                assert_eq!(top.len(), 5);
+                assert!(meta.tau > 0);
+            }
+        }
+        if q % 4 == 0 {
+            if let Ok(meta) = c.estimate_into(TENANT, 0.5, sc, &mut scores) {
+                let worst =
+                    scores.iter().zip(exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
+                assert!(worst <= meta.eps, "stage answer err {worst} > {}", meta.eps);
+            }
+        }
+    }
+}
+
+/// Refines stage by stage with query bursts in between, then returns every
+/// frozen-stage vector (as f64 bits, for exact comparison).
+fn serve_interleaved(
+    server: &Server,
+    exact: &[f64],
+    bursts: [usize; 4],
+    probe: usize,
+) -> Vec<Vec<u64>> {
+    let c = server.client();
+    let mut sc = c.scratch(TENANT).expect("fixture tenant");
+    let schedule = server.tenant(TENANT).expect("fixture tenant").schedule();
+    let mut frozen = Vec::new();
+    let mut scores = Vec::new();
+    for (i, &eps) in schedule.iter().enumerate() {
+        query_burst(&c, &mut sc, exact, bursts[i % bursts.len()], probe + i);
+        c.refine(TENANT, eps, 256).expect("schedule stage is reachable");
+        let meta = c.estimate_into(TENANT, eps, &mut sc, &mut scores).expect("stage frozen");
+        assert!(meta.eps <= eps);
+        frozen.push(scores.iter().map(|s| s.to_bits()).collect());
+    }
+    frozen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Two servers at the same seed, fed *different* query interleavings,
+    /// must freeze bit-identical stage answers — queries are invisible to
+    /// the sampling schedule. Every answer along the way must satisfy its
+    /// reported accuracy against the Brandes oracle.
+    #[test]
+    fn query_interleavings_are_invisible_to_frozen_answers(
+        seed in 0u64..32,
+        burst_a in 0usize..6,
+        burst_b in 0usize..6,
+        probe in 0usize..32,
+    ) {
+        let exact = oracle(seed);
+        let a = boot(seed);
+        let b = boot(seed);
+        let frozen_a =
+            serve_interleaved(&a, &exact, [burst_a, 0, burst_a + 2, 1], probe);
+        let frozen_b =
+            serve_interleaved(&b, &exact, [burst_b, burst_b + 1, 0, 3], probe + 13);
+        prop_assert_eq!(
+            frozen_a,
+            frozen_b,
+            "frozen stages diverged under different query traffic (seed {})",
+            seed
+        );
+    }
+
+    /// Refine is idempotent at an already-met target: zero extra rounds, and
+    /// the frontier's answers do not move.
+    #[test]
+    fn refine_at_met_target_is_a_no_op(seed in 0u64..32) {
+        let s = boot(seed);
+        let c = s.client();
+        let out1 = c.refine(TENANT, 0.3, 256).expect("reachable");
+        let before = s.tenant(TENANT).expect("tenant").cache().publish_count();
+        let out2 = c.refine(TENANT, 0.3, 256).expect("already met");
+        prop_assert_eq!(out2.rounds_run, 0);
+        prop_assert_eq!(out2.tau, out1.tau);
+        let after = s.tenant(TENANT).expect("tenant").cache().publish_count();
+        prop_assert_eq!(before, after, "a no-op refine must not publish");
+    }
+}

@@ -103,11 +103,19 @@ id_enum! {
         /// Shrink-and-continue recovery after a rank failure: communicator
         /// shrink plus the ledger all-reduce rebuilding the global state.
         Recovery = (11, "recovery"),
+        /// One served query (estimate / top-k / vertex) in `kadabra-server`,
+        /// admission to reply (DESIGN.md §13).
+        Query = (12, "query"),
+        /// One accuracy-on-deadline refinement request in `kadabra-server`.
+        Refine = (13, "refine"),
+        /// One estimate-cache publication (frontier flip or stage freeze)
+        /// by the server's sampler pool.
+        CachePublish = (14, "cache_publish"),
     }
 }
 
 /// Number of distinct [`SpanId`]s (arrays in the recorder are this long).
-pub const N_SPANS: usize = 12;
+pub const N_SPANS: usize = 15;
 
 id_enum! {
     /// Counter identities.
@@ -127,11 +135,16 @@ id_enum! {
         P2pDelivered = (5, "p2p_delivered"),
         /// Ranks declared dead and excluded by a communicator shrink.
         RanksLost = (6, "ranks_lost"),
+        /// Queries answered by `kadabra-server` (estimate, top-k, vertex,
+        /// refine — anything that produced a reply).
+        QueriesServed = (7, "queries_served"),
+        /// Queries load-shed by admission control (in-flight or queue cap).
+        QueriesShed = (8, "queries_shed"),
     }
 }
 
 /// Number of distinct [`CounterId`]s.
-pub const N_COUNTERS: usize = 7;
+pub const N_COUNTERS: usize = 9;
 
 id_enum! {
     /// Instantaneous-marker identities (mpisim engine events).

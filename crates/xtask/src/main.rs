@@ -98,11 +98,14 @@
 //! # `cargo xtask bench --smoke`
 //!
 //! Runs the `bench_smoke` binary (a tiny instance through the sequential,
-//! flat-MPI and epoch-MPI drivers), which writes `BENCH_smoke.json` to the
-//! repo root, then validates the artifact against the `kadabra-bench/v1`
-//! schema — including the value-range checks (nonzero samples/sec,
-//! reduction-overlap fraction in [0, 1]). A required CI job, so schema
-//! drift fails the PR that causes it, not a plotting script later.
+//! flat-MPI and epoch-MPI drivers) and the `bench_server` binary (the
+//! resident service's query path, which self-gates ≥ 1k queries/s and an
+//! allocation-free cache read path), writing `BENCH_smoke.json` and
+//! `BENCH_server.json` to the repo root, then validates both artifacts
+//! against the `kadabra-bench/v1` schema — including the value-range
+//! checks (nonzero samples/sec, reduction-overlap fraction in [0, 1]). A
+//! required CI job, so schema drift fails the PR that causes it, not a
+//! plotting script later.
 //!
 //! # `cargo xtask bench --kernel [--check]`
 //!
@@ -147,11 +150,11 @@ fn main() -> ExitCode {
                  [--write-baseline] accept current findings into lint-baseline.json\n         \
                  [--legacy] run the original line-lexer rules instead\n  \
                  deny   supply-chain gate via cargo-deny, config in deny.toml (skips if absent)\n  \
-                 loom   model-check the epoch protocol + telemetry recorder (stable)\n  \
+                 loom   model-check the epoch protocol + telemetry recorder + server cache (stable)\n  \
                  tsan   run concurrency tests under ThreadSanitizer (nightly + rust-src)\n  \
                  miri   run epoch tests under Miri (nightly + miri component)\n  \
                  chaos  run the chaos conformance suite [--plans N] [--crashes N] (stable)\n  \
-                 bench  --smoke: emit and schema-validate BENCH_smoke.json (stable)\n         \
+                 bench  --smoke: emit and schema-validate BENCH_smoke.json + BENCH_server.json (stable)\n         \
                  --kernel [--check]: sampling-kernel perf baseline / regression gate"
             );
             ExitCode::from(2)
@@ -854,8 +857,8 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
 
 fn cmd_loom() -> ExitCode {
     println!(
-        "xtask loom: model-checking the epoch protocol and the telemetry recorder \
-         (stable toolchain)"
+        "xtask loom: model-checking the epoch protocol, the telemetry recorder, and the \
+         server's estimate-cache seqlock (stable toolchain)"
     );
     let root = workspace_root();
     if !run_ok(
@@ -865,9 +868,16 @@ fn cmd_loom() -> ExitCode {
     ) {
         return ExitCode::FAILURE;
     }
-    run_stream(
+    if !run_ok(
         Command::new("cargo")
             .args(["test", "-p", "kadabra-telemetry", "--features", "loom", "--test", "loom"])
+            .current_dir(&root),
+    ) {
+        return ExitCode::FAILURE;
+    }
+    run_stream(
+        Command::new("cargo")
+            .args(["test", "-p", "kadabra-server", "--features", "loom", "--test", "loom"])
             .current_dir(root),
     )
 }
@@ -903,37 +913,44 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 
 fn cmd_bench_smoke() -> ExitCode {
     let root = workspace_root();
-    println!("xtask bench: running the smoke benchmark (release mode)");
-    if !run_ok(
-        Command::new("cargo")
-            .args(["run", "--release", "-p", "kadabra-bench", "--bin", "bench_smoke"])
-            .env("KADABRA_RESULTS_DIR", &root)
-            .current_dir(&root),
-    ) {
-        return ExitCode::FAILURE;
-    }
-    let path = root.join("BENCH_smoke.json");
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("xtask bench: cannot read {}: {e}", path.display());
+    // `bench_server` additionally self-gates its acceptance numbers (≥ 1k
+    // queries/s, zero cache-read allocations), so a degraded service build
+    // fails the run before validation starts.
+    for bin in ["bench_smoke", "bench_server"] {
+        println!("xtask bench: running the {bin} benchmark (release mode)");
+        if !run_ok(
+            Command::new("cargo")
+                .args(["run", "--release", "-p", "kadabra-bench", "--bin", bin])
+                .env("KADABRA_RESULTS_DIR", &root)
+                .current_dir(&root),
+        ) {
             return ExitCode::FAILURE;
         }
-    };
-    match kadabra_telemetry::validate_json(&text) {
-        Ok(name) => {
-            println!(
-                "xtask bench: {} is schema-valid ({}, artifact `{name}`)",
-                path.display(),
-                kadabra_telemetry::BENCH_SCHEMA
-            );
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("xtask bench: {} violates the schema: {e}", path.display());
-            ExitCode::FAILURE
+    }
+    for artifact in ["BENCH_smoke.json", "BENCH_server.json"] {
+        let path = root.join(artifact);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask bench: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match kadabra_telemetry::validate_json(&text) {
+            Ok(name) => {
+                println!(
+                    "xtask bench: {} is schema-valid ({}, artifact `{name}`)",
+                    path.display(),
+                    kadabra_telemetry::BENCH_SCHEMA
+                );
+            }
+            Err(e) => {
+                eprintln!("xtask bench: {} violates the schema: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
         }
     }
+    ExitCode::SUCCESS
 }
 
 /// Throughput the `--check` gate tolerates losing relative to the committed

@@ -1,0 +1,57 @@
+//! Centrality as a service: load a graph as a resident tenant, let the
+//! server refine it in the background, and answer queries from the shared
+//! estimate cache — including a live socket round-trip.
+//!
+//! Run: `cargo run --release --example serve`
+
+use kadabra_mpi::graph::components::largest_component;
+use kadabra_mpi::graph::generators::{rmat, RmatConfig};
+use kadabra_mpi::server::{Server, ServerConfig, TenantConfig};
+use std::io::{BufRead, BufReader, Write};
+
+fn main() {
+    // 1. A resident server; background refinement drives every tenant
+    //    toward its schedule floor while queries are being answered.
+    let server = Server::new(ServerConfig::default());
+
+    // 2. Load a tenant: a named graph plus its accuracy schedule. Each
+    //    entry of `schedule` becomes a frozen ε-stage — once refinement
+    //    reaches it, `estimate` answers at that stage are bit-stable.
+    let (social, _) = largest_component(&rmat(RmatConfig::graph500(10, 8, 7)));
+    let cfg = TenantConfig { schedule: vec![0.1, 0.05, 0.025], ..TenantConfig::new(7) };
+    server.add_tenant("social", &social, &cfg);
+
+    // 3. Query in-process. `refine` is accuracy-on-deadline: it returns as
+    //    soon as the requested ε is met (here: the 0.05 stage).
+    let client = server.client();
+    let outcome = client.refine("social", 0.05, 64).expect("0.05 is on the schedule");
+    println!(
+        "refined to ε = {:.4} in {} round(s), τ = {} samples, {} sampler ranks live",
+        outcome.achieved, outcome.rounds_run, outcome.tau, outcome.live
+    );
+
+    let est = client.vertex("social", 0).expect("frontier published");
+    println!(
+        "vertex 0: betweenness ≈ {:.5} ∈ [{:.5}, {:.5}] (ε = {:.4}, round {})",
+        est.estimate, est.lower, est.upper, est.eps, est.round
+    );
+
+    let mut scratch = client.scratch("social").expect("tenant exists");
+    let mut top = Vec::new();
+    let meta = client.topk_into("social", 5, &mut scratch, &mut top).expect("frontier");
+    println!("top 5 at ε = {:.4}:", meta.eps);
+    for (v, score) in &top {
+        println!("  vertex {v:>6}: {score:.5}");
+    }
+
+    // 4. The same service over a socket: one line-delimited JSON request
+    //    per query, one JSON reply per line.
+    let sock = server.listen("127.0.0.1:0").expect("bind");
+    let mut conn = std::net::TcpStream::connect(sock.addr()).expect("connect");
+    conn.write_all(b"{\"op\":\"vertex\",\"tenant\":\"social\",\"v\":0}\n").expect("send");
+    let mut reply = String::new();
+    BufReader::new(conn.try_clone().expect("clone")).read_line(&mut reply).expect("recv");
+    println!("wire reply: {}", reply.trim_end());
+
+    server.shutdown();
+}

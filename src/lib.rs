@@ -19,6 +19,8 @@
 //! * [`core`] — the KADABRA algorithms themselves ([`kadabra_core`]).
 //! * [`baselines`] — Brandes exact betweenness and non-adaptive samplers
 //!   ([`kadabra_baselines`]).
+//! * [`server`] — the resident multi-tenant centrality service
+//!   ([`kadabra_server`]).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -63,6 +65,7 @@ pub use kadabra_core as core;
 pub use kadabra_epoch as epoch;
 pub use kadabra_graph as graph;
 pub use kadabra_mpisim as mpisim;
+pub use kadabra_server as server;
 pub use kadabra_telemetry as telemetry;
 
 /// Workspace version, for experiment logs.

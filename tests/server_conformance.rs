@@ -1,0 +1,167 @@
+//! Service-level conformance suite (ISSUE 7, satellite): answers served
+//! from the resident `kadabra-server` estimate cache must agree — within
+//! the accuracies both sides report — with a from-scratch driver run and
+//! with exact Brandes, and the whole service history must be
+//! bit-reproducible from its seed under the determinism-matrix discipline
+//! (same fixture seed ⇒ same frozen stages, same frontier, same rankings,
+//! regardless of query traffic).
+
+use kadabra_mpi::baselines::brandes;
+use kadabra_mpi::core::{kadabra_mpi_flat, KadabraConfig};
+use kadabra_mpi::server::testkit::{boot, corpus_graph, TENANT};
+use kadabra_mpi::server::{Client, QueryScratch, Server};
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+/// Refines the fixture tenant through its full schedule and returns the
+/// client plus a scratch for it.
+fn refine_to_floor(server: &Server) -> (Client, QueryScratch) {
+    let c = server.client();
+    let sc = c.scratch(TENANT).expect("fixture tenant");
+    let floor = server.tenant(TENANT).expect("fixture tenant").floor_eps();
+    c.refine(TENANT, floor, 256).expect("floor is reachable");
+    (c, sc)
+}
+
+/// Every frozen stage the service hands out must honor the accuracy it
+/// reports against exact Brandes, and agree with a from-scratch driver run
+/// of the same sampling algorithm within the *sum* of the two reported
+/// accuracies (the triangle bound — the two runs draw different paths).
+#[test]
+fn cached_answers_match_a_from_scratch_driver_run_within_eps() {
+    let seed = 11;
+    let g = corpus_graph(seed);
+    let exact = brandes(&g);
+
+    let server = boot(seed);
+    let (c, mut sc) = refine_to_floor(&server);
+    let schedule = server.tenant(TENANT).expect("tenant").schedule();
+
+    // The independent driver run: same graph, fresh sampling from scratch.
+    let driver_eps = 0.08;
+    let cfg = KadabraConfig {
+        epsilon: driver_eps,
+        delta: 0.1,
+        seed: seed ^ 0x5eed,
+        ..Default::default()
+    };
+    let driver = kadabra_mpi_flat(&g, &cfg, 3);
+    assert!(max_abs_diff(&driver.scores, &exact) <= driver_eps, "driver run out of spec");
+
+    let mut scores = Vec::new();
+    for &eps in &schedule {
+        let meta = c.estimate_into(TENANT, eps, &mut sc, &mut scores).expect("stage frozen");
+        assert!(meta.eps <= eps, "stage froze above its target: {} > {eps}", meta.eps);
+        let vs_exact = max_abs_diff(&scores, &exact);
+        assert!(vs_exact <= meta.eps, "stage ε={eps}: err {vs_exact} > reported {}", meta.eps);
+        let vs_driver = max_abs_diff(&scores, &driver.scores);
+        assert!(
+            vs_driver <= meta.eps + driver_eps,
+            "stage ε={eps}: cache vs driver {vs_driver} > {} + {driver_eps}",
+            meta.eps
+        );
+    }
+}
+
+/// Per-vertex reads: the point estimate must sit inside its own confidence
+/// interval, the interval must bracket exact Brandes (the Bernstein bounds
+/// are conservative, so this holds deterministically at the fixture seeds),
+/// and its half-width is capped by the reported ε.
+#[test]
+fn vertex_confidence_intervals_bracket_the_exact_value() {
+    for seed in [5u64, 11, 29] {
+        let g = corpus_graph(seed);
+        let exact = brandes(&g);
+        let server = boot(seed);
+        let (c, _) = refine_to_floor(&server);
+        for (v, &b) in exact.iter().enumerate() {
+            let est = c.vertex(TENANT, v as u32).expect("frontier published");
+            assert!(est.lower <= est.estimate && est.estimate <= est.upper);
+            assert!(
+                est.lower <= b && b <= est.upper,
+                "seed {seed} v{v}: CI [{}, {}] misses exact {b}",
+                est.lower,
+                est.upper
+            );
+            assert!((est.estimate - b).abs() <= est.eps);
+        }
+    }
+}
+
+/// The served top-k must agree with the oracle on what the heavy vertices
+/// are: every served top-k estimate is within ε of its vertex's exact
+/// score, and every vertex the oracle puts clearly above the served
+/// cut (by > 2ε) is in the served set.
+#[test]
+fn topk_rankings_agree_with_the_oracle_up_to_eps() {
+    let seed = 17;
+    let g = corpus_graph(seed);
+    let exact = brandes(&g);
+    let server = boot(seed);
+    let (c, mut sc) = refine_to_floor(&server);
+
+    let k = 8;
+    let mut top = Vec::new();
+    let meta = c.topk_into(TENANT, k, &mut sc, &mut top).expect("frontier published");
+    assert_eq!(top.len(), k);
+    for &(v, score) in &top {
+        assert!(
+            (score - exact[v as usize]).abs() <= meta.eps,
+            "top-k vertex {v}: served {score} vs exact {} > ε {}",
+            exact[v as usize],
+            meta.eps
+        );
+    }
+    let served: Vec<u32> = top.iter().map(|&(v, _)| v).collect();
+    let cut = top.last().expect("k > 0").1;
+    for (v, &b) in exact.iter().enumerate() {
+        if b > cut + 2.0 * meta.eps {
+            assert!(
+                served.contains(&(v as u32)),
+                "oracle-heavy vertex {v} (exact {b}) missing from served top-{k} (cut {cut})"
+            );
+        }
+    }
+}
+
+/// Determinism-matrix discipline for the service: two servers booted at the
+/// same seed and refined through the schedule must expose bit-identical
+/// frozen stages, an identical frontier `(counts, τ, round)`, identical
+/// top-k rankings, and bit-identical per-vertex estimates. Run over a seed
+/// matrix so a nondeterminism regression names the seed that broke.
+#[test]
+fn service_history_is_bit_reproducible_from_its_seed() {
+    for seed in [3u64, 11, 23] {
+        let a = boot(seed);
+        let b = boot(seed);
+        let (ca, mut sa) = refine_to_floor(&a);
+        let (cb, mut sb) = refine_to_floor(&b);
+        let schedule = a.tenant(TENANT).expect("tenant").schedule();
+
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        for &eps in &schedule {
+            let ma = ca.estimate_into(TENANT, eps, &mut sa, &mut va).expect("stage frozen");
+            let mb = cb.estimate_into(TENANT, eps, &mut sb, &mut vb).expect("stage frozen");
+            let bits_a: Vec<u64> = va.iter().map(|s| s.to_bits()).collect();
+            let bits_b: Vec<u64> = vb.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "seed {seed} stage ε={eps}: frozen bits diverged");
+            assert_eq!((ma.eps, ma.tau, ma.round), (mb.eps, mb.tau, mb.round));
+        }
+
+        let (mut ta, mut tb) = (Vec::new(), Vec::new());
+        let ma = ca.topk_into(TENANT, 10, &mut sa, &mut ta).expect("frontier");
+        let mb = cb.topk_into(TENANT, 10, &mut sb, &mut tb).expect("frontier");
+        assert_eq!(ta, tb, "seed {seed}: top-k diverged");
+        assert_eq!((ma.tau, ma.round), (mb.tau, mb.round), "seed {seed}: frontier meta diverged");
+
+        let n = a.tenant(TENANT).expect("tenant").num_vertices();
+        for v in 0..n as u32 {
+            let ea = ca.vertex(TENANT, v).expect("frontier");
+            let eb = cb.vertex(TENANT, v).expect("frontier");
+            assert_eq!(ea.estimate.to_bits(), eb.estimate.to_bits(), "seed {seed} v{v}");
+            assert_eq!((ea.tau, ea.round), (eb.tau, eb.round));
+        }
+    }
+}
