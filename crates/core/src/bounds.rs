@@ -24,6 +24,8 @@
 //! τ reaches ω the algorithm may stop unconditionally with the same
 //! guarantee.
 
+use crate::calibration::Calibration;
+
 /// Static maximum number of samples ω for error `eps`, failure probability
 /// `delta`, and vertex-diameter upper bound `vertex_diameter`.
 pub fn omega(c: f64, eps: f64, delta: f64, vertex_diameter: u32) -> u64 {
@@ -88,6 +90,27 @@ pub fn stopping_condition(
         let b = c as f64 / tau_f;
         f_bound(b, delta_l[v], omega, tau) < eps && g_bound(b, delta_u[v], omega, tau) < eps
     })
+}
+
+/// The accuracy a consistent `(counts, tau)` frame supports: the worst
+/// per-vertex Bernstein bound under the calibrated δ budgets. 1.0 before any
+/// sample lands.
+pub fn achieved_epsilon(counts: &[u64], tau: u64, omega: u64, calibration: &Calibration) -> f64 {
+    if tau == 0 {
+        return 1.0;
+    }
+    let tau_f = tau as f64;
+    let mut worst = 0.0f64;
+    for (v, &c) in counts.iter().enumerate() {
+        let b = c as f64 / tau_f;
+        worst = worst.max(f_bound(b, calibration.delta_l[v], omega, tau)).max(g_bound(
+            b,
+            calibration.delta_u[v],
+            omega,
+            tau,
+        ));
+    }
+    worst.min(1.0)
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ pub mod naive;
 pub mod phases;
 pub mod recovery;
 pub mod result;
+pub mod revalidate;
 pub mod sampler;
 pub mod sequential;
 pub mod shared;
@@ -42,7 +43,7 @@ pub mod topk;
 pub mod variants;
 pub mod variants_parallel;
 
-pub use bounds::{f_bound, g_bound, omega};
+pub use bounds::{achieved_epsilon, f_bound, g_bound, omega};
 pub use calibration::Calibration;
 pub use chaos::{kadabra_epoch_mpi_observed, kadabra_mpi_flat_observed, ChaosOptions, ChaosReport};
 pub use config::{ClusterShape, KadabraConfig};
@@ -52,6 +53,7 @@ pub use naive::kadabra_naive_parallel;
 pub use phases::{prepare, Prepared};
 pub use recovery::{shrink_and_rebuild, CheckpointError, SampleLedger};
 pub use result::{BetweennessResult, PhaseTimings, SamplingStats};
+pub use revalidate::{resample_invalidated, ResampleScratch, ValidityBitmap};
 pub use sampler::ThreadSampler;
 pub use sequential::{kadabra_sequential, kadabra_sequential_traced};
 pub use shared::{kadabra_shared, kadabra_shared_traced, phase_timings_from, sampling_stats_from};

@@ -69,6 +69,20 @@ impl SampleLedger {
         }
     }
 
+    /// Retracts a frame of previously confirmed mass — the inverse of
+    /// [`SampleLedger::confirm`], used by the streaming-update path when a
+    /// retained sample is invalidated by an edge batch and its interior
+    /// counts must leave the checkpoint before the redrawn replacement is
+    /// confirmed. Every element of `frame` must be ≤ the ledger's current
+    /// value (a rank only ever retracts mass it confirmed itself).
+    pub fn retract(&mut self, frame: &[u64]) {
+        debug_assert_eq!(frame.len(), self.frame.len());
+        for (a, &x) in self.frame.iter_mut().zip(frame) {
+            debug_assert!(*a >= x, "retracting mass the ledger never confirmed");
+            *a -= x;
+        }
+    }
+
     /// The accumulated checkpoint frame.
     pub fn frame(&self) -> &[u64] {
         &self.frame

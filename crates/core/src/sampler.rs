@@ -10,13 +10,15 @@
 //! scratch buffer, so at steady state a sample allocates nothing.
 
 use kadabra_graph::bibfs::{sample_shortest_path_into, SearchStats};
-use kadabra_graph::{Graph, NodeId, TraversalScratch};
+use kadabra_graph::{GraphView, NodeId, TraversalScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// SplitMix64 finalizer — mixes the master seed with stream coordinates so
-/// that each (rank, thread) gets a decorrelated RNG stream.
-fn mix_seed(seed: u64, rank: u64, thread: u64) -> u64 {
+/// that each (rank, thread) gets a decorrelated RNG stream. Public so
+/// auxiliary deterministic streams (e.g. the dynamic-update redraw streams)
+/// can derive decorrelated seeds from the same coordinates.
+pub fn mix_seed(seed: u64, rank: u64, thread: u64) -> u64 {
     let mut z = seed
         .wrapping_add(rank.wrapping_mul(0x9E37_79B9_7F4A_7C15))
         .wrapping_add(thread.wrapping_mul(0xBF58_476D_1CE4_E5B9));
@@ -72,7 +74,7 @@ impl ThreadSampler {
     /// vertices (empty for adjacent pairs **and** for disconnected pairs —
     /// KADABRA counts a sample of a disconnected pair as a path with no
     /// interior, keeping `b̃` an unbiased estimator on disconnected graphs).
-    pub fn sample(&mut self, g: &Graph) -> &[NodeId] {
+    pub fn sample<G: GraphView>(&mut self, g: &G) -> &[NodeId] {
         debug_assert_eq!(g.num_nodes(), self.n);
         let (s, t) = self.draw_pair();
         let _ =
@@ -90,7 +92,12 @@ impl ThreadSampler {
     /// distribution is identical to `k` calls of `sample` (every draw is
     /// independent), only the order in which the stream is consumed differs,
     /// which the `(ε, δ)` guarantee is insensitive to (DESIGN.md §11).
-    pub fn sample_batch<F: FnMut(&[NodeId])>(&mut self, g: &Graph, k: u64, mut consume: F) {
+    pub fn sample_batch<G: GraphView, F: FnMut(&[NodeId])>(
+        &mut self,
+        g: &G,
+        k: u64,
+        mut consume: F,
+    ) {
         debug_assert_eq!(g.num_nodes(), self.n);
         self.pairs.clear();
         self.pairs.reserve(k as usize);
@@ -111,6 +118,41 @@ impl ThreadSampler {
                 &mut self.stats,
             );
             consume(&self.scratch.path);
+        }
+        self.pairs = pairs;
+        self.samples_taken += k;
+    }
+
+    /// Like [`ThreadSampler::sample_batch`], but hands the consumer the full
+    /// sample record — endpoints, shortest distance (`u32::MAX` for a
+    /// disconnected pair), and the interior — so callers that *retain*
+    /// samples (the dynamic-update path store) can later re-validate them.
+    /// Consumes the RNG stream identically to `sample_batch`.
+    pub fn sample_batch_records<G: GraphView, F: FnMut(NodeId, NodeId, u32, &[NodeId])>(
+        &mut self,
+        g: &G,
+        k: u64,
+        mut consume: F,
+    ) {
+        debug_assert_eq!(g.num_nodes(), self.n);
+        self.pairs.clear();
+        self.pairs.reserve(k as usize);
+        for _ in 0..k {
+            let p = self.draw_pair();
+            self.pairs.push(p);
+        }
+        let pairs = std::mem::take(&mut self.pairs);
+        for &(s, t) in &pairs {
+            let info = sample_shortest_path_into(
+                g,
+                s,
+                t,
+                &mut self.scratch,
+                &mut self.rng,
+                &mut self.stats,
+            );
+            let dist = info.map_or(u32::MAX, |i| i.distance);
+            consume(s, t, dist, &self.scratch.path);
         }
         self.pairs = pairs;
         self.samples_taken += k;

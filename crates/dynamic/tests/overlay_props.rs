@@ -1,0 +1,161 @@
+//! Property tests for the streaming-update substrate (DESIGN.md §14):
+//!
+//! * **Overlay ≡ rebuilt CSR** — after any valid batch sequence, the
+//!   [`DynamicGraph`] overlay is traversal-isomorphic to a CSR built from
+//!   scratch on the mutated edge set: identical adjacency, and the
+//!   bidirectional sampler run with the same RNG stream returns identical
+//!   distances, path counts, and interiors on both.
+//! * **Compaction round-trips** — folding the overlay into a fresh CSR
+//!   changes nothing observable: same adjacency before/after, and the
+//!   rebuilt base equals the from-scratch CSR row for row (labeling
+//!   preserved).
+
+use kadabra_dynamic::{DeltaLog, UpdateBatch};
+use kadabra_graph::bibfs::{sample_shortest_path_into, SearchStats};
+use kadabra_graph::csr::graph_from_edges;
+use kadabra_graph::scratch::TraversalScratch;
+use kadabra_graph::{GraphView, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+type EdgeList = Vec<(NodeId, NodeId)>;
+
+/// Strategy: a base edge list over `n` vertices plus a sequence of raw
+/// "toggle" batches (an edge present in the current view is deleted, an
+/// absent one inserted — so every derived batch is valid by construction).
+fn arb_instance() -> impl Strategy<Value = (usize, EdgeList, Vec<EdgeList>)> {
+    (3..20usize).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        (
+            proptest::collection::vec(edge.clone(), 0..40),
+            proptest::collection::vec(proptest::collection::vec(edge, 1..8), 1..5),
+        )
+            .prop_map(move |(base, batches)| (n, base, batches))
+    })
+}
+
+/// Applies the raw toggle batches through the log, mirroring the edge set
+/// in `edges`. Returns the number of batches actually appended.
+fn apply_toggles(
+    log: &mut DeltaLog,
+    edges: &mut BTreeSet<(NodeId, NodeId)>,
+    raw_batches: &[Vec<(NodeId, NodeId)>],
+) -> usize {
+    let mut applied = 0;
+    for raw in raw_batches {
+        let mut seen = BTreeSet::new();
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for &(a, b) in raw {
+            if a == b {
+                continue;
+            }
+            let e = (a.min(b), a.max(b));
+            if !seen.insert(e) {
+                continue;
+            }
+            if edges.remove(&e) {
+                deletes.push(e);
+            } else {
+                edges.insert(e);
+                inserts.push(e);
+            }
+        }
+        if inserts.is_empty() && deletes.is_empty() {
+            continue;
+        }
+        let batch = UpdateBatch::new(inserts, deletes).expect("toggles are structurally valid");
+        log.append(&batch).expect("toggles are valid against the view");
+        applied += 1;
+    }
+    applied
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Overlay traversal is isomorphic to a from-scratch CSR on the
+    /// mutated edge set: same adjacency, and the sampler — driven by the
+    /// same RNG stream — returns bit-identical `(distance, σ, interior)`.
+    #[test]
+    fn overlay_is_traversal_isomorphic_to_rebuilt_csr(
+        (n, base, raw_batches) in arb_instance(),
+        seed in 0u64..1000,
+    ) {
+        let g = graph_from_edges(n, &base);
+        let mut edges: BTreeSet<(NodeId, NodeId)> = g.edges().collect();
+        let mut log = DeltaLog::new(g);
+        apply_toggles(&mut log, &mut edges, &raw_batches);
+
+        let edge_list: Vec<(NodeId, NodeId)> = edges.iter().copied().collect();
+        let rebuilt = graph_from_edges(n, &edge_list);
+        let view = log.view();
+        prop_assert_eq!(view.num_edges(), rebuilt.num_edges());
+        for v in 0..n as NodeId {
+            prop_assert_eq!(view.neighbors(v), rebuilt.neighbors(v), "row {} diverged", v);
+            prop_assert_eq!(view.degree(v), rebuilt.degree(v));
+        }
+
+        // Same RNG stream over both representations: bit-identical draws.
+        let mut sc_a = TraversalScratch::new(n);
+        let mut sc_b = TraversalScratch::new(n);
+        let mut stats = SearchStats::default();
+        for pair_idx in 0..8u64 {
+            let s = ((seed + pair_idx) % n as u64) as NodeId;
+            let t = ((seed + 3 * pair_idx + 1) % n as u64) as NodeId;
+            if s == t {
+                continue;
+            }
+            let mut rng_a = StdRng::seed_from_u64(seed ^ pair_idx);
+            let mut rng_b = StdRng::seed_from_u64(seed ^ pair_idx);
+            let a = sample_shortest_path_into(view, s, t, &mut sc_a, &mut rng_a, &mut stats);
+            let b = sample_shortest_path_into(&rebuilt, s, t, &mut sc_b, &mut rng_b, &mut stats);
+            match (a, b) {
+                (None, None) => {}
+                (Some(ia), Some(ib)) => {
+                    prop_assert_eq!(ia.distance, ib.distance);
+                    prop_assert_eq!(ia.num_paths, ib.num_paths);
+                    prop_assert_eq!(&sc_a.path, &sc_b.path, "sampled interiors diverged");
+                }
+                (a, b) => prop_assert!(false, "connectivity diverged: {:?} vs {:?}",
+                    a.map(|i| i.distance), b.map(|i| i.distance)),
+            }
+        }
+    }
+
+    /// Compaction is invisible: the view's adjacency is unchanged, the
+    /// overlay empties, and the rebuilt base CSR equals the from-scratch
+    /// CSR row for row (same labeling, same offsets-order).
+    #[test]
+    fn compaction_round_trips_to_the_from_scratch_csr(
+        (n, base, raw_batches) in arb_instance(),
+    ) {
+        let g = graph_from_edges(n, &base);
+        let mut edges: BTreeSet<(NodeId, NodeId)> = g.edges().collect();
+        let mut log = DeltaLog::new(g);
+        apply_toggles(&mut log, &mut edges, &raw_batches);
+        let seq_before = log.seq();
+
+        let before: Vec<Vec<NodeId>> =
+            (0..n as NodeId).map(|v| log.view().neighbors(v).to_vec()).collect();
+        log.compact_now();
+
+        prop_assert_eq!(log.view().touched_vertices(), 0);
+        prop_assert_eq!(log.seq(), seq_before, "compaction must not consume a sequence number");
+        let edge_list: Vec<(NodeId, NodeId)> = edges.iter().copied().collect();
+        let expect = graph_from_edges(n, &edge_list);
+        for v in 0..n as NodeId {
+            prop_assert_eq!(log.view().neighbors(v), before[v as usize].as_slice());
+            prop_assert_eq!(log.view().base().neighbors(v), expect.neighbors(v));
+        }
+        prop_assert_eq!(log.view().base().num_edges(), expect.num_edges());
+
+        // A second compaction (through the recycled arena) is idempotent.
+        log.compact_now();
+        for v in 0..n as NodeId {
+            prop_assert_eq!(log.view().neighbors(v), expect.neighbors(v));
+        }
+    }
+}

@@ -31,6 +31,7 @@
 use crate::bfs::sigma_bfs;
 use crate::csr::{Graph, NodeId};
 use crate::scratch::{StampedBfsState, TraversalScratch};
+use crate::view::GraphView;
 use rand::Rng;
 
 /// Outcome of one bidirectional shortest-path sample.
@@ -75,8 +76,8 @@ const STATE_PREFETCH_DIST: usize = 4;
 /// `scratch` must be sized for `g` ([`TraversalScratch::new`] with
 /// `g.num_nodes()`); it is reset internally, so the same scratch can be
 /// reused across samples without reallocation.
-pub fn sample_shortest_path<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn sample_shortest_path<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     s: NodeId,
     t: NodeId,
     scratch: &mut TraversalScratch,
@@ -86,8 +87,8 @@ pub fn sample_shortest_path<R: Rng + ?Sized>(
 }
 
 /// Like [`sample_shortest_path`] but also reports search statistics.
-pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn sample_shortest_path_with_stats<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     s: NodeId,
     t: NodeId,
     scratch: &mut TraversalScratch,
@@ -112,8 +113,8 @@ pub fn sample_shortest_path_with_stats<R: Rng + ?Sized>(
 /// samples have grown the buffers to the working-set size, a call performs no
 /// heap allocation at all — the property the allocation-regression test in
 /// `kadabra-core` pins down.
-pub fn sample_shortest_path_into<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn sample_shortest_path_into<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     s: NodeId,
     t: NodeId,
     scratch: &mut TraversalScratch,
@@ -260,8 +261,8 @@ pub fn sample_shortest_path_into<R: Rng + ?Sized>(
 /// (distance `d - 1`) is chosen with probability `σ(u) / Σ σ`, which makes
 /// the complete walk a uniform draw among the σ(from) shortest root→from
 /// paths.
-fn backtrack<R: Rng + ?Sized>(
-    g: &Graph,
+fn backtrack<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     state: &StampedBfsState,
     from: NodeId,
     root: NodeId,

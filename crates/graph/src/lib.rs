@@ -44,10 +44,12 @@ pub mod prefetch;
 pub mod scratch;
 pub mod stats;
 pub mod sumsweep;
+pub mod view;
 pub mod weighted;
 
 pub use csr::{CsrArena, Graph, GraphBuilder, NodeId, Permutation};
 pub use scratch::TraversalScratch;
+pub use view::GraphView;
 
 /// Convenience result alias used by fallible graph routines (IO, parsing).
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,63 @@
+//! **delta-confinement**: tenant graphs mutate only through the
+//! [`DeltaLog`] API.
+//!
+//! The overlay's mutators (`apply_batch`, `apply_edits`, `compact_into`)
+//! are `pub(crate)` in `kadabra-dynamic`, so the compiler already stops
+//! foreign crates from calling them — but a refactor that widens their
+//! visibility (or adds a convenience re-export) would silently open a
+//! write path that skips validation, sequencing, and the replay history.
+//! This pass guards the boundary at the workspace level: any call to a
+//! mutator outside `crates/dynamic/src` is a finding, whatever the
+//! visibility of the day. The sanctioned idiom is
+//! `DeltaLog::append` + `DeltaLog::maybe_compact` (DESIGN.md §14), which
+//! is what keeps the maintained estimate a pure function of
+//! `(graph, update sequence, config, seed)`.
+//!
+//! [`DeltaLog`]: https://docs.rs/kadabra-dynamic
+
+use super::{call_parens, is_dynamic_path, method_call};
+use crate::lex::TokKind;
+use crate::{Pass, Sink, Workspace};
+
+/// See module docs.
+pub struct DeltaConfinement;
+
+/// Overlay mutators that bypass the delta log's validation and sequencing.
+const MUTATORS: [&str; 3] = ["apply_batch", "apply_edits", "compact_into"];
+
+impl Pass for DeltaConfinement {
+    fn name(&self) -> &'static str {
+        "delta-confinement"
+    }
+    fn hint(&self) -> &'static str {
+        "streaming graph mutation is confined to the DeltaLog (DESIGN.md §14): route edge \
+         updates through `DeltaLog::append` / `maybe_compact` so every batch stays validated, \
+         sequenced, and bit-replayable"
+    }
+    fn run(&self, ws: &Workspace, sink: &mut Sink<'_>) {
+        for file in &ws.files {
+            if file.is_test_path() || is_dynamic_path(&file.rel) {
+                continue;
+            }
+            for i in 0..file.toks.len() {
+                let t = &file.toks[i];
+                if t.kind != TokKind::Ident
+                    || !MUTATORS.contains(&t.text.as_str())
+                    || file.in_test(i)
+                {
+                    continue;
+                }
+                // `view.apply_batch(…)` or `DynamicGraph::apply_batch(view, …)`.
+                let called = method_call(file, i).is_some()
+                    || (i >= 1 && file.is_punct(i - 1, "::") && call_parens(file, i).is_some());
+                if called {
+                    sink.emit(
+                        file,
+                        i,
+                        format!("`{}` mutates a tenant graph outside the DeltaLog API", t.text),
+                    );
+                }
+            }
+        }
+    }
+}

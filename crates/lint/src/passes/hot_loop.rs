@@ -15,7 +15,12 @@
 //!    `read_frontier_into`, `read_vertex`, and `read_stage_into` run on
 //!    every query against the resident service, concurrently with the
 //!    publishing writer; a lock or allocation there turns the wait-free
-//!    seqlock read into a serialization point (DESIGN.md §13).
+//!    seqlock read into a serialization point (DESIGN.md §13);
+//! 4. the streaming-update apply/invalidate kernels in
+//!    `crates/dynamic/src` — `apply_edits` runs per touched overlay row,
+//!    `bfs_distances_into` per swept edge, and `classify_samples` per
+//!    retained sample, so an allocation in any of them multiplies by the
+//!    batch, sweep, or sample population (DESIGN.md §14).
 //!
 //! Banned inside those ranges: constructor allocations (`Vec::new`,
 //! `vec![…]`, `Box::new`, `String::from`, `format!`, `with_capacity`, …),
@@ -26,7 +31,9 @@
 //! pre-sized buffers is the sanctioned idiom, so `.push(…)`, `.reserve(…)`,
 //! and `std::mem::take` stay legal.
 
-use super::{comm_flow::harvest_comm_api, is_core_library_path, is_server_path, method_call};
+use super::{
+    comm_flow::harvest_comm_api, is_core_library_path, is_dynamic_path, is_server_path, method_call,
+};
 use crate::lex::TokKind;
 use crate::{Pass, Sink, SourceFile, Workspace};
 
@@ -38,6 +45,10 @@ const HOT_FNS: [&str; 3] = ["sample_batch", "sample_shortest_path_into", "sample
 
 /// Function names whose bodies are the service's cache read path.
 const SERVER_READ_FNS: [&str; 3] = ["read_frontier_into", "read_vertex", "read_stage_into"];
+
+/// Function names whose bodies are the streaming-update apply/invalidate
+/// kernels in the dynamic crate.
+const DYNAMIC_FNS: [&str; 3] = ["apply_edits", "bfs_distances_into", "classify_samples"];
 
 /// Allocating constructors reached through `Type::method(…)` paths.
 const ALLOC_TYPES: [&str; 6] = ["Vec", "VecDeque", "Box", "String", "HashMap", "HashSet"];
@@ -162,10 +173,13 @@ impl Pass for HotLoopHygiene {
             }
             // Scope 2: the hot-path function bodies in core/graph.
             // Scope 3: the cache read-path bodies in the server crate.
+            // Scope 4: the apply/invalidate kernels in the dynamic crate.
             let scoped_fns: &[&str] = if is_core_library_path(&file.rel) {
                 &HOT_FNS
             } else if is_server_path(&file.rel) {
                 &SERVER_READ_FNS
+            } else if is_dynamic_path(&file.rel) {
+                &DYNAMIC_FNS
             } else {
                 continue;
             };

@@ -7,12 +7,14 @@
 
 mod atomics;
 mod comm_flow;
+mod delta;
 mod determinism;
 mod hot_loop;
 mod legacy;
 
 pub use atomics::AtomicProtocol;
 pub use comm_flow::CommErrorFlow;
+pub use delta::DeltaConfinement;
 pub use determinism::Determinism;
 pub use hot_loop::HotLoopHygiene;
 pub use legacy::{CommPanic, DirectAtomics, Nondeterminism, SeqcstBan, UnwrapBan, Wallclock};
@@ -35,6 +37,7 @@ pub fn all() -> Vec<Box<dyn Pass>> {
         Box::new(AtomicProtocol),
         Box::new(Determinism),
         Box::new(HotLoopHygiene),
+        Box::new(DeltaConfinement),
     ]
 }
 
@@ -68,13 +71,27 @@ pub fn is_server_path(rel: &str) -> bool {
     rel.starts_with("crates/server/src")
 }
 
+/// True for files under `crates/dynamic/src`, where the streaming-update
+/// apply/invalidate kernels live (DESIGN.md §14) — hot-loop scope, and the
+/// only subtree allowed to call the overlay's mutators.
+#[must_use]
+pub fn is_dynamic_path(rel: &str) -> bool {
+    rel.starts_with("crates/dynamic/src")
+}
+
 /// True for the crates whose algorithms must be bit-reproducible from
 /// `(plan, seed)` — the determinism pass scope.
 #[must_use]
 pub fn is_reproducible_crate(rel: &str) -> bool {
-    ["crates/core/src", "crates/epoch/src", "crates/mpisim/src", "crates/graph/src"]
-        .iter()
-        .any(|p| rel.starts_with(p))
+    [
+        "crates/core/src",
+        "crates/epoch/src",
+        "crates/mpisim/src",
+        "crates/graph/src",
+        "crates/dynamic/src",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
 }
 
 /// If token `i` is the name of a method call (`recv . name ( … )`), returns

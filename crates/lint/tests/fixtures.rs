@@ -35,6 +35,7 @@ const CASES: &[(&str, &str, bool)] = &[
     ("atomic-protocol", "crates/demo/src/lib.rs", false),
     ("determinism", "crates/core/src/fixture.rs", false),
     ("hot-loop-hygiene", "crates/core/src/fixture.rs", true),
+    ("delta-confinement", "crates/server/src/fixture.rs", false),
 ];
 
 fn fixtures_root() -> PathBuf {
@@ -133,6 +134,39 @@ fn server_read_path_fixtures_fire_on_exactly_the_marked_lines() {
     assert!(
         hits.is_empty(),
         "server_good.rs produced findings: {:?}",
+        hits.iter().map(|f| (f.line, f.message.as_str())).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn dynamic_kernel_fixtures_fire_on_exactly_the_marked_lines() {
+    // The hot-loop-hygiene pass's fourth scope: the streaming-update
+    // apply/invalidate kernel bodies under `crates/dynamic/src`.
+    // `dynamic_bad.rs` must trip line-exactly; the sanctioned
+    // `dynamic_good.rs` (recycled scratch, in-place edits) must stay clean.
+    let pass = "hot-loop-hygiene";
+    let rel = "crates/dynamic/src/invalidate.rs";
+    let (report, src) = run_case(pass, rel, true, "dynamic_bad");
+    let expected = marker_lines(&src, pass);
+    assert!(!expected.is_empty(), "dynamic_bad.rs carries no //~ markers");
+    let mut got: Vec<u32> =
+        report.active().filter(|f| f.pass == pass && f.file == rel).map(|f| f.line).collect();
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(got, expected, "dynamic kernel findings landed on the wrong lines");
+    for f in report.active().filter(|f| f.pass == pass && f.file == rel) {
+        assert!(
+            f.message.contains("body of `"),
+            "finding must name the kernel body it fired in: {}",
+            f.message
+        );
+    }
+
+    let (clean, _) = run_case(pass, rel, true, "dynamic_good");
+    let hits: Vec<_> = clean.findings.iter().filter(|f| f.pass == pass).collect();
+    assert!(
+        hits.is_empty(),
+        "dynamic_good.rs produced findings: {:?}",
         hits.iter().map(|f| (f.line, f.message.as_str())).collect::<Vec<_>>()
     );
 }

@@ -1,0 +1,19 @@
+//! delta-confinement: overlay mutators called outside `crates/dynamic/src`.
+use kadabra_dynamic::{DynamicGraph, UpdateBatch};
+use kadabra_graph::CsrArena;
+
+/// A tenant "hotfix" that skips the delta log's validation and sequencing.
+pub fn hotfix(view: &mut DynamicGraph, batch: &UpdateBatch) {
+    view.apply_batch(batch); //~ delta-confinement
+}
+
+/// An in-place edit behind the log's back loses the replay history.
+pub fn splice(view: &mut DynamicGraph, batch: &UpdateBatch) {
+    view.apply_edits(batch); //~ delta-confinement
+    DynamicGraph::apply_batch(view, batch); //~ delta-confinement
+}
+
+/// Compacting outside the log desynchronizes its recycled arena.
+pub fn squash(view: &mut DynamicGraph, arena: &mut CsrArena) {
+    view.compact_into(arena); //~ delta-confinement
+}

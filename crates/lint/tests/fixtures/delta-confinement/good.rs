@@ -1,0 +1,14 @@
+//! delta-confinement: the sanctioned write path is the DeltaLog API.
+use kadabra_dynamic::{DeltaLog, UpdateBatch, UpdateError};
+
+/// Every batch goes through the log: validated, sequenced, replayable.
+pub fn update(log: &mut DeltaLog, batch: &UpdateBatch) -> Result<u64, UpdateError> {
+    let seq = log.append(batch)?;
+    log.maybe_compact();
+    Ok(seq)
+}
+
+/// Reading the overlay is unrestricted — only mutation is confined.
+pub fn edge_count(log: &DeltaLog) -> usize {
+    log.view().num_edges()
+}

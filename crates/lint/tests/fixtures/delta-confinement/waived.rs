@@ -1,0 +1,9 @@
+//! delta-confinement: a waived one-shot migration, recorded but suppressed.
+use kadabra_dynamic::{DynamicGraph, UpdateBatch};
+
+/// Provisioning-time bulk load, before the tenant is reachable.
+pub fn migrate(view: &mut DynamicGraph, batch: &UpdateBatch) {
+    // xtask: allow(delta-confinement) — fixture: one-shot load during
+    // provisioning; the tenant has no readers and no replay history yet.
+    view.apply_batch(batch);
+}

@@ -1,0 +1,30 @@
+//! hot-loop-hygiene, dynamic scope: the streaming-update apply/invalidate
+//! kernels allocating per row, per swept edge, and per sample. Scanned
+//! under the virtual path `crates/dynamic/src/invalidate.rs`, which puts
+//! these bodies in the pass's streaming-update scope.
+
+/// Per-row overlay edit that stages through a fresh allocation.
+pub fn apply_edits(rows: &mut [Vec<u32>], inserts: &[(u32, u32)]) {
+    for &(u, v) in inserts {
+        let staged: Vec<u32> = rows[u as usize].iter().copied().collect(); //~ hot-loop-hygiene
+        rows[u as usize] = staged.to_vec(); //~ hot-loop-hygiene
+        rows[v as usize].push(u);
+    }
+}
+
+/// Sweep kernel that reallocates its frontier every call.
+pub fn bfs_distances_into(dist: &mut [u32], sources: &[u32]) {
+    let mut queue = Vec::new(); //~ hot-loop-hygiene
+    for &s in sources {
+        dist[s as usize] = 0;
+        queue.push(s);
+    }
+}
+
+/// Classification that deep-copies the distance tables per sample.
+pub fn classify_samples(samples: &[(u32, u32)], dist: &[u32], out: &mut [bool]) {
+    for (i, &(s, t)) in samples.iter().enumerate() {
+        let table = dist.to_owned(); //~ hot-loop-hygiene
+        out[i] = table[s as usize] <= table[t as usize];
+    }
+}

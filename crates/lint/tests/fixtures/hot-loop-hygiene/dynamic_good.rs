@@ -1,0 +1,27 @@
+//! hot-loop-hygiene, dynamic scope: the sanctioned idiom — recycled
+//! scratch, in-place edits, zero allocation per row / edge / sample.
+
+/// In-place overlay edit against pre-reserved rows.
+pub fn apply_edits(rows: &mut [Vec<u32>], inserts: &[(u32, u32)]) {
+    for &(u, v) in inserts {
+        rows[u as usize].push(v);
+        rows[v as usize].push(u);
+    }
+}
+
+/// Sweep kernel driving a caller-recycled frontier queue.
+pub fn bfs_distances_into(dist: &mut [u32], queue: &mut Vec<u32>, sources: &[u32]) {
+    queue.clear();
+    queue.reserve(sources.len());
+    for &s in sources {
+        dist[s as usize] = 0;
+        queue.push(s);
+    }
+}
+
+/// Classification reading the shared tables directly.
+pub fn classify_samples(samples: &[(u32, u32)], dist: &[u32], out: &mut [bool]) {
+    for (i, &(s, t)) in samples.iter().enumerate() {
+        out[i] = dist[s as usize] <= dist[t as usize];
+    }
+}

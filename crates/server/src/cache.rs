@@ -8,12 +8,27 @@
 //!   the tenant's engine mutex) writes the *inactive* slot and flips the
 //!   active index, so readers are never blocked and never see a torn
 //!   snapshot;
-//! * the **ε-schedule stages** — write-once slots, one per scheduled ε,
-//!   frozen at the first publication whose achieved ε meets the stage. A
-//!   frozen stage never changes again, which is what makes `estimate`
-//!   answers bit-reproducible from `(plan, seed)` regardless of how queries
-//!   and refinement interleave: the answer at a requested ε always comes
-//!   from that ε's designated stage, not from the moving frontier.
+//! * the **ε-schedule stages** — write-once-per-generation slots, one per
+//!   scheduled ε, frozen at the first publication whose achieved ε meets
+//!   the stage. A frozen stage never changes again *within a generation*,
+//!   which is what makes `estimate` answers bit-reproducible from
+//!   `(plan, seed)` regardless of how queries and refinement interleave:
+//!   the answer at a requested ε always comes from that ε's designated
+//!   stage, not from the moving frontier.
+//!
+//! # Generations (streaming updates, DESIGN.md §14)
+//!
+//! A dynamic tenant's graph changes under the cache. Every answer frozen
+//! before an update batch describes the *old* graph, so the batch must
+//! fence them off: [`EstimateCache::bump_generation`] clears every stage's
+//! readiness word and retires the frontier **before** incrementing the
+//! generation counter, and each stage freeze records the generation it
+//! froze under (`ready_gen = generation + 1`). A stage read loads the
+//! readiness word on both sides of the data copy and retries on mismatch,
+//! so a reader racing a bump-and-refreeze either gets one generation's
+//! complete frozen contents or `false` — never a blend of the pre- and
+//! post-update graphs. (The generation counter is monotone, so the ABA
+//! pattern — clear, refreeze, same word value — cannot occur.)
 //!
 //! # Coherence protocol
 //!
@@ -39,7 +54,7 @@
 //! and [`EstimateCache::read_stage_into`], and empirically by the
 //! `bench_server` zero-allocation gate.
 
-use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 
 /// One seqlock slot of the frontier.
 struct Slot {
@@ -67,12 +82,14 @@ impl Slot {
     }
 }
 
-/// One write-once ε-schedule stage.
+/// One write-once-per-generation ε-schedule stage.
 struct Stage {
     /// The scheduled ε this stage freezes at (immutable).
     eps: f64,
-    /// Set (Release) after the data words are written; never cleared.
-    ready: AtomicBool,
+    /// 0 while unfrozen; `g + 1` (Release, after the data words) once
+    /// frozen under cache generation `g`. Cleared back to 0 only by
+    /// [`EstimateCache::bump_generation`].
+    ready_gen: AtomicU64,
     /// Frozen per-vertex counts.
     counts: Box<[AtomicU64]>,
     /// Frozen τ.
@@ -145,6 +162,8 @@ pub struct EstimateCache {
     /// publication.
     active: AtomicUsize,
     stages: Box<[Stage]>,
+    /// Graph generation the cache is serving; bumped by each update batch.
+    generation: AtomicU64,
     /// Total frontier publications (diagnostics).
     publishes: AtomicU64,
 }
@@ -168,12 +187,13 @@ impl EstimateCache {
                 .iter()
                 .map(|&eps| Stage {
                     eps,
-                    ready: AtomicBool::new(false),
+                    ready_gen: AtomicU64::new(0),
                     counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
                     tau: AtomicU64::new(0),
                     round: AtomicU64::new(0),
                 })
                 .collect(),
+            generation: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
         }
     }
@@ -195,9 +215,30 @@ impl EstimateCache {
         self.stages.iter().position(|s| s.eps <= eps)
     }
 
-    /// Whether stage `i` has frozen.
+    /// Whether stage `i` has frozen under the current generation.
     pub fn stage_ready(&self, i: usize) -> bool {
-        self.stages[i].ready.load(Ordering::Acquire)
+        self.stages[i].ready_gen.load(Ordering::Acquire) != 0
+    }
+
+    /// The graph generation the cache is serving (0 until the first
+    /// [`EstimateCache::bump_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Fences off every answer derived from the pre-update graph (single
+    /// writer: callers hold the tenant's engine mutex). Order matters:
+    /// stages are cleared *first*, then the frontier is retired, then the
+    /// generation advances — so by the time readers can observe the new
+    /// generation, no old-graph answer is reachable. Until the first
+    /// post-update publication, readers see "not ready" rather than stale
+    /// data. Returns the new generation.
+    pub fn bump_generation(&self) -> u64 {
+        for stage in self.stages.iter() {
+            stage.ready_gen.store(0, Ordering::Release);
+        }
+        self.active.store(NO_ACTIVE, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// The scheduled ε of stage `i`.
@@ -231,14 +272,15 @@ impl EstimateCache {
         slot.seq.store(s + 2, Ordering::Release);
         self.active.store(target, Ordering::Release);
         self.publishes.fetch_add(1, Ordering::Release);
+        let gen_word = self.generation.load(Ordering::Acquire) + 1;
         for stage in self.stages.iter() {
-            if eps <= stage.eps && !stage.ready.load(Ordering::Acquire) {
+            if eps <= stage.eps && stage.ready_gen.load(Ordering::Acquire) == 0 {
                 for (a, &c) in stage.counts.iter().zip(counts) {
                     a.store(c, Ordering::Release);
                 }
                 stage.tau.store(tau, Ordering::Release);
                 stage.round.store(round, Ordering::Release);
-                stage.ready.store(true, Ordering::Release);
+                stage.ready_gen.store(gen_word, Ordering::Release);
             }
         }
     }
@@ -299,20 +341,31 @@ impl EstimateCache {
     }
 
     /// Reads frozen stage `i` into `out`. Returns `false` while the stage
-    /// has not frozen yet. Lock- and allocation-free; a `true` result is
-    /// bit-stable forever after.
+    /// has not frozen (under the current generation). Lock- and
+    /// allocation-free; a `true` result is bit-stable for as long as the
+    /// generation holds. The readiness word is re-checked after the data
+    /// copy: if an update batch cleared-and-refroze the stage mid-read, the
+    /// generation words differ (the counter is monotone) and the read
+    /// retries instead of returning a mixed-generation snapshot.
     pub fn read_stage_into(&self, i: usize, out: &mut StageSnapshot) -> bool {
         debug_assert_eq!(out.counts.len(), self.n);
         let stage = &self.stages[i];
-        if !stage.ready.load(Ordering::Acquire) {
-            return false;
+        loop {
+            let g1 = stage.ready_gen.load(Ordering::Acquire);
+            if g1 == 0 {
+                return false;
+            }
+            for (o, a) in out.counts.iter_mut().zip(stage.counts.iter()) {
+                *o = a.load(Ordering::Acquire);
+            }
+            out.tau = stage.tau.load(Ordering::Acquire);
+            out.round = stage.round.load(Ordering::Acquire);
+            let g2 = stage.ready_gen.load(Ordering::Acquire);
+            if g1 == g2 {
+                return true;
+            }
+            core::hint::spin_loop();
         }
-        for (o, a) in out.counts.iter_mut().zip(stage.counts.iter()) {
-            *o = a.load(Ordering::Acquire);
-        }
-        out.tau = stage.tau.load(Ordering::Acquire);
-        out.round = stage.round.load(Ordering::Acquire);
-        true
     }
 }
 
@@ -383,5 +436,32 @@ mod tests {
     #[should_panic(expected = "strictly descending")]
     fn non_descending_schedule_is_rejected() {
         let _ = EstimateCache::new(2, &[0.1, 0.5]);
+    }
+
+    #[test]
+    fn generation_bump_fences_all_old_graph_answers() {
+        let c = EstimateCache::new(2, &[0.5, 0.1]);
+        c.publish_frontier(&[3, 4], 7, 0.05, 2); // freezes both stages
+        assert!(c.stage_ready(0) && c.stage_ready(1));
+        assert_eq!(c.generation(), 0);
+
+        assert_eq!(c.bump_generation(), 1);
+        // Every pre-update answer is now unreachable: frontier retired,
+        // stages unfrozen.
+        let mut snap = FrontierSnapshot::new(2);
+        assert!(!c.read_frontier_into(&mut snap));
+        assert!(c.read_vertex(0).is_none());
+        let mut st = StageSnapshot::new(2);
+        assert!(!c.read_stage_into(0, &mut st) && !c.read_stage_into(1, &mut st));
+
+        // The first post-update publication re-freezes under generation 1
+        // with new-graph data only.
+        c.publish_frontier(&[30, 40], 70, 0.3, 5);
+        assert!(c.read_frontier_into(&mut snap));
+        assert_eq!((snap.counts.clone(), snap.tau, snap.round), (vec![30, 40], 70, 5));
+        assert!(c.stage_ready(0) && !c.stage_ready(1));
+        assert!(c.read_stage_into(0, &mut st));
+        assert_eq!((st.counts.clone(), st.tau, st.round), (vec![30, 40], 70, 5));
+        assert_eq!(c.generation(), 1);
     }
 }

@@ -18,7 +18,6 @@
 //! [`FaultPlan::reseeded`] keeps the delivery knobs but drops the crash
 //! schedule, so a scheduled crash fires exactly once.
 
-use kadabra_core::bounds::{f_bound, g_bound};
 use kadabra_core::calibration::Calibration;
 use kadabra_core::sampler::{ThreadSampler, ADS_STREAM_OFFSET};
 use kadabra_core::{CheckpointError, KadabraConfig, SampleLedger};
@@ -269,26 +268,7 @@ impl RefineEngine {
     }
 }
 
-/// The accuracy a consistent `(counts, tau)` frame supports: the worst
-/// per-vertex Bernstein bound under the calibrated δ budgets. 1.0 before any
-/// sample lands.
-pub fn achieved_epsilon(counts: &[u64], tau: u64, omega: u64, calibration: &Calibration) -> f64 {
-    if tau == 0 {
-        return 1.0;
-    }
-    let tau_f = tau as f64;
-    let mut worst = 0.0f64;
-    for (v, &c) in counts.iter().enumerate() {
-        let b = c as f64 / tau_f;
-        worst = worst.max(f_bound(b, calibration.delta_l[v], omega, tau)).max(g_bound(
-            b,
-            calibration.delta_u[v],
-            omega,
-            tau,
-        ));
-    }
-    worst.min(1.0)
-}
+pub use kadabra_core::achieved_epsilon;
 
 /// Per-rank body of one engine round: `max_epochs` epochs of the Algorithm 1
 /// reduction loop, with the PR 4 shrink-and-continue protocol. Returns

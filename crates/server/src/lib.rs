@@ -36,4 +36,6 @@ pub mod testkit;
 pub mod wire;
 
 pub use server::{Client, QueryError, Server, ServerConfig, SERVICE_RANK};
-pub use tenant::{EstimateMeta, QueryScratch, RefineOutcome, Tenant, TenantConfig, VertexEstimate};
+pub use tenant::{
+    EstimateMeta, QueryScratch, RefineOutcome, Tenant, TenantConfig, UpdateOutcome, VertexEstimate,
+};

@@ -11,7 +11,7 @@
 use crate::engine::EngineCheckpoint;
 use crate::sync::{AtomicBool, AtomicU32, Ordering};
 use crate::tenant::{
-    EstimateMeta, QueryScratch, RefineOutcome, Tenant, TenantConfig, VertexEstimate,
+    EstimateMeta, QueryScratch, RefineOutcome, Tenant, TenantConfig, UpdateOutcome, VertexEstimate,
 };
 use kadabra_graph::{Graph, NodeId};
 use kadabra_telemetry::{CounterId, EventWriter, SpanId, Telemetry};
@@ -46,6 +46,12 @@ pub enum QueryError {
     },
     /// The queried vertex id is out of range.
     BadVertex,
+    /// The tenant was provisioned statically and cannot accept streaming
+    /// edge updates.
+    NotDynamic,
+    /// The update batch was structurally invalid or inconsistent with the
+    /// tenant's live graph (the message carries the delta-log diagnosis).
+    BadUpdate(String),
     /// The request itself was malformed (wire front-end only).
     BadRequest(String),
 }
@@ -62,6 +68,10 @@ impl fmt::Display for QueryError {
                 write!(f, "unsatisfiable eps: schedule floor is {floor}")
             }
             QueryError::BadVertex => write!(f, "vertex id out of range"),
+            QueryError::NotDynamic => {
+                write!(f, "not dynamic: tenant does not accept streaming updates")
+            }
+            QueryError::BadUpdate(why) => write!(f, "bad update: {why}"),
             QueryError::BadRequest(why) => write!(f, "bad request: {why}"),
         }
     }
@@ -314,6 +324,23 @@ impl Client {
                 return Err(QueryError::NotReady { achieved: out.achieved });
             }
             Ok(out)
+        })
+    }
+
+    /// Applies one batch of edge updates (original vertex ids) to a dynamic
+    /// tenant, then re-refines for up to `refine_rounds` rounds. Errs with
+    /// [`QueryError::NotDynamic`] on static tenants and
+    /// [`QueryError::BadUpdate`] on batches the delta log rejects.
+    pub fn update(
+        &self,
+        tenant: &str,
+        inserts: &[(NodeId, NodeId)],
+        deletes: &[(NodeId, NodeId)],
+        refine_rounds: u32,
+    ) -> Result<UpdateOutcome, QueryError> {
+        let t = self.inner.find(tenant)?;
+        self.guarded(&t, SpanId::Update, || {
+            t.update(inserts, deletes, refine_rounds, &self.inner.tel, &self.w)
         })
     }
 }

@@ -10,13 +10,15 @@
 
 use crate::admission::{Admission, AdmissionConfig};
 use crate::cache::{EstimateCache, FrontierSnapshot, StageSnapshot};
-use crate::engine::RefineEngine;
+use crate::engine::{EngineCheckpoint, RefineEngine};
+use crate::sync::{AtomicU64, Ordering};
 use crate::QueryError;
 use kadabra_core::bounds::{self, f_bound, g_bound};
 use kadabra_core::calibration::Calibration;
 use kadabra_core::phases::{calibration_samples_for_thread, diameter_phase};
 use kadabra_core::sampler::ThreadSampler;
 use kadabra_core::KadabraConfig;
+use kadabra_dynamic::{DynamicEngine, UpdateBatch};
 use kadabra_graph::{Graph, NodeId, Permutation};
 use kadabra_mpisim::FaultPlan;
 use kadabra_telemetry::{EventWriter, SpanId, Telemetry};
@@ -50,6 +52,10 @@ pub struct TenantConfig {
     /// Fault plan for the pool's collectives (crash faults included — the
     /// chaos harness injects them here).
     pub plan: FaultPlan,
+    /// Provision the pool as an incremental [`DynamicEngine`] that accepts
+    /// streaming edge updates ([`Tenant::update`]). Static tenants reject
+    /// updates with [`QueryError::NotDynamic`].
+    pub dynamic: bool,
 }
 
 impl TenantConfig {
@@ -66,6 +72,7 @@ impl TenantConfig {
             warmup_rounds: 1,
             admission: AdmissionConfig::default(),
             plan: FaultPlan::ideal(seed),
+            dynamic: false,
         }
     }
 
@@ -141,6 +148,27 @@ pub struct EstimateMeta {
     pub round: u64,
 }
 
+/// What an update call achieved (dynamic tenants only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateOutcome {
+    /// Sequence number the batch was assigned in the tenant's delta log.
+    pub seq: u64,
+    /// Retained samples that crossed the batch and were redrawn.
+    pub invalidated: u64,
+    /// Retained samples kept as-is (provably unaffected).
+    pub retained: u64,
+    /// Confirmed samples after the update (and any follow-up refinement).
+    pub tau: u64,
+    /// Accuracy the maintained frame supports on the updated graph.
+    pub achieved: f64,
+    /// Cache generation the post-update answers publish under.
+    pub generation: u64,
+    /// Sampler ranks still alive.
+    pub live: usize,
+    /// Whether the delta log compacted back into a fresh CSR.
+    pub compacted: bool,
+}
+
 /// What a refine call achieved.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefineOutcome {
@@ -154,19 +182,63 @@ pub struct RefineOutcome {
     pub live: usize,
 }
 
+/// The tenant's sampler pool: a static [`RefineEngine`], or the
+/// incremental [`DynamicEngine`] whose retained sample population is
+/// maintained across streaming edge updates.
+enum TenantEngine {
+    Static(Box<RefineEngine>),
+    Dynamic(Box<DynamicEngine>),
+}
+
+impl TenantEngine {
+    fn live(&self) -> usize {
+        match self {
+            TenantEngine::Static(e) => e.live(),
+            TenantEngine::Dynamic(e) => e.live(),
+        }
+    }
+
+    fn last_achieved(&self) -> f64 {
+        match self {
+            TenantEngine::Static(e) => e.last_achieved(),
+            TenantEngine::Dynamic(e) => e.last_achieved(),
+        }
+    }
+
+    fn last_tau(&self) -> u64 {
+        match self {
+            TenantEngine::Static(e) => e.last_tau(),
+            TenantEngine::Dynamic(e) => e.last_tau(),
+        }
+    }
+
+    /// The sample cap currently in force (the dynamic engine's ω ratchets
+    /// up as updates stretch the graph).
+    fn omega(&self) -> u64 {
+        match self {
+            TenantEngine::Static(e) => e.omega(),
+            TenantEngine::Dynamic(e) => e.omega(),
+        }
+    }
+}
+
 /// One resident graph and everything needed to answer queries about it.
 pub struct Tenant {
     name: String,
-    /// Degree-relabeled working graph (cache-aware layout, PR 5).
+    /// Degree-relabeled working graph (cache-aware layout, PR 5). For
+    /// dynamic tenants this is the *base snapshot*; the live graph evolves
+    /// inside the engine's delta log.
     g: Graph,
     perm: Permutation,
     vd: u32,
-    omega: u64,
+    /// Sample cap in force; mirrors the dynamic engine's ratcheting ω so
+    /// the lock-free confidence-interval path stays honest after updates.
+    omega: AtomicU64,
     floor: f64,
     delta: f64,
     calibration: Calibration,
     cache: EstimateCache,
-    engine: Mutex<RefineEngine>,
+    engine: Mutex<TenantEngine>,
     admission: Admission,
 }
 
@@ -214,20 +286,36 @@ impl Tenant {
         }
         let calibration = Calibration::from_counts(&total[..n], total[n], &kcfg);
 
-        let engine = RefineEngine::new(
-            n,
-            kcfg,
-            omega,
-            cfg.pool_ranks,
-            cfg.max_epochs_per_round,
-            cfg.plan.clone(),
-        );
+        let engine = if cfg.dynamic {
+            // One sampling thread per rank: the dynamic pool's adaptive
+            // streams then coincide with the static engine's, so a dynamic
+            // tenant that never receives an update samples identically.
+            TenantEngine::Dynamic(Box::new(DynamicEngine::new(
+                rg.clone(),
+                kcfg,
+                omega,
+                vd,
+                cfg.pool_ranks,
+                1,
+                cfg.max_epochs_per_round,
+                cfg.plan.clone(),
+            )))
+        } else {
+            TenantEngine::Static(Box::new(RefineEngine::new(
+                n,
+                kcfg,
+                omega,
+                cfg.pool_ranks,
+                cfg.max_epochs_per_round,
+                cfg.plan.clone(),
+            )))
+        };
         let tenant = Tenant {
             name: name.to_string(),
             g: rg,
             perm,
             vd,
-            omega,
+            omega: AtomicU64::new(omega),
             floor,
             delta: cfg.delta,
             calibration,
@@ -265,9 +353,15 @@ impl Tenant {
         self.cache.schedule()
     }
 
-    /// Sample cap ω for the schedule floor.
+    /// Sample cap ω for the schedule floor (ratchets up on dynamic tenants
+    /// as updates stretch the graph).
     pub fn omega(&self) -> u64 {
-        self.omega
+        self.omega.load(Ordering::Relaxed)
+    }
+
+    /// Whether this tenant accepts streaming edge updates.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(&*self.engine.lock(), TenantEngine::Dynamic(_))
     }
 
     /// Vertex-diameter upper bound used to derive ω.
@@ -313,16 +407,20 @@ impl Tenant {
         while rounds < max_rounds
             && eng.live() > 0
             && eng.last_achieved() > target
-            && eng.last_tau() < self.omega
+            && eng.last_tau() < eng.omega()
         {
-            let rep = eng.step(&self.g, &self.calibration, tel);
+            let (global, tau, achieved, round) = match &mut *eng {
+                TenantEngine::Static(e) => {
+                    let rep = e.step(&self.g, &self.calibration, tel);
+                    (rep.global, rep.tau, rep.achieved, rep.round)
+                }
+                TenantEngine::Dynamic(e) => {
+                    let rep = e.refine(&self.calibration, tel);
+                    (rep.global, rep.tau, rep.achieved, rep.round)
+                }
+            };
             let sp = w.begin(SpanId::CachePublish);
-            self.cache.publish_frontier(
-                &rep.global[..self.g.num_nodes()],
-                rep.tau,
-                rep.achieved,
-                rep.round,
-            );
+            self.cache.publish_frontier(&global[..self.g.num_nodes()], tau, achieved, round);
             w.end(sp);
             rounds += 1;
         }
@@ -336,8 +434,79 @@ impl Tenant {
 
     /// Checkpoints the engine's ledgers (see
     /// [`crate::engine::RefineEngine::checkpoint`]).
-    pub fn checkpoint(&self) -> crate::engine::EngineCheckpoint {
-        self.engine.lock().checkpoint()
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        match &*self.engine.lock() {
+            TenantEngine::Static(e) => e.checkpoint(),
+            TenantEngine::Dynamic(e) => EngineCheckpoint {
+                round: e.rounds(),
+                generation: 0,
+                images: e.checkpoint_ledgers(),
+            },
+        }
+    }
+
+    /// Applies one batch of edge updates to a dynamic tenant (original
+    /// vertex ids). Under the engine lock: the batch enters the delta log,
+    /// exactly the invalidated samples are redrawn, the cache generation is
+    /// bumped — retiring every answer about the old graph — and the
+    /// maintained post-update frame is published under the new generation,
+    /// so readers never see a mixed-generation answer. Afterwards up to
+    /// `refine_rounds` rounds re-converge the invalidated mass toward the
+    /// schedule floor.
+    pub fn update(
+        &self,
+        inserts: &[(NodeId, NodeId)],
+        deletes: &[(NodeId, NodeId)],
+        refine_rounds: u32,
+        tel: &Telemetry,
+        w: &EventWriter,
+    ) -> Result<UpdateOutcome, QueryError> {
+        let n = self.g.num_nodes();
+        let map = |pairs: &[(NodeId, NodeId)]| -> Result<Vec<(NodeId, NodeId)>, QueryError> {
+            pairs
+                .iter()
+                .map(|&(u, v)| {
+                    if (u as usize) >= n || (v as usize) >= n {
+                        return Err(QueryError::BadVertex);
+                    }
+                    Ok((self.perm.to_new(u), self.perm.to_new(v)))
+                })
+                .collect()
+        };
+        let batch = UpdateBatch::new(map(inserts)?, map(deletes)?)
+            .map_err(|e| QueryError::BadUpdate(e.to_string()))?;
+
+        let mut eng = self.engine.lock();
+        let TenantEngine::Dynamic(dyn_eng) = &mut *eng else {
+            return Err(QueryError::NotDynamic);
+        };
+        let sp = w.begin(SpanId::Update);
+        let rep = dyn_eng
+            .apply_update(&batch, &self.calibration, tel)
+            .map_err(|e| QueryError::BadUpdate(e.to_string()))?;
+        self.omega.store(dyn_eng.omega(), Ordering::Relaxed);
+        let generation = self.cache.bump_generation();
+        self.cache.publish_frontier(&rep.global[..n], rep.tau, rep.achieved, dyn_eng.rounds());
+        w.end(sp);
+        drop(eng);
+
+        let mut out = UpdateOutcome {
+            seq: rep.seq,
+            invalidated: rep.invalidated,
+            retained: rep.retained,
+            tau: rep.tau,
+            achieved: rep.achieved,
+            generation,
+            live: rep.live,
+            compacted: rep.compacted,
+        };
+        if refine_rounds > 0 {
+            let r = self.refine(0.0, refine_rounds, tel, w);
+            out.achieved = r.achieved;
+            out.tau = r.tau;
+            out.live = r.live;
+        }
+        Ok(out)
     }
 
     /// Answers a per-vertex query from the frontier: point estimate plus the
@@ -351,8 +520,9 @@ impl Tenant {
         let read =
             self.cache.read_vertex(j as usize).ok_or(QueryError::NotReady { achieved: 1.0 })?;
         let b = read.count as f64 / read.tau.max(1) as f64;
-        let f = f_bound(b, self.calibration.delta_l[j as usize], self.omega, read.tau);
-        let g = g_bound(b, self.calibration.delta_u[j as usize], self.omega, read.tau);
+        let omega = self.omega.load(Ordering::Relaxed);
+        let f = f_bound(b, self.calibration.delta_l[j as usize], omega, read.tau);
+        let g = g_bound(b, self.calibration.delta_u[j as usize], omega, read.tau);
         Ok(VertexEstimate {
             vertex: v,
             estimate: b,
@@ -477,6 +647,66 @@ mod tests {
         assert!(meta.tau > 0);
         let sum: f64 = out.iter().sum();
         assert!(sum > 0.0);
+    }
+
+    fn small_dynamic_tenant(seed: u64) -> (Tenant, Telemetry) {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let tel = Telemetry::stats_only();
+        let cfg = TenantConfig { dynamic: true, warmup_rounds: 2, ..TenantConfig::new(seed) };
+        let t = Tenant::build("grid", &g, &cfg, &tel);
+        (t, tel)
+    }
+
+    #[test]
+    fn static_tenants_reject_updates() {
+        let (t, tel) = small_tenant(3);
+        let w = tel.writer(7, 0);
+        assert!(!t.is_dynamic());
+        assert_eq!(t.update(&[(0, 24)], &[], 0, &tel, &w).unwrap_err(), QueryError::NotDynamic);
+    }
+
+    #[test]
+    fn dynamic_update_bumps_the_generation_and_stays_answerable() {
+        let (t, tel) = small_dynamic_tenant(11);
+        let w = tel.writer(7, 0);
+        t.refine(0.25, 64, &tel, &w);
+        let gen_before = t.cache().generation();
+        let v_before = t.vertex_estimate(12).expect("pre-update answer");
+
+        // A valid batch: one chord in, one grid edge out.
+        let out = t.update(&[(0, 24)], &[(0, 1)], 8, &tel, &w).expect("update applies");
+        assert_eq!(out.seq, 1);
+        assert!(out.generation > gen_before, "update must retire the old generation");
+        assert_eq!(out.invalidated + out.retained, v_before.tau, "τ conserved across the batch");
+        let v_after = t.vertex_estimate(12).expect("post-update answer");
+        assert!(v_after.tau > 0);
+
+        // Bad batches are typed: unknown vertex, then a duplicate insert.
+        let w2 = tel.writer(8, 0);
+        assert_eq!(t.update(&[(0, 10_000)], &[], 0, &tel, &w2).unwrap_err(), QueryError::BadVertex);
+        assert!(matches!(
+            t.update(&[(0, 24)], &[], 0, &tel, &w2).unwrap_err(),
+            QueryError::BadUpdate(_)
+        ));
+    }
+
+    #[test]
+    fn dynamic_tenant_without_updates_matches_the_static_pool() {
+        // Same seed, same pool: until the first update arrives, the dynamic
+        // engine must publish the exact frames the static engine publishes.
+        let (ts, tel_s) = small_tenant(21);
+        let (td, tel_d) = small_dynamic_tenant(21);
+        let (ws, wd) = (tel_s.writer(7, 0), tel_d.writer(7, 0));
+        let s = ts.refine(ts.floor_eps(), 64, &tel_s, &ws);
+        let d = td.refine(td.floor_eps(), 64, &tel_d, &wd);
+        assert_eq!(s.tau, d.tau, "stream-for-stream identical pools diverged");
+        assert_eq!(s.achieved, d.achieved);
+        let mut sc_s = QueryScratch::new(ts.num_vertices());
+        let mut sc_d = QueryScratch::new(td.num_vertices());
+        let (mut out_s, mut out_d) = (Vec::new(), Vec::new());
+        ts.estimate_into(ts.floor_eps(), &mut sc_s, &mut out_s).expect("static stage");
+        td.estimate_into(td.floor_eps(), &mut sc_d, &mut out_d).expect("dynamic stage");
+        assert_eq!(out_s, out_d, "estimate vectors diverged");
     }
 
     #[test]

@@ -55,6 +55,23 @@ pub fn boot_with_plan(seed: u64, plan: FaultPlan) -> Server {
     server
 }
 
+/// [`boot`], but the tenant is provisioned dynamically: it accepts
+/// streaming edge updates through `update` while keeping the same corpus,
+/// schedule, and determinism contract.
+pub fn boot_dynamic(seed: u64) -> Server {
+    boot_dynamic_with_plan(seed, FaultPlan::ideal(seed))
+}
+
+/// [`boot_dynamic`] with an explicit fault plan — the dynamic chaos suite
+/// injects a rank crash that fires mid-update-batch here.
+pub fn boot_dynamic_with_plan(seed: u64, plan: FaultPlan) -> Server {
+    let server = Server::new(ServerConfig { deterministic: true, background_refine: false });
+    let g = corpus_graph(seed);
+    let cfg = TenantConfig { dynamic: true, plan, ..tenant_config(seed) };
+    server.add_tenant(TENANT, &g, &cfg);
+    server
+}
+
 #[cfg(all(test, not(feature = "loom")))]
 mod tests {
     use super::*;

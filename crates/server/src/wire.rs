@@ -104,6 +104,8 @@ fn error_reply(e: &QueryError) -> String {
         QueryError::NotReady { .. } => "not_ready",
         QueryError::UnsatisfiableEps { .. } => "unsatisfiable_eps",
         QueryError::BadVertex => "bad_vertex",
+        QueryError::NotDynamic => "not_dynamic",
+        QueryError::BadUpdate(_) => "bad_update",
         QueryError::BadRequest(_) => "bad_request",
     };
     format!(
@@ -115,6 +117,31 @@ fn error_reply(e: &QueryError) -> String {
 
 fn bad(why: &str) -> QueryError {
     QueryError::BadRequest(why.to_string())
+}
+
+/// Parses an optional `[[u,v],...]` field (absent means empty).
+fn edge_list(
+    req: &kadabra_telemetry::json::Json,
+    key: &str,
+) -> Result<Vec<(u32, u32)>, QueryError> {
+    let mut out = Vec::new();
+    let Some(arr) = req.get(key).and_then(Json::as_array) else { return Ok(out) };
+    for e in arr {
+        let pair = e.as_array().ok_or_else(|| bad("edges must be [u,v] pairs"))?;
+        if pair.len() != 2 {
+            return Err(bad("edges must be [u,v] pairs"));
+        }
+        let mut ends = [0u32; 2];
+        for (slot, j) in ends.iter_mut().zip(pair) {
+            let x = j.as_f64().ok_or_else(|| bad("edge endpoints must be numbers"))?;
+            if x < 0.0 || x.fract() != 0.0 {
+                return Err(bad("edge endpoints must be non-negative integers"));
+            }
+            *slot = x as u32;
+        }
+        out.push((ends[0], ends[1]));
+    }
+    Ok(out)
 }
 
 /// Parses one request line and runs it against the client, reusing one
@@ -191,6 +218,29 @@ fn dispatch(
                 body.join(",")
             ))
         }
+        "update" => {
+            let inserts = edge_list(&req, "inserts")?;
+            let deletes = edge_list(&req, "deletes")?;
+            if inserts.is_empty() && deletes.is_empty() {
+                return Err(bad("update needs at least one insert or delete"));
+            }
+            let rounds = req.get("refine_rounds").and_then(Json::as_f64).unwrap_or(64.0);
+            if rounds < 0.0 || rounds.fract() != 0.0 {
+                return Err(bad("refine_rounds must be a non-negative integer"));
+            }
+            let out = client.update(tenant, &inserts, &deletes, rounds as u32)?;
+            Ok(format!(
+                "{{\"ok\":true,\"seq\":{},\"invalidated\":{},\"retained\":{},\"tau\":{},\"achieved\":{},\"generation\":{},\"live\":{},\"compacted\":{}}}",
+                out.seq,
+                out.invalidated,
+                out.retained,
+                out.tau,
+                num(out.achieved),
+                out.generation,
+                out.live,
+                out.compacted
+            ))
+        }
         "refine" => {
             let eps = req.get("eps").and_then(Json::as_f64).ok_or_else(|| bad("missing eps"))?;
             let rounds = req.get("max_rounds").and_then(Json::as_f64).unwrap_or(64.0);
@@ -260,6 +310,60 @@ mod tests {
         assert_eq!(r.get("code").and_then(Json::as_str), Some("unknown_tenant"));
 
         let r = ask(&mut stream, &mut reader, r#"{"op":"vertex","tenant":"grid"}"#);
+        assert_eq!(r.get("code").and_then(Json::as_str), Some("bad_request"));
+
+        // A static tenant rejects updates with a typed code.
+        let r =
+            ask(&mut stream, &mut reader, r#"{"op":"update","tenant":"grid","inserts":[[0,24]]}"#);
+        assert_eq!(r.get("code").and_then(Json::as_str), Some("not_dynamic"));
+
+        sock.shutdown();
+    }
+
+    #[test]
+    fn socket_update_round_trip_on_a_dynamic_tenant() {
+        let s = crate::testkit::boot_dynamic(31);
+        let mut sock = s.listen("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(sock.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        let r = ask(
+            &mut stream,
+            &mut reader,
+            r#"{"op":"refine","tenant":"gnm","eps":0.3,"max_rounds":64}"#,
+        );
+        assert!(matches!(r.get("ok"), Some(Json::Bool(true))), "refine ok: {r:?}");
+        let tau = r.get("tau").and_then(Json::as_f64).expect("tau");
+
+        let r = ask(
+            &mut stream,
+            &mut reader,
+            r#"{"op":"update","tenant":"gnm","inserts":[[0,7]],"deletes":[],"refine_rounds":4}"#,
+        );
+        let reply = if matches!(r.get("ok"), Some(Json::Bool(true))) {
+            r
+        } else {
+            // Edge {0,7} may already exist in the seeded corpus — delete it
+            // instead; exactly one of the two must apply.
+            assert_eq!(r.get("code").and_then(Json::as_str), Some("bad_update"));
+            ask(
+                &mut stream,
+                &mut reader,
+                r#"{"op":"update","tenant":"gnm","deletes":[[0,7]],"refine_rounds":4}"#,
+            )
+        };
+        assert!(matches!(reply.get("ok"), Some(Json::Bool(true))), "update ok: {reply:?}");
+        assert_eq!(reply.get("seq").and_then(Json::as_f64), Some(1.0));
+        let inv = reply.get("invalidated").and_then(Json::as_f64).expect("invalidated");
+        let ret = reply.get("retained").and_then(Json::as_f64).expect("retained");
+        assert_eq!(inv + ret, tau, "classification must cover every retained sample");
+        assert!(reply.get("generation").and_then(Json::as_f64).expect("generation") >= 1.0);
+
+        // Queries still answer on the new generation.
+        let r = ask(&mut stream, &mut reader, r#"{"op":"vertex","tenant":"gnm","v":3}"#);
+        assert!(r.get("tau").and_then(Json::as_f64).expect("tau") > 0.0);
+
+        let r = ask(&mut stream, &mut reader, r#"{"op":"update","tenant":"gnm"}"#);
         assert_eq!(r.get("code").and_then(Json::as_str), Some("bad_request"));
 
         sock.shutdown();

@@ -124,6 +124,35 @@ fn frozen_stages_are_write_once() {
     });
 }
 
+/// A reader racing a generation bump plus re-freeze must return either one
+/// generation's complete frozen contents or `false` — never a blend of the
+/// pre- and post-update graphs (the mixed-generation hazard of streaming
+/// updates, DESIGN.md §14). Publications are invariant-linked as above, so
+/// any cross-generation mix trips `assert_consistent`.
+#[test]
+fn stage_reads_never_blend_generations() {
+    model(|| {
+        let c = Arc::new(EstimateCache::new(2, &[0.5]));
+        c.publish_frontier(&[1, 10], 11, 0.4, 1); // freezes under generation 0
+        let writer = {
+            let c = Arc::clone(&c);
+            loom::thread::spawn(move || {
+                c.bump_generation();
+                c.publish_frontier(&[2, 20], 22, 0.4, 2); // re-freezes under generation 1
+            })
+        };
+        let mut st = StageSnapshot::new(2);
+        if c.read_stage_into(0, &mut st) {
+            assert_consistent(&st.counts, st.tau, st.round);
+            assert!(st.round == 1 || st.round == 2);
+        }
+        writer.join().expect("writer");
+        assert!(c.read_stage_into(0, &mut st), "post-update freeze must be readable");
+        assert_consistent(&st.counts, st.tau, st.round);
+        assert_eq!(st.round, 2, "after the join only the new generation may answer");
+    });
+}
+
 /// Negative control: the seqlock's safety hinges on re-checking `seq` after
 /// the data loads. Delete the re-check in a minimal replica and the checker
 /// must find a schedule where a reader returns a half-written pair.

@@ -111,11 +111,17 @@ id_enum! {
         /// One estimate-cache publication (frontier flip or stage freeze)
         /// by the server's sampler pool.
         CachePublish = (14, "cache_publish"),
+        /// One streaming update batch applied to a dynamic tenant: delta-log
+        /// append, overlay apply, revalidation, and the ledger all-reduce.
+        Update = (15, "update"),
+        /// The affected-pair sweep inside an update: endpoint BFS distance
+        /// tables plus per-sample classification and redraw.
+        Invalidate = (16, "invalidate"),
     }
 }
 
 /// Number of distinct [`SpanId`]s (arrays in the recorder are this long).
-pub const N_SPANS: usize = 15;
+pub const N_SPANS: usize = 17;
 
 id_enum! {
     /// Counter identities.
@@ -140,11 +146,19 @@ id_enum! {
         QueriesServed = (7, "queries_served"),
         /// Queries load-shed by admission control (in-flight or queue cap).
         QueriesShed = (8, "queries_shed"),
+        /// Edge insertions + deletions applied through the delta log.
+        EdgesApplied = (9, "edges_applied"),
+        /// Retained samples classified as invalidated by an update batch
+        /// (and therefore redrawn on the new graph).
+        SamplesInvalidated = (10, "samples_invalidated"),
+        /// Retained samples whose shortest-path sets provably survived an
+        /// update batch (kept without redrawing).
+        SamplesRetained = (11, "samples_retained"),
     }
 }
 
 /// Number of distinct [`CounterId`]s.
-pub const N_COUNTERS: usize = 9;
+pub const N_COUNTERS: usize = 12;
 
 id_enum! {
     /// Instantaneous-marker identities (mpisim engine events).

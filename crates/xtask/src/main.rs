@@ -98,10 +98,13 @@
 //! # `cargo xtask bench --smoke`
 //!
 //! Runs the `bench_smoke` binary (a tiny instance through the sequential,
-//! flat-MPI and epoch-MPI drivers) and the `bench_server` binary (the
+//! flat-MPI and epoch-MPI drivers), the `bench_server` binary (the
 //! resident service's query path, which self-gates ≥ 1k queries/s and an
-//! allocation-free cache read path), writing `BENCH_smoke.json` and
-//! `BENCH_server.json` to the repo root, then validates both artifacts
+//! allocation-free cache read path), and the `bench_dynamic` binary (the
+//! streaming-update path, which self-gates update-and-reconverge work
+//! under 25% of a from-scratch run and ε-accuracy against the Brandes
+//! oracle), writing `BENCH_smoke.json`, `BENCH_server.json`, and
+//! `BENCH_dynamic.json` to the repo root, then validates the artifacts
 //! against the `kadabra-bench/v1` schema — including the value-range
 //! checks (nonzero samples/sec, reduction-overlap fraction in [0, 1]). A
 //! required CI job, so schema drift fails the PR that causes it, not a
@@ -914,9 +917,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 fn cmd_bench_smoke() -> ExitCode {
     let root = workspace_root();
     // `bench_server` additionally self-gates its acceptance numbers (≥ 1k
-    // queries/s, zero cache-read allocations), so a degraded service build
-    // fails the run before validation starts.
-    for bin in ["bench_smoke", "bench_server"] {
+    // queries/s, zero cache-read allocations), and `bench_dynamic` gates
+    // the incremental-update path (update-and-reconverge under 25% of a
+    // from-scratch run, within ε of the oracle), so a degraded build fails
+    // the run before validation starts.
+    for bin in ["bench_smoke", "bench_server", "bench_dynamic"] {
         println!("xtask bench: running the {bin} benchmark (release mode)");
         if !run_ok(
             Command::new("cargo")
@@ -927,7 +932,7 @@ fn cmd_bench_smoke() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    for artifact in ["BENCH_smoke.json", "BENCH_server.json"] {
+    for artifact in ["BENCH_smoke.json", "BENCH_server.json", "BENCH_dynamic.json"] {
         let path = root.join(artifact);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,

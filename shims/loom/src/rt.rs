@@ -292,7 +292,10 @@ impl Execution {
         self.cv.notify_all();
     }
 
-    /// Blocks `me` until `target` finishes (join protocol).
+    /// Blocks `me` until `target` finishes (join protocol). Completion of
+    /// `target` synchronizes-with the return of the join, so the child's
+    /// final view is merged into the joiner's (mirror of `register_thread`,
+    /// which gives spawn its happens-before edge).
     pub fn join_thread(&self, me: usize, target: usize) {
         let mut st = self.lock();
         loop {
@@ -301,6 +304,8 @@ impl Execution {
                 panic!("{ABORT_MSG}");
             }
             if st.threads[target].state == Run::Finished {
+                let tv = st.threads[target].view.clone();
+                ExecState::join_view(&mut st.threads[me].view, &tv);
                 return;
             }
             st.threads[me].state = Run::Blocked(target);

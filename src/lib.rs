@@ -21,6 +21,8 @@
 //!   ([`kadabra_baselines`]).
 //! * [`server`] — the resident multi-tenant centrality service
 //!   ([`kadabra_server`]).
+//! * [`dynamic`] — incremental betweenness on streaming edge updates
+//!   ([`kadabra_dynamic`]).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -62,6 +64,7 @@
 pub use kadabra_baselines as baselines;
 pub use kadabra_cluster as cluster;
 pub use kadabra_core as core;
+pub use kadabra_dynamic as dynamic;
 pub use kadabra_epoch as epoch;
 pub use kadabra_graph as graph;
 pub use kadabra_mpisim as mpisim;
