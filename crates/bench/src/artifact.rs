@@ -41,9 +41,12 @@ pub fn des_run_labelled(instance: &str, mode: &str, p: usize, t: usize, r: &SimR
     s.span_ns[SpanId::TransitionWait.index()] = r.transition_ns;
     s.span_ns[SpanId::Reduce.index()] = r.reduce_ns;
     s.span_ns[SpanId::Check.index()] = r.check_ns;
+    s.span_ns[SpanId::Rebalance.index()] = r.rebalance_ns;
     s.counters[CounterId::Samples.index()] = r.samples;
     s.counters[CounterId::Epochs.index()] = r.epochs;
     s.counters[CounterId::BytesReduced.index()] = r.comm_bytes;
+    s.counters[CounterId::RanksJoined.index()] = r.ranks_joined;
+    s.counters[CounterId::SamplesStolen.index()] = r.samples_stolen;
     BenchRun::from_summary(instance, mode, p, t, r.total_ns(), &s)
 }
 
@@ -106,6 +109,9 @@ mod tests {
             total_threads: 8,
             ranks_lost: 0,
             recovery_ns: 0,
+            ranks_joined: 0,
+            samples_stolen: 0,
+            rebalance_ns: 0,
         }
     }
 
@@ -115,6 +121,7 @@ mod tests {
             shape: ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 2 },
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let r = report();
         let run = des_run("proxy-orkut", &sim, &r);
@@ -136,6 +143,7 @@ mod tests {
             shape: ClusterShape { ranks: 2, ranks_per_node: 2, threads_per_rank: 2 },
             strategy: ReduceStrategy::Ireduce,
             numa_penalty: false,
+            steal: false,
         };
         let mut r = report();
         r.reduce_ns = 0; // the DES books no blocking reduce time for Ireduce

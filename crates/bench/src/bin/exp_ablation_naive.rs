@@ -42,6 +42,7 @@ fn main() {
                 shape: ClusterShape { ranks: 1, ranks_per_node: 1, threads_per_rank: threads },
                 strategy: ReduceStrategy::IbarrierThenBlockingReduce,
                 numa_penalty: true, // both run as one process spanning sockets
+                steal: false,
             };
             let epoch = simulate(&pi.graph, &pi.cfg, &pi.prepared, &sim, &spec, &pi.cost);
             bench.push(des_run_labelled(name, "des-naive", 1, threads, &naive));

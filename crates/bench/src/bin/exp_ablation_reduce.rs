@@ -58,7 +58,7 @@ fn main() {
             ReduceStrategy::Ireduce,
             ReduceStrategy::FullyBlocking,
         ] {
-            let sim = SimConfig { shape, strategy, numa_penalty: false };
+            let sim = SimConfig { shape, strategy, numa_penalty: false, steal: false };
             let r = simulate(&pi.graph, &pi.cfg, &pi.prepared, &sim, &spec, &pi.cost);
             bench.push(des_run(pi.name, &sim, &r));
             times.push(r.ads_ns);

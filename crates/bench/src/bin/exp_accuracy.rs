@@ -78,6 +78,7 @@ fn main() {
             shape: ClusterShape { ranks: 8, ranks_per_node: 2, threads_per_rank: 4 },
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let r = simulate(g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
         bench.push(des_run(gname, &sim, &r));

@@ -46,6 +46,7 @@ pub fn paper_shape(nodes: usize) -> SimConfig {
         shape: ClusterShape { ranks: 2 * nodes, ranks_per_node: 2, threads_per_rank: 12 },
         strategy: ReduceStrategy::IbarrierThenBlockingReduce,
         numa_penalty: false,
+        steal: false,
     }
 }
 
@@ -57,6 +58,7 @@ pub fn shared_baseline_shape() -> SimConfig {
         shape: ClusterShape { ranks: 1, ranks_per_node: 1, threads_per_rank: 24 },
         strategy: ReduceStrategy::IbarrierThenBlockingReduce,
         numa_penalty: true,
+        steal: false,
     }
 }
 

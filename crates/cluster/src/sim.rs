@@ -55,6 +55,12 @@ pub struct SimConfig {
     /// Apply the NUMA sampling penalty (a process spanning both sockets —
     /// used for the single-node shared-memory baseline of Ref. [24]).
     pub numa_penalty: bool,
+    /// Model cross-rank work stealing: plan-marked stragglers keep only
+    /// `n0 / factor` of their per-thread round quota and the deficit moves
+    /// to the fastest ranks, mirroring the drivers' deterministic steal
+    /// schedule (DESIGN.md §15). Without a plan (or without stragglers)
+    /// this flag changes nothing.
+    pub steal: bool,
 }
 
 /// Result of a simulated run: real scores plus virtual-time performance.
@@ -92,6 +98,16 @@ pub struct SimReport {
     /// Virtual time spent in shrink-and-continue recovery (failure
     /// confirmation, communicator shrink, ledger all-reduce).
     pub recovery_ns: u64,
+    /// Standby ranks admitted by plan-scheduled joins (elastic grows).
+    pub ranks_joined: u64,
+    /// Thread-samples helpers took on plan-marked stragglers' behalf under
+    /// the steal model ([`SimConfig::steal`]).
+    pub samples_stolen: u64,
+    /// Virtual time spent in grow windows: the newcomers' local bootstrap
+    /// (diameter recompute plus a sequential replay of the founding
+    /// calibration streams) overlapped with the survivors' admission
+    /// consensus, round-handoff broadcast and ledger all-reduce.
+    pub rebalance_ns: u64,
 }
 
 impl SimReport {
@@ -360,9 +376,18 @@ pub fn simulate_traced(
     let frame_bytes = (n as u64 + 1) * 8;
     let numa_mul = if sim.numa_penalty { spec.numa_sampling_penalty } else { 1.0 };
 
+    // Elastic membership: the plan's join points admit standby ranks at
+    // round starts. Standbys are pre-allocated (inactive) here so that
+    // activation is just flipping them on — their world ranks, and hence
+    // their sampler stream ids, continue past the founding world exactly as
+    // the real drivers' grown communicators append newcomers.
+    let joiner_count = plan.map_or(0, FaultPlan::total_joiners);
+    let max_procs = p_count + joiner_count;
+    let max_nodes = max_procs.div_ceil(shape.ranks_per_node);
+
     // Per-thread sampling-cost multiplier from the fault plan: straggler
     // ranks slow every thread they host; slow threads compound on top.
-    let tid_mul: Vec<f64> = (0..p_count)
+    let tid_mul: Vec<f64> = (0..max_procs)
         .flat_map(|p| {
             (0..t_count).map(move |t| match plan {
                 Some(pl) => {
@@ -377,7 +402,9 @@ pub fn simulate_traced(
         })
         .collect();
     let smul = |tid: usize| numa_mul * tid_mul[tid];
-    let worst_mul = tid_mul.iter().copied().fold(1.0f64, f64::max);
+    // The calibration phase precedes every join point, so its makespan
+    // follows the slowest *founding* thread only.
+    let worst_mul = tid_mul[..total_threads].iter().copied().fold(1.0f64, f64::max);
 
     // Calibration phase (closed-form virtual time; the δ budgets themselves
     // come from `prepared` — same data on every rank after the all-reduce).
@@ -398,20 +425,22 @@ pub fn simulate_traced(
     }
 
     // --- DES state -----------------------------------------------------
-    let mut samplers: Vec<ThreadSampler> = (0..p_count)
+    let mut samplers: Vec<ThreadSampler> = (0..max_procs)
         .flat_map(|p| {
             (0..t_count).map(move |t| ThreadSampler::new(n, cfg.seed, p, ADS_STREAM_OFFSET + t))
         })
         .collect();
-    let mut threads: Vec<VThread> = (0..p_count)
+    let mut threads: Vec<VThread> = (0..max_procs)
         .flat_map(|p| (0..t_count).map(move |_| VThread { proc: p, epoch: 0, stopped: false }))
         .collect();
-    let mut procs: Vec<VProc> = (0..p_count)
+    let mut procs: Vec<VProc> = (0..max_procs)
         .map(|p| {
             let node = p / shape.ranks_per_node;
             VProc {
                 node,
-                is_leader: p % shape.ranks_per_node == 0,
+                // Standby ranks landing on a fresh node assume leadership at
+                // activation, not here.
+                is_leader: p < p_count && p % shape.ranks_per_node == 0,
                 round: 0,
                 ctrl: Ctrl::Sampling,
                 t0_round_samples: 0,
@@ -427,16 +456,64 @@ pub fn simulate_traced(
     // Crash bookkeeping: at most one plan-scheduled crash (mirroring the
     // crash-corpus generator), resolved to a (victim, round) coordinate.
     let crash = crash_schedule(plan, p_count);
-    let mut crashed = vec![false; p_count];
+    let mut active: Vec<bool> = (0..max_procs).map(|p| p < p_count).collect();
     let mut active_procs = p_count;
     let mut active_leaders = leaders;
-    let procs_in_node = |crashed: &[bool], node: usize| -> usize {
+    let procs_in_node = |active: &[bool], node: usize| -> usize {
         let lo = node * shape.ranks_per_node;
-        let hi = ((node + 1) * shape.ranks_per_node).min(p_count);
-        (lo..hi).filter(|&p| !crashed[p]).count()
+        let hi = ((node + 1) * shape.ranks_per_node).min(max_procs);
+        (lo..hi).filter(|&p| active[p]).count()
     };
 
-    let mut rounds: Vec<Round> = vec![Round::new(n, nodes)];
+    // Per-proc per-thread round quota under the steal model. Stragglers
+    // (plan `rank_factor > 1`) keep `n0 / factor`; the deficit is split over
+    // the non-straggler helpers, remainder to the lowest helper indices —
+    // the same deterministic schedule every rank derives locally in the
+    // drivers, so no extra coordination is charged. Returns the quotas and
+    // the thread-samples moved per round.
+    let steal_quotas = |active: &[bool], n0: u64| -> (Vec<u64>, u64) {
+        let mut quotas = vec![n0; max_procs];
+        let (Some(pl), true) = (plan, sim.steal) else {
+            return (quotas, 0);
+        };
+        let stragglers: Vec<usize> =
+            (0..max_procs).filter(|&p| active[p] && pl.rank_factor(p) > 1).collect();
+        let helpers: Vec<usize> =
+            (0..max_procs).filter(|&p| active[p] && pl.rank_factor(p) <= 1).collect();
+        if stragglers.is_empty() || helpers.is_empty() {
+            return (quotas, 0);
+        }
+        let mut deficit = 0u64;
+        for &p in &stragglers {
+            let keep = (n0 / pl.rank_factor(p).max(1)).max(1).min(n0);
+            quotas[p] = keep;
+            deficit += n0 - keep;
+        }
+        let (chunk, rem) = (deficit / helpers.len() as u64, deficit % helpers.len() as u64);
+        for (i, &p) in helpers.iter().enumerate() {
+            quotas[p] = n0 + chunk + u64::from((i as u64) < rem);
+        }
+        (quotas, deficit * t_count as u64)
+    };
+    let (mut quotas, mut stolen_per_round) = steal_quotas(&active, n0);
+
+    // Grow-window cost on the virtual timeline: the newcomers' local
+    // bootstrap (diameter recompute plus a sequential replay of the founding
+    // calibration streams) runs while the survivors block in the admission
+    // consensus, the round-handoff broadcast and the ledger all-reduce
+    // (DESIGN.md §15). Survivors cannot close a round before it completes.
+    let tau0 = calibration_sample_count(cfg, omega);
+    let replay_ns = (tau0 as f64 * cost.mean_sample_ns()) as u64;
+    let join_delay = |members: usize| -> u64 {
+        cost.diameter_ns
+            + replay_ns
+            + spec.network.barrier_ns(members)
+            + 2 * spec.network.tree_collective_ns(members, frame_bytes)
+    };
+    let mut joins_remaining = joiner_count;
+    let mut next_joiner = p_count;
+
+    let mut rounds: Vec<Round> = vec![Round::new(n, max_nodes)];
     let mut s_total = vec![0u64; n];
     let mut tau_total: u64 = 0;
 
@@ -447,12 +524,6 @@ pub fn simulate_traced(
         *seq += 1;
         queue.push(Reverse(QE { at, seq: *seq, ev }));
     };
-
-    // Prime every thread's first sample.
-    for tid in 0..total_threads {
-        let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
-        push(&mut queue, &mut seq, d, Ev::Sample { tid });
-    }
 
     let mut report = SimReport {
         scores: Vec::new(),
@@ -470,13 +541,53 @@ pub fn simulate_traced(
         total_threads,
         ranks_lost: 0,
         recovery_ns: 0,
+        ranks_joined: 0,
+        samples_stolen: 0,
+        rebalance_ns: 0,
     };
+
+    // A round-0 join point admits its standbys before the first sample: the
+    // grow window sits at the head of the adaptive phase and delays every
+    // founding thread's first sample alongside the newcomers'.
+    let mut ads_start = 0u64;
+    if let Some(pl) = plan {
+        let k = pl.join_at_round(0).min(joins_remaining);
+        if k > 0 {
+            for _ in 0..k {
+                let p = next_joiner;
+                next_joiner += 1;
+                active[p] = true;
+                active_procs += 1;
+                if p.is_multiple_of(shape.ranks_per_node) {
+                    procs[p].is_leader = true;
+                    active_leaders += 1;
+                }
+            }
+            joins_remaining -= k;
+            report.ranks_joined += k as u64;
+            n0 = cfg.n0(active_procs * t_count);
+            (quotas, stolen_per_round) = steal_quotas(&active, n0);
+            ads_start = join_delay(active_procs);
+            report.rebalance_ns += ads_start;
+            report.comm_bytes += active_procs as u64 * frame_bytes;
+            if let Some(l) = log.as_deref_mut() {
+                l.span(0, 0, SpanId::Rebalance, 0, vt_base, ads_start);
+                l.count(0, 0, CounterId::RanksJoined, 0, vt_base, k as u64);
+            }
+        }
+    }
+
+    // Prime every active thread's first sample.
+    for tid in (0..max_procs * t_count).filter(|t| active[t / t_count]) {
+        let d = (cost.draw_sample_ns(&mut dur_rng) as f64 * smul(tid)) as u64;
+        push(&mut queue, &mut seq, ads_start + d, Ev::Sample { tid });
+    }
     let mut makespan = 0u64;
     // Root transition bookkeeping (started-at time for the wait columns).
     let mut root_transition_started = 0u64;
     let mut root_barrier_started = 0u64;
     // Root span bookkeeping for the trace (batch start, bcast-wait start).
-    let mut root_batch_started = 0u64;
+    let mut root_batch_started = ads_start;
     let mut root_bcast_started = 0u64;
 
     while let Some(Reverse(QE { at: now, ev, .. })) = queue.pop() {
@@ -486,7 +597,7 @@ pub fn simulate_traced(
                 if threads[tid].stopped {
                     continue;
                 }
-                if crashed[proc_id] {
+                if !active[proc_id] {
                     // The process died at a round boundary; its threads fall
                     // silent at their next sample boundary.
                     threads[tid].stopped = true;
@@ -524,7 +635,7 @@ pub fn simulate_traced(
                 match procs[proc_id].ctrl {
                     Ctrl::Sampling => {
                         procs[proc_id].t0_round_samples += 1;
-                        if procs[proc_id].t0_round_samples >= n0 {
+                        if procs[proc_id].t0_round_samples >= quotas[proc_id] {
                             // forceTransition: advance self, command others.
                             threads[tid].epoch += 1;
                             procs[proc_id].commanded += 1;
@@ -598,7 +709,7 @@ pub fn simulate_traced(
                             p_count,
                             active_leaders,
                             frame_bytes,
-                            &|node| procs_in_node(&crashed, node),
+                            &|node| procs_in_node(&active, node),
                             &mut root_barrier_started,
                             &mut root_bcast_started,
                             &mut resample,
@@ -686,7 +797,7 @@ pub fn simulate_traced(
                 let round_idx = procs[proc_id].round;
                 let parity = round_idx & 1;
                 if rounds.len() <= round_idx + 1 {
-                    rounds.push(Round::new(n, nodes));
+                    rounds.push(Round::new(n, max_nodes));
                 }
                 {
                     let frame = &mut procs[proc_id].frames[parity];
@@ -718,7 +829,7 @@ pub fn simulate_traced(
                         p_count,
                         active_leaders,
                         frame_bytes,
-                        &|node| procs_in_node(&crashed, node),
+                        &|node| procs_in_node(&active, node),
                         &mut root_barrier_started,
                         &mut root_bcast_started,
                         &mut resample,
@@ -749,10 +860,10 @@ pub fn simulate_traced(
                 // ledger only carries globally-reduced rounds — then shrink
                 // and continue with the survivors.
                 if let Some((victim, crash_round)) = crash {
-                    if round_idx == crash_round && !crashed[victim] {
+                    if round_idx == crash_round && active[victim] {
                         let members = active_procs as u64;
                         let reduce_arrival = round.root_reduce_arrival;
-                        crashed[victim] = true;
+                        active[victim] = false;
                         active_procs -= 1;
                         report.ranks_lost += 1;
                         // A dead leader's node promotes its next surviving
@@ -762,14 +873,16 @@ pub fn simulate_traced(
                             procs[victim].is_leader = false;
                             let node = procs[victim].node;
                             let lo = node * shape.ranks_per_node;
-                            let hi = ((node + 1) * shape.ranks_per_node).min(p_count);
-                            match (lo..hi).find(|&p| !crashed[p]) {
+                            let hi = ((node + 1) * shape.ranks_per_node).min(max_procs);
+                            match (lo..hi).find(|&p| active[p]) {
                                 Some(next) => procs[next].is_leader = true,
                                 None => active_leaders -= 1,
                             }
                         }
-                        // Survivors re-derive n0 for the shrunk world.
+                        // Survivors re-derive n0 — and the steal schedule —
+                        // for the shrunk world.
                         n0 = cfg.n0(active_procs * t_count);
+                        (quotas, stolen_per_round) = steal_quotas(&active, n0);
                         // Recovery penalty: shrink consensus (a barrier over
                         // the survivors) plus the ledger rebuild (an
                         // all-reduce ≈ reduce + broadcast of one frame).
@@ -806,7 +919,7 @@ pub fn simulate_traced(
                         // resume sampling once recovery completes.
                         rounds[round_idx].bcast = Some((now + recovery_ns, false));
                         for (p, proc) in procs.iter_mut().enumerate() {
-                            if crashed[p] {
+                            if !active[p] {
                                 continue;
                             }
                             if proc.ctrl == Ctrl::BlockedReduce && proc.round == round_idx {
@@ -832,6 +945,7 @@ pub fn simulate_traced(
                 tau_total += round.pending_tau;
                 report.epochs += 1;
                 report.comm_bytes += active_procs as u64 * frame_bytes;
+                report.samples_stolen += stolen_per_round;
 
                 let check_cost = cost.check_ns(n);
                 report.check_ns += check_cost;
@@ -871,6 +985,9 @@ pub fn simulate_traced(
                         vt_base + now,
                         active_procs as u64 * frame_bytes,
                     );
+                    if stolen_per_round > 0 {
+                        l.count(0, 0, CounterId::SamplesStolen, e, vt_base + now, stolen_per_round);
+                    }
                 }
                 let d = stopping_condition(
                     &s_total,
@@ -880,7 +997,77 @@ pub fn simulate_traced(
                     &prepared.calibration.delta_l,
                     &prepared.calibration.delta_u,
                 );
-                let bcast_ready = now + check_cost + spec.network.tree_collective_ns(p_count, 16);
+                let mut bcast_ready =
+                    now + check_cost + spec.network.tree_collective_ns(p_count, 16);
+                // A join point at the start of the next round: admit its
+                // standbys now. The grow window delays the termination
+                // broadcast — no survivor can open the next round before the
+                // handoff collectives complete — and the newcomers' threads
+                // fire their first samples once it lifts.
+                if !d {
+                    if let Some(pl) = plan {
+                        let next_round = round_idx + 1;
+                        let k = pl.join_at_round(next_round as u64).min(joins_remaining);
+                        if k > 0 {
+                            let first = next_joiner;
+                            for _ in 0..k {
+                                let p = next_joiner;
+                                next_joiner += 1;
+                                active[p] = true;
+                                active_procs += 1;
+                                if p.is_multiple_of(shape.ranks_per_node) {
+                                    procs[p].is_leader = true;
+                                    active_leaders += 1;
+                                }
+                            }
+                            joins_remaining -= k;
+                            report.ranks_joined += k as u64;
+                            // The grown world re-derives n0 and the steal
+                            // schedule, exactly as the survivors do after
+                            // `Communicator::grow`.
+                            n0 = cfg.n0(active_procs * t_count);
+                            (quotas, stolen_per_round) = steal_quotas(&active, n0);
+                            let delay = join_delay(active_procs);
+                            report.rebalance_ns += delay;
+                            // The handoff moves one ledger frame per member.
+                            report.comm_bytes += active_procs as u64 * frame_bytes;
+                            if let Some(l) = log.as_deref_mut() {
+                                let e = next_round as u32;
+                                l.span(0, 0, SpanId::Rebalance, e, vt_base + bcast_ready, delay);
+                                l.count(
+                                    0,
+                                    0,
+                                    CounterId::RanksJoined,
+                                    e,
+                                    vt_base + bcast_ready,
+                                    k as u64,
+                                );
+                            }
+                            bcast_ready += delay;
+                            for (off, proc) in procs[first..first + k].iter_mut().enumerate() {
+                                let p = first + off;
+                                proc.round = next_round;
+                                proc.commanded = next_round as u32;
+                                proc.ctrl = Ctrl::Sampling;
+                                proc.t0_round_samples = 0;
+                                for t in 0..t_count {
+                                    let tid = p * t_count + t;
+                                    threads[tid].epoch = next_round as u32;
+                                    threads[tid].stopped = false;
+                                    let d_ns = (cost.draw_sample_ns(&mut dur_rng) as f64
+                                        * smul(tid))
+                                        as u64;
+                                    push(
+                                        &mut queue,
+                                        &mut seq,
+                                        bcast_ready + d_ns,
+                                        Ev::Sample { tid },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
                 rounds[round_idx].bcast = Some((bcast_ready, d));
 
                 // Resume blocked leaders (Ibarrier / FullyBlocking paths).
@@ -1050,6 +1237,7 @@ mod tests {
             shape: shape(1, 1, 1),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let r = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
         assert!(r.samples > 0);
@@ -1067,6 +1255,7 @@ mod tests {
                 shape: shape(ranks, 2, 2),
                 strategy: ReduceStrategy::IbarrierThenBlockingReduce,
                 numa_penalty: false,
+                steal: false,
             };
             let r = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
             let worst =
@@ -1112,6 +1301,7 @@ mod tests {
                 shape: shape(ranks, 2, 4),
                 strategy: ReduceStrategy::IbarrierThenBlockingReduce,
                 numa_penalty: false,
+                steal: false,
             };
             let r = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
             assert!(
@@ -1131,8 +1321,9 @@ mod tests {
             shape: shape(1, 1, 4),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
-        let penalized = SimConfig { numa_penalty: true, ..base };
+        let penalized = SimConfig { numa_penalty: true, steal: false, ..base };
         let r0 = simulate(&g, &cfg, &prepared, &base, &spec, &cost);
         let r1 = simulate(&g, &cfg, &prepared, &penalized, &spec, &cost);
         assert!(
@@ -1152,7 +1343,8 @@ mod tests {
             ReduceStrategy::Ireduce,
             ReduceStrategy::FullyBlocking,
         ] {
-            let sim = SimConfig { shape: shape(4, 2, 2), strategy, numa_penalty: false };
+            let sim =
+                SimConfig { shape: shape(4, 2, 2), strategy, numa_penalty: false, steal: false };
             let r = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
             assert!(r.samples > 0, "{strategy:?}");
             assert!(r.epochs >= 1, "{strategy:?}");
@@ -1167,6 +1359,7 @@ mod tests {
             shape: shape(3, 2, 2),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let a = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
         let b = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
@@ -1183,6 +1376,7 @@ mod tests {
             shape: shape(3, 2, 2),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
         let ideal = FaultPlan::ideal(9);
@@ -1201,6 +1395,7 @@ mod tests {
             shape: shape(4, 2, 2),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
         let plan = FaultPlan::ideal(0).with_straggler(2, 6);
@@ -1228,6 +1423,7 @@ mod tests {
             shape: shape(2, 2, 4),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let thread_plan = FaultPlan::ideal(0).with_slow_thread(1, 2, 6);
         let rank_plan = FaultPlan::ideal(0).with_straggler(1, 6);
@@ -1247,7 +1443,8 @@ mod tests {
             ReduceStrategy::Ireduce,
             ReduceStrategy::FullyBlocking,
         ] {
-            let sim = SimConfig { shape: shape(4, 2, 2), strategy, numa_penalty: false };
+            let sim =
+                SimConfig { shape: shape(4, 2, 2), strategy, numa_penalty: false, steal: false };
             let base = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
             let mut log = EventLog::new();
             let traced =
@@ -1283,6 +1480,7 @@ mod tests {
             shape: shape(4, 2, 2),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         // Collective join 6 maps to round (6 − 4) / 2 = 1.
         let plan = FaultPlan::ideal(0).with_crash_at_collective(2, 6);
@@ -1313,6 +1511,7 @@ mod tests {
             shape: shape(4, 2, 2),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let plan = FaultPlan::ideal(0).with_crash_at_collective(3, 4);
         let base = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
@@ -1351,12 +1550,149 @@ mod tests {
     }
 
     #[test]
+    fn planned_join_grows_the_cluster_and_predicts_elastic_speedup() {
+        let g = grid(GridConfig { rows: 8, cols: 8, diagonal_prob: 0.0, seed: 0 });
+        let cfg = KadabraConfig::new(0.05, 0.1);
+        let prepared = kadabra_core::prepare(&g, &cfg);
+        let cost = CostModel::synthetic(100_000);
+        let spec = ClusterSpec::default();
+        let sim = SimConfig {
+            shape: shape(2, 2, 2),
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+            steal: false,
+        };
+        let static_run = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
+        let plan = FaultPlan::ideal(0).with_join(1, 2);
+        let grown = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+        assert_eq!(grown.ranks_joined, 2, "the join point must admit both standbys");
+        assert!(grown.rebalance_ns > 0, "the grow window must cost virtual time");
+        // The tentpole prediction: doubling the world mid-run beats the
+        // static continuation even after paying the newcomers' bootstrap.
+        assert!(
+            grown.ads_ns < static_run.ads_ns,
+            "elastic run must be faster: {} !< {}",
+            grown.ads_ns,
+            static_run.ads_ns
+        );
+        // The statistical guarantee survives the membership change.
+        let exact = kadabra_baselines_brandes(&g);
+        let worst =
+            grown.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst} across a grow");
+        // Bit-reproducible from (plan, seed), like every other DES run.
+        let again = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+        assert_eq!(grown.scores, again.scores);
+        assert_eq!(grown.ads_ns, again.ads_ns);
+        assert_eq!(grown.rebalance_ns, again.rebalance_ns);
+        // Join-free plans stay bit-identical to the unperturbed run.
+        let ideal = FaultPlan::ideal(7);
+        let r = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&ideal));
+        assert_eq!(r.scores, static_run.scores);
+        assert_eq!(r.ads_ns, static_run.ads_ns);
+        assert_eq!(r.ranks_joined, 0);
+        assert_eq!(r.rebalance_ns, 0);
+    }
+
+    #[test]
+    fn steal_decouples_round_latency_from_straggler_factor() {
+        let (g, cfg, prepared, cost) = setup();
+        let spec = ClusterSpec::default();
+        let base = SimConfig {
+            shape: shape(4, 2, 2),
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+            steal: false,
+        };
+        let stealing = SimConfig { steal: true, ..base };
+        let run = |sim: &SimConfig, factor: u64| {
+            let plan = FaultPlan::ideal(0).with_straggler(1, factor);
+            simulate_perturbed(&g, &cfg, &prepared, sim, &spec, &cost, Some(&plan))
+        };
+        let (nosteal4, nosteal16) = (run(&base, 4), run(&base, 16));
+        let (steal4, steal16) = (run(&stealing, 4), run(&stealing, 16));
+        // Stealing moves work and books it; the static runs move nothing.
+        assert!(steal4.samples_stolen > 0);
+        assert!(steal16.samples_stolen > steal4.samples_stolen);
+        assert_eq!(nosteal4.samples_stolen, 0);
+        // Stealing beats waiting behind the straggler at every factor.
+        assert!(steal4.ads_ns < nosteal4.ads_ns);
+        assert!(steal16.ads_ns < nosteal16.ads_ns);
+        // The acceptance criterion: without steal, round latency tracks the
+        // straggler factor (4× the factor ≈ 4× the run); with steal the
+        // straggler keeps only n0/factor, so the factor nearly cancels and
+        // the run time plateaus.
+        let growth_nosteal = nosteal16.ads_ns as f64 / nosteal4.ads_ns as f64;
+        let growth_steal = steal16.ads_ns as f64 / steal4.ads_ns as f64;
+        assert!(growth_nosteal > 2.0, "static latency must track the factor: {growth_nosteal}");
+        assert!(growth_steal < 1.3, "stolen latency must plateau: {growth_steal}");
+        // ε still holds under redistribution, bit-reproducibly.
+        let exact = kadabra_baselines_brandes(&g);
+        let worst =
+            steal16.scores.iter().zip(&exact).map(|(a, e)| (a - e).abs()).fold(0.0f64, f64::max);
+        assert!(worst <= cfg.epsilon, "max error {worst} under steal");
+        let again = run(&stealing, 16);
+        assert_eq!(steal16.scores, again.scores);
+        assert_eq!(steal16.ads_ns, again.ads_ns);
+        assert_eq!(steal16.samples_stolen, again.samples_stolen);
+        // The flag is inert without stragglers: same bits as the plain run.
+        let plain = simulate(&g, &cfg, &prepared, &base, &spec, &cost);
+        let inert = simulate_perturbed(
+            &g,
+            &cfg,
+            &prepared,
+            &stealing,
+            &spec,
+            &cost,
+            Some(&FaultPlan::ideal(3)),
+        );
+        assert_eq!(plain.scores, inert.scores);
+        assert_eq!(plain.ads_ns, inert.ads_ns);
+        assert_eq!(inert.samples_stolen, 0);
+    }
+
+    #[test]
+    fn grow_and_steal_compose_and_land_in_the_event_trace() {
+        // A tighter ε keeps the run going past both join rounds.
+        let g = grid(GridConfig { rows: 8, cols: 8, diagonal_prob: 0.0, seed: 0 });
+        let cfg = KadabraConfig::new(0.05, 0.1);
+        let prepared = kadabra_core::prepare(&g, &cfg);
+        let cost = CostModel::synthetic(100_000);
+        let spec = ClusterSpec::default();
+        let sim = SimConfig {
+            shape: shape(3, 2, 2),
+            strategy: ReduceStrategy::IbarrierThenBlockingReduce,
+            numa_penalty: false,
+            steal: true,
+        };
+        let plan = FaultPlan::ideal(0).with_straggler(1, 6).with_join(1, 1).with_join(1, 1);
+        let base = simulate_perturbed(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan));
+        assert_eq!(base.ranks_joined, 2, "both join points must fire");
+        assert!(base.samples_stolen > 0, "the straggler must shed quota");
+        assert!(base.rebalance_ns > 0);
+        assert!(base.samples > 0 && base.epochs >= 1);
+        // Recording is a pure observer through grows and steals, and the new
+        // columns follow the one-schema rule like every other.
+        let mut log = EventLog::new();
+        let traced =
+            simulate_traced(&g, &cfg, &prepared, &sim, &spec, &cost, Some(&plan), Some(&mut log));
+        assert_eq!(base.scores, traced.scores);
+        assert_eq!(base.ads_ns, traced.ads_ns);
+        let s = log.summary();
+        assert_eq!(s.span_total(SpanId::Rebalance), traced.rebalance_ns);
+        assert_eq!(s.counter(CounterId::RanksJoined), traced.ranks_joined);
+        assert_eq!(s.counter(CounterId::SamplesStolen), traced.samples_stolen);
+        assert_eq!(s.counter(CounterId::Samples), traced.samples);
+    }
+
+    #[test]
     fn comm_bytes_match_frame_accounting() {
         let (g, cfg, prepared, cost) = setup();
         let sim = SimConfig {
             shape: shape(4, 2, 1),
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let r = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
         assert_eq!(r.comm_bytes, r.epochs * 4 * (64 + 1) * 8);

@@ -65,6 +65,9 @@ pub fn simulate_naive(
         total_threads: threads,
         ranks_lost: 0,
         recovery_ns: 0,
+        ranks_joined: 0,
+        samples_stolen: 0,
+        rebalance_ns: 0,
     };
 
     loop {
@@ -149,6 +152,7 @@ mod tests {
             shape: ClusterShape { ranks: 1, ranks_per_node: 1, threads_per_rank: 8 },
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: true,
+            steal: false,
         };
         let epoch = simulate(&g, &cfg, &prepared, &sim, &spec, &cost);
         // With constant sample costs the straggler penalty vanishes, but the

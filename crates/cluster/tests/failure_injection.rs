@@ -21,6 +21,7 @@ fn shape(ranks: usize, rpn: usize, tpr: usize) -> SimConfig {
         shape: ClusterShape { ranks, ranks_per_node: rpn, threads_per_rank: tpr },
         strategy: ReduceStrategy::IbarrierThenBlockingReduce,
         numa_penalty: false,
+        steal: false,
     }
 }
 

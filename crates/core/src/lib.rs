@@ -28,6 +28,7 @@ pub mod bounds;
 pub mod calibration;
 pub mod chaos;
 pub mod config;
+pub mod elastic;
 pub mod epoch_mpi;
 pub mod mpi;
 pub mod naive;
@@ -47,6 +48,7 @@ pub use bounds::{achieved_epsilon, f_bound, g_bound, omega};
 pub use calibration::Calibration;
 pub use chaos::{kadabra_epoch_mpi_observed, kadabra_mpi_flat_observed, ChaosOptions, ChaosReport};
 pub use config::{ClusterShape, KadabraConfig};
+pub use elastic::{kadabra_mpi_flat_elastic, planned_admissions, ElasticOptions, ElasticReport};
 pub use epoch_mpi::{kadabra_epoch_mpi, kadabra_epoch_mpi_traced};
 pub use mpi::{kadabra_mpi_flat, kadabra_mpi_flat_traced};
 pub use naive::kadabra_naive_parallel;

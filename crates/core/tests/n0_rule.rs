@@ -48,6 +48,34 @@ proptest! {
         let flat = ClusterShape::flat(total);
         prop_assert_eq!(cfg.n0(flat.total_threads()), expected);
     }
+
+    /// Elastic membership changes re-derive n0 from the *current* world
+    /// alone: admitting ranks never raises the batch, every intermediate
+    /// world along a grow path batches no more than the one before it, and
+    /// a grow followed by a shrink back to the original (P, T) returns the
+    /// exact original value — the rule is a pure function of total
+    /// parallelism, carrying no membership history.
+    #[test]
+    fn n0_rescales_monotonically_under_grow_and_round_trips(
+        p in 1usize..48,
+        t in 1usize..24,
+        k in 1usize..16,
+        base in 1.0f64..100_000.0,
+        exponent in 0.1f64..3.0,
+    ) {
+        let cfg = KadabraConfig { n0_base: base, n0_exponent: exponent, ..Default::default() };
+        let before = cfg.n0(p * t);
+        let mut prev = before;
+        for step in 1..=k {
+            let next = cfg.n0((p + step) * t);
+            prop_assert!(next <= prev, "n0 rose along the grow path at step {step}");
+            prop_assert!(next >= 1, "n0 must stay positive in the grown world");
+            prev = next;
+        }
+        // Shrinking back (a crash, or the server shedding its grown slots)
+        // re-derives the founding value bit-for-bit.
+        prop_assert_eq!(cfg.n0(p * t), before, "grow-then-shrink failed to round-trip");
+    }
 }
 
 /// Anchor values straight from the paper's formula, so a regression in the

@@ -56,6 +56,31 @@ impl CrossEpochProbe {
         }
     }
 
+    /// A probe for an elastic world: ranks `0..active` start unstarted and
+    /// audited, ranks `active..num_ranks` (the standby pool) start excluded
+    /// exactly as if retired — their counters stay frozen until a grow
+    /// [`CrossEpochProbe::admit`]s them mid-run.
+    pub fn with_standbys(num_ranks: usize, active: usize) -> Self {
+        assert!(active >= 1 && active <= num_ranks, "active ranks out of range");
+        let p = CrossEpochProbe::new(num_ranks);
+        for r in active..num_ranks {
+            p.retire(r);
+        }
+        p
+    }
+
+    /// Admits `rank` into the audit at global round `round` — the elastic
+    /// grow's inverse of [`CrossEpochProbe::retire`]. The newcomer enters
+    /// already *in* the round the survivors hand it (the post-grow round
+    /// handoff), so the gap invariant holds across the membership change
+    /// without a grace period. Idempotent per (rank, round): any number of
+    /// survivors may report the same admission.
+    pub fn admit(&self, rank: usize, round: u32) {
+        // Release, like `begin_round`: the store is published to observers
+        // by the collective join that follows the admission.
+        self.current[rank].store(round + 1, Ordering::Release);
+    }
+
     /// Number of ranks the probe watches.
     pub fn num_ranks(&self) -> usize {
         self.current.len()
@@ -247,6 +272,48 @@ mod tests {
         }
         assert_eq!(p.violations(), 0);
         p.assert_clean("retired rank");
+    }
+
+    #[test]
+    fn standbys_are_excluded_until_admitted() {
+        // Elastic world: 2 active ranks, 1 standby. The standby's frozen
+        // counter must not trip the audit while the active ranks advance;
+        // once admitted mid-run it is audited like any founder.
+        let p = CrossEpochProbe::with_standbys(3, 2);
+        for round in 0..3 {
+            p.begin_round(0, round);
+            p.begin_round(1, round);
+            assert_eq!(p.complete_round(0, round), 0);
+            assert_eq!(p.complete_round(1, round), 0);
+        }
+        // Grow at round 3: rank 2 joins in-round.
+        p.admit(2, 3);
+        for round in 3..6 {
+            for r in 0..3 {
+                p.begin_round(r, round);
+            }
+            for r in 0..3 {
+                assert_eq!(p.complete_round(r, round), 0);
+            }
+        }
+        assert_eq!(p.violations(), 0);
+        p.assert_clean("standby admission");
+    }
+
+    #[test]
+    fn admitted_rank_that_stalls_is_audited() {
+        // Negative control for `admit`: once admitted, a newcomer that
+        // freezes is a real violation, not an excluded standby.
+        let p = CrossEpochProbe::with_standbys(2, 1);
+        p.begin_round(0, 0);
+        p.complete_round(0, 0);
+        p.admit(1, 1);
+        // Rank 0 races two rounds ahead while the newcomer sits in round 1.
+        p.begin_round(0, 1);
+        p.begin_round(0, 2);
+        p.begin_round(0, 3);
+        assert_eq!(p.complete_round(0, 3), 2);
+        assert_eq!(p.violations(), 1);
     }
 
     #[test]

@@ -10,3 +10,12 @@ pub fn swallow(comm: &Comm) -> u64 {
     let n = comm.allreduce_sum_u64(2).unwrap_or(0); //~ comm-error-flow
     n
 }
+
+/// The elastic entry points carry the same signal and must not swallow it:
+/// a failed `grow` leaves the world half-admitted, a failed `steal_grant`
+/// means the straggler died mid-round — both are recoverable crashes.
+pub fn swallow_elastic(comm: &Comm) -> u64 {
+    let _ = comm.grow(2); //~ comm-error-flow
+    comm.grow(1).ok(); //~ comm-error-flow
+    comm.steal_grant(3).unwrap_or(0) //~ comm-error-flow
+}

@@ -25,3 +25,15 @@ pub fn routed(comm: &Comm) -> u64 {
         0
     }
 }
+
+/// The elastic entry points propagate like any other collective: a failed
+/// admission aborts the grow window, a failed grant falls back to the
+/// straggler's own quota.
+pub fn propagate_elastic(comm: &Comm) -> Result<u64, CommError> {
+    let admitted = comm.grow(2)?;
+    let stolen = match comm.steal_grant(1) {
+        Ok(quota) => quota,
+        Err(CommError::RankFailed) => 0,
+    };
+    Ok(admitted as u64 + stolen)
+}

@@ -8,3 +8,11 @@ pub fn setup(comm: &Comm) {
     let _ = comm.barrier();
     comm.barrier().ok(); // xtask: allow(comm-error-flow) — fixture: ditto.
 }
+
+/// A best-effort grow probe before the run starts: a refusal just means the
+/// world stays at its founding size.
+pub fn probe(comm: &Comm) {
+    // xtask: allow(comm-error-flow) — fixture: pre-run capacity probe; a
+    // failed admission here leaves the founding world intact.
+    let _ = comm.grow(1);
+}

@@ -20,4 +20,16 @@ impl Comm {
     pub fn allreduce_sum_u64(&self, x: u64) -> Result<u64, CommError> {
         Ok(x)
     }
+
+    /// Standby admission: grows the world by `extra` ranks (the elastic
+    /// scale-out entry point; a failure mid-admission is a rank failure).
+    pub fn grow(&self, extra: usize) -> Result<usize, CommError> {
+        Ok(extra)
+    }
+
+    /// Claims a straggler's shed quota on behalf of `helper` (the work-steal
+    /// entry point; a failed grant means the straggler died mid-round).
+    pub fn steal_grant(&self, helper: usize) -> Result<u64, CommError> {
+        Ok(helper as u64)
+    }
 }

@@ -90,6 +90,9 @@ pub struct Communicator {
     /// Next shrink generation of this communicator (advanced on success, so
     /// repeated failures shrink through distinct generations).
     shrink_gen: Cell<u64>,
+    /// Next grow generation (a separate stream from `shrink_gen`: the two
+    /// use disjoint reserved key spaces in the engine's slot map).
+    grow_gen: Cell<u64>,
     /// Crash schedule of the OS thread driving this rank (shared across all
     /// of the rank's communicators; None without a scheduled crash).
     crash: Option<Arc<RankCrashState>>,
@@ -120,6 +123,7 @@ impl Communicator {
             rank,
             seq: Cell::new(0),
             shrink_gen: Cell::new(0),
+            grow_gen: Cell::new(0),
             crash,
             tracer: RefCell::new(None),
         }
@@ -589,6 +593,39 @@ impl Communicator {
         self.shrink_gen.set(generation + 1);
         let child = Communicator::new(engine, new_rank, self.crash.clone());
         if let Some(w) = self.tracer_clone() {
+            child.set_tracer(w);
+        }
+        Ok(child)
+    }
+
+    // ------------------------------------------------------------------
+    // Grow
+    // ------------------------------------------------------------------
+
+    /// Grows the communicator by admitting up to `extra` standby ranks at a
+    /// collective boundary — the mirror of [`Communicator::shrink`]. Every
+    /// live member calls this with the same `extra`; the result is a new,
+    /// larger communicator whose members are the callers in parent-rank
+    /// order followed by the admitted standbys (smallest world rank first).
+    /// Admitted standbys receive their own handle on the same child through
+    /// [`crate::StandbyRank::wait_admission`], already ranked after the
+    /// incumbents. Returns the incumbent's handle on the child.
+    ///
+    /// Unlike shrink, grow is *not* a recovery path: the crash checkpoint
+    /// applies, so a rank whose fault plan schedules a crash here dies
+    /// instead of joining. Members that die while the grow is in flight are
+    /// excused (the collective still completes over the survivors). The
+    /// child's plan-hash salt is derived from the grow *generation* key with
+    /// its own color, so grown communicators never alias the parent's hash
+    /// stream, any `split` child's, or any shrink generation's.
+    pub fn grow(&self, extra: usize) -> Result<Communicator, CommError> {
+        self.crash_checkpoint()?;
+        let generation = self.grow_gen.get();
+        let (engine, new_rank, admitted) = self.engine.grow(self.rank, generation, extra)?;
+        self.grow_gen.set(generation + 1);
+        let child = Communicator::new(engine, new_rank, self.crash.clone());
+        if let Some(w) = self.tracer_clone() {
+            w.count(CounterId::RanksJoined, admitted as u64);
             child.set_tracer(w);
         }
         Ok(child)

@@ -56,6 +56,11 @@ const FAILURE_CONFIRM_RETRIES: u32 = 3;
 /// collide with them (or with the salts `split` derives from real seqs).
 const SHRINK_KEY_BASE: u64 = 1 << 62;
 
+/// Reserved key space for grow generations, disjoint from both ordinary op
+/// sequence numbers and [`SHRINK_KEY_BASE`], so a communicator that both
+/// shrinks and grows keeps the two generation streams apart.
+const GROW_KEY_BASE: u64 = 1 << 61;
+
 /// Operation kinds, used both for dispatch and for mismatch detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum OpKind {
@@ -65,6 +70,7 @@ pub(crate) enum OpKind {
     Allreduce,
     Split,
     Shrink,
+    Grow,
 }
 
 /// One collective instance.
@@ -93,6 +99,18 @@ struct ShrinkAcc {
     /// Child engine plus the surviving ranks *of the parent communicator*,
     /// in ascending order (position = new rank).
     child: (Arc<Engine>, Vec<usize>),
+}
+
+/// Accumulator of a grow generation.
+struct GrowAcc {
+    /// Standby count requested by the first joiner; later joiners must
+    /// request the same count (poison on mismatch, like any collective
+    /// argument disagreement).
+    extra: usize,
+    /// Once built by the first completion observer: the child engine, the
+    /// joining parent ranks (position = new rank), and how many standbys
+    /// were actually admitted.
+    child: Option<(Arc<Engine>, Vec<usize>, usize)>,
 }
 
 /// Engine state shared by all ranks of one communicator.
@@ -440,6 +458,132 @@ impl Engine {
                 if waited >= budget {
                     return Err(CommError::Timeout {
                         op: format!("shrink generation {generation} incomplete after {budget:?}"),
+                        replay: self.replay(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Collective grow: every live member joins generation `generation`
+    /// requesting `extra` additional ranks; completion builds the child
+    /// engine — the joiners in parent-rank order, followed by up to `extra`
+    /// standbys admitted from the world's standby pool (smallest world rank
+    /// first) — and delivers each admitted standby its (engine, rank)
+    /// ticket through [`WorldHealth::deliver_admission`]. Returns the child
+    /// engine, this rank's new rank, and the number of standbys actually
+    /// admitted (fewer than `extra` when the pool runs dry).
+    ///
+    /// Members dead at completion time are excused, exactly as in `shrink`,
+    /// so a grow racing a crash still terminates. The child's plan-hash
+    /// salt is derived from the *grow generation key* with color 1 —
+    /// disjoint from the op-seq salts of `split` children (small seqs,
+    /// their own colors) and from shrink generations (`SHRINK_KEY_BASE`
+    /// keys, color 0) — so grown comms never alias any other hash stream.
+    pub(crate) fn grow(
+        &self,
+        rank: usize,
+        generation: u64,
+        extra: usize,
+    ) -> Result<(Arc<Engine>, usize, usize), CommError> {
+        let key = GROW_KEY_BASE | generation;
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(key).or_insert_with(|| {
+            let mut s = OpSlot::new(OpKind::Grow, self.size);
+            s.acc = Some(Box::new(GrowAcc { extra, child: None }));
+            s
+        });
+        assert!(slot.kind == OpKind::Grow, "reserved grow key collided with an op");
+        assert!(!slot.joined[rank], "rank {rank} joined grow generation {generation} twice");
+        {
+            let acc = slot
+                .acc
+                .as_mut()
+                .and_then(|a| a.downcast_mut::<GrowAcc>())
+                // xtask: allow(unwrap) — deposited unconditionally at slot
+                // creation above; the reserved key space pins the type.
+                .expect("grow accumulator");
+            if acc.extra != extra {
+                let msg = format!(
+                    "grow mismatch: rank {rank} requested {extra} extra ranks in generation \
+                     {generation}, first joiner requested {}",
+                    acc.extra
+                );
+                drop(slots);
+                return Err(self.poison(msg));
+            }
+        }
+        slot.joined[rank] = true;
+        slot.arrived += 1;
+        self.cv.notify_all();
+        let budget = self.deadlock_timeout();
+        let mut waited = Duration::ZERO;
+        loop {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(self.poisoned_error());
+            }
+            {
+                // xtask: allow(unwrap) — the slot is freed only after the
+                // last joiner retires, and this rank has not retired yet.
+                let slot = slots.get_mut(&key).expect("grow generation slot present");
+                let acc = slot
+                    .acc
+                    .as_mut()
+                    .and_then(|a| a.downcast_mut::<GrowAcc>())
+                    // xtask: allow(unwrap) — see above; type pinned by key space.
+                    .expect("grow accumulator");
+                let done =
+                    acc.child.is_some() || self.health.shrink_complete(&self.members, &slot.joined);
+                if done {
+                    if acc.child.is_none() {
+                        // First observer: joiners in parent rank order keep
+                        // their relative order; admitted standbys append
+                        // after them (deterministic — the pool hands out
+                        // smallest world ranks first).
+                        let joiners: Vec<usize> =
+                            (0..self.size).filter(|&r| slot.joined[r]).collect();
+                        let mut world: Vec<usize> =
+                            joiners.iter().map(|&r| self.members[r]).collect();
+                        let admitted = self.health.take_standbys(extra);
+                        // xtask: allow(determinism) — a Vec drained from a
+                        // BTreeSet: smallest world ranks first, no hash order.
+                        world.extend(admitted.iter().copied());
+                        let salt = crate::fault::derive_salt(self.salt, key, 1);
+                        let child = Engine::for_members(
+                            world,
+                            self.plan.clone(),
+                            salt,
+                            self.health.clone(),
+                            self.bytes_transferred(),
+                        );
+                        // xtask: allow(determinism) — same sorted Vec as above.
+                        for (i, &wr) in admitted.iter().enumerate() {
+                            self.health.deliver_admission(wr, child.clone(), joiners.len() + i);
+                        }
+                        acc.child = Some((child, joiners, admitted.len()));
+                        self.cv.notify_all();
+                    }
+                    let (child, joiners, admitted) =
+                        // xtask: allow(unwrap) — just stored/observed above.
+                        acc.child.as_ref().expect("grow child").clone();
+                    let new_rank = joiners
+                        .iter()
+                        .position(|&r| r == rank)
+                        // xtask: allow(unwrap) — this rank joined, so it is
+                        // among the joiners by construction.
+                        .expect("own rank among grow joiners");
+                    slot.retired += 1;
+                    if slot.retired == joiners.len() {
+                        slots.remove(&key);
+                    }
+                    return Ok((child, new_rank, admitted));
+                }
+            }
+            if self.cv.wait_for(&mut slots, WAIT_SLICE).timed_out() {
+                waited += WAIT_SLICE;
+                if waited >= budget {
+                    return Err(CommError::Timeout {
+                        op: format!("grow generation {generation} incomplete after {budget:?}"),
                         replay: self.replay(),
                     });
                 }

@@ -61,6 +61,23 @@ const TAG_P2P: u64 = 0x02;
 const TAG_QUOTA: u64 = 0x03;
 const TAG_OVERLAP: u64 = 0x04;
 const TAG_CRASH: u64 = 0x05;
+const TAG_JOIN: u64 = 0x06;
+
+/// When a scheduled rank join (elastic grow) fires, on the drivers' shared
+/// global round counter — the coordinate every member advances in lockstep,
+/// so all living ranks consult the plan at the same boundary and call
+/// [`crate::Communicator::grow`] collectively. Like [`CrashPoint`], join
+/// points are plain data: a grown run replays bit-for-bit from
+/// `(plan, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPoint {
+    /// Global adaptive round at whose *start* the join fires (0-based; the
+    /// grow happens before the round's sample batch).
+    pub round: u64,
+    /// Number of standby ranks admitted at this point (clamped by the
+    /// runtime to the standbys actually registered).
+    pub ranks: usize,
+}
 
 /// When a scheduled rank crash fires, on the rank's own logical clock (see
 /// the module docs) — so crashes are exactly reproducible from
@@ -115,6 +132,11 @@ pub struct FaultPlan {
     /// [`FaultPlan::from_seed`] plans; use the `with_crash_*` builders or
     /// [`FaultPlan::from_seed_with_crashes`].
     pub crashes: Vec<(usize, CrashPoint)>,
+    /// Scheduled rank joins (elastic grows): at the start of each listed
+    /// round, the drivers admit the given number of standby ranks. Empty in
+    /// [`FaultPlan::ideal`] and [`FaultPlan::from_seed`] plans; use
+    /// [`FaultPlan::with_join`] or [`FaultPlan::from_seed_with_grows`].
+    pub joins: Vec<JoinPoint>,
 }
 
 impl FaultPlan {
@@ -132,6 +154,7 @@ impl FaultPlan {
             slow_thread_factor: 1,
             quota_jitter_pct: 0,
             crashes: Vec::new(),
+            joins: Vec::new(),
         }
     }
 
@@ -151,6 +174,7 @@ impl FaultPlan {
             slow_thread_factor: 1,
             quota_jitter_pct: h(4) % 60,
             crashes: Vec::new(),
+            joins: Vec::new(),
         };
         if h(5) % 2 == 0 {
             // One straggler rank among the first 8 (clamped later by use).
@@ -187,6 +211,23 @@ impl FaultPlan {
                 }
                 plan.with_crash_after_polls(rank, 8 + h(4) % 48)
             };
+        }
+        plan
+    }
+
+    /// A [`FaultPlan::from_seed`] corpus plan with one scheduled rank join
+    /// on top — the grow-chaos corpus generator (`cargo xtask chaos
+    /// --grows N`). The join round and admitted count are hashed from the
+    /// seed; rounds start past the first stopping-condition check so the
+    /// grow lands mid-adaptive-phase, where ledger rebalancing applies.
+    /// With `standby == 0` no join is added (nothing to admit).
+    pub fn from_seed_with_grows(seed: u64, standby: usize) -> Self {
+        let mut plan = Self::from_seed(seed);
+        if standby > 0 {
+            let h = |k: u64| mix2(mix2(seed, TAG_JOIN), k);
+            let round = 1 + h(1) % 4;
+            let ranks = usize::try_from(1 + h(2) % standby as u64).unwrap_or(1);
+            plan = plan.with_join(round, ranks);
         }
         plan
     }
@@ -234,6 +275,13 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules `ranks` standby ranks to join at the start of global round
+    /// `round` (see [`JoinPoint`]).
+    pub fn with_join(mut self, round: u64, ranks: usize) -> Self {
+        self.joins.push(JoinPoint { round, ranks });
+        self
+    }
+
     /// Derives the plan for refinement `round` of a long-lived serving run:
     /// same perturbation knobs (delays, stragglers, jitter, slow threads) but
     /// a round-specific seed, and — crucially — **no crash schedule**. A
@@ -250,12 +298,27 @@ impl FaultPlan {
         let mut plan = self.clone();
         plan.seed = mix2(self.seed, mix2(TAG_CRASH ^ TAG_OVERLAP, round));
         plan.crashes.clear();
+        // Joins are one-shot membership changes like crashes: a resident
+        // pool that grew once must not re-admit the same standbys every
+        // refinement round.
+        plan.joins.clear();
         plan
     }
 
     /// The crash scheduled for world rank `rank`, if any (first entry wins).
     pub fn crash_point(&self, rank: usize) -> Option<CrashPoint> {
         self.crashes.iter().find(|(r, _)| *r == rank).map(|(_, p)| *p)
+    }
+
+    /// Standby ranks scheduled to join at the start of global round `round`
+    /// (the sum over matching [`JoinPoint`]s; 0 when none fire there).
+    pub fn join_at_round(&self, round: u64) -> usize {
+        self.joins.iter().filter(|j| j.round == round).map(|j| j.ranks).sum()
+    }
+
+    /// Total standby ranks the plan ever admits, across all join points.
+    pub fn total_joiners(&self) -> usize {
+        self.joins.iter().map(|j| j.ranks).sum()
     }
 
     /// The latency scale of `rank` (1 unless rank-scoped factors apply).
@@ -344,7 +407,7 @@ impl FaultPlan {
     pub fn summary(&self) -> String {
         format!(
             "FaultPlan {{ seed: {}, delay: {:?}, rank_factors: {:?}, p2p_jitter: {}, \
-             slow_threads: {:?}/{}, quota_jitter: {}%, crashes: {:?} }}",
+             slow_threads: {:?}/{}, quota_jitter: {}%, crashes: {:?}, joins: {:?} }}",
             self.seed,
             self.collective_delay_polls,
             self.rank_factors,
@@ -352,7 +415,8 @@ impl FaultPlan {
             self.slow_threads,
             self.slow_thread_factor,
             self.quota_jitter_pct,
-            self.crashes
+            self.crashes,
+            self.joins
         )
     }
 }
@@ -473,6 +537,7 @@ mod tests {
             assert!(a.quota_jitter_pct <= 90);
             assert!(a.timeout_scale() >= 1);
             assert!(a.crashes.is_empty(), "plain corpus plans must stay crash-free");
+            assert!(a.joins.is_empty(), "plain corpus plans must stay join-free");
         }
     }
 
@@ -500,6 +565,10 @@ mod tests {
         let r1 = p.reseeded(1);
         assert_ne!(r1.seed, p.seed, "rounds draw from distinct hash streams");
         assert!(r1.crashes.is_empty(), "a crash must not replay after recovery");
+        assert!(
+            p.clone().with_join(2, 1).reseeded(1).joins.is_empty(),
+            "a join must not replay after the pool grew"
+        );
         assert_eq!(r1.rank_factors, p.rank_factors);
         assert_eq!(r1.p2p_jitter, p.p2p_jitter);
         assert_eq!(r1.collective_delay_polls, p.collective_delay_polls);
@@ -526,5 +595,32 @@ mod tests {
         }
         // A single-rank world never gets a crash scheduled.
         assert!(FaultPlan::from_seed_with_crashes(11, 1).crashes.is_empty());
+    }
+
+    #[test]
+    fn join_schedule_is_plain_data_and_reproducible() {
+        let p = FaultPlan::ideal(4).with_join(3, 2).with_join(3, 1).with_join(7, 1);
+        assert_eq!(p.join_at_round(3), 3, "joins at the same round accumulate");
+        assert_eq!(p.join_at_round(7), 1);
+        assert_eq!(p.join_at_round(0), 0);
+        assert_eq!(p.total_joiners(), 4);
+        // The summary (the replay handle) carries the join schedule.
+        assert!(p.summary().contains("round: 3"), "{}", p.summary());
+        assert_eq!(p, p.clone());
+    }
+
+    #[test]
+    fn grow_corpus_is_reproducible_bounded_and_past_setup() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed_with_grows(seed, 3);
+            assert_eq!(a, FaultPlan::from_seed_with_grows(seed, 3));
+            assert_eq!(a.joins.len(), 1, "exactly one join point per corpus plan");
+            let j = a.joins[0];
+            assert!((1..5).contains(&j.round), "join must land mid-adaptive-phase");
+            assert!((1..=3).contains(&j.ranks));
+            assert!(a.crashes.is_empty(), "grow corpus plans stay crash-free");
+        }
+        // A world with no standbys never gets a join scheduled.
+        assert!(FaultPlan::from_seed_with_grows(11, 0).joins.is_empty());
     }
 }

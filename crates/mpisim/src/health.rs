@@ -20,28 +20,67 @@
 //! never complete. Completion itself remains "all members joined" — failure
 //! detection only short-circuits waits that are provably stuck, which is
 //! what keeps perturbed-run outcomes a pure function of `(plan, seed)`.
+//!
+//! # The join gate (elastic grow)
+//!
+//! The registry also carries the world's **join gate** — the handshake
+//! between standby ranks (spawned by [`crate::Universe::run_elastic`] but
+//! not yet members of any communicator) and a grow generation admitting
+//! them. Three standby states matter:
+//!
+//! * **standby** — registered at launch, waiting for admission. Which ranks
+//!   a grow admits is decided from this registry (the `k` smallest standby
+//!   world ranks), *not* from thread arrival order, so admission is a pure
+//!   function of `(plan, seed)`;
+//! * **joining** — admitted by a grow generation that published the rank's
+//!   ticket (child engine + new rank) but not yet confirmed; a waiter that
+//!   sees a joining member absent from an op keeps waiting (it is alive and
+//!   en route), which is automatic since joining ranks are neither dead nor
+//!   recovering;
+//! * **confirmed** — the standby picked up its ticket and owns a
+//!   communicator handle; the gate forgets it.
+//!
+//! Closing the gate (end of run) releases every never-admitted standby with
+//! a typed error instead of leaving it blocked forever.
 
+use crate::engine::Engine;
 use crate::error::CommError;
 use crate::fault::CrashPoint;
 use crate::sync::{AtomicBool, AtomicU64, Ordering};
-use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Re-check period of a blocked admission wait (matches the engine's wait
+/// slice).
+const JOIN_WAIT_SLICE: Duration = Duration::from_millis(5);
 
 /// Liveness registry shared by all communicators of one world.
 pub(crate) struct WorldHealth {
     state: Mutex<HealthState>,
+    /// Wakes standby ranks blocked in [`WorldHealth::wait_admission`] when a
+    /// ticket is delivered or the gate closes.
+    join_cv: Condvar,
 }
 
 #[derive(Default)]
 struct HealthState {
     dead: BTreeSet<usize>,
     recovering: BTreeSet<usize>,
+    /// Registered standby world ranks not yet taken by any grow.
+    standby: BTreeSet<usize>,
+    /// Admitted-but-unconfirmed world ranks (between grow and ticket pickup).
+    joining: BTreeSet<usize>,
+    /// Admission tickets: world rank → (child engine, rank within it).
+    admitted: HashMap<usize, (Arc<Engine>, usize)>,
+    /// Latched once the run ends; never-admitted standbys are released.
+    gate_closed: bool,
 }
 
 impl WorldHealth {
     pub(crate) fn new() -> Arc<Self> {
-        Arc::new(WorldHealth { state: Mutex::new(HealthState::default()) })
+        Arc::new(WorldHealth { state: Mutex::new(HealthState::default()), join_cv: Condvar::new() })
     }
 
     /// Declares `world_rank` dead (idempotent, never reversed).
@@ -87,6 +126,65 @@ impl WorldHealth {
     pub(crate) fn shrink_complete(&self, members: &[usize], joined: &[bool]) -> bool {
         let st = self.state.lock();
         members.iter().zip(joined).all(|(wr, &j)| j || st.dead.contains(wr))
+    }
+
+    // ------------------------------------------------------------------
+    // Join gate
+    // ------------------------------------------------------------------
+
+    /// Registers `world_rank` as a standby available for admission. Called
+    /// by the universe at launch, before any rank thread runs, so the
+    /// standby pool is fixed before the first grow could consult it.
+    pub(crate) fn register_standby(&self, world_rank: usize) {
+        self.state.lock().standby.insert(world_rank);
+    }
+
+    /// Takes up to `k` standbys for admission — always the smallest
+    /// registered world ranks, so the admitted set is deterministic. The
+    /// taken ranks move to the *joining* state until they confirm.
+    pub(crate) fn take_standbys(&self, k: usize) -> Vec<usize> {
+        let mut st = self.state.lock();
+        let picked: Vec<usize> = st.standby.iter().take(k).copied().collect();
+        for &wr in &picked {
+            st.standby.remove(&wr);
+            st.joining.insert(wr);
+        }
+        picked
+    }
+
+    /// Publishes the admission ticket of `world_rank`: the grown child
+    /// engine and the rank's position within it. Wakes the standby's
+    /// [`WorldHealth::wait_admission`].
+    pub(crate) fn deliver_admission(&self, world_rank: usize, engine: Arc<Engine>, rank: usize) {
+        self.state.lock().admitted.insert(world_rank, (engine, rank));
+        self.join_cv.notify_all();
+    }
+
+    /// Latches the gate shut (idempotent): every standby still waiting
+    /// without a ticket is released with an error. Called by the universe
+    /// once all founding ranks have returned — no further grow can happen.
+    pub(crate) fn close_join_gate(&self) {
+        self.state.lock().gate_closed = true;
+        self.join_cv.notify_all();
+    }
+
+    /// Blocks until `world_rank`'s admission ticket arrives (confirming the
+    /// handshake and returning the ticket) or the gate closes without one
+    /// (`None`). Undelivered tickets win over a closed gate: a standby
+    /// admitted by the run's last grow still gets its communicator.
+    pub(crate) fn wait_admission(&self, world_rank: usize) -> Option<(Arc<Engine>, usize)> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(ticket) = st.admitted.remove(&world_rank) {
+                st.joining.remove(&world_rank); // confirm: the handshake is done
+                return Some(ticket);
+            }
+            if st.gate_closed {
+                st.standby.remove(&world_rank);
+                return None;
+            }
+            self.join_cv.wait_for(&mut st, JOIN_WAIT_SLICE);
+        }
     }
 }
 
@@ -198,6 +296,40 @@ mod tests {
         assert_eq!(health.first_stuck_member(&members, &[true, false, false]), Some(3));
         health.end_recovery(&[3]);
         assert_eq!(health.first_stuck_member(&members, &[true, false, false]), Some(5));
+    }
+
+    #[test]
+    fn standbys_are_taken_smallest_first_and_deterministically() {
+        let health = WorldHealth::new();
+        for wr in [7usize, 4, 9, 5] {
+            health.register_standby(wr);
+        }
+        assert_eq!(health.take_standbys(2), vec![4, 5]);
+        assert_eq!(health.take_standbys(5), vec![7, 9], "pool exhausts without panicking");
+        assert_eq!(health.take_standbys(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn closed_gate_releases_unadmitted_standbys() {
+        let health = WorldHealth::new();
+        health.register_standby(3);
+        health.close_join_gate();
+        assert!(health.wait_admission(3).is_none());
+        // Idempotent.
+        health.close_join_gate();
+        assert!(health.wait_admission(3).is_none());
+    }
+
+    #[test]
+    fn delivered_ticket_wins_over_a_closed_gate() {
+        let health = WorldHealth::new();
+        health.register_standby(2);
+        assert_eq!(health.take_standbys(1), vec![2]);
+        let engine = Engine::new(1);
+        health.deliver_admission(2, engine, 1);
+        health.close_join_gate();
+        let (_, rank) = health.wait_admission(2).expect("ticket delivered before close");
+        assert_eq!(rank, 1);
     }
 
     #[test]

@@ -41,6 +41,13 @@
 //! survivors observe [`CommError::RankFailed`] and recover with
 //! [`Communicator::shrink`], the ULFM-style shrink-and-continue protocol the
 //! `kadabra-core` drivers build on.
+//!
+//! **Elasticity** (DESIGN.md §15): capacity also turns *up* —
+//! [`Universe::run_elastic`] launches standby ranks that
+//! [`Communicator::grow`] admits at a collective boundary (scheduled by the
+//! plan's [`JoinPoint`]s), and a deterministic work-stealing handshake
+//! ([`Communicator::steal_claim`] / [`Communicator::steal_grant`])
+//! redistributes sample quota away from plan-marked stragglers.
 
 mod comm;
 mod engine;
@@ -48,14 +55,16 @@ mod error;
 mod fault;
 mod health;
 mod p2p;
+mod steal;
 mod sync;
 mod universe;
 
 pub use comm::{Communicator, ReduceOp};
 pub use engine::Request;
 pub use error::CommError;
-pub use fault::{CrashPoint, FaultPlan};
-pub use universe::Universe;
+pub use fault::{CrashPoint, FaultPlan, JoinPoint};
+pub use steal::{STEAL_CLAIM_TAG, STEAL_GRANT_TAG};
+pub use universe::{ElasticRank, StandbyRank, Universe};
 
 #[cfg(test)]
 mod tests;

@@ -1,0 +1,155 @@
+//! Deterministic cross-rank work stealing over the point-to-point layer.
+//!
+//! Ranks that finish their epoch quota early ("helpers") claim
+//! pre-partitioned sample sub-ranges from ranks the fault plan marks as
+//! stragglers, so a straggler's injected slowdown no longer bounds round
+//! latency. The protocol is a two-message handshake per (helper, straggler)
+//! pair on reserved tags:
+//!
+//! 1. helper → straggler: *claim* `[round, chunk, count]` — "I will take
+//!    `count` samples of your round-`round` quota, drawn from the stream
+//!    coordinate `chunk`".
+//! 2. straggler → helper: *grant* `[count]` — acknowledgement; the
+//!    straggler drops the granted range from its own quota.
+//!
+//! Determinism: the partition (who claims which chunk, how large) is
+//! computed by every rank from the shared `(plan, n0, members)` state alone
+//! — nothing is negotiated — so the handshake only *confirms* a schedule
+//! both sides already agree on, and the sampled estimate is bit-identical
+//! to a run where the straggler did all the work itself (helpers draw the
+//! stolen samples from the straggler's dedicated hash streams, not their
+//! own). The claim send is buffered (never blocks), so any claim/grant
+//! interleaving across multiple helpers is deadlock-free; the straggler
+//! grants in a deterministic helper order chosen by the caller.
+
+use crate::comm::Communicator;
+use crate::error::CommError;
+
+/// Reserved tag of steal claims (helper → straggler), disjoint from the
+/// gather tag space (`u64::MAX - 0xA1`) and from application tags.
+pub const STEAL_CLAIM_TAG: u64 = u64::MAX - 0xC1;
+
+/// Reserved tag of steal grants (straggler → helper).
+pub const STEAL_GRANT_TAG: u64 = u64::MAX - 0xC2;
+
+impl Communicator {
+    /// Claims `count` samples of `straggler`'s round-`round` quota, drawn
+    /// from stream coordinate `chunk`. Blocks until the straggler grants,
+    /// returning the granted count (always `count` in the current protocol
+    /// — the echo confirms both sides executed the same schedule).
+    ///
+    /// Fails with [`CommError::RankFailed`] if the straggler dies before
+    /// granting; the caller then abandons the claim and joins recovery (the
+    /// straggler's quota is rebuilt by the post-shrink ledger all-reduce,
+    /// so no samples are lost or double-counted).
+    pub fn steal_claim(
+        &self,
+        straggler: usize,
+        round: u64,
+        chunk: u64,
+        count: u64,
+    ) -> Result<u64, CommError> {
+        assert!(straggler != self.rank(), "a rank cannot steal from itself");
+        self.send_u64s(straggler, STEAL_CLAIM_TAG, &[round, chunk, count]);
+        let grant = self.recv_u64s(straggler, STEAL_GRANT_TAG)?;
+        assert!(
+            grant.len() == 1 && grant[0] == count,
+            "steal grant mismatch: claimed {count}, granted {grant:?}"
+        );
+        Ok(grant[0])
+    }
+
+    /// Grants the next claim from `helper`: receives its
+    /// `[round, chunk, count]` claim, acknowledges it, and returns the
+    /// triple so the straggler can drop the granted range from its own
+    /// quota. Call once per helper, in a deterministic helper order shared
+    /// with the claim schedule.
+    ///
+    /// Fails with [`CommError::RankFailed`] if the helper dies before its
+    /// (buffered) claim was posted; a claim already in the mailbox survives
+    /// the helper's crash and is still granted, as with any buffered send.
+    pub fn steal_grant(&self, helper: usize) -> Result<(u64, u64, u64), CommError> {
+        assert!(helper != self.rank(), "a rank cannot grant to itself");
+        let claim = self.recv_u64s(helper, STEAL_CLAIM_TAG)?;
+        assert!(claim.len() == 3, "malformed steal claim: {claim:?}");
+        self.send_u64s(helper, STEAL_GRANT_TAG, &[claim[2]]);
+        Ok((claim[0], claim[1], claim[2]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FaultPlan, Universe};
+
+    #[test]
+    fn claim_grant_roundtrip() {
+        let out = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Helper: claim 5 samples of rank 1's round-3 quota.
+                comm.steal_claim(1, 3, 7, 5).unwrap()
+            } else {
+                let (round, chunk, count) = comm.steal_grant(0).unwrap();
+                assert_eq!((round, chunk, count), (3, 7, 5));
+                count
+            }
+        });
+        assert_eq!(out, vec![5, 5]);
+    }
+
+    #[test]
+    fn multiple_helpers_grant_in_caller_order() {
+        // Three helpers claim concurrently; the straggler grants in helper
+        // rank order and sees each helper's own chunk coordinate.
+        let out = Universe::run(4, |comm| {
+            if comm.rank() == 3 {
+                let mut granted = Vec::new();
+                for helper in 0..3 {
+                    let (round, chunk, count) = comm.steal_grant(helper).unwrap();
+                    assert_eq!(round, 1);
+                    assert_eq!(chunk, helper as u64);
+                    granted.push(count);
+                }
+                granted
+            } else {
+                let mine = 10 + comm.rank() as u64;
+                comm.steal_claim(3, 1, comm.rank() as u64, mine).unwrap();
+                vec![mine]
+            }
+        });
+        assert_eq!(out[3], vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn steal_handshake_is_reproducible_under_jitter() {
+        let plan = FaultPlan::ideal(11).with_p2p_jitter(2);
+        let run = || {
+            Universe::run_with_plan(3, plan.clone(), |comm| {
+                if comm.rank() == 2 {
+                    let a = comm.steal_grant(0).unwrap();
+                    let b = comm.steal_grant(1).unwrap();
+                    vec![a.2, b.2]
+                } else {
+                    vec![comm.steal_claim(2, 0, comm.rank() as u64, 4).unwrap()]
+                }
+            })
+        };
+        let a = run();
+        assert_eq!(a[2], vec![4, 4]);
+        assert_eq!(a, run(), "steal handshake not reproducible: {}", plan.summary());
+    }
+
+    #[test]
+    fn grant_fails_when_helper_dies_without_claiming() {
+        // Helper (rank 0) crashes at its first collective checkpoint,
+        // before posting any claim; the straggler's grant must fail typed.
+        let plan = FaultPlan::ideal(5).with_crash_at_collective(0, 0);
+        let out = Universe::run_with_plan(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.barrier().err().and_then(|e| e.failed_rank())
+            } else {
+                comm.steal_grant(0).err().and_then(|e| e.failed_rank())
+            }
+        });
+        assert_eq!(out, vec![Some(0), Some(0)]);
+    }
+}

@@ -545,3 +545,153 @@ fn recv_from_a_dead_rank_fails_typed_but_buffered_sends_survive() {
     assert_eq!(out[1].0, vec![41, 42]);
     assert_eq!(out[1].1, Some(CommError::RankFailed { rank: 0 }));
 }
+
+// ----------------------------------------------------------------------
+// Elastic grow
+// ----------------------------------------------------------------------
+
+use crate::ElasticRank;
+
+#[test]
+fn grow_admits_standbys_in_world_rank_order() {
+    let out = Universe::run_elastic(2, 2, FaultPlan::ideal(3), |role| {
+        let comm = match role {
+            ElasticRank::Founding(comm) => {
+                assert_eq!(comm.size(), 2);
+                comm.grow(2).unwrap()
+            }
+            ElasticRank::Standby(s) => s.wait_admission().unwrap(),
+        };
+        assert_eq!(comm.size(), 4);
+        assert_eq!(comm.members(), &[0, 1, 2, 3]);
+        // The grown communicator is fully functional: a collective over all
+        // four members (incumbents and newcomers in lockstep).
+        let sum = comm.allreduce_sum_u64(&[comm.world_rank() as u64]).unwrap();
+        assert_eq!(sum, vec![6]);
+        (comm.rank(), comm.world_rank())
+    });
+    assert_eq!(out, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+}
+
+#[test]
+fn grow_with_exhausted_pool_admits_fewer() {
+    // Requesting more ranks than the standby pool holds admits what exists.
+    let out = Universe::run_elastic(1, 1, FaultPlan::ideal(4), |role| match role {
+        ElasticRank::Founding(comm) => comm.grow(3).unwrap().size(),
+        ElasticRank::Standby(s) => s.wait_admission().unwrap().size(),
+    });
+    assert_eq!(out, vec![2, 2]);
+}
+
+#[test]
+fn unadmitted_standbys_fail_like_dead_ranks() {
+    // A world that never grows releases its standbys at the end; their
+    // wait_admission reports RankFailed with their own world rank — the
+    // same shape the drivers already map to a dead outcome.
+    let out = Universe::run_elastic(1, 2, FaultPlan::ideal(5), |role| match role {
+        ElasticRank::Founding(comm) => {
+            comm.barrier().unwrap();
+            None
+        }
+        ElasticRank::Standby(s) => {
+            let wr = s.world_rank();
+            let e = s.wait_admission().err();
+            assert_eq!(e.as_ref().and_then(CommError::failed_rank), Some(wr));
+            Some(wr)
+        }
+    });
+    assert_eq!(out, vec![None, Some(1), Some(2)]);
+}
+
+#[test]
+fn grow_extra_mismatch_poisons_the_communicator() {
+    let out = Universe::run_elastic(2, 1, FaultPlan::ideal(6), |role| match role {
+        ElasticRank::Founding(comm) => {
+            let extra = if comm.rank() == 0 { 1 } else { 2 };
+            comm.grow(extra).err().map(|e| matches!(e, CommError::Poisoned { .. }))
+        }
+        ElasticRank::Standby(s) => {
+            // The poisoned grow never admits anyone; the standby is
+            // released when the founding ranks exit.
+            assert!(s.wait_admission().is_err());
+            None
+        }
+    });
+    assert_eq!(out[0], Some(true));
+    assert_eq!(out[1], Some(true));
+}
+
+#[test]
+fn grow_excuses_a_member_that_dies_at_the_boundary() {
+    // Rank 1's crash fires at the grow checkpoint: it dies instead of
+    // joining, the grow completes over the survivors, and the admitted
+    // standby takes the freed communicator rank.
+    let plan = FaultPlan::ideal(8).with_crash_at_collective(1, 0);
+    let out = Universe::run_elastic(2, 1, plan, |role| match role {
+        ElasticRank::Founding(comm) => {
+            if comm.rank() == 1 {
+                return comm.grow(1).err().and_then(|e| e.failed_rank());
+            }
+            let g = comm.grow(1).unwrap();
+            assert_eq!(g.size(), 2);
+            assert_eq!(g.members(), &[0, 2]);
+            None
+        }
+        ElasticRank::Standby(s) => {
+            let g = s.wait_admission().unwrap();
+            assert_eq!(g.rank(), 1);
+            assert_eq!(g.members(), &[0, 2]);
+            None
+        }
+    });
+    assert_eq!(out[1], Some(1));
+}
+
+#[test]
+fn grown_comm_and_split_children_use_independent_salts() {
+    // Regression (satellite b, elastic mirror of the shrink aliasing test):
+    // split children of a *grown* communicator must draw hash streams
+    // independent of the parent, of pre-grow split children, of the grow
+    // generation itself, and of a subsequent shrink — otherwise post-grow
+    // delay schedules silently replay pre-grow ones.
+    let plan = FaultPlan::ideal(23).with_collective_delay(4, 20);
+    let out = Universe::run_elastic(2, 1, plan, |role| match role {
+        ElasticRank::Founding(comm) => {
+            let pre_split = comm.split(0, comm.rank() as i64).unwrap();
+            let gen0 = comm.grow(1).unwrap();
+            assert_eq!(gen0.size(), 3);
+            let gen1 = gen0.grow(0).unwrap();
+            let post_split = gen0.split(0, gen0.rank() as i64).unwrap();
+            let shrunk = gen0.shrink().unwrap(); // nobody dead: full membership
+            vec![
+                comm.salt(),
+                pre_split.salt(),
+                gen0.salt(),
+                gen1.salt(),
+                post_split.salt(),
+                shrunk.salt(),
+            ]
+        }
+        ElasticRank::Standby(s) => {
+            let gen0 = s.wait_admission().unwrap();
+            assert_eq!(gen0.rank(), 2);
+            let gen1 = gen0.grow(0).unwrap();
+            let post_split = gen0.split(0, gen0.rank() as i64).unwrap();
+            let shrunk = gen0.shrink().unwrap();
+            vec![gen0.salt(), gen1.salt(), post_split.salt(), shrunk.salt()]
+        }
+    });
+    // All members agree on every stream they share...
+    assert_eq!(out[0], out[1]);
+    assert_eq!(out[2], out[0][2..].to_vec());
+    // ...and the six streams are pairwise distinct.
+    let salts = &out[0];
+    for i in 0..salts.len() {
+        for j in (i + 1)..salts.len() {
+            assert_ne!(
+                salts[i], salts[j],
+                "salt stream aliasing between communicators {i} and {j}: {salts:?}"
+            );
+        }
+    }
+}

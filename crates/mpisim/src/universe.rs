@@ -2,13 +2,54 @@
 
 use crate::comm::Communicator;
 use crate::engine::Engine;
+use crate::error::CommError;
 use crate::fault::FaultPlan;
-use crate::health::RankCrashState;
+use crate::health::{RankCrashState, WorldHealth};
 use std::sync::Arc;
 
 /// Entry point of the simulated MPI runtime, analogous to
 /// `MPI_Init`/`mpirun`.
 pub struct Universe;
+
+/// The role a rank is launched in by [`Universe::run_elastic`].
+pub enum ElasticRank {
+    /// A founding member: holds its `MPI_COMM_WORLD` handle from the start.
+    Founding(Communicator),
+    /// A standby: parked until some grow generation admits it (or the world
+    /// ends without ever growing).
+    Standby(StandbyRank),
+}
+
+/// A parked rank waiting to be admitted by a [`Communicator::grow`]. The
+/// world rank is assigned at launch (founding ranks first, then standbys in
+/// ascending order), so fault-plan crash schedules and hash streams are
+/// fixed before the rank ever joins.
+pub struct StandbyRank {
+    world_rank: usize,
+    health: Arc<WorldHealth>,
+    crash: Option<Arc<RankCrashState>>,
+}
+
+impl StandbyRank {
+    /// World rank this standby will hold if admitted.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Blocks until a grow generation admits this rank, returning its handle
+    /// on the grown communicator (already ranked after the incumbents).
+    ///
+    /// If the world finishes without admitting it, returns
+    /// [`CommError::RankFailed`] carrying its *own* world rank — a standby
+    /// that never joined is indistinguishable from a dead rank to the
+    /// drivers, which already translate that error into a dead outcome.
+    pub fn wait_admission(self) -> Result<Communicator, CommError> {
+        match self.health.wait_admission(self.world_rank) {
+            Some((engine, rank)) => Ok(Communicator::new(engine, rank, self.crash)),
+            None => Err(CommError::RankFailed { rank: self.world_rank }),
+        }
+    }
+}
 
 impl Universe {
     /// Runs `f` in `world_size` simulated MPI processes (one OS thread
@@ -46,6 +87,86 @@ impl Universe {
         let plan = Arc::new(plan);
         let engine = Engine::with_plan(world_size, Some(plan.clone()), 0);
         Universe::launch(engine, world_size, Some(plan), f)
+    }
+
+    /// Like [`Universe::run_with_plan`], but launches an *elastic* world:
+    /// `founding` ranks start with communicator handles, and `standby`
+    /// further ranks (world ranks `founding..founding + standby`) park in
+    /// the health registry's standby pool until a [`Communicator::grow`]
+    /// admits them. Returns all `founding + standby` results in world-rank
+    /// order.
+    ///
+    /// Standbys that are never admitted are released when the last founding
+    /// rank finishes; their [`StandbyRank::wait_admission`] then returns
+    /// [`crate::CommError::RankFailed`] with their own world rank.
+    pub fn run_elastic<T, F>(founding: usize, standby: usize, plan: FaultPlan, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ElasticRank) -> T + Sync,
+    {
+        assert!(founding >= 1, "world must have at least one founding rank");
+        let plan = Arc::new(plan);
+        let engine = Engine::with_plan(founding, Some(plan.clone()), 0);
+        for wr in founding..founding + standby {
+            engine.health.register_standby(wr);
+        }
+        let total = founding + standby;
+        let mut results: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(world_rank, slot)| {
+                    let crash = plan
+                        .crash_point(world_rank)
+                        .map(|pt| RankCrashState::new(world_rank, pt, engine.health.clone()));
+                    let role = if world_rank < founding {
+                        ElasticRank::Founding(Communicator::new(engine.clone(), world_rank, crash))
+                    } else {
+                        ElasticRank::Standby(StandbyRank {
+                            world_rank,
+                            health: engine.health.clone(),
+                            crash,
+                        })
+                    };
+                    let f = &f;
+                    s.builder()
+                        .name(format!("mpi-rank-{world_rank}"))
+                        .spawn(move |_| {
+                            *slot = Some(f(role));
+                        })
+                        // xtask: allow(unwrap) — OS thread spawn only fails
+                        // on resource exhaustion, which is unrecoverable for
+                        // an in-process MPI world.
+                        .expect("spawn rank thread")
+                })
+                .collect();
+            // Join founding ranks first; once they have all exited no grow
+            // can ever fire again, so close the gate to release any standby
+            // still parked. Panics are collected (not re-raised inside the
+            // loop) so the release still happens and every thread is joined.
+            let mut panics = Vec::new();
+            for (world_rank, h) in handles.into_iter().enumerate() {
+                if let Err(e) = h.join() {
+                    panics.push(format!("rank {world_rank} panicked: {e:?}"));
+                }
+                if world_rank + 1 == founding {
+                    engine.health.close_join_gate();
+                }
+            }
+            if let Some(p) = panics.into_iter().next() {
+                std::panic::resume_unwind(Box::new(p));
+            }
+        })
+        // xtask: allow(unwrap) — every child is joined (and its panic
+        // re-raised) inside the scope, so the scope itself cannot fail.
+        .expect("mpi world scope");
+        results
+            .into_iter()
+            // xtask: allow(unwrap) — each rank thread wrote its slot
+            // before exiting, and all of them were joined above.
+            .map(|r| r.expect("every rank produced a result"))
+            .collect()
     }
 
     fn launch<T, F>(

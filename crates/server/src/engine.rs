@@ -84,6 +84,10 @@ pub struct RefineEngine {
     base_plan: FaultPlan,
     slots: Vec<EngineSlot>,
     round: u64,
+    /// Slots ever created — the next fresh slot id. Grown slots get ids
+    /// past every id this engine has handed out (alive or dead), so their
+    /// sampler streams never collide with any earlier rank's.
+    spawned: usize,
     /// Bumped on [`RefineEngine::restore`]: restored samplers draw from
     /// fresh streams (offset `ADS_STREAM_OFFSET + generation`), so a
     /// restored engine never replays samples the checkpoint already counted.
@@ -125,10 +129,66 @@ impl RefineEngine {
             base_plan,
             slots,
             round: 0,
+            spawned: ranks,
             generation: 0,
             last_achieved: 1.0,
             last_tau: 0,
         }
+    }
+
+    /// Elastically resizes the pool to `target` ranks between rounds,
+    /// returning `(joined, shed)`.
+    ///
+    /// Growing appends fresh slots whose ids (and therefore sampler
+    /// streams) have never been used by this engine; their empty ledgers
+    /// contribute nothing, so the global `[Σc̃, τ]` frame is unchanged and
+    /// later rounds simply run on the wider communicator with the per-rank
+    /// epoch length re-derived for the new size. Shedding retires the
+    /// youngest slots first and folds each victim's ledger into the oldest
+    /// survivor's — confirmed samples are conserved, only future capacity
+    /// changes. Resizing is deterministic state surgery: two engines that
+    /// perform the same resizes at the same round boundaries stay
+    /// bit-identical.
+    pub fn resize(&mut self, target: usize) -> (usize, usize) {
+        assert!(target >= 1, "a pool needs at least one sampler rank");
+        let (mut joined, mut shed) = (0, 0);
+        while self.slots.len() > target {
+            // xtask: allow(unwrap) — the loop guard holds len > target >= 1.
+            let victim = self.slots.pop().expect("pool has a slot to shed");
+            if let Some(st) = victim.state.lock().take() {
+                if st.ledger.tau() > 0 {
+                    if let Some(keeper) = self.slots[0].state.lock().as_mut() {
+                        keeper.ledger.confirm(st.ledger.frame());
+                    }
+                }
+            }
+            shed += 1;
+        }
+        while self.slots.len() < target {
+            let id = self.spawned;
+            self.spawned += 1;
+            self.slots.push(EngineSlot {
+                id,
+                state: Mutex::new(Some(RankState {
+                    sampler: ThreadSampler::new(
+                        self.n,
+                        self.kcfg.seed,
+                        id,
+                        ADS_STREAM_OFFSET + self.generation as usize,
+                    ),
+                    ledger: SampleLedger::new(self.n),
+                    s_loc: vec![0u64; self.n + 1],
+                })),
+            });
+            joined += 1;
+        }
+        (joined, shed)
+    }
+
+    /// Σ live ledgers, as [`RoundReport::global`] reports it — the frame a
+    /// caller publishes after out-of-round state surgery (resize, restore).
+    pub fn current_frame(&self) -> Vec<u64> {
+        self.fold_ledgers()
     }
 
     /// Ranks still alive in the pool.
@@ -259,6 +319,7 @@ impl RefineEngine {
             omega,
             max_epochs_per_round,
             base_plan,
+            spawned: ckpt.images.iter().map(|(id, _)| id + 1).max().unwrap_or(0),
             slots,
             round: ckpt.round,
             generation,
@@ -492,6 +553,49 @@ mod tests {
 
     fn restored_tau(frame: &[u64]) -> u64 {
         frame[frame.len() - 1]
+    }
+
+    #[test]
+    fn resize_conserves_ledger_state_and_stays_reproducible() {
+        let (g, kcfg, omega, cal) = setup(2, 13);
+        let tel = Telemetry::stats_only();
+        let run = || {
+            let mut eng = RefineEngine::new(g.num_nodes(), kcfg, omega, 2, 2, FaultPlan::ideal(13));
+            eng.step(&g, &cal, &tel);
+            let before = eng.current_frame();
+            // Grow 2 → 4: the frame must be untouched, the next round must
+            // run on the wider pool.
+            assert_eq!(eng.resize(4), (2, 0));
+            assert_eq!(eng.current_frame(), before, "grow must conserve [Σc̃, τ]");
+            assert_eq!(eng.live(), 4);
+            let grown = eng.step(&g, &cal, &tel);
+            assert!(grown.tau > before[before.len() - 1]);
+            // Shed 4 → 1: the victims' ledgers fold into the survivor.
+            let wide = eng.current_frame();
+            assert_eq!(eng.resize(1), (0, 3));
+            assert_eq!(eng.current_frame(), wide, "shed must conserve [Σc̃, τ]");
+            assert_eq!(eng.live(), 1);
+            eng.step(&g, &cal, &tel).global
+        };
+        assert_eq!(run(), run(), "resize surgery must be a pure function of (plan, seed)");
+    }
+
+    #[test]
+    fn grown_slots_never_reuse_shed_stream_ids() {
+        // Shed then regrow: the regrown slot must sample a *fresh* stream,
+        // not replay the shed rank's — otherwise its draws double-count.
+        let (g, kcfg, omega, cal) = setup(2, 17);
+        let tel = Telemetry::stats_only();
+        let mut eng = RefineEngine::new(g.num_nodes(), kcfg, omega, 2, 2, FaultPlan::ideal(17));
+        eng.step(&g, &cal, &tel);
+        eng.resize(1);
+        eng.resize(2);
+        let mut replayed =
+            RefineEngine::new(g.num_nodes(), kcfg, omega, 2, 2, FaultPlan::ideal(17));
+        replayed.step(&g, &cal, &tel);
+        let a = eng.step(&g, &cal, &tel);
+        let b = replayed.step(&g, &cal, &tel);
+        assert_ne!(a.global, b.global, "regrown slot replayed a retired stream");
     }
 
     #[test]

@@ -37,5 +37,6 @@ pub mod wire;
 
 pub use server::{Client, QueryError, Server, ServerConfig, SERVICE_RANK};
 pub use tenant::{
-    EstimateMeta, QueryScratch, RefineOutcome, Tenant, TenantConfig, UpdateOutcome, VertexEstimate,
+    EstimateMeta, QueryScratch, RefineOutcome, ResizeOutcome, Tenant, TenantConfig, UpdateOutcome,
+    VertexEstimate,
 };

@@ -49,6 +49,10 @@ pub enum QueryError {
     /// The tenant was provisioned statically and cannot accept streaming
     /// edge updates.
     NotDynamic,
+    /// The tenant's pool cannot be elastically resized (dynamic pools own
+    /// their retained-sample population per rank, so [`crate::Tenant::resize`]
+    /// only applies to static pools).
+    NotResizable,
     /// The update batch was structurally invalid or inconsistent with the
     /// tenant's live graph (the message carries the delta-log diagnosis).
     BadUpdate(String),
@@ -70,6 +74,9 @@ impl fmt::Display for QueryError {
             QueryError::BadVertex => write!(f, "vertex id out of range"),
             QueryError::NotDynamic => {
                 write!(f, "not dynamic: tenant does not accept streaming updates")
+            }
+            QueryError::NotResizable => {
+                write!(f, "not resizable: dynamic pools cannot change rank count")
             }
             QueryError::BadUpdate(why) => write!(f, "bad update: {why}"),
             QueryError::BadRequest(why) => write!(f, "bad request: {why}"),

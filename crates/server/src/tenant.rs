@@ -21,7 +21,7 @@ use kadabra_core::KadabraConfig;
 use kadabra_dynamic::{DynamicEngine, UpdateBatch};
 use kadabra_graph::{Graph, NodeId, Permutation};
 use kadabra_mpisim::FaultPlan;
-use kadabra_telemetry::{EventWriter, SpanId, Telemetry};
+use kadabra_telemetry::{CounterId, EventWriter, SpanId, Telemetry};
 use parking_lot::Mutex;
 
 /// How a tenant is provisioned.
@@ -169,6 +169,22 @@ pub struct UpdateOutcome {
     pub compacted: bool,
 }
 
+/// What a resize call achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResizeOutcome {
+    /// Fresh ranks added to the pool.
+    pub joined: usize,
+    /// Ranks retired from the pool (their ledgers folded into a survivor).
+    pub shed: usize,
+    /// Pool size after the call.
+    pub live: usize,
+    /// Cache generation the post-resize frontier publishes under
+    /// (unchanged when the call was a no-op).
+    pub generation: u64,
+    /// Confirmed samples after the call — always conserved across resizes.
+    pub tau: u64,
+}
+
 /// What a refine call achieved.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefineOutcome {
@@ -231,6 +247,8 @@ pub struct Tenant {
     g: Graph,
     perm: Permutation,
     vd: u32,
+    /// Provisioned pool size — what an elastic refine sheds back to.
+    base_ranks: usize,
     /// Sample cap in force; mirrors the dynamic engine's ratcheting ω so
     /// the lock-free confidence-interval path stays honest after updates.
     omega: AtomicU64,
@@ -315,6 +333,7 @@ impl Tenant {
             g: rg,
             perm,
             vd,
+            base_ranks: cfg.pool_ranks,
             omega: AtomicU64::new(omega),
             floor,
             delta: cfg.delta,
@@ -430,6 +449,104 @@ impl Tenant {
             rounds_run: rounds,
             live: eng.live(),
         }
+    }
+
+    /// Provisioned pool size (what [`Tenant::refine_elastic`] sheds back to).
+    pub fn base_ranks(&self) -> usize {
+        self.base_ranks
+    }
+
+    /// Sampler ranks currently in the pool.
+    pub fn pool_ranks(&self) -> usize {
+        self.engine.lock().live()
+    }
+
+    /// Elastically resizes the pool to `ranks` sampler ranks at a round
+    /// boundary (static tenants only — dynamic pools own their retained
+    /// samples per rank and return [`QueryError::NotResizable`]).
+    ///
+    /// Under the engine lock: the pool grows with fresh-stream ranks or
+    /// sheds its youngest ranks (folding their ledgers into a survivor —
+    /// `[Σc̃, τ]` is conserved either way), the cache generation is bumped,
+    /// and the current frame is re-published as the first frontier of the
+    /// new generation, so readers never see answers that straddle the
+    /// membership change. A no-op resize leaves the generation alone.
+    pub fn resize(
+        &self,
+        ranks: usize,
+        _tel: &Telemetry,
+        w: &EventWriter,
+    ) -> Result<ResizeOutcome, QueryError> {
+        assert!(ranks >= 1, "a pool needs at least one sampler rank");
+        let mut eng = self.engine.lock();
+        let TenantEngine::Static(e) = &mut *eng else {
+            return Err(QueryError::NotResizable);
+        };
+        if e.live() == ranks {
+            return Ok(ResizeOutcome {
+                joined: 0,
+                shed: 0,
+                live: ranks,
+                generation: self.cache.generation(),
+                tau: e.last_tau(),
+            });
+        }
+        let sp = w.begin(SpanId::Rebalance);
+        let (joined, shed) = e.resize(ranks);
+        if joined > 0 {
+            w.count(CounterId::RanksJoined, joined as u64);
+        }
+        let generation = self.cache.bump_generation();
+        let global = e.current_frame();
+        let n = self.g.num_nodes();
+        let tau = global[n];
+        if tau > 0 {
+            self.cache.publish_frontier(&global[..n], tau, e.last_achieved(), e.round());
+        }
+        w.end(sp);
+        Ok(ResizeOutcome { joined, shed, live: e.live(), generation, tau })
+    }
+
+    /// Refines toward `target_eps` within a hard budget of `round_budget`
+    /// engine rounds, elastically resizing the pool under deadline pressure:
+    /// if the first half of the budget ends short of the target, the pool
+    /// grows to `max_ranks` (publishing post-grow frontiers under a new
+    /// cache generation) and spends the rest of the budget at the wider
+    /// size; afterwards — target met or budget exhausted — the pool sheds
+    /// back to its provisioned size. Deterministic: the grow decision
+    /// depends only on round counts and the engine's own ε trajectory.
+    ///
+    /// Dynamic tenants never resize; for them this is plain [`Tenant::refine`].
+    pub fn refine_elastic(
+        &self,
+        target_eps: f64,
+        round_budget: u32,
+        max_ranks: usize,
+        tel: &Telemetry,
+        w: &EventWriter,
+    ) -> RefineOutcome {
+        assert!(max_ranks >= 1);
+        let target = target_eps.max(self.floor);
+        let probe_budget = (round_budget / 2).max(1).min(round_budget);
+        let mut out = self.refine(target_eps, probe_budget, tel, w);
+        if out.achieved > target && round_budget > probe_budget {
+            // Deadline pressure: half the budget is gone and the target is
+            // still out of reach — grow (where possible) and spend the rest
+            // of the budget at the wider size.
+            if self.pool_ranks() < max_ranks {
+                let _ = self.resize(max_ranks, tel, w);
+            }
+            let rest = self.refine(target_eps, round_budget - probe_budget, tel, w);
+            out = RefineOutcome { rounds_run: out.rounds_run + rest.rounds_run, ..rest };
+        }
+        if self.pool_ranks() > self.base_ranks {
+            // Idle again (or out of budget): shed back to the provisioned
+            // size so the grown capacity does not outlive the pressure.
+            if let Ok(r) = self.resize(self.base_ranks, tel, w) {
+                out.live = r.live;
+            }
+        }
+        out
     }
 
     /// Checkpoints the engine's ledgers (see
@@ -707,6 +824,80 @@ mod tests {
         ts.estimate_into(ts.floor_eps(), &mut sc_s, &mut out_s).expect("static stage");
         td.estimate_into(td.floor_eps(), &mut sc_d, &mut out_d).expect("dynamic stage");
         assert_eq!(out_s, out_d, "estimate vectors diverged");
+    }
+
+    #[test]
+    fn resize_bumps_generation_and_conserves_tau() {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let tel = Telemetry::stats_only();
+        // Small rounds against a tight floor keep ω several rounds away, so
+        // the pool still has headroom to refine after the resizes below.
+        let cfg = TenantConfig {
+            warmup_rounds: 2,
+            n0_base: 200.0,
+            schedule: vec![0.5, 0.25, 0.05],
+            ..TenantConfig::new(7)
+        };
+        let t = Tenant::build("grid", &g, &cfg, &tel);
+        let w = tel.writer(7, 0);
+        t.refine(0.25, 8, &tel, &w);
+        let tau_before = t.vertex_estimate(12).expect("frontier ready").tau;
+        let gen_before = t.cache().generation();
+
+        let grown = t.resize(4, &tel, &w).expect("static pools resize");
+        assert_eq!((grown.joined, grown.shed, grown.live), (2, 0, 4));
+        assert!(grown.generation > gen_before, "grow must retire the old generation");
+        assert_eq!(grown.tau, tau_before, "τ conserved across grow");
+        let v = t.vertex_estimate(12).expect("post-grow frontier published");
+        assert_eq!(v.tau, tau_before);
+
+        let shed = t.resize(1, &tel, &w).expect("static pools shed");
+        assert_eq!((shed.joined, shed.shed, shed.live), (0, 3, 1));
+        assert_eq!(shed.tau, tau_before, "τ conserved across shed");
+        // And the narrow pool keeps refining.
+        let r = t.refine(t.floor_eps(), 4, &tel, &w);
+        assert!(r.tau > tau_before);
+        // A no-op resize leaves the generation alone.
+        let gen = t.cache().generation();
+        assert_eq!(t.resize(1, &tel, &w).expect("no-op resize").generation, gen);
+    }
+
+    #[test]
+    fn dynamic_tenants_reject_resize() {
+        let (t, tel) = small_dynamic_tenant(7);
+        let w = tel.writer(7, 0);
+        assert_eq!(t.resize(4, &tel, &w).unwrap_err(), QueryError::NotResizable);
+        assert_eq!(t.pool_ranks(), 2);
+    }
+
+    #[test]
+    fn elastic_refine_grows_under_pressure_and_sheds_after() {
+        let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+        let tel = Telemetry::stats_only();
+        // No warmup, small rounds, and a tight floor: the first half of a
+        // small budget cannot reach the floor, so the deadline-pressure grow
+        // must fire.
+        let cfg = TenantConfig {
+            warmup_rounds: 0,
+            n0_base: 200.0,
+            schedule: vec![0.5, 0.05],
+            ..TenantConfig::new(9)
+        };
+        let t = Tenant::build("grid", &g, &cfg, &tel);
+        let w = tel.writer(7, 0);
+        let out = t.refine_elastic(t.floor_eps(), 6, 6, &tel, &w);
+        assert!(out.rounds_run > 0);
+        assert_eq!(t.pool_ranks(), t.base_ranks(), "grown capacity must be shed when idle");
+        assert!(t.cache().generation() >= 2, "grow and shed each retire a generation");
+        assert!(t.achieved_eps() < 1.0);
+        // Deterministic: an identically provisioned tenant lands on the
+        // same post-elastic state.
+        let tel2 = Telemetry::stats_only();
+        let t2 = Tenant::build("grid", &g, &cfg, &tel2);
+        let w2 = tel2.writer(7, 0);
+        let out2 = t2.refine_elastic(t2.floor_eps(), 6, 6, &tel2, &w2);
+        assert_eq!(out.tau, out2.tau, "elastic refine diverged across identical tenants");
+        assert_eq!(out.achieved, out2.achieved);
     }
 
     #[test]

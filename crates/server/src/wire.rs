@@ -105,6 +105,7 @@ fn error_reply(e: &QueryError) -> String {
         QueryError::UnsatisfiableEps { .. } => "unsatisfiable_eps",
         QueryError::BadVertex => "bad_vertex",
         QueryError::NotDynamic => "not_dynamic",
+        QueryError::NotResizable => "not_resizable",
         QueryError::BadUpdate(_) => "bad_update",
         QueryError::BadRequest(_) => "bad_request",
     };

@@ -117,11 +117,14 @@ id_enum! {
         /// The affected-pair sweep inside an update: endpoint BFS distance
         /// tables plus per-sample classification and redraw.
         Invalidate = (16, "invalidate"),
+        /// Elastic rebalance after a communicator grow: the round handoff
+        /// broadcast plus the ledger all-reduce bootstrapping newcomers.
+        Rebalance = (17, "rebalance"),
     }
 }
 
 /// Number of distinct [`SpanId`]s (arrays in the recorder are this long).
-pub const N_SPANS: usize = 17;
+pub const N_SPANS: usize = 18;
 
 id_enum! {
     /// Counter identities.
@@ -154,11 +157,16 @@ id_enum! {
         /// Retained samples whose shortest-path sets provably survived an
         /// update batch (kept without redrawing).
         SamplesRetained = (11, "samples_retained"),
+        /// Standby ranks admitted by a communicator grow.
+        RanksJoined = (12, "ranks_joined"),
+        /// Sample sub-ranges claimed from plan-marked stragglers by the
+        /// cross-rank steal protocol.
+        SamplesStolen = (13, "samples_stolen"),
     }
 }
 
 /// Number of distinct [`CounterId`]s.
-pub const N_COUNTERS: usize = 12;
+pub const N_COUNTERS: usize = 14;
 
 id_enum! {
     /// Instantaneous-marker identities (mpisim engine events).

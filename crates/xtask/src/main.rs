@@ -103,8 +103,12 @@
 //! allocation-free cache read path), and the `bench_dynamic` binary (the
 //! streaming-update path, which self-gates update-and-reconverge work
 //! under 25% of a from-scratch run and ε-accuracy against the Brandes
-//! oracle), writing `BENCH_smoke.json`, `BENCH_server.json`, and
-//! `BENCH_dynamic.json` to the repo root, then validates the artifacts
+//! oracle), and the `bench_elastic` binary (the elastic scale-out path,
+//! which self-gates a ≥ 1.2× mid-run-grow speedup over the static
+//! continuation and steal decoupling round latency from the straggler
+//! factor), writing `BENCH_smoke.json`, `BENCH_server.json`,
+//! `BENCH_dynamic.json`, and `BENCH_elastic.json` to the repo root, then
+//! validates the artifacts
 //! against the `kadabra-bench/v1` schema — including the value-range
 //! checks (nonzero samples/sec, reduction-overlap fraction in [0, 1]). A
 //! required CI job, so schema drift fails the PR that causes it, not a
@@ -126,8 +130,9 @@
 //! fault-injection unit tests of `kadabra-mpisim` and `kadabra-epoch`, the
 //! fault-plan corpus sweeps of `tests/chaos.rs`, and the seed-matrix
 //! determinism regression of `tests/determinism_matrix.rs`. `--plans N` (or
-//! `KADABRA_CHAOS_PLANS`) sizes the straggler corpus and `--crashes N` (or
-//! `KADABRA_CHAOS_CRASHES`) the rank-crash corpus; the defaults of 4 keep
+//! `KADABRA_CHAOS_PLANS`) sizes the straggler corpus, `--crashes N` (or
+//! `KADABRA_CHAOS_CRASHES`) the rank-crash corpus, and `--grows N` (or
+//! `KADABRA_CHAOS_GROWS`) the elastic-join corpus; the defaults of 4 keep
 //! the required CI job around two minutes, the nightly advisory job raises
 //! them.
 
@@ -156,7 +161,7 @@ fn main() -> ExitCode {
                  loom   model-check the epoch protocol + telemetry recorder + server cache (stable)\n  \
                  tsan   run concurrency tests under ThreadSanitizer (nightly + rust-src)\n  \
                  miri   run epoch tests under Miri (nightly + miri component)\n  \
-                 chaos  run the chaos conformance suite [--plans N] [--crashes N] (stable)\n  \
+                 chaos  run the chaos conformance suite [--plans N] [--crashes N] [--grows N] (stable)\n  \
                  bench  --smoke: emit and schema-validate BENCH_smoke.json + BENCH_server.json (stable)\n         \
                  --kernel [--check]: sampling-kernel perf baseline / regression gate"
             );
@@ -802,12 +807,14 @@ fn cmd_deny() -> ExitCode {
 /// (`tests/determinism_matrix.rs`) and the in-crate fault/chaos unit tests.
 ///
 /// `--plans N` (or the `KADABRA_CHAOS_PLANS` environment variable) sets the
-/// straggler-corpus size per sweep and `--crashes N` (or
-/// `KADABRA_CHAOS_CRASHES`) the rank-crash corpus size; CI uses small
+/// straggler-corpus size per sweep, `--crashes N` (or
+/// `KADABRA_CHAOS_CRASHES`) the rank-crash corpus size, and `--grows N` (or
+/// `KADABRA_CHAOS_GROWS`) the elastic-join corpus size; CI uses small
 /// bounded corpora on every push and larger ones nightly.
 fn cmd_chaos(args: &[String]) -> ExitCode {
     let mut plans: Option<String> = std::env::var("KADABRA_CHAOS_PLANS").ok();
     let mut crashes: Option<String> = std::env::var("KADABRA_CHAOS_CRASHES").ok();
+    let mut grows: Option<String> = std::env::var("KADABRA_CHAOS_GROWS").ok();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -825,6 +832,13 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--grows" => match it.next() {
+                Some(n) if n.parse::<u64>().is_ok() => grows = Some(n.clone()),
+                _ => {
+                    eprintln!("xtask chaos: --grows needs an integer argument");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("xtask chaos: unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -833,9 +847,10 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     }
     let plans = plans.unwrap_or_else(|| "4".to_string());
     let crashes = crashes.unwrap_or_else(|| "4".to_string());
+    let grows = grows.unwrap_or_else(|| "4".to_string());
     println!(
-        "xtask chaos: corpus of {plans} fault plans / {crashes} crash plans per sweep \
-         (release mode)"
+        "xtask chaos: corpus of {plans} fault plans / {crashes} crash plans / {grows} grow \
+         plans per sweep (release mode)"
     );
     let root = workspace_root();
     // Fault-layer unit tests first (fast, precise diagnostics), then the
@@ -845,6 +860,7 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
             .args(["test", "--release", "-p", "kadabra-mpisim", "-p", "kadabra-epoch", "--lib"])
             .env("KADABRA_CHAOS_PLANS", &plans)
             .env("KADABRA_CHAOS_CRASHES", &crashes)
+            .env("KADABRA_CHAOS_GROWS", &grows)
             .current_dir(&root),
     ) {
         return ExitCode::FAILURE;
@@ -854,6 +870,7 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
             .args(["test", "--release", "--test", "chaos", "--test", "determinism_matrix"])
             .env("KADABRA_CHAOS_PLANS", &plans)
             .env("KADABRA_CHAOS_CRASHES", &crashes)
+            .env("KADABRA_CHAOS_GROWS", &grows)
             .current_dir(&root),
     )
 }
@@ -917,11 +934,13 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 fn cmd_bench_smoke() -> ExitCode {
     let root = workspace_root();
     // `bench_server` additionally self-gates its acceptance numbers (≥ 1k
-    // queries/s, zero cache-read allocations), and `bench_dynamic` gates
-    // the incremental-update path (update-and-reconverge under 25% of a
-    // from-scratch run, within ε of the oracle), so a degraded build fails
-    // the run before validation starts.
-    for bin in ["bench_smoke", "bench_server", "bench_dynamic"] {
+    // queries/s, zero cache-read allocations), `bench_dynamic` gates the
+    // incremental-update path (update-and-reconverge under 25% of a
+    // from-scratch run, within ε of the oracle), and `bench_elastic` gates
+    // the elastic scale-out path (mid-run grow ≥ 1.2× over the static
+    // continuation, steal decoupling round latency from the straggler
+    // factor), so a degraded build fails the run before validation starts.
+    for bin in ["bench_smoke", "bench_server", "bench_dynamic", "bench_elastic"] {
         println!("xtask bench: running the {bin} benchmark (release mode)");
         if !run_ok(
             Command::new("cargo")
@@ -932,7 +951,9 @@ fn cmd_bench_smoke() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    for artifact in ["BENCH_smoke.json", "BENCH_server.json", "BENCH_dynamic.json"] {
+    for artifact in
+        ["BENCH_smoke.json", "BENCH_server.json", "BENCH_dynamic.json", "BENCH_elastic.json"]
+    {
         let path = root.join(artifact);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,

@@ -32,6 +32,7 @@ fn main() {
         shape: ClusterShape { ranks: 1, ranks_per_node: 1, threads_per_rank: 24 },
         strategy: ReduceStrategy::IbarrierThenBlockingReduce,
         numa_penalty: true,
+        steal: false,
     };
     let baseline = simulate(&g, &cfg, &prepared, &baseline_cfg, &spec, &cost);
     println!(
@@ -49,6 +50,7 @@ fn main() {
             shape: ClusterShape { ranks: 2 * nodes, ranks_per_node: 2, threads_per_rank: 12 },
             strategy: ReduceStrategy::IbarrierThenBlockingReduce,
             numa_penalty: false,
+            steal: false,
         };
         let r = simulate(&g, &cfg, &prepared, &sim_cfg, &spec, &cost);
         println!(

@@ -9,8 +9,8 @@
 
 use kadabra_mpi::baselines::brandes;
 use kadabra_mpi::core::{
-    kadabra_epoch_mpi_observed, kadabra_mpi_flat_observed, ChaosOptions, ClusterShape,
-    KadabraConfig,
+    kadabra_epoch_mpi_observed, kadabra_mpi_flat_elastic, kadabra_mpi_flat_observed, ChaosOptions,
+    ClusterShape, ElasticOptions, KadabraConfig,
 };
 use kadabra_mpi::graph::components::largest_component;
 use kadabra_mpi::graph::generators::{gnm, GnmConfig};
@@ -38,6 +38,13 @@ fn corpus_size() -> u64 {
 /// --crashes N`).
 fn crash_corpus_size() -> u64 {
     std::env::var("KADABRA_CHAOS_CRASHES").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// How many grow-corpus plans the elastic sweeps cover. The CI
+/// chaos-elastic job raises this via `KADABRA_CHAOS_GROWS` (`cargo xtask
+/// chaos --grows N`).
+fn grow_corpus_size() -> u64 {
+    std::env::var("KADABRA_CHAOS_GROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
 }
 
 /// The acceptance scenario from the issue, verbatim: one straggler rank plus
@@ -206,6 +213,88 @@ fn epoch_crash_corpus_respects_epsilon_and_gap_invariant() {
         let err = max_abs_diff(&report.result.scores, &exact);
         assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", report.plan_summary);
     }
+}
+
+/// The elastic acceptance scenario from the issue: adding 2 standby ranks
+/// mid-adaptive-phase to a P=4 world. The grown run must finish, land
+/// within ε of Brandes, conserve `[Σc̃, τ]` across the membership change
+/// (asserted inside the driver's grow block), and replay bit-for-bit from
+/// the same `(plan, seed)`.
+#[test]
+fn grow_mid_adaptive_meets_guarantee_and_reproduces() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 2023, ..Default::default() };
+    let plan = FaultPlan::ideal(85).with_join(1, 2);
+    let opts = ElasticOptions::all(plan);
+
+    let first = kadabra_mpi_flat_elastic(&g, &cfg, 4, 2, &opts);
+    first.assert_invariants();
+    assert_eq!(first.ranks_joined, 2, "join never admitted [{}]", first.plan_summary);
+    assert!(first.conservation_rounds > 0, "[{}]", first.plan_summary);
+    let err = max_abs_diff(&first.result.scores, &exact);
+    assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", first.plan_summary);
+
+    let second = kadabra_mpi_flat_elastic(&g, &cfg, 4, 2, &opts);
+    assert_eq!(
+        first.result.scores, second.result.scores,
+        "same (plan, seed) must reproduce the grown run bit-for-bit [{}]",
+        first.plan_summary
+    );
+    assert_eq!(first.result.samples, second.result.samples);
+    assert_eq!(first.ranks_joined, second.ranks_joined);
+}
+
+/// Grow-corpus sweep: every generated plan schedules one mid-phase join on
+/// top of randomized delays. Whether or not the run survives long enough
+/// for the join to fire, the ε guarantee and the conservation invariants
+/// must hold, and admission is all-or-nothing per plan.
+#[test]
+fn grow_corpus_respects_epsilon_and_conserves_samples() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.06, delta: 0.1, seed: 701, ..Default::default() };
+    for seed in 0..grow_corpus_size() {
+        let plan = FaultPlan::from_seed_with_grows(seed, 2);
+        let expected = plan.total_joiners() as u64;
+        let opts = ElasticOptions::all(plan);
+        let report = kadabra_mpi_flat_elastic(&g, &cfg, 3, 2, &opts);
+        report.assert_invariants();
+        assert!(report.conservation_rounds > 0, "[{}]", report.plan_summary);
+        assert!(
+            report.ranks_joined == 0 || report.ranks_joined == expected,
+            "partial admission: {} of {} [{}]",
+            report.ranks_joined,
+            expected,
+            report.plan_summary
+        );
+        let err = max_abs_diff(&report.result.scores, &exact);
+        assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", report.plan_summary);
+    }
+}
+
+/// The straggler-steal scenario: a plan-marked straggler sheds most of its
+/// round quota to the fast ranks. The redistribution must preserve the ε
+/// guarantee and per-round conservation, move a deterministic number of
+/// samples, and replay bit-for-bit.
+#[test]
+fn straggler_steal_redistributes_and_meets_guarantee() {
+    let g = test_graph();
+    let exact = brandes(&g);
+    let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 2024, ..Default::default() };
+    let plan = FaultPlan::ideal(91).with_straggler(1, 8);
+    let opts = ElasticOptions::all(plan);
+
+    let first = kadabra_mpi_flat_elastic(&g, &cfg, 4, 0, &opts);
+    first.assert_invariants();
+    assert!(first.samples_stolen > 0, "steal never fired [{}]", first.plan_summary);
+    assert!(first.conservation_rounds > 0, "[{}]", first.plan_summary);
+    let err = max_abs_diff(&first.result.scores, &exact);
+    assert!(err <= cfg.epsilon, "max error {err} > eps [{}]", first.plan_summary);
+
+    let second = kadabra_mpi_flat_elastic(&g, &cfg, 4, 0, &opts);
+    assert_eq!(first.result.scores, second.result.scores, "[{}]", first.plan_summary);
+    assert_eq!(first.samples_stolen, second.samples_stolen);
 }
 
 /// An unperturbed (ideal) plan is itself part of the corpus: the observed

@@ -72,6 +72,7 @@ fn des_matches_guarantee_on_road_like_graph() {
             shape: ClusterShape { ranks: 4, ranks_per_node: 2, threads_per_rank: 3 },
             strategy,
             numa_penalty: false,
+            steal: false,
         };
         let r = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
         let err = max_abs_diff(&r.scores, &exact);
@@ -99,6 +100,7 @@ fn determinism_across_repeated_runs_per_mode() {
         shape: ClusterShape { ranks: 2, ranks_per_node: 2, threads_per_rank: 2 },
         strategy: ReduceStrategy::IbarrierThenBlockingReduce,
         numa_penalty: false,
+        steal: false,
     };
     let da = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);
     let db = simulate(&g, &cfg, &prepared, &sim, &ClusterSpec::default(), &cost);

@@ -10,8 +10,8 @@
 //! broke.
 
 use kadabra_mpi::core::{
-    kadabra_epoch_mpi_observed, kadabra_mpi_flat_observed, ChaosOptions, ClusterShape,
-    KadabraConfig,
+    kadabra_epoch_mpi_observed, kadabra_mpi_flat_elastic, kadabra_mpi_flat_observed, ChaosOptions,
+    ClusterShape, ElasticOptions, KadabraConfig,
 };
 use kadabra_mpi::graph::components::largest_component;
 use kadabra_mpi::graph::generators::{gnm, GnmConfig};
@@ -118,6 +118,32 @@ fn crash_recovery_runs_are_bit_identical_with_telemetry_on_and_off() {
     assert_eq!(a.result.scores, b.result.scores, "epoch: telemetry perturbed a crash run");
     assert_eq!(a.result.samples, b.result.samples);
     assert_eq!((a.ranks_lost, a.recoveries), (b.ranks_lost, b.recoveries));
+}
+
+#[test]
+fn mid_run_join_is_bit_identical_with_telemetry_on_and_off() {
+    // Elastic grows must be just as deterministic as crashes: a plan that
+    // admits standby ranks mid-adaptive-phase produces bit-identical scores
+    // whether or not a full event trace is recorded, the steal/rebalance
+    // bookkeeping reproduces, and the traced run's phase breakdown is
+    // itself stable across reruns.
+    let (g, _) = largest_component(&gnm(GnmConfig { n: 50, m: 130, seed: 3 }));
+    // ε tight enough that the adaptive phase runs past the join round.
+    let cfg = KadabraConfig { epsilon: 0.05, delta: 0.1, seed: 9, ..Default::default() };
+
+    let off = ElasticOptions::all(FaultPlan::ideal(17).with_join(1, 2).with_straggler(1, 4));
+    let on = off.clone().with_telemetry();
+    let a = kadabra_mpi_flat_elastic(&g, &cfg, 2, 2, &off);
+    let b = kadabra_mpi_flat_elastic(&g, &cfg, 2, 2, &on);
+    assert_eq!(a.ranks_joined, 2, "join never fired [{}]", a.plan_summary);
+    assert_eq!(a.result.scores, b.result.scores, "telemetry perturbed a grown run");
+    assert_eq!(a.result.samples, b.result.samples);
+    assert_eq!((a.ranks_joined, a.samples_stolen), (b.ranks_joined, b.samples_stolen));
+    // The traced grow carries real content and reproduces exactly.
+    assert!(b.phases.counter(kadabra_mpi::telemetry::CounterId::RanksJoined) > 0);
+    let c = kadabra_mpi_flat_elastic(&g, &cfg, 2, 2, &on);
+    assert_eq!(b.result.scores, c.result.scores);
+    assert_eq!(b.phases, c.phases, "traced grow phase breakdown diverged between reruns");
 }
 
 #[test]
