@@ -24,6 +24,7 @@
 //! computation → calibration of the per-vertex failure probabilities
 //! δ_L/δ_U → adaptive sampling; see [`phases`].
 
+pub mod affinity;
 pub mod bounds;
 pub mod calibration;
 pub mod chaos;
@@ -47,7 +48,7 @@ pub mod variants_parallel;
 pub use bounds::{achieved_epsilon, f_bound, g_bound, omega};
 pub use calibration::Calibration;
 pub use chaos::{kadabra_epoch_mpi_observed, kadabra_mpi_flat_observed, ChaosOptions, ChaosReport};
-pub use config::{ClusterShape, KadabraConfig};
+pub use config::{ClusterShape, KadabraConfig, KernelOptions};
 pub use elastic::{kadabra_mpi_flat_elastic, planned_admissions, ElasticOptions, ElasticReport};
 pub use epoch_mpi::{kadabra_epoch_mpi, kadabra_epoch_mpi_traced};
 pub use mpi::{kadabra_mpi_flat, kadabra_mpi_flat_traced};

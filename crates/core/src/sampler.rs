@@ -9,8 +9,9 @@
 //! xoshiro stream and every sample writes its interior into the same reused
 //! scratch buffer, so at steady state a sample allocates nothing.
 
+use crate::config::KernelOptions;
 use kadabra_graph::bibfs::{sample_shortest_path_into, SearchStats};
-use kadabra_graph::{GraphView, NodeId, TraversalScratch};
+use kadabra_graph::{BatchedBiBfs, GraphView, NodeId, TraversalScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,6 +39,13 @@ pub struct ThreadSampler {
     n: usize,
     /// Pre-drawn endpoint pairs for the current batch.
     pairs: Vec<(NodeId, NodeId)>,
+    /// Lanes per batched-kernel invocation; ≤ 1 keeps batches on the scalar
+    /// kernel. Either way the sampled paths are bit-identical (DESIGN.md
+    /// §16), so this knob trades only memory against row-scan sharing.
+    batch_width: usize,
+    /// Batched kernel scratch, allocated lazily on the first routed batch so
+    /// scalar-only samplers never pay the `O(n·W)` arena.
+    batch: Option<BatchedBiBfs>,
     /// Cumulative search statistics over every sample taken.
     pub stats: SearchStats,
     /// Total samples produced by this sampler.
@@ -45,17 +53,51 @@ pub struct ThreadSampler {
 }
 
 impl ThreadSampler {
-    /// Creates the sampler for `(rank, thread)` on an `n`-vertex graph.
+    /// Creates the sampler for `(rank, thread)` on an `n`-vertex graph, with
+    /// the default kernel options ([`KernelOptions::default`]: batched at
+    /// width 8).
     pub fn new(n: usize, seed: u64, rank: usize, thread: usize) -> Self {
+        Self::with_kernel(n, seed, rank, thread, KernelOptions::default())
+    }
+
+    /// Creates the sampler with explicit kernel options (the drivers pass
+    /// `cfg.kernel` through here). Only `batch_width` matters to the
+    /// sampler itself; placement options are applied by the caller.
+    pub fn with_kernel(
+        n: usize,
+        seed: u64,
+        rank: usize,
+        thread: usize,
+        kernel: KernelOptions,
+    ) -> Self {
         assert!(n >= 2, "sampling requires at least two vertices");
+        assert!(kernel.batch_width >= 1 && kernel.batch_width <= 64, "batch width in 1..=64");
         ThreadSampler {
             rng: StdRng::seed_from_u64(mix_seed(seed, rank as u64, thread as u64)),
             scratch: TraversalScratch::new(n),
             n,
             pairs: Vec::new(),
+            batch_width: kernel.batch_width,
+            batch: None,
             stats: SearchStats::default(),
             samples_taken: 0,
         }
+    }
+
+    /// Cumulative batched-kernel occupancy: `(rounds, lane_rounds)` — the
+    /// telemetry counters `kernel_rounds` / `kernel_lane_rounds`. Both zero
+    /// until a batch has routed through the batched kernel.
+    pub fn kernel_occupancy(&self) -> (u64, u64) {
+        self.batch.as_ref().map_or((0, 0), |k| (k.rounds, k.lane_rounds))
+    }
+
+    /// Cumulative physical adjacency entries decoded by the batched kernel
+    /// (each CSR row read counted once regardless of how many lanes share
+    /// it); `stats.edges_scanned / kernel_physical_edges()` is the
+    /// row-share factor batching achieves. Zero until a batch has routed
+    /// through the batched kernel.
+    pub fn kernel_physical_edges(&self) -> u64 {
+        self.batch.as_ref().map_or(0, |k| k.physical_edges)
     }
 
     /// Draws a uniform ordered pair `(s, t)` with `s ≠ t`.
@@ -75,7 +117,13 @@ impl ThreadSampler {
     /// KADABRA counts a sample of a disconnected pair as a path with no
     /// interior, keeping `b̃` an unbiased estimator on disconnected graphs).
     pub fn sample<G: GraphView>(&mut self, g: &G) -> &[NodeId] {
-        debug_assert_eq!(g.num_nodes(), self.n);
+        assert_eq!(
+            g.num_nodes(),
+            self.n,
+            "sampler scratch sized for {} vertices, graph has {}",
+            self.n,
+            g.num_nodes()
+        );
         let (s, t) = self.draw_pair();
         let _ =
             sample_shortest_path_into(g, s, t, &mut self.scratch, &mut self.rng, &mut self.stats);
@@ -92,13 +140,24 @@ impl ThreadSampler {
     /// distribution is identical to `k` calls of `sample` (every draw is
     /// independent), only the order in which the stream is consumed differs,
     /// which the `(ε, δ)` guarantee is insensitive to (DESIGN.md §11).
+    ///
+    /// With `batch_width > 1` the pre-drawn pairs route through the batched
+    /// multi-source kernel in chunks of `batch_width` lanes; selection is
+    /// bit-identical to the scalar loop for the same stream (DESIGN.md §16),
+    /// so routing is purely a throughput decision.
     pub fn sample_batch<G: GraphView, F: FnMut(&[NodeId])>(
         &mut self,
         g: &G,
         k: u64,
         mut consume: F,
     ) {
-        debug_assert_eq!(g.num_nodes(), self.n);
+        assert_eq!(
+            g.num_nodes(),
+            self.n,
+            "sampler scratch sized for {} vertices, graph has {}",
+            self.n,
+            g.num_nodes()
+        );
         self.pairs.clear();
         self.pairs.reserve(k as usize);
         for _ in 0..k {
@@ -108,16 +167,33 @@ impl ThreadSampler {
         // Move the pair buffer out so the sweep can borrow `self` mutably;
         // moved back below, so no allocation happens either way.
         let pairs = std::mem::take(&mut self.pairs);
-        for &(s, t) in &pairs {
-            let _ = sample_shortest_path_into(
-                g,
-                s,
-                t,
-                &mut self.scratch,
-                &mut self.rng,
-                &mut self.stats,
-            );
-            consume(&self.scratch.path);
+        if self.batch_width > 1 {
+            if self.batch.is_none() {
+                self.batch = Some(BatchedBiBfs::new(self.n, self.batch_width));
+            }
+            if let Some(kernel) = self.batch.as_mut() {
+                for chunk in pairs.chunks(self.batch_width) {
+                    kernel.sample_batch_into(
+                        g,
+                        chunk,
+                        &mut self.rng,
+                        &mut self.stats,
+                        |_, _, p| consume(p),
+                    );
+                }
+            }
+        } else {
+            for &(s, t) in &pairs {
+                let _ = sample_shortest_path_into(
+                    g,
+                    s,
+                    t,
+                    &mut self.scratch,
+                    &mut self.rng,
+                    &mut self.stats,
+                );
+                consume(&self.scratch.path);
+            }
         }
         self.pairs = pairs;
         self.samples_taken += k;
@@ -134,7 +210,13 @@ impl ThreadSampler {
         k: u64,
         mut consume: F,
     ) {
-        debug_assert_eq!(g.num_nodes(), self.n);
+        assert_eq!(
+            g.num_nodes(),
+            self.n,
+            "sampler scratch sized for {} vertices, graph has {}",
+            self.n,
+            g.num_nodes()
+        );
         self.pairs.clear();
         self.pairs.reserve(k as usize);
         for _ in 0..k {
@@ -142,17 +224,37 @@ impl ThreadSampler {
             self.pairs.push(p);
         }
         let pairs = std::mem::take(&mut self.pairs);
-        for &(s, t) in &pairs {
-            let info = sample_shortest_path_into(
-                g,
-                s,
-                t,
-                &mut self.scratch,
-                &mut self.rng,
-                &mut self.stats,
-            );
-            let dist = info.map_or(u32::MAX, |i| i.distance);
-            consume(s, t, dist, &self.scratch.path);
+        if self.batch_width > 1 {
+            if self.batch.is_none() {
+                self.batch = Some(BatchedBiBfs::new(self.n, self.batch_width));
+            }
+            if let Some(kernel) = self.batch.as_mut() {
+                for chunk in pairs.chunks(self.batch_width) {
+                    kernel.sample_batch_into(
+                        g,
+                        chunk,
+                        &mut self.rng,
+                        &mut self.stats,
+                        |lane, info, path| {
+                            let (s, t) = chunk[lane];
+                            consume(s, t, info.map_or(u32::MAX, |i| i.distance), path);
+                        },
+                    );
+                }
+            }
+        } else {
+            for &(s, t) in &pairs {
+                let info = sample_shortest_path_into(
+                    g,
+                    s,
+                    t,
+                    &mut self.scratch,
+                    &mut self.rng,
+                    &mut self.stats,
+                );
+                let dist = info.map_or(u32::MAX, |i| i.distance);
+                consume(s, t, dist, &self.scratch.path);
+            }
         }
         self.pairs = pairs;
         self.samples_taken += k;

@@ -1,0 +1,138 @@
+//! Kernel-routing conformance for [`ThreadSampler`] (DESIGN.md §16): a
+//! sampler configured with any [`KernelOptions::batch_width`] must produce
+//! the **same sample transcript** — interiors, records, cumulative search
+//! stats — as a scalar-width sampler with the same `(seed, rank, thread)`
+//! stream. This is what lets every driver default to the batched kernel
+//! without perturbing a single determinism or accuracy test.
+
+use kadabra_core::{KernelOptions, ThreadSampler};
+use kadabra_graph::components::largest_component;
+use kadabra_graph::generators::{gnm, grid, GnmConfig, GridConfig};
+use kadabra_graph::{Graph, NodeId};
+
+/// Collects `k` samples' interiors through `sample_batch`.
+fn interiors(g: &Graph, kernel: KernelOptions, seed: u64, k: u64) -> Vec<Vec<NodeId>> {
+    let mut sampler = ThreadSampler::with_kernel(g.num_nodes(), seed, 3, 7, kernel);
+    let mut out = Vec::new();
+    sampler.sample_batch(g, k, |interior| out.push(interior.to_vec()));
+    out
+}
+
+#[test]
+fn every_width_matches_the_scalar_transcript() {
+    let g = grid(GridConfig { rows: 7, cols: 5, diagonal_prob: 0.2, seed: 3 });
+    let scalar = interiors(&g, KernelOptions::scalar(), 99, 300);
+    for width in [2usize, 4, 8, 64] {
+        let batched = interiors(&g, KernelOptions::batched(width), 99, 300);
+        assert_eq!(scalar, batched, "width {width} diverged");
+    }
+}
+
+#[test]
+fn batch_sizes_not_multiple_of_width_still_agree() {
+    // Odd batch sizes force ragged final chunks in every routed batch.
+    let g = gnm(GnmConfig { n: 60, m: 150, seed: 8 });
+    for k in [1u64, 3, 7, 9, 13] {
+        let mut scalar = ThreadSampler::with_kernel(60, 5, 0, 0, KernelOptions::scalar());
+        let mut batched = ThreadSampler::with_kernel(60, 5, 0, 0, KernelOptions::batched(8));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..5 {
+            scalar.sample_batch(&g, k, |i| a.push(i.to_vec()));
+            batched.sample_batch(&g, k, |i| b.push(i.to_vec()));
+        }
+        assert_eq!(a, b, "k={k} diverged");
+        assert_eq!(scalar.samples_taken, batched.samples_taken);
+        assert_eq!(scalar.stats.edges_scanned, batched.stats.edges_scanned);
+        assert_eq!(scalar.stats.vertices_settled, batched.stats.vertices_settled);
+    }
+}
+
+#[test]
+fn records_agree_across_kernels_on_disconnected_graphs() {
+    // Sparse G(n, m): many disconnected pairs (distance u32::MAX records).
+    let g = gnm(GnmConfig { n: 50, m: 30, seed: 4 });
+    let mut scalar = ThreadSampler::with_kernel(50, 21, 1, 2, KernelOptions::scalar());
+    let mut batched = ThreadSampler::with_kernel(50, 21, 1, 2, KernelOptions::batched(64));
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    scalar.sample_batch_records(&g, 500, |s, t, d, interior| {
+        a.push((s, t, d, interior.to_vec()));
+    });
+    batched.sample_batch_records(&g, 500, |s, t, d, interior| {
+        b.push((s, t, d, interior.to_vec()));
+    });
+    assert_eq!(a, b);
+    assert!(a.iter().any(|r| r.2 == u32::MAX), "corpus should include disconnected pairs");
+    assert!(a.iter().any(|r| r.2 != u32::MAX), "corpus should include connected pairs");
+}
+
+#[test]
+fn single_sample_path_is_shared_between_kernels() {
+    // `sample()` stays on the scalar kernel by design; interleaving it with
+    // routed batches must keep the one shared RNG stream intact.
+    let g = grid(GridConfig { rows: 6, cols: 6, diagonal_prob: 0.0, seed: 0 });
+    let mut scalar = ThreadSampler::with_kernel(36, 77, 0, 1, KernelOptions::scalar());
+    let mut batched = ThreadSampler::with_kernel(36, 77, 0, 1, KernelOptions::batched(8));
+    for round in 0..20 {
+        let a = scalar.sample(&g).to_vec();
+        let b = batched.sample(&g).to_vec();
+        assert_eq!(a, b, "round {round}: single-sample path diverged");
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        scalar.sample_batch(&g, 11, |i| xs.push(i.to_vec()));
+        batched.sample_batch(&g, 11, |i| ys.push(i.to_vec()));
+        assert_eq!(xs, ys, "round {round}: batch after single sample diverged");
+    }
+}
+
+#[test]
+fn occupancy_counters_track_routed_batches_only() {
+    let g = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+    let mut scalar = ThreadSampler::with_kernel(25, 1, 0, 0, KernelOptions::scalar());
+    scalar.sample_batch(&g, 64, |_| {});
+    assert_eq!(scalar.kernel_occupancy(), (0, 0), "scalar width must not touch the kernel");
+
+    let mut batched = ThreadSampler::with_kernel(25, 1, 0, 0, KernelOptions::batched(8));
+    assert_eq!(batched.kernel_occupancy(), (0, 0), "counters start at zero");
+    batched.sample_batch(&g, 64, |_| {});
+    let (rounds, lane_rounds) = batched.kernel_occupancy();
+    assert!(rounds > 0, "routed batches must accumulate rounds");
+    // Mean occupancy is bounded by the lane count per round.
+    assert!(lane_rounds >= rounds && lane_rounds <= rounds * 8, "{lane_rounds} vs {rounds}");
+}
+
+#[test]
+fn occupancy_is_full_when_lanes_share_a_long_path() {
+    // A path graph: every lane of a full batch runs the same number of
+    // rounds, so mean occupancy is exactly the width.
+    let mut edges = Vec::new();
+    for v in 0..15u32 {
+        edges.push((v, v + 1));
+    }
+    let g = kadabra_graph::csr::graph_from_edges(16, &edges);
+    let (lcc, _) = largest_component(&g);
+    let mut s = ThreadSampler::with_kernel(16, 2, 0, 0, KernelOptions::batched(4));
+    s.sample_batch(&lcc, 4, |_| {});
+    let (rounds, lane_rounds) = s.kernel_occupancy();
+    assert!(rounds > 0);
+    assert!(lane_rounds <= rounds * 4);
+}
+
+#[test]
+#[should_panic(expected = "sampler scratch sized for")]
+fn scratch_graph_mismatch_panics_in_batches() {
+    // Regression for the bench-row sizing bug class: a sampler built for one
+    // graph must refuse to run batches on a graph of a different size.
+    let g25 = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+    let mut sampler = ThreadSampler::new(36, 0, 0, 0);
+    sampler.sample_batch(&g25, 1, |_| {});
+}
+
+#[test]
+#[should_panic(expected = "sampler scratch sized for")]
+fn scratch_graph_mismatch_panics_in_single_samples() {
+    let g25 = grid(GridConfig { rows: 5, cols: 5, diagonal_prob: 0.0, seed: 0 });
+    let mut sampler = ThreadSampler::new(36, 0, 0, 0);
+    let _ = sampler.sample(&g25);
+}

@@ -173,7 +173,13 @@ impl DynamicEngine {
                 state: Mutex::new(Some(DynRankState {
                     threads: (0..threads)
                         .map(|t| DynThread {
-                            sampler: ThreadSampler::new(n, kcfg.seed, id, ADS_STREAM_OFFSET + t),
+                            sampler: ThreadSampler::with_kernel(
+                                n,
+                                kcfg.seed,
+                                id,
+                                ADS_STREAM_OFFSET + t,
+                                kcfg.kernel,
+                            ),
                             store: PathStore::new(n),
                         })
                         .collect(),

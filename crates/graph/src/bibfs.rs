@@ -217,32 +217,8 @@ pub fn sample_shortest_path_into<G: GraphView, R: Rng + ?Sized>(
             }
             debug_assert!(num_paths > 0);
 
-            // Sample a cut vertex proportionally to σ_near · σ_far.
-            let mut pick = rng.gen_range(0..num_paths);
-            let mut chosen = cut[0].0;
-            for &(v, w) in cut.iter() {
-                if pick < w {
-                    chosen = v;
-                    break;
-                }
-                pick -= w;
-            }
-
-            // Walk back towards both endpoints, σ-proportionally.
-            path.clear();
-            if expand_fwd {
-                backtrack(g, fwd, chosen, s, path, rng);
-                if chosen != t {
-                    path.push(chosen);
-                }
-                backtrack(g, bwd, chosen, t, path, rng);
-            } else {
-                backtrack(g, bwd, chosen, t, path, rng);
-                if chosen != s {
-                    path.push(chosen);
-                }
-                backtrack(g, fwd, chosen, s, path, rng);
-            }
+            let (near_root, far_root) = if expand_fwd { (s, t) } else { (t, s) };
+            select_and_backtrack(g, cut, num_paths, near, near_root, far, far_root, path, rng);
             debug_assert_eq!(
                 // xtask: allow(determinism) — a shortest path visits each
                 // vertex at most once, so its length fits the u32 the CSR
@@ -256,45 +232,175 @@ pub fn sample_shortest_path_into<G: GraphView, R: Rng + ?Sized>(
     }
 }
 
+/// σ/distance view of one completed search direction. Implemented by the
+/// scalar per-direction [`StampedBfsState`] and by one lane of the batched
+/// kernel's lane-strided arena ([`crate::bibfs_batch`]), so both kernels
+/// drive the **same** selection/backtrack code — which is what makes the
+/// batched kernel's path choices bit-identical to the scalar kernel's for an
+/// identical RNG stream.
+pub trait SigmaDistView {
+    /// Distance of `v` from this direction's root, or [`crate::scratch::UNREACHED`].
+    fn view_dist(&self, v: NodeId) -> u32;
+    /// σ(v): shortest-path count from this direction's root.
+    fn view_sigma(&self, v: NodeId) -> u64;
+    /// Whether `v` was settled by this direction.
+    fn view_reached(&self, v: NodeId) -> bool;
+    /// Single-probe record read: `Some((dist, σ))` if settled, else `None`.
+    /// Implementors back this with one slot load — the backtrack walk probes
+    /// every neighbor of every path vertex, so the probe count dominates its
+    /// cost.
+    #[inline]
+    fn view_record(&self, v: NodeId) -> Option<(u32, u64)> {
+        if self.view_reached(v) {
+            Some((self.view_dist(v), self.view_sigma(v)))
+        } else {
+            None
+        }
+    }
+    /// Hints the CPU to pull `v`'s record toward cache ahead of a probe.
+    #[inline]
+    fn view_prefetch(&self, v: NodeId) {
+        let _ = v;
+    }
+}
+
+impl SigmaDistView for StampedBfsState {
+    #[inline]
+    fn view_dist(&self, v: NodeId) -> u32 {
+        self.dist(v)
+    }
+    #[inline]
+    fn view_sigma(&self, v: NodeId) -> u64 {
+        self.sigma(v)
+    }
+    #[inline]
+    fn view_reached(&self, v: NodeId) -> bool {
+        self.reached(v)
+    }
+    #[inline]
+    fn view_record(&self, v: NodeId) -> Option<(u32, u64)> {
+        self.record(v)
+    }
+    #[inline]
+    fn view_prefetch(&self, v: NodeId) {
+        self.prefetch(v);
+    }
+}
+
+/// Shared tail of both kernels: draws one cut vertex ∝ σ_near·σ_far and
+/// walks back to both roots, leaving the interior in `path`.
+///
+/// The cut is first sorted by vertex id. The level sets of a BFS are
+/// order-independent, but the *discovery order* within the final level is
+/// not — the scalar kernel visits the frontier in insertion order while the
+/// batched kernel scans a compacted active list — so the cut is put into a
+/// canonical order before any RNG is consumed. Selection then depends only
+/// on the level sets and the RNG stream, never on traversal schedule.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn select_and_backtrack<
+    G: GraphView,
+    R: Rng + ?Sized,
+    N: SigmaDistView,
+    F: SigmaDistView,
+>(
+    g: &G,
+    cut: &mut Vec<(NodeId, u128)>,
+    num_paths: u128,
+    near: &N,
+    near_root: NodeId,
+    far: &F,
+    far_root: NodeId,
+    path: &mut Vec<NodeId>,
+    rng: &mut R,
+) {
+    // Canonical cut order (each vertex settles at most once per direction and
+    // level, so ids are distinct and the sort is a total order).
+    cut.sort_unstable_by_key(|&(v, _)| v);
+
+    // Sample a cut vertex proportionally to σ_near · σ_far.
+    let mut pick = rng.gen_range(0..num_paths);
+    let mut chosen = cut[0].0;
+    for &(v, w) in cut.iter() {
+        if pick < w {
+            chosen = v;
+            break;
+        }
+        pick -= w;
+    }
+
+    // Walk back towards both endpoints, σ-proportionally. The cut buffer is
+    // dead once a vertex is drawn, so the walks reuse it as predecessor
+    // scratch — no extra allocation, no extra plumbing.
+    path.clear();
+    backtrack(g, near, chosen, near_root, path, cut, rng);
+    if chosen != far_root {
+        path.push(chosen);
+    }
+    backtrack(g, far, chosen, far_root, path, cut, rng);
+}
+
+/// Sliding prefetch distance for the backtrack predecessor scan: the
+/// neighbor records are data-dependent random probes, so pull them toward
+/// cache a few entries ahead.
+const BACKTRACK_PREFETCH_DIST: usize = 6;
+
 /// Walks from `from` (exclusive) towards `root` (exclusive), pushing interior
 /// vertices onto `out`. At a vertex of distance `d` the predecessor `u`
 /// (distance `d - 1`) is chosen with probability `σ(u) / Σ σ`, which makes
 /// the complete walk a uniform draw among the σ(from) shortest root→from
 /// paths.
-fn backtrack<G: GraphView, R: Rng + ?Sized>(
+///
+/// `preds` is caller scratch (clobbered): each step scans the neighbor
+/// records **once**, caching the qualifying predecessors with their σ, then
+/// draws from the cache — the record probes are random accesses into a
+/// state arena that may be cache-cold, so not re-scanning for the draw
+/// halves the expensive loads. The drawn predecessor — and the RNG stream —
+/// are exactly those of a scan-twice implementation.
+pub(crate) fn backtrack<G: GraphView, R: Rng + ?Sized, V: SigmaDistView>(
     g: &G,
-    state: &StampedBfsState,
+    state: &V,
     from: NodeId,
     root: NodeId,
     out: &mut Vec<NodeId>,
+    preds: &mut Vec<(NodeId, u128)>,
     rng: &mut R,
 ) {
     let mut cur = from;
-    let mut d = state.dist(cur);
+    let mut d = state.view_dist(cur);
     while d > 1 {
+        let adj = g.neighbors(cur);
+        for &u in adj.iter().take(BACKTRACK_PREFETCH_DIST) {
+            state.view_prefetch(u);
+        }
         // Total σ over predecessors equals σ(cur) by construction, except for
         // cut vertices whose σ may also have received contributions from
         // same-level edges; recompute the predecessor total to stay exact.
+        preds.clear();
         let mut total: u64 = 0;
-        for &u in g.neighbors(cur) {
-            if state.reached(u) && state.dist(u) == d - 1 {
-                total += state.sigma(u);
+        for (j, &u) in adj.iter().enumerate() {
+            if let Some(&nu) = adj.get(j + BACKTRACK_PREFETCH_DIST) {
+                state.view_prefetch(nu);
+            }
+            if let Some((du, su)) = state.view_record(u) {
+                if du == d - 1 {
+                    total += su;
+                    preds.push((u, su as u128));
+                }
             }
         }
         debug_assert!(total > 0);
         let mut pick = rng.gen_range(0..total);
         let mut nxt = cur;
-        for &u in g.neighbors(cur) {
-            if state.reached(u) && state.dist(u) == d - 1 {
-                let su = state.sigma(u);
-                if pick < su {
-                    nxt = u;
-                    break;
-                }
-                pick -= su;
+        for &(u, su) in preds.iter() {
+            let su = su as u64;
+            if pick < su {
+                nxt = u;
+                break;
             }
+            pick -= su;
         }
         debug_assert_ne!(nxt, cur);
+        g.prefetch_neighbors(nxt);
         out.push(nxt);
         cur = nxt;
         d -= 1;

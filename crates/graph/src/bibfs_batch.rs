@@ -1,0 +1,1021 @@
+//! Multi-source batched bidirectional BFS: up to 64 interleaved (s, t)
+//! searches — *lanes* — advanced through shared CSR row scans.
+//!
+//! The scalar kernel ([`crate::bibfs`]) re-reads adjacency rows that
+//! concurrent samples would share: KADABRA draws thousands of independent
+//! pairs per ε-round. [`BatchedBiBfs`] amortizes the row decode by packing
+//! per-lane membership into `u64` bitset words ([`crate::lanes::LaneMatrix`]):
+//! one row scan propagates every in-flight lane whose frontier contains the
+//! row's vertex, and meet detection between the forward and backward
+//! searches is a word-at-a-time intersection. The achieved decode
+//! amortization is observable, not assumed: [`BatchedBiBfs::physical_edges`]
+//! counts each row read once, so `edges_scanned / physical_edges` is the
+//! measured row-share factor (`bench_kernel` reports it per row; on the
+//! cache-resident gate instance it is ≈ 1, and the batched kernel pays for
+//! its wider state — see DESIGN.md §16 for the regime analysis).
+//!
+//! ## Packed single-word fast path (width ≤ 8)
+//!
+//! For batches of at most [`PACKED_MAX_LANES`] lanes the kernel switches to
+//! a denser representation: one `u64` per vertex holds all six lane-bytes —
+//! forward seen/frontier/next at bit offsets 0/8/16 and backward at
+//! 24/32/40 — so a propagation probe is a **single load** that also answers
+//! the meet test (the other direction's seen byte travels in the same
+//! word). The wider [`LaneMatrix`] representation covers widths 9..=64.
+//! Both paths keep identical scan order, arena updates, meet recording and
+//! stats accounting, so which representation ran is unobservable in the
+//! sampling transcript.
+//!
+//! ## Lane layout and semantics
+//!
+//! Each lane runs exactly the scalar kernel's search schedule: per round an
+//! alive lane expands the side whose completed frontier has the smaller
+//! total degree (ties → forward), advancing that side by one full level.
+//! Per direction the kernel keeps
+//!
+//! * `seen` — lanes that settled `v` in any *completed* level (including the
+//!   current frontier),
+//! * `frontier` — lanes whose most recently completed level contains `v`,
+//! * `next` — lanes that settled `v` in the level being built this round,
+//! * a lane-strided [`StampedState`] arena: slot `v·W + lane` holds the
+//!   lane's distance/σ record for `v` (lanes of a vertex are contiguous, so
+//!   one settle touches one cache line for W ≤ 4 and sequential lines after),
+//! * sparse `active` / `next_active` vertex lists (the invariant is
+//!   `active = {v : frontier-word(v) ≠ 0}` with no duplicates), so per-round
+//!   work — and the end-of-batch clear, via `touched` — is proportional to
+//!   the vertices actually visited, never `O(|V|)`.
+//!
+//! A propagation step for row vertex `u` computes `prop = fm & !seen(v)`
+//! (lanes newly reaching `v`), splits it into `fresh = prop & !next(v)`
+//! (first settle this level → visit + meet check) and `merge = prop & next(v)`
+//! (σ accumulation for a same-level re-reach), and checks
+//! `fresh & other.seen(v)` for meets. `next` is merged into `seen`/`frontier`
+//! only at round end, which preserves the scalar kernel's level-synchronous
+//! σ merges.
+//!
+//! ## Bit-identical path selection
+//!
+//! BFS consumes no randomness — only path *selection* does. Both kernels
+//! canonicalize the meeting cut by vertex id and then run the **same**
+//! selection/backtrack code ([`crate::bibfs::select_and_backtrack`]), and σ,
+//! path counts and per-lane degree sums are order-independent saturating
+//! sums, so for an identical RNG stream the batched kernel selects exactly
+//! the paths the scalar kernel would — the property
+//! `tests/kernel_equivalence.rs` pins for B ∈ {1, 4, 8, 64}.
+
+use crate::bibfs::{select_and_backtrack, SampleInfo, SearchStats, SigmaDistView};
+use crate::csr::NodeId;
+use crate::lanes::{for_each_lane, LaneMatrix};
+use crate::prefetch::prefetch_read;
+use crate::scratch::StampedState;
+use crate::view::GraphView;
+use rand::Rng;
+
+/// Maximum lanes per batch: one bit per lane in a `u64` word.
+pub const MAX_LANES: usize = 64;
+
+/// How many adjacency entries ahead the scan prefetches the bitset rows and
+/// arena slots (mirrors the scalar kernel's `STATE_PREFETCH_DIST`).
+const STATE_PREFETCH_DIST: usize = 4;
+
+/// Widest batch the single-word packed representation covers: six lane-bytes
+/// (seen/frontier/next × both directions) must fit one `u64`.
+pub const PACKED_MAX_LANES: usize = 8;
+
+/// Packed-word field offsets: direction base + field offset gives the shift
+/// of an 8-bit lane field. Bits 48..64 are unused.
+const PACKED_FWD: u32 = 0;
+const PACKED_BWD: u32 = 24;
+const PACKED_FRONT: u32 = 8;
+const PACKED_NEXT: u32 = 16;
+const LANE_BYTE: u64 = 0xff;
+
+/// One direction's batched search state (forward from the `s` endpoints or
+/// backward from the `t` endpoints).
+struct DirState {
+    /// Lanes that settled `v` in a completed level.
+    seen: LaneMatrix,
+    /// Lanes whose current completed frontier contains `v`.
+    frontier: LaneMatrix,
+    /// Lanes that settled `v` in the level under construction.
+    next: LaneMatrix,
+    /// Lane-strided distance/σ arena: slot `v·W + lane`.
+    arena: StampedState<u32>,
+    /// Vertices with a non-zero `frontier` word (no duplicates).
+    active: Vec<NodeId>,
+    /// Vertices that gained their first `next` bit this round.
+    next_active: Vec<NodeId>,
+    /// Vertices whose `seen` word became non-zero this batch (end-of-batch
+    /// clear list: reset cost is O(vertices visited), not O(|V|)).
+    touched: Vec<NodeId>,
+}
+
+impl DirState {
+    /// `bitsets = false` is the packed-word representation (width ≤ 8): the
+    /// per-vertex membership bytes live in [`BatchedBiBfs::packed`] instead,
+    /// so the matrices are allocated empty and never touched.
+    fn new(n: usize, width: usize, bitsets: bool) -> Self {
+        let rows = if bitsets { n } else { 0 };
+        DirState {
+            seen: LaneMatrix::new(rows, width),
+            frontier: LaneMatrix::new(rows, width),
+            next: LaneMatrix::new(rows, width),
+            arena: StampedState::new(n * width),
+            active: Vec::new(),
+            next_active: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Prepares for a new batch: bumps the arena round and zeroes every
+    /// bitset row touched by the previous batch.
+    fn begin(&mut self) {
+        self.arena.reset();
+        for i in 0..self.touched.len() {
+            let v = self.touched[i];
+            *self.seen.word_mut(v) = 0;
+            *self.frontier.word_mut(v) = 0;
+            *self.next.word_mut(v) = 0;
+        }
+        self.touched.clear();
+        self.active.clear();
+        self.next_active.clear();
+    }
+
+    /// Settles `root` at distance 0 with σ = 1 for `lane`.
+    fn seed(&mut self, root: NodeId, lane: usize, width: usize) {
+        self.arena.visit_at(root as usize * width + lane, 0, 1);
+        let bit = 1u64 << lane;
+        let sb = self.seen.word(root);
+        if sb == 0 {
+            self.touched.push(root);
+        }
+        *self.seen.word_mut(root) = sb | bit;
+        let fb = self.frontier.word(root);
+        if fb == 0 {
+            self.active.push(root);
+        }
+        *self.frontier.word_mut(root) = fb | bit;
+    }
+}
+
+/// Per-lane search control state.
+#[derive(Clone, Copy)]
+struct LaneCtl {
+    s: NodeId,
+    t: NodeId,
+    /// Completed radius around `s` / `t`.
+    ds: u32,
+    dt: u32,
+    /// Total degree of the completed forward / backward frontier.
+    deg_s: u64,
+    deg_t: u64,
+    status: LaneStatus,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LaneStatus {
+    /// Still expanding.
+    Running,
+    /// Met: final expansion was at depth `depth` on the forward (`fwd`) or
+    /// backward side.
+    Met { depth: u32, fwd: bool },
+    /// A frontier emptied without meeting — the endpoints are disconnected.
+    Unreachable,
+}
+
+/// σ/distance view of one lane of a direction's arena, so the shared
+/// selection/backtrack code reads batched state exactly as it reads scalar
+/// state.
+struct LaneView<'a> {
+    arena: &'a StampedState<u32>,
+    width: usize,
+    lane: usize,
+}
+
+impl SigmaDistView for LaneView<'_> {
+    #[inline]
+    fn view_dist(&self, v: NodeId) -> u32 {
+        self.arena.dist_at(v as usize * self.width + self.lane)
+    }
+    #[inline]
+    fn view_sigma(&self, v: NodeId) -> u64 {
+        self.arena.sigma_at(v as usize * self.width + self.lane)
+    }
+    #[inline]
+    fn view_reached(&self, v: NodeId) -> bool {
+        self.arena.reached_at(v as usize * self.width + self.lane)
+    }
+    #[inline]
+    fn view_record(&self, v: NodeId) -> Option<(u32, u64)> {
+        self.arena.record_at(v as usize * self.width + self.lane)
+    }
+    #[inline]
+    fn view_prefetch(&self, v: NodeId) {
+        self.arena.prefetch_at(v as usize * self.width + self.lane);
+    }
+}
+
+/// The batched kernel object: scratch for up to `width ≤ 64` concurrent
+/// lanes on an `n`-vertex graph, reused across batches so a steady-state
+/// batch performs no heap allocation (the same contract as
+/// [`crate::bibfs::sample_shortest_path_into`]).
+pub struct BatchedBiBfs {
+    n: usize,
+    width: usize,
+    fwd: DirState,
+    bwd: DirState,
+    /// Single-word per-vertex state for the width ≤ 8 fast path: six
+    /// lane-bytes (fwd seen/frontier/next at bits 0/8/16, bwd at 24/32/40),
+    /// so one load answers every question an edge probe asks — including the
+    /// other direction's `seen` byte for meet detection. Empty for wider
+    /// batches, which use the [`LaneMatrix`] representation instead.
+    packed: Vec<u64>,
+    lanes: Vec<LaneCtl>,
+    /// Meets recorded this batch: (lane, vertex, settled other-side dist).
+    meets: Vec<(u32, NodeId, u32)>,
+    /// Per-lane meeting cut reused by the selection phase.
+    cut: Vec<(NodeId, u128)>,
+    /// Interior of the most recently selected path.
+    path: Vec<NodeId>,
+    /// Cumulative kernel rounds (each advances ≥ 1 lane by one level).
+    pub rounds: u64,
+    /// Cumulative Σ over rounds of alive lanes — `lane_rounds / rounds` is
+    /// the mean batch occupancy the telemetry counters expose.
+    pub lane_rounds: u64,
+    /// Physical adjacency entries decoded (each row read counted once no
+    /// matter how many lanes share it); `stats.edges_scanned /
+    /// physical_edges` is the row-share factor batching achieves.
+    pub physical_edges: u64,
+}
+
+impl BatchedBiBfs {
+    /// Allocates batch scratch for an `n`-vertex graph and `width` lanes.
+    pub fn new(n: usize, width: usize) -> Self {
+        assert!((1..=MAX_LANES).contains(&width), "batch width must lie in 1..=64, got {width}");
+        let bitsets = width > PACKED_MAX_LANES;
+        BatchedBiBfs {
+            n,
+            width,
+            fwd: DirState::new(n, width, bitsets),
+            bwd: DirState::new(n, width, bitsets),
+            packed: if bitsets { Vec::new() } else { vec![0u64; n] },
+            lanes: vec![
+                LaneCtl {
+                    s: 0,
+                    t: 0,
+                    ds: 0,
+                    dt: 0,
+                    deg_s: 0,
+                    deg_t: 0,
+                    status: LaneStatus::Unreachable,
+                };
+                width
+            ],
+            meets: Vec::new(),
+            cut: Vec::new(),
+            path: Vec::new(),
+            rounds: 0,
+            lane_rounds: 0,
+            physical_edges: 0,
+        }
+    }
+
+    /// Number of vertices this scratch was sized for.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Lane capacity.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs one batch: every `pairs[lane] = (s, t)` is one lane. After all
+    /// lanes finish, `each(lane, info, interior)` is invoked once per lane
+    /// **in lane order** — `None` info (and an empty interior) for a
+    /// disconnected pair, mirroring the scalar kernel. RNG is consumed only
+    /// by the selection phase, in lane order, so a batch consumes the stream
+    /// exactly as the equivalent sequence of scalar calls would.
+    pub fn sample_batch_into<G, R, F>(
+        &mut self,
+        g: &G,
+        pairs: &[(NodeId, NodeId)],
+        rng: &mut R,
+        stats: &mut SearchStats,
+        mut each: F,
+    ) where
+        G: GraphView,
+        R: Rng + ?Sized,
+        F: FnMut(usize, Option<SampleInfo>, &[NodeId]),
+    {
+        let width = self.width;
+        let nlanes = pairs.len();
+        assert!(nlanes <= width, "batch of {nlanes} pairs exceeds width {width}");
+        assert_eq!(
+            g.num_nodes(),
+            self.n,
+            "batch scratch sized for {} vertices, graph has {}",
+            self.n,
+            g.num_nodes()
+        );
+        if nlanes == 0 {
+            return;
+        }
+        let use_packed = width <= PACKED_MAX_LANES;
+        if use_packed {
+            self.fwd.arena.reset();
+            self.bwd.arena.reset();
+            for i in 0..self.fwd.touched.len() {
+                self.packed[self.fwd.touched[i] as usize] = 0;
+            }
+            for i in 0..self.bwd.touched.len() {
+                self.packed[self.bwd.touched[i] as usize] = 0;
+            }
+            self.fwd.touched.clear();
+            self.fwd.active.clear();
+            self.fwd.next_active.clear();
+            self.bwd.touched.clear();
+            self.bwd.active.clear();
+            self.bwd.next_active.clear();
+        } else {
+            self.fwd.begin();
+            self.bwd.begin();
+        }
+        self.meets.clear();
+
+        for (lane, &(s, t)) in pairs.iter().enumerate() {
+            assert!(s != t, "sampling requires distinct endpoints");
+            assert!((s as usize) < self.n && (t as usize) < self.n);
+            self.lanes[lane] = LaneCtl {
+                s,
+                t,
+                ds: 0,
+                dt: 0,
+                deg_s: g.degree(s) as u64,
+                deg_t: g.degree(t) as u64,
+                status: LaneStatus::Running,
+            };
+            if use_packed {
+                seed_packed(&mut self.packed, PACKED_FWD, &mut self.fwd, s, lane, width);
+                seed_packed(&mut self.packed, PACKED_BWD, &mut self.bwd, t, lane, width);
+            } else {
+                self.fwd.seed(s, lane, width);
+                self.bwd.seed(t, lane, width);
+            }
+            stats.vertices_settled += 2;
+        }
+
+        let mut alive: u64 = if nlanes == MAX_LANES { u64::MAX } else { (1u64 << nlanes) - 1 };
+        let mut dead: u64 = 0;
+        let mut nd = [0u32; MAX_LANES];
+        let mut sig_u = [0u64; MAX_LANES];
+
+        while alive != 0 {
+            self.rounds += 1;
+            self.lane_rounds += u64::from(alive.count_ones());
+
+            // Balanced expansion, per lane: grow the cheaper side.
+            let mut mf = 0u64;
+            let mut mw = 0u64;
+            for_each_lane(alive, |lane| {
+                let c = &self.lanes[lane];
+                if c.deg_s <= c.deg_t {
+                    mf |= 1u64 << lane;
+                    nd[lane] = c.ds + 1;
+                } else {
+                    mw |= 1u64 << lane;
+                    nd[lane] = c.dt + 1;
+                }
+            });
+
+            let meets_start = self.meets.len();
+            let mut fresh_cnt = [0u64; MAX_LANES];
+            let mut fresh_deg = [0u64; MAX_LANES];
+            if use_packed {
+                expand_direction_packed(
+                    g,
+                    &mut self.packed,
+                    PACKED_FWD,
+                    &mut self.fwd,
+                    &self.bwd,
+                    mf,
+                    &nd,
+                    &mut sig_u,
+                    &mut fresh_cnt,
+                    &mut fresh_deg,
+                    &mut self.meets,
+                    width,
+                    stats,
+                    &mut self.physical_edges,
+                );
+                expand_direction_packed(
+                    g,
+                    &mut self.packed,
+                    PACKED_BWD,
+                    &mut self.bwd,
+                    &self.fwd,
+                    mw,
+                    &nd,
+                    &mut sig_u,
+                    &mut fresh_cnt,
+                    &mut fresh_deg,
+                    &mut self.meets,
+                    width,
+                    stats,
+                    &mut self.physical_edges,
+                );
+            } else {
+                expand_direction(
+                    g,
+                    &mut self.fwd,
+                    &self.bwd,
+                    mf,
+                    &nd,
+                    &mut sig_u,
+                    &mut fresh_cnt,
+                    &mut fresh_deg,
+                    &mut self.meets,
+                    width,
+                    stats,
+                    &mut self.physical_edges,
+                );
+                expand_direction(
+                    g,
+                    &mut self.bwd,
+                    &self.fwd,
+                    mw,
+                    &nd,
+                    &mut sig_u,
+                    &mut fresh_cnt,
+                    &mut fresh_deg,
+                    &mut self.meets,
+                    width,
+                    stats,
+                    &mut self.physical_edges,
+                );
+            }
+
+            let mut met = 0u64;
+            for &(lane, _, _) in &self.meets[meets_start..] {
+                met |= 1u64 << lane;
+            }
+            let mut newly_dead = met;
+            for_each_lane(alive, |lane| {
+                let bit = 1u64 << lane;
+                let c = &mut self.lanes[lane];
+                if met & bit != 0 {
+                    c.status = LaneStatus::Met { depth: nd[lane], fwd: mf & bit != 0 };
+                } else if fresh_cnt[lane] == 0 {
+                    // The expanded frontier emptied without meeting: the
+                    // component is exhausted, the pair is disconnected.
+                    c.status = LaneStatus::Unreachable;
+                    newly_dead |= bit;
+                } else if mf & bit != 0 {
+                    c.ds = nd[lane];
+                    c.deg_s = fresh_deg[lane];
+                } else {
+                    c.dt = nd[lane];
+                    c.deg_t = fresh_deg[lane];
+                }
+            });
+            alive &= !newly_dead;
+            dead |= newly_dead;
+
+            if use_packed {
+                compact_direction_packed(&mut self.packed, PACKED_FWD, &mut self.fwd, mf, dead);
+                compact_direction_packed(&mut self.packed, PACKED_BWD, &mut self.bwd, mw, dead);
+            } else {
+                compact_direction(&mut self.fwd, mf, dead);
+                compact_direction(&mut self.bwd, mw, dead);
+            }
+        }
+
+        // Selection phase, in lane order: the RNG stream sees pair
+        // pre-draws (done by the caller) followed by per-sample selection
+        // draws in sample order — exactly the scalar sequence.
+        for lane in 0..nlanes {
+            let c = self.lanes[lane];
+            match c.status {
+                LaneStatus::Running => unreachable!("the round loop exits only when no lane runs"),
+                LaneStatus::Unreachable => {
+                    self.path.clear();
+                    each(lane, None, &self.path);
+                }
+                LaneStatus::Met { depth, fwd } => {
+                    let mut k0 = u32::MAX;
+                    for &(l, _, k) in self.meets.iter() {
+                        if l as usize == lane && k < k0 {
+                            k0 = k;
+                        }
+                    }
+                    let (near_arena, far_arena) = if fwd {
+                        (&self.fwd.arena, &self.bwd.arena)
+                    } else {
+                        (&self.bwd.arena, &self.fwd.arena)
+                    };
+                    self.cut.clear();
+                    let mut num_paths: u128 = 0;
+                    for &(l, v, k) in self.meets.iter() {
+                        if l as usize == lane && k == k0 {
+                            let idx = v as usize * width + lane;
+                            let w = (near_arena.sigma_at(idx) as u128)
+                                .saturating_mul(far_arena.sigma_at(idx) as u128);
+                            num_paths = num_paths.saturating_add(w);
+                            self.cut.push((v, w));
+                        }
+                    }
+                    debug_assert!(num_paths > 0);
+                    let (near_root, far_root) = if fwd { (c.s, c.t) } else { (c.t, c.s) };
+                    let near = LaneView { arena: near_arena, width, lane };
+                    let far = LaneView { arena: far_arena, width, lane };
+                    select_and_backtrack(
+                        g,
+                        &mut self.cut,
+                        num_paths,
+                        &near,
+                        near_root,
+                        &far,
+                        far_root,
+                        &mut self.path,
+                        rng,
+                    );
+                    let distance = depth + k0;
+                    debug_assert_eq!(
+                        // xtask: allow(determinism) — a shortest path visits
+                        // each vertex at most once, so its length fits u32.
+                        self.path.len() as u32 + 1,
+                        distance,
+                        "interior vertex count must be distance - 1"
+                    );
+                    each(lane, Some(SampleInfo { distance, num_paths }), &self.path);
+                }
+            }
+        }
+    }
+}
+
+/// Advances every lane in `mask` by one level of `this` direction: one
+/// shared scan over `this.active`, propagating all masked lanes per CSR row
+/// visit. `other` is the opposite direction — read-only here (meet tests
+/// against its `seen` set and settled distances); the lanes it is
+/// concurrently expanding are bitwise disjoint from `mask`.
+#[allow(clippy::too_many_arguments)]
+fn expand_direction<G: GraphView>(
+    g: &G,
+    this: &mut DirState,
+    other: &DirState,
+    mask: u64,
+    nd: &[u32; MAX_LANES],
+    sig_u: &mut [u64; MAX_LANES],
+    fresh_cnt: &mut [u64; MAX_LANES],
+    fresh_deg: &mut [u64; MAX_LANES],
+    meets: &mut Vec<(u32, NodeId, u32)>,
+    width: usize,
+    stats: &mut SearchStats,
+    physical: &mut u64,
+) {
+    if mask == 0 {
+        return;
+    }
+    for i in 0..this.active.len() {
+        let u = this.active[i];
+        // Pull the next active vertex's adjacency row and frontier word
+        // while scanning this one's.
+        if let Some(&nu) = this.active.get(i + 1) {
+            g.prefetch_neighbors(nu);
+            this.frontier.prefetch_row(nu);
+        }
+        let fm = this.frontier.word(u) & mask;
+        if fm == 0 {
+            continue;
+        }
+        // Hoist σ(u) per lane: u sits in a completed level, so no write this
+        // round can touch its records.
+        let ub = u as usize * width;
+        for_each_lane(fm, |lane| sig_u[lane] = this.arena.sigma_at(ub + lane));
+        let adj = g.neighbors(u);
+        // Every masked lane whose frontier holds u scans this row — the
+        // shared decode the batching amortizes.
+        stats.edges_scanned += u64::from(fm.count_ones()) * adj.len() as u64;
+        *physical += adj.len() as u64;
+        for (j, &v) in adj.iter().enumerate() {
+            // The v's are data-dependent: pull the bitset row and the arena
+            // slots a few probes ahead.
+            if let Some(&nv) = adj.get(j + STATE_PREFETCH_DIST) {
+                this.seen.prefetch_row(nv);
+                this.arena.prefetch_at(nv as usize * width);
+            }
+            let prop = fm & !this.seen.word(v);
+            if prop == 0 {
+                continue;
+            }
+            let vb = v as usize * width;
+            let nw = this.next.word(v);
+            let merge = prop & nw;
+            let fresh = prop & !nw;
+            // Same-level re-reach: accumulate σ (level-synchronous merge).
+            for_each_lane(merge, |lane| this.arena.add_sigma_at(vb + lane, sig_u[lane]));
+            if fresh != 0 {
+                if nw == 0 {
+                    this.next_active.push(v);
+                }
+                *this.next.word_mut(v) = nw | fresh;
+                stats.vertices_settled += u64::from(fresh.count_ones());
+                let dv = g.degree(v) as u64;
+                for_each_lane(fresh, |lane| {
+                    this.arena.visit_at(vb + lane, nd[lane], sig_u[lane]);
+                    fresh_cnt[lane] += 1;
+                    fresh_deg[lane] += dv;
+                });
+                // Word-at-a-time meet detection: lanes that just settled v
+                // and had already settled it from the other side.
+                let met = fresh & other.seen.word(v);
+                for_each_lane(met, |lane| {
+                    meets.push((lane as u32, v, other.arena.dist_at(vb + lane)));
+                });
+            }
+        }
+    }
+}
+
+/// End-of-round bookkeeping for one direction: retires the completed level
+/// of every lane in `expanded` (and every bit of `dead` lanes), promotes the
+/// freshly built level into `frontier`/`seen`, and keeps the active list
+/// exactly `{v : frontier-word(v) ≠ 0}` without duplicates.
+fn compact_direction(this: &mut DirState, expanded: u64, dead: u64) {
+    let keep = !(expanded | dead);
+    let mut w_idx = 0;
+    for i in 0..this.active.len() {
+        let v = this.active[i];
+        let fw = this.frontier.word(v) & keep;
+        *this.frontier.word_mut(v) = fw;
+        if fw != 0 {
+            this.active[w_idx] = v;
+            w_idx += 1;
+        }
+    }
+    this.active.truncate(w_idx);
+    for i in 0..this.next_active.len() {
+        let v = this.next_active[i];
+        let nw = this.next.word(v);
+        *this.next.word_mut(v) = 0;
+        let sb = this.seen.word(v);
+        if sb == 0 {
+            this.touched.push(v);
+        }
+        // Settled state of met lanes stays in `seen`/arena for selection;
+        // only still-running lanes carry the level forward as a frontier.
+        *this.seen.word_mut(v) = sb | nw;
+        let live = nw & !dead;
+        if live != 0 {
+            let fb = this.frontier.word(v);
+            if fb == 0 {
+                this.active.push(v);
+            }
+            *this.frontier.word_mut(v) = fb | live;
+        }
+    }
+    this.next_active.clear();
+}
+
+/// Packed-word seed: [`DirState::seed`] against the single-word per-vertex
+/// representation. `shift` selects the direction's byte group; list pushes
+/// key off the same byte transitions as the bitset path, so the active /
+/// touched orders — and hence the transcript — are identical.
+fn seed_packed(
+    packed: &mut [u64],
+    shift: u32,
+    dir: &mut DirState,
+    root: NodeId,
+    lane: usize,
+    width: usize,
+) {
+    dir.arena.visit_at(root as usize * width + lane, 0, 1);
+    let w = packed[root as usize];
+    if (w >> shift) & LANE_BYTE == 0 {
+        dir.touched.push(root);
+    }
+    if (w >> (shift + PACKED_FRONT)) & LANE_BYTE == 0 {
+        dir.active.push(root);
+    }
+    packed[root as usize] =
+        w | (1u64 << (shift + lane as u32)) | (1u64 << (shift + PACKED_FRONT + lane as u32));
+}
+
+/// [`expand_direction`] specialized to the packed-word representation
+/// (width ≤ 8): one `packed[v]` load yields this direction's seen /
+/// frontier / next bytes **and** the other direction's seen byte, so the
+/// per-edge probe touches a single 8-byte slot instead of three scattered
+/// bitset rows plus a meet lookup. Scan order, arena updates, meet
+/// recording and stats accounting mirror the bitset path exactly.
+#[allow(clippy::too_many_arguments)]
+fn expand_direction_packed<G: GraphView>(
+    g: &G,
+    packed: &mut [u64],
+    shift: u32,
+    this: &mut DirState,
+    other: &DirState,
+    mask: u64,
+    nd: &[u32; MAX_LANES],
+    sig_u: &mut [u64; MAX_LANES],
+    fresh_cnt: &mut [u64; MAX_LANES],
+    fresh_deg: &mut [u64; MAX_LANES],
+    meets: &mut Vec<(u32, NodeId, u32)>,
+    width: usize,
+    stats: &mut SearchStats,
+    physical: &mut u64,
+) {
+    if mask == 0 {
+        return;
+    }
+    let other_shift = PACKED_BWD - shift;
+    let fshift = shift + PACKED_FRONT;
+    let nshift = shift + PACKED_NEXT;
+    for i in 0..this.active.len() {
+        let u = this.active[i];
+        if let Some(&nu) = this.active.get(i + 1) {
+            g.prefetch_neighbors(nu);
+            prefetch_read(packed, nu as usize);
+        }
+        let fm = (packed[u as usize] >> fshift) & mask;
+        if fm == 0 {
+            continue;
+        }
+        let ub = u as usize * width;
+        for_each_lane(fm, |lane| sig_u[lane] = this.arena.sigma_at(ub + lane));
+        let adj = g.neighbors(u);
+        stats.edges_scanned += u64::from(fm.count_ones()) * adj.len() as u64;
+        *physical += adj.len() as u64;
+        for (j, &v) in adj.iter().enumerate() {
+            if let Some(&nv) = adj.get(j + STATE_PREFETCH_DIST) {
+                prefetch_read(packed, nv as usize);
+            }
+            let pv = packed[v as usize];
+            // `fm` has bits only in 0..8, so it masks the shifted garbage.
+            let prop = fm & !(pv >> shift);
+            if prop == 0 {
+                continue;
+            }
+            let nw = (pv >> nshift) & LANE_BYTE;
+            let merge = prop & nw;
+            let fresh = prop & !nw;
+            let vb = v as usize * width;
+            for_each_lane(merge, |lane| this.arena.add_sigma_at(vb + lane, sig_u[lane]));
+            if fresh != 0 {
+                if nw == 0 {
+                    this.next_active.push(v);
+                }
+                packed[v as usize] = pv | (fresh << nshift);
+                stats.vertices_settled += u64::from(fresh.count_ones());
+                let dv = g.degree(v) as u64;
+                for_each_lane(fresh, |lane| {
+                    this.arena.visit_at(vb + lane, nd[lane], sig_u[lane]);
+                    fresh_cnt[lane] += 1;
+                    fresh_deg[lane] += dv;
+                });
+                // The other direction's seen byte came along in `pv`.
+                let met = fresh & (pv >> other_shift);
+                for_each_lane(met, |lane| {
+                    meets.push((lane as u32, v, other.arena.dist_at(vb + lane)));
+                });
+            }
+        }
+    }
+}
+
+/// [`compact_direction`] for the packed-word representation: retires the
+/// expanded/dead frontier bytes, promotes `next` into `seen`/`frontier`,
+/// and keeps `active` exactly the non-zero-frontier set without duplicates.
+fn compact_direction_packed(
+    packed: &mut [u64],
+    shift: u32,
+    this: &mut DirState,
+    expanded: u64,
+    dead: u64,
+) {
+    let fshift = shift + PACKED_FRONT;
+    let nshift = shift + PACKED_NEXT;
+    let keep = !(expanded | dead);
+    let mut w_idx = 0;
+    for i in 0..this.active.len() {
+        let v = this.active[i];
+        let pv = packed[v as usize];
+        let fw = (pv >> fshift) & LANE_BYTE & keep;
+        packed[v as usize] = (pv & !(LANE_BYTE << fshift)) | (fw << fshift);
+        if fw != 0 {
+            this.active[w_idx] = v;
+            w_idx += 1;
+        }
+    }
+    this.active.truncate(w_idx);
+    for i in 0..this.next_active.len() {
+        let v = this.next_active[i];
+        let pv = packed[v as usize];
+        let nw = (pv >> nshift) & LANE_BYTE;
+        if (pv >> shift) & LANE_BYTE == 0 {
+            this.touched.push(v);
+        }
+        // Settled state of met lanes stays in `seen`/arena for selection;
+        // only still-running lanes carry the level forward as a frontier.
+        let mut new = (pv & !(LANE_BYTE << nshift)) | (nw << shift);
+        let live = nw & !dead;
+        if live != 0 {
+            if (pv >> fshift) & LANE_BYTE == 0 {
+                this.active.push(v);
+            }
+            new |= live << fshift;
+        }
+        packed[v as usize] = new;
+    }
+    this.next_active.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bibfs::sample_shortest_path_into;
+    use crate::csr::{graph_from_edges, Graph};
+    use crate::scratch::TraversalScratch;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type SampledPaths = Vec<(Option<SampleInfo>, Vec<NodeId>)>;
+
+    fn run_batch(g: &Graph, pairs: &[(NodeId, NodeId)], width: usize, seed: u64) -> SampledPaths {
+        let mut kernel = BatchedBiBfs::new(g.num_nodes(), width);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        for chunk in pairs.chunks(width) {
+            kernel.sample_batch_into(g, chunk, &mut rng, &mut stats, |_, info, path| {
+                out.push((info, path.to_vec()));
+            });
+        }
+        out
+    }
+
+    fn run_scalar(g: &Graph, pairs: &[(NodeId, NodeId)], seed: u64) -> (SampledPaths, SearchStats) {
+        let mut sc = TraversalScratch::new(g.num_nodes());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = SearchStats::default();
+        let mut out = Vec::new();
+        for &(s, t) in pairs {
+            let info = sample_shortest_path_into(g, s, t, &mut sc, &mut rng, &mut stats);
+            out.push((info, sc.path.clone()));
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn adjacent_pair_single_lane() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let out = run_batch(&g, &[(0, 1)], 1, 1);
+        assert_eq!(out.len(), 1);
+        let (info, path) = &out[0];
+        let info = info.expect("connected");
+        assert_eq!(info.distance, 1);
+        assert_eq!(info.num_paths, 1);
+        assert!(path.is_empty());
+    }
+
+    #[test]
+    fn disconnected_lane_reports_none() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let out = run_batch(&g, &[(0, 3), (0, 1), (2, 0)], 4, 2);
+        assert!(out[0].0.is_none() && out[0].1.is_empty());
+        assert_eq!(out[1].0.expect("adjacent").distance, 1);
+        assert!(out[2].0.is_none());
+    }
+
+    #[test]
+    fn four_cycle_counts_two_paths_at_all_widths() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for width in [1, 2, 8, 64] {
+            let out = run_batch(&g, &[(0, 2), (1, 3)], width, 3);
+            for (info, path) in &out {
+                let info = info.expect("connected");
+                assert_eq!(info.distance, 2);
+                assert_eq!(info.num_paths, 2);
+                assert_eq!(path.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_pairs_share_lanes_independently() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let out = run_batch(&g, &[(0, 4); 8], 8, 4);
+        for (info, path) in &out {
+            assert_eq!(info.expect("connected").distance, 4);
+            let mut interior = path.clone();
+            interior.sort_unstable();
+            assert_eq!(interior, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_random_graphs() {
+        use rand::Rng as _;
+        let mut gen = StdRng::seed_from_u64(5);
+        for trial in 0..20 {
+            let n = 24 + trial % 8;
+            let mut edges = Vec::new();
+            for u in 0..n as NodeId {
+                for v in (u + 1)..n as NodeId {
+                    if gen.gen_bool(0.12) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = graph_from_edges(n, &edges);
+            let mut pairs = Vec::new();
+            for _ in 0..32 {
+                let s = gen.gen_range(0..n as NodeId);
+                let mut t = gen.gen_range(0..n as NodeId - 1);
+                if t >= s {
+                    t += 1;
+                }
+                pairs.push((s, t));
+            }
+            let (scalar, _) = run_scalar(&g, &pairs, 100 + trial as u64);
+            for width in [1usize, 4, 8] {
+                let batched = run_batch(&g, &pairs, width, 100 + trial as u64);
+                assert_eq!(scalar, batched, "width {width} diverged on trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_match_scalar_totals() {
+        use rand::Rng as _;
+        let mut gen = StdRng::seed_from_u64(6);
+        let n = 40;
+        let mut edges = Vec::new();
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if gen.gen_bool(0.1) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = graph_from_edges(n, &edges);
+        let pairs: Vec<_> = (0..16)
+            .map(|i| ((i % n as NodeId), ((i + 7) % n as NodeId)))
+            .filter(|&(s, t)| s != t)
+            .collect();
+        let (_, scalar_stats) = run_scalar(&g, &pairs, 9);
+        let mut kernel = BatchedBiBfs::new(g.num_nodes(), 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut stats = SearchStats::default();
+        for chunk in pairs.chunks(8) {
+            kernel.sample_batch_into(&g, chunk, &mut rng, &mut stats, |_, _, _| {});
+        }
+        assert_eq!(stats.edges_scanned, scalar_stats.edges_scanned);
+        assert_eq!(stats.vertices_settled, scalar_stats.vertices_settled);
+        assert!(kernel.rounds > 0);
+        assert!(kernel.lane_rounds >= kernel.rounds);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let mut kernel = BatchedBiBfs::new(2, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SearchStats::default();
+        kernel.sample_batch_into(&g, &[], &mut rng, &mut stats, |_, _, _| {
+            panic!("no lanes, no callbacks")
+        });
+        assert_eq!(stats.vertices_settled, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for")]
+    fn wrong_graph_size_panics() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut kernel = BatchedBiBfs::new(8, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SearchStats::default();
+        kernel.sample_batch_into(&g, &[(0, 1)], &mut rng, &mut stats, |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn equal_endpoints_panic() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let mut kernel = BatchedBiBfs::new(2, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SearchStats::default();
+        kernel.sample_batch_into(&g, &[(1, 1)], &mut rng, &mut stats, |_, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn oversized_batch_panics() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut kernel = BatchedBiBfs::new(3, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut stats = SearchStats::default();
+        kernel.sample_batch_into(&g, &[(0, 1), (1, 2), (0, 2)], &mut rng, &mut stats, |_, _, _| {});
+    }
+}

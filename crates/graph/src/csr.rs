@@ -92,6 +92,27 @@ impl Graph {
         self.targets.len() / 2
     }
 
+    /// Best-effort first-touch page sweep: reads one element per 4 KiB page
+    /// of the CSR arrays from the **calling** thread, so a pinned sampling
+    /// worker pulls the graph's page table entries (and, under a first-touch
+    /// NUMA policy, any not-yet-faulted pages) onto its own node before the
+    /// hot loop starts (DESIGN.md §16). Returns a checksum of the touched
+    /// elements so the sweep cannot be optimized away; the value itself is
+    /// meaningless.
+    pub fn touch_pages(&self) -> u64 {
+        const PAGE: usize = 4096;
+        let mut acc = 0u64;
+        let off_stride = (PAGE / std::mem::size_of::<u64>()).max(1);
+        for i in (0..self.offsets.len()).step_by(off_stride) {
+            acc = acc.wrapping_add(self.offsets[i]);
+        }
+        let tgt_stride = (PAGE / std::mem::size_of::<NodeId>()).max(1);
+        for i in (0..self.targets.len()).step_by(tgt_stride) {
+            acc = acc.wrapping_add(u64::from(self.targets[i]));
+        }
+        acc
+    }
+
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {

@@ -1,0 +1,277 @@
+//! Bitset lane matrices for the multi-source batched traversal kernel.
+//!
+//! The batched bidirectional BFS ([`crate::bibfs_batch`]) runs up to 64
+//! independent (s, t) searches — *lanes* — through one CSR scan. Per-vertex
+//! membership sets (seen / frontier / next-level) are packed one bit per lane
+//! into `u64` words, so testing "which of the B in-flight searches have
+//! settled vertex v" is a single word load, and meet detection between the
+//! forward and backward searches is a word-at-a-time intersection.
+//!
+//! [`LaneMatrix`] is the general primitive: `n` rows (one per vertex), each
+//! `lanes` bits wide, stored as `ceil(lanes/64)` words per row. The kernel
+//! instantiates the one-word fast path (`lanes ≤ 64`, [`LaneMatrix::word`] /
+//! [`LaneMatrix::word_mut`]); the multi-word row accessors exist so the
+//! primitive — and its property tests against a naive `Vec<bool>` model —
+//! cover lane counts that straddle word boundaries.
+
+use crate::csr::NodeId;
+use crate::prefetch::prefetch_read;
+
+/// Bits per storage word.
+pub const LANE_WORD_BITS: usize = 64;
+
+/// An `n × lanes` bit matrix: row `v` holds one membership bit per lane.
+#[derive(Debug, Clone)]
+pub struct LaneMatrix {
+    /// Words per row: `ceil(lanes / 64)`.
+    wpr: usize,
+    /// Number of lanes (columns).
+    lanes: usize,
+    /// Row-major packed bits; row `v` occupies `words[v*wpr .. (v+1)*wpr]`.
+    words: Vec<u64>,
+}
+
+impl LaneMatrix {
+    /// Creates an all-zero matrix for `n` vertices and `lanes` lanes.
+    ///
+    /// `lanes` must be positive; `n` rows of `ceil(lanes/64)` words are
+    /// allocated eagerly so the hot path never grows the backing store.
+    pub fn new(n: usize, lanes: usize) -> Self {
+        assert!(lanes > 0, "a lane matrix needs at least one lane");
+        let wpr = lanes.div_ceil(LANE_WORD_BITS);
+        LaneMatrix { wpr, lanes, words: vec![0u64; n * wpr] }
+    }
+
+    /// Number of lanes (columns).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of rows (vertices).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.words.len().checked_div(self.wpr).unwrap_or(0)
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.wpr
+    }
+
+    #[inline]
+    fn base(&self, v: NodeId) -> usize {
+        v as usize * self.wpr
+    }
+
+    /// Sets lane `lane` of row `v`.
+    #[inline]
+    pub fn set(&mut self, v: NodeId, lane: usize) {
+        debug_assert!(lane < self.lanes);
+        let b = self.base(v);
+        self.words[b + lane / LANE_WORD_BITS] |= 1u64 << (lane % LANE_WORD_BITS);
+    }
+
+    /// Clears lane `lane` of row `v`.
+    #[inline]
+    pub fn unset(&mut self, v: NodeId, lane: usize) {
+        debug_assert!(lane < self.lanes);
+        let b = self.base(v);
+        self.words[b + lane / LANE_WORD_BITS] &= !(1u64 << (lane % LANE_WORD_BITS));
+    }
+
+    /// Whether lane `lane` of row `v` is set.
+    #[inline]
+    pub fn test(&self, v: NodeId, lane: usize) -> bool {
+        debug_assert!(lane < self.lanes);
+        let b = self.base(v);
+        self.words[b + lane / LANE_WORD_BITS] & (1u64 << (lane % LANE_WORD_BITS)) != 0
+    }
+
+    /// Row `v` as packed words (low lane = bit 0 of word 0).
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &[u64] {
+        let b = self.base(v);
+        &self.words[b..b + self.wpr]
+    }
+
+    /// Zeroes row `v`.
+    #[inline]
+    pub fn clear_row(&mut self, v: NodeId) {
+        let b = self.base(v);
+        self.words[b..b + self.wpr].fill(0);
+    }
+
+    /// ORs `other`'s row `v` into this matrix's row `v` (word-at-a-time).
+    #[inline]
+    pub fn or_row(&mut self, v: NodeId, other: &LaneMatrix) {
+        debug_assert_eq!(self.wpr, other.wpr);
+        let b = self.base(v);
+        let ob = other.base(v);
+        for i in 0..self.wpr {
+            self.words[b + i] |= other.words[ob + i];
+        }
+    }
+
+    /// AND-NOTs `mask_row` out of row `v`: `row &= !mask` per word.
+    #[inline]
+    pub fn andnot_row(&mut self, v: NodeId, mask_row: &[u64]) {
+        debug_assert_eq!(mask_row.len(), self.wpr);
+        let b = self.base(v);
+        for (i, &m) in mask_row.iter().enumerate() {
+            self.words[b + i] &= !m;
+        }
+    }
+
+    /// Word-at-a-time intersection of this matrix's row `v` with `other`'s:
+    /// the lanes set in both (the batched kernel's meet-detection test).
+    /// Returns `true` iff any lane intersects; set lanes are streamed to
+    /// `on_lane` in ascending lane order.
+    #[inline]
+    pub fn intersect_row<F: FnMut(usize)>(
+        &self,
+        v: NodeId,
+        other: &LaneMatrix,
+        mut on_lane: F,
+    ) -> bool {
+        debug_assert_eq!(self.wpr, other.wpr);
+        let b = self.base(v);
+        let ob = other.base(v);
+        let mut any = false;
+        for i in 0..self.wpr {
+            let mut w = self.words[b + i] & other.words[ob + i];
+            any |= w != 0;
+            while w != 0 {
+                on_lane(i * LANE_WORD_BITS + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
+        }
+        any
+    }
+
+    /// Whether row `v` has any set lane.
+    #[inline]
+    pub fn any(&self, v: NodeId) -> bool {
+        self.row(v).iter().any(|&w| w != 0)
+    }
+
+    /// Number of set lanes in row `v`.
+    #[inline]
+    pub fn count(&self, v: NodeId) -> u32 {
+        self.row(v).iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hints the CPU to pull row `v`'s first word into cache ahead of a
+    /// probe (the adjacency targets are data-dependent, so the hardware
+    /// prefetcher cannot help).
+    #[inline]
+    pub fn prefetch_row(&self, v: NodeId) {
+        prefetch_read(&self.words, self.base(v));
+    }
+
+    /// Single-word row load — the `lanes ≤ 64` kernel fast path. Panics in
+    /// debug builds when the matrix has multi-word rows.
+    #[inline]
+    pub fn word(&self, v: NodeId) -> u64 {
+        debug_assert_eq!(self.wpr, 1, "word() requires lanes <= 64");
+        self.words[v as usize]
+    }
+
+    /// Single-word row store (see [`LaneMatrix::word`]).
+    #[inline]
+    pub fn word_mut(&mut self, v: NodeId) -> &mut u64 {
+        debug_assert_eq!(self.wpr, 1, "word_mut() requires lanes <= 64");
+        &mut self.words[v as usize]
+    }
+}
+
+/// Calls `f(lane)` for every set bit of `mask`, in ascending lane order.
+/// The batched kernel's per-word lane walk (bit-scan + clear-lowest).
+#[inline]
+pub fn for_each_lane<F: FnMut(usize)>(mut mask: u64, mut f: F) {
+    while mask != 0 {
+        f(mask.trailing_zeros() as usize);
+        mask &= mask - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_test_unset_roundtrip() {
+        let mut m = LaneMatrix::new(4, 70); // straddles a word boundary
+        assert_eq!(m.words_per_row(), 2);
+        for lane in [0, 1, 63, 64, 69] {
+            assert!(!m.test(2, lane));
+            m.set(2, lane);
+            assert!(m.test(2, lane));
+            assert!(!m.test(1, lane), "row isolation");
+        }
+        m.unset(2, 63);
+        assert!(!m.test(2, 63));
+        assert!(m.test(2, 64));
+        assert_eq!(m.count(2), 4);
+    }
+
+    #[test]
+    fn intersect_row_streams_common_lanes() {
+        let mut a = LaneMatrix::new(2, 130);
+        let mut b = LaneMatrix::new(2, 130);
+        for lane in [0, 5, 64, 127, 129] {
+            a.set(1, lane);
+        }
+        for lane in [5, 64, 128, 129] {
+            b.set(1, lane);
+        }
+        let mut got = Vec::new();
+        assert!(a.intersect_row(1, &b, |l| got.push(l)));
+        assert_eq!(got, vec![5, 64, 129]);
+        let mut none = Vec::new();
+        assert!(!a.intersect_row(0, &b, |l| none.push(l)));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn word_fast_path_matches_bits() {
+        let mut m = LaneMatrix::new(3, 64);
+        m.set(1, 0);
+        m.set(1, 63);
+        assert_eq!(m.word(1), (1u64 << 63) | 1);
+        *m.word_mut(1) |= 1 << 7;
+        assert!(m.test(1, 7));
+        m.clear_row(1);
+        assert_eq!(m.word(1), 0);
+        assert!(!m.any(1));
+    }
+
+    #[test]
+    fn for_each_lane_ascending() {
+        let mut got = Vec::new();
+        for_each_lane((1 << 3) | (1 << 17) | (1 << 63), |l| got.push(l));
+        assert_eq!(got, vec![3, 17, 63]);
+        for_each_lane(0, |_| panic!("no lanes in an empty mask"));
+    }
+
+    #[test]
+    fn or_and_andnot_rows() {
+        let mut a = LaneMatrix::new(2, 96);
+        let mut b = LaneMatrix::new(2, 96);
+        a.set(0, 3);
+        b.set(0, 70);
+        b.set(0, 3);
+        a.or_row(0, &b);
+        assert!(a.test(0, 70) && a.test(0, 3));
+        let mask = b.row(0).to_vec();
+        a.andnot_row(0, &mask);
+        assert!(!a.test(0, 3) && !a.test(0, 70));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = LaneMatrix::new(4, 0);
+    }
+}

@@ -108,7 +108,39 @@ impl<S: Stamp> StampedState<S> {
     /// Distance of `v` in the current round, or [`UNREACHED`].
     #[inline]
     pub fn dist(&self, v: NodeId) -> u32 {
-        let slot = &self.slots[v as usize];
+        self.dist_at(v as usize)
+    }
+
+    /// σ(v): number of shortest source→v paths found this round (0 if unreached).
+    #[inline]
+    pub fn sigma(&self, v: NodeId) -> u64 {
+        self.sigma_at(v as usize)
+    }
+
+    /// Marks `v` visited at `dist` with initial path count `sigma`.
+    #[inline]
+    pub fn visit(&mut self, v: NodeId, dist: u32, sigma: u64) {
+        self.visit_at(v as usize, dist, sigma);
+    }
+
+    /// Adds `extra` shortest paths to `v`'s count. `v` must be visited.
+    #[inline]
+    pub fn add_sigma(&mut self, v: NodeId, extra: u64) {
+        self.add_sigma_at(v as usize, extra);
+    }
+
+    /// Whether `v` was reached this round.
+    #[inline]
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.reached_at(v as usize)
+    }
+
+    /// [`StampedState::dist`] on a raw slot index. The batched kernel stores
+    /// a lane-strided arena (slot `v·W + lane`) in one state, so the arena
+    /// accessors take a `usize` computed by the caller instead of a `NodeId`.
+    #[inline]
+    pub fn dist_at(&self, idx: usize) -> u32 {
+        let slot = &self.slots[idx];
         if slot.stamp == self.round {
             slot.dist
         } else {
@@ -116,10 +148,10 @@ impl<S: Stamp> StampedState<S> {
         }
     }
 
-    /// σ(v): number of shortest source→v paths found this round (0 if unreached).
+    /// [`StampedState::sigma`] on a raw slot index.
     #[inline]
-    pub fn sigma(&self, v: NodeId) -> u64 {
-        let slot = &self.slots[v as usize];
+    pub fn sigma_at(&self, idx: usize) -> u64 {
+        let slot = &self.slots[idx];
         if slot.stamp == self.round {
             slot.sigma
         } else {
@@ -127,24 +159,44 @@ impl<S: Stamp> StampedState<S> {
         }
     }
 
-    /// Marks `v` visited at `dist` with initial path count `sigma`.
+    /// [`StampedState::visit`] on a raw slot index.
     #[inline]
-    pub fn visit(&mut self, v: NodeId, dist: u32, sigma: u64) {
-        self.slots[v as usize] = Slot { stamp: self.round, dist, sigma };
+    pub fn visit_at(&mut self, idx: usize, dist: u32, sigma: u64) {
+        self.slots[idx] = Slot { stamp: self.round, dist, sigma };
     }
 
-    /// Adds `extra` shortest paths to `v`'s count. `v` must be visited.
+    /// [`StampedState::add_sigma`] on a raw slot index.
     #[inline]
-    pub fn add_sigma(&mut self, v: NodeId, extra: u64) {
-        let slot = &mut self.slots[v as usize];
+    pub fn add_sigma_at(&mut self, idx: usize, extra: u64) {
+        let slot = &mut self.slots[idx];
         debug_assert!(slot.stamp == self.round);
         slot.sigma = slot.sigma.saturating_add(extra);
     }
 
-    /// Whether `v` was reached this round.
+    /// [`StampedState::reached`] on a raw slot index.
     #[inline]
-    pub fn reached(&self, v: NodeId) -> bool {
-        self.slots[v as usize].stamp == self.round
+    pub fn reached_at(&self, idx: usize) -> bool {
+        self.slots[idx].stamp == self.round
+    }
+
+    /// Single-probe record read: `Some((dist, σ))` if `v` was reached this
+    /// round, else `None`. One slot load where separate
+    /// `reached`/`dist`/`sigma` calls would touch the slot three times — the
+    /// backtrack walk's predecessor scan is built on this.
+    #[inline]
+    pub fn record(&self, v: NodeId) -> Option<(u32, u64)> {
+        self.record_at(v as usize)
+    }
+
+    /// [`StampedState::record`] on a raw slot index.
+    #[inline]
+    pub fn record_at(&self, idx: usize) -> Option<(u32, u64)> {
+        let slot = &self.slots[idx];
+        if slot.stamp == self.round {
+            Some((slot.dist, slot.sigma))
+        } else {
+            None
+        }
     }
 
     /// Single-probe BFS relaxation for the hot sampling loop: if `v` is
@@ -170,6 +222,12 @@ impl<S: Stamp> StampedState<S> {
     #[inline]
     pub fn prefetch(&self, v: NodeId) {
         prefetch_read(&self.slots, v as usize);
+    }
+
+    /// [`StampedState::prefetch`] on a raw slot index.
+    #[inline]
+    pub fn prefetch_at(&self, idx: usize) {
+        prefetch_read(&self.slots, idx);
     }
 
     /// Number of vertices this state was sized for.

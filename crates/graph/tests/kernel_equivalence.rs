@@ -1,0 +1,200 @@
+//! Differential conformance suite for the batched traversal kernel
+//! (DESIGN.md §16): [`BatchedBiBfs`] must produce **bit-identical** samples
+//! to the scalar bidirectional kernel for the same RNG stream — same
+//! `SampleInfo`, same interior in the same order, same `SearchStats`
+//! totals — at every batch width, over a corpus covering the topologies the
+//! meeting-cut logic distinguishes (grids, random graphs, R-MAT skew,
+//! disconnected components, adjacent endpoints, multi-vertex cuts).
+//!
+//! This is the property the default kernel flip stands on: every driver
+//! routes its pre-drawn pair batches through the batched kernel, and every
+//! determinism/conformance guarantee in the repo (scalar ≡ parallel,
+//! relabeled ≡ raw, replay ≡ live) survives only because batched ≡ scalar
+//! holds bit-for-bit, not just in distribution.
+
+use kadabra_graph::bibfs::{sample_shortest_path_into, SampleInfo, SearchStats};
+use kadabra_graph::csr::graph_from_edges;
+use kadabra_graph::generators::{gnm, grid, rmat, GnmConfig, GridConfig, RmatConfig};
+use kadabra_graph::scratch::TraversalScratch;
+use kadabra_graph::{BatchedBiBfs, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Batch widths under test: scalar lane count, sub-word, the default, and a
+/// full 64-bit word.
+const WIDTHS: [usize; 4] = [1, 4, 8, 64];
+
+/// Pairs drawn per (graph, width) run — enough to cycle several batches at
+/// every width (64 lanes ⇒ ≥3 full batches plus a ragged tail).
+const PAIRS: usize = 200;
+
+type Sample = (Option<SampleInfo>, Vec<NodeId>);
+
+/// Draws `PAIRS` distinct-endpoint pairs; connectivity is *not* enforced, so
+/// disconnected pairs exercise the dead-lane path.
+fn draw_pairs(n: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..PAIRS)
+        .map(|_| {
+            let s = rng.gen_range(0..n as NodeId);
+            let mut t = rng.gen_range(0..n as NodeId - 1);
+            if t >= s {
+                t += 1;
+            }
+            (s, t)
+        })
+        .collect()
+}
+
+fn run_scalar(g: &Graph, pairs: &[(NodeId, NodeId)], seed: u64) -> (Vec<Sample>, SearchStats) {
+    let mut scratch = TraversalScratch::new(g.num_nodes());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = SearchStats::default();
+    let mut out = Vec::new();
+    for &(s, t) in pairs {
+        let info = sample_shortest_path_into(g, s, t, &mut scratch, &mut rng, &mut stats);
+        out.push((info, scratch.path.clone()));
+    }
+    (out, stats)
+}
+
+fn run_batched(
+    g: &Graph,
+    pairs: &[(NodeId, NodeId)],
+    width: usize,
+    seed: u64,
+) -> (Vec<Sample>, SearchStats) {
+    let mut kernel = BatchedBiBfs::new(g.num_nodes(), width);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = SearchStats::default();
+    let mut out = Vec::new();
+    for chunk in pairs.chunks(width) {
+        kernel.sample_batch_into(g, chunk, &mut rng, &mut stats, |_, info, path| {
+            out.push((info, path.to_vec()));
+        });
+    }
+    (out, stats)
+}
+
+/// The core differential check: for every width, the batched kernel's full
+/// (info, interior) transcript and search-stat totals equal the scalar
+/// kernel's, for the same RNG seed.
+fn assert_kernels_agree(name: &str, g: &Graph, pair_seed: u64, rng_seed: u64) {
+    let pairs = draw_pairs(g.num_nodes(), pair_seed);
+    let (scalar, scalar_stats) = run_scalar(g, &pairs, rng_seed);
+    for width in WIDTHS {
+        let (batched, batched_stats) = run_batched(g, &pairs, width, rng_seed);
+        assert_eq!(scalar.len(), batched.len(), "{name}: B={width} sample count");
+        for (i, (sc, ba)) in scalar.iter().zip(&batched).enumerate() {
+            assert_eq!(sc, ba, "{name}: B={width} diverged on sample {i} (pair {:?})", pairs[i]);
+        }
+        assert_eq!(
+            scalar_stats.edges_scanned, batched_stats.edges_scanned,
+            "{name}: B={width} edges_scanned"
+        );
+        assert_eq!(
+            scalar_stats.vertices_settled, batched_stats.vertices_settled,
+            "{name}: B={width} vertices_settled"
+        );
+    }
+}
+
+#[test]
+fn grids_agree_at_all_widths() {
+    let plain = grid(GridConfig { rows: 6, cols: 6, diagonal_prob: 0.0, seed: 0 });
+    assert_kernels_agree("grid-6x6", &plain, 10, 1000);
+    let diag = grid(GridConfig { rows: 5, cols: 9, diagonal_prob: 0.3, seed: 7 });
+    assert_kernels_agree("grid-5x9-diag", &diag, 11, 1001);
+}
+
+#[test]
+fn random_graphs_agree_at_all_widths() {
+    // Densities straddling the connectivity threshold: sparse instances are
+    // mostly disconnected pairs (dead lanes), dense ones mostly connected.
+    for (n, m, seed) in [(30, 25, 1u64), (40, 80, 2), (64, 300, 3), (100, 140, 4)] {
+        let g = gnm(GnmConfig { n, m, seed });
+        assert_kernels_agree(&format!("gnm-{n}-{m}"), &g, 20 + seed, 2000 + seed);
+    }
+}
+
+#[test]
+fn rmat_skew_agrees_at_all_widths() {
+    // Power-law degree skew: hub rows are shared by many lanes at once,
+    // the case the interleaved row decode exists for.
+    let g = rmat(RmatConfig::graph500(8, 8, 5));
+    assert_kernels_agree("rmat-s8", &g, 30, 3000);
+}
+
+#[test]
+fn handcrafted_cut_topologies_agree_at_all_widths() {
+    // Barbell: long bridge, single-vertex cuts at every level.
+    let barbell = graph_from_edges(
+        8,
+        &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (5, 7), (6, 7)],
+    );
+    assert_kernels_agree("barbell", &barbell, 40, 4000);
+    // Star-of-middles: a 4-vertex meeting cut with equal multiplicities.
+    let star =
+        graph_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (2, 5), (3, 5), (4, 5)]);
+    assert_kernels_agree("star-of-middles", &star, 41, 4001);
+    // Unequal cut multiplicities: σ-weighted cut pick must agree exactly.
+    let uneven =
+        graph_from_edges(7, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 6), (0, 4), (4, 5), (5, 6)]);
+    assert_kernels_agree("uneven-cut", &uneven, 42, 4002);
+}
+
+#[test]
+fn chunking_is_immaterial_to_the_stream() {
+    // The RNG stream depends only on the pair sequence, not on how it is
+    // chunked into batches: feeding ragged chunk sizes through one kernel
+    // instance equals the scalar transcript (and hence any other chunking).
+    let g = gnm(GnmConfig { n: 48, m: 120, seed: 9 });
+    let pairs = draw_pairs(g.num_nodes(), 50);
+    let (scalar, _) = run_scalar(&g, &pairs, 5000);
+
+    let mut kernel = BatchedBiBfs::new(g.num_nodes(), 8);
+    let mut rng = StdRng::seed_from_u64(5000);
+    let mut stats = SearchStats::default();
+    let mut out: Vec<Sample> = Vec::new();
+    let mut rest = &pairs[..];
+    // 1, 2, 3, ... lane chunks, wrapping below the width.
+    let mut take = 1usize;
+    while !rest.is_empty() {
+        let k = take.min(rest.len());
+        kernel.sample_batch_into(&g, &rest[..k], &mut rng, &mut stats, |_, info, path| {
+            out.push((info, path.to_vec()));
+        });
+        rest = &rest[k..];
+        take = take % 8 + 1;
+    }
+    assert_eq!(scalar, out, "ragged chunking changed the transcript");
+}
+
+#[test]
+fn batched_rng_consumption_matches_scalar() {
+    // After identical workloads, both kernels must leave the RNG at the
+    // same point: the next draw from each stream agrees. This pins the
+    // contract that dead lanes consume no randomness.
+    let g = gnm(GnmConfig { n: 30, m: 24, seed: 13 }); // mostly disconnected
+    let pairs = draw_pairs(g.num_nodes(), 60);
+
+    let mut scalar_rng = StdRng::seed_from_u64(6000);
+    let mut scratch = TraversalScratch::new(g.num_nodes());
+    let mut stats = SearchStats::default();
+    for &(s, t) in &pairs {
+        let _ = sample_shortest_path_into(&g, s, t, &mut scratch, &mut scalar_rng, &mut stats);
+    }
+
+    let mut batched_rng = StdRng::seed_from_u64(6000);
+    let mut kernel = BatchedBiBfs::new(g.num_nodes(), 64);
+    let mut bstats = SearchStats::default();
+    for chunk in pairs.chunks(64) {
+        kernel.sample_batch_into(&g, chunk, &mut batched_rng, &mut bstats, |_, _, _| {});
+    }
+
+    assert_eq!(
+        scalar_rng.gen::<u64>(),
+        batched_rng.gen::<u64>(),
+        "kernels consumed different amounts of randomness"
+    );
+}

@@ -1,0 +1,243 @@
+//! Property tests for the batched kernel's bitset substrate (DESIGN.md §16):
+//! [`LaneMatrix`] word-level operations against a naive `Vec<bool>` model —
+//! with lane counts deliberately straddling the 64-bit word boundary — and
+//! the interaction of the lane-strided [`StampedState`] accessors with the
+//! stamp-wrap full clear.
+
+use kadabra_graph::lanes::{for_each_lane, LaneMatrix};
+use kadabra_graph::scratch::{StampedState, UNREACHED};
+use kadabra_graph::NodeId;
+use proptest::prelude::*;
+
+/// Naive reference: one `Vec<bool>` per (row, lane).
+struct Model {
+    lanes: usize,
+    bits: Vec<bool>,
+}
+
+impl Model {
+    fn new(n: usize, lanes: usize) -> Self {
+        Model { lanes, bits: vec![false; n * lanes] }
+    }
+    fn idx(&self, v: NodeId, lane: usize) -> usize {
+        v as usize * self.lanes + lane
+    }
+}
+
+/// One mutation of the matrix under test.
+#[derive(Debug, Clone)]
+enum Op {
+    Set { v: usize, lane: usize },
+    Unset { v: usize, lane: usize },
+    ClearRow { v: usize },
+}
+
+fn arb_ops(n: usize, lanes: usize, max_ops: usize) -> impl Strategy<Value = Vec<Op>> {
+    // Weighted op mix (the shim has no `prop_oneof`): kinds 0-3 set a bit,
+    // 4-5 clear a bit, 6 clears a whole row.
+    let op = (0usize..7, 0..n, 0..lanes).prop_map(|(kind, v, lane)| match kind {
+        0..=3 => Op::Set { v, lane },
+        4 | 5 => Op::Unset { v, lane },
+        _ => Op::ClearRow { v },
+    });
+    proptest::collection::vec(op, 1..max_ops)
+}
+
+/// Lane counts pinned to interesting word-boundary positions: single word,
+/// exact word, one-past-word, mid-second-word, exact two words, beyond.
+const LANE_COUNTS: [usize; 9] = [1, 7, 63, 64, 65, 70, 96, 128, 130];
+
+fn arb_lanes() -> impl Strategy<Value = usize> {
+    (0..LANE_COUNTS.len()).prop_map(|i| LANE_COUNTS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// set/unset/clear_row/test agree with the bool model, and the
+    /// aggregates (any, count) match the model's row sums.
+    #[test]
+    fn matrix_matches_bool_model(
+        lanes in arb_lanes(),
+        ops in (8usize..24).prop_flat_map(move |n| {
+            arb_ops(n, 130, 120).prop_map(move |ops| (n, ops))
+        }),
+    ) {
+        let (n, ops) = ops;
+        let mut m = LaneMatrix::new(n, lanes);
+        let mut model = Model::new(n, lanes);
+        for op in &ops {
+            match *op {
+                Op::Set { v, lane } => {
+                    let (v, lane) = (v % n, lane % lanes);
+                    m.set(v as NodeId, lane);
+                    let i = model.idx(v as NodeId, lane);
+                    model.bits[i] = true;
+                }
+                Op::Unset { v, lane } => {
+                    let (v, lane) = (v % n, lane % lanes);
+                    m.unset(v as NodeId, lane);
+                    let i = model.idx(v as NodeId, lane);
+                    model.bits[i] = false;
+                }
+                Op::ClearRow { v } => {
+                    let v = v % n;
+                    m.clear_row(v as NodeId);
+                    for lane in 0..lanes {
+                        let i = model.idx(v as NodeId, lane);
+                        model.bits[i] = false;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            let mut row_count = 0u32;
+            for lane in 0..lanes {
+                let want = model.bits[model.idx(v as NodeId, lane)];
+                prop_assert_eq!(m.test(v as NodeId, lane), want, "row {} lane {}", v, lane);
+                row_count += u32::from(want);
+            }
+            prop_assert_eq!(m.count(v as NodeId), row_count);
+            prop_assert_eq!(m.any(v as NodeId), row_count > 0);
+        }
+    }
+
+    /// `intersect_row` visits exactly the lanes set in BOTH matrices, in
+    /// ascending order — the meet-detection primitive.
+    #[test]
+    fn intersect_row_is_exact_and_ascending(
+        lanes in arb_lanes(),
+        n in 2usize..12,
+        a_bits in proptest::collection::vec((0usize..12, 0usize..130), 0..80),
+        b_bits in proptest::collection::vec((0usize..12, 0usize..130), 0..80),
+    ) {
+        let mut a = LaneMatrix::new(n, lanes);
+        let mut b = LaneMatrix::new(n, lanes);
+        let mut model_a = Model::new(n, lanes);
+        let mut model_b = Model::new(n, lanes);
+        for &(v, lane) in &a_bits {
+            let (v, lane) = (v % n, lane % lanes);
+            a.set(v as NodeId, lane);
+            let i = model_a.idx(v as NodeId, lane);
+            model_a.bits[i] = true;
+        }
+        for &(v, lane) in &b_bits {
+            let (v, lane) = (v % n, lane % lanes);
+            b.set(v as NodeId, lane);
+            let i = model_b.idx(v as NodeId, lane);
+            model_b.bits[i] = true;
+        }
+        for v in 0..n as NodeId {
+            let mut got = Vec::new();
+            a.intersect_row(v, &b, |lane| got.push(lane));
+            let want: Vec<usize> = (0..lanes)
+                .filter(|&l| model_a.bits[model_a.idx(v, l)] && model_b.bits[model_b.idx(v, l)])
+                .collect();
+            prop_assert_eq!(&got, &want, "row {}", v);
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "not ascending: {:?}", got);
+        }
+    }
+
+    /// `or_row` and `andnot_row` equal the model's per-lane OR / AND-NOT.
+    #[test]
+    fn or_and_andnot_match_model(
+        lanes in arb_lanes(),
+        n in 2usize..10,
+        a_bits in proptest::collection::vec((0usize..10, 0usize..130), 0..60),
+        b_bits in proptest::collection::vec((0usize..10, 0usize..130), 0..60),
+        v in 0usize..10,
+    ) {
+        let v = (v % n) as NodeId;
+        let mut a = LaneMatrix::new(n, lanes);
+        let mut b = LaneMatrix::new(n, lanes);
+        for &(u, lane) in &a_bits {
+            a.set((u % n) as NodeId, lane % lanes);
+        }
+        for &(u, lane) in &b_bits {
+            b.set((u % n) as NodeId, lane % lanes);
+        }
+        let a_before: Vec<bool> = (0..lanes).map(|l| a.test(v, l)).collect();
+        let b_row: Vec<bool> = (0..lanes).map(|l| b.test(v, l)).collect();
+
+        let mut or = LaneMatrix::new(n, lanes);
+        for (l, &bit) in a_before.iter().enumerate() {
+            if bit {
+                or.set(v, l);
+            }
+        }
+        or.or_row(v, &b);
+        for l in 0..lanes {
+            prop_assert_eq!(or.test(v, l), a_before[l] || b_row[l]);
+        }
+
+        let mask: Vec<u64> = b.row(v).to_vec();
+        a.andnot_row(v, &mask);
+        for l in 0..lanes {
+            prop_assert_eq!(a.test(v, l), a_before[l] && !b_row[l]);
+        }
+    }
+
+    /// `for_each_lane` enumerates exactly the set bits of a word, ascending.
+    #[test]
+    fn for_each_lane_matches_bit_positions(mask in any::<u64>()) {
+        let mut got = Vec::new();
+        for_each_lane(mask, |lane| got.push(lane));
+        let want: Vec<usize> = (0..64).filter(|&b| mask >> b & 1 == 1).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Lane-strided `StampedState` accessors across a stamp wrap: with a u8
+    /// stamp the full clear fires every 255 resets; state written before a
+    /// reset must never leak into a later round through any slot index,
+    /// including the high lane-strided ones the batched kernel uses.
+    #[test]
+    fn stamp_wrap_never_resurrects_lane_slots(
+        rows in 2usize..8,
+        width in (0usize..3).prop_map(|i| [1usize, 8, 64][i]),
+        rounds in 1usize..600,
+        writes in proptest::collection::vec((0usize..8, 0usize..64, 1u64..100), 1..20),
+    ) {
+        let mut st: StampedState<u8> = StampedState::new(rows * width);
+        for r in 0..rounds {
+            st.reset();
+            // Every slot starts the round unreached regardless of history.
+            for v in 0..rows {
+                for lane in 0..width {
+                    let idx = v * width + lane;
+                    prop_assert!(!st.reached_at(idx), "round {} slot {} stale", r, idx);
+                    prop_assert_eq!(st.dist_at(idx), UNREACHED);
+                    prop_assert_eq!(st.sigma_at(idx), 0);
+                }
+            }
+            // Writes land only in their own slot and survive within a round.
+            for &(v, lane, sig) in &writes {
+                let idx = (v % rows) * width + lane % width;
+                if st.reached_at(idx) {
+                    st.add_sigma_at(idx, sig);
+                } else {
+                    st.visit_at(idx, (r % 7) as u32, sig);
+                }
+            }
+            for &(v, lane, _) in &writes {
+                let idx = (v % rows) * width + lane % width;
+                prop_assert!(st.reached_at(idx));
+                prop_assert_eq!(st.dist_at(idx), (r % 7) as u32);
+            }
+        }
+    }
+}
+
+/// Non-proptest regression: the NodeId-indexed and usize-indexed accessor
+/// families view the same slots (lane stride 1 ⇒ idx == v).
+#[test]
+fn node_and_slot_accessors_alias() {
+    let mut st: StampedState<u32> = StampedState::new(8);
+    st.reset();
+    st.visit(3, 2, 5);
+    assert_eq!(st.dist_at(3), 2);
+    assert_eq!(st.sigma_at(3), 5);
+    st.add_sigma_at(3, 7);
+    assert_eq!(st.sigma(3), 12);
+    assert!(st.reached_at(3) && st.reached(3));
+    assert!(!st.reached_at(4));
+}

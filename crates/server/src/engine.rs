@@ -115,7 +115,13 @@ impl RefineEngine {
             .map(|id| EngineSlot {
                 id,
                 state: Mutex::new(Some(RankState {
-                    sampler: ThreadSampler::new(n, kcfg.seed, id, ADS_STREAM_OFFSET),
+                    sampler: ThreadSampler::with_kernel(
+                        n,
+                        kcfg.seed,
+                        id,
+                        ADS_STREAM_OFFSET,
+                        kcfg.kernel,
+                    ),
                     ledger: SampleLedger::new(n),
                     s_loc: vec![0u64; n + 1],
                 })),
@@ -170,11 +176,12 @@ impl RefineEngine {
             self.slots.push(EngineSlot {
                 id,
                 state: Mutex::new(Some(RankState {
-                    sampler: ThreadSampler::new(
+                    sampler: ThreadSampler::with_kernel(
                         self.n,
                         self.kcfg.seed,
                         id,
                         ADS_STREAM_OFFSET + self.generation as usize,
+                        self.kcfg.kernel,
                     ),
                     ledger: SampleLedger::new(self.n),
                     s_loc: vec![0u64; self.n + 1],
@@ -302,11 +309,12 @@ impl RefineEngine {
             slots.push(EngineSlot {
                 id: *id,
                 state: Mutex::new(Some(RankState {
-                    sampler: ThreadSampler::new(
+                    sampler: ThreadSampler::with_kernel(
                         n,
                         kcfg.seed,
                         *id,
                         ADS_STREAM_OFFSET + generation as usize,
+                        kcfg.kernel,
                     ),
                     ledger,
                     s_loc: vec![0u64; n + 1],
